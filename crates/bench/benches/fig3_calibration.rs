@@ -1,0 +1,78 @@
+//! Criterion version of the paper's Figure 3 micro-benchmarks: per-tuple
+//! insert / probe / update costs across hash-table sizes and tuple widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hashstash_hashtable::ExtendibleHashTable;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn filled<const W: usize>(target_bytes: usize) -> (ExtendibleHashTable<[u8; W]>, Vec<u64>) {
+    let n = (target_bytes / (W + 12)).max(16);
+    let mut ht = ExtendibleHashTable::with_capacity(W, n);
+    let mut seed = 0xdead_beefu64;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = splitmix(&mut seed);
+        ht.insert(k, [0u8; W]);
+        keys.push(k);
+    }
+    (ht, keys)
+}
+
+fn bench_width<const W: usize>(c: &mut Criterion) {
+    let sizes = [32 << 10, 1 << 20, 16 << 20];
+    let mut group = c.benchmark_group(format!("fig3/width_{W}B"));
+    for &size in &sizes {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("insert", size), &size, |b, &s| {
+            let (ht, _) = filled::<W>(s);
+            let mut seed = 0x1111u64;
+            b.iter_batched(
+                || ht.clone(),
+                |mut t| {
+                    t.insert(splitmix(&mut seed), [0u8; W]);
+                    t
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("probe", size), &size, |b, &s| {
+            let (mut ht, keys) = filled::<W>(s);
+            let mut seed = 0x2222u64;
+            b.iter(|| {
+                let k = keys[(splitmix(&mut seed) as usize) % keys.len()];
+                ht.probe(k).next().map(|v| v[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("update", size), &size, |b, &s| {
+            let (mut ht, keys) = filled::<W>(s);
+            let mut seed = 0x3333u64;
+            b.iter(|| {
+                let k = keys[(splitmix(&mut seed) as usize) % keys.len()];
+                if let Some(v) = ht.get_mut(k) {
+                    v[0] = v[0].wrapping_add(1);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_width::<8>(c);
+    bench_width::<64>(c);
+    bench_width::<256>(c);
+}
+
+criterion_group! {
+    name = fig3;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(fig3);

@@ -1,0 +1,132 @@
+//! Experiment 3 (Figure 10): accuracy of the reuse-aware cost estimates.
+//!
+//! Warms the cache with a medium-reuse trace, then, for every connected
+//! sub-plan group of a 5-way join query (CO, COL, COLS, …, LP), compares the
+//! optimizer's estimated cost against the measured runtime for both the
+//! reuse-aware choice and a fresh (never-share) plan. Costs are normalized
+//! per group (the cheapest actual = 1.0), exactly like the paper's plot.
+//!
+//! ```text
+//! cargo run -p hashstash-bench --bin exp3_accuracy --release
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash_bench::common::{catalog, header, seed};
+use hashstash_plan::{JoinGraph, QueryBuilder, QuerySpec};
+use hashstash_workload::session::exp2_session;
+use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
+
+/// Sub-query over a subset of the 5-way query's tables.
+fn subquery(base: &QuerySpec, tables: &BTreeSet<Arc<str>>, id: u32) -> Option<QuerySpec> {
+    let edges = base.edges_within(tables);
+    if tables.len() > 1 && edges.len() < tables.len() - 1 {
+        return None; // disconnected
+    }
+    let mut b = QueryBuilder::new(id);
+    for t in tables {
+        b = b.table(t);
+    }
+    for e in &edges {
+        b = b.join(&e.left_table, &e.left_col, &e.right_table, &e.right_col);
+    }
+    for (attr, iv) in base.predicates.constrained() {
+        let t = attr.split('.').next().unwrap_or("");
+        if tables.contains(t) {
+            b = b.filter(attr, iv.clone());
+        }
+    }
+    // Project one join column to keep outputs small.
+    let proj = edges
+        .first()
+        .map(|e| e.left_col.to_string())
+        .unwrap_or_else(|| format!("{}.{}", tables.iter().next().unwrap(), "?"));
+    b = b.project(&[&proj]);
+    b.build().ok()
+}
+
+fn label(tables: &BTreeSet<Arc<str>>) -> String {
+    tables
+        .iter()
+        .map(|t| t.chars().next().unwrap().to_ascii_uppercase())
+        .collect()
+}
+
+fn main() {
+    header("Experiment 3: accuracy of the cost model (paper Figure 10)");
+    let base = exp2_session()[0].query.clone();
+    let graph = JoinGraph::of_query(&base);
+
+    // Warm a HashStash engine with the medium-reuse trace prefix.
+    let mut warm = Engine::new(catalog(), EngineConfig::default());
+    let trace = generate_trace(TraceConfig::paper(ReusePotential::Medium, seed()));
+    for tq in trace.iter().take(16) {
+        warm.execute(&tq.query).expect("warm-up query");
+    }
+    // Also run the base query once so multi-table sub-plans have candidates.
+    warm.execute(&base).expect("base query");
+
+    println!(
+        "\n{:<8} {:<8} {:>12} {:>12}  (normalized per group: cheapest actual = 1.0)",
+        "group", "variant", "estimated", "actual"
+    );
+
+    let mut hits = 0usize;
+    let mut groups = 0usize;
+    let full = graph.all();
+    let mut masks: Vec<u64> = (1..=full).filter(|m| m & full == *m).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    let mut qid = 1000u32;
+    for mask in masks {
+        if mask.count_ones() < 2 || !graph.is_connected(mask) {
+            continue;
+        }
+        let tables = graph.tables_of_mask(mask);
+        qid += 1;
+        let Some(q) = subquery(&base, &tables, qid) else {
+            continue;
+        };
+        // Variant 1: reuse-aware (warmed cache).
+        let est_reuse = match warm.plan_only(&q) {
+            Ok(p) => p.est_cost_ns,
+            Err(_) => continue,
+        };
+        let t0 = Instant::now();
+        if warm.execute(&q).is_err() {
+            continue;
+        }
+        let act_reuse = t0.elapsed().as_nanos() as f64;
+
+        // Variant 2: fresh plan in a no-reuse engine.
+        let mut fresh = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+        let est_fresh = fresh.plan_only(&q).expect("plans").est_cost_ns;
+        let t1 = Instant::now();
+        fresh.execute(&q).expect("fresh run");
+        let act_fresh = t1.elapsed().as_nanos() as f64;
+
+        // Normalize inside the group.
+        let act_min = act_reuse.min(act_fresh);
+        let est_min = est_reuse.min(est_fresh);
+        let rows = [
+            ("reuse", est_reuse / est_min, act_reuse / act_min),
+            ("fresh", est_fresh / est_min, act_fresh / act_min),
+        ];
+        for (name, e, a) in rows {
+            println!("{:<8} {:<8} {:>12.2} {:>12.2}", label(&tables), name, e, a);
+        }
+        groups += 1;
+        // Does the estimator pick the same winner as reality?
+        let est_winner_reuse = est_reuse <= est_fresh;
+        let act_winner_reuse = act_reuse <= act_fresh;
+        if est_winner_reuse == act_winner_reuse {
+            hits += 1;
+        }
+    }
+    println!(
+        "\nestimator picked the actually-cheapest variant in {hits}/{groups} groups \
+         (paper: the cheapest estimated plan per group is also the cheapest actual)"
+    );
+}

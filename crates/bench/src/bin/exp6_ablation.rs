@@ -1,0 +1,73 @@
+//! Ablation study (beyond the paper's figures, motivated by §3.4 / §5):
+//! benefit-oriented optimizations on/off and eviction-policy alternatives.
+//!
+//! ```text
+//! cargo run -p hashstash-bench --bin exp6_ablation --release
+//! ```
+
+use hashstash::{Engine, EngineConfig};
+use hashstash_bench::common::{catalog, header, ms, seed};
+use hashstash_cache::{EvictionPolicy, GcConfig};
+use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
+
+fn run_with(cfg: EngineConfig, trace: &[hashstash_workload::trace::TraceQuery]) -> (f64, u64, u64) {
+    let mut engine = Engine::new(catalog(), cfg);
+    let t0 = std::time::Instant::now();
+    for tq in trace {
+        engine.execute(&tq.query).expect("query");
+    }
+    (
+        ms(t0.elapsed()),
+        engine.cache_stats().reuses,
+        engine.cache_stats().evictions,
+    )
+}
+
+fn main() {
+    header("Ablation: benefit-oriented optimizations (paper §3.4)");
+    let trace = generate_trace(TraceConfig::paper(ReusePotential::High, seed()));
+    println!("{:<34} {:>12} {:>8}", "configuration", "time (ms)", "reuses");
+    let variants: [(&str, fn(&mut EngineConfig)); 4] = [
+        ("all benefit optimizations ON", |_| {}),
+        ("AVG rewrite OFF", |c| c.avg_rewrite = false),
+        ("additional attributes OFF", |c| {
+            c.additional_attributes = false
+        }),
+        ("benefit join order OFF", |c| c.benefit_join_order = false),
+    ];
+    for (name, tweak) in variants {
+        let mut cfg = EngineConfig::default();
+        tweak(&mut cfg);
+        let (t, reuses, _) = run_with(cfg, &trace);
+        println!("{name:<34} {t:>10.1}ms {reuses:>8}");
+    }
+
+    header("Ablation: eviction policies under memory pressure (paper §5)");
+    // Peak footprint of an unbounded run sets the pressure level.
+    let (_, _, _) = {
+        let mut engine = Engine::new(catalog(), EngineConfig::default());
+        for tq in &trace {
+            engine.execute(&tq.query).expect("query");
+        }
+        let peak = engine.cache_stats().peak_bytes;
+        println!(
+            "{:<34} {:>12} {:>8} {:>10}",
+            "policy (30% budget)", "time (ms)", "reuses", "evictions"
+        );
+        for (name, policy) in [
+            ("LRU (paper's choice)", EvictionPolicy::Lru),
+            ("LFU", EvictionPolicy::Lfu),
+            ("benefit-weighted", EvictionPolicy::BenefitWeighted),
+        ] {
+            let mut cfg = EngineConfig::default();
+            cfg.gc = GcConfig {
+                budget_bytes: Some((peak as f64 * 0.3) as usize),
+                policy,
+                fine_grained: false,
+            };
+            let (t, reuses, evictions) = run_with(cfg, &trace);
+            println!("{name:<34} {t:>10.1}ms {reuses:>8} {evictions:>10}");
+        }
+        (0.0, 0, 0)
+    };
+}

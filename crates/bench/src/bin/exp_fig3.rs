@@ -1,0 +1,62 @@
+//! Figure 3 (a/b/c): per-tuple insert / probe / update cost as a function of
+//! hash-table size and tuple width, measured on the extendible hash table.
+//!
+//! ```text
+//! cargo run -p hashstash-bench --bin exp_fig3 --release
+//! ```
+
+use hashstash_hashtable::Calibrator;
+
+fn main() {
+    let mut cal = Calibrator::default();
+    // Extend the sweep if requested (the paper goes to 1GB).
+    if std::env::var("HASHSTASH_FIG3_LARGE").is_ok() {
+        cal.sizes.push(256 << 20);
+    }
+    println!("Figure 3: hash-table micro-benchmark calibration");
+    println!(
+        "sizes: {:?}",
+        cal.sizes.iter().map(|s| human(*s)).collect::<Vec<_>>()
+    );
+    let grid = cal.run();
+
+    for (title, pick) in [
+        ("Figure 3a: cost of a single INSERT (ns)", 0usize),
+        ("Figure 3b: cost of a single PROBE (ns)", 1),
+        ("Figure 3c: cost of a single UPDATE (ns)", 2),
+    ] {
+        println!("\n{title}");
+        print!("{:>8}", "width");
+        for s in grid.sizes() {
+            print!("{:>10}", human(*s));
+        }
+        println!();
+        for (wi, w) in grid.widths().iter().enumerate() {
+            print!("{:>7}B", w);
+            for (si, _) in grid.sizes().iter().enumerate() {
+                let p = &grid.points()[wi][si];
+                let v = match pick {
+                    0 => p.insert_ns,
+                    1 => p.lookup_ns,
+                    _ => p.update_ns,
+                };
+                print!("{v:>10.1}");
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nExpected shape (paper): cost steps up at each cache boundary; insert cost \
+         grows beyond 64B tuples, probe cost only beyond 128B (adjacent-line prefetch)."
+    );
+}
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1 << 30 {
+        format!("{}GB", bytes >> 30)
+    } else if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else {
+        format!("{}KB", bytes >> 10)
+    }
+}

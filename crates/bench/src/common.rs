@@ -1,0 +1,56 @@
+//! Helpers shared by the experiment binaries.
+
+use std::time::{Duration, Instant};
+
+use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_storage::Catalog;
+use hashstash_workload::trace::TraceQuery;
+
+/// Scale factor used by the experiments (override: `HASHSTASH_SF`).
+pub fn scale_factor() -> f64 {
+    std::env::var("HASHSTASH_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Data seed (override: `HASHSTASH_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("HASHSTASH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Generate the experiment database.
+pub fn catalog() -> Catalog {
+    generate(TpchConfig::new(scale_factor(), seed()))
+}
+
+/// Run a whole trace under one strategy; returns (total wall time, engine).
+pub fn run_trace(catalog: Catalog, strategy: EngineStrategy, trace: &[TraceQuery]) -> (Duration, Engine) {
+    let mut engine = Engine::new(catalog, EngineConfig::with_strategy(strategy));
+    let t0 = Instant::now();
+    for tq in trace {
+        engine
+            .execute(&tq.query)
+            .unwrap_or_else(|e| panic!("query {} failed: {e}", tq.query.id));
+    }
+    (t0.elapsed(), engine)
+}
+
+/// Pretty milliseconds.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Pretty megabytes.
+pub fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,9 @@
+//! Shared scaffolding for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one of the paper's tables or
+//! figures (see DESIGN.md §5 for the index, EXPERIMENTS.md for results).
+//! The scale factor defaults to 0.05 and can be overridden with the
+//! `HASHSTASH_SF` environment variable; `HASHSTASH_SEED` overrides the data
+//! seed.
+
+pub mod common;

@@ -1,0 +1,26 @@
+//! The Hash Table Manager (HTM): cache, lineage index and garbage collector.
+//!
+//! Paper §2.2: *"The hash table cache manages hash tables for reuse; it
+//! stores pointers to cached hash tables, as well as lineage information
+//! about how each one of them was created. It also stores statistics to
+//! enable the cost-based hash table selection by the optimizer."*
+//!
+//! * [`payload`] — the value types stored inside cached tables: join rows
+//!   (optionally qid-tagged), aggregate accumulator states, and raw grouped
+//!   rows for shared aggregates.
+//! * [`manager::HtManager`] — publish / candidates / checkout / checkin /
+//!   release life-cycle. Only one query may reuse a given table at a time
+//!   (paper §2.2), enforced by the checkout protocol.
+//! * [`recycle`] — the recycle-graph-style lineage index: candidate lookup
+//!   is pruned to nodes that actually reference a cached hash table
+//!   (paper §3.3).
+//! * [`manager::GcConfig`] — coarse-grained LRU eviction of whole tables
+//!   (paper §5), with optional alternative policies for ablation studies.
+
+pub mod manager;
+pub mod payload;
+pub mod recycle;
+
+pub use manager::{CacheStats, CheckedOut, EvictionPolicy, GcConfig, HtManager};
+pub use payload::{AggAccum, AggPayload, StoredHt, TaggedRow};
+pub use recycle::RecycleGraph;

@@ -1,0 +1,44 @@
+//! HashStash: reuse of internal hash tables in a main-memory analytical
+//! query engine.
+//!
+//! This crate is the user-facing facade over the whole workspace. It exposes
+//! an [`Engine`] that owns a catalog, statistics, a calibrated cost model,
+//! the Hash Table Manager and the temp-table cache, and executes queries
+//! under a selectable [`EngineStrategy`]:
+//!
+//! * [`EngineStrategy::HashStash`] — the paper's system: reuse-aware
+//!   optimization with all four reuse cases, benefit-oriented rewrites, and
+//!   caching of every pipeline-breaker hash table.
+//! * [`EngineStrategy::NoReuse`] — traditional execution, nothing cached.
+//! * [`EngineStrategy::Materialized`] — materialization-based reuse (Nagel
+//!   et al. style): operator outputs are copied into temp tables during
+//!   execution and reused later for exact/subsuming requests only.
+//! * [`EngineStrategy::AlwaysShare`] / [`EngineStrategy::NeverShare`] — the
+//!   greedy and no-reuse baselines of the paper's Experiment 2.
+//!
+//! ```no_run
+//! use hashstash::{Engine, EngineConfig, EngineStrategy};
+//! use hashstash_storage::tpch::{generate, TpchConfig};
+//!
+//! let catalog = generate(TpchConfig::new(0.01, 42));
+//! let mut engine = Engine::new(catalog, EngineConfig::default());
+//! # let query = hashstash_plan::QueryBuilder::new(1)
+//! #     .table("customer").build().unwrap();
+//! let result = engine.execute(&query).unwrap();
+//! println!("{} rows in {:?}", result.rows.len(), result.wall_time);
+//! ```
+
+pub mod engine;
+pub mod materialized;
+
+pub use engine::{Engine, EngineConfig, EngineStrategy, QueryResult, SessionStats};
+
+// Re-export the component crates so downstream users need only one
+// dependency.
+pub use hashstash_cache as cache;
+pub use hashstash_exec as exec;
+pub use hashstash_hashtable as hashtable;
+pub use hashstash_opt as opt;
+pub use hashstash_plan as plan;
+pub use hashstash_storage as storage;
+pub use hashstash_types as types;

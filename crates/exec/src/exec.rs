@@ -1,0 +1,1068 @@
+//! The single-threaded plan interpreter.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use hashstash_types::{HsError, Result, Row, Schema, Value};
+
+use hashstash_cache::{AggPayload, HtManager, StoredHt, TaggedRow};
+use hashstash_hashtable::ExtendibleHashTable;
+use hashstash_plan::PredBox;
+use hashstash_storage::{Catalog, Table};
+
+use crate::plan::{OutputAgg, PhysicalPlan, ScanSpec};
+use crate::temp::TempTableCache;
+
+/// Operation counters collected during execution. These are the observables
+/// the paper's cost models predict (tuples inserted / probed / updated,
+/// paper §3.2), so tests can validate estimator accuracy directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Base-table tuples visited by scans (full or delta).
+    pub rows_scanned: u64,
+    /// Tuples located through a secondary index instead of a full scan.
+    pub index_rows: u64,
+    /// Hash-table inserts (join build + aggregate first-of-group).
+    pub ht_inserts: u64,
+    /// Hash-table probe lookups.
+    pub ht_probes: u64,
+    /// Aggregate in-place updates.
+    pub ht_updates: u64,
+    /// Rows emitted by the plan root.
+    pub rows_output: u64,
+    /// Rows copied into temp tables (materialization-based baseline).
+    pub materialized_rows: u64,
+    /// Cached hash tables reused.
+    pub reused_tables: u64,
+    /// Hash tables built from scratch.
+    pub built_tables: u64,
+}
+
+impl ExecMetrics {
+    /// Merge counters from another execution.
+    pub fn absorb(&mut self, other: &ExecMetrics) {
+        self.rows_scanned += other.rows_scanned;
+        self.index_rows += other.index_rows;
+        self.ht_inserts += other.ht_inserts;
+        self.ht_probes += other.ht_probes;
+        self.ht_updates += other.ht_updates;
+        self.rows_output += other.rows_output;
+        self.materialized_rows += other.materialized_rows;
+        self.reused_tables += other.reused_tables;
+        self.built_tables += other.built_tables;
+    }
+}
+
+/// Execution context threading the catalog, the Hash Table Manager, the
+/// temp-table cache (materialization baseline) and metrics through the tree.
+pub struct ExecContext<'a> {
+    pub catalog: &'a Catalog,
+    pub htm: &'a mut HtManager,
+    pub temps: &'a mut TempTableCache,
+    pub metrics: ExecMetrics,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Fresh context.
+    pub fn new(
+        catalog: &'a Catalog,
+        htm: &'a mut HtManager,
+        temps: &'a mut TempTableCache,
+    ) -> Self {
+        ExecContext {
+            catalog,
+            htm,
+            temps,
+            metrics: ExecMetrics::default(),
+        }
+    }
+}
+
+/// Execute a plan, returning its output schema and rows.
+pub fn execute(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Row>)> {
+    let (schema, rows) = run(plan, ctx)?;
+    ctx.metrics.rows_output += rows.len() as u64;
+    Ok((schema, rows))
+}
+
+fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Row>)> {
+    match plan {
+        PhysicalPlan::Scan(spec) => run_scan(spec, ctx),
+        PhysicalPlan::Filter { input, predicate } => {
+            let (schema, rows) = run(input, ctx)?;
+            let evaluator = BoxEval::bind(predicate, &schema)?;
+            let rows = rows.into_iter().filter(|r| evaluator.eval(r)).collect();
+            Ok((schema, rows))
+        }
+        PhysicalPlan::Materialize { input, fingerprint } => {
+            let (schema, rows) = run(input, ctx)?;
+            // The baseline's materialization cost: one extra copy of every
+            // tuple out of the pipeline into a temp table.
+            ctx.metrics.materialized_rows += rows.len() as u64;
+            ctx.temps
+                .publish(fingerprint.clone(), schema.clone(), rows.clone());
+            Ok((schema, rows))
+        }
+        PhysicalPlan::TempScan {
+            id,
+            schema: _,
+            post_filter,
+        } => {
+            let (schema, rows) = ctx.temps.read(*id)?;
+            ctx.metrics.rows_scanned += rows.len() as u64;
+            let rows = match post_filter {
+                Some(pf) => {
+                    let evaluator = BoxEval::bind(pf, &schema)?;
+                    rows.into_iter().filter(|r| evaluator.eval(r)).collect()
+                }
+                None => rows,
+            };
+            Ok((schema, rows))
+        }
+        PhysicalPlan::Union { inputs } => {
+            let mut schema = None;
+            let mut rows = Vec::new();
+            for i in inputs {
+                let (s, mut r) = run(i, ctx)?;
+                if let Some(prev) = &schema {
+                    if prev != &s {
+                        return Err(HsError::ExecError("union schema mismatch".into()));
+                    }
+                } else {
+                    schema = Some(s);
+                }
+                rows.append(&mut r);
+            }
+            let schema =
+                schema.ok_or_else(|| HsError::ExecError("empty union".into()))?;
+            Ok((schema, rows))
+        }
+        PhysicalPlan::Project { input, attrs } => {
+            let (schema, rows) = run(input, ctx)?;
+            let mut indices = Vec::with_capacity(attrs.len());
+            for a in attrs {
+                indices.push(schema.index_of(a)?);
+            }
+            let names: Vec<&str> = attrs.iter().map(|a| a.as_ref()).collect();
+            let out_schema = schema.project(&names)?;
+            let rows = rows.into_iter().map(|r| r.project(&indices)).collect();
+            Ok((out_schema, rows))
+        }
+        PhysicalPlan::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+            reuse,
+            publish,
+        } => run_hash_join(ctx, probe, build, probe_key, build_key, reuse, publish),
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+            output_aggs,
+            reuse,
+            publish,
+            post_group_by,
+        } => run_hash_agg(
+            ctx,
+            input,
+            group_by,
+            aggs,
+            output_aggs,
+            reuse,
+            publish,
+            post_group_by,
+        ),
+    }
+}
+
+/// A predicate box bound to row indices for fast per-row evaluation.
+struct BoxEval {
+    checks: Vec<(usize, hashstash_plan::Interval)>,
+}
+
+impl BoxEval {
+    fn bind(pred: &PredBox, schema: &Schema) -> Result<Self> {
+        let mut checks = Vec::new();
+        for (attr, iv) in pred.constrained() {
+            checks.push((schema.index_of(attr)?, iv.clone()));
+        }
+        Ok(BoxEval { checks })
+    }
+
+    fn eval(&self, row: &Row) -> bool {
+        self.checks
+            .iter()
+            .all(|(idx, iv)| iv.contains_value(row.get(*idx)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+fn run_scan(spec: &ScanSpec, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Row>)> {
+    let table = ctx.catalog.get(&spec.table)?;
+    let qualified = table.qualified_schema();
+    let proj_indices: Vec<usize> = if spec.projection.is_empty() {
+        (0..qualified.len()).collect()
+    } else {
+        spec.projection
+            .iter()
+            .map(|a| qualified.index_of(a))
+            .collect::<Result<Vec<_>>>()?
+    };
+    let out_schema = if spec.projection.is_empty() {
+        qualified.clone()
+    } else {
+        let names: Vec<&str> = spec.projection.iter().map(|a| a.as_ref()).collect();
+        qualified.project(&names)?
+    };
+
+    let mut rows = Vec::new();
+    if spec.region.is_empty() {
+        return Ok((out_schema, rows));
+    }
+    for pbox in spec.region.boxes() {
+        scan_box(&table, &qualified, pbox, &proj_indices, ctx, &mut rows)?;
+    }
+    Ok((out_schema, rows))
+}
+
+/// Scan one box of the region, using a secondary index when available.
+fn scan_box(
+    table: &Table,
+    qualified: &Schema,
+    pbox: &PredBox,
+    proj: &[usize],
+    ctx: &mut ExecContext<'_>,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    // Bind all constraints to column indices.
+    let mut checks: Vec<(usize, hashstash_plan::Interval)> = Vec::new();
+    for (attr, iv) in pbox.constrained() {
+        checks.push((qualified.index_of(attr)?, iv.clone()));
+    }
+    // Prefer an indexed, bounded attribute as the access path.
+    let indexed = checks.iter().position(|(col, iv)| {
+        table.has_index(*col) && !iv.is_all() && bounded_for_index(iv)
+    });
+    match indexed {
+        Some(pos) => {
+            let (col, iv) = checks[pos].clone();
+            let name = &table.schema().field_at(col).name;
+            let index = table
+                .index_on(name)
+                .ok_or_else(|| HsError::ExecError(format!("index on {name} vanished")))?;
+            let ids = index.range(as_lo_bound(iv.lo()), as_hi_bound(iv.hi()));
+            ctx.metrics.index_rows += ids.len() as u64;
+            ctx.metrics.rows_scanned += ids.len() as u64;
+            for &rid in ids {
+                let rid = rid as usize;
+                if checks
+                    .iter()
+                    .enumerate()
+                    .all(|(i, (c, v))| i == pos || v.contains_value(&table.column(*c).get(rid)))
+                {
+                    out.push(table.row_projected(rid, proj));
+                }
+            }
+        }
+        None => {
+            let n = table.row_count();
+            ctx.metrics.rows_scanned += n as u64;
+            for rid in 0..n {
+                if checks
+                    .iter()
+                    .all(|(c, v)| v.contains_value(&table.column(*c).get(rid)))
+                {
+                    out.push(table.row_projected(rid, proj));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bounded_for_index(iv: &hashstash_plan::Interval) -> bool {
+    !matches!(
+        (iv.lo(), iv.hi()),
+        (Bound::Unbounded, Bound::Unbounded)
+    )
+}
+
+fn as_lo_bound(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+    }
+}
+
+fn as_hi_bound(b: &Bound<Value>) -> Bound<&Value> {
+    as_lo_bound(b)
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_hash_join(
+    ctx: &mut ExecContext<'_>,
+    probe: &PhysicalPlan,
+    build: &Option<Box<PhysicalPlan>>,
+    probe_key: &Arc<str>,
+    build_key: &Arc<str>,
+    reuse: &Option<crate::plan::ReuseSpec>,
+    publish: &Option<hashstash_plan::HtFingerprint>,
+) -> Result<(Schema, Vec<Row>)> {
+    // --- Build phase -------------------------------------------------------
+    let (mut ht, build_schema, checked_out) = match reuse {
+        Some(spec) => {
+            let co = ctx.htm.checkout(spec.id)?;
+            ctx.metrics.reused_tables += 1;
+            let StoredHt::Join(ht) = co.ht else {
+                return Err(HsError::ExecError(format!(
+                    "{} is not a join hash table",
+                    spec.id
+                )));
+            };
+            (ht, co.schema.clone(), Some((spec.clone(), co.id, co.fingerprint)))
+        }
+        None => {
+            let build_plan = build.as_ref().ok_or_else(|| {
+                HsError::ExecError("hash join without build plan or reuse".into())
+            })?;
+            let (schema, _) = (build_plan.schema(ctx.catalog)?, ());
+            let ht = ExtendibleHashTable::new(schema.tuple_width());
+            (ht, schema, None)
+        }
+    };
+    let build_key_idx = build_schema.index_of(build_key)?;
+
+    // Insert rows from the build sub-plan: all of them for a fresh table,
+    // only the delta for partial/overlapping reuse.
+    if let Some(build_plan) = build {
+        if reuse.is_none() || reuse.as_ref().is_some_and(|r| r.case.needs_delta()) {
+            let (bs, rows) = run(build_plan, ctx)?;
+            if bs != build_schema {
+                return Err(HsError::ExecError(format!(
+                    "build schema mismatch: expected {build_schema:?}, got {bs:?}"
+                )));
+            }
+            ht.reserve(rows.len());
+            ctx.metrics.ht_inserts += rows.len() as u64;
+            for row in rows {
+                let key = row.key64(&[build_key_idx]);
+                ht.insert(key, TaggedRow::untagged(row));
+            }
+            if reuse.is_none() {
+                ctx.metrics.built_tables += 1;
+            }
+        }
+    } else if reuse.is_none() {
+        return Err(HsError::ExecError(
+            "hash join with neither build plan nor reuse".into(),
+        ));
+    }
+
+    // --- Probe phase -------------------------------------------------------
+    let (probe_schema, probe_rows) = run(probe, ctx)?;
+    let probe_key_idx = probe_schema.index_of(probe_key)?;
+    let post_filter = match reuse.as_ref().and_then(|r| r.post_filter.as_ref()) {
+        Some(pf) => Some(BoxEval::bind(pf, &build_schema)?),
+        None => None,
+    };
+    let mut out = Vec::new();
+    ctx.metrics.ht_probes += probe_rows.len() as u64;
+    for prow in &probe_rows {
+        let key = prow.key64(&[probe_key_idx]);
+        let pval = prow.get(probe_key_idx);
+        for tagged in ht.probe(key) {
+            // Verify the actual key (hash keys may collide).
+            if tagged.row.get(build_key_idx) != pval {
+                continue;
+            }
+            if let Some(pf) = &post_filter {
+                if !pf.eval(&tagged.row) {
+                    continue;
+                }
+            }
+            out.push(prow.concat(&tagged.row));
+        }
+    }
+
+    // --- Hand the table back to the manager --------------------------------
+    match checked_out {
+        Some((spec, id, mut fingerprint)) => {
+            if spec.case.needs_delta() {
+                fingerprint.region = fingerprint.region.union(&spec.request_region);
+            }
+            ctx.htm.checkin(hashstash_cache::CheckedOut {
+                id,
+                fingerprint,
+                schema: build_schema.clone(),
+                ht: StoredHt::Join(ht),
+            })?;
+        }
+        None => {
+            if let Some(fp) = publish {
+                ctx.htm
+                    .publish(fp.clone(), build_schema.clone(), StoredHt::Join(ht));
+            }
+        }
+    }
+
+    Ok((probe_schema.concat(&build_schema), out))
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregate
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_hash_agg(
+    ctx: &mut ExecContext<'_>,
+    input: &Option<Box<PhysicalPlan>>,
+    group_by: &[Arc<str>],
+    aggs: &[hashstash_plan::AggExpr],
+    output_aggs: &[OutputAgg],
+    reuse: &Option<crate::plan::ReuseSpec>,
+    publish: &Option<hashstash_plan::HtFingerprint>,
+    post_group_by: &Option<Vec<Arc<str>>>,
+) -> Result<(Schema, Vec<Row>)> {
+    // --- Acquire the hash table --------------------------------------------
+    let (mut ht, group_schema, checked_out) = match reuse {
+        Some(spec) => {
+            let co = ctx.htm.checkout(spec.id)?;
+            ctx.metrics.reused_tables += 1;
+            let StoredHt::Agg(ht) = co.ht else {
+                return Err(HsError::ExecError(format!(
+                    "{} is not an aggregate hash table",
+                    spec.id
+                )));
+            };
+            (ht, co.schema.clone(), Some((spec.clone(), co.id, co.fingerprint)))
+        }
+        None => {
+            let width: usize = {
+                // Group attrs + one 8-byte accumulator per aggregate.
+                let mut w = aggs.len() * 8;
+                for g in group_by {
+                    w += crate::plan::lookup_attr_type(ctx.catalog, g)?.payload_width();
+                }
+                w
+            };
+            let mut fields = Vec::new();
+            for g in group_by {
+                fields.push(hashstash_types::Field::new(
+                    g.to_string(),
+                    crate::plan::lookup_attr_type(ctx.catalog, g)?,
+                ));
+            }
+            (
+                ExtendibleHashTable::new(width),
+                Schema::new(fields),
+                None,
+            )
+        }
+    };
+
+    // --- Fold input rows (all of them, or the reuse delta) -----------------
+    if let Some(input_plan) = input {
+        if reuse.is_none() || reuse.as_ref().is_some_and(|r| r.case.needs_delta()) {
+            let (in_schema, rows) = run(input_plan, ctx)?;
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|g| in_schema.index_of(g))
+                .collect::<Result<Vec<_>>>()?;
+            let agg_idx: Vec<usize> = aggs
+                .iter()
+                .map(|a| in_schema.index_of(&a.attr))
+                .collect::<Result<Vec<_>>>()?;
+            if reuse.is_none() {
+                ctx.metrics.built_tables += 1;
+            }
+            for row in rows {
+                let key = row.key64(&group_idx);
+                let group_row = row.project(&group_idx);
+                let created = ht.upsert_where(
+                    key,
+                    |p: &AggPayload| p.group == group_row,
+                    || {
+                        // First tuple of a missing group: pay the insert and
+                        // fold the row into the fresh accumulators.
+                        let mut p = AggPayload::new(group_row.clone(), aggs);
+                        for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
+                            accum.update(row.get(ai));
+                        }
+                        p
+                    },
+                    |p| {
+                        for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
+                            accum.update(row.get(ai));
+                        }
+                    },
+                );
+                if created {
+                    ctx.metrics.ht_inserts += 1;
+                } else {
+                    ctx.metrics.ht_updates += 1;
+                }
+            }
+        }
+    }
+
+    // --- Produce output ----------------------------------------------------
+    let post_filter = match reuse.as_ref().and_then(|r| r.post_filter.as_ref()) {
+        Some(pf) => Some(BoxEval::bind(pf, &group_schema)?),
+        None => None,
+    };
+
+    let mut out_rows = Vec::new();
+    match post_group_by {
+        None => {
+            for (_, payload) in ht.iter() {
+                if let Some(pf) = &post_filter {
+                    if !pf.eval(&payload.group) {
+                        continue;
+                    }
+                }
+                out_rows.push(finalize_row(&payload.group, &payload.accums, output_aggs));
+            }
+        }
+        Some(subset) => {
+            // Post-aggregation: re-group the cached table on a subset of its
+            // group-by attributes, merging accumulator states.
+            let subset_idx: Vec<usize> = subset
+                .iter()
+                .map(|g| group_schema.index_of(g))
+                .collect::<Result<Vec<_>>>()?;
+            let mut regrouped: ExtendibleHashTable<AggPayload> =
+                ExtendibleHashTable::new(ht.tuple_width());
+            for (_, payload) in ht.iter() {
+                if let Some(pf) = &post_filter {
+                    if !pf.eval(&payload.group) {
+                        continue;
+                    }
+                }
+                let gkey_row = payload.group.project(&subset_idx);
+                let key = gkey_row.key64(&(0..subset_idx.len()).collect::<Vec<_>>());
+                let created = regrouped.upsert_where(
+                    key,
+                    |p: &AggPayload| p.group == gkey_row,
+                    || AggPayload {
+                        group: gkey_row.clone(),
+                        accums: payload.accums.clone(),
+                    },
+                    |p| {
+                        for (a, b) in p.accums.iter_mut().zip(&payload.accums) {
+                            a.merge(b);
+                        }
+                    },
+                );
+                if created {
+                    ctx.metrics.ht_inserts += 1;
+                } else {
+                    ctx.metrics.ht_updates += 1;
+                }
+            }
+            for (_, payload) in regrouped.iter() {
+                out_rows.push(finalize_row(&payload.group, &payload.accums, output_aggs));
+            }
+        }
+    }
+
+    // --- Output schema ------------------------------------------------------
+    let out_group_attrs: &[Arc<str>] = post_group_by.as_deref().unwrap_or(group_by);
+    let mut fields = Vec::new();
+    for g in out_group_attrs {
+        fields.push(hashstash_types::Field::new(
+            g.to_string(),
+            group_schema.field(g)?.dtype,
+        ));
+    }
+    for (i, oa) in output_aggs.iter().enumerate() {
+        let dtype = match oa {
+            OutputAgg::Direct(idx) => match aggs.get(*idx).map(|a| a.func) {
+                Some(hashstash_plan::AggFunc::Count) => hashstash_types::DataType::Int,
+                Some(hashstash_plan::AggFunc::Min) | Some(hashstash_plan::AggFunc::Max) => aggs
+                    .get(*idx)
+                    .and_then(|a| crate::plan::lookup_attr_type(ctx.catalog, &a.attr).ok())
+                    .unwrap_or(hashstash_types::DataType::Float),
+                _ => hashstash_types::DataType::Float,
+            },
+            OutputAgg::AvgOf { .. } => hashstash_types::DataType::Float,
+        };
+        fields.push(hashstash_types::Field::new(format!("agg_{i}"), dtype));
+    }
+    let out_schema = Schema::new(fields);
+
+    // --- Hand the table back -------------------------------------------------
+    match checked_out {
+        Some((spec, id, mut fingerprint)) => {
+            if spec.case.needs_delta() {
+                fingerprint.region = fingerprint.region.union(&spec.request_region);
+            }
+            ctx.htm.checkin(hashstash_cache::CheckedOut {
+                id,
+                fingerprint,
+                schema: group_schema,
+                ht: StoredHt::Agg(ht),
+            })?;
+        }
+        None => {
+            if let Some(fp) = publish {
+                ctx.htm
+                    .publish(fp.clone(), group_schema, StoredHt::Agg(ht));
+            }
+        }
+    }
+
+    Ok((out_schema, out_rows))
+}
+
+/// Assemble an output row from group values and accumulator states.
+fn finalize_row(
+    group: &Row,
+    accums: &[hashstash_cache::AggAccum],
+    output_aggs: &[OutputAgg],
+) -> Row {
+    let mut values: Vec<Value> = group.values().to_vec();
+    for oa in output_aggs {
+        match oa {
+            OutputAgg::Direct(i) => values.push(accums[*i].finalize()),
+            OutputAgg::AvgOf { sum_idx, count_idx } => {
+                let sum = accums[*sum_idx].finalize().to_f64().unwrap_or(0.0);
+                let count = accums[*count_idx].finalize().to_f64().unwrap_or(0.0);
+                values.push(if count == 0.0 {
+                    Value::float(0.0)
+                } else {
+                    Value::float(sum / count)
+                });
+            }
+        }
+    }
+    Row::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ReuseSpec;
+    use hashstash_cache::GcConfig;
+    use hashstash_plan::{AggExpr, AggFunc, HtFingerprint, HtKind, Interval, Region, ReuseCase};
+    use hashstash_storage::tpch::{generate, TpchConfig};
+
+    fn setup() -> (Catalog, HtManager, TempTableCache) {
+        (
+            generate(TpchConfig::new(0.002, 5)),
+            HtManager::new(GcConfig::default()),
+            TempTableCache::unbounded(),
+        )
+    }
+
+    fn scan_all(table: &str) -> PhysicalPlan {
+        PhysicalPlan::Scan(ScanSpec::full(table))
+    }
+
+    #[test]
+    fn scan_with_filter_matches_manual_count() {
+        let (cat, mut htm, mut temps) = setup();
+        let pred = PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(30), Value::Int(40)),
+        );
+        let plan = PhysicalPlan::Scan(ScanSpec::filtered("customer", pred));
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (schema, rows) = execute(&plan, &mut ctx).unwrap();
+        let age_idx = schema.index_of("customer.c_age").unwrap();
+        assert!(!rows.is_empty());
+        for r in &rows {
+            let age = r.get(age_idx).as_int().unwrap();
+            assert!((30..=40).contains(&age));
+        }
+        // Index was used (c_age is indexed).
+        assert!(ctx.metrics.index_rows > 0);
+
+        // Compare against a brute-force count.
+        let table = cat.get("customer").unwrap();
+        let col = table.column_by_name("c_age").unwrap();
+        let expected = (0..table.row_count())
+            .filter(|&i| (30..=40).contains(&col.get(i).as_int().unwrap()))
+            .count();
+        assert_eq!(rows.len(), expected);
+    }
+
+    #[test]
+    fn join_produces_correct_pairs() {
+        let (cat, mut htm, mut temps) = setup();
+        let plan = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(scan_all("customer"))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: None,
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (schema, rows) = execute(&plan, &mut ctx).unwrap();
+        // Every order joins exactly one customer.
+        let orders = cat.get("orders").unwrap().row_count();
+        assert_eq!(rows.len(), orders);
+        let ok = schema.index_of("orders.o_custkey").unwrap();
+        let ck = schema.index_of("customer.c_custkey").unwrap();
+        for r in &rows {
+            assert_eq!(r.get(ok), r.get(ck));
+        }
+        assert_eq!(ctx.metrics.built_tables, 1);
+        assert_eq!(ctx.metrics.reused_tables, 0);
+    }
+
+    #[test]
+    fn aggregate_sums_match_manual() {
+        let (cat, mut htm, mut temps) = setup();
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, "customer.c_acctbal"),
+            AggExpr::new(AggFunc::Count, "customer.c_custkey"),
+        ];
+        let plan = PhysicalPlan::HashAggregate {
+            input: Some(Box::new(scan_all("customer"))),
+            group_by: vec!["customer.c_age".into()],
+            aggs: aggs.clone(),
+            output_aggs: vec![OutputAgg::Direct(0), OutputAgg::Direct(1)],
+            reuse: None,
+            publish: None,
+            post_group_by: None,
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (schema, rows) = execute(&plan, &mut ctx).unwrap();
+        assert_eq!(schema.len(), 3);
+        // Totals across groups must equal table totals.
+        let table = cat.get("customer").unwrap();
+        let bal = table.column_by_name("c_acctbal").unwrap();
+        let total: f64 = (0..table.row_count())
+            .map(|i| bal.get(i).as_float().unwrap())
+            .sum();
+        let sum_groups: f64 = rows.iter().map(|r| r.get(1).as_float().unwrap()).sum();
+        assert!((total - sum_groups).abs() < 1e-6 * total.abs().max(1.0));
+        let count_groups: i64 = rows.iter().map(|r| r.get(2).as_int().unwrap()).sum();
+        assert_eq!(count_groups as usize, table.row_count());
+    }
+
+    #[test]
+    fn avg_reconstruction_from_sum_count() {
+        let (cat, mut htm, mut temps) = setup();
+        let aggs = vec![
+            AggExpr::new(AggFunc::Sum, "customer.c_acctbal"),
+            AggExpr::new(AggFunc::Count, "customer.c_acctbal"),
+        ];
+        let plan = PhysicalPlan::HashAggregate {
+            input: Some(Box::new(scan_all("customer"))),
+            group_by: vec![],
+            aggs,
+            output_aggs: vec![OutputAgg::AvgOf {
+                sum_idx: 0,
+                count_idx: 1,
+            }],
+            reuse: None,
+            publish: None,
+            post_group_by: None,
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (_, rows) = execute(&plan, &mut ctx).unwrap();
+        assert_eq!(rows.len(), 1);
+        let table = cat.get("customer").unwrap();
+        let bal = table.column_by_name("c_acctbal").unwrap();
+        let expect: f64 = (0..table.row_count())
+            .map(|i| bal.get(i).as_float().unwrap())
+            .sum::<f64>()
+            / table.row_count() as f64;
+        let got = rows[0].get(0).as_float().unwrap();
+        assert!((got - expect).abs() < 1e-9 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn join_publish_then_exact_reuse() {
+        let (cat, mut htm, mut temps) = setup();
+        let fp = HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("customer")).collect(),
+            edges: vec![],
+            region: Region::all(),
+            key_attrs: vec![Arc::from("customer.c_custkey")],
+            payload_attrs: vec![
+                Arc::from("customer.c_custkey"),
+                Arc::from("customer.c_age"),
+            ],
+            aggregates: vec![],
+            tagged: false,
+        };
+        let build = PhysicalPlan::Scan(
+            ScanSpec::full("customer").project(&["customer.c_custkey", "customer.c_age"]),
+        );
+        let first = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(build)),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: Some(fp.clone()),
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (_, rows1) = execute(&first, &mut ctx).unwrap();
+        let inserts_first = ctx.metrics.ht_inserts;
+        assert!(inserts_first > 0);
+
+        // Find the published table and reuse it exactly.
+        let cands = htm.candidates(&fp);
+        assert_eq!(cands.len(), 1);
+        let cand = &cands[0];
+        let second = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: None,
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: Some(ReuseSpec {
+                id: cand.id,
+                case: ReuseCase::Exact,
+                post_filter: None,
+                request_region: Region::all(),
+                schema: cand.schema.clone(),
+            }),
+            publish: None,
+        };
+        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (_, rows2) = execute(&second, &mut ctx2).unwrap();
+        assert_eq!(rows1.len(), rows2.len());
+        assert_eq!(ctx2.metrics.ht_inserts, 0, "exact reuse inserts nothing");
+        assert_eq!(ctx2.metrics.reused_tables, 1);
+        assert!(htm.is_available(cand.id), "checked back in");
+    }
+
+    #[test]
+    fn subsuming_reuse_post_filters() {
+        let (cat, mut htm, mut temps) = setup();
+        // Build a cached table over customers age >= 20 (wide).
+        let wide_pred = PredBox::all().with("customer.c_age", Interval::at_least(Value::Int(20)));
+        let fp = HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("customer")).collect(),
+            edges: vec![],
+            region: Region::from_box(wide_pred.clone()),
+            key_attrs: vec![Arc::from("customer.c_custkey")],
+            payload_attrs: vec![
+                Arc::from("customer.c_custkey"),
+                Arc::from("customer.c_age"),
+            ],
+            aggregates: vec![],
+            tagged: false,
+        };
+        let first = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(
+                ScanSpec::filtered("customer", wide_pred)
+                    .project(&["customer.c_custkey", "customer.c_age"]),
+            ))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: Some(fp.clone()),
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        execute(&first, &mut ctx).unwrap();
+
+        // Now ask for age >= 30 (narrow) via subsuming reuse.
+        let narrow = PredBox::all().with("customer.c_age", Interval::at_least(Value::Int(30)));
+        let cands = htm.candidates(&fp);
+        let cand = &cands[0];
+        let second = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: None,
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: Some(ReuseSpec {
+                id: cand.id,
+                case: ReuseCase::Subsuming,
+                post_filter: Some(narrow.clone()),
+                request_region: Region::from_box(narrow.clone()),
+                schema: cand.schema.clone(),
+            }),
+            publish: None,
+        };
+        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (schema, rows) = execute(&second, &mut ctx2).unwrap();
+        let age_idx = schema.index_of("customer.c_age").unwrap();
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.get(age_idx).as_int().unwrap() >= 30, "post-filtered");
+        }
+
+        // Reference: fresh join with the narrow predicate.
+        let reference = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(
+                ScanSpec::filtered("customer", narrow)
+                    .project(&["customer.c_custkey", "customer.c_age"]),
+            ))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: None,
+        };
+        let mut ctx3 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (_, ref_rows) = execute(&reference, &mut ctx3).unwrap();
+        assert_eq!(rows.len(), ref_rows.len());
+    }
+
+    #[test]
+    fn partial_reuse_adds_missing_tuples() {
+        let (cat, mut htm, mut temps) = setup();
+        // Cache customers with age in [40, 60].
+        let cached_pred = PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(40), Value::Int(60)),
+        );
+        let fp = HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("customer")).collect(),
+            edges: vec![],
+            region: Region::from_box(cached_pred.clone()),
+            key_attrs: vec![Arc::from("customer.c_custkey")],
+            payload_attrs: vec![
+                Arc::from("customer.c_custkey"),
+                Arc::from("customer.c_age"),
+            ],
+            aggregates: vec![],
+            tagged: false,
+        };
+        let first = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(
+                ScanSpec::filtered("customer", cached_pred)
+                    .project(&["customer.c_custkey", "customer.c_age"]),
+            ))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: Some(fp.clone()),
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        execute(&first, &mut ctx).unwrap();
+
+        // Request age in [30, 60]: delta is [30, 39].
+        let request = PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(30), Value::Int(60)),
+        );
+        let request_region = Region::from_box(request.clone());
+        let delta_region = request_region.difference(&fp.region);
+        let cands = htm.candidates(&fp);
+        let cand = &cands[0];
+        let delta_scan = PhysicalPlan::Scan(ScanSpec {
+            table: "customer".into(),
+            region: delta_region,
+            projection: vec!["customer.c_custkey".into(), "customer.c_age".into()],
+        });
+        let second = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(delta_scan)),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: Some(ReuseSpec {
+                id: cand.id,
+                case: ReuseCase::Partial,
+                post_filter: None,
+                request_region: request_region.clone(),
+                schema: cand.schema.clone(),
+            }),
+            publish: None,
+        };
+        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (schema, rows) = execute(&second, &mut ctx2).unwrap();
+        assert!(ctx2.metrics.ht_inserts > 0, "delta rows inserted");
+        let age_idx = schema.index_of("customer.c_age").unwrap();
+        for r in &rows {
+            let a = r.get(age_idx).as_int().unwrap();
+            assert!((30..=60).contains(&a));
+        }
+
+        // Reference run.
+        let reference = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(
+                ScanSpec::filtered("customer", request)
+                    .project(&["customer.c_custkey", "customer.c_age"]),
+            ))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: None,
+        };
+        let mut ctx3 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (_, ref_rows) = execute(&reference, &mut ctx3).unwrap();
+        assert_eq!(rows.len(), ref_rows.len());
+
+        // The cached table's lineage was widened at check-in.
+        let cands_after = htm.candidates(&fp);
+        assert!(cands_after[0].fingerprint.region.set_eq(&request_region.union(&fp.region)));
+    }
+
+    #[test]
+    fn post_group_by_reaggregates() {
+        let (cat, mut htm, mut temps) = setup();
+        // Group by (age, nation) then post-group to age only.
+        let aggs = vec![AggExpr::new(AggFunc::Sum, "customer.c_acctbal")];
+        let plan = PhysicalPlan::HashAggregate {
+            input: Some(Box::new(scan_all("customer"))),
+            group_by: vec!["customer.c_age".into(), "customer.c_nationkey".into()],
+            aggs: aggs.clone(),
+            output_aggs: vec![OutputAgg::Direct(0)],
+            reuse: None,
+            publish: None,
+            post_group_by: Some(vec!["customer.c_age".into()]),
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (schema, rows) = execute(&plan, &mut ctx).unwrap();
+        assert_eq!(schema.len(), 2);
+
+        // Reference: direct group-by age.
+        let reference = PhysicalPlan::HashAggregate {
+            input: Some(Box::new(scan_all("customer"))),
+            group_by: vec!["customer.c_age".into()],
+            aggs,
+            output_aggs: vec![OutputAgg::Direct(0)],
+            reuse: None,
+            publish: None,
+            post_group_by: None,
+        };
+        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (_, mut ref_rows) = execute(&reference, &mut ctx2).unwrap();
+        let mut got = rows.clone();
+        got.sort();
+        ref_rows.sort();
+        assert_eq!(got.len(), ref_rows.len());
+        for (a, b) in got.iter().zip(&ref_rows) {
+            assert_eq!(a.get(0), b.get(0));
+            let fa = a.get(1).as_float().unwrap();
+            let fb = b.get(1).as_float().unwrap();
+            assert!((fa - fb).abs() < 1e-6 * fb.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn empty_region_scan_returns_nothing() {
+        let (cat, mut htm, mut temps) = setup();
+        let plan = PhysicalPlan::Scan(ScanSpec {
+            table: "customer".into(),
+            region: Region::empty(),
+            projection: vec![],
+        });
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let (_, rows) = execute(&plan, &mut ctx).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(ctx.metrics.rows_scanned, 0);
+    }
+}

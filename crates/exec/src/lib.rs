@@ -1,0 +1,30 @@
+//! Physical operators and the single-threaded executor.
+//!
+//! The paper's prototype compiles queries to C++ and runs single-threaded
+//! "in order to show the pure effects of reuse" (§6). This crate is the
+//! equivalent substrate: a recursive, single-threaded interpreter over
+//! physical plans whose pipeline breakers materialize
+//! [`hashstash_hashtable::ExtendibleHashTable`]s and exchange them with the
+//! Hash Table Manager.
+//!
+//! * [`plan`] — the physical plan tree: scans (with region predicates and
+//!   index support), filter/project, hash join and hash aggregate with
+//!   optional [`plan::ReuseSpec`] / publish directives.
+//! * [`exec`] — the interpreter plus [`exec::ExecMetrics`] (tuples scanned,
+//!   hash-table inserts/probes/updates, bytes materialized) used to validate
+//!   cost models.
+//! * [`temp`] — the temp-table cache of the materialization-based reuse
+//!   baseline (Nagel-style: exact + subsuming reuse of *operator outputs*,
+//!   paid for by extra materialization work during execution).
+//! * [`shared`] — reuse-aware shared plans: shared scans, SRHJ and SRHA with
+//!   query-id tagging and re-tagging (paper §4).
+
+pub mod exec;
+pub mod plan;
+pub mod shared;
+pub mod temp;
+
+pub use exec::{execute, ExecContext, ExecMetrics};
+pub use plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
+pub use shared::{SharedPlanSpec, SharedReuse};
+pub use temp::{TempTableCache, TempTableStats};

@@ -1,0 +1,849 @@
+//! Reuse-aware shared plans (paper §4).
+//!
+//! A shared plan executes a *batch* of queries with the same join graph in
+//! one pass using the Data-Query model: every tuple carries a [`QidSet`] tag
+//! naming the queries it qualifies for. Scans evaluate all queries'
+//! predicates at once; shared hash joins (SRHJ) AND-combine tags during
+//! probing; shared hash aggregates (SRHA) group *raw tuples* first and run
+//! each query's aggregation over its tagged subset — which is why an
+//! SRHA-built table can later serve a different aggregate function.
+//!
+//! Reuse inside shared plans:
+//! * an SRHJ may reuse a cached **tagged** join table after *re-tagging* all
+//!   stored tuples with the current batch's predicates (stale tags from a
+//!   previous batch would corrupt results — paper §4.1);
+//! * an SRHA may reuse a cached shared-group table the same way; missing
+//!   tuples (partial/overlapping reuse) are produced by re-running the join
+//!   pipeline restricted to the delta region.
+//!
+//! The executor here implements a *probe pipeline*: one driver table streams
+//! through a chain of single-table build sides — the shape of the paper's
+//! Figure 5 (per-table selections feeding shared joins).
+
+use std::sync::Arc;
+
+use hashstash_types::{HsError, QidSet, QueryId, Result, Row, Schema, Value};
+
+use hashstash_cache::{AggPayload, StoredHt, TaggedRow};
+use hashstash_hashtable::ExtendibleHashTable;
+use hashstash_plan::{AggExpr, HtFingerprint, QuerySpec, Region, ReuseCase};
+
+use crate::exec::ExecContext;
+use crate::plan::lookup_attr_type;
+
+/// Reuse directive for a shared operator.
+#[derive(Debug, Clone)]
+pub struct SharedReuse {
+    /// Cached (tagged) hash table to check out.
+    pub id: hashstash_types::HtId,
+    /// Classification of cached region vs. the batch's union region.
+    pub case: ReuseCase,
+    /// Delta region (batch union minus cached region), empty unless
+    /// partial/overlapping.
+    pub delta_region: Region,
+    /// Union region of the requesting batch (for lineage widening).
+    pub request_region: Region,
+}
+
+/// One shared join step: build a tagged hash table over a single base table
+/// and probe it with the accumulated pipeline rows.
+#[derive(Debug, Clone)]
+pub struct SharedJoinStep {
+    /// Build-side base table.
+    pub table: Arc<str>,
+    /// Join key attribute on the accumulated (probe) side.
+    pub probe_attr: Arc<str>,
+    /// Join key attribute on the build table.
+    pub build_key: Arc<str>,
+    /// Payload attributes to store (qualified, from `table`).
+    pub payload: Vec<Arc<str>>,
+    /// Reuse directive for this step's hash table.
+    pub reuse: Option<SharedReuse>,
+    /// Publish fingerprint for a freshly built table.
+    pub publish: Option<HtFingerprint>,
+}
+
+/// Output required by one query of the batch.
+#[derive(Debug, Clone)]
+pub enum SharedOutput {
+    /// SPJ: project the tagged pipeline rows.
+    Projection(Vec<Arc<str>>),
+    /// SPJA: aggregate the query's tagged subset of a shared grouping table.
+    Aggregate {
+        /// Index into [`SharedPlanSpec::group_specs`].
+        group_spec: usize,
+        /// This query's aggregate expressions.
+        aggs: Vec<AggExpr>,
+    },
+}
+
+/// One shared grouping phase (queries with identical group-by share it).
+#[derive(Debug, Clone)]
+pub struct SharedGroupSpec {
+    /// Group-by attributes.
+    pub group_by: Vec<Arc<str>>,
+    /// Attributes stored per grouped tuple (must cover group-by, every
+    /// sharing query's aggregate inputs and predicate attributes for
+    /// re-tagging).
+    pub stored_attrs: Vec<Arc<str>>,
+    /// Reuse directive for the shared-group table.
+    pub reuse: Option<SharedReuse>,
+    /// Publish fingerprint for a fresh table.
+    pub publish: Option<HtFingerprint>,
+}
+
+/// A complete shared plan for a batch of queries with one join graph.
+#[derive(Debug, Clone)]
+pub struct SharedPlanSpec {
+    /// The batch; slot `i` is query `queries[i]`.
+    pub queries: Vec<QuerySpec>,
+    /// Driver (probe pipeline) table.
+    pub driver: Arc<str>,
+    /// Attributes scanned from the driver.
+    pub driver_attrs: Vec<Arc<str>>,
+    /// Join steps in probe order.
+    pub steps: Vec<SharedJoinStep>,
+    /// Shared grouping phases.
+    pub group_specs: Vec<SharedGroupSpec>,
+    /// Per-query outputs, aligned with `queries`.
+    pub outputs: Vec<SharedOutput>,
+}
+
+/// Result of one query in the batch.
+#[derive(Debug, Clone)]
+pub struct SharedQueryResult {
+    pub query: QueryId,
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+/// Evaluate which queries of the batch a row qualifies for.
+fn tag_row(queries: &[QuerySpec], schema: &Schema, row: &Row) -> QidSet {
+    let lookup = |attr: &str| -> Option<Value> {
+        schema.index_of(attr).ok().map(|i| row.get(i).clone())
+    };
+    let mut tag = QidSet::EMPTY;
+    for (slot, q) in queries.iter().enumerate() {
+        if q.predicates.matches(lookup) {
+            tag.insert(slot);
+        }
+    }
+    tag
+}
+
+/// Execute a shared plan, returning per-query results.
+pub fn execute_shared(
+    spec: &SharedPlanSpec,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Vec<SharedQueryResult>> {
+    // ------------------------------------------------------------------
+    // 1. Build (or reuse + re-tag) the tagged hash table of every join step.
+    // ------------------------------------------------------------------
+    let mut step_tables: Vec<(ExtendibleHashTable<TaggedRow>, Schema, usize)> = Vec::new();
+    for step in &spec.steps {
+        let (ht, schema) = build_shared_join_table(spec, step, ctx)?;
+        let key_idx = schema.index_of(&step.build_key)?;
+        step_tables.push((ht, schema, key_idx));
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Decide which pipeline region each consumer needs.
+    // ------------------------------------------------------------------
+    // Union of every query's predicate box — the shared scan region.
+    let full_region = spec
+        .queries
+        .iter()
+        .fold(Region::empty(), |acc, q| acc.union(&q.region()));
+    // Grouping phases: reused tables only need their delta.
+    let group_needs: Vec<Option<Region>> = spec
+        .group_specs
+        .iter()
+        .map(|g| match &g.reuse {
+            Some(r) if !r.case.needs_delta() => None, // fully covered
+            Some(r) => Some(r.delta_region.clone()),
+            None => Some(full_region.clone()),
+        })
+        .collect();
+    // SPJ outputs always need the full pipeline.
+    let spj_needs_full = spec
+        .outputs
+        .iter()
+        .any(|o| matches!(o, SharedOutput::Projection(_)));
+    let mut pipeline_region = if spj_needs_full {
+        full_region.clone()
+    } else {
+        Region::empty()
+    };
+    for need in group_needs.iter().flatten() {
+        pipeline_region = pipeline_region.union(need);
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Stream the driver through the probe pipeline (if anything needs it).
+    // ------------------------------------------------------------------
+    let driver_region = project_region_to_table(&pipeline_region, &spec.driver);
+    let scan = crate::plan::ScanSpec {
+        table: spec.driver.clone(),
+        region: driver_region,
+        projection: spec.driver_attrs.clone(),
+    };
+    let mut pipeline_rows: Vec<(Row, QidSet)> = Vec::new();
+    let mut pipeline_schema = {
+        let table = ctx.catalog.get(&spec.driver)?;
+        let q = table.qualified_schema();
+        if spec.driver_attrs.is_empty() {
+            q
+        } else {
+            let names: Vec<&str> = spec.driver_attrs.iter().map(|a| a.as_ref()).collect();
+            q.project(&names)?
+        }
+    };
+    if !pipeline_region.is_empty() {
+        let (schema, rows) = crate::exec::execute(&crate::plan::PhysicalPlan::Scan(scan), ctx)?;
+        pipeline_schema = schema;
+        for row in rows {
+            pipeline_rows.push((row, QidSet::EMPTY));
+        }
+        // Probe through every step, narrowing tags by the build side's tags.
+        for (step, (ht, build_schema, build_key_idx)) in
+            spec.steps.iter().zip(step_tables.iter_mut())
+        {
+            let probe_idx = pipeline_schema.index_of(&step.probe_attr)?;
+            let mut next = Vec::with_capacity(pipeline_rows.len());
+            ctx.metrics.ht_probes += pipeline_rows.len() as u64;
+            for (row, _) in &pipeline_rows {
+                let key = row.key64(&[probe_idx]);
+                let pval = row.get(probe_idx);
+                for tagged in ht.probe(key) {
+                    if tagged.row.get(*build_key_idx) != pval {
+                        continue;
+                    }
+                    next.push((row.concat(&tagged.row), tagged.tag));
+                }
+            }
+            pipeline_schema = pipeline_schema.concat(build_schema);
+            pipeline_rows = next;
+        }
+        // Final tags: per-query predicate evaluation over the full row,
+        // intersected with the tags accumulated from build sides.
+        for (row, tag) in &mut pipeline_rows {
+            let full = tag_row(&spec.queries, &pipeline_schema, row);
+            *tag = full;
+        }
+        pipeline_rows.retain(|(_, tag)| !tag.is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Run grouping phases (reuse/retag + delta folding).
+    // ------------------------------------------------------------------
+    let mut group_tables: Vec<(ExtendibleHashTable<TaggedRow>, Schema)> = Vec::new();
+    for (gi, gspec) in spec.group_specs.iter().enumerate() {
+        let (ht, schema) =
+            run_grouping_phase(spec, gspec, &group_needs[gi], &pipeline_schema, &pipeline_rows, ctx)?;
+        group_tables.push((ht, schema));
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Per-query aggregation / projection.
+    // ------------------------------------------------------------------
+    let mut results = Vec::with_capacity(spec.queries.len());
+    for (slot, (q, output)) in spec.queries.iter().zip(&spec.outputs).enumerate() {
+        match output {
+            SharedOutput::Projection(attrs) => {
+                let idx: Vec<usize> = attrs
+                    .iter()
+                    .map(|a| pipeline_schema.index_of(a))
+                    .collect::<Result<Vec<_>>>()?;
+                let names: Vec<&str> = attrs.iter().map(|a| a.as_ref()).collect();
+                let schema = pipeline_schema.project(&names)?;
+                let rows: Vec<Row> = pipeline_rows
+                    .iter()
+                    .filter(|(_, tag)| tag.contains(slot))
+                    .map(|(row, _)| row.project(&idx))
+                    .collect();
+                results.push(SharedQueryResult {
+                    query: q.id,
+                    schema,
+                    rows,
+                });
+            }
+            SharedOutput::Aggregate { group_spec, aggs } => {
+                let (gtable, gschema) = &group_tables[*group_spec];
+                let gspec = &spec.group_specs[*group_spec];
+                let result =
+                    aggregate_for_query(q, slot, gspec, gtable, gschema, aggs, ctx)?;
+                results.push(result);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 6. Hand tables back to the manager.
+    // ------------------------------------------------------------------
+    for (step, (ht, schema, _)) in spec.steps.iter().zip(step_tables) {
+        finish_table(step.reuse.as_ref(), step.publish.as_ref(), ht, schema, false, ctx)?;
+    }
+    for (gspec, (ht, schema)) in spec.group_specs.iter().zip(group_tables) {
+        finish_table(gspec.reuse.as_ref(), gspec.publish.as_ref(), ht, schema, true, ctx)?;
+    }
+
+    Ok(results)
+}
+
+/// Build (or reuse) the tagged hash table for one join step.
+fn build_shared_join_table(
+    spec: &SharedPlanSpec,
+    step: &SharedJoinStep,
+    ctx: &mut ExecContext<'_>,
+) -> Result<(ExtendibleHashTable<TaggedRow>, Schema)> {
+    let table = ctx.catalog.get(&step.table)?;
+    let qualified = table.qualified_schema();
+    let names: Vec<&str> = step.payload.iter().map(|a| a.as_ref()).collect();
+    let schema = qualified.project(&names)?;
+
+    match &step.reuse {
+        Some(reuse) => {
+            let co = ctx.htm.checkout(reuse.id)?;
+            ctx.metrics.reused_tables += 1;
+            let StoredHt::Join(mut ht) = co.ht else {
+                return Err(HsError::ExecError(format!(
+                    "{} is not a join hash table",
+                    reuse.id
+                )));
+            };
+            // Re-tag every stored tuple with the current batch's predicates
+            // (paper §4.1: stale tags would corrupt results).
+            let co_schema = co.schema.clone();
+            let queries = &spec.queries;
+            let mut retag_updates = 0u64;
+            ht.for_each_mut(|_, tagged| {
+                tagged.tag = tag_row(queries, &co_schema, &tagged.row);
+                retag_updates += 1;
+            });
+            ctx.metrics.ht_updates += retag_updates;
+            // Add missing tuples for partial/overlapping reuse.
+            if reuse.case.needs_delta() && !reuse.delta_region.is_empty() {
+                let delta = project_region_to_table(&reuse.delta_region, &step.table);
+                let scan = crate::plan::ScanSpec {
+                    table: step.table.clone(),
+                    region: delta,
+                    projection: step.payload.clone(),
+                };
+                let (dschema, rows) =
+                    crate::exec::execute(&crate::plan::PhysicalPlan::Scan(scan), ctx)?;
+                let key_idx = dschema.index_of(&step.build_key)?;
+                ht.reserve(rows.len());
+                ctx.metrics.ht_inserts += rows.len() as u64;
+                for row in rows {
+                    let tag = tag_row(&spec.queries, &dschema, &row);
+                    let key = row.key64(&[key_idx]);
+                    ht.insert(key, TaggedRow::tagged(row, tag));
+                }
+            }
+            // Reconstruct checkout context for later check-in.
+            // (We stash the fingerprint inside the reuse spec path at
+            // finish_table time via the manager's candidate lookup.)
+            ctx.htm.checkin(hashstash_cache::CheckedOut {
+                id: co.id,
+                fingerprint: {
+                    let mut fp = co.fingerprint;
+                    if reuse.case.needs_delta() {
+                        fp.region = fp.region.union(&reuse.request_region);
+                    }
+                    fp
+                },
+                schema: co_schema.clone(),
+                ht: StoredHt::Join(ht.clone()),
+            })?;
+            Ok((ht, co_schema))
+        }
+        None => {
+            // Fresh build: scan the table's union region across queries.
+            let union_region = spec
+                .queries
+                .iter()
+                .fold(Region::empty(), |acc, q| {
+                    acc.union(&Region::from_box(q.predicates.project_table(&step.table)))
+                });
+            let scan = crate::plan::ScanSpec {
+                table: step.table.clone(),
+                region: union_region,
+                projection: step.payload.clone(),
+            };
+            let (dschema, rows) =
+                crate::exec::execute(&crate::plan::PhysicalPlan::Scan(scan), ctx)?;
+            let key_idx = dschema.index_of(&step.build_key)?;
+            let mut ht: ExtendibleHashTable<TaggedRow> =
+                ExtendibleHashTable::with_capacity(schema.tuple_width(), rows.len());
+            ctx.metrics.ht_inserts += rows.len() as u64;
+            ctx.metrics.built_tables += 1;
+            for row in rows {
+                let tag = tag_row(&spec.queries, &dschema, &row);
+                let key = row.key64(&[key_idx]);
+                ht.insert(key, TaggedRow::tagged(row, tag));
+            }
+            Ok((ht, dschema))
+        }
+    }
+}
+
+/// Run one shared grouping phase: reuse + retag, then fold delta/full
+/// pipeline rows.
+fn run_grouping_phase(
+    spec: &SharedPlanSpec,
+    gspec: &SharedGroupSpec,
+    need: &Option<Region>,
+    pipeline_schema: &Schema,
+    pipeline_rows: &[(Row, QidSet)],
+    ctx: &mut ExecContext<'_>,
+) -> Result<(ExtendibleHashTable<TaggedRow>, Schema)> {
+    let (mut ht, schema) = match &gspec.reuse {
+        Some(reuse) => {
+            let co = ctx.htm.checkout(reuse.id)?;
+            ctx.metrics.reused_tables += 1;
+            let StoredHt::SharedGroup(mut ht) = co.ht else {
+                return Err(HsError::ExecError(format!(
+                    "{} is not a shared-group hash table",
+                    reuse.id
+                )));
+            };
+            let co_schema = co.schema.clone();
+            let queries = &spec.queries;
+            let mut retag_updates = 0u64;
+            ht.for_each_mut(|_, tagged| {
+                tagged.tag = tag_row(queries, &co_schema, &tagged.row);
+                retag_updates += 1;
+            });
+            ctx.metrics.ht_updates += retag_updates;
+            // Check in a clone with widened lineage; we keep working on ht.
+            ctx.htm.checkin(hashstash_cache::CheckedOut {
+                id: co.id,
+                fingerprint: {
+                    let mut fp = co.fingerprint;
+                    if reuse.case.needs_delta() {
+                        fp.region = fp.region.union(&reuse.request_region);
+                    }
+                    fp
+                },
+                schema: co_schema.clone(),
+                ht: StoredHt::SharedGroup(ht.clone()),
+            })?;
+            (ht, co_schema)
+        }
+        None => {
+            let mut fields = Vec::new();
+            for a in &gspec.stored_attrs {
+                fields.push(hashstash_types::Field::new(
+                    a.to_string(),
+                    lookup_attr_type(ctx.catalog, a)?,
+                ));
+            }
+            let schema = Schema::new(fields);
+            (
+                ExtendibleHashTable::new(schema.tuple_width()),
+                schema,
+            )
+        }
+    };
+
+    // Fold the needed pipeline rows into the grouping table.
+    if let Some(need_region) = need {
+        let group_idx: Vec<usize> = gspec
+            .group_by
+            .iter()
+            .map(|g| schema.index_of(g))
+            .collect::<Result<Vec<_>>>()?;
+        let stored_idx: Vec<usize> = gspec
+            .stored_attrs
+            .iter()
+            .map(|a| pipeline_schema.index_of(a))
+            .collect::<Result<Vec<_>>>()?;
+        // Map group attrs to positions inside the stored projection.
+        let _ = &group_idx;
+        for (row, tag) in pipeline_rows {
+            if tag.is_empty() {
+                continue;
+            }
+            // Only fold rows inside the region this grouping phase needs
+            // (a reused table already covers the rest).
+            if !region_matches_row(need_region, pipeline_schema, row) {
+                continue;
+            }
+            let stored = row.project(&stored_idx);
+            let gkey_idx: Vec<usize> = gspec
+                .group_by
+                .iter()
+                .map(|g| {
+                    gspec
+                        .stored_attrs
+                        .iter()
+                        .position(|a| a == g)
+                        .expect("group attr stored")
+                })
+                .collect();
+            let key = stored.key64(&gkey_idx);
+            ht.insert(key, TaggedRow::tagged(stored, *tag));
+            ctx.metrics.ht_inserts += 1;
+        }
+    }
+
+    Ok((ht, schema))
+}
+
+/// Aggregation phase for one query over a shared grouping table.
+fn aggregate_for_query(
+    q: &QuerySpec,
+    slot: usize,
+    gspec: &SharedGroupSpec,
+    gtable: &ExtendibleHashTable<TaggedRow>,
+    gschema: &Schema,
+    aggs: &[AggExpr],
+    ctx: &mut ExecContext<'_>,
+) -> Result<SharedQueryResult> {
+    let group_idx: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|g| gschema.index_of(g))
+        .collect::<Result<Vec<_>>>()?;
+    let agg_idx: Vec<usize> = aggs
+        .iter()
+        .map(|a| gschema.index_of(&a.attr))
+        .collect::<Result<Vec<_>>>()?;
+    let mut result: ExtendibleHashTable<AggPayload> = ExtendibleHashTable::new(64);
+    for (_, tagged) in gtable.iter() {
+        if !tagged.tag.contains(slot) {
+            continue;
+        }
+        let row = &tagged.row;
+        let group_row = row.project(&group_idx);
+        let key = group_row.key64(&(0..group_idx.len()).collect::<Vec<_>>());
+        let created = result.upsert_where(
+            key,
+            |p: &AggPayload| p.group == group_row,
+            || {
+                let mut p = AggPayload::new(group_row.clone(), aggs);
+                for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
+                    accum.update(row.get(ai));
+                }
+                p
+            },
+            |p| {
+                for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
+                    accum.update(row.get(ai));
+                }
+            },
+        );
+        if created {
+            ctx.metrics.ht_inserts += 1;
+        } else {
+            ctx.metrics.ht_updates += 1;
+        }
+    }
+    let _ = gspec;
+    // Output schema: group attrs + aggregates.
+    let mut fields = Vec::new();
+    for g in &q.group_by {
+        fields.push(hashstash_types::Field::new(
+            g.to_string(),
+            gschema.field(g)?.dtype,
+        ));
+    }
+    for (i, a) in aggs.iter().enumerate() {
+        let dtype = match a.func {
+            hashstash_plan::AggFunc::Count => hashstash_types::DataType::Int,
+            hashstash_plan::AggFunc::Min | hashstash_plan::AggFunc::Max => {
+                gschema.field(&a.attr)?.dtype
+            }
+            _ => hashstash_types::DataType::Float,
+        };
+        fields.push(hashstash_types::Field::new(format!("agg_{i}"), dtype));
+    }
+    let schema = Schema::new(fields);
+    let rows: Vec<Row> = result
+        .iter()
+        .map(|(_, p)| {
+            let mut values: Vec<Value> = p.group.values().to_vec();
+            for a in &p.accums {
+                values.push(a.finalize());
+            }
+            Row::new(values)
+        })
+        .collect();
+    Ok(SharedQueryResult {
+        query: q.id,
+        schema,
+        rows,
+    })
+}
+
+/// Publish a freshly built tagged table (reused ones were checked in
+/// immediately after mutation).
+fn finish_table(
+    reuse: Option<&SharedReuse>,
+    publish: Option<&HtFingerprint>,
+    ht: ExtendibleHashTable<TaggedRow>,
+    schema: Schema,
+    shared_group: bool,
+    ctx: &mut ExecContext<'_>,
+) -> Result<()> {
+    if reuse.is_some() {
+        return Ok(()); // already checked in
+    }
+    if let Some(fp) = publish {
+        let stored = if shared_group {
+            StoredHt::SharedGroup(ht)
+        } else {
+            StoredHt::Join(ht)
+        };
+        ctx.htm.publish(fp.clone(), schema, stored);
+    }
+    Ok(())
+}
+
+/// Restrict a region to the attributes of one table (projection — a
+/// conservative superset of the true region for scanning purposes).
+fn project_region_to_table(region: &Region, table: &str) -> Region {
+    let mut out = Region::empty();
+    for b in region.boxes() {
+        out = out.union(&Region::from_box(b.project_table(table)));
+    }
+    out
+}
+
+/// Evaluate a region against a row bound to a schema.
+fn region_matches_row(region: &Region, schema: &Schema, row: &Row) -> bool {
+    region.matches(|attr| schema.index_of(attr).ok().map(|i| row.get(i).clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::TempTableCache;
+    use hashstash_cache::HtManager;
+    use hashstash_plan::{AggFunc, Interval, QueryBuilder};
+    use hashstash_storage::tpch::{generate, TpchConfig};
+    use hashstash_storage::Catalog;
+
+    fn setup() -> (Catalog, HtManager, TempTableCache) {
+        (
+            generate(TpchConfig::new(0.002, 11)),
+            HtManager::unbounded(),
+            TempTableCache::unbounded(),
+        )
+    }
+
+    fn mk_query(id: u32, age_lo: i64, age_hi: i64) -> QuerySpec {
+        QueryBuilder::new(id)
+            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .filter(
+                "customer.c_age",
+                Interval::closed(Value::Int(age_lo), Value::Int(age_hi)),
+            )
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(AggFunc::Count, "orders.o_orderkey"))
+            .build()
+            .unwrap()
+    }
+
+    fn mk_spec(queries: Vec<QuerySpec>) -> SharedPlanSpec {
+        let outputs = queries
+            .iter()
+            .map(|q| SharedOutput::Aggregate {
+                group_spec: 0,
+                aggs: q.aggregates.clone(),
+            })
+            .collect();
+        SharedPlanSpec {
+            queries,
+            driver: "orders".into(),
+            driver_attrs: vec!["orders.o_orderkey".into(), "orders.o_custkey".into()],
+            steps: vec![SharedJoinStep {
+                table: "customer".into(),
+                probe_attr: "orders.o_custkey".into(),
+                build_key: "customer.c_custkey".into(),
+                payload: vec!["customer.c_custkey".into(), "customer.c_age".into()],
+                reuse: None,
+                publish: None,
+            }],
+            group_specs: vec![SharedGroupSpec {
+                group_by: vec!["customer.c_age".into()],
+                stored_attrs: vec![
+                    "customer.c_age".into(),
+                    "orders.o_orderkey".into(),
+                ],
+                reuse: None,
+                publish: None,
+            }],
+            outputs,
+        }
+    }
+
+    /// Reference: run one query through the single-query executor.
+    fn reference(q: &QuerySpec, cat: &Catalog) -> Vec<Row> {
+        let mut htm = HtManager::unbounded();
+        let mut temps = TempTableCache::unbounded();
+        let plan = crate::plan::PhysicalPlan::HashAggregate {
+            input: Some(Box::new(crate::plan::PhysicalPlan::HashJoin {
+                probe: Box::new(crate::plan::PhysicalPlan::Scan(
+                    crate::plan::ScanSpec::full("orders")
+                        .project(&["orders.o_orderkey", "orders.o_custkey"]),
+                )),
+                build: Some(Box::new(crate::plan::PhysicalPlan::Scan(
+                    crate::plan::ScanSpec::filtered(
+                        "customer",
+                        q.predicates.project_table("customer"),
+                    )
+                    .project(&["customer.c_custkey", "customer.c_age"]),
+                ))),
+                probe_key: "orders.o_custkey".into(),
+                build_key: "customer.c_custkey".into(),
+                reuse: None,
+                publish: None,
+            })),
+            group_by: vec!["customer.c_age".into()],
+            aggs: q.aggregates.clone(),
+            output_aggs: vec![crate::plan::OutputAgg::Direct(0)],
+            reuse: None,
+            publish: None,
+            post_group_by: None,
+        };
+        let mut ctx = ExecContext::new(cat, &mut htm, &mut temps);
+        let (_, mut rows) = crate::exec::execute(&plan, &mut ctx).unwrap();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn shared_plan_matches_individual_execution() {
+        let (cat, mut htm, mut temps) = setup();
+        let queries = vec![mk_query(1, 20, 40), mk_query(2, 30, 60), mk_query(3, 50, 80)];
+        let spec = mk_spec(queries.clone());
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let results = execute_shared(&spec, &mut ctx).unwrap();
+        assert_eq!(results.len(), 3);
+        for (q, res) in queries.iter().zip(&results) {
+            let mut got = res.rows.clone();
+            got.sort();
+            let want = reference(q, &cat);
+            assert_eq!(got, want, "query {} differs", q.id);
+        }
+    }
+
+    #[test]
+    fn shared_plan_publishes_tagged_tables() {
+        let (cat, mut htm, mut temps) = setup();
+        let queries = vec![mk_query(1, 20, 40), mk_query(2, 30, 60)];
+        let mut spec = mk_spec(queries.clone());
+        let fp = HtFingerprint {
+            kind: hashstash_plan::HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("customer")).collect(),
+            edges: vec![],
+            region: Region::from_box(
+                hashstash_plan::PredBox::all().with(
+                    "customer.c_age",
+                    Interval::closed(Value::Int(20), Value::Int(60)),
+                ),
+            ),
+            key_attrs: vec![Arc::from("customer.c_custkey")],
+            payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
+            aggregates: vec![],
+            tagged: true,
+        };
+        spec.steps[0].publish = Some(fp.clone());
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        execute_shared(&spec, &mut ctx).unwrap();
+        let cands = htm.candidates(&fp);
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].fingerprint.tagged);
+    }
+
+    #[test]
+    fn shared_join_reuse_with_retag_matches_fresh_run() {
+        let (cat, mut htm, mut temps) = setup();
+        // Batch 1 publishes a tagged customer table over ages [20, 60].
+        let batch1 = vec![mk_query(1, 20, 40), mk_query(2, 30, 60)];
+        let mut spec1 = mk_spec(batch1);
+        let fp = HtFingerprint {
+            kind: hashstash_plan::HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("customer")).collect(),
+            edges: vec![],
+            region: Region::from_box(
+                hashstash_plan::PredBox::all().with(
+                    "customer.c_age",
+                    Interval::closed(Value::Int(20), Value::Int(60)),
+                ),
+            ),
+            key_attrs: vec![Arc::from("customer.c_custkey")],
+            payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
+            aggregates: vec![],
+            tagged: true,
+        };
+        spec1.steps[0].publish = Some(fp.clone());
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        execute_shared(&spec1, &mut ctx).unwrap();
+        let cands = htm.candidates(&fp);
+        let cand_id = cands[0].id;
+
+        // Batch 2 (subset ages) reuses the tagged table with re-tagging.
+        let batch2 = vec![mk_query(10, 25, 35), mk_query(11, 40, 55)];
+        let mut spec2 = mk_spec(batch2.clone());
+        let request = Region::from_box(hashstash_plan::PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(25), Value::Int(55)),
+        ));
+        spec2.steps[0].reuse = Some(SharedReuse {
+            id: cand_id,
+            case: ReuseCase::Subsuming,
+            delta_region: Region::empty(),
+            request_region: request,
+        });
+        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let results = execute_shared(&spec2, &mut ctx2).unwrap();
+        assert!(ctx2.metrics.ht_updates > 0, "re-tagging happened");
+        for (q, res) in batch2.iter().zip(&results) {
+            let mut got = res.rows.clone();
+            got.sort();
+            assert_eq!(got, reference(q, &cat), "query {} differs", q.id);
+        }
+    }
+
+    #[test]
+    fn spj_projection_output() {
+        let (cat, mut htm, mut temps) = setup();
+        let q = QueryBuilder::new(5)
+            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .filter(
+                "customer.c_age",
+                Interval::closed(Value::Int(30), Value::Int(35)),
+            )
+            .project(&["orders.o_orderkey", "customer.c_age"])
+            .build()
+            .unwrap();
+        let spec = SharedPlanSpec {
+            queries: vec![q.clone()],
+            driver: "orders".into(),
+            driver_attrs: vec!["orders.o_orderkey".into(), "orders.o_custkey".into()],
+            steps: vec![SharedJoinStep {
+                table: "customer".into(),
+                probe_attr: "orders.o_custkey".into(),
+                build_key: "customer.c_custkey".into(),
+                payload: vec!["customer.c_custkey".into(), "customer.c_age".into()],
+                reuse: None,
+                publish: None,
+            }],
+            group_specs: vec![],
+            outputs: vec![SharedOutput::Projection(vec![
+                "orders.o_orderkey".into(),
+                "customer.c_age".into(),
+            ])],
+        };
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let results = execute_shared(&spec, &mut ctx).unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(!results[0].rows.is_empty());
+        for r in &results[0].rows {
+            let age = r.get(1).as_int().unwrap();
+            assert!((30..=35).contains(&age));
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Temp-table cache for the materialization-based reuse baseline.
+//!
+//! The paper's baseline (§6.1, following Nagel et al. ICDE'13) materializes
+//! the *outputs* of selected operators into temporary in-memory tables and
+//! reuses them for later queries, supporting only exact- and subsuming-reuse.
+//! The crucial differences to HashStash:
+//!
+//! 1. materialization costs extra work during the original query (copying
+//!    every tuple out of the pipeline), and
+//! 2. a reused temp table is a plain relation — a join consuming it must
+//!    still *rebuild* its hash table from the temp rows.
+//!
+//! Both costs fall out naturally here: [`crate::plan::PhysicalPlan::Materialize`]
+//! copies rows into this cache, and a reusing plan scans the temp table into
+//! an ordinary hash-join build.
+
+use std::collections::HashMap;
+
+use hashstash_types::{HsError, Result, Row, Schema};
+
+use hashstash_plan::HtFingerprint;
+
+/// Identifier of a materialized temporary table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TempId(pub u64);
+
+impl std::fmt::Display for TempId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TT{}", self.0)
+    }
+}
+
+/// Statistics over the temp-table cache (drives Figure 7b's baseline rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TempTableStats {
+    /// Temp tables ever materialized.
+    pub publishes: u64,
+    /// Reuses served.
+    pub reuses: u64,
+    /// Evictions under the memory budget.
+    pub evictions: u64,
+    /// Current footprint in bytes.
+    pub bytes: usize,
+    /// Current table count.
+    pub entries: usize,
+}
+
+impl TempTableStats {
+    /// Average reuses per materialized element (paper's hit ratio).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.publishes == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.publishes as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TempEntry {
+    fingerprint: HtFingerprint,
+    schema: Schema,
+    rows: Vec<Row>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// An LRU-bounded cache of materialized intermediate results.
+#[derive(Debug)]
+pub struct TempTableCache {
+    entries: HashMap<TempId, TempEntry>,
+    budget_bytes: Option<usize>,
+    next_id: u64,
+    clock: u64,
+    stats: TempTableStats,
+}
+
+/// Approximate in-memory size of one row (arrays of scalars).
+fn row_bytes(row: &Row) -> usize {
+    row.values()
+        .iter()
+        .map(|v| match v {
+            hashstash_types::Value::Str(s) => 16 + s.len(),
+            _ => 8,
+        })
+        .sum::<usize>()
+        + 24
+}
+
+impl TempTableCache {
+    /// Cache with a memory budget.
+    pub fn new(budget_bytes: Option<usize>) -> Self {
+        TempTableCache {
+            entries: HashMap::new(),
+            budget_bytes,
+            next_id: 1,
+            clock: 0,
+            stats: TempTableStats::default(),
+        }
+    }
+
+    /// Unlimited cache.
+    pub fn unbounded() -> Self {
+        TempTableCache::new(None)
+    }
+
+    /// Materialize rows under a fingerprint. Returns the temp-table id.
+    pub fn publish(&mut self, fingerprint: HtFingerprint, schema: Schema, rows: Vec<Row>) -> TempId {
+        self.clock += 1;
+        let id = TempId(self.next_id);
+        self.next_id += 1;
+        let bytes = rows.iter().map(row_bytes).sum();
+        self.entries.insert(
+            id,
+            TempEntry {
+                fingerprint,
+                schema,
+                rows,
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        self.stats.publishes += 1;
+        self.refresh_footprint();
+        self.enforce_budget();
+        id
+    }
+
+    /// All cached fingerprints (candidate matching happens in the engine's
+    /// baseline strategy — exact and subsuming only).
+    pub fn fingerprints(&self) -> Vec<(TempId, HtFingerprint)> {
+        self.entries
+            .iter()
+            .map(|(&id, e)| (id, e.fingerprint.clone()))
+            .collect()
+    }
+
+    /// Schema of a temp table.
+    pub fn schema(&self, id: TempId) -> Result<Schema> {
+        self.entries
+            .get(&id)
+            .map(|e| e.schema.clone())
+            .ok_or_else(|| HsError::CacheError(format!("{id} not cached")))
+    }
+
+    /// Read rows (clones — a temp table is re-read into the pipeline, the
+    /// point of the baseline's extra cost). Bumps LRU and reuse statistics.
+    pub fn read(&mut self, id: TempId) -> Result<(Schema, Vec<Row>)> {
+        self.clock += 1;
+        let e = self
+            .entries
+            .get_mut(&id)
+            .ok_or_else(|| HsError::CacheError(format!("{id} not cached")))?;
+        e.last_used = self.clock;
+        self.stats.reuses += 1;
+        Ok((e.schema.clone(), e.rows.clone()))
+    }
+
+    /// LRU eviction until under budget.
+    pub fn enforce_budget(&mut self) -> usize {
+        let Some(budget) = self.budget_bytes else {
+            return 0;
+        };
+        let mut evicted = 0;
+        while self.stats.bytes > budget && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            self.entries.remove(&id);
+            self.stats.evictions += 1;
+            evicted += 1;
+            self.refresh_footprint();
+        }
+        evicted
+    }
+
+    fn refresh_footprint(&mut self) {
+        self.stats.bytes = self.entries.values().map(|e| e.bytes).sum();
+        self.stats.entries = self.entries.len();
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TempTableStats {
+        self.stats
+    }
+
+    /// Number of cached tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashstash_plan::{HtKind, Region};
+    use hashstash_types::{DataType, Field, Value};
+
+    fn fp() -> HtFingerprint {
+        HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(std::sync::Arc::from("t")).collect(),
+            edges: vec![],
+            region: Region::all(),
+            key_attrs: vec![std::sync::Arc::from("t.k")],
+            payload_attrs: vec![std::sync::Arc::from("t.k")],
+            aggregates: vec![],
+            tagged: false,
+        }
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n).map(|i| Row::new(vec![Value::Int(i as i64)])).collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("t.k", DataType::Int)])
+    }
+
+    #[test]
+    fn publish_and_read() {
+        let mut c = TempTableCache::unbounded();
+        let id = c.publish(fp(), schema(), rows(10));
+        let (s, r) = c.read(id).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(r.len(), 10);
+        assert_eq!(c.stats().reuses, 1);
+        assert!((c.stats().hit_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let mut c = TempTableCache::unbounded();
+        assert!(c.read(TempId(99)).is_err());
+        assert!(c.schema(TempId(99)).is_err());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let bytes10 = rows(10).iter().map(row_bytes).sum::<usize>();
+        let mut c = TempTableCache::new(Some(bytes10 * 2 + 1));
+        let a = c.publish(fp(), schema(), rows(10));
+        let b = c.publish(fp(), schema(), rows(10));
+        c.read(a).unwrap(); // freshen a
+        let _d = c.publish(fp(), schema(), rows(10));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.read(a).is_ok());
+        assert!(c.read(b).is_err(), "LRU victim gone");
+    }
+
+    #[test]
+    fn fingerprints_enumerate() {
+        let mut c = TempTableCache::unbounded();
+        c.publish(fp(), schema(), rows(1));
+        c.publish(fp(), schema(), rows(2));
+        assert_eq!(c.fingerprints().len(), 2);
+    }
+}

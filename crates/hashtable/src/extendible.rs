@@ -1,0 +1,594 @@
+//! Extendible hashing with lazily split, index-linked collision chains.
+//!
+//! # Layout
+//!
+//! ```text
+//! directory: [head: u32; 2^g]     (g = global depth)
+//! depth:     [u8; 2^g]            (per-bucket local depth, <= g)
+//! arena:     Vec<Entry<V>>        (contiguous; u32 next-links)
+//! ```
+//!
+//! A key hashes to bucket `key & (2^g - 1)`. When the average chain length
+//! exceeds a threshold the directory doubles — an O(directory) operation that
+//! copies *no entries*. Every bucket remembers the depth `d` at which its
+//! chain was last rebuilt; a whole *family* of directory slots that share the
+//! same low `d` bits keeps its entries chained at the family root. The first
+//! access that touches a stale bucket redistributes the family's chain across
+//! all members at the current depth (`freshen`). This matches the paper's
+//! description: "instead of re-hashing all entries, only the bucket array
+//! needs to get resized and entries can be assigned to the new buckets
+//! lazily."
+
+const NIL: u32 = u32::MAX;
+
+/// Average chain length that triggers a directory doubling.
+const MAX_AVG_CHAIN: usize = 2;
+
+/// One arena slot: a key, the chain link and the payload.
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    key: u64,
+    next: u32,
+    value: V,
+}
+
+/// Statistics the Hash Table Manager stores per cached table (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HtStats {
+    /// Total number of entries (tuples) in the table.
+    pub entries: usize,
+    /// Number of distinct keys.
+    pub distinct_keys: usize,
+    /// Logical tuple width in bytes (the paper's `tWidth`).
+    pub tuple_width: usize,
+    /// Logical memory footprint in bytes (the paper's `htSize`).
+    pub bytes: usize,
+    /// Number of directory doublings performed so far.
+    pub resizes: usize,
+}
+
+/// An extendible, multi-map hash table keyed by `u64`.
+///
+/// * Join build sides insert duplicates ([`insert`](Self::insert)) and scan
+///   matches with [`probe`](Self::probe).
+/// * Aggregations keep one entry per key via [`upsert`](Self::upsert).
+/// * Shared/reuse-aware operators post-process entries in place with
+///   [`for_each_mut`](Self::for_each_mut) / [`retain`](Self::retain).
+///
+/// The `u64` key is a *hash key*: callers that need exact key semantics embed
+/// the full key in `V` and verify on probe (the engine's operators do this
+/// for string keys; integer/date keys are injective into `u64`).
+#[derive(Debug, Clone)]
+pub struct ExtendibleHashTable<V> {
+    directory: Vec<u32>,
+    depth: Vec<u8>,
+    arena: Vec<Entry<V>>,
+    global_depth: u8,
+    distinct_keys: usize,
+    /// Logical width of one tuple in bytes; used for `htSize` statistics fed
+    /// to the cost model (actual `V` layout may differ).
+    tuple_width: usize,
+    resizes: usize,
+}
+
+impl<V> ExtendibleHashTable<V> {
+    /// Create a table with an initial directory of two buckets.
+    ///
+    /// `tuple_width` is the *logical* width in bytes of one stored tuple. It
+    /// parameterizes the cost model (`tWidth`); it does not change storage.
+    pub fn new(tuple_width: usize) -> Self {
+        Self::with_capacity(tuple_width, 0)
+    }
+
+    /// Create a table pre-sized for `capacity` entries, so that no resize
+    /// happens until the capacity is exceeded. Mirrors the `c_resize`
+    /// component of the paper's cost model: the reuse-aware operators resize
+    /// once up front instead of incrementally.
+    pub fn with_capacity(tuple_width: usize, capacity: usize) -> Self {
+        let buckets = (capacity / MAX_AVG_CHAIN + 1).next_power_of_two().max(2);
+        let global_depth = buckets.trailing_zeros() as u8;
+        ExtendibleHashTable {
+            directory: vec![NIL; buckets],
+            depth: vec![global_depth; buckets],
+            arena: Vec::with_capacity(capacity),
+            global_depth,
+            distinct_keys: 0,
+            tuple_width,
+            resizes: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether the table holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Number of distinct keys currently stored.
+    #[inline]
+    pub fn distinct_keys(&self) -> usize {
+        self.distinct_keys
+    }
+
+    /// Number of directory slots (2^global_depth).
+    #[inline]
+    pub fn bucket_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Logical tuple width in bytes (the cost model's `tWidth`).
+    #[inline]
+    pub fn tuple_width(&self) -> usize {
+        self.tuple_width
+    }
+
+    /// Logical memory footprint in bytes (the cost model's `htSize`):
+    /// directory slots plus per-entry header and logical payload.
+    pub fn logical_bytes(&self) -> usize {
+        self.directory.len() * 5 + self.arena.len() * (12 + self.tuple_width)
+    }
+
+    /// Actual heap footprint in bytes of the directory and arena.
+    pub fn heap_bytes(&self) -> usize {
+        self.directory.capacity() * std::mem::size_of::<u32>()
+            + self.depth.capacity()
+            + self.arena.capacity() * std::mem::size_of::<Entry<V>>()
+    }
+
+    /// Snapshot of the statistics the Hash Table Manager keeps.
+    pub fn stats(&self) -> HtStats {
+        HtStats {
+            entries: self.len(),
+            distinct_keys: self.distinct_keys,
+            tuple_width: self.tuple_width,
+            bytes: self.logical_bytes(),
+            resizes: self.resizes,
+        }
+    }
+
+    #[inline]
+    fn mask(depth: u8) -> u64 {
+        (1u64 << depth) - 1
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (key & Self::mask(self.global_depth)) as usize
+    }
+
+    /// Bring bucket `i`'s chain up to the current global depth by splitting
+    /// its family root. Amortized O(1) per entry per doubling.
+    fn freshen(&mut self, i: usize) {
+        let d = self.depth[i];
+        if d == self.global_depth {
+            return;
+        }
+        let root = i & Self::mask(d) as usize;
+        // Detach the family chain from the root.
+        let mut node = self.directory[root];
+        self.directory[root] = NIL;
+        // Mark the whole family fresh. Family members are root + k*2^d.
+        let family = 1usize << (self.global_depth - d);
+        for k in 0..family {
+            let member = root + (k << d);
+            self.depth[member] = self.global_depth;
+            debug_assert!(member == root || self.directory[member] == NIL);
+        }
+        // Redistribute the chain by the low `global_depth` bits of each key.
+        while node != NIL {
+            let next = self.arena[node as usize].next;
+            let target = self.bucket_of(self.arena[node as usize].key);
+            self.arena[node as usize].next = self.directory[target];
+            self.directory[target] = node;
+            node = next;
+        }
+    }
+
+    /// Double the directory. Entries are *not* moved — new slots inherit the
+    /// family depth of their lower half and are split lazily on first touch.
+    fn grow_directory(&mut self) {
+        let old = self.directory.len();
+        assert!(old.checked_mul(2).is_some(), "directory overflow");
+        self.directory.resize(old * 2, NIL);
+        self.depth.extend_from_within(0..old);
+        self.global_depth += 1;
+        self.resizes += 1;
+    }
+
+    #[inline]
+    fn maybe_grow(&mut self) {
+        if self.arena.len() >= self.directory.len() * MAX_AVG_CHAIN {
+            self.grow_directory();
+        }
+    }
+
+    /// Insert a `(key, value)` pair, allowing duplicate keys (multi-map).
+    ///
+    /// Returns `true` if the key was not present before (used to maintain the
+    /// distinct-key statistic).
+    pub fn insert(&mut self, key: u64, value: V) -> bool {
+        self.maybe_grow();
+        let b = self.bucket_of(key);
+        self.freshen(b);
+        // Walk the chain once to learn whether the key is new.
+        let mut node = self.directory[b];
+        let mut new_key = true;
+        while node != NIL {
+            let e = &self.arena[node as usize];
+            if e.key == key {
+                new_key = false;
+                break;
+            }
+            node = e.next;
+        }
+        let idx = self.arena.len() as u32;
+        self.arena.push(Entry {
+            key,
+            next: self.directory[b],
+            value,
+        });
+        self.directory[b] = idx;
+        if new_key {
+            self.distinct_keys += 1;
+        }
+        new_key
+    }
+
+    /// Iterate over the values stored under `key`.
+    pub fn probe(&mut self, key: u64) -> ProbeIter<'_, V> {
+        let b = self.bucket_of(key);
+        self.freshen(b);
+        ProbeIter {
+            arena: &self.arena,
+            node: self.directory[b],
+            key,
+        }
+    }
+
+    /// Probe without freshening (read-only). Falls back to scanning the
+    /// family root chain when the bucket is stale, so it never misses.
+    pub fn probe_readonly(&self, key: u64) -> ProbeIter<'_, V> {
+        let i = self.bucket_of(key);
+        let d = self.depth[i];
+        let root = i & Self::mask(d) as usize;
+        ProbeIter {
+            arena: &self.arena,
+            node: self.directory[root],
+            key,
+        }
+    }
+
+    /// Mutable access to the first entry with `key`, if any.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let b = self.bucket_of(key);
+        self.freshen(b);
+        let mut node = self.directory[b];
+        while node != NIL {
+            let e = &self.arena[node as usize];
+            if e.key == key {
+                return Some(&mut self.arena[node as usize].value);
+            }
+            node = e.next;
+        }
+        None
+    }
+
+    /// Aggregate-style access: update the entry under `key`, inserting it
+    /// first via `init` if missing. Returns `true` if a new entry was
+    /// created (the paper's `c_insert` path) and `false` if an existing one
+    /// was updated (`c_update` path).
+    pub fn upsert<I, U>(&mut self, key: u64, init: I, update: U) -> bool
+    where
+        I: FnOnce() -> V,
+        U: FnOnce(&mut V),
+    {
+        if let Some(v) = self.get_mut(key) {
+            update(v);
+            false
+        } else {
+            self.insert(key, init());
+            true
+        }
+    }
+
+    /// Like [`upsert`](Self::upsert) but verifies candidate entries with
+    /// `matches` before updating, so callers whose 64-bit keys are *hashes*
+    /// of wider keys (e.g. string group keys) stay correct under collisions.
+    pub fn upsert_where<M, I, U>(&mut self, key: u64, matches: M, init: I, update: U) -> bool
+    where
+        M: Fn(&V) -> bool,
+        I: FnOnce() -> V,
+        U: FnOnce(&mut V),
+    {
+        let b = self.bucket_of(key);
+        self.freshen(b);
+        let mut node = self.directory[b];
+        while node != NIL {
+            let e = &self.arena[node as usize];
+            if e.key == key && matches(&e.value) {
+                update(&mut self.arena[node as usize].value);
+                return false;
+            }
+            node = e.next;
+        }
+        self.insert(key, init());
+        true
+    }
+
+    /// Iterate over all `(key, value)` pairs in arena order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.arena.iter().map(|e| (e.key, &e.value))
+    }
+
+    /// Mutate every value in place (shared-plan re-tagging, paper §4.1).
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(u64, &mut V)) {
+        for e in &mut self.arena {
+            f(e.key, &mut e.value);
+        }
+    }
+
+    /// Keep only entries whose `(key, value)` satisfies the predicate.
+    ///
+    /// Rebuilds the arena and all chains; used by the fine-grained GC mode
+    /// and by tests. O(n).
+    pub fn retain(&mut self, mut pred: impl FnMut(u64, &V) -> bool) {
+        let old = std::mem::take(&mut self.arena);
+        for h in self.directory.iter_mut() {
+            *h = NIL;
+        }
+        for d in self.depth.iter_mut() {
+            *d = self.global_depth;
+        }
+        self.distinct_keys = 0;
+        for e in old {
+            if pred(e.key, &e.value) {
+                // Re-insert without growth checks: directory is already
+                // large enough.
+                let b = self.bucket_of(e.key);
+                let mut node = self.directory[b];
+                let mut new_key = true;
+                while node != NIL {
+                    if self.arena[node as usize].key == e.key {
+                        new_key = false;
+                        break;
+                    }
+                    node = self.arena[node as usize].next;
+                }
+                let idx = self.arena.len() as u32;
+                self.arena.push(Entry {
+                    key: e.key,
+                    next: self.directory[b],
+                    value: e.value,
+                });
+                self.directory[b] = idx;
+                if new_key {
+                    self.distinct_keys += 1;
+                }
+            }
+        }
+    }
+
+    /// Pre-size the directory so `additional` more entries fit without a
+    /// doubling. This is the explicit `c_resize` step of the reuse-aware
+    /// operators: pay the directory growth once, up front.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.arena.len() + additional;
+        self.arena.reserve(additional);
+        while self.directory.len() * MAX_AVG_CHAIN < needed {
+            self.grow_directory();
+        }
+    }
+}
+
+/// Iterator over values matching a probe key.
+pub struct ProbeIter<'a, V> {
+    arena: &'a [Entry<V>],
+    node: u32,
+    key: u64,
+}
+
+impl<'a, V> Iterator for ProbeIter<'a, V> {
+    type Item = &'a V;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.node != NIL {
+            let e = &self.arena[self.node as usize];
+            self.node = e.next;
+            if e.key == self.key {
+                return Some(&e.value);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_probe_roundtrip() {
+        let mut ht = ExtendibleHashTable::new(8);
+        for i in 0..1000u64 {
+            ht.insert(i, i * 10);
+        }
+        assert_eq!(ht.len(), 1000);
+        assert_eq!(ht.distinct_keys(), 1000);
+        for i in 0..1000u64 {
+            let hits: Vec<_> = ht.probe(i).copied().collect();
+            assert_eq!(hits, vec![i * 10]);
+        }
+        assert!(ht.probe(5000).next().is_none());
+    }
+
+    #[test]
+    fn multimap_duplicates() {
+        let mut ht = ExtendibleHashTable::new(8);
+        assert!(ht.insert(42, 1));
+        assert!(!ht.insert(42, 2));
+        assert!(!ht.insert(42, 3));
+        assert_eq!(ht.len(), 3);
+        assert_eq!(ht.distinct_keys(), 1);
+        let mut hits: Vec<_> = ht.probe(42).copied().collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn directory_doubles_without_losing_entries() {
+        let mut ht = ExtendibleHashTable::new(8);
+        let before = ht.bucket_count();
+        for i in 0..10_000u64 {
+            // adversarial key pattern: many shared low bits
+            ht.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i);
+        }
+        assert!(ht.bucket_count() > before);
+        assert!(ht.stats().resizes > 0);
+        let mut count = 0;
+        for i in 0..10_000u64 {
+            let k = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            count += ht.probe(k).count();
+        }
+        assert_eq!(count, 10_000);
+    }
+
+    #[test]
+    fn lazy_split_probe_readonly_never_misses() {
+        let mut ht = ExtendibleHashTable::new(8);
+        for i in 0..64u64 {
+            ht.insert(i, i);
+        }
+        // Force several doublings without touching most buckets afterwards.
+        ht.reserve(4096);
+        for i in 0..64u64 {
+            let hits: Vec<_> = ht.probe_readonly(i).copied().collect();
+            assert_eq!(hits, vec![i], "stale bucket must still be reachable");
+        }
+    }
+
+    #[test]
+    fn upsert_insert_then_update() {
+        let mut ht = ExtendibleHashTable::new(16);
+        let created = ht.upsert(7, || 100i64, |v| *v += 1);
+        assert!(created);
+        let created = ht.upsert(7, || 100i64, |v| *v += 1);
+        assert!(!created);
+        assert_eq!(ht.probe(7).copied().collect::<Vec<_>>(), vec![101]);
+        assert_eq!(ht.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn upsert_where_distinguishes_colliding_values() {
+        // Two logical keys that share the same 64-bit hash key.
+        let mut ht: ExtendibleHashTable<(&'static str, i64)> = ExtendibleHashTable::new(16);
+        ht.upsert_where(7, |v| v.0 == "a", || ("a", 1), |v| v.1 += 1);
+        ht.upsert_where(7, |v| v.0 == "b", || ("b", 10), |v| v.1 += 1);
+        ht.upsert_where(7, |v| v.0 == "a", || ("a", 1), |v| v.1 += 1);
+        let mut vals: Vec<_> = ht.probe(7).copied().collect();
+        vals.sort();
+        assert_eq!(vals, vec![("a", 2), ("b", 10)]);
+    }
+
+    #[test]
+    fn get_mut_finds_first_match() {
+        let mut ht = ExtendibleHashTable::new(8);
+        ht.insert(1, 10);
+        assert_eq!(ht.get_mut(1), Some(&mut 10));
+        assert_eq!(ht.get_mut(2), None);
+        *ht.get_mut(1).unwrap() = 99;
+        assert_eq!(ht.probe(1).copied().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn for_each_mut_touches_everything() {
+        let mut ht = ExtendibleHashTable::new(8);
+        for i in 0..100u64 {
+            ht.insert(i, 0u64);
+        }
+        ht.for_each_mut(|k, v| *v = k + 1);
+        for i in 0..100u64 {
+            assert_eq!(ht.probe(i).copied().collect::<Vec<_>>(), vec![i + 1]);
+        }
+    }
+
+    #[test]
+    fn retain_filters_and_rebuilds() {
+        let mut ht = ExtendibleHashTable::new(8);
+        for i in 0..100u64 {
+            ht.insert(i, i);
+        }
+        ht.retain(|k, _| k % 2 == 0);
+        assert_eq!(ht.len(), 50);
+        assert_eq!(ht.distinct_keys(), 50);
+        assert!(ht.probe(1).next().is_none());
+        assert_eq!(ht.probe(2).copied().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn with_capacity_avoids_resizes() {
+        let mut ht = ExtendibleHashTable::with_capacity(8, 10_000);
+        for i in 0..10_000u64 {
+            ht.insert(i, i);
+        }
+        assert_eq!(ht.stats().resizes, 0);
+    }
+
+    #[test]
+    fn reserve_is_explicit_resize() {
+        let mut ht = ExtendibleHashTable::new(8);
+        for i in 0..100u64 {
+            ht.insert(i, i);
+        }
+        let resizes_before = ht.stats().resizes;
+        ht.reserve(100_000);
+        let resizes_after = ht.stats().resizes;
+        assert!(resizes_after > resizes_before);
+        for i in 0..100u64 {
+            ht.insert(i + 1000, i);
+        }
+        assert_eq!(ht.stats().resizes, resizes_after, "no growth after reserve");
+    }
+
+    #[test]
+    fn logical_bytes_tracks_width_and_entries() {
+        let mut narrow = ExtendibleHashTable::new(8);
+        let mut wide = ExtendibleHashTable::new(256);
+        for i in 0..100u64 {
+            narrow.insert(i, ());
+            wide.insert(i, ());
+        }
+        assert!(wide.logical_bytes() > narrow.logical_bytes());
+        assert_eq!(
+            wide.logical_bytes() - narrow.logical_bytes(),
+            100 * (256 - 8)
+        );
+    }
+
+    #[test]
+    fn empty_table_behaviour() {
+        let mut ht: ExtendibleHashTable<u64> = ExtendibleHashTable::new(8);
+        assert!(ht.is_empty());
+        assert_eq!(ht.probe(0).count(), 0);
+        assert_eq!(ht.iter().count(), 0);
+        assert_eq!(ht.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn stats_snapshot() {
+        let mut ht = ExtendibleHashTable::new(32);
+        ht.insert(1, 0u8);
+        ht.insert(1, 0u8);
+        ht.insert(2, 0u8);
+        let s = ht.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.distinct_keys, 2);
+        assert_eq!(s.tuple_width, 32);
+        assert_eq!(s.bytes, ht.logical_bytes());
+    }
+}

@@ -1,0 +1,25 @@
+//! The internal hash table HashStash caches and reuses.
+//!
+//! Main-memory hash joins and hash aggregations materialize a hash table as a
+//! side effect of execution (they are pipeline breakers). HashStash's central
+//! idea is to *keep* those tables and reuse them for later queries. This
+//! crate implements the table itself:
+//!
+//! * [`ExtendibleHashTable`] — extendible hashing with linked-list collision
+//!   chains (paper §3.2.1). Resizing doubles only the bucket directory;
+//!   chains are redistributed *lazily* the next time a stale bucket is
+//!   touched, so a resize never rehashes the whole table at once.
+//! * [`calibration`] — the micro-benchmark harness behind the paper's
+//!   Figure 3: per-tuple insert / probe / update costs as a function of hash
+//!   table size (1KB…1GB) and tuple width (8B…256B), plus an interpolating
+//!   [`calibration::CostGrid`] the reuse-aware cost models consume.
+//!
+//! Entries live in a contiguous arena with `u32` next-links (no per-node
+//! allocation), so chain traversal is an index chase within one allocation —
+//! the cache-friendliness the paper's C++ prototype relies on.
+
+pub mod calibration;
+pub mod extendible;
+
+pub use calibration::{CalibrationPoint, Calibrator, CostGrid};
+pub use extendible::{ExtendibleHashTable, HtStats};

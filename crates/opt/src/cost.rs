@@ -1,0 +1,338 @@
+//! Reuse-aware cost models (paper §3.2).
+//!
+//! The models estimate nanoseconds for the reuse-aware hash join (RHJ) and
+//! hash aggregate (RHA):
+//!
+//! ```text
+//! c_RHJ = c_resize(HT) + c_build(HT) + c_probe(HT)
+//! c_RHA = c_resize(HT) + c_insert(HT) + c_update(HT)
+//!
+//! c_build  = |Builder| · (1 − contr(HT)) · ci(htSize, tWidth)
+//! c_probe  = |Prober| · cl(htSize, tWidth)
+//! c_insert = |distinct(Input.key)| · (1 − contr) · ci(htSize, tWidth)
+//! c_update = (|Input| − |distinct|) · (1 − contr) · cu(htSize, tWidth)
+//! ```
+//!
+//! `ci`/`cl`/`cu` come from the calibrated [`CostGrid`] (paper Figure 3).
+//! The **contribution-ratio** `contr` is the fraction of required tuples the
+//! candidate already holds; the **overhead-ratio** `overh` is the fraction
+//! of the candidate's tuples the request does not need — it inflates
+//! `htSize` (cache pressure) and adds post-filter work.
+
+use hashstash_hashtable::calibration::{CostGrid, HtOp};
+
+/// Scalar cost constants besides the calibrated grid.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Sequential scan cost per tuple (ns).
+    pub scan_ns: f64,
+    /// Random index lookup cost per fetched tuple (ns).
+    pub index_ns: f64,
+    /// Post-filter check per tuple (ns).
+    pub filter_ns: f64,
+    /// Materializing one tuple into a temp table (ns) — baseline cost.
+    pub materialize_ns: f64,
+    /// Re-tagging one stored tuple in a shared reuse (ns).
+    pub retag_ns: f64,
+    /// Emitting one output row (ns).
+    pub output_ns: f64,
+    /// Per-bucket directory resize cost (ns).
+    pub resize_ns_per_slot: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            scan_ns: 2.0,
+            index_ns: 18.0,
+            filter_ns: 1.5,
+            materialize_ns: 8.0,
+            retag_ns: 6.0,
+            output_ns: 4.0,
+            resize_ns_per_slot: 0.6,
+        }
+    }
+}
+
+/// Inputs describing one candidate hash table for reuse costing.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateShape {
+    /// Entries currently stored.
+    pub entries: f64,
+    /// Logical bytes currently occupied.
+    pub bytes: f64,
+    /// Tuple width in bytes.
+    pub tuple_width: f64,
+    /// Contribution-ratio: fraction of *required* tuples already present.
+    pub contr: f64,
+    /// Overhead-ratio: fraction of *stored* tuples that are not required.
+    pub overh: f64,
+}
+
+/// The reuse-aware cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    grid: CostGrid,
+    params: CostParams,
+}
+
+impl CostModel {
+    /// Model from a calibrated grid.
+    pub fn new(grid: CostGrid, params: CostParams) -> Self {
+        CostModel { grid, params }
+    }
+
+    /// Deterministic model used by tests and default engines.
+    pub fn synthetic() -> Self {
+        CostModel::new(CostGrid::synthetic(), CostParams::default())
+    }
+
+    /// Scalar parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// The calibration grid.
+    pub fn grid(&self) -> &CostGrid {
+        &self.grid
+    }
+
+    /// Cost of scanning `rows` tuples sequentially.
+    pub fn scan(&self, rows: f64) -> f64 {
+        rows * self.params.scan_ns
+    }
+
+    /// Cost of fetching `rows` tuples through a secondary index.
+    pub fn index_scan(&self, rows: f64) -> f64 {
+        rows * self.params.index_ns
+    }
+
+    /// Cost of materializing `rows` tuples into a temp table (baseline).
+    pub fn materialize(&self, rows: f64) -> f64 {
+        rows * self.params.materialize_ns
+    }
+
+    /// Estimated logical size of a hash table holding `entries` tuples of
+    /// `width` bytes (mirrors `ExtendibleHashTable::logical_bytes`).
+    pub fn ht_size(&self, entries: f64, width: f64) -> f64 {
+        let buckets = (entries / 2.0).max(2.0);
+        buckets * 5.0 + entries * (12.0 + width)
+    }
+
+    /// `c_RHJ` for building a *fresh* join table of `build_rows` tuples of
+    /// `width` bytes and probing it with `probe_rows` tuples.
+    pub fn rhj_fresh(&self, build_rows: f64, width: f64, probe_rows: f64) -> f64 {
+        let size = self.ht_size(build_rows, width);
+        let resize = (build_rows / 2.0) * self.params.resize_ns_per_slot;
+        let build = build_rows * self.grid.cost_ns(HtOp::Insert, size as usize, width as usize);
+        let probe = probe_rows * self.grid.cost_ns(HtOp::Lookup, size as usize, width as usize);
+        resize + build + probe
+    }
+
+    /// `c_RHJ` when reusing a candidate table.
+    ///
+    /// * `required_rows` — tuples the request needs in the table.
+    /// * `probe_rows` — probe-side input size.
+    /// * `expected_matches` — estimated probe matches (drives post-filter
+    ///   cost when the candidate carries overhead tuples).
+    pub fn rhj_reuse(
+        &self,
+        cand: &CandidateShape,
+        required_rows: f64,
+        probe_rows: f64,
+        expected_matches: f64,
+    ) -> f64 {
+        let missing = required_rows * (1.0 - cand.contr);
+        // Final size after adding missing tuples.
+        let final_entries = cand.entries + missing;
+        let size = self
+            .ht_size(final_entries, cand.tuple_width)
+            .max(cand.bytes);
+        let resize = if missing > 0.0 {
+            (missing / 2.0) * self.params.resize_ns_per_slot
+        } else {
+            0.0
+        };
+        let build =
+            missing * self.grid.cost_ns(HtOp::Insert, size as usize, cand.tuple_width as usize);
+        let probe =
+            probe_rows * self.grid.cost_ns(HtOp::Lookup, size as usize, cand.tuple_width as usize);
+        // Post-filtering false positives: matches scale with the overhead
+        // share of the table.
+        let post = if cand.overh > 0.0 {
+            let false_matches = expected_matches * cand.overh / (1.0 - cand.overh).max(0.05);
+            (expected_matches + false_matches) * self.params.filter_ns
+        } else {
+            0.0
+        };
+        resize + build + probe + post
+    }
+
+    /// `c_RHA` for a *fresh* aggregation of `input_rows` tuples with
+    /// `distinct_groups` groups of `width`-byte states.
+    pub fn rha_fresh(&self, input_rows: f64, distinct_groups: f64, width: f64) -> f64 {
+        let groups = distinct_groups.min(input_rows).max(1.0);
+        let size = self.ht_size(groups, width);
+        let resize = (groups / 2.0) * self.params.resize_ns_per_slot;
+        let insert = groups * self.grid.cost_ns(HtOp::Insert, size as usize, width as usize);
+        let update =
+            (input_rows - groups).max(0.0) * self.grid.cost_ns(HtOp::Update, size as usize, width as usize);
+        resize + insert + update
+    }
+
+    /// `c_RHA` when reusing a candidate aggregate table: only the missing
+    /// input needs to be folded in.
+    pub fn rha_reuse(
+        &self,
+        cand: &CandidateShape,
+        input_rows: f64,
+        distinct_groups: f64,
+    ) -> f64 {
+        let missing_rows = input_rows * (1.0 - cand.contr);
+        let missing_groups = distinct_groups.min(missing_rows) * (1.0 - cand.contr);
+        let final_groups = cand.entries + missing_groups;
+        let size = self
+            .ht_size(final_groups, cand.tuple_width)
+            .max(cand.bytes);
+        let resize = if missing_groups > 0.0 {
+            (missing_groups / 2.0) * self.params.resize_ns_per_slot
+        } else {
+            0.0
+        };
+        let insert = missing_groups
+            * self
+                .grid
+                .cost_ns(HtOp::Insert, size as usize, cand.tuple_width as usize);
+        let update = (missing_rows - missing_groups).max(0.0)
+            * self
+                .grid
+                .cost_ns(HtOp::Update, size as usize, cand.tuple_width as usize);
+        // Post-filtering groups that the request does not need (subsuming /
+        // overlapping on group attributes).
+        let post = cand.entries * cand.overh * self.params.filter_ns;
+        resize + insert + update + post
+    }
+
+    /// Cost of re-tagging every stored tuple of a reused table in a shared
+    /// plan (paper §4.1: mandatory before an SRHJ/SRHA executes).
+    pub fn retag(&self, entries: f64) -> f64 {
+        entries * self.params.retag_ns
+    }
+
+    /// Cost of emitting `rows` result rows.
+    pub fn output(&self, rows: f64) -> f64 {
+        rows * self.params.output_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::synthetic()
+    }
+
+    #[test]
+    fn fresh_join_cost_grows_with_inputs() {
+        let m = model();
+        let small = m.rhj_fresh(1_000.0, 32.0, 10_000.0);
+        let large = m.rhj_fresh(100_000.0, 32.0, 1_000_000.0);
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn exact_reuse_cheaper_than_fresh() {
+        let m = model();
+        let cand = CandidateShape {
+            entries: 100_000.0,
+            bytes: m.ht_size(100_000.0, 32.0),
+            tuple_width: 32.0,
+            contr: 1.0,
+            overh: 0.0,
+        };
+        let reuse = m.rhj_reuse(&cand, 100_000.0, 1_000_000.0, 1_000_000.0);
+        let fresh = m.rhj_fresh(100_000.0, 32.0, 1_000_000.0);
+        assert!(reuse < fresh, "exact reuse skips the build: {reuse} < {fresh}");
+    }
+
+    #[test]
+    fn reuse_cost_monotone_in_contribution() {
+        // Paper Figure 9a: as contribution falls, reuse cost rises.
+        let m = model();
+        let mut prev = f64::NEG_INFINITY;
+        for contr_pct in (0..=100).rev().step_by(10) {
+            let contr = contr_pct as f64 / 100.0;
+            let cand = CandidateShape {
+                entries: 100_000.0,
+                bytes: m.ht_size(100_000.0, 32.0),
+                tuple_width: 32.0,
+                contr,
+                overh: 1.0 - contr,
+            };
+            let c = m.rhj_reuse(&cand, 100_000.0, 1_000_000.0, 1_000_000.0);
+            assert!(
+                c >= prev,
+                "cost must rise as contribution falls: contr={contr} cost={c} prev={prev}"
+            );
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn always_share_crossover_exists() {
+        // With low contribution the reuse cost must exceed the fresh cost —
+        // the crossover the paper shows near 70% contribution (Fig 9a).
+        let m = model();
+        let fresh = m.rhj_fresh(100_000.0, 32.0, 1_000_000.0);
+        let low = CandidateShape {
+            entries: 100_000.0,
+            bytes: m.ht_size(100_000.0, 32.0),
+            tuple_width: 32.0,
+            contr: 0.0,
+            overh: 1.0,
+        };
+        let high = CandidateShape {
+            contr: 1.0,
+            overh: 0.0,
+            ..low
+        };
+        assert!(m.rhj_reuse(&low, 100_000.0, 1_000_000.0, 1_000_000.0) > fresh);
+        assert!(m.rhj_reuse(&high, 100_000.0, 1_000_000.0, 1_000_000.0) < fresh);
+    }
+
+    #[test]
+    fn rha_fresh_distinguishes_insert_and_update() {
+        let m = model();
+        // Many groups ⇒ many inserts ⇒ more expensive than few groups.
+        let many = m.rha_fresh(1_000_000.0, 500_000.0, 64.0);
+        let few = m.rha_fresh(1_000_000.0, 100.0, 64.0);
+        assert!(many > few);
+    }
+
+    #[test]
+    fn rha_reuse_cheaper_with_full_contribution() {
+        let m = model();
+        let cand = CandidateShape {
+            entries: 1_000.0,
+            bytes: m.ht_size(1_000.0, 64.0),
+            tuple_width: 64.0,
+            contr: 1.0,
+            overh: 0.0,
+        };
+        let reuse = m.rha_reuse(&cand, 1_000_000.0, 1_000.0);
+        let fresh = m.rha_fresh(1_000_000.0, 1_000.0, 64.0);
+        assert!(reuse < fresh * 0.05, "{reuse} vs {fresh}");
+    }
+
+    #[test]
+    fn scan_and_aux_costs_positive() {
+        let m = model();
+        assert!(m.scan(100.0) > 0.0);
+        assert!(m.index_scan(100.0) > m.scan(100.0));
+        assert!(m.materialize(100.0) > 0.0);
+        assert!(m.retag(100.0) > 0.0);
+        assert!(m.output(10.0) > 0.0);
+        assert!(m.ht_size(1000.0, 32.0) > 1000.0 * 32.0);
+    }
+}

@@ -1,0 +1,665 @@
+//! The query-batch interface: DP-based merging into reuse-aware shared
+//! plans (paper §4.2).
+//!
+//! Merge configurations are built incrementally: starting from the first
+//! query, every subsequent query is either merged into one of the existing
+//! shared groups (only legal when the join graphs are identical) or kept as
+//! a separate single-query plan. At every level the configuration with the
+//! minimal estimated total runtime survives; evaluated group costs are
+//! memoized (paper Figure 6).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hashstash_types::{HsError, Result};
+
+use hashstash_cache::HtManager;
+use hashstash_exec::shared::{
+    SharedGroupSpec, SharedJoinStep, SharedOutput, SharedPlanSpec, SharedReuse,
+};
+use hashstash_plan::{HtFingerprint, HtKind, PredBox, QuerySpec, Region};
+use hashstash_storage::Catalog;
+
+use crate::cost::CostModel;
+use crate::matching::Matcher;
+use crate::optimizer::{Optimizer, OptimizerConfig};
+use crate::stats::DbStats;
+
+/// One unit of a batch plan.
+#[derive(Debug)]
+pub enum BatchUnit {
+    /// Execute the query alone through the single-query interface.
+    Single {
+        /// Index into the batch.
+        index: usize,
+        /// Estimated cost.
+        est_cost_ns: f64,
+    },
+    /// Execute several queries through one reuse-aware shared plan.
+    Shared {
+        /// Indices into the batch, in slot order.
+        indices: Vec<usize>,
+        /// The executable shared plan.
+        spec: SharedPlanSpec,
+        /// Estimated cost.
+        est_cost_ns: f64,
+    },
+}
+
+/// The planned batch.
+#[derive(Debug)]
+pub struct BatchPlan {
+    pub units: Vec<BatchUnit>,
+    pub est_cost_ns: f64,
+}
+
+/// Plan a batch of queries into single plans and reuse-aware shared plans.
+///
+/// `allow_sharing = false` degrades to one single-query unit per query
+/// (the paper's "single-query plan" batch modes).
+pub fn plan_batch(
+    queries: &[QuerySpec],
+    catalog: &Catalog,
+    stats: &DbStats,
+    cost: &CostModel,
+    config: OptimizerConfig,
+    htm: &mut HtManager,
+    allow_sharing: bool,
+) -> Result<BatchPlan> {
+    if queries.is_empty() {
+        return Ok(BatchPlan {
+            units: vec![],
+            est_cost_ns: 0.0,
+        });
+    }
+    if queries.len() > hashstash_types::QidSet::CAPACITY {
+        return Err(HsError::PlanError(format!(
+            "batch of {} queries exceeds the {}-query tag capacity",
+            queries.len(),
+            hashstash_types::QidSet::CAPACITY
+        )));
+    }
+    let optimizer = Optimizer::new(catalog, stats, cost, config);
+    let mut single_cost: Vec<f64> = Vec::with_capacity(queries.len());
+    for q in queries.iter() {
+        single_cost.push(optimizer.optimize(q, htm)?.est_cost_ns);
+    }
+
+    // Incremental DP over merge configurations (paper Figure 6): groups of
+    // query indices; singletons may later become shared groups.
+    let mut groups: Vec<Vec<usize>> = vec![vec![0]];
+    if allow_sharing {
+        let mut group_cost_memo: HashMap<Vec<usize>, f64> = HashMap::new();
+        let mut eval_group = |g: &Vec<usize>, htm: &mut HtManager| -> f64 {
+            if g.len() == 1 {
+                return single_cost[g[0]];
+            }
+            if let Some(&c) = group_cost_memo.get(g) {
+                return c;
+            }
+            let qs: Vec<&QuerySpec> = g.iter().map(|&i| &queries[i]).collect();
+            let c = estimate_shared_cost(&qs, stats, cost, htm);
+            group_cost_memo.insert(g.clone(), c);
+            c
+        };
+        for i in 1..queries.len() {
+            // Option A: keep query i separate.
+            let mut best_groups = groups.clone();
+            best_groups.push(vec![i]);
+            let mut best_cost: f64 = best_groups.iter().map(|g| eval_group(g, htm)).sum();
+            // Option B: merge query i into each mergeable existing group.
+            for gi in 0..groups.len() {
+                let mergeable = groups[gi]
+                    .iter()
+                    .all(|&j| queries[j].same_join_graph(&queries[i]));
+                if !mergeable {
+                    continue;
+                }
+                let mut candidate = groups.clone();
+                candidate[gi].push(i);
+                let total: f64 = candidate.iter().map(|g| eval_group(g, htm)).sum();
+                if total < best_cost {
+                    best_cost = total;
+                    best_groups = candidate;
+                }
+            }
+            groups = best_groups;
+        }
+    } else {
+        groups = (0..queries.len()).map(|i| vec![i]).collect();
+    }
+
+    // Materialize units.
+    let mut units = Vec::new();
+    let mut total = 0.0;
+    for g in groups {
+        if g.len() == 1 {
+            let c = single_cost[g[0]];
+            total += c;
+            units.push(BatchUnit::Single {
+                index: g[0],
+                est_cost_ns: c,
+            });
+        } else {
+            let qs: Vec<QuerySpec> = g.iter().map(|&i| queries[i].clone()).collect();
+            let refs: Vec<&QuerySpec> = qs.iter().collect();
+            let c = estimate_shared_cost(&refs, stats, cost, htm);
+            let spec = derive_shared_spec(&qs, catalog, stats, htm, config.publish_tables)?;
+            total += c;
+            units.push(BatchUnit::Shared {
+                indices: g,
+                spec,
+                est_cost_ns: c,
+            });
+        }
+    }
+    Ok(BatchPlan {
+        units,
+        est_cost_ns: total,
+    })
+}
+
+/// Union of the queries' predicate regions.
+fn union_region(queries: &[&QuerySpec]) -> Region {
+    queries
+        .iter()
+        .fold(Region::empty(), |acc, q| acc.union(&q.region()))
+}
+
+/// Estimated runtime of one shared plan over a group of queries.
+fn estimate_shared_cost(
+    queries: &[&QuerySpec],
+    stats: &DbStats,
+    cost: &CostModel,
+    htm: &mut HtManager,
+) -> f64 {
+    let q0 = queries[0];
+    let union = union_region(queries);
+    let (driver, others) = split_driver(q0, stats);
+
+    // Driver scan over the union region.
+    let driver_rows = stats.filtered_rows(&driver, &union);
+    let mut total = cost.scan(stats.table_rows(&driver) as f64).min(
+        cost.index_scan(driver_rows),
+    );
+
+    // Build (or retag) one tagged table per non-driver table.
+    let matcher = Matcher;
+    for t in &others {
+        let table_region = project_region(&union, t);
+        let build_rows = stats.filtered_rows(t, &table_region);
+        // Probe volume: the pipeline stream (approximated by driver rows).
+        let fresh = cost.rhj_fresh(build_rows.max(1.0), 24.0, driver_rows);
+        // A tagged candidate lets us pay re-tag instead of build.
+        let request = tagged_join_fingerprint(q0, t, &table_region);
+        let request_box = q0.predicates.project_table(t);
+        let candidates = matcher.find_matches(htm, &request, &request_box, stats);
+        let reuse = candidates
+            .iter()
+            .map(|m| {
+                cost.retag(m.candidate.entries as f64)
+                    + cost.rhj_fresh(
+                        build_rows * (1.0 - m.contr),
+                        24.0,
+                        driver_rows,
+                    )
+            })
+            .fold(f64::INFINITY, f64::min);
+        total += fresh.min(reuse);
+    }
+
+    // Grouping phase: one insert per joined row; aggregation per query.
+    let joined = stats.join_rows(
+        q0.tables.iter().map(|t| t.as_ref()),
+        &q0.joins,
+        &union,
+    );
+    total += cost.rha_fresh(joined, joined, 48.0) * 0.5; // grouping inserts
+    for q in queries {
+        let rows_q = stats.join_rows(q.tables.iter().map(|t| t.as_ref()), &q.joins, &q.region());
+        let groups = stats.distinct_combinations(&q.group_by, rows_q.max(1.0));
+        total += cost.rha_fresh(rows_q, groups, 48.0) * 0.5 + cost.output(groups);
+    }
+    total
+}
+
+/// Pick the driver (largest) table; the rest become build sides.
+fn split_driver(q: &QuerySpec, stats: &DbStats) -> (Arc<str>, Vec<Arc<str>>) {
+    let driver = q
+        .tables
+        .iter()
+        .max_by_key(|t| stats.table_rows(t))
+        .expect("query has tables")
+        .clone();
+    let others = q
+        .tables
+        .iter()
+        .filter(|t| **t != driver)
+        .cloned()
+        .collect();
+    (driver, others)
+}
+
+fn project_region(region: &Region, table: &str) -> Region {
+    let mut out = Region::empty();
+    for b in region.boxes() {
+        out = out.union(&Region::from_box(b.project_table(table)));
+    }
+    out
+}
+
+fn tagged_join_fingerprint(q: &QuerySpec, table: &Arc<str>, region: &Region) -> HtFingerprint {
+    HtFingerprint {
+        kind: HtKind::JoinBuild,
+        tables: std::iter::once(table.clone()).collect(),
+        edges: vec![],
+        region: region.clone(),
+        key_attrs: q
+            .joins
+            .iter()
+            .find_map(|e| e.col_of(table))
+            .map(|c| vec![c.clone()])
+            .unwrap_or_default(),
+        payload_attrs: shared_required_attrs(std::slice::from_ref(q), table),
+        aggregates: vec![],
+        tagged: true,
+    }
+}
+
+/// Attributes a shared build side must carry for a set of queries: join
+/// keys, predicate attributes (for re-tagging) and group/agg inputs.
+fn shared_required_attrs(queries: &[QuerySpec], table: &str) -> Vec<Arc<str>> {
+    let prefix = format!("{table}.");
+    let mut out: Vec<Arc<str>> = Vec::new();
+    let add = |a: &Arc<str>, out: &mut Vec<Arc<str>>| {
+        if a.starts_with(&prefix) && !out.contains(a) {
+            out.push(a.clone());
+        }
+    };
+    for q in queries {
+        for e in &q.joins {
+            if let Some(c) = e.col_of(table) {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+        }
+        for (a, _) in q.predicates.constrained() {
+            add(a, &mut out);
+        }
+        for g in &q.group_by {
+            add(g, &mut out);
+        }
+        for agg in &q.aggregates {
+            add(&agg.attr, &mut out);
+        }
+        for p in &q.projection {
+            add(p, &mut out);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Derive an executable [`SharedPlanSpec`] for a mergeable group, making
+/// reuse decisions against the current cache state.
+pub fn derive_shared_spec(
+    queries: &[QuerySpec],
+    catalog: &Catalog,
+    stats: &DbStats,
+    htm: &mut HtManager,
+    publish: bool,
+) -> Result<SharedPlanSpec> {
+    let q0 = &queries[0];
+    let (driver, _) = split_driver(q0, stats);
+    let union = union_region(queries.iter().collect::<Vec<_>>().as_slice());
+    let matcher = Matcher;
+
+    // BFS join order from the driver.
+    let mut covered: Vec<Arc<str>> = vec![driver.clone()];
+    let mut steps: Vec<SharedJoinStep> = Vec::new();
+    let mut remaining: Vec<Arc<str>> = q0
+        .tables
+        .iter()
+        .filter(|t| **t != driver)
+        .cloned()
+        .collect();
+    while !remaining.is_empty() {
+        let mut advanced = false;
+        for (ri, t) in remaining.iter().enumerate() {
+            let edge = q0.joins.iter().find(|e| {
+                (e.left_table == *t && covered.contains(&e.right_table))
+                    || (e.right_table == *t && covered.contains(&e.left_table))
+            });
+            let Some(edge) = edge else { continue };
+            let (probe_attr, build_key) = if edge.left_table == *t {
+                (edge.right_col.clone(), edge.left_col.clone())
+            } else {
+                (edge.left_col.clone(), edge.right_col.clone())
+            };
+            let payload = shared_required_attrs(queries, t);
+            let table_region = project_region(&union, t);
+            let request = HtFingerprint {
+                kind: HtKind::JoinBuild,
+                tables: std::iter::once(t.clone()).collect(),
+                edges: vec![],
+                region: table_region.clone(),
+                key_attrs: vec![build_key.clone()],
+                payload_attrs: payload.clone(),
+                aggregates: vec![],
+                tagged: true,
+            };
+            let request_box = boxes_union_box(queries, t);
+            let m = matcher
+                .find_matches(htm, &request, &request_box, stats)
+                .into_iter()
+                .max_by(|a, b| a.contr.partial_cmp(&b.contr).unwrap_or(std::cmp::Ordering::Equal));
+            let reuse = m.map(|m| SharedReuse {
+                id: m.candidate.id,
+                case: m.case,
+                delta_region: m.delta_region,
+                request_region: table_region.clone(),
+            });
+            steps.push(SharedJoinStep {
+                table: t.clone(),
+                probe_attr,
+                build_key,
+                payload,
+                reuse: reuse.clone(),
+                publish: (publish && reuse.is_none()).then(|| request.clone()),
+            });
+            covered.push(t.clone());
+            remaining.remove(ri);
+            advanced = true;
+            break;
+        }
+        if !advanced {
+            return Err(HsError::PlanError(
+                "shared plan: join graph is not connected from the driver".into(),
+            ));
+        }
+    }
+
+    // Shared grouping phases: one per distinct group-by list.
+    let mut group_specs: Vec<SharedGroupSpec> = Vec::new();
+    let mut outputs: Vec<SharedOutput> = Vec::new();
+    for q in queries {
+        if q.is_aggregate() {
+            let gi = match group_specs
+                .iter()
+                .position(|g| g.group_by == q.group_by)
+            {
+                Some(gi) => gi,
+                None => {
+                    // Stored attrs: everything any sharing query needs.
+                    let sharing: Vec<QuerySpec> = queries
+                        .iter()
+                        .filter(|p| p.group_by == q.group_by && p.is_aggregate())
+                        .cloned()
+                        .collect();
+                    let mut stored: Vec<Arc<str>> = q.group_by.clone();
+                    for s in &sharing {
+                        for a in &s.aggregates {
+                            if !stored.contains(&a.attr) {
+                                stored.push(a.attr.clone());
+                            }
+                        }
+                        for (a, _) in s.predicates.constrained() {
+                            if !stored.contains(a) {
+                                stored.push(a.clone());
+                            }
+                        }
+                    }
+                    stored.sort();
+                    stored.dedup();
+                    let request = HtFingerprint {
+                        kind: HtKind::SharedGroup,
+                        tables: q0.tables.clone(),
+                        edges: {
+                            let mut e = q0.joins.clone();
+                            e.sort();
+                            e
+                        },
+                        region: union.clone(),
+                        key_attrs: q.group_by.clone(),
+                        payload_attrs: stored.clone(),
+                        aggregates: vec![],
+                        tagged: true,
+                    };
+                    let request_box = whole_union_box(queries);
+                    let m = matcher
+                        .find_matches(htm, &request, &request_box, stats)
+                        .into_iter()
+                        .filter(|m| !m.needs_post_group)
+                        .max_by(|a, b| {
+                            a.contr
+                                .partial_cmp(&b.contr)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                    let reuse = m.map(|m| SharedReuse {
+                        id: m.candidate.id,
+                        case: m.case,
+                        delta_region: m.delta_region,
+                        request_region: union.clone(),
+                    });
+                    group_specs.push(SharedGroupSpec {
+                        group_by: q.group_by.clone(),
+                        stored_attrs: stored,
+                        reuse: reuse.clone(),
+                        publish: (publish && reuse.is_none()).then_some(request),
+                    });
+                    group_specs.len() - 1
+                }
+            };
+            outputs.push(SharedOutput::Aggregate {
+                group_spec: gi,
+                aggs: q.aggregates.clone(),
+            });
+        } else {
+            let attrs = if q.projection.is_empty() {
+                shared_required_attrs(std::slice::from_ref(q), &driver)
+            } else {
+                q.projection.clone()
+            };
+            outputs.push(SharedOutput::Projection(attrs));
+        }
+    }
+
+    let driver_attrs = shared_required_attrs(queries, &driver);
+    let _ = catalog;
+    Ok(SharedPlanSpec {
+        queries: queries.to_vec(),
+        driver,
+        driver_attrs,
+        steps,
+        group_specs,
+        outputs,
+    })
+}
+
+/// The smallest single box covering the union of the queries' predicates on
+/// one table (used as a representative post-filter box for matching).
+fn boxes_union_box(queries: &[QuerySpec], table: &str) -> PredBox {
+    let mut out = PredBox::all();
+    // Conservative: intersect nothing — matching only uses this for
+    // post-filter attr coverage, and re-tagging supersedes post-filters in
+    // shared plans. Keep the attrs visible.
+    for q in queries {
+        if let Some((a, iv)) = q.predicates.project_table(table).constrained().next() {
+            out.constrain(a.clone(), iv.clone());
+        }
+    }
+    out
+}
+
+fn whole_union_box(queries: &[QuerySpec]) -> PredBox {
+    queries
+        .first()
+        .map(|q| q.predicates.clone())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashstash_cache::GcConfig;
+    use hashstash_exec::shared::execute_shared;
+    use hashstash_exec::{ExecContext, TempTableCache};
+    use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder};
+    use hashstash_storage::tpch::{generate, TpchConfig};
+    use hashstash_types::Value;
+
+    fn setup() -> (Catalog, DbStats, CostModel) {
+        let cat = generate(TpchConfig::new(0.002, 31));
+        let stats = DbStats::from_catalog(&cat);
+        (cat, stats, CostModel::synthetic())
+    }
+
+    fn mk(id: u32, lo: i64, hi: i64) -> QuerySpec {
+        QueryBuilder::new(id)
+            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .filter(
+                "customer.c_age",
+                Interval::closed(Value::Int(lo), Value::Int(hi)),
+            )
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(AggFunc::Count, "orders.o_orderkey"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_merges_same_join_graph() {
+        let (cat, stats, cost) = setup();
+        let mut htm = HtManager::new(GcConfig::default());
+        let queries = vec![mk(1, 20, 40), mk(2, 30, 50), mk(3, 35, 60), mk(4, 50, 70)];
+        let plan = plan_batch(
+            &queries,
+            &cat,
+            &stats,
+            &cost,
+            OptimizerConfig::default(),
+            &mut htm,
+            true,
+        )
+        .unwrap();
+        // All four share a join graph — expect at least one shared unit.
+        assert!(plan
+            .units
+            .iter()
+            .any(|u| matches!(u, BatchUnit::Shared { .. })));
+        let covered: usize = plan
+            .units
+            .iter()
+            .map(|u| match u {
+                BatchUnit::Single { .. } => 1,
+                BatchUnit::Shared { indices, .. } => indices.len(),
+            })
+            .sum();
+        assert_eq!(covered, 4, "every query appears exactly once");
+    }
+
+    #[test]
+    fn batch_keeps_different_join_graphs_apart() {
+        let (cat, stats, cost) = setup();
+        let mut htm = HtManager::new(GcConfig::default());
+        let other = QueryBuilder::new(9)
+            .join("part", "part.p_partkey", "lineitem", "lineitem.l_partkey")
+            .filter("part.p_size", Interval::closed(Value::Int(1), Value::Int(10)))
+            .group_by("part.p_brand")
+            .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"))
+            .build()
+            .unwrap();
+        let queries = vec![mk(1, 20, 40), other, mk(3, 30, 50)];
+        let plan = plan_batch(
+            &queries,
+            &cat,
+            &stats,
+            &cost,
+            OptimizerConfig::default(),
+            &mut htm,
+            true,
+        )
+        .unwrap();
+        for u in &plan.units {
+            if let BatchUnit::Shared { indices, .. } = u {
+                assert!(
+                    !indices.contains(&1),
+                    "the part–lineitem query must not merge with customer–orders"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_shared_spec_executes_correctly() {
+        let (cat, stats, _cost) = setup();
+        let mut htm = HtManager::new(GcConfig::default());
+        let queries = vec![mk(1, 20, 40), mk(2, 30, 60)];
+        let spec = derive_shared_spec(&queries, &cat, &stats, &mut htm, true).unwrap();
+        let mut temps = TempTableCache::unbounded();
+        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let results = execute_shared(&spec, &mut ctx).unwrap();
+        assert_eq!(results.len(), 2);
+        // Cross-check one query against the single-query path.
+        let cost = CostModel::synthetic();
+        let opt = Optimizer::new(
+            &cat,
+            &stats,
+            &cost,
+            OptimizerConfig {
+                strategy: crate::optimizer::ReuseStrategy::NeverShare,
+                publish_tables: false,
+                ..OptimizerConfig::default()
+            },
+        );
+        let mut htm2 = HtManager::new(GcConfig::default());
+        let oq = opt.optimize(&queries[0], &mut htm2).unwrap();
+        let mut temps2 = TempTableCache::unbounded();
+        let mut ctx2 = ExecContext::new(&cat, &mut htm2, &mut temps2);
+        let (_, mut expect) = hashstash_exec::execute(&oq.plan, &mut ctx2).unwrap();
+        expect.sort();
+        let mut got = results[0].rows.clone();
+        got.sort();
+        assert_eq!(got.len(), expect.len());
+        for (a, b) in got.iter().zip(&expect) {
+            assert_eq!(a.get(0), b.get(0));
+        }
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let (cat, stats, cost) = setup();
+        let mut htm = HtManager::new(GcConfig::default());
+        let queries: Vec<QuerySpec> = (0..65).map(|i| mk(i, 20, 40)).collect();
+        assert!(plan_batch(
+            &queries,
+            &cat,
+            &stats,
+            &cost,
+            OptimizerConfig::default(),
+            &mut htm,
+            true
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_empty_plan() {
+        let (cat, stats, cost) = setup();
+        let mut htm = HtManager::new(GcConfig::default());
+        let plan = plan_batch(
+            &[],
+            &cat,
+            &stats,
+            &cost,
+            OptimizerConfig::default(),
+            &mut htm,
+            true,
+        )
+        .unwrap();
+        assert!(plan.units.is_empty());
+        assert_eq!(plan.est_cost_ns, 0.0);
+    }
+}

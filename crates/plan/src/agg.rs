@@ -1,0 +1,113 @@
+//! Aggregate functions and expressions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Aggregate functions supported by the hash aggregate operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    /// Whether the function is *additive* — partial states over disjoint
+    /// inputs combine into the state over the union. Additivity is what
+    /// allows an exact-reuse rewrite with *fewer* group-by attributes (paper
+    /// §3.3: a post-aggregation re-groups the cached table) and what makes
+    /// partial reuse of aggregation hash tables sound.
+    pub fn is_additive(self) -> bool {
+        match self {
+            AggFunc::Sum | AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
+            AggFunc::Avg => false,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An aggregate over a (qualified) attribute, e.g. `SUM(lineitem.l_quantity)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// Qualified input attribute. `COUNT` ignores it but keeps one for
+    /// display (`COUNT(lineitem.l_orderkey)`).
+    pub attr: Arc<str>,
+}
+
+impl AggExpr {
+    /// Construct an aggregate expression.
+    pub fn new(func: AggFunc, attr: impl Into<Arc<str>>) -> Self {
+        AggExpr {
+            func,
+            attr: attr.into(),
+        }
+    }
+
+    /// The benefit-oriented `AVG → (SUM, COUNT)` rewrite (paper §3.4).
+    ///
+    /// Returns the replacement list for this expression: `AVG(a)` becomes
+    /// `[SUM(a), COUNT(a)]`; other functions are returned unchanged. The
+    /// caller remembers the mapping to reconstruct the average at output.
+    pub fn rewrite_avg(&self) -> Vec<AggExpr> {
+        match self.func {
+            AggFunc::Avg => vec![
+                AggExpr::new(AggFunc::Sum, self.attr.clone()),
+                AggExpr::new(AggFunc::Count, self.attr.clone()),
+            ],
+            _ => vec![self.clone()],
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.func, self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additivity() {
+        assert!(AggFunc::Sum.is_additive());
+        assert!(AggFunc::Count.is_additive());
+        assert!(AggFunc::Min.is_additive());
+        assert!(AggFunc::Max.is_additive());
+        assert!(!AggFunc::Avg.is_additive());
+    }
+
+    #[test]
+    fn avg_rewrite() {
+        let avg = AggExpr::new(AggFunc::Avg, "l.q");
+        let rewritten = avg.rewrite_avg();
+        assert_eq!(rewritten.len(), 2);
+        assert_eq!(rewritten[0].func, AggFunc::Sum);
+        assert_eq!(rewritten[1].func, AggFunc::Count);
+        assert!(rewritten.iter().all(|a| a.attr.as_ref() == "l.q"));
+        let sum = AggExpr::new(AggFunc::Sum, "l.q");
+        assert_eq!(sum.rewrite_avg(), vec![sum]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AggExpr::new(AggFunc::Sum, "l.q").to_string(), "SUM(l.q)");
+        assert_eq!(AggFunc::Avg.to_string(), "AVG");
+    }
+}

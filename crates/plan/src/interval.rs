@@ -1,0 +1,483 @@
+//! One-dimensional predicate intervals over [`Value`]s.
+//!
+//! An [`Interval`] represents the set of values an attribute may take under
+//! a conjunctive selection predicate (`l_shipdate >= '2015-01-01'`,
+//! `c_age BETWEEN 20 AND 30`, `p_brand = 'Brand#12'`, …).
+//!
+//! Discrete types (`Int`, `Date`) canonicalize exclusive bounds into
+//! inclusive ones (`x > 3` becomes `x >= 4`), which makes emptiness,
+//! containment and difference exact. Continuous (`Float`) and string types
+//! keep their bound kinds.
+
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+use hashstash_types::{DataType, Value};
+
+/// A (possibly unbounded) interval of attribute values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: Bound<Value>,
+    hi: Bound<Value>,
+}
+
+/// Successor of a discrete value (used for canonicalization).
+fn succ(v: &Value) -> Option<Value> {
+    match v {
+        Value::Int(x) => x.checked_add(1).map(Value::Int),
+        Value::Date(x) => x.checked_add(1).map(Value::Date),
+        _ => None,
+    }
+}
+
+/// Predecessor of a discrete value.
+fn pred(v: &Value) -> Option<Value> {
+    match v {
+        Value::Int(x) => x.checked_sub(1).map(Value::Int),
+        Value::Date(x) => x.checked_sub(1).map(Value::Date),
+        _ => None,
+    }
+}
+
+fn is_discrete(v: &Value) -> bool {
+    matches!(v.data_type(), DataType::Int | DataType::Date)
+}
+
+/// Compare two lower bounds: which one starts earlier?
+fn cmp_lo(a: &Bound<Value>, b: &Bound<Value>) -> Ordering {
+    match (a, b) {
+        (Bound::Unbounded, Bound::Unbounded) => Ordering::Equal,
+        (Bound::Unbounded, _) => Ordering::Less,
+        (_, Bound::Unbounded) => Ordering::Greater,
+        (Bound::Included(x), Bound::Included(y)) | (Bound::Excluded(x), Bound::Excluded(y)) => {
+            x.cmp(y)
+        }
+        // At the same point, an inclusive lower bound starts earlier.
+        (Bound::Included(x), Bound::Excluded(y)) => x.cmp(y).then(Ordering::Less),
+        (Bound::Excluded(x), Bound::Included(y)) => x.cmp(y).then(Ordering::Greater),
+    }
+}
+
+/// Compare two upper bounds: which one ends earlier?
+fn cmp_hi(a: &Bound<Value>, b: &Bound<Value>) -> Ordering {
+    match (a, b) {
+        (Bound::Unbounded, Bound::Unbounded) => Ordering::Equal,
+        (Bound::Unbounded, _) => Ordering::Greater,
+        (_, Bound::Unbounded) => Ordering::Less,
+        (Bound::Included(x), Bound::Included(y)) | (Bound::Excluded(x), Bound::Excluded(y)) => {
+            x.cmp(y)
+        }
+        // At the same point, an exclusive upper bound ends earlier.
+        (Bound::Included(x), Bound::Excluded(y)) => x.cmp(y).then(Ordering::Greater),
+        (Bound::Excluded(x), Bound::Included(y)) => x.cmp(y).then(Ordering::Less),
+    }
+}
+
+impl Interval {
+    /// The unconstrained interval.
+    pub fn all() -> Self {
+        Interval {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
+    }
+
+    /// Construct and canonicalize an interval from raw bounds.
+    pub fn new(lo: Bound<Value>, hi: Bound<Value>) -> Self {
+        let lo = match lo {
+            Bound::Excluded(v) if is_discrete(&v) => match succ(&v) {
+                Some(s) => Bound::Included(s),
+                None => Bound::Excluded(v), // i64::MAX: interval is empty anyway
+            },
+            other => other,
+        };
+        let hi = match hi {
+            Bound::Excluded(v) if is_discrete(&v) => match pred(&v) {
+                Some(p) => Bound::Included(p),
+                None => Bound::Excluded(v),
+            },
+            other => other,
+        };
+        Interval { lo, hi }
+    }
+
+    /// `attr = v`.
+    pub fn eq(v: Value) -> Self {
+        Interval {
+            lo: Bound::Included(v.clone()),
+            hi: Bound::Included(v),
+        }
+    }
+
+    /// `lo <= attr <= hi`.
+    pub fn closed(lo: Value, hi: Value) -> Self {
+        Interval::new(Bound::Included(lo), Bound::Included(hi))
+    }
+
+    /// `lo <= attr < hi` (canonicalizes for discrete types).
+    pub fn half_open(lo: Value, hi: Value) -> Self {
+        Interval::new(Bound::Included(lo), Bound::Excluded(hi))
+    }
+
+    /// `attr >= v`.
+    pub fn at_least(v: Value) -> Self {
+        Interval::new(Bound::Included(v), Bound::Unbounded)
+    }
+
+    /// `attr > v`.
+    pub fn greater_than(v: Value) -> Self {
+        Interval::new(Bound::Excluded(v), Bound::Unbounded)
+    }
+
+    /// `attr <= v`.
+    pub fn at_most(v: Value) -> Self {
+        Interval::new(Bound::Unbounded, Bound::Included(v))
+    }
+
+    /// `attr < v`.
+    pub fn less_than(v: Value) -> Self {
+        Interval::new(Bound::Unbounded, Bound::Excluded(v))
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> &Bound<Value> {
+        &self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> &Bound<Value> {
+        &self.hi
+    }
+
+    /// Whether the interval contains no values.
+    pub fn is_empty(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => false,
+            (Bound::Included(a), Bound::Included(b)) => a > b,
+            (Bound::Included(a), Bound::Excluded(b)) | (Bound::Excluded(a), Bound::Included(b)) => {
+                a >= b
+            }
+            (Bound::Excluded(a), Bound::Excluded(b)) => {
+                // For continuous types (a, b) is empty iff a >= b; for
+                // discrete these were canonicalized away except at the i64
+                // extremes, where a >= b is still the right emptiness test
+                // except the pathological (MAX, MAX) which is empty too.
+                a >= b
+            }
+        }
+    }
+
+    /// Whether the interval is the unconstrained interval.
+    pub fn is_all(&self) -> bool {
+        matches!(
+            (&self.lo, &self.hi),
+            (Bound::Unbounded, Bound::Unbounded)
+        )
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains_value(&self, v: &Value) -> bool {
+        let lo_ok = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Included(l) => v >= l,
+            Bound::Excluded(l) => v > l,
+        };
+        let hi_ok = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Included(h) => v <= h,
+            Bound::Excluded(h) => v < h,
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Intersection of two intervals (may be empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let lo = if cmp_lo(&self.lo, &other.lo) == Ordering::Less {
+            other.lo.clone()
+        } else {
+            self.lo.clone()
+        };
+        let hi = if cmp_hi(&self.hi, &other.hi) == Ordering::Greater {
+            other.hi.clone()
+        } else {
+            self.hi.clone()
+        };
+        Interval { lo, hi }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Interval) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        cmp_lo(&other.lo, &self.lo) != Ordering::Greater
+            && cmp_hi(&self.hi, &other.hi) != Ordering::Greater
+    }
+
+    /// Whether the two intervals share at least one value.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty() && !self.is_empty() && !other.is_empty()
+    }
+
+    /// If the two intervals overlap or touch (no value lies strictly
+    /// between them), return their hull; otherwise `None`. Used to coalesce
+    /// predicate regions so lineage stays compact across many partial
+    /// reuses.
+    pub fn merge_touching(&self, other: &Interval) -> Option<Interval> {
+        if self.is_empty() {
+            return Some(other.clone());
+        }
+        if other.is_empty() {
+            return Some(self.clone());
+        }
+        let touching = self.intersects(other)
+            || Self::adjacent(&self.hi, &other.lo)
+            || Self::adjacent(&other.hi, &self.lo);
+        if !touching {
+            return None;
+        }
+        let lo = if cmp_lo(&self.lo, &other.lo) == Ordering::Greater {
+            other.lo.clone()
+        } else {
+            self.lo.clone()
+        };
+        let hi = if cmp_hi(&self.hi, &other.hi) == Ordering::Less {
+            other.hi.clone()
+        } else {
+            self.hi.clone()
+        };
+        Some(Interval { lo, hi })
+    }
+
+    /// Whether an upper bound `hi` and a lower bound `lo` leave no gap.
+    fn adjacent(hi: &Bound<Value>, lo: &Bound<Value>) -> bool {
+        match (hi, lo) {
+            (Bound::Included(h), Bound::Included(l)) => {
+                // [.., h] and [l, ..]: contiguous when l = succ(h).
+                succ(h).is_some_and(|s| &s == l)
+            }
+            // [.., h] and (h, ..] — or [.., h) and [h, ..] — tile exactly.
+            (Bound::Included(h), Bound::Excluded(l)) => h == l,
+            (Bound::Excluded(h), Bound::Included(l)) => h == l,
+            _ => false,
+        }
+    }
+
+    /// `self \ other` as up to two disjoint intervals.
+    pub fn difference(&self, other: &Interval) -> Vec<Interval> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        if !self.intersects(other) {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::new();
+        // Piece below `other`: [self.lo, flip(other.lo))
+        let below_hi = match &other.lo {
+            Bound::Unbounded => None,
+            Bound::Included(v) => Some(Bound::Excluded(v.clone())),
+            Bound::Excluded(v) => Some(Bound::Included(v.clone())),
+        };
+        if let Some(hi) = below_hi {
+            let piece = Interval::new(self.lo.clone(), hi);
+            if !piece.is_empty() {
+                out.push(piece);
+            }
+        }
+        // Piece above `other`: (flip(other.hi), self.hi]
+        let above_lo = match &other.hi {
+            Bound::Unbounded => None,
+            Bound::Included(v) => Some(Bound::Excluded(v.clone())),
+            Bound::Excluded(v) => Some(Bound::Included(v.clone())),
+        };
+        if let Some(lo) = above_lo {
+            let piece = Interval::new(lo, self.hi.clone());
+            if !piece.is_empty() {
+                out.push(piece);
+            }
+        }
+        out
+    }
+
+    /// Estimated fraction of the attribute's domain `[dom_lo, dom_hi]`
+    /// covered by this interval. Used for selectivity estimation; strings
+    /// fall back to `1/distinct` for equality and 0.5 otherwise.
+    pub fn fraction(&self, dom_lo: &Value, dom_hi: &Value, distinct: u64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let num = |v: &Value| v.to_f64();
+        match (num(dom_lo), num(dom_hi)) {
+            (Some(dlo), Some(dhi)) if dhi > dlo => {
+                let discrete = is_discrete(dom_lo);
+                let width = if discrete { dhi - dlo + 1.0 } else { dhi - dlo };
+                let lo = match &self.lo {
+                    Bound::Unbounded => dlo,
+                    Bound::Included(v) | Bound::Excluded(v) => {
+                        num(v).unwrap_or(dlo).clamp(dlo, dhi)
+                    }
+                };
+                let hi = match &self.hi {
+                    Bound::Unbounded => dhi,
+                    Bound::Included(v) | Bound::Excluded(v) => {
+                        num(v).unwrap_or(dhi).clamp(dlo, dhi)
+                    }
+                };
+                let span = if discrete { hi - lo + 1.0 } else { hi - lo };
+                (span / width).clamp(0.0, 1.0)
+            }
+            _ => {
+                // String or degenerate domain.
+                let is_eq = matches!((&self.lo, &self.hi),
+                    (Bound::Included(a), Bound::Included(b)) if a == b);
+                if is_eq {
+                    1.0 / distinct.max(1) as f64
+                } else if self.is_all() {
+                    1.0
+                } else {
+                    0.5
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.lo {
+            Bound::Unbounded => write!(f, "(-inf")?,
+            Bound::Included(v) => write!(f, "[{v}")?,
+            Bound::Excluded(v) => write!(f, "({v}")?,
+        }
+        write!(f, ", ")?;
+        match &self.hi {
+            Bound::Unbounded => write!(f, "+inf)"),
+            Bound::Included(v) => write!(f, "{v}]"),
+            Bound::Excluded(v) => write!(f, "{v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(Value::Int(lo), Value::Int(hi))
+    }
+
+    #[test]
+    fn canonicalization_discrete() {
+        let a = Interval::greater_than(Value::Int(3));
+        assert_eq!(a.lo(), &Bound::Included(Value::Int(4)));
+        let b = Interval::less_than(Value::Date(100));
+        assert_eq!(b.hi(), &Bound::Included(Value::Date(99)));
+        // floats keep exclusive bounds
+        let c = Interval::greater_than(Value::float(1.0));
+        assert_eq!(c.lo(), &Bound::Excluded(Value::float(1.0)));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(iv(5, 4).is_empty());
+        assert!(!iv(5, 5).is_empty());
+        assert!(!Interval::all().is_empty());
+        let half = Interval::half_open(Value::Int(3), Value::Int(3));
+        assert!(half.is_empty(), "[3,3) is empty");
+        let f = Interval::new(
+            Bound::Excluded(Value::float(1.0)),
+            Bound::Excluded(Value::float(1.0)),
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn contains_value() {
+        let a = iv(10, 20);
+        assert!(a.contains_value(&Value::Int(10)));
+        assert!(a.contains_value(&Value::Int(20)));
+        assert!(!a.contains_value(&Value::Int(21)));
+        let b = Interval::less_than(Value::float(2.0));
+        assert!(b.contains_value(&Value::float(1.99)));
+        assert!(!b.contains_value(&Value::float(2.0)));
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(iv(0, 10).intersect(&iv(5, 15)), iv(5, 10));
+        assert!(iv(0, 4).intersect(&iv(5, 9)).is_empty());
+        assert_eq!(Interval::all().intersect(&iv(1, 2)), iv(1, 2));
+    }
+
+    #[test]
+    fn subset() {
+        assert!(iv(5, 7).is_subset(&iv(0, 10)));
+        assert!(iv(0, 10).is_subset(&iv(0, 10)));
+        assert!(!iv(0, 11).is_subset(&iv(0, 10)));
+        assert!(iv(5, 4).is_subset(&iv(100, 101)), "empty ⊆ anything");
+        assert!(iv(1, 2).is_subset(&Interval::all()));
+        assert!(!Interval::all().is_subset(&iv(1, 2)));
+    }
+
+    #[test]
+    fn difference_middle_split() {
+        let d = iv(0, 10).difference(&iv(3, 5));
+        assert_eq!(d, vec![iv(0, 2), iv(6, 10)]);
+    }
+
+    #[test]
+    fn difference_edges() {
+        assert_eq!(iv(0, 10).difference(&iv(0, 4)), vec![iv(5, 10)]);
+        assert_eq!(iv(0, 10).difference(&iv(7, 10)), vec![iv(0, 6)]);
+        assert_eq!(iv(0, 10).difference(&iv(0, 10)), Vec::<Interval>::new());
+        assert_eq!(iv(0, 10).difference(&iv(20, 30)), vec![iv(0, 10)]);
+        assert_eq!(iv(0, 10).difference(&Interval::all()), Vec::<Interval>::new());
+    }
+
+    #[test]
+    fn difference_float_keeps_open_bounds() {
+        let r = Interval::closed(Value::float(0.0), Value::float(10.0));
+        let c = Interval::closed(Value::float(3.0), Value::float(5.0));
+        let d = r.difference(&c);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].hi(), &Bound::Excluded(Value::float(3.0)));
+        assert_eq!(d[1].lo(), &Bound::Excluded(Value::float(5.0)));
+        // The pieces and the intersection must tile r: spot-check membership.
+        for x in [0.0, 2.99, 3.0, 4.0, 5.0, 5.01, 10.0] {
+            let v = Value::float(x);
+            let in_r = r.contains_value(&v);
+            let in_parts = d.iter().any(|p| p.contains_value(&v)) || c.contains_value(&v);
+            assert_eq!(in_r, in_parts, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fraction_estimates() {
+        let dom_lo = Value::Int(0);
+        let dom_hi = Value::Int(99);
+        assert!((iv(0, 49).fraction(&dom_lo, &dom_hi, 100) - 0.5).abs() < 1e-9);
+        assert!((Interval::all().fraction(&dom_lo, &dom_hi, 100) - 1.0).abs() < 1e-9);
+        assert!((iv(0, 0).fraction(&dom_lo, &dom_hi, 100) - 0.01).abs() < 1e-9);
+        let s = Interval::eq(Value::str("Brand#12"));
+        assert!((s.fraction(&Value::str("A"), &Value::str("Z"), 25) - 0.04).abs() < 1e-9);
+        assert_eq!(iv(5, 4).fraction(&dom_lo, &dom_hi, 100), 0.0);
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(iv(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Interval::all().to_string(), "(-inf, +inf)");
+        assert_eq!(
+            Interval::less_than(Value::float(2.0)).to_string(),
+            "(-inf, 2)"
+        );
+    }
+
+    #[test]
+    fn eq_constructor() {
+        let e = Interval::eq(Value::str("x"));
+        assert!(e.contains_value(&Value::str("x")));
+        assert!(!e.contains_value(&Value::str("y")));
+        assert!(!e.is_empty());
+    }
+}

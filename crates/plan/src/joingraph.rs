@@ -1,0 +1,303 @@
+//! Join graphs and connected-partition enumeration for top-down join
+//! ordering (paper Algorithm 1).
+//!
+//! The optimizer's search partitions a join graph `G` into `(G_l, G_r)` such
+//! that both sides are connected and at least one edge crosses the cut, then
+//! recurses. With TPC-H-style queries (≤ 6 tables) exhaustive enumeration
+//! over bitmask subsets is exact and fast.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::query::{JoinEdge, QuerySpec};
+
+/// A join graph over named base tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinGraph {
+    /// Sorted table names; a table's index is its bit position in subset
+    /// masks.
+    tables: Vec<Arc<str>>,
+    /// Equi-join edges.
+    edges: Vec<JoinEdge>,
+}
+
+impl JoinGraph {
+    /// Build the join graph of a query.
+    pub fn of_query(q: &QuerySpec) -> Self {
+        JoinGraph {
+            tables: q.tables.iter().cloned().collect(),
+            edges: q.joins.clone(),
+        }
+    }
+
+    /// Construct from parts (used in tests and by the optimizer's recursion).
+    pub fn new(tables: Vec<Arc<str>>, edges: Vec<JoinEdge>) -> Self {
+        JoinGraph { tables, edges }
+    }
+
+    /// Table names in index order.
+    pub fn tables(&self) -> &[Arc<str>] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the graph has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    fn index_of(&self, table: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.as_ref() == table)
+    }
+
+    /// Bitmask with every table set.
+    fn full_mask(&self) -> u64 {
+        if self.tables.len() >= 64 {
+            panic!("join graphs beyond 63 tables are unsupported");
+        }
+        (1u64 << self.tables.len()) - 1
+    }
+
+    /// Whether the tables in `mask` form a connected subgraph.
+    pub fn is_connected(&self, mask: u64) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let start = mask.trailing_zeros() as usize;
+        let mut visited = 1u64 << start;
+        let mut frontier = vec![start];
+        while let Some(t) = frontier.pop() {
+            let tname = self.tables[t].as_ref();
+            for e in &self.edges {
+                let other = if e.left_table.as_ref() == tname {
+                    self.index_of(e.right_table.as_ref())
+                } else if e.right_table.as_ref() == tname {
+                    self.index_of(e.left_table.as_ref())
+                } else {
+                    None
+                };
+                if let Some(o) = other {
+                    let bit = 1u64 << o;
+                    if mask & bit != 0 && visited & bit == 0 {
+                        visited |= bit;
+                        frontier.push(o);
+                    }
+                }
+            }
+        }
+        visited == mask
+    }
+
+    /// Whether at least one edge connects `a`-side tables to `b`-side
+    /// tables.
+    pub fn has_cross_edge(&self, a: u64, b: u64) -> bool {
+        self.edges.iter().any(|e| {
+            let (Some(l), Some(r)) = (
+                self.index_of(e.left_table.as_ref()),
+                self.index_of(e.right_table.as_ref()),
+            ) else {
+                return false;
+            };
+            let (lb, rb) = (1u64 << l, 1u64 << r);
+            (a & lb != 0 && b & rb != 0) || (a & rb != 0 && b & lb != 0)
+        })
+    }
+
+    /// Enumerate all partitions `(left, right)` of `mask` where both sides
+    /// are non-empty, connected, and joined by at least one edge. Each
+    /// unordered partition appears once, with the side containing the lowest
+    /// set bit first.
+    pub fn connected_partitions(&self, mask: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if mask.count_ones() < 2 {
+            return out;
+        }
+        let lowest = mask & mask.wrapping_neg();
+        // Enumerate proper non-empty subsets of `mask` that contain the
+        // lowest bit (canonical side), via the standard subset-walk.
+        let rest = mask ^ lowest;
+        let mut sub = rest;
+        loop {
+            let left = lowest | sub;
+            let right = mask ^ left;
+            if right != 0
+                && self.is_connected(left)
+                && self.is_connected(right)
+                && self.has_cross_edge(left, right)
+            {
+                out.push((left, right));
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & rest;
+        }
+        out
+    }
+
+    /// Table names selected by a mask.
+    pub fn tables_of_mask(&self, mask: u64) -> BTreeSet<Arc<str>> {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1u64 << i) != 0)
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+
+    /// Mask covering the given table names.
+    pub fn mask_of_tables<'a>(&self, tables: impl IntoIterator<Item = &'a str>) -> u64 {
+        let mut mask = 0;
+        for t in tables {
+            if let Some(i) = self.index_of(t) {
+                mask |= 1u64 << i;
+            }
+        }
+        mask
+    }
+
+    /// Edges with both endpoints inside `mask`.
+    pub fn edges_within_mask(&self, mask: u64) -> Vec<JoinEdge> {
+        self.edges
+            .iter()
+            .filter(|e| {
+                let (Some(l), Some(r)) = (
+                    self.index_of(e.left_table.as_ref()),
+                    self.index_of(e.right_table.as_ref()),
+                ) else {
+                    return false;
+                };
+                mask & (1u64 << l) != 0 && mask & (1u64 << r) != 0
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Edges crossing between `a` and `b`.
+    pub fn cross_edges(&self, a: u64, b: u64) -> Vec<JoinEdge> {
+        self.edges
+            .iter()
+            .filter(|e| {
+                let (Some(l), Some(r)) = (
+                    self.index_of(e.left_table.as_ref()),
+                    self.index_of(e.right_table.as_ref()),
+                ) else {
+                    return false;
+                };
+                let (lb, rb) = (1u64 << l, 1u64 << r);
+                (a & lb != 0 && b & rb != 0) || (a & rb != 0 && b & lb != 0)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// The all-tables mask.
+    pub fn all(&self) -> u64 {
+        self.full_mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    /// customer — orders — lineitem chain.
+    fn chain() -> JoinGraph {
+        let q = QueryBuilder::new(1)
+            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .build()
+            .unwrap();
+        JoinGraph::of_query(&q)
+    }
+
+    /// 5-way: customer—orders—lineitem—part, lineitem—supplier.
+    fn five_way() -> JoinGraph {
+        let q = QueryBuilder::new(1)
+            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .join("lineitem", "lineitem.l_partkey", "part", "part.p_partkey")
+            .join("lineitem", "lineitem.l_suppkey", "supplier", "supplier.s_suppkey")
+            .build()
+            .unwrap();
+        JoinGraph::of_query(&q)
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = chain();
+        // tables sorted: customer(0), lineitem(1), orders(2)
+        let c = g.mask_of_tables(["customer"]);
+        let l = g.mask_of_tables(["lineitem"]);
+        let o = g.mask_of_tables(["orders"]);
+        assert!(g.is_connected(c));
+        assert!(g.is_connected(c | o));
+        assert!(!g.is_connected(c | l), "customer–lineitem not adjacent");
+        assert!(g.is_connected(c | o | l));
+        assert!(!g.is_connected(0));
+    }
+
+    #[test]
+    fn chain_partitions() {
+        let g = chain();
+        let parts = g.connected_partitions(g.all());
+        // A 3-chain A–B–C has exactly 2 connected cuts: {A}|{B,C}, {A,B}|{C}.
+        assert_eq!(parts.len(), 2);
+        for (a, b) in parts {
+            assert!(g.is_connected(a) && g.is_connected(b));
+            assert!(g.has_cross_edge(a, b));
+            assert_eq!(a | b, g.all());
+            assert_eq!(a & b, 0);
+        }
+    }
+
+    #[test]
+    fn five_way_partitions_all_valid() {
+        let g = five_way();
+        let parts = g.connected_partitions(g.all());
+        assert!(!parts.is_empty());
+        for (a, b) in &parts {
+            assert!(g.is_connected(*a));
+            assert!(g.is_connected(*b));
+            assert!(g.has_cross_edge(*a, *b));
+        }
+        // The star around lineitem gives more cuts than the chain.
+        assert!(parts.len() >= 4, "got {}", parts.len());
+    }
+
+    #[test]
+    fn single_table_has_no_partitions() {
+        let g = chain();
+        assert!(g.connected_partitions(g.mask_of_tables(["orders"])).is_empty());
+    }
+
+    #[test]
+    fn masks_round_trip() {
+        let g = chain();
+        let m = g.mask_of_tables(["customer", "lineitem"]);
+        let names = g.tables_of_mask(m);
+        assert!(names.contains("customer"));
+        assert!(names.contains("lineitem"));
+        assert!(!names.contains("orders"));
+    }
+
+    #[test]
+    fn edges_within_and_cross() {
+        let g = chain();
+        let co = g.mask_of_tables(["customer", "orders"]);
+        let l = g.mask_of_tables(["lineitem"]);
+        assert_eq!(g.edges_within_mask(co).len(), 1);
+        assert_eq!(g.cross_edges(co, l).len(), 1);
+        assert_eq!(g.edges_within_mask(l).len(), 0);
+    }
+}

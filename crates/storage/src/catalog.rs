@@ -1,0 +1,104 @@
+//! Name → table registry shared by the planner and the executor.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hashstash_types::{HsError, Result};
+
+use crate::table::Table;
+
+/// A catalog of immutable tables.
+///
+/// Tables are held behind `Arc` so plans and executors can hold cheap
+/// references while the catalog stays the single source of truth.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under its own name, replacing any previous table
+    /// with the same name.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), Arc::new(table));
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| HsError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total approximate footprint of all tables in bytes.
+    pub fn bytes(&self) -> usize {
+        self.tables.values().map(|t| t.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use hashstash_types::{DataType, Value};
+
+    fn tiny(name: &str) -> Table {
+        let mut b = TableBuilder::new(name, vec![("x", DataType::Int)]);
+        b.push_row(vec![Value::Int(1)]);
+        b.finish()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut cat = Catalog::new();
+        cat.register(tiny("a"));
+        cat.register(tiny("b"));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("a").unwrap().name(), "a");
+        assert!(matches!(cat.get("zz"), Err(HsError::UnknownTable(_))));
+        assert_eq!(cat.table_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut cat = Catalog::new();
+        cat.register(tiny("a"));
+        let mut b = TableBuilder::new("a", vec![("x", DataType::Int)]);
+        b.push_row(vec![Value::Int(1)]);
+        b.push_row(vec![Value::Int(2)]);
+        cat.register(b.finish());
+        assert_eq!(cat.get("a").unwrap().row_count(), 2);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn bytes_sums_tables() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.bytes(), 0);
+        cat.register(tiny("a"));
+        assert!(cat.bytes() > 0);
+    }
+}

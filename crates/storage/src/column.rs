@@ -1,0 +1,237 @@
+//! Typed columnar storage.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hashstash_types::{DataType, Value};
+
+/// A typed column of values.
+///
+/// Strings are dictionary-encoded: the `dict` holds distinct strings, the
+/// `codes` vector holds per-row dictionary indices. TPC-H string selection
+/// attributes (brand, mfgr, segment…) are low-cardinality, so this keeps
+/// scans cache-friendly and makes string equality a `u32` compare.
+#[derive(Debug, Clone)]
+pub enum Column {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Date(Vec<i32>),
+    Str { dict: Vec<Arc<str>>, codes: Vec<u32> },
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Date => Column::Date(Vec::new()),
+            DataType::Str => Column::Str {
+                dict: Vec::new(),
+                codes: Vec::new(),
+            },
+        }
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Date(_) => DataType::Date,
+            Column::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Date(v) => v.len(),
+            Column::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at row `i` (clones; string clones are refcount bumps).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::float(v[i]),
+            Column::Date(v) => Value::Date(v[i]),
+            Column::Str { dict, codes } => Value::Str(dict[codes[i] as usize].clone()),
+        }
+    }
+
+    /// Compare row `i` against a scalar without materializing a `Value`.
+    ///
+    /// Returns `None` on type mismatch.
+    pub fn cmp_row(&self, i: usize, v: &Value) -> Option<std::cmp::Ordering> {
+        match (self, v) {
+            (Column::Int(c), Value::Int(x)) => Some(c[i].cmp(x)),
+            (Column::Date(c), Value::Date(x)) => Some(c[i].cmp(x)),
+            (Column::Float(c), Value::Float(x)) => {
+                Some(hashstash_types::F64(c[i]).cmp(x))
+            }
+            (Column::Str { dict, codes }, Value::Str(s)) => {
+                Some(dict[codes[i] as usize].as_ref().cmp(s.as_ref()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used in memory statistics).
+    pub fn bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * 8,
+            Column::Float(v) => v.len() * 8,
+            Column::Date(v) => v.len() * 4,
+            Column::Str { dict, codes } => {
+                codes.len() * 4 + dict.iter().map(|s| s.len() + 16).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Incremental builder for one column.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    column: Column,
+    dict_lookup: HashMap<Arc<str>, u32>,
+}
+
+impl ColumnBuilder {
+    /// Start building a column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        ColumnBuilder {
+            column: Column::new(dtype),
+            dict_lookup: HashMap::new(),
+        }
+    }
+
+    /// Append a value. Panics on type mismatch (catalog construction is
+    /// programmatic; a mismatch is a bug, not user input).
+    pub fn push(&mut self, v: Value) {
+        match (&mut self.column, v) {
+            (Column::Int(c), Value::Int(x)) => c.push(x),
+            (Column::Float(c), Value::Float(x)) => c.push(x.0),
+            (Column::Date(c), Value::Date(x)) => c.push(x),
+            (Column::Str { dict, codes }, Value::Str(s)) => {
+                let code = match self.dict_lookup.get(&s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(s.clone());
+                        self.dict_lookup.insert(s, c);
+                        c
+                    }
+                };
+                codes.push(code);
+            }
+            (col, v) => panic!(
+                "type mismatch pushing {:?} into {:?} column",
+                v.data_type(),
+                col.data_type()
+            ),
+        }
+    }
+
+    /// Convenience: push an `i64`.
+    pub fn push_int(&mut self, v: i64) {
+        self.push(Value::Int(v));
+    }
+
+    /// Convenience: push an `f64`.
+    pub fn push_float(&mut self, v: f64) {
+        self.push(Value::float(v));
+    }
+
+    /// Convenience: push a date given as days since epoch.
+    pub fn push_date(&mut self, days: i32) {
+        self.push(Value::Date(days));
+    }
+
+    /// Convenience: push a string.
+    pub fn push_str(&mut self, s: &str) {
+        self.push(Value::str(s));
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Column {
+        self.column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_get_all_types() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push_int(1);
+        b.push_int(2);
+        let c = b.finish();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Value::Int(2));
+        assert_eq!(c.data_type(), DataType::Int);
+
+        let mut b = ColumnBuilder::new(DataType::Str);
+        b.push_str("a");
+        b.push_str("b");
+        b.push_str("a");
+        let c = b.finish();
+        assert_eq!(c.get(2), Value::str("a"));
+        if let Column::Str { dict, .. } = &c {
+            assert_eq!(dict.len(), 2, "dictionary deduplicates");
+        } else {
+            panic!("expected string column");
+        }
+    }
+
+    #[test]
+    fn cmp_row_matches_value_order() {
+        let mut b = ColumnBuilder::new(DataType::Date);
+        b.push_date(100);
+        let c = b.finish();
+        assert_eq!(
+            c.cmp_row(0, &Value::Date(50)),
+            Some(std::cmp::Ordering::Greater)
+        );
+        assert_eq!(c.cmp_row(0, &Value::Int(50)), None, "type mismatch");
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn push_wrong_type_panics() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push_str("nope");
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for i in 0..10 {
+            b.push_int(i);
+        }
+        assert_eq!(b.finish().bytes(), 80);
+    }
+
+    #[test]
+    fn float_column_roundtrip() {
+        let mut b = ColumnBuilder::new(DataType::Float);
+        b.push_float(1.5);
+        b.push_float(-2.5);
+        let c = b.finish();
+        assert_eq!(c.get(0), Value::float(1.5));
+        assert_eq!(
+            c.cmp_row(1, &Value::float(0.0)),
+            Some(std::cmp::Ordering::Less)
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! In-memory columnar storage: tables, secondary indexes, catalog and the
+//! TPC-H-style data generator used by every experiment in the paper.
+//!
+//! The paper evaluates HashStash on a TPC-H SF=10 database "with secondary
+//! indexes on all selection attributes used in our query workloads" (§6).
+//! This crate provides that substrate:
+//!
+//! * [`Column`] — typed columnar vectors; strings are dictionary-encoded.
+//! * [`Table`] — a named schema plus columns, with row materialization.
+//! * [`SortedIndex`] — an order-preserving secondary index answering range
+//!   scans (the delta scans of partial/overlapping reuse hit these).
+//! * [`Catalog`] — name → table registry shared by planner and executor.
+//! * [`tpch`] — deterministic generator for REGION, NATION, SUPPLIER,
+//!   CUSTOMER (extended with the paper's `c_age`), PART, ORDERS, LINEITEM.
+
+pub mod catalog;
+pub mod column;
+pub mod index;
+pub mod table;
+pub mod tpch;
+
+pub use catalog::Catalog;
+pub use column::Column;
+pub use index::SortedIndex;
+pub use table::{Table, TableBuilder};

@@ -1,0 +1,380 @@
+//! Deterministic TPC-H-style data generator.
+//!
+//! The paper evaluates on TPC-H SF=10 "with secondary indexes on all
+//! selection attributes used in our query workloads" and notes that relative
+//! gains are scale-invariant (§6). This generator produces the same seven
+//! tables at a configurable scale factor, deterministically from a seed, and
+//! adds the `c_age` column on CUSTOMER that the paper's example queries use
+//! (Figure 2/4) — `c_age` is not part of standard TPC-H.
+//!
+//! Cardinalities follow TPC-H: per unit scale factor there are 150k
+//! customers, 1.5M orders (10 per customer), ~6M lineitems (1–7 per order),
+//! 200k parts, 10k suppliers, plus the fixed 25 nations and 5 regions.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hashstash_types::{date, DataType, Value};
+
+use crate::catalog::Catalog;
+use crate::table::TableBuilder;
+
+/// First possible `o_orderdate` (TPC-H: 1992-01-01).
+pub fn min_order_date() -> i32 {
+    date::days_from_ymd(1992, 1, 1)
+}
+
+/// Last possible `o_orderdate` (TPC-H: 1998-08-02).
+pub fn max_order_date() -> i32 {
+    date::days_from_ymd(1998, 8, 2)
+}
+
+/// Last possible `l_shipdate` (order date + up to 121 days).
+pub fn max_ship_date() -> i32 {
+    max_order_date() + 121
+}
+
+/// Customer age bounds for the paper's `c_age` extension column.
+pub const MIN_AGE: i64 = 18;
+/// Upper (inclusive) customer age.
+pub const MAX_AGE: i64 = 92;
+
+/// TPC-H market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// TPC-H scale factor. SF=1 is ~6M lineitems; experiments here default
+    /// to much smaller SFs (see DESIGN.md, substitution table).
+    pub scale_factor: f64,
+    /// RNG seed — the same seed always produces the same database.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: 0.01,
+            seed: 42,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Convenience constructor.
+    pub fn new(scale_factor: f64, seed: u64) -> Self {
+        TpchConfig { scale_factor, seed }
+    }
+
+    /// Number of customers at this scale factor (min 50 so tiny test
+    /// databases stay joinable).
+    pub fn customers(&self) -> usize {
+        ((150_000.0 * self.scale_factor) as usize).max(50)
+    }
+
+    /// Number of orders.
+    pub fn orders(&self) -> usize {
+        self.customers() * 10
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        ((200_000.0 * self.scale_factor) as usize).max(40)
+    }
+
+    /// Number of suppliers.
+    pub fn suppliers(&self) -> usize {
+        ((10_000.0 * self.scale_factor) as usize).max(10)
+    }
+}
+
+/// Generate the full database and register secondary indexes on every
+/// selection attribute the paper's workloads touch.
+pub fn generate(config: TpchConfig) -> Catalog {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut catalog = Catalog::new();
+
+    catalog.register(gen_region());
+    catalog.register(gen_nation(&mut rng));
+    catalog.register(gen_supplier(&config, &mut rng));
+    catalog.register(gen_customer(&config, &mut rng));
+    catalog.register(gen_part(&config, &mut rng));
+    let (orders, order_dates) = gen_orders(&config, &mut rng);
+    catalog.register(orders);
+    catalog.register(gen_lineitem(&config, &order_dates, &mut rng));
+
+    catalog
+}
+
+fn gen_region() -> crate::table::Table {
+    let mut b = TableBuilder::new(
+        "region",
+        vec![("r_regionkey", DataType::Int), ("r_name", DataType::Str)],
+    );
+    for (i, name) in ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+        .iter()
+        .enumerate()
+    {
+        b.push_row(vec![Value::Int(i as i64), Value::str(name)]);
+    }
+    b.finish()
+}
+
+fn gen_nation(rng: &mut SmallRng) -> crate::table::Table {
+    let names = [
+        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+        "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
+        "UNITED KINGDOM", "UNITED STATES",
+    ];
+    let mut b = TableBuilder::new(
+        "nation",
+        vec![
+            ("n_nationkey", DataType::Int),
+            ("n_name", DataType::Str),
+            ("n_regionkey", DataType::Int),
+        ],
+    );
+    for (i, name) in names.iter().enumerate() {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(name),
+            Value::Int(rng.gen_range(0..5)),
+        ]);
+    }
+    b.finish()
+}
+
+fn gen_supplier(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
+    let mut b = TableBuilder::new(
+        "supplier",
+        vec![
+            ("s_suppkey", DataType::Int),
+            ("s_nationkey", DataType::Int),
+            ("s_acctbal", DataType::Float),
+        ],
+    );
+    for k in 1..=config.suppliers() as i64 {
+        b.push_row(vec![
+            Value::Int(k),
+            Value::Int(rng.gen_range(0..25)),
+            Value::float((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+        ]);
+    }
+    b.finish_with_indexes(&["s_acctbal"]).expect("valid index column")
+}
+
+fn gen_customer(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
+    let mut b = TableBuilder::new(
+        "customer",
+        vec![
+            ("c_custkey", DataType::Int),
+            ("c_age", DataType::Int),
+            ("c_nationkey", DataType::Int),
+            ("c_acctbal", DataType::Float),
+            ("c_mktsegment", DataType::Str),
+        ],
+    );
+    for k in 1..=config.customers() as i64 {
+        b.push_row(vec![
+            Value::Int(k),
+            Value::Int(rng.gen_range(MIN_AGE..=MAX_AGE)),
+            Value::Int(rng.gen_range(0..25)),
+            Value::float((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
+            Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+        ]);
+    }
+    b.finish_with_indexes(&["c_age", "c_mktsegment"])
+        .expect("valid index columns")
+}
+
+fn gen_part(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
+    let mut b = TableBuilder::new(
+        "part",
+        vec![
+            ("p_partkey", DataType::Int),
+            ("p_brand", DataType::Str),
+            ("p_mfgr", DataType::Str),
+            ("p_size", DataType::Int),
+            ("p_retailprice", DataType::Float),
+        ],
+    );
+    for k in 1..=config.parts() as i64 {
+        let m = rng.gen_range(1..=5);
+        let brand = rng.gen_range(1..=5);
+        b.push_row(vec![
+            Value::Int(k),
+            Value::str(&format!("Brand#{m}{brand}")),
+            Value::str(&format!("Manufacturer#{m}")),
+            Value::Int(rng.gen_range(1..=50)),
+            Value::float(900.0 + (k % 1000) as f64 / 10.0),
+        ]);
+    }
+    b.finish_with_indexes(&["p_brand", "p_size"])
+        .expect("valid index columns")
+}
+
+fn gen_orders(config: &TpchConfig, rng: &mut SmallRng) -> (crate::table::Table, Vec<i32>) {
+    let mut b = TableBuilder::new(
+        "orders",
+        vec![
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_orderdate", DataType::Date),
+            ("o_totalprice", DataType::Float),
+        ],
+    );
+    let customers = config.customers() as i64;
+    let lo = min_order_date();
+    let hi = max_order_date();
+    let mut dates = Vec::with_capacity(config.orders());
+    for k in 1..=config.orders() as i64 {
+        let d = rng.gen_range(lo..=hi);
+        dates.push(d);
+        b.push_row(vec![
+            Value::Int(k),
+            Value::Int(rng.gen_range(1..=customers)),
+            Value::Date(d),
+            Value::float((rng.gen_range(1_000..=500_000) as f64) / 100.0),
+        ]);
+    }
+    (
+        b.finish_with_indexes(&["o_orderdate"]).expect("valid index column"),
+        dates,
+    )
+}
+
+fn gen_lineitem(
+    config: &TpchConfig,
+    order_dates: &[i32],
+    rng: &mut SmallRng,
+) -> crate::table::Table {
+    let mut b = TableBuilder::new(
+        "lineitem",
+        vec![
+            ("l_orderkey", DataType::Int),
+            ("l_partkey", DataType::Int),
+            ("l_suppkey", DataType::Int),
+            ("l_quantity", DataType::Float),
+            ("l_extendedprice", DataType::Float),
+            ("l_discount", DataType::Float),
+            ("l_shipdate", DataType::Date),
+        ],
+    );
+    let parts = config.parts() as i64;
+    let suppliers = config.suppliers() as i64;
+    for (order_idx, &odate) in order_dates.iter().enumerate() {
+        let orderkey = (order_idx + 1) as i64;
+        let items = rng.gen_range(1..=7);
+        for _ in 0..items {
+            let qty = rng.gen_range(1..=50) as f64;
+            let price = (rng.gen_range(90_000..=110_000) as f64) / 100.0;
+            b.push_row(vec![
+                Value::Int(orderkey),
+                Value::Int(rng.gen_range(1..=parts)),
+                Value::Int(rng.gen_range(1..=suppliers)),
+                Value::float(qty),
+                Value::float(qty * price),
+                Value::float(rng.gen_range(0..=10) as f64 / 100.0),
+                Value::Date(odate + rng.gen_range(1..=121)),
+            ]);
+        }
+    }
+    b.finish_with_indexes(&["l_shipdate"]).expect("valid index column")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Catalog {
+        generate(TpchConfig::new(0.001, 7))
+    }
+
+    #[test]
+    fn all_tables_present() {
+        let cat = tiny();
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "orders", "lineitem",
+        ] {
+            assert!(cat.get(t).is_ok(), "missing table {t}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(TpchConfig::new(0.001, 99));
+        let b = generate(TpchConfig::new(0.001, 99));
+        let la = a.get("lineitem").unwrap();
+        let lb = b.get("lineitem").unwrap();
+        assert_eq!(la.row_count(), lb.row_count());
+        for i in (0..la.row_count()).step_by(97) {
+            assert_eq!(la.row(i), lb.row(i));
+        }
+        let c = generate(TpchConfig::new(0.001, 100));
+        let lc = c.get("lineitem").unwrap();
+        // Different seed ⇒ different data (overwhelmingly likely).
+        let same = (0..la.row_count().min(lc.row_count()))
+            .take(100)
+            .all(|i| la.row(i) == lc.row(i));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let cfg = TpchConfig::new(0.01, 1);
+        let cat = generate(cfg);
+        assert_eq!(cat.get("customer").unwrap().row_count(), cfg.customers());
+        assert_eq!(cat.get("orders").unwrap().row_count(), cfg.orders());
+        let li = cat.get("lineitem").unwrap().row_count();
+        assert!(li >= cfg.orders() && li <= cfg.orders() * 7);
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let cat = tiny();
+        let customers = cat.get("customer").unwrap().row_count() as i64;
+        let orders = cat.get("orders").unwrap();
+        let custkey_col = orders.column_by_name("o_custkey").unwrap();
+        for i in 0..orders.row_count() {
+            let k = custkey_col.get(i).as_int().unwrap();
+            assert!(k >= 1 && k <= customers, "dangling o_custkey {k}");
+        }
+    }
+
+    #[test]
+    fn ship_date_after_order_date() {
+        let cat = tiny();
+        let orders = cat.get("orders").unwrap();
+        let lineitem = cat.get("lineitem").unwrap();
+        let odate = orders.column_by_name("o_orderdate").unwrap();
+        let lkey = lineitem.column_by_name("l_orderkey").unwrap();
+        let sdate = lineitem.column_by_name("l_shipdate").unwrap();
+        for i in 0..lineitem.row_count() {
+            let ok = lkey.get(i).as_int().unwrap() as usize - 1;
+            assert!(sdate.get(i).as_date().unwrap() > odate.get(ok).as_date().unwrap());
+        }
+    }
+
+    #[test]
+    fn ages_in_bounds_and_indexed() {
+        let cat = tiny();
+        let customer = cat.get("customer").unwrap();
+        let age = customer.column_by_name("c_age").unwrap();
+        for i in 0..customer.row_count() {
+            let a = age.get(i).as_int().unwrap();
+            assert!((MIN_AGE..=MAX_AGE).contains(&a));
+        }
+        assert!(customer.index_on("c_age").is_some());
+        assert!(cat.get("lineitem").unwrap().index_on("l_shipdate").is_some());
+        assert!(cat.get("orders").unwrap().index_on("o_orderdate").is_some());
+        assert!(cat.get("part").unwrap().index_on("p_brand").is_some());
+    }
+
+    #[test]
+    fn date_constants_ordered() {
+        assert!(min_order_date() < max_order_date());
+        assert!(max_order_date() < max_ship_date());
+    }
+}

@@ -1,0 +1,122 @@
+//! Day-level date arithmetic (proleptic Gregorian calendar).
+//!
+//! TPC-H predicates compare `DATE` columns; storing dates as `i32` days since
+//! 1970-01-01 turns those comparisons into integer comparisons, which is what
+//! a main-memory engine wants. The conversions below use Howard Hinnant's
+//! `days_from_civil` algorithm, valid for the entire `i32` range.
+
+/// Days since 1970-01-01 for the given civil date.
+///
+/// `m` is 1-based (1 = January), `d` is 1-based.
+pub fn days_from_ymd(y: i32, m: u32, d: u32) -> i32 {
+    debug_assert!((1..=12).contains(&m), "month out of range: {m}");
+    debug_assert!((1..=31).contains(&d), "day out of range: {d}");
+    let y = if m <= 2 { y - 1 } else { y };
+    let era: i32 = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i32 - 719_468
+}
+
+/// Civil `(year, month, day)` for the given days-since-epoch value.
+pub fn ymd_from_days(days: i32) -> (i32, u32, u32) {
+    let z = days + 719_468;
+    let era: i32 = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse a `YYYY-MM-DD` literal into days since epoch.
+///
+/// Returns `None` for malformed input; month/day bounds are validated.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.splitn(3, '-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let days = days_from_ymd(y, m, d);
+    // Round-trip to reject out-of-range days such as Feb 30.
+    if ymd_from_days(days) == (y, m, d) {
+        Some(days)
+    } else {
+        None
+    }
+}
+
+/// Format days-since-epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = ymd_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_ymd(1970, 1, 1), 0);
+        assert_eq!(ymd_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints used by the paper's workloads.
+        assert_eq!(days_from_ymd(1992, 1, 1), 8035);
+        assert_eq!(days_from_ymd(1998, 12, 31), 10_591);
+        assert_eq!(ymd_from_days(8035), (1992, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_sweep() {
+        // Every day across several leap/non-leap years round-trips.
+        let start = days_from_ymd(1992, 1, 1);
+        let end = days_from_ymd(2001, 1, 1);
+        for d in start..end {
+            let (y, m, dd) = ymd_from_days(d);
+            assert_eq!(days_from_ymd(y, m, dd), d);
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(
+            days_from_ymd(1996, 2, 29) + 1,
+            days_from_ymd(1996, 3, 1),
+            "1996 is a leap year"
+        );
+        assert_eq!(
+            days_from_ymd(2000, 2, 29) + 1,
+            days_from_ymd(2000, 3, 1),
+            "2000 is a leap year (divisible by 400)"
+        );
+        assert!(parse_date("1900-02-29").is_none(), "1900 is not a leap year");
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("2015-02-01"), Some(days_from_ymd(2015, 2, 1)));
+        assert_eq!(format_date(parse_date("2015-02-01").unwrap()), "2015-02-01");
+        assert_eq!(parse_date("2015-13-01"), None);
+        assert_eq!(parse_date("2015-02-30"), None);
+        assert_eq!(parse_date("garbage"), None);
+        assert_eq!(parse_date("2015-02"), None);
+    }
+
+    #[test]
+    fn negative_days_before_epoch() {
+        assert_eq!(days_from_ymd(1969, 12, 31), -1);
+        assert_eq!(ymd_from_days(-1), (1969, 12, 31));
+    }
+}

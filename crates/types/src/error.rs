@@ -1,0 +1,70 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the HashStash engine and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsError {
+    /// A named table does not exist in the catalog.
+    UnknownTable(String),
+    /// A named column does not exist in a schema.
+    UnknownColumn(String),
+    /// Two operands or a column/value pair had incompatible types.
+    TypeMismatch { expected: String, found: String },
+    /// A query referenced structures the planner cannot handle.
+    PlanError(String),
+    /// The executor encountered an inconsistent physical plan.
+    ExecError(String),
+    /// The hash-table cache could not satisfy a request.
+    CacheError(String),
+    /// Invalid configuration (e.g. zero cache budget with GC disabled).
+    Config(String),
+}
+
+impl fmt::Display for HsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HsError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            HsError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            HsError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            HsError::PlanError(m) => write!(f, "plan error: {m}"),
+            HsError::ExecError(m) => write!(f, "execution error: {m}"),
+            HsError::CacheError(m) => write!(f, "cache error: {m}"),
+            HsError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HsError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, HsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            HsError::UnknownTable("orders".into()).to_string(),
+            "unknown table: orders"
+        );
+        assert_eq!(
+            HsError::TypeMismatch {
+                expected: "INT".into(),
+                found: "STR".into()
+            }
+            .to_string(),
+            "type mismatch: expected INT, found STR"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HsError::PlanError("x".into()));
+    }
+}

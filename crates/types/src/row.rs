@@ -1,0 +1,166 @@
+//! Owned tuples flowing between operators.
+
+use crate::value::Value;
+
+/// An owned row of scalar values.
+///
+/// Rows are the unit of data exchange between physical operators. They are
+/// deliberately simple — a thin wrapper over `Vec<Value>` with helpers for
+/// projection and key extraction — because all performance-sensitive state
+/// (the hash tables being reused) lives in `hashstash-hashtable`, not here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Build a row from values.
+    #[inline]
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// The underlying values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the row has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at column `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Append a value (used when widening rows through joins).
+    #[inline]
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row { values }
+    }
+
+    /// Project onto the given column indices, cloning the selected values.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Extract a composite 64-bit hash key over the given column indices.
+    ///
+    /// Single-column keys use the value's own `key64`; multi-column keys mix
+    /// per-column keys with an FNV-style combiner. Collisions are resolved by
+    /// the hash table's full-key comparison, so this only needs to be stable
+    /// and well-distributed.
+    pub fn key64(&self, indices: &[usize]) -> u64 {
+        match indices {
+            [] => 0,
+            [i] => self.values[*i].key64(),
+            many => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &i in many {
+                    h ^= self.values[i].key64();
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    h ^= h >> 29;
+                }
+                h
+            }
+        }
+    }
+
+    /// Consume the row, returning the values.
+    #[inline]
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = row(&[1, 2]);
+        let b = row(&[3]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), &Value::Int(3));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn key64_single_matches_value_key() {
+        let r = row(&[7, 9]);
+        assert_eq!(r.key64(&[1]), Value::Int(9).key64());
+    }
+
+    #[test]
+    fn key64_multi_is_order_sensitive() {
+        let r = row(&[1, 2]);
+        assert_ne!(r.key64(&[0, 1]), r.key64(&[1, 0]));
+    }
+
+    #[test]
+    fn key64_equal_rows_equal_keys() {
+        let a = row(&[5, 6]);
+        let b = row(&[5, 6]);
+        assert_eq!(a.key64(&[0, 1]), b.key64(&[0, 1]));
+    }
+
+    #[test]
+    fn empty_key_is_constant() {
+        // Aggregations without GROUP BY use an empty key set — every row maps
+        // to the same group.
+        assert_eq!(row(&[1]).key64(&[]), row(&[2]).key64(&[]));
+    }
+
+    #[test]
+    fn display_row() {
+        let r = Row::new(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(r.to_string(), "(1, a)");
+    }
+}

@@ -1,0 +1,340 @@
+//! Self-contained scalar values.
+//!
+//! HashStash stores join/aggregation keys and tuple payloads as [`Value`]s.
+//! Values must be totally ordered and hashable (they are hash-table keys and
+//! group-by keys), which rules out raw `f64`; floats are wrapped in [`F64`],
+//! an order-by-bits wrapper that treats `NaN` as greater than all numbers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::date;
+
+/// The type of a column or scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float with total order semantics.
+    Float,
+    /// UTF-8 string (dictionary-encoded in columnar storage).
+    Str,
+    /// Days since 1970-01-01 (proleptic Gregorian), stored as `i32`.
+    Date,
+}
+
+impl DataType {
+    /// Width in bytes a value of this type occupies inside a cached hash
+    /// table payload. Strings are stored as dictionary codes, hence 4 bytes.
+    #[inline]
+    pub fn payload_width(self) -> usize {
+        match self {
+            DataType::Int | DataType::Float => 8,
+            DataType::Str | DataType::Date => 4,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A totally ordered, hashable `f64` wrapper.
+///
+/// Ordering follows IEEE-754 `totalOrder` for the values a query engine
+/// produces: `-inf < finite < +inf < NaN`. Two `NaN`s compare equal so the
+/// wrapper can be used as a hash key.
+#[derive(Debug, Clone, Copy)]
+pub struct F64(pub f64);
+
+impl F64 {
+    /// Canonical bit pattern used for hashing/equality (collapses NaNs, and
+    /// `-0.0` to `+0.0`).
+    #[inline]
+    fn canonical_bits(self) -> u64 {
+        if self.0.is_nan() {
+            f64::NAN.to_bits()
+        } else if self.0 == 0.0 {
+            0u64
+        } else {
+            self.0.to_bits()
+        }
+    }
+}
+
+impl PartialEq for F64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.canonical_bits() == other.canonical_bits()
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.partial_cmp(&other.0).expect("non-NaN floats compare"),
+        }
+    }
+}
+
+impl Hash for F64 {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.canonical_bits().hash(state);
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An owned scalar value.
+///
+/// `Str` uses `Arc<str>` so cloning a row is a reference-count bump rather
+/// than a heap copy; analytic rows are cloned on every pipeline boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    Int(i64),
+    Float(F64),
+    Str(Arc<str>),
+    Date(i32),
+}
+
+impl Value {
+    /// Construct a float value.
+    #[inline]
+    pub fn float(v: f64) -> Self {
+        Value::Float(F64(v))
+    }
+
+    /// Construct a string value.
+    #[inline]
+    pub fn str(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+
+    /// Construct a date value from `(year, month, day)`.
+    #[inline]
+    pub fn date_ymd(y: i32, m: u32, d: u32) -> Self {
+        Value::Date(date::days_from_ymd(y, m, d))
+    }
+
+    /// The data type of this value.
+    #[inline]
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Integer content, if this is an `Int`.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float content, if this is a `Float`.
+    #[inline]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a `Str`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Date content (days since epoch), if this is a `Date`.
+    #[inline]
+    pub fn as_date(&self) -> Option<i32> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// A numeric view used by aggregation: ints and dates widen to `f64`.
+    #[inline]
+    pub fn to_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(F64(v)) => Some(*v),
+            Value::Date(d) => Some(*d as f64),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// A stable 64-bit encoding of the value used for hash-table keys.
+    ///
+    /// Dates and ints map to their integer values; floats map to their
+    /// canonical bit pattern; strings hash via FNV-1a (collisions are fine —
+    /// the hash table chains verify full keys).
+    #[inline]
+    pub fn key64(&self) -> u64 {
+        match self {
+            Value::Int(v) => *v as u64,
+            Value::Date(d) => *d as i64 as u64,
+            Value::Float(f) => f.canonical_bits(),
+            Value::Str(s) => fnv1a(s.as_bytes()),
+        }
+    }
+}
+
+/// FNV-1a over a byte slice; used to derive stable hash-table keys from
+/// strings without pulling in an external hashing crate.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => {
+                let (y, m, dd) = date::ymd_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{dd:02}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn float_total_order() {
+        let neg = F64(-1.5);
+        let zero = F64(0.0);
+        let negzero = F64(-0.0);
+        let pos = F64(2.5);
+        let inf = F64(f64::INFINITY);
+        let nan = F64(f64::NAN);
+        assert!(neg < zero);
+        assert!(zero < pos);
+        assert!(pos < inf);
+        assert!(inf < nan);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(zero, negzero);
+        assert_eq!(hash_of(&zero), hash_of(&negzero));
+        assert_eq!(hash_of(&nan), hash_of(&F64(f64::NAN)));
+    }
+
+    #[test]
+    fn value_ordering_within_type() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::float(1.0) < Value::float(1.5));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Date(10) < Value::Date(11));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("BRAND#12").to_string(), "BRAND#12");
+        assert_eq!(Value::date_ymd(2015, 2, 1).to_string(), "2015-02-01");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), None);
+        assert_eq!(Value::float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Date(3).as_date(), Some(3));
+        assert_eq!(Value::Int(7).to_f64(), Some(7.0));
+        assert_eq!(Value::str("x").to_f64(), None);
+    }
+
+    #[test]
+    fn key64_distinguishes_common_values() {
+        assert_ne!(Value::Int(1).key64(), Value::Int(2).key64());
+        assert_ne!(Value::str("a").key64(), Value::str("b").key64());
+        // equal values must produce equal keys
+        assert_eq!(Value::str("abc").key64(), Value::str("abc").key64());
+        assert_eq!(Value::float(0.0).key64(), Value::float(-0.0).key64());
+    }
+
+    #[test]
+    fn data_type_payload_width() {
+        assert_eq!(DataType::Int.payload_width(), 8);
+        assert_eq!(DataType::Float.payload_width(), 8);
+        assert_eq!(DataType::Str.payload_width(), 4);
+        assert_eq!(DataType::Date.payload_width(), 4);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3.5f64), Value::float(3.5));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+    }
+}

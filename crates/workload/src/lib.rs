@@ -1,0 +1,17 @@
+//! Workload generation for the paper's experiments (§6).
+//!
+//! Each workload is a 64-query data-exploration session over the TPC-H
+//! schema. The initial query is TPC-H Q3 (a three-way join of CUSTOMER,
+//! ORDERS and LINEITEM with an aggregation on top); follow-up queries apply
+//! the interactions of analytical front-ends — zoom-in/out, shift (much /
+//! less), drill-down (adds PART / SUPPLIER joins and a group-by attribute)
+//! and roll-up (removes a group-by attribute).
+//!
+//! Three reuse-potential levels control the average overlap of data read by
+//! consecutive queries: **low ≈ 1%**, **medium ≈ 10%**, **high ≈ 50%**.
+
+pub mod session;
+pub mod trace;
+
+pub use session::{exp2_session, Exp2Step};
+pub use trace::{generate_trace, Interaction, ReusePotential, TraceConfig, TraceQuery};

@@ -1,0 +1,164 @@
+//! The fixed seven-query session of the paper's Experiment 2a
+//! (Figure 8a / Table 8b).
+//!
+//! The first query is a 5-way SPJA join over LINEITEM, ORDERS, PART,
+//! CUSTOMER and SUPPLIER. The six follow-ups apply, in order: zoom-in,
+//! zoom-out, shift-much, shift-less (all modifying the `o_orderdate`
+//! selection), drill-down (adds the `p_brand` group-by attribute) and
+//! roll-up (removes `p_mfgr`).
+
+use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder, QuerySpec};
+use hashstash_types::{date, Value};
+
+/// One step of the Exp 2a session.
+#[derive(Debug, Clone)]
+pub struct Exp2Step {
+    /// Interaction name as printed in the paper's Table 8b.
+    pub name: &'static str,
+    /// The query.
+    pub query: QuerySpec,
+}
+
+fn d(s: &str) -> Value {
+    Value::Date(date::parse_date(s).expect("valid literal"))
+}
+
+#[derive(Clone)]
+struct StepSpec {
+    name: &'static str,
+    lo: &'static str,
+    hi: &'static str,
+    group_by: &'static [&'static str],
+}
+
+/// Build the seven-query session. Group-by evolution:
+/// `[p_mfgr]` → … → drill-down `[p_mfgr, p_brand]` → roll-up `[p_brand]`.
+pub fn exp2_session() -> Vec<Exp2Step> {
+    const BASE_GROUPS: &[&str] = &["part.p_mfgr"];
+    const DRILL_GROUPS: &[&str] = &["part.p_mfgr", "part.p_brand"];
+    const ROLLUP_GROUPS: &[&str] = &["part.p_brand"];
+    let steps: Vec<StepSpec> = vec![
+        StepSpec {
+            name: "Initial",
+            lo: "1994-01-01",
+            hi: "1996-06-01",
+            group_by: BASE_GROUPS,
+        },
+        StepSpec {
+            name: "ZoomIn",
+            lo: "1996-06-01",
+            hi: "1996-09-01",
+            group_by: BASE_GROUPS,
+        },
+        StepSpec {
+            name: "ZoomOut",
+            lo: "1992-01-01",
+            hi: "1998-01-01",
+            group_by: BASE_GROUPS,
+        },
+        StepSpec {
+            name: "ShiftMuch",
+            lo: "1996-09-01",
+            hi: "1998-01-01",
+            group_by: BASE_GROUPS,
+        },
+        StepSpec {
+            name: "ShiftLess",
+            lo: "1994-01-01",
+            hi: "1998-01-01",
+            group_by: BASE_GROUPS,
+        },
+        StepSpec {
+            name: "DrillDown",
+            lo: "1994-01-01",
+            hi: "1998-01-01",
+            group_by: DRILL_GROUPS,
+        },
+        StepSpec {
+            name: "RollUp",
+            lo: "1994-01-01",
+            hi: "1998-01-01",
+            group_by: ROLLUP_GROUPS,
+        },
+    ];
+    steps
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut b = QueryBuilder::new(i as u32)
+                .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+                .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+                .join("lineitem", "lineitem.l_partkey", "part", "part.p_partkey")
+                .join(
+                    "lineitem",
+                    "lineitem.l_suppkey",
+                    "supplier",
+                    "supplier.s_suppkey",
+                )
+                .filter(
+                    "orders.o_orderdate",
+                    Interval::half_open(d(s.lo), d(s.hi)),
+                )
+                .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"))
+                .agg(AggExpr::new(AggFunc::Count, "lineitem.l_orderkey"));
+            for g in s.group_by {
+                b = b.group_by(g);
+            }
+            Exp2Step {
+                name: s.name,
+                query: b.build().expect("session query is valid"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_has_seven_steps_in_paper_order() {
+        let s = exp2_session();
+        assert_eq!(s.len(), 7);
+        let names: Vec<&str> = s.iter().map(|x| x.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Initial", "ZoomIn", "ZoomOut", "ShiftMuch", "ShiftLess", "DrillDown", "RollUp"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_queries_are_five_way_joins() {
+        for step in exp2_session() {
+            assert_eq!(step.query.tables.len(), 5, "{}", step.name);
+            assert_eq!(step.query.joins.len(), 4);
+            step.query.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn drilldown_and_rollup_mutate_group_by() {
+        let s = exp2_session();
+        let initial = &s[0].query;
+        let drill = &s[5].query;
+        let rollup = &s[6].query;
+        assert_eq!(initial.group_by.len(), 1);
+        assert_eq!(drill.group_by.len(), 2);
+        assert_eq!(rollup.group_by.len(), 1);
+        assert_eq!(rollup.group_by[0].as_ref(), "part.p_brand");
+        // Roll-up keys are a subset of drill-down keys ⇒ post-aggregation
+        // (exact reuse, decision string XXXXS in the paper).
+        assert!(drill.group_by.contains(&rollup.group_by[0]));
+    }
+
+    #[test]
+    fn zoomout_subsumes_zoomin() {
+        let s = exp2_session();
+        let zi = s[1].query.region();
+        let zo = s[2].query.region();
+        assert!(zi.is_subset(&zo));
+        assert!(!zo.is_subset(&zi));
+    }
+}

@@ -1,0 +1,412 @@
+//! Randomized 64-query exploration traces with controlled reuse potential.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder, QuerySpec};
+use hashstash_storage::tpch;
+use hashstash_types::Value;
+
+/// The user interactions the trace generator simulates (paper §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interaction {
+    /// The session's first query (TPC-H Q3 shape).
+    Initial,
+    /// Narrow the date range around its center.
+    ZoomIn,
+    /// Widen the date range around its center.
+    ZoomOut,
+    /// Move the range far away (little overlap).
+    ShiftMuch,
+    /// Move the range slightly (large overlap).
+    ShiftLess,
+    /// Add a PART or SUPPLIER join plus a group-by attribute.
+    DrillDown,
+    /// Remove a group-by attribute.
+    RollUp,
+}
+
+/// Reuse potential of a trace: the average data overlap between consecutive
+/// queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReusePotential {
+    /// ≈ 1% overlap — a user hopping across the data set.
+    Low,
+    /// ≈ 10% overlap.
+    Medium,
+    /// ≈ 50% overlap — focused exploration of one region.
+    High,
+}
+
+impl ReusePotential {
+    /// Target overlap fraction between consecutive date ranges.
+    pub fn target_overlap(self) -> f64 {
+        match self {
+            ReusePotential::Low => 0.01,
+            ReusePotential::Medium => 0.10,
+            ReusePotential::High => 0.50,
+        }
+    }
+}
+
+/// Trace generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Reuse potential level.
+    pub reuse: ReusePotential,
+    /// Number of queries (the paper uses 64).
+    pub queries: usize,
+    /// RNG seed — identical seeds produce identical traces.
+    pub seed: u64,
+    /// Probability of structural interactions (drill-down/roll-up); the
+    /// rest are range mutations.
+    pub structural_prob: f64,
+}
+
+impl TraceConfig {
+    /// The paper's configuration for a given reuse potential.
+    pub fn paper(reuse: ReusePotential, seed: u64) -> Self {
+        TraceConfig {
+            reuse,
+            queries: 64,
+            seed,
+            structural_prob: 0.15,
+        }
+    }
+}
+
+/// One step of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceQuery {
+    /// The interaction that produced this query.
+    pub interaction: Interaction,
+    /// The query itself.
+    pub query: QuerySpec,
+    /// The shipdate range `[lo, hi)` in days-since-epoch (for overlap
+    /// statistics).
+    pub range: (i32, i32),
+}
+
+/// State carried between interactions.
+struct SessionState {
+    lo: i32,
+    hi: i32,
+    /// Extra group-by attributes in drill order.
+    drill_groups: Vec<&'static str>,
+    /// Whether the PART / SUPPLIER joins are active.
+    part_joined: bool,
+    supplier_joined: bool,
+}
+
+/// Generate a trace.
+pub fn generate_trace(cfg: TraceConfig) -> Vec<TraceQuery> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let domain_lo = tpch::min_order_date();
+    let domain_hi = tpch::max_ship_date();
+    let domain_len = (domain_hi - domain_lo) as f64;
+
+    // Initial range length scales with the reuse potential: a hopping user
+    // (low) looks at small slices all over the data; a focused user (high)
+    // works a wider region. This also keeps the *achieved* overlap close to
+    // the paper's 1% / 10% / 50% targets.
+    let len_share = match cfg.reuse {
+        ReusePotential::Low => 0.02,
+        ReusePotential::Medium => 0.05,
+        ReusePotential::High => 0.08,
+    };
+    let init_len = (domain_len * len_share) as i32;
+    let start = domain_lo + rng.gen_range(0..(domain_hi - domain_lo - init_len));
+    let mut state = SessionState {
+        lo: start,
+        hi: start + init_len,
+        drill_groups: Vec::new(),
+        part_joined: false,
+        supplier_joined: false,
+    };
+
+    let mut out = Vec::with_capacity(cfg.queries);
+    out.push(TraceQuery {
+        interaction: Interaction::Initial,
+        query: build_query(0, &state),
+        range: (state.lo, state.hi),
+    });
+
+    for i in 1..cfg.queries {
+        let interaction = pick_interaction(&mut rng, cfg, &state);
+        apply(&mut rng, cfg, &mut state, interaction, domain_lo, domain_hi);
+        out.push(TraceQuery {
+            interaction,
+            query: build_query(i as u32, &state),
+            range: (state.lo, state.hi),
+        });
+    }
+    out
+}
+
+fn pick_interaction(rng: &mut SmallRng, cfg: TraceConfig, state: &SessionState) -> Interaction {
+    if rng.gen_bool(cfg.structural_prob) {
+        // Structural: drill deeper or roll back up.
+        if !state.drill_groups.is_empty() && rng.gen_bool(0.5) {
+            return Interaction::RollUp;
+        }
+        if state.drill_groups.len() < 2 {
+            return Interaction::DrillDown;
+        }
+        return Interaction::RollUp;
+    }
+    match cfg.reuse {
+        // Low reuse: the user jumps around the data set.
+        ReusePotential::Low => Interaction::ShiftMuch,
+        ReusePotential::Medium => {
+            if rng.gen_bool(0.65) {
+                Interaction::ShiftMuch
+            } else if rng.gen_bool(0.5) {
+                Interaction::ShiftLess
+            } else {
+                Interaction::ZoomOut
+            }
+        }
+        ReusePotential::High => match rng.gen_range(0..4) {
+            0 => Interaction::ZoomIn,
+            1 => Interaction::ZoomOut,
+            _ => Interaction::ShiftLess,
+        },
+    }
+}
+
+fn apply(
+    rng: &mut SmallRng,
+    cfg: TraceConfig,
+    state: &mut SessionState,
+    interaction: Interaction,
+    domain_lo: i32,
+    domain_hi: i32,
+) {
+    let len = (state.hi - state.lo).max(7);
+    let overlap = cfg.reuse.target_overlap();
+    match interaction {
+        Interaction::Initial => {}
+        Interaction::ZoomIn => {
+            // Keep the center; shrink to the overlap-share of the length
+            // (bounded below so queries stay non-trivial).
+            let new_len = ((len as f64) * overlap.max(0.4)) as i32;
+            let new_len = new_len.max(7);
+            let center = state.lo + len / 2;
+            state.lo = center - new_len / 2;
+            state.hi = state.lo + new_len;
+        }
+        Interaction::ZoomOut => {
+            let new_len = ((len as f64) / overlap.max(0.4)).min(
+                (domain_hi - domain_lo) as f64 * 0.5,
+            ) as i32;
+            let center = state.lo + len / 2;
+            state.lo = (center - new_len / 2).max(domain_lo);
+            state.hi = (state.lo + new_len).min(domain_hi);
+        }
+        Interaction::ShiftLess => {
+            // A small shift keeps one endpoint and extends the other — the
+            // paper's own ShiftLess step widens [1996-09, 1998-01] to
+            // [1994-01, 1998-01]. The new range is a superset of the old
+            // one, which is exactly what enables partial reuse of the
+            // cached aggregation table (Table 8b reports `S` for Agg here).
+            let keep = overlap.max(0.3);
+            let grow = ((len as f64) * (1.0 - keep)) as i32;
+            let max_len = ((domain_hi - domain_lo) as f64 * 0.4) as i32;
+            if len + grow > max_len {
+                // Focus drifted too wide: restart from a narrow sub-range.
+                let new_len = (len as f64 * keep) as i32;
+                let center = state.lo + len / 2;
+                state.lo = (center - new_len / 2).max(domain_lo);
+                state.hi = (state.lo + new_len.max(7)).min(domain_hi);
+            } else if rng.gen_bool(0.5) {
+                state.hi = (state.hi + grow).min(domain_hi);
+            } else {
+                state.lo = (state.lo - grow).max(domain_lo);
+            }
+        }
+        Interaction::ShiftMuch => {
+            // Jump to a uniformly random location: a user changing focus to
+            // a different part of the data (little overlap, and crucially no
+            // systematic revisits of previous ranges).
+            state.lo = domain_lo + rng.gen_range(0..(domain_hi - domain_lo - len).max(1));
+            state.hi = state.lo + len;
+        }
+        Interaction::DrillDown => {
+            if !state.part_joined {
+                state.part_joined = true;
+                state.drill_groups.push("part.p_brand");
+            } else if !state.supplier_joined {
+                state.supplier_joined = true;
+                state.drill_groups.push("supplier.s_nationkey");
+            }
+            structural_shift(rng, cfg, state, domain_lo, domain_hi);
+        }
+        Interaction::RollUp => {
+            // Keep the joins in place; only the grouping coarsens — this is
+            // what enables exact-reuse with post-aggregation.
+            state.drill_groups.pop();
+            structural_shift(rng, cfg, state, domain_lo, domain_hi);
+        }
+    }
+}
+
+/// In low/medium-reuse sessions even structural interactions move to a new
+/// data region (the user drills into a *different* part of the data); in
+/// high-reuse sessions the range is kept, which is what makes the roll-up
+/// an exact reuse over the same predicate.
+fn structural_shift(
+    rng: &mut SmallRng,
+    cfg: TraceConfig,
+    state: &mut SessionState,
+    domain_lo: i32,
+    domain_hi: i32,
+) {
+    if cfg.reuse == ReusePotential::High {
+        return;
+    }
+    let len = (state.hi - state.lo).max(7);
+    if cfg.reuse == ReusePotential::Low {
+        // Hop to a random region, like ShiftMuch.
+        state.lo = domain_lo + rng.gen_range(0..(domain_hi - domain_lo - len).max(1));
+        state.hi = state.lo + len;
+        return;
+    }
+    let keep = cfg.reuse.target_overlap();
+    let step = ((len as f64) * (1.0 - keep)) as i32;
+    let dir = if rng.gen_bool(0.5) { 1 } else { -1 };
+    let mut lo = state.lo + dir * step;
+    if lo < domain_lo || lo + len > domain_hi {
+        lo = state.lo - dir * step;
+    }
+    state.lo = lo.clamp(domain_lo, domain_hi - len);
+    state.hi = state.lo + len;
+}
+
+fn build_query(id: u32, state: &SessionState) -> QuerySpec {
+    let mut b = QueryBuilder::new(id)
+        .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+        .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+        .filter(
+            "lineitem.l_shipdate",
+            Interval::half_open(Value::Date(state.lo), Value::Date(state.hi)),
+        )
+        .group_by("customer.c_age")
+        .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"))
+        .agg(AggExpr::new(AggFunc::Count, "lineitem.l_orderkey"));
+    if state.part_joined {
+        b = b.join("lineitem", "lineitem.l_partkey", "part", "part.p_partkey");
+    }
+    if state.supplier_joined {
+        b = b.join("lineitem", "lineitem.l_suppkey", "supplier", "supplier.s_suppkey");
+    }
+    for g in &state.drill_groups {
+        b = b.group_by(g);
+    }
+    b.build().expect("generated query is valid")
+}
+
+/// Average *reuse-oriented* overlap between consecutive queries: the
+/// fraction of the new query's data that the previous query already read,
+/// `|r_i ∩ r_{i+1}| / |r_{i+1}|`. This is the quantity that bounds how much
+/// a reuse strategy can possibly save (the paper's 1% / 10% / 50%).
+pub fn average_overlap(trace: &[TraceQuery]) -> f64 {
+    if trace.len() < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for w in trace.windows(2) {
+        let (a_lo, a_hi) = w[0].range;
+        let (b_lo, b_hi) = w[1].range;
+        let inter = (a_hi.min(b_hi) - a_lo.max(b_lo)).max(0) as f64;
+        let new_len = (b_hi - b_lo).max(1) as f64;
+        total += inter / new_len;
+    }
+    total / (trace.len() - 1) as f64
+}
+
+/// Group a trace into batches of the given size (paper Exp 4).
+pub fn batches(trace: &[TraceQuery], size: usize) -> Vec<Vec<QuerySpec>> {
+    trace
+        .chunks(size)
+        .map(|chunk| chunk.iter().map(|t| t.query.clone()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_requested_length_and_is_deterministic() {
+        let cfg = TraceConfig::paper(ReusePotential::Medium, 7);
+        let a = generate_trace(cfg);
+        let b = generate_trace(cfg);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.interaction, y.interaction);
+            assert_eq!(x.range, y.range);
+        }
+        let c = generate_trace(TraceConfig::paper(ReusePotential::Medium, 8));
+        assert!(a.iter().zip(&c).any(|(x, y)| x.range != y.range));
+    }
+
+    #[test]
+    fn first_query_is_q3_shape() {
+        let t = generate_trace(TraceConfig::paper(ReusePotential::High, 1));
+        let q = &t[0].query;
+        assert_eq!(t[0].interaction, Interaction::Initial);
+        assert_eq!(q.tables.len(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn overlap_ordering_matches_reuse_potential() {
+        let low = average_overlap(&generate_trace(TraceConfig::paper(ReusePotential::Low, 3)));
+        let med = average_overlap(&generate_trace(TraceConfig::paper(ReusePotential::Medium, 3)));
+        let high = average_overlap(&generate_trace(TraceConfig::paper(ReusePotential::High, 3)));
+        assert!(low < med, "low={low} med={med}");
+        assert!(med < high, "med={med} high={high}");
+        assert!(low < 0.05, "low overlap ≈1%: {low}");
+        assert!(high > 0.40, "high overlap ≈50%: {high}");
+    }
+
+    #[test]
+    fn all_queries_validate() {
+        for reuse in [ReusePotential::Low, ReusePotential::Medium, ReusePotential::High] {
+            for t in generate_trace(TraceConfig::paper(reuse, 5)) {
+                t.query.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn drilldowns_add_tables_and_groups() {
+        let t = generate_trace(TraceConfig {
+            reuse: ReusePotential::High,
+            queries: 64,
+            seed: 11,
+            structural_prob: 0.5,
+        });
+        assert!(
+            t.iter().any(|q| q.interaction == Interaction::DrillDown),
+            "expected a drill-down in 64 queries"
+        );
+        let drilled = t
+            .iter()
+            .find(|q| q.interaction == Interaction::DrillDown)
+            .unwrap();
+        assert!(drilled.query.tables.len() > 3);
+        assert!(drilled.query.group_by.len() > 1);
+    }
+
+    #[test]
+    fn batches_partition_the_trace() {
+        let t = generate_trace(TraceConfig::paper(ReusePotential::Medium, 2));
+        let bs = batches(&t, 16);
+        assert_eq!(bs.len(), 4);
+        assert!(bs.iter().all(|b| b.len() == 16));
+        let total: usize = bs.iter().map(Vec::len).sum();
+        assert_eq!(total, 64);
+    }
+}

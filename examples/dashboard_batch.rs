@@ -1,0 +1,61 @@
+//! Dashboard scenario: many widgets fire similar queries at once — the
+//! paper's query-batch interface. Compares per-query execution against one
+//! reuse-aware shared plan (paper §4).
+//!
+//! ```text
+//! cargo run --example dashboard_batch --release
+//! ```
+
+use hashstash::engine::BatchMode;
+use hashstash::{Engine, EngineConfig};
+use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder, QuerySpec};
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_types::Value;
+
+fn widget(id: u32, lo_age: i64, hi_age: i64, func: AggFunc) -> QuerySpec {
+    QueryBuilder::new(id)
+        .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+        .filter(
+            "customer.c_age",
+            Interval::closed(Value::Int(lo_age), Value::Int(hi_age)),
+        )
+        .group_by("customer.c_age")
+        .agg(AggExpr::new(func, "orders.o_totalprice"))
+        .build()
+        .expect("valid widget query")
+}
+
+fn main() {
+    let catalog = generate(TpchConfig::new(0.02, 42));
+    let mut engine = Engine::new(catalog, EngineConfig::default());
+
+    // Eight dashboard widgets over overlapping age cohorts with different
+    // aggregates — mergeable into one shared plan (same join graph).
+    let batch: Vec<QuerySpec> = vec![
+        widget(1, 18, 35, AggFunc::Sum),
+        widget(2, 25, 45, AggFunc::Count),
+        widget(3, 30, 60, AggFunc::Avg),
+        widget(4, 40, 70, AggFunc::Sum),
+        widget(5, 18, 92, AggFunc::Max),
+        widget(6, 50, 92, AggFunc::Min),
+        widget(7, 20, 40, AggFunc::Sum),
+        widget(8, 60, 92, AggFunc::Count),
+    ];
+
+    for mode in [
+        BatchMode::SingleNoReuse,
+        BatchMode::SingleWithReuse,
+        BatchMode::SharedWithReuse,
+    ] {
+        let t0 = std::time::Instant::now();
+        let results = engine.execute_batch(&batch, mode).expect("batch runs");
+        let total = t0.elapsed();
+        let rows: usize = results.iter().map(|r| r.rows.len()).sum();
+        println!("{mode:?}: {} queries, {rows} result rows, {total:.2?}", results.len());
+    }
+    println!(
+        "cache after batches: {} tables, {} reuses",
+        engine.cache_stats().entries,
+        engine.cache_stats().reuses
+    );
+}

@@ -1,0 +1,59 @@
+//! Data exploration session (the paper's Figure 2 scenario): a user zooms,
+//! shifts, drills down and rolls up over TPC-H data while HashStash reuses
+//! the hash tables materialized along the way.
+//!
+//! Compares the same session under no-reuse and HashStash.
+//!
+//! ```text
+//! cargo run --example data_exploration --release
+//! ```
+
+use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_workload::trace::{generate_trace, Interaction, ReusePotential, TraceConfig};
+
+fn main() {
+    let cfg = TraceConfig {
+        reuse: ReusePotential::High,
+        queries: 16,
+        seed: 7,
+        structural_prob: 0.25,
+    };
+    let trace = generate_trace(cfg);
+
+    for strategy in [EngineStrategy::NoReuse, EngineStrategy::HashStash] {
+        let catalog = generate(TpchConfig::new(0.02, 42));
+        let mut engine = Engine::new(catalog, EngineConfig::with_strategy(strategy));
+        println!("\n--- strategy: {strategy:?} ---");
+        let mut total = std::time::Duration::ZERO;
+        for step in &trace {
+            let r = engine.execute(&step.query).expect("query runs");
+            total += r.wall_time;
+            let reused = r.decisions.iter().filter(|(_, c)| c.is_some()).count();
+            let tag = match step.interaction {
+                Interaction::Initial => "initial",
+                Interaction::ZoomIn => "zoom-in",
+                Interaction::ZoomOut => "zoom-out",
+                Interaction::ShiftMuch => "shift-much",
+                Interaction::ShiftLess => "shift-less",
+                Interaction::DrillDown => "drill-down",
+                Interaction::RollUp => "roll-up",
+            };
+            println!(
+                "{:>2} {:<10} {:>7} rows {:>9.2?} ({} of {} operators reused)",
+                step.query.id,
+                tag,
+                r.rows.len(),
+                r.wall_time,
+                reused,
+                r.decisions.len(),
+            );
+        }
+        println!(
+            "total: {:.2?}; cache: {} reuses, {:.1} KB",
+            total,
+            engine.cache_stats().reuses,
+            engine.cache_stats().bytes as f64 / 1024.0
+        );
+    }
+}

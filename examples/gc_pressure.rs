@@ -1,0 +1,63 @@
+//! Garbage collection under memory pressure (paper §5): the hash-table
+//! cache runs with a tight budget and the LRU collector evicts whole tables
+//! while a session keeps querying.
+//!
+//! ```text
+//! cargo run --example gc_pressure --release
+//! ```
+
+use hashstash::{Engine, EngineConfig};
+use hashstash_cache::GcConfig;
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
+
+fn main() {
+    let trace = generate_trace(TraceConfig {
+        reuse: ReusePotential::High,
+        queries: 24,
+        seed: 3,
+        structural_prob: 0.15,
+    });
+
+    // Pass 1: unlimited cache to learn the peak footprint.
+    let mut unbounded = Engine::new(generate(TpchConfig::new(0.02, 42)), EngineConfig::default());
+    for tq in &trace {
+        unbounded.execute(&tq.query).expect("query");
+    }
+    let peak = unbounded.cache_stats().peak_bytes;
+    println!(
+        "unbounded: peak {:.1} KB across {} tables, {} reuses",
+        peak as f64 / 1024.0,
+        unbounded.cache_stats().entries,
+        unbounded.cache_stats().reuses
+    );
+
+    // Pass 2: 20% budget — watch evictions happen while reuse continues.
+    let mut cfg = EngineConfig::default();
+    cfg.gc = GcConfig {
+        budget_bytes: Some(peak / 5),
+        ..GcConfig::default()
+    };
+    let mut tight = Engine::new(generate(TpchConfig::new(0.02, 42)), cfg);
+    for (i, tq) in trace.iter().enumerate() {
+        tight.execute(&tq.query).expect("query");
+        let s = tight.cache_stats();
+        if i % 6 == 0 {
+            println!(
+                "after Q{i:>2}: {:>6.1} KB cached, {:>2} tables, {:>2} evictions, {:>3} reuses",
+                s.bytes as f64 / 1024.0,
+                s.entries,
+                s.evictions,
+                s.reuses
+            );
+        }
+        assert!(s.bytes <= peak / 5, "budget holds");
+    }
+    let s = tight.cache_stats();
+    println!(
+        "with 20% budget: {} evictions, still {} reuses (vs {} unbounded)",
+        s.evictions,
+        s.reuses,
+        unbounded.cache_stats().reuses
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: generate a TPC-H-style database, run one analytical query
+//! twice, and watch the second execution reuse the first one's internal
+//! hash tables.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use hashstash::{Engine, EngineConfig};
+use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder};
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_types::Value;
+
+fn main() {
+    // 1. A deterministic TPC-H-style database (SF 0.02 ≈ 120k lineitems).
+    let catalog = generate(TpchConfig::new(0.02, 42));
+    println!("tables: {:?}", catalog.table_names());
+
+    // 2. An engine with the HashStash strategy (reuse-aware optimizer +
+    //    hash-table cache).
+    let mut engine = Engine::new(catalog, EngineConfig::default());
+
+    // 3. TPC-H Q3-style query: 3-way join + aggregation.
+    //    SELECT c_age, SUM(l_quantity)
+    //    FROM customer ⋈ orders ⋈ lineitem
+    //    WHERE l_shipdate >= 1996-03-01 GROUP BY c_age
+    let query = |id: u32, ship: (i32, u32, u32)| {
+        QueryBuilder::new(id)
+            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .filter(
+                "lineitem.l_shipdate",
+                Interval::at_least(Value::date_ymd(ship.0, ship.1, ship.2)),
+            )
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"))
+            .build()
+            .expect("valid query")
+    };
+
+    let first = engine.execute(&query(1, (1996, 3, 1))).expect("first run");
+    println!(
+        "first run : {} groups in {:.2?} (hash tables built, then cached)",
+        first.rows.len(),
+        first.wall_time
+    );
+
+    // 4. A follow-up query with a *wider* predicate: partial reuse — only
+    //    the missing two months are scanned and added to the cached tables.
+    let second = engine.execute(&query(2, (1996, 1, 1))).expect("second run");
+    println!(
+        "second run: {} groups in {:.2?} (reuse decisions: {:?})",
+        second.rows.len(),
+        second.wall_time,
+        second
+            .decisions
+            .iter()
+            .map(|(op, case)| format!("{op}={case:?}"))
+            .collect::<Vec<_>>()
+    );
+
+    let stats = engine.cache_stats();
+    println!(
+        "cache: {} tables, {} reuses, hit-ratio {:.2}, {:.1} KB",
+        stats.entries,
+        stats.reuses,
+        stats.hit_ratio(),
+        stats.bytes as f64 / 1024.0
+    );
+}

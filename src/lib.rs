@@ -1,0 +1,5 @@
+//! Umbrella crate for the HashStash workspace: hosts the top-level
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! The library surface simply re-exports [`hashstash`].
+
+pub use hashstash::*;

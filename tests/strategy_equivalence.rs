@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: every reuse strategy must produce the
+//! same answers as plain execution, across whole exploration sessions and
+//! batches, with and without garbage collection.
+
+use hashstash::engine::BatchMode;
+use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash_cache::GcConfig;
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_types::Row;
+use hashstash_workload::session::exp2_session;
+use hashstash_workload::trace::{batches, generate_trace, ReusePotential, TraceConfig};
+
+fn catalog() -> hashstash_storage::Catalog {
+    generate(TpchConfig::new(0.004, 1234))
+}
+
+fn normalized(mut rows: Vec<Row>) -> Vec<Vec<String>> {
+    rows.sort();
+    rows.iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| match v.as_float() {
+                    // Float aggregation order differs between plans; compare
+                    // with fixed precision.
+                    Some(f) => format!("{f:.4}"),
+                    None => v.to_string(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn full_session_equivalence_across_strategies() {
+    let trace = generate_trace(TraceConfig {
+        reuse: ReusePotential::High,
+        queries: 20,
+        seed: 9,
+        structural_prob: 0.3,
+    });
+    let reference: Vec<_> = {
+        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+        trace
+            .iter()
+            .map(|tq| normalized(engine.execute(&tq.query).unwrap().rows))
+            .collect()
+    };
+    for strategy in [
+        EngineStrategy::HashStash,
+        EngineStrategy::Materialized,
+        EngineStrategy::AlwaysShare,
+    ] {
+        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(strategy));
+        for (i, tq) in trace.iter().enumerate() {
+            let got = normalized(engine.execute(&tq.query).unwrap().rows);
+            assert_eq!(got, reference[i], "{strategy:?} diverges at query {i}");
+        }
+    }
+}
+
+#[test]
+fn exp2_session_equivalence() {
+    let session = exp2_session();
+    let reference: Vec<_> = {
+        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+        session
+            .iter()
+            .map(|s| normalized(engine.execute(&s.query).unwrap().rows))
+            .collect()
+    };
+    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    for (i, s) in session.iter().enumerate() {
+        let got = normalized(engine.execute(&s.query).unwrap().rows);
+        assert_eq!(got, reference[i], "{} diverges", s.name);
+    }
+    assert!(
+        engine.cache_stats().reuses >= 3,
+        "the session must exercise reuse (got {})",
+        engine.cache_stats().reuses
+    );
+}
+
+#[test]
+fn batch_modes_equivalent_over_trace_batches() {
+    let trace = generate_trace(TraceConfig {
+        reuse: ReusePotential::Medium,
+        queries: 16,
+        seed: 31,
+        structural_prob: 0.0,
+    });
+    for batch in batches(&trace, 8) {
+        let reference: Vec<_> = {
+            let mut engine =
+                Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+            batch
+                .iter()
+                .map(|q| normalized(engine.execute(q).unwrap().rows))
+                .collect()
+        };
+        let mut engine = Engine::new(catalog(), EngineConfig::default());
+        let results = engine
+            .execute_batch(&batch, BatchMode::SharedWithReuse)
+            .unwrap();
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                normalized(r.rows.clone()),
+                reference[i],
+                "shared batch diverges at query {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gc_does_not_change_answers() {
+    let trace = generate_trace(TraceConfig {
+        reuse: ReusePotential::High,
+        queries: 16,
+        seed: 5,
+        structural_prob: 0.2,
+    });
+    let reference: Vec<_> = {
+        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+        trace
+            .iter()
+            .map(|tq| normalized(engine.execute(&tq.query).unwrap().rows))
+            .collect()
+    };
+    // Brutal budget: 64 KB forces constant eviction.
+    let mut cfg = EngineConfig::default();
+    cfg.gc = GcConfig {
+        budget_bytes: Some(64 * 1024),
+        ..GcConfig::default()
+    };
+    let mut engine = Engine::new(catalog(), cfg);
+    for (i, tq) in trace.iter().enumerate() {
+        let got = normalized(engine.execute(&tq.query).unwrap().rows);
+        assert_eq!(got, reference[i], "GC engine diverges at query {i}");
+        assert!(engine.cache_stats().bytes <= 64 * 1024);
+    }
+    assert!(engine.cache_stats().evictions > 0, "budget forced evictions");
+}
+
+#[test]
+fn zero_budget_cache_still_correct() {
+    let mut cfg = EngineConfig::default();
+    cfg.gc = GcConfig {
+        budget_bytes: Some(0),
+        ..GcConfig::default()
+    };
+    let mut engine = Engine::new(catalog(), cfg);
+    let trace = generate_trace(TraceConfig {
+        reuse: ReusePotential::High,
+        queries: 6,
+        seed: 77,
+        structural_prob: 0.0,
+    });
+    let mut reference = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+    for tq in &trace {
+        let got = normalized(engine.execute(&tq.query).unwrap().rows);
+        let want = normalized(reference.execute(&tq.query).unwrap().rows);
+        assert_eq!(got, want);
+    }
+}
