@@ -3,7 +3,7 @@
 //! reuse "comes for free" requires the optimizer itself to stay cheap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hashstash::{Engine, EngineConfig};
+use hashstash::Database;
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_workload::session::exp2_session;
 use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
@@ -11,20 +11,21 @@ use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
 fn benches(c: &mut Criterion) {
     let catalog = generate(TpchConfig::new(0.01, 42));
     // Populate the cache with a short high-reuse prefix.
-    let mut engine = Engine::new(catalog, EngineConfig::default());
+    let db = Database::open(catalog);
+    let mut session = db.session();
     let trace = generate_trace(TraceConfig::paper(ReusePotential::High, 42));
     for tq in trace.iter().take(8) {
-        engine.execute(&tq.query).unwrap();
+        session.execute(&tq.query).unwrap();
     }
     let three_way = trace[9].query.clone();
     let five_way = exp2_session()[0].query.clone();
-    engine.execute(&five_way).unwrap();
+    session.execute(&five_way).unwrap();
 
     c.bench_function("optimizer/3way_with_candidates", |b| {
-        b.iter(|| engine.plan_only(&three_way).unwrap().est_cost_ns)
+        b.iter(|| session.plan_only(&three_way).unwrap().est_cost_ns)
     });
     c.bench_function("optimizer/5way_with_candidates", |b| {
-        b.iter(|| engine.plan_only(&five_way).unwrap().est_cost_ns)
+        b.iter(|| session.plan_only(&five_way).unwrap().est_cost_ns)
     });
 }
 

@@ -27,28 +27,34 @@ fn main() {
         let trace = generate_trace(TraceConfig::paper(reuse, seed()));
         let overlap = average_overlap(&trace);
 
-        // Run strategies in isolation: collect stats, then drop the engine
-        // (and its caches) before the next run so allocator and LLC state
-        // do not bleed between measurements.
+        // Run strategies in isolation: collect stats, then drop the
+        // database (and its caches) before the next run so allocator and
+        // LLC state do not bleed between measurements.
         let t_none = {
-            let (t, engine) = run_trace(catalog(), EngineStrategy::NoReuse, &trace);
-            drop(engine);
+            let (t, db) = run_trace(catalog(), EngineStrategy::NoReuse, &trace);
+            drop(db);
             t
         };
         let (t_mat, mat_stats) = {
-            let (t, engine) = run_trace(catalog(), EngineStrategy::Materialized, &trace);
-            (t, engine.temp_stats())
+            let (t, db) = run_trace(catalog(), EngineStrategy::Materialized, &trace);
+            (t, db.temp_stats())
         };
         let (t_hs, hs_stats) = {
-            let (t, engine) = run_trace(catalog(), EngineStrategy::HashStash, &trace);
-            (t, engine.cache_stats())
+            let (t, db) = run_trace(catalog(), EngineStrategy::HashStash, &trace);
+            (t, db.cache_stats())
         };
 
         let speedup = |t: std::time::Duration| (1.0 - ms(t) / ms(t_none)) * 100.0;
         let label = format!("{reuse:?} ({:.0}%)", overlap * 100.0);
         println!(
             "{:<10} {:>14} {:>14.1} {:>14.1} {:>12} {:>10} {:>10}",
-            label, "NoReuse", ms(t_none), 0.0, "-", "-", "-"
+            label,
+            "NoReuse",
+            ms(t_none),
+            0.0,
+            "-",
+            "-",
+            "-"
         );
         println!(
             "{:<10} {:>14} {:>14.1} {:>14.1} {:>12.1} {:>10.2} {:>10}",

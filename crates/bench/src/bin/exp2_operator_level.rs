@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{Database, EngineStrategy};
 use hashstash_bench::common::{header, ms};
 use hashstash_cache::{AggPayload, StoredHt, TaggedRow};
 use hashstash_hashtable::ExtendibleHashTable;
@@ -76,7 +76,7 @@ fn join_query(id: u32) -> QuerySpec {
 }
 
 /// Publish the synthetic cached join table with contribution ratio `c`.
-fn seed_join_cache(engine: &mut Engine, c: f64) {
+fn seed_join_cache(db: &Database, c: f64) {
     let h = h();
     let keep = (c * h as f64).round() as i64;
     let junk = h - keep;
@@ -135,7 +135,7 @@ fn seed_join_cache(engine: &mut Engine, c: f64) {
         aggregates: vec![],
         tagged: false,
     };
-    engine.htm_mut().publish(fp, schema, StoredHt::Join(ht));
+    db.with_cache(|htm| htm.publish(fp, schema, StoredHt::Join(ht)));
 }
 
 fn agg_query(id: u32) -> QuerySpec {
@@ -154,7 +154,7 @@ fn agg_query(id: u32) -> QuerySpec {
 }
 
 /// Publish a partially filled aggregate table covering `bt_pos < c·H`.
-fn seed_agg_cache(engine: &mut Engine, c: f64) {
+fn seed_agg_cache(db: &Database, c: f64) {
     let h = h();
     let keep = (c * h as f64).round() as i64;
     if keep == 0 {
@@ -190,23 +190,26 @@ fn seed_agg_cache(engine: &mut Engine, c: f64) {
         aggregates: aggs,
         tagged: false,
     };
-    engine.htm_mut().publish(fp, schema, StoredHt::Agg(ht));
+    db.with_cache(|htm| htm.publish(fp, schema, StoredHt::Agg(ht)));
 }
 
 fn run_once(
     strategy: EngineStrategy,
     c: f64,
-    seed: impl Fn(&mut Engine, f64),
+    seed: impl Fn(&Database, f64),
     query: QuerySpec,
 ) -> f64 {
-    let mut engine = Engine::new(synth_catalog(), EngineConfig::with_strategy(strategy));
-    seed(&mut engine, c);
+    let db = Database::builder(synth_catalog())
+        .strategy(strategy)
+        .build();
+    seed(&db, c);
+    let mut session = db.session();
     let t0 = Instant::now();
-    engine.execute(&query).expect("query runs");
+    session.execute(&query).expect("query runs");
     ms(t0.elapsed())
 }
 
-fn sweep(title: &str, seed: impl Fn(&mut Engine, f64) + Copy, query: impl Fn(u32) -> QuerySpec) {
+fn sweep(title: &str, seed: impl Fn(&Database, f64) + Copy, query: impl Fn(u32) -> QuerySpec) {
     println!("\n{title}");
     println!(
         "{:>6} {:>14} {:>14} {:>14}",
@@ -228,7 +231,10 @@ fn sweep(title: &str, seed: impl Fn(&mut Engine, f64) + Copy, query: impl Fn(u32
 
 fn main() {
     header("Experiment 2b/2c: reuse on the operator level (paper Figure 9a/9b)");
-    println!("build side: {} required rows (+ constant-size overhead)", h());
+    println!(
+        "build side: {} required rows (+ constant-size overhead)",
+        h()
+    );
     sweep(
         "Figure 9a: reuse-aware hash JOIN vs contribution-ratio",
         seed_join_cache,

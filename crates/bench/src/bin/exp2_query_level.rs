@@ -5,7 +5,7 @@
 //! cargo run -p hashstash-bench --bin exp2_query_level --release
 //! ```
 
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{decision_string, Database, EngineStrategy};
 use hashstash_bench::common::{catalog, header, ms};
 use hashstash_workload::session::exp2_session;
 
@@ -22,18 +22,16 @@ fn main() {
     let mut rows: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
     let mut decisions: Vec<String> = Vec::new();
     for (si, (_, strategy)) in strategies.iter().enumerate() {
-        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(*strategy));
+        let db = Database::builder(catalog()).strategy(*strategy).build();
+        let mut sess = db.session();
         for (qi, step) in session.iter().enumerate() {
-            let r = engine
+            let r = sess
                 .execute(&step.query)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", step.name));
             rows[si].push(ms(r.wall_time));
             if *strategy == EngineStrategy::HashStash && qi > 0 {
                 // Decision string in paper order: O, P, C, S, Agg.
-                let s = Engine::decision_string(
-                    &r,
-                    &["orders.", "part.", "customer.", "supplier.", "agg"],
-                );
+                let s = decision_string(&r, &["orders.", "part.", "customer.", "supplier.", "agg"]);
                 decisions.push(format!("{:<10} {}", step.name, s));
             }
         }

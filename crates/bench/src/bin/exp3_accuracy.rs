@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{Database, EngineStrategy};
 use hashstash_bench::common::{catalog, header, seed};
 use hashstash_plan::{JoinGraph, QueryBuilder, QuerySpec};
 use hashstash_workload::session::exp2_session;
@@ -60,8 +60,9 @@ fn main() {
     let base = exp2_session()[0].query.clone();
     let graph = JoinGraph::of_query(&base);
 
-    // Warm a HashStash engine with the medium-reuse trace prefix.
-    let mut warm = Engine::new(catalog(), EngineConfig::default());
+    // Warm a HashStash database with the medium-reuse trace prefix.
+    let warm_db = Database::open(catalog());
+    let mut warm = warm_db.session();
     let trace = generate_trace(TraceConfig::paper(ReusePotential::Medium, seed()));
     for tq in trace.iter().take(16) {
         warm.execute(&tq.query).expect("warm-up query");
@@ -100,8 +101,11 @@ fn main() {
         }
         let act_reuse = t0.elapsed().as_nanos() as f64;
 
-        // Variant 2: fresh plan in a no-reuse engine.
-        let mut fresh = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+        // Variant 2: fresh plan in a no-reuse database.
+        let fresh_db = Database::builder(catalog())
+            .strategy(EngineStrategy::NoReuse)
+            .build();
+        let mut fresh = fresh_db.session();
         let est_fresh = fresh.plan_only(&q).expect("plans").est_cost_ns;
         let t1 = Instant::now();
         fresh.execute(&q).expect("fresh run");

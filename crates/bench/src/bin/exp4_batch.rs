@@ -12,8 +12,7 @@
 
 use std::time::Instant;
 
-use hashstash::engine::BatchMode;
-use hashstash::{Engine, EngineConfig};
+use hashstash::{BatchMode, Database};
 use hashstash_bench::common::{catalog, header, ms, seed};
 use hashstash_workload::trace::{batches, generate_trace, ReusePotential, TraceConfig};
 
@@ -35,14 +34,15 @@ fn main() {
             BatchMode::SharedWithReuse,
         ];
         for (mi, mode) in modes.iter().enumerate() {
-            let mut engine = Engine::new(catalog(), EngineConfig::default());
+            let db = Database::open(catalog());
+            let mut session = db.session();
             // Populate the cache with one batch first (reuse modes benefit).
-            engine
+            session
                 .execute_batch(warm, BatchMode::SingleWithReuse)
                 .expect("warm batch");
             let t0 = Instant::now();
             for b in &rest {
-                engine.execute_batch(b, *mode).expect("batch runs");
+                session.execute_batch(b, *mode).expect("batch runs");
             }
             totals[mi] = ms(t0.elapsed()) / rest.len() as f64;
         }

@@ -10,7 +10,7 @@
 //! cargo run -p hashstash-bench --bin exp5_gc --release
 //! ```
 
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{Database, EngineStrategy};
 use hashstash_bench::common::{catalog, header, mb, ms, run_trace, seed};
 use hashstash_cache::GcConfig;
 use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
@@ -27,15 +27,15 @@ fn main() {
         ReusePotential::High,
     ] {
         let trace = generate_trace(TraceConfig::paper(reuse, seed()));
-        let (t_wo, engine_wo) = run_trace(catalog(), EngineStrategy::HashStash, &trace);
-        let peak = engine_wo.cache_stats().peak_bytes.max(1);
+        let (t_wo, db_wo) = run_trace(catalog(), EngineStrategy::HashStash, &trace);
+        let peak = db_wo.cache_stats().peak_bytes.max(1);
         println!(
             "{:<8} {:<22} {:>10.1}ms {:>12} {:>10} {:>10.1}",
             format!("{reuse:?}"),
             "wo GC",
             ms(t_wo),
             "-",
-            engine_wo.cache_stats().evictions,
+            db_wo.cache_stats().evictions,
             mb(peak)
         );
         for (label, frac, fine) in [
@@ -43,16 +43,17 @@ fn main() {
             ("with GC (50% budget)", 0.5, false),
             ("fine-grained (50%)", 0.5, true),
         ] {
-            let mut cfg = EngineConfig::default();
-            cfg.gc = GcConfig {
-                budget_bytes: Some((peak as f64 * frac) as usize),
-                policy: Default::default(),
-                fine_grained: fine,
-            };
-            let mut engine = Engine::new(catalog(), cfg);
+            let db = Database::builder(catalog())
+                .gc(GcConfig {
+                    budget_bytes: Some((peak as f64 * frac) as usize),
+                    policy: Default::default(),
+                    fine_grained: fine,
+                })
+                .build();
+            let mut session = db.session();
             let t0 = std::time::Instant::now();
             for tq in &trace {
-                engine.execute(&tq.query).expect("query");
+                session.execute(&tq.query).expect("query");
             }
             let t = t0.elapsed();
             let overhead = (ms(t) / ms(t_wo) - 1.0) * 100.0;
@@ -62,8 +63,8 @@ fn main() {
                 label,
                 ms(t),
                 overhead,
-                engine.cache_stats().evictions,
-                mb(engine.cache_stats().peak_bytes)
+                db.cache_stats().evictions,
+                mb(db.cache_stats().peak_bytes)
             );
         }
     }

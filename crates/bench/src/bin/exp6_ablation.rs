@@ -5,51 +5,60 @@
 //! cargo run -p hashstash-bench --bin exp6_ablation --release
 //! ```
 
-use hashstash::{Engine, EngineConfig};
+use hashstash::{Database, EngineBuilder};
 use hashstash_bench::common::{catalog, header, ms, seed};
 use hashstash_cache::{EvictionPolicy, GcConfig};
 use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
 
-fn run_with(cfg: EngineConfig, trace: &[hashstash_workload::trace::TraceQuery]) -> (f64, u64, u64) {
-    let mut engine = Engine::new(catalog(), cfg);
+/// One ablation variant: tweaks the builder before the run.
+type Variant = fn(EngineBuilder) -> EngineBuilder;
+
+fn run_with(
+    configure: impl FnOnce(EngineBuilder) -> EngineBuilder,
+    trace: &[hashstash_workload::trace::TraceQuery],
+) -> (f64, u64, u64) {
+    let db = configure(Database::builder(catalog())).build();
+    let mut session = db.session();
     let t0 = std::time::Instant::now();
     for tq in trace {
-        engine.execute(&tq.query).expect("query");
+        session.execute(&tq.query).expect("query");
     }
     (
         ms(t0.elapsed()),
-        engine.cache_stats().reuses,
-        engine.cache_stats().evictions,
+        db.cache_stats().reuses,
+        db.cache_stats().evictions,
     )
 }
 
 fn main() {
     header("Ablation: benefit-oriented optimizations (paper §3.4)");
     let trace = generate_trace(TraceConfig::paper(ReusePotential::High, seed()));
-    println!("{:<34} {:>12} {:>8}", "configuration", "time (ms)", "reuses");
-    let variants: [(&str, fn(&mut EngineConfig)); 4] = [
-        ("all benefit optimizations ON", |_| {}),
-        ("AVG rewrite OFF", |c| c.avg_rewrite = false),
-        ("additional attributes OFF", |c| {
-            c.additional_attributes = false
+    println!(
+        "{:<34} {:>12} {:>8}",
+        "configuration", "time (ms)", "reuses"
+    );
+    let variants: [(&str, Variant); 4] = [
+        ("all benefit optimizations ON", |b| b),
+        ("AVG rewrite OFF", |b| b.avg_rewrite(false)),
+        ("additional attributes OFF", |b| {
+            b.additional_attributes(false)
         }),
-        ("benefit join order OFF", |c| c.benefit_join_order = false),
+        ("benefit join order OFF", |b| b.benefit_join_order(false)),
     ];
     for (name, tweak) in variants {
-        let mut cfg = EngineConfig::default();
-        tweak(&mut cfg);
-        let (t, reuses, _) = run_with(cfg, &trace);
+        let (t, reuses, _) = run_with(tweak, &trace);
         println!("{name:<34} {t:>10.1}ms {reuses:>8}");
     }
 
     header("Ablation: eviction policies under memory pressure (paper §5)");
     // Peak footprint of an unbounded run sets the pressure level.
-    let (_, _, _) = {
-        let mut engine = Engine::new(catalog(), EngineConfig::default());
+    {
+        let db = Database::open(catalog());
+        let mut session = db.session();
         for tq in &trace {
-            engine.execute(&tq.query).expect("query");
+            session.execute(&tq.query).expect("query");
         }
-        let peak = engine.cache_stats().peak_bytes;
+        let peak = db.cache_stats().peak_bytes;
         println!(
             "{:<34} {:>12} {:>8} {:>10}",
             "policy (30% budget)", "time (ms)", "reuses", "evictions"
@@ -59,15 +68,13 @@ fn main() {
             ("LFU", EvictionPolicy::Lfu),
             ("benefit-weighted", EvictionPolicy::BenefitWeighted),
         ] {
-            let mut cfg = EngineConfig::default();
-            cfg.gc = GcConfig {
+            let gc = GcConfig {
                 budget_bytes: Some((peak as f64 * 0.3) as usize),
                 policy,
                 fine_grained: false,
             };
-            let (t, reuses, evictions) = run_with(cfg, &trace);
+            let (t, reuses, evictions) = run_with(move |b| b.gc(gc), &trace);
             println!("{name:<34} {t:>10.1}ms {reuses:>8} {evictions:>10}");
         }
-        (0.0, 0, 0)
-    };
+    }
 }

@@ -1,8 +1,9 @@
 //! Helpers shared by the experiment binaries.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{Database, EngineStrategy};
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_storage::Catalog;
 use hashstash_workload::trace::TraceQuery;
@@ -28,16 +29,22 @@ pub fn catalog() -> Catalog {
     generate(TpchConfig::new(scale_factor(), seed()))
 }
 
-/// Run a whole trace under one strategy; returns (total wall time, engine).
-pub fn run_trace(catalog: Catalog, strategy: EngineStrategy, trace: &[TraceQuery]) -> (Duration, Engine) {
-    let mut engine = Engine::new(catalog, EngineConfig::with_strategy(strategy));
+/// Run a whole trace under one strategy through a single session; returns
+/// (total wall time, database).
+pub fn run_trace(
+    catalog: Catalog,
+    strategy: EngineStrategy,
+    trace: &[TraceQuery],
+) -> (Duration, Arc<Database>) {
+    let db = Database::builder(catalog).strategy(strategy).build();
+    let mut session = db.session();
     let t0 = Instant::now();
     for tq in trace {
-        engine
+        session
             .execute(&tq.query)
             .unwrap_or_else(|e| panic!("query {} failed: {e}", tq.query.id));
     }
-    (t0.elapsed(), engine)
+    (t0.elapsed(), db)
 }
 
 /// Pretty milliseconds.

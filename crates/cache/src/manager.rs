@@ -409,10 +409,10 @@ mod tests {
             kind: HtKind::JoinBuild,
             tables: std::iter::once(Arc::from("customer")).collect(),
             edges: vec![],
-            region: Region::from_box(
-                PredBox::all()
-                    .with("customer.c_age", Interval::closed(Value::Int(lo), Value::Int(hi))),
-            ),
+            region: Region::from_box(PredBox::all().with(
+                "customer.c_age",
+                Interval::closed(Value::Int(lo), Value::Int(hi)),
+            )),
             key_attrs: vec![Arc::from("customer.c_custkey")],
             payload_attrs: vec![Arc::from("customer.c_age")],
             aggregates: Vec::new(),
@@ -444,7 +444,10 @@ mod tests {
 
         let co = m.checkout(id).unwrap();
         assert!(!m.is_available(id));
-        assert!(m.candidates(&fp(0, 10)).is_empty(), "checked out ⇒ no candidate");
+        assert!(
+            m.candidates(&fp(0, 10)).is_empty(),
+            "checked out ⇒ no candidate"
+        );
         assert!(m.checkout(id).is_err(), "double checkout rejected");
         m.checkin(co).unwrap();
         assert!(m.is_available(id));

@@ -111,10 +111,7 @@ impl AggAccum {
                     }
                 }
             }
-            (
-                AggAccum::Avg { sum: sa, count: ca },
-                AggAccum::Avg { sum: sb, count: cb },
-            ) => {
+            (AggAccum::Avg { sum: sa, count: ca }, AggAccum::Avg { sum: sb, count: cb }) => {
                 *sa += sb;
                 *ca += cb;
             }
@@ -127,9 +124,7 @@ impl AggAccum {
         match self {
             AggAccum::Sum(s) => Value::float(*s),
             AggAccum::Count(c) => Value::Int(*c),
-            AggAccum::Min(m) | AggAccum::Max(m) => {
-                m.clone().unwrap_or(Value::Int(0))
-            }
+            AggAccum::Min(m) | AggAccum::Max(m) => m.clone().unwrap_or(Value::Int(0)),
             AggAccum::Avg { sum, count } => {
                 if *count == 0 {
                     Value::float(0.0)

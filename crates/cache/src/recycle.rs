@@ -144,16 +144,20 @@ mod tests {
     fn fp(lo: i64, hi: i64) -> HtFingerprint {
         HtFingerprint {
             kind: HtKind::JoinBuild,
-            tables: ["customer", "orders"].iter().map(|s| Arc::from(*s)).collect(),
+            tables: ["customer", "orders"]
+                .iter()
+                .map(|s| Arc::from(*s))
+                .collect(),
             edges: vec![JoinEdge::new(
                 "customer",
                 "customer.c_custkey",
                 "orders",
                 "orders.o_custkey",
             )],
-            region: Region::from_box(
-                PredBox::all().with("customer.c_age", Interval::closed(Value::Int(lo), Value::Int(hi))),
-            ),
+            region: Region::from_box(PredBox::all().with(
+                "customer.c_age",
+                Interval::closed(Value::Int(lo), Value::Int(hi)),
+            )),
             key_attrs: vec![Arc::from("customer.c_custkey")],
             payload_attrs: vec![Arc::from("customer.c_age")],
             aggregates: Vec::new(),
@@ -199,8 +203,18 @@ mod tests {
         let mut g = RecycleGraph::new();
         let mut a = fp(0, 10);
         a.edges = vec![
-            JoinEdge::new("customer", "customer.c_custkey", "orders", "orders.o_custkey"),
-            JoinEdge::new("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey"),
+            JoinEdge::new(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            ),
+            JoinEdge::new(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            ),
         ];
         a.tables.insert(Arc::from("lineitem"));
         let mut b = a.clone();

@@ -1,0 +1,864 @@
+//! The concurrent engine facade: a shareable [`Database`] plus cheap
+//! per-client [`Session`] handles, configured through the fluent
+//! [`EngineBuilder`].
+//!
+//! The immutable query infrastructure — catalog, statistics, cost model and
+//! the configured [`ReusePolicy`] — lives in the [`Database`] and is read
+//! lock-free by every session. The mutable reuse state (the Hash Table
+//! Manager and the temp-table cache) sits behind one mutex: a session holds
+//! it from optimization through execution so a table chosen for reuse
+//! cannot be evicted or checked out by a concurrent session mid-query.
+//! Queries therefore serialize on the reuse caches, but any number of
+//! threads can hold sessions, and every hash table published by one
+//! session is reusable by all others.
+//!
+//! ```no_run
+//! use hashstash::Database;
+//! use hashstash_storage::tpch::{generate, TpchConfig};
+//!
+//! let db = Database::builder(generate(TpchConfig::new(0.01, 42))).build();
+//! let mut session = db.session();
+//! # let query = hashstash_plan::QueryBuilder::new(1)
+//! #     .table("customer").build().unwrap();
+//! let result = session.execute(&query).unwrap();
+//! println!("{} rows in {:?}", result.rows.len(), result.wall_time);
+//! ```
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use hashstash_types::{HsError, QueryId, Result, Row, Schema};
+
+use hashstash_cache::{CacheStats, GcConfig, HtManager};
+use hashstash_exec::shared::execute_shared;
+use hashstash_exec::{execute, ExecContext, ExecMetrics, TempTableCache, TempTableStats};
+use hashstash_opt::multi::{plan_batch, BatchUnit};
+use hashstash_opt::optimizer::{OptimizedQuery, Optimizer, OptimizerConfig};
+use hashstash_opt::policy::{
+    AlwaysShare, CostBasedReuse, MaterializedReuse, NeverShare, NoReuse, ReusePolicy,
+};
+use hashstash_opt::{CostModel, DbStats};
+use hashstash_plan::{QuerySpec, ReuseCase};
+use hashstash_storage::Catalog;
+
+use crate::materialized::materialized_plan;
+
+/// The paper's five §6 reuse configurations as a convenience enum; each
+/// maps onto one built-in [`ReusePolicy`]. Custom policies skip this enum
+/// entirely and go through [`EngineBuilder::policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineStrategy {
+    /// Reuse internal hash tables with the reuse-aware optimizer (paper).
+    #[default]
+    HashStash,
+    /// No reuse, no materialization — the plain baseline.
+    NoReuse,
+    /// Materialization-based reuse into temp tables (exact + subsuming).
+    Materialized,
+    /// Greedy reuse of the highest-contribution candidate (Exp 2 baseline).
+    AlwaysShare,
+    /// Reuse disabled in the optimizer but otherwise HashStash (Exp 2
+    /// baseline; equivalent to [`EngineStrategy::NoReuse`] for execution).
+    NeverShare,
+}
+
+impl EngineStrategy {
+    /// The built-in policy implementing this configuration.
+    pub fn policy(self) -> Arc<dyn ReusePolicy> {
+        match self {
+            EngineStrategy::HashStash => Arc::new(CostBasedReuse),
+            EngineStrategy::NoReuse => Arc::new(NoReuse),
+            EngineStrategy::Materialized => Arc::new(MaterializedReuse),
+            EngineStrategy::AlwaysShare => Arc::new(AlwaysShare),
+            EngineStrategy::NeverShare => Arc::new(NeverShare),
+        }
+    }
+}
+
+/// The result of one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Query id.
+    pub query: QueryId,
+    /// Output schema.
+    pub schema: Schema,
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// Wall-clock execution time (excludes optimization).
+    pub wall_time: Duration,
+    /// Optimization time.
+    pub optimize_time: Duration,
+    /// Optimizer's cost estimate (ns).
+    pub est_cost_ns: f64,
+    /// Execution counters.
+    pub metrics: ExecMetrics,
+    /// Reuse decisions per pipeline breaker (paper Table 8b's N/S strings).
+    pub decisions: Vec<(String, Option<ReuseCase>)>,
+}
+
+/// Cumulative per-session statistics (drives the paper's Figure 7b).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Total wall-clock execution time.
+    pub total_wall: Duration,
+    /// Total optimization time.
+    pub total_optimize: Duration,
+    /// Accumulated execution counters.
+    pub metrics: ExecMetrics,
+}
+
+impl SessionStats {
+    fn record(&mut self, queries: u64, wall: Duration, optimize: Duration, m: &ExecMetrics) {
+        self.queries += queries;
+        self.total_wall += wall;
+        self.total_optimize += optimize;
+        self.metrics.absorb(m);
+    }
+}
+
+/// How [`Session::execute_batch`] runs a batch (paper Exp 4 modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Every query individually, reuse off.
+    SingleNoReuse,
+    /// Every query individually, reuse on.
+    SingleWithReuse,
+    /// Reuse-aware shared plans (query-batch interface).
+    SharedWithReuse,
+}
+
+/// The shared mutable reuse state of a [`Database`].
+struct ReuseCaches {
+    htm: HtManager,
+    temps: TempTableCache,
+}
+
+/// Fluent configuration for a [`Database`] (obtain via
+/// [`Database::builder`]).
+///
+/// ```no_run
+/// use hashstash::{Database, EngineStrategy};
+/// use hashstash_cache::GcConfig;
+/// use hashstash_storage::tpch::{generate, TpchConfig};
+///
+/// let db = Database::builder(generate(TpchConfig::new(0.01, 42)))
+///     .strategy(EngineStrategy::Materialized)
+///     .gc(GcConfig::default())
+///     .temp_budget(64 << 20)
+///     .build();
+/// assert_eq!(db.policy().name(), "materialized");
+/// ```
+#[must_use = "call .build() to construct the Database"]
+pub struct EngineBuilder {
+    catalog: Catalog,
+    policy: Arc<dyn ReusePolicy>,
+    gc: GcConfig,
+    temp_budget: Option<usize>,
+    avg_rewrite: bool,
+    additional_attributes: bool,
+    benefit_join_order: bool,
+    benefit_epsilon: f64,
+    calibrate: bool,
+}
+
+impl EngineBuilder {
+    fn new(catalog: Catalog) -> Self {
+        EngineBuilder {
+            catalog,
+            policy: Arc::new(CostBasedReuse),
+            gc: GcConfig::default(),
+            temp_budget: None,
+            avg_rewrite: true,
+            additional_attributes: true,
+            benefit_join_order: true,
+            benefit_epsilon: 0.1,
+            calibrate: false,
+        }
+    }
+
+    /// Install a reuse policy (any [`ReusePolicy`] implementation; see the
+    /// built-ins in [`hashstash_opt::policy`]). Default:
+    /// [`CostBasedReuse`].
+    pub fn policy(mut self, policy: impl ReusePolicy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// Install an already-shared policy handle.
+    pub fn policy_handle(mut self, policy: Arc<dyn ReusePolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Select one of the paper's five configurations by name.
+    pub fn strategy(self, strategy: EngineStrategy) -> Self {
+        self.policy_handle(strategy.policy())
+    }
+
+    /// Hash-table cache GC configuration (budget, eviction policy,
+    /// fine-grained mode). Default: unbounded, LRU.
+    pub fn gc(mut self, gc: GcConfig) -> Self {
+        self.gc = gc;
+        self
+    }
+
+    /// Shorthand: cap the hash-table cache at `bytes` (pass `None` to
+    /// disable eviction, the default).
+    pub fn gc_budget(mut self, bytes: impl Into<Option<usize>>) -> Self {
+        self.gc.budget_bytes = bytes.into();
+        self
+    }
+
+    /// Temp-table cache budget for the materialized baseline (pass `None`
+    /// for unlimited, the default).
+    pub fn temp_budget(mut self, bytes: impl Into<Option<usize>>) -> Self {
+        self.temp_budget = bytes.into();
+        self
+    }
+
+    /// Benefit-oriented `AVG → SUM,COUNT` rewrite (paper §3.4). Default on.
+    pub fn avg_rewrite(mut self, on: bool) -> Self {
+        self.avg_rewrite = on;
+        self
+    }
+
+    /// Store selection attributes in join payloads (paper §3.4). Default on.
+    pub fn additional_attributes(mut self, on: bool) -> Self {
+        self.additional_attributes = on;
+        self
+    }
+
+    /// Prefer future-benefit plans within an epsilon (paper §3.4).
+    /// Default on.
+    pub fn benefit_join_order(mut self, on: bool) -> Self {
+        self.benefit_join_order = on;
+        self
+    }
+
+    /// Relative cost slack for the benefit preference. Default `0.1`.
+    pub fn benefit_epsilon(mut self, epsilon: f64) -> Self {
+        self.benefit_epsilon = epsilon;
+        self
+    }
+
+    /// Calibrate the cost model with real micro-benchmarks at startup
+    /// instead of the deterministic synthetic grid. Default off.
+    pub fn calibrate(mut self, on: bool) -> Self {
+        self.calibrate = on;
+        self
+    }
+
+    /// Construct the database. Returns an [`Arc`] so sessions — possibly on
+    /// other threads — can share it immediately.
+    pub fn build(self) -> Arc<Database> {
+        let stats = DbStats::from_catalog(&self.catalog);
+        let cost = if self.calibrate {
+            CostModel::new(
+                hashstash_hashtable::Calibrator::default().run(),
+                hashstash_opt::CostParams::default(),
+            )
+        } else {
+            CostModel::synthetic()
+        };
+        Arc::new(Database {
+            catalog: self.catalog,
+            stats,
+            cost,
+            policy: self.policy,
+            avg_rewrite: self.avg_rewrite,
+            additional_attributes: self.additional_attributes,
+            benefit_join_order: self.benefit_join_order,
+            benefit_epsilon: self.benefit_epsilon,
+            caches: Mutex::new(ReuseCaches {
+                htm: HtManager::new(self.gc),
+                temps: TempTableCache::new(self.temp_budget),
+            }),
+            totals: Mutex::new(SessionStats::default()),
+        })
+    }
+}
+
+/// A shareable main-memory database: catalog, statistics, cost model, the
+/// configured [`ReusePolicy`] and the reuse caches. Many threads hold one
+/// `Arc<Database>` and drive queries through per-thread [`Session`]s; hash
+/// tables published by any session are reused by all of them.
+pub struct Database {
+    catalog: Catalog,
+    stats: DbStats,
+    cost: CostModel,
+    policy: Arc<dyn ReusePolicy>,
+    avg_rewrite: bool,
+    additional_attributes: bool,
+    benefit_join_order: bool,
+    benefit_epsilon: f64,
+    caches: Mutex<ReuseCaches>,
+    totals: Mutex<SessionStats>,
+}
+
+impl Database {
+    /// Start configuring a database over `catalog`.
+    pub fn builder(catalog: Catalog) -> EngineBuilder {
+        EngineBuilder::new(catalog)
+    }
+
+    /// A database with all defaults (HashStash policy, unbounded caches).
+    pub fn open(catalog: Catalog) -> Arc<Database> {
+        Database::builder(catalog).build()
+    }
+
+    /// Open a new session. Sessions are cheap; create one per thread or
+    /// per client.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            db: Arc::clone(self),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Database statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// The reuse policy in effect.
+    pub fn policy(&self) -> &Arc<dyn ReusePolicy> {
+        &self.policy
+    }
+
+    /// Hash-table cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_caches().htm.stats()
+    }
+
+    /// Temp-table cache statistics (materialized baseline).
+    pub fn temp_stats(&self) -> TempTableStats {
+        self.lock_caches().temps.stats()
+    }
+
+    /// Totals accumulated across every session of this database.
+    pub fn total_stats(&self) -> SessionStats {
+        *self.totals.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current reuse-cache memory footprint in bytes (hash tables or temp
+    /// tables, depending on the policy).
+    pub fn reuse_memory_bytes(&self) -> usize {
+        let caches = self.lock_caches();
+        if self.policy.materialize() {
+            caches.temps.stats().bytes
+        } else {
+            caches.htm.stats().bytes
+        }
+    }
+
+    /// Run `f` with exclusive access to the Hash Table Manager (tests and
+    /// experiments seed or inspect the cache through this).
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut HtManager) -> R) -> R {
+        f(&mut self.lock_caches().htm)
+    }
+
+    /// Lock the reuse caches. A panicking query may leave a table checked
+    /// out, which degrades reuse but never correctness — so poisoning is
+    /// deliberately ignored rather than cascading to every later query.
+    fn lock_caches(&self) -> MutexGuard<'_, ReuseCaches> {
+        self.caches.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn optimizer_config(&self, policy: &Arc<dyn ReusePolicy>) -> OptimizerConfig {
+        OptimizerConfig {
+            policy: Arc::clone(policy),
+            avg_rewrite: self.avg_rewrite,
+            additional_attributes: self.additional_attributes,
+            benefit_join_order: self.benefit_join_order,
+            benefit_epsilon: self.benefit_epsilon,
+        }
+    }
+
+    fn record(&self, queries: u64, wall: Duration, optimize: Duration, m: &ExecMetrics) {
+        self.totals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(queries, wall, optimize, m);
+    }
+}
+
+/// A client handle on a [`Database`]: runs queries, tracks per-session
+/// statistics. Cheap to create ([`Database::session`]) and safe to move to
+/// another thread.
+pub struct Session {
+    db: Arc<Database>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// The database this session runs against.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Statistics accumulated by this session alone.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Optimize and execute a single query (query-at-a-time interface).
+    pub fn execute(&mut self, q: &QuerySpec) -> Result<QueryResult> {
+        let policy = Arc::clone(&self.db.policy);
+        self.execute_with_policy(q, &policy)
+    }
+
+    fn execute_with_policy(
+        &mut self,
+        q: &QuerySpec,
+        policy: &Arc<dyn ReusePolicy>,
+    ) -> Result<QueryResult> {
+        let db = Arc::clone(&self.db);
+        // Hold the cache lock from optimization through execution: the
+        // tables the optimizer picked must not be evicted or checked out by
+        // a concurrent session before the executor consumes them.
+        let mut caches = db.lock_caches();
+        self.execute_locked(&db, q, policy, &mut caches)
+    }
+
+    /// Optimize + execute one query against already-locked caches. Split
+    /// out so the batch path can run single-query units without releasing
+    /// the lock mid-batch (a concurrent eviction would invalidate cached
+    /// tables that later shared units reference by id).
+    fn execute_locked(
+        &mut self,
+        db: &Database,
+        q: &QuerySpec,
+        policy: &Arc<dyn ReusePolicy>,
+        caches: &mut ReuseCaches,
+    ) -> Result<QueryResult> {
+        let opt_cfg = db.optimizer_config(policy);
+        let optimizer = Optimizer::new(&db.catalog, &db.stats, &db.cost, opt_cfg);
+
+        let t0 = Instant::now();
+        let oq = {
+            let ReuseCaches { htm, temps } = caches;
+            if policy.materialize() {
+                materialized_plan(&optimizer, q, htm, temps)?
+            } else {
+                optimizer.optimize(q, htm)?
+            }
+        };
+        let optimize_time = t0.elapsed();
+
+        let decisions = oq.plan.reuse_decisions();
+        let t1 = Instant::now();
+        let ReuseCaches { htm, temps } = caches;
+        let mut ctx = ExecContext::new(&db.catalog, htm, temps);
+        let (schema, rows) = execute(&oq.plan, &mut ctx)?;
+        let wall_time = t1.elapsed();
+        let metrics = ctx.metrics;
+
+        self.stats.record(1, wall_time, optimize_time, &metrics);
+        db.record(1, wall_time, optimize_time, &metrics);
+
+        Ok(QueryResult {
+            query: q.id,
+            schema,
+            rows,
+            wall_time,
+            optimize_time,
+            est_cost_ns: oq.est_cost_ns,
+            metrics,
+            decisions,
+        })
+    }
+
+    /// Optimize a query without executing it (experiments peek at plans).
+    pub fn plan_only(&self, q: &QuerySpec) -> Result<OptimizedQuery> {
+        let opt_cfg = self.db.optimizer_config(&self.db.policy);
+        let mut caches = self.db.lock_caches();
+        let optimizer = Optimizer::new(&self.db.catalog, &self.db.stats, &self.db.cost, opt_cfg);
+        optimizer.optimize(q, &mut caches.htm)
+    }
+
+    /// Execute a batch of queries (query-batch interface, paper §4).
+    /// Results are returned in input order.
+    pub fn execute_batch(
+        &mut self,
+        queries: &[QuerySpec],
+        mode: BatchMode,
+    ) -> Result<Vec<QueryResult>> {
+        match mode {
+            BatchMode::SingleNoReuse => {
+                let off: Arc<dyn ReusePolicy> = Arc::new(NoReuse);
+                queries
+                    .iter()
+                    .map(|q| self.execute_with_policy(q, &off))
+                    .collect()
+            }
+            BatchMode::SingleWithReuse => queries.iter().map(|q| self.execute(q)).collect(),
+            BatchMode::SharedWithReuse => self.execute_shared_batch(queries),
+        }
+    }
+
+    fn execute_shared_batch(&mut self, queries: &[QuerySpec]) -> Result<Vec<QueryResult>> {
+        let db = Arc::clone(&self.db);
+        let opt_cfg = db.optimizer_config(&db.policy);
+        let mut caches = db.lock_caches();
+        let t0 = Instant::now();
+        let plan = plan_batch(
+            queries,
+            &db.catalog,
+            &db.stats,
+            &db.cost,
+            opt_cfg,
+            &mut caches.htm,
+            true,
+        )?;
+        let optimize_time = t0.elapsed();
+
+        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        let policy = Arc::clone(&db.policy);
+        for unit in plan.units {
+            match unit {
+                BatchUnit::Single { index, .. } => {
+                    // Run the single-query path WITHOUT releasing the lock:
+                    // shared units planned above reference cached tables by
+                    // id, and a concurrent session could evict them in any
+                    // unlocked window.
+                    let r = self.execute_locked(&db, &queries[index], &policy, &mut caches)?;
+                    results[index] = Some(r);
+                }
+                BatchUnit::Shared {
+                    indices,
+                    spec,
+                    est_cost_ns,
+                } => {
+                    let t1 = Instant::now();
+                    let ReuseCaches { htm, temps } = &mut *caches;
+                    let mut ctx = ExecContext::new(&db.catalog, htm, temps);
+                    let shared_results = execute_shared(&spec, &mut ctx)?;
+                    let wall = t1.elapsed();
+                    let metrics = ctx.metrics;
+                    self.stats
+                        .record(indices.len() as u64, wall, Duration::ZERO, &metrics);
+                    db.record(indices.len() as u64, wall, Duration::ZERO, &metrics);
+                    let per_query_wall = wall / indices.len().max(1) as u32;
+                    for (slot, &index) in indices.iter().enumerate() {
+                        let r = &shared_results[slot];
+                        results[index] = Some(QueryResult {
+                            query: queries[index].id,
+                            schema: r.schema.clone(),
+                            rows: r.rows.clone(),
+                            wall_time: per_query_wall,
+                            optimize_time,
+                            est_cost_ns: est_cost_ns / indices.len() as f64,
+                            metrics,
+                            decisions: vec![("shared".to_string(), None)],
+                        });
+                    }
+                }
+            }
+        }
+        drop(caches);
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| HsError::ExecError(format!("query {i} missing from batch plan")))
+            })
+            .collect()
+    }
+}
+
+/// Render the paper's decision string for a query (Table 8b): one
+/// character per pipeline breaker in `order`, `N` = new hash table,
+/// `S` = reused, `X` = operator eliminated.
+pub fn decision_string(result: &QueryResult, order: &[&str]) -> String {
+    let mut out = String::new();
+    for want in order {
+        let found = result
+            .decisions
+            .iter()
+            .find(|(label, _)| label.contains(want));
+        out.push(match found {
+            None => 'X',
+            Some((_, None)) => 'N',
+            Some((_, Some(_))) => 'S',
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashstash_opt::MatchRewrite;
+    use hashstash_plan::{AggExpr, AggFunc, HtFingerprint, Interval, QueryBuilder};
+    use hashstash_storage::tpch::{generate, TpchConfig};
+    use hashstash_types::Value;
+
+    fn catalog() -> Catalog {
+        generate(TpchConfig::new(0.002, 77))
+    }
+
+    fn q3(id: u32, ship: &str) -> QuerySpec {
+        QueryBuilder::new(id)
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
+            .filter(
+                "lineitem.l_shipdate",
+                Interval::at_least(Value::Date(
+                    hashstash_types::date::parse_date(ship).unwrap(),
+                )),
+            )
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"))
+            .build()
+            .unwrap()
+    }
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<Session>();
+    }
+
+    #[test]
+    fn all_strategies_agree_on_answers() {
+        let strategies = [
+            EngineStrategy::HashStash,
+            EngineStrategy::NoReuse,
+            EngineStrategy::Materialized,
+            EngineStrategy::AlwaysShare,
+            EngineStrategy::NeverShare,
+        ];
+        let queries = [
+            q3(1, "1996-06-01"),
+            q3(2, "1996-01-01"),
+            q3(3, "1996-09-01"),
+        ];
+        let mut reference: Option<Vec<Vec<Row>>> = None;
+        for s in strategies {
+            let db = Database::builder(catalog()).strategy(s).build();
+            let mut session = db.session();
+            let answers: Vec<Vec<Row>> = queries
+                .iter()
+                .map(|q| sorted(session.execute(q).unwrap().rows))
+                .collect();
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => {
+                    for (i, (a, b)) in r.iter().zip(&answers).enumerate() {
+                        assert_eq!(a.len(), b.len(), "strategy {s:?} query {i} row count");
+                        for (x, y) in a.iter().zip(b) {
+                            assert_eq!(x.get(0), y.get(0), "strategy {s:?} group keys");
+                            let fx = x.get(1).as_float().unwrap();
+                            let fy = y.get(1).as_float().unwrap();
+                            assert!(
+                                (fx - fy).abs() < 1e-6 * fy.abs().max(1.0),
+                                "strategy {s:?} aggregates: {fx} vs {fy}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hashstash_reuses_across_queries() {
+        let db = Database::open(catalog());
+        let mut session = db.session();
+        session.execute(&q3(1, "1996-06-01")).unwrap();
+        let second = session.execute(&q3(2, "1996-01-01")).unwrap();
+        assert!(
+            second.decisions.iter().any(|(_, c)| c.is_some()),
+            "second query reuses: {:?}",
+            second.decisions
+        );
+        assert!(db.cache_stats().reuses > 0);
+    }
+
+    #[test]
+    fn sessions_share_the_cache() {
+        let db = Database::open(catalog());
+        let mut warm = db.session();
+        warm.execute(&q3(1, "1996-06-01")).unwrap();
+        // A *different* session reuses the tables the first one published.
+        let mut cold = db.session();
+        let r = cold.execute(&q3(2, "1996-06-01")).unwrap();
+        assert!(
+            r.decisions.iter().any(|(_, c)| c.is_some()),
+            "fresh session reuses warm session's tables: {:?}",
+            r.decisions
+        );
+        assert_eq!(cold.stats().queries, 1);
+        assert_eq!(db.total_stats().queries, 2);
+    }
+
+    #[test]
+    fn materialized_baseline_materializes_and_reuses() {
+        let db = Database::builder(catalog())
+            .strategy(EngineStrategy::Materialized)
+            .build();
+        let mut session = db.session();
+        let first = session.execute(&q3(1, "1996-06-01")).unwrap();
+        assert!(first.metrics.materialized_rows > 0, "pays materialization");
+        assert!(db.temp_stats().publishes > 0);
+        // Identical query reuses temp tables (exact).
+        let second = session.execute(&q3(2, "1996-06-01")).unwrap();
+        assert!(db.temp_stats().reuses > 0);
+        assert_eq!(sorted(first.rows.clone()).len(), sorted(second.rows).len());
+        // No hash tables were cached.
+        assert_eq!(db.cache_stats().publishes, 0);
+    }
+
+    #[test]
+    fn batch_modes_agree() {
+        let queries: Vec<QuerySpec> = (0..4)
+            .map(|i| {
+                QueryBuilder::new(i)
+                    .join(
+                        "customer",
+                        "customer.c_custkey",
+                        "orders",
+                        "orders.o_custkey",
+                    )
+                    .filter(
+                        "customer.c_age",
+                        Interval::closed(
+                            Value::Int(20 + i as i64 * 5),
+                            Value::Int(50 + i as i64 * 5),
+                        ),
+                    )
+                    .group_by("customer.c_age")
+                    .agg(AggExpr::new(AggFunc::Count, "orders.o_orderkey"))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let mut reference: Option<Vec<Vec<Row>>> = None;
+        for mode in [
+            BatchMode::SingleNoReuse,
+            BatchMode::SingleWithReuse,
+            BatchMode::SharedWithReuse,
+        ] {
+            let db = Database::open(catalog());
+            let mut session = db.session();
+            let results = session.execute_batch(&queries, mode).unwrap();
+            assert_eq!(results.len(), queries.len());
+            let answers: Vec<Vec<Row>> = results.into_iter().map(|r| sorted(r.rows)).collect();
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => {
+                    for (i, (a, b)) in r.iter().zip(&answers).enumerate() {
+                        assert_eq!(a, b, "mode {mode:?} query {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decision_string_renders() {
+        let db = Database::open(catalog());
+        let mut session = db.session();
+        session.execute(&q3(1, "1996-06-01")).unwrap();
+        let r = session.execute(&q3(2, "1996-06-01")).unwrap();
+        let s = decision_string(&r, &["orders", "customer", "agg"]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains('S') || s.contains('X'), "some reuse shows: {s}");
+    }
+
+    #[test]
+    fn gc_budget_limits_footprint() {
+        let db = Database::builder(catalog()).gc_budget(64 * 1024).build();
+        let mut session = db.session();
+        for i in 0..6 {
+            let ship = format!("199{}-0{}-01", 3 + i % 5, 1 + i % 9);
+            session.execute(&q3(i as u32, &ship)).unwrap();
+        }
+        assert!(db.cache_stats().bytes <= 64 * 1024);
+        assert!(db.cache_stats().evictions > 0);
+    }
+
+    #[test]
+    fn builder_defaults_match_documented_invariants() {
+        let db = Database::builder(catalog()).build();
+        assert_eq!(db.policy().name(), "hashstash");
+        assert!(!db.policy().materialize());
+        let caches = db.lock_caches();
+        assert_eq!(caches.htm.gc_config().budget_bytes, None);
+        drop(caches);
+        assert_eq!(db.cache_stats().publishes, 0);
+        assert_eq!(db.total_stats().queries, 0);
+    }
+
+    /// A custom policy plugs in end-to-end without touching engine or
+    /// optimizer internals (acceptance criterion of the facade redesign).
+    #[test]
+    fn custom_policy_runs_end_to_end() {
+        struct ExactOnly;
+        impl ReusePolicy for ExactOnly {
+            fn name(&self) -> &str {
+                "exact-only"
+            }
+            fn candidates(
+                &self,
+                _request: &HtFingerprint,
+                matches: Vec<MatchRewrite>,
+            ) -> Vec<MatchRewrite> {
+                matches
+                    .into_iter()
+                    .filter(|m| m.case == ReuseCase::Exact)
+                    .collect()
+            }
+            fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+                true
+            }
+        }
+
+        let db = Database::builder(catalog()).policy(ExactOnly).build();
+        let mut session = db.session();
+        session.execute(&q3(1, "1996-06-01")).unwrap();
+        // Exact repeat: reused. Widened predicate: NOT reused (would be
+        // partial), unlike the cost-based policy.
+        let exact = session.execute(&q3(2, "1996-06-01")).unwrap();
+        assert!(exact.decisions.iter().any(|(_, c)| c.is_some()));
+        let widened = session.execute(&q3(3, "1996-01-01")).unwrap();
+        assert!(
+            widened
+                .decisions
+                .iter()
+                .all(|(_, c)| !matches!(c, Some(ReuseCase::Partial))),
+            "exact-only policy must not take partial reuse: {:?}",
+            widened.decisions
+        );
+        // Answers still correct vs the no-reuse baseline.
+        let ns = Database::builder(catalog())
+            .strategy(EngineStrategy::NoReuse)
+            .build();
+        let mut ns_session = ns.session();
+        let want = ns_session.execute(&q3(4, "1996-01-01")).unwrap();
+        assert_eq!(sorted(widened.rows).len(), sorted(want.rows).len());
+    }
+}

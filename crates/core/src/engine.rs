@@ -1,38 +1,34 @@
-//! The HashStash engine facade.
+//! Deprecated single-session facade, kept for one release.
+//!
+//! [`Engine`] wraps the new [`Database`]/[`Session`] split behind the old
+//! `&mut self` API so existing callers keep compiling. New code should use
+//! [`Database::builder`] — see the crate docs for a migration sketch:
+//!
+//! ```text
+//! // before                                  // after
+//! let mut e = Engine::new(cat, cfg);         let db = Database::builder(cat)
+//! e.execute(&q)?;                                .strategy(cfg.strategy)
+//!                                                .gc(cfg.gc)
+//!                                                .build();
+//!                                            let mut s = db.session();
+//!                                            s.execute(&q)?;
+//! ```
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
-use hashstash_types::{HsError, QueryId, Result, Row, Schema};
+use hashstash_types::Result;
 
-use hashstash_cache::{CacheStats, GcConfig, HtManager};
-use hashstash_exec::shared::execute_shared;
-use hashstash_exec::{execute, ExecContext, ExecMetrics, TempTableCache, TempTableStats};
-use hashstash_opt::multi::{plan_batch, BatchUnit};
-use hashstash_opt::optimizer::{Optimizer, OptimizerConfig, ReuseStrategy};
-use hashstash_opt::{CostModel, DbStats};
-use hashstash_plan::{QuerySpec, ReuseCase};
+use hashstash_cache::{CacheStats, GcConfig};
+use hashstash_exec::TempTableStats;
+use hashstash_opt::optimizer::OptimizedQuery;
+use hashstash_plan::QuerySpec;
 use hashstash_storage::Catalog;
 
-use crate::materialized::materialized_plan;
+pub use crate::db::{decision_string, BatchMode, EngineStrategy, QueryResult, SessionStats};
+use crate::db::{Database, Session};
 
-/// Which reuse strategy the engine runs (paper §6 configurations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineStrategy {
-    /// Reuse internal hash tables with the reuse-aware optimizer (paper).
-    #[default]
-    HashStash,
-    /// No reuse, no materialization — the plain baseline.
-    NoReuse,
-    /// Materialization-based reuse into temp tables (exact + subsuming).
-    Materialized,
-    /// Greedy reuse of the highest-contribution candidate (Exp 2 baseline).
-    AlwaysShare,
-    /// Reuse disabled in the optimizer but otherwise HashStash (Exp 2
-    /// baseline; equivalent to [`EngineStrategy::NoReuse`] for execution).
-    NeverShare,
-}
-
-/// Engine configuration.
+/// Engine configuration (deprecated flat form of [`crate::EngineBuilder`]).
+#[deprecated(since = "0.2.0", note = "use Database::builder() instead")]
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Strategy under test.
@@ -52,6 +48,7 @@ pub struct EngineConfig {
     pub calibrate: bool,
 }
 
+#[allow(deprecated)]
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -66,6 +63,7 @@ impl Default for EngineConfig {
     }
 }
 
+#[allow(deprecated)]
 impl EngineConfig {
     /// Convenience: default config with a given strategy.
     pub fn with_strategy(strategy: EngineStrategy) -> Self {
@@ -76,93 +74,48 @@ impl EngineConfig {
     }
 }
 
-/// The result of one query.
-#[derive(Debug, Clone)]
-pub struct QueryResult {
-    /// Query id.
-    pub query: QueryId,
-    /// Output schema.
-    pub schema: Schema,
-    /// Output rows.
-    pub rows: Vec<Row>,
-    /// Wall-clock execution time (excludes optimization).
-    pub wall_time: Duration,
-    /// Optimization time.
-    pub optimize_time: Duration,
-    /// Optimizer's cost estimate (ns).
-    pub est_cost_ns: f64,
-    /// Execution counters.
-    pub metrics: ExecMetrics,
-    /// Reuse decisions per pipeline breaker (paper Table 8b's N/S strings).
-    pub decisions: Vec<(String, Option<ReuseCase>)>,
-}
-
-/// Cumulative session statistics (drives the paper's Figure 7b).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SessionStats {
-    /// Queries executed.
-    pub queries: u64,
-    /// Total wall-clock execution time.
-    pub total_wall: Duration,
-    /// Total optimization time.
-    pub total_optimize: Duration,
-    /// Accumulated execution counters.
-    pub metrics: ExecMetrics,
-}
-
-/// How [`Engine::execute_batch`] runs a batch (paper Exp 4 modes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BatchMode {
-    /// Every query individually, reuse off.
-    SingleNoReuse,
-    /// Every query individually, reuse on.
-    SingleWithReuse,
-    /// Reuse-aware shared plans (query-batch interface).
-    SharedWithReuse,
-}
-
-/// The engine: catalog + statistics + cost model + caches + strategy.
+/// The deprecated single-session engine: a [`Database`] plus one
+/// [`Session`] behind the old `&mut self` API.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Database::builder() and Session (concurrent, pluggable policies)"
+)]
 pub struct Engine {
-    catalog: Catalog,
-    stats: DbStats,
-    cost: CostModel,
+    db: Arc<Database>,
+    session: Session,
+    #[allow(deprecated)]
     config: EngineConfig,
-    htm: HtManager,
-    temps: TempTableCache,
-    session: SessionStats,
 }
 
+#[allow(deprecated)]
 impl Engine {
     /// Build an engine over a catalog.
     pub fn new(catalog: Catalog, config: EngineConfig) -> Self {
-        let stats = DbStats::from_catalog(&catalog);
-        let cost = if config.calibrate {
-            CostModel::new(
-                hashstash_hashtable::Calibrator::default().run(),
-                hashstash_opt::CostParams::default(),
-            )
-        } else {
-            CostModel::synthetic()
-        };
+        let db = Database::builder(catalog)
+            .strategy(config.strategy)
+            .gc(config.gc)
+            .temp_budget(config.temp_budget)
+            .avg_rewrite(config.avg_rewrite)
+            .additional_attributes(config.additional_attributes)
+            .benefit_join_order(config.benefit_join_order)
+            .calibrate(config.calibrate)
+            .build();
+        let session = db.session();
         Engine {
-            catalog,
-            stats,
-            cost,
+            db,
+            session,
             config,
-            htm: HtManager::new(config.gc),
-            temps: TempTableCache::new(config.temp_budget),
-            session: SessionStats::default(),
         }
     }
 
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.db.catalog()
     }
 
     /// Database statistics.
-    pub fn stats(&self) -> &DbStats {
-        &self.stats
+    pub fn stats(&self) -> &hashstash_opt::DbStats {
+        self.db.stats()
     }
 
     /// The configuration.
@@ -172,216 +125,77 @@ impl Engine {
 
     /// Hash-table cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
-        self.htm.stats()
+        self.db.cache_stats()
     }
 
     /// Temp-table cache statistics (materialized baseline).
     pub fn temp_stats(&self) -> TempTableStats {
-        self.temps.stats()
+        self.db.temp_stats()
     }
 
     /// Session statistics.
     pub fn session_stats(&self) -> SessionStats {
-        self.session
+        self.session.stats()
     }
 
-    /// Current reuse-cache memory footprint in bytes (hash tables or temp
-    /// tables, depending on strategy).
+    /// Current reuse-cache memory footprint in bytes.
     pub fn reuse_memory_bytes(&self) -> usize {
-        match self.config.strategy {
-            EngineStrategy::Materialized => self.temps.stats().bytes,
-            _ => self.htm.stats().bytes,
-        }
+        self.db.reuse_memory_bytes()
     }
 
-    /// Direct access to the Hash Table Manager (tests, experiments).
-    pub fn htm_mut(&mut self) -> &mut HtManager {
-        &mut self.htm
+    /// Run `f` with exclusive access to the Hash Table Manager (replaces
+    /// the old `htm_mut`, which cannot exist on shared state).
+    pub fn with_cache<R>(&mut self, f: impl FnOnce(&mut hashstash_cache::HtManager) -> R) -> R {
+        self.db.with_cache(f)
     }
 
-    fn optimizer_config(&self) -> OptimizerConfig {
-        let (strategy, publish) = match self.config.strategy {
-            EngineStrategy::HashStash => (ReuseStrategy::CostModel, true),
-            EngineStrategy::AlwaysShare => (ReuseStrategy::AlwaysShare, true),
-            EngineStrategy::NeverShare | EngineStrategy::NoReuse => {
-                (ReuseStrategy::NeverShare, false)
-            }
-            // The baseline publishes *markers* that the rewrite turns into
-            // materialize/temp-scan operators; no hash tables are cached.
-            EngineStrategy::Materialized => (ReuseStrategy::NeverShare, true),
-        };
-        OptimizerConfig {
-            strategy,
-            publish_tables: publish,
-            avg_rewrite: self.config.avg_rewrite,
-            additional_attributes: self.config.additional_attributes,
-            benefit_join_order: self.config.benefit_join_order,
-            benefit_epsilon: 0.1,
-        }
-    }
-
-    /// Optimize and execute a single query (query-at-a-time interface).
+    /// Optimize and execute a single query.
     pub fn execute(&mut self, q: &QuerySpec) -> Result<QueryResult> {
-        let opt_cfg = self.optimizer_config();
-        let optimizer = Optimizer::new(&self.catalog, &self.stats, &self.cost, opt_cfg);
-
-        let t0 = Instant::now();
-        let oq = match self.config.strategy {
-            EngineStrategy::Materialized => {
-                materialized_plan(&optimizer, q, &mut self.htm, &self.temps)?
-            }
-            _ => optimizer.optimize(q, &mut self.htm)?,
-        };
-        let optimize_time = t0.elapsed();
-
-        let decisions = oq.plan.reuse_decisions();
-        let t1 = Instant::now();
-        let mut ctx = ExecContext::new(&self.catalog, &mut self.htm, &mut self.temps);
-        let (schema, rows) = execute(&oq.plan, &mut ctx)?;
-        let wall_time = t1.elapsed();
-        let metrics = ctx.metrics;
-
-        self.session.queries += 1;
-        self.session.total_wall += wall_time;
-        self.session.total_optimize += optimize_time;
-        self.session.metrics.absorb(&metrics);
-
-        Ok(QueryResult {
-            query: q.id,
-            schema,
-            rows,
-            wall_time,
-            optimize_time,
-            est_cost_ns: oq.est_cost_ns,
-            metrics,
-            decisions,
-        })
+        self.session.execute(q)
     }
 
-    /// Optimize a query without executing it (experiments peek at plans).
-    pub fn plan_only(&mut self, q: &QuerySpec) -> Result<hashstash_opt::optimizer::OptimizedQuery> {
-        let opt_cfg = self.optimizer_config();
-        let optimizer = Optimizer::new(&self.catalog, &self.stats, &self.cost, opt_cfg);
-        optimizer.optimize(q, &mut self.htm)
+    /// Optimize a query without executing it.
+    pub fn plan_only(&mut self, q: &QuerySpec) -> Result<OptimizedQuery> {
+        self.session.plan_only(q)
     }
 
-    /// Execute a batch of queries (query-batch interface, paper §4).
-    /// Results are returned in input order.
+    /// Execute a batch of queries; results are returned in input order.
     pub fn execute_batch(
         &mut self,
         queries: &[QuerySpec],
         mode: BatchMode,
     ) -> Result<Vec<QueryResult>> {
-        match mode {
-            BatchMode::SingleNoReuse => {
-                let saved = self.config.strategy;
-                self.config.strategy = EngineStrategy::NoReuse;
-                let out: Result<Vec<QueryResult>> =
-                    queries.iter().map(|q| self.execute(q)).collect();
-                self.config.strategy = saved;
-                out
-            }
-            BatchMode::SingleWithReuse => queries.iter().map(|q| self.execute(q)).collect(),
-            BatchMode::SharedWithReuse => self.execute_shared_batch(queries),
-        }
+        self.session.execute_batch(queries, mode)
     }
 
-    fn execute_shared_batch(&mut self, queries: &[QuerySpec]) -> Result<Vec<QueryResult>> {
-        let opt_cfg = self.optimizer_config();
-        let t0 = Instant::now();
-        let plan = plan_batch(
-            queries,
-            &self.catalog,
-            &self.stats,
-            &self.cost,
-            opt_cfg,
-            &mut self.htm,
-            true,
-        )?;
-        let optimize_time = t0.elapsed();
-
-        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
-        for unit in plan.units {
-            match unit {
-                BatchUnit::Single { index, .. } => {
-                    let r = self.execute(&queries[index])?;
-                    results[index] = Some(r);
-                }
-                BatchUnit::Shared {
-                    indices,
-                    spec,
-                    est_cost_ns,
-                } => {
-                    let t1 = Instant::now();
-                    let mut ctx =
-                        ExecContext::new(&self.catalog, &mut self.htm, &mut self.temps);
-                    let shared_results = execute_shared(&spec, &mut ctx)?;
-                    let wall = t1.elapsed();
-                    let metrics = ctx.metrics;
-                    self.session.queries += indices.len() as u64;
-                    self.session.total_wall += wall;
-                    self.session.metrics.absorb(&metrics);
-                    let per_query_wall = wall / indices.len().max(1) as u32;
-                    for (slot, &index) in indices.iter().enumerate() {
-                        let r = &shared_results[slot];
-                        results[index] = Some(QueryResult {
-                            query: queries[index].id,
-                            schema: r.schema.clone(),
-                            rows: r.rows.clone(),
-                            wall_time: per_query_wall,
-                            optimize_time,
-                            est_cost_ns: est_cost_ns / indices.len() as f64,
-                            metrics,
-                            decisions: vec![("shared".to_string(), None)],
-                        });
-                    }
-                }
-            }
-        }
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| {
-                r.ok_or_else(|| HsError::ExecError(format!("query {i} missing from batch plan")))
-            })
-            .collect()
-    }
-
-    /// Render the paper's decision string for a query (Table 8b): one
-    /// character per pipeline breaker in `order`, `N` = new hash table,
-    /// `S` = reused, `X` = operator eliminated.
+    /// Render the paper's decision string (see [`decision_string`]).
     pub fn decision_string(result: &QueryResult, order: &[&str]) -> String {
-        let mut out = String::new();
-        for want in order {
-            let found = result
-                .decisions
-                .iter()
-                .find(|(label, _)| label.contains(want));
-            out.push(match found {
-                None => 'X',
-                Some((_, None)) => 'N',
-                Some((_, Some(_))) => 'S',
-            });
-        }
-        out
+        decision_string(result, order)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder};
     use hashstash_storage::tpch::{generate, TpchConfig};
     use hashstash_types::Value;
 
-    fn catalog() -> Catalog {
-        generate(TpchConfig::new(0.002, 77))
-    }
-
     fn q3(id: u32, ship: &str) -> QuerySpec {
         QueryBuilder::new(id)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
             .filter(
                 "lineitem.l_shipdate",
                 Interval::at_least(Value::Date(
@@ -394,136 +208,30 @@ mod tests {
             .unwrap()
     }
 
-    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
-        rows.sort();
-        rows
-    }
-
+    /// The deprecated shim behaves exactly like a single-session database.
     #[test]
-    fn all_strategies_agree_on_answers() {
-        let strategies = [
-            EngineStrategy::HashStash,
-            EngineStrategy::NoReuse,
-            EngineStrategy::Materialized,
-            EngineStrategy::AlwaysShare,
-            EngineStrategy::NeverShare,
-        ];
-        let queries = [q3(1, "1996-06-01"), q3(2, "1996-01-01"), q3(3, "1996-09-01")];
-        let mut reference: Option<Vec<Vec<Row>>> = None;
-        for s in strategies {
-            let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(s));
-            let answers: Vec<Vec<Row>> = queries
-                .iter()
-                .map(|q| sorted(engine.execute(q).unwrap().rows))
-                .collect();
-            match &reference {
-                None => reference = Some(answers),
-                Some(r) => {
-                    for (i, (a, b)) in r.iter().zip(&answers).enumerate() {
-                        assert_eq!(a.len(), b.len(), "strategy {s:?} query {i} row count");
-                        for (x, y) in a.iter().zip(b) {
-                            assert_eq!(x.get(0), y.get(0), "strategy {s:?} group keys");
-                            let fx = x.get(1).as_float().unwrap();
-                            let fy = y.get(1).as_float().unwrap();
-                            assert!(
-                                (fx - fy).abs() < 1e-6 * fy.abs().max(1.0),
-                                "strategy {s:?} aggregates: {fx} vs {fy}"
-                            );
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn hashstash_reuses_across_session() {
-        let mut engine = Engine::new(catalog(), EngineConfig::default());
-        engine.execute(&q3(1, "1996-06-01")).unwrap();
-        let second = engine.execute(&q3(2, "1996-01-01")).unwrap();
-        assert!(
-            second.decisions.iter().any(|(_, c)| c.is_some()),
-            "second query reuses: {:?}",
-            second.decisions
-        );
-        assert!(engine.cache_stats().reuses > 0);
-    }
-
-    #[test]
-    fn materialized_baseline_materializes_and_reuses() {
-        let mut engine =
-            Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::Materialized));
+    fn shim_reuses_and_reports_stats() {
+        let catalog = generate(TpchConfig::new(0.002, 77));
+        let mut engine = Engine::new(catalog, EngineConfig::default());
         let first = engine.execute(&q3(1, "1996-06-01")).unwrap();
-        assert!(first.metrics.materialized_rows > 0, "pays materialization");
-        assert!(engine.temp_stats().publishes > 0);
-        // Identical query reuses temp tables (exact).
         let second = engine.execute(&q3(2, "1996-06-01")).unwrap();
-        assert!(engine.temp_stats().reuses > 0);
-        assert_eq!(
-            sorted(first.rows.clone()).len(),
-            sorted(second.rows).len()
-        );
-        // No hash tables were cached.
-        assert_eq!(engine.cache_stats().publishes, 0);
+        assert_eq!(first.rows.len(), second.rows.len());
+        assert!(second.decisions.iter().any(|(_, c)| c.is_some()));
+        assert!(engine.cache_stats().reuses > 0);
+        assert_eq!(engine.session_stats().queries, 2);
+        let s = Engine::decision_string(&second, &["customer.", "agg"]);
+        assert_eq!(s.len(), 2);
     }
 
+    /// Every `EngineConfig` knob maps onto the builder faithfully.
     #[test]
-    fn batch_modes_agree() {
-        let queries: Vec<QuerySpec> = (0..4)
-            .map(|i| {
-                QueryBuilder::new(i)
-                    .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-                    .filter(
-                        "customer.c_age",
-                        Interval::closed(Value::Int(20 + i as i64 * 5), Value::Int(50 + i as i64 * 5)),
-                    )
-                    .group_by("customer.c_age")
-                    .agg(AggExpr::new(AggFunc::Count, "orders.o_orderkey"))
-                    .build()
-                    .unwrap()
-            })
-            .collect();
-        let mut reference: Option<Vec<Vec<Row>>> = None;
-        for mode in [
-            BatchMode::SingleNoReuse,
-            BatchMode::SingleWithReuse,
-            BatchMode::SharedWithReuse,
-        ] {
-            let mut engine = Engine::new(catalog(), EngineConfig::default());
-            let results = engine.execute_batch(&queries, mode).unwrap();
-            assert_eq!(results.len(), queries.len());
-            let answers: Vec<Vec<Row>> = results.into_iter().map(|r| sorted(r.rows)).collect();
-            match &reference {
-                None => reference = Some(answers),
-                Some(r) => {
-                    for (i, (a, b)) in r.iter().zip(&answers).enumerate() {
-                        assert_eq!(a, b, "mode {mode:?} query {i}");
-                    }
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn decision_string_renders() {
-        let mut engine = Engine::new(catalog(), EngineConfig::default());
-        engine.execute(&q3(1, "1996-06-01")).unwrap();
-        let r = engine.execute(&q3(2, "1996-06-01")).unwrap();
-        let s = Engine::decision_string(&r, &["orders", "customer", "agg"]);
-        assert_eq!(s.len(), 3);
-        assert!(s.contains('S') || s.contains('X'), "some reuse shows: {s}");
-    }
-
-    #[test]
-    fn gc_budget_limits_footprint() {
-        let mut cfg = EngineConfig::default();
-        cfg.gc.budget_bytes = Some(64 * 1024);
-        let mut engine = Engine::new(catalog(), cfg);
-        for i in 0..6 {
-            let ship = format!("199{}-0{}-01", 3 + i % 5, 1 + i % 9);
-            engine.execute(&q3(i as u32, &ship)).unwrap();
-        }
-        assert!(engine.cache_stats().bytes <= 64 * 1024);
-        assert!(engine.cache_stats().evictions > 0);
+    fn shim_config_maps_to_builder() {
+        let catalog = generate(TpchConfig::new(0.002, 77));
+        let mut cfg = EngineConfig::with_strategy(EngineStrategy::Materialized);
+        cfg.gc.budget_bytes = Some(1 << 20);
+        cfg.temp_budget = Some(2 << 20);
+        let engine = Engine::new(catalog, cfg);
+        assert_eq!(engine.config().strategy, EngineStrategy::Materialized);
+        assert_eq!(engine.db.policy().name(), "materialized");
     }
 }

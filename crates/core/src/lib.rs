@@ -1,10 +1,16 @@
 //! HashStash: reuse of internal hash tables in a main-memory analytical
 //! query engine.
 //!
-//! This crate is the user-facing facade over the whole workspace. It exposes
-//! an [`Engine`] that owns a catalog, statistics, a calibrated cost model,
-//! the Hash Table Manager and the temp-table cache, and executes queries
-//! under a selectable [`EngineStrategy`]:
+//! This crate is the user-facing facade over the whole workspace. The
+//! entry point is [`Database`]: it owns the catalog, statistics, a
+//! calibrated cost model, the Hash Table Manager and the temp-table cache,
+//! and hands out cheap [`Session`] handles that any number of threads can
+//! drive concurrently — hash tables published by one session are reused by
+//! all of them.
+//!
+//! Reuse behavior is a pluggable [`ReusePolicy`]
+//! (see [`hashstash_opt::policy`]). Five built-ins mirror the paper's §6
+//! configurations, selectable by name through [`EngineStrategy`]:
 //!
 //! * [`EngineStrategy::HashStash`] — the paper's system: reuse-aware
 //!   optimization with all four reuse cases, benefit-oriented rewrites, and
@@ -16,22 +22,42 @@
 //! * [`EngineStrategy::AlwaysShare`] / [`EngineStrategy::NeverShare`] — the
 //!   greedy and no-reuse baselines of the paper's Experiment 2.
 //!
+//! Custom policies implement [`ReusePolicy`] and plug in through
+//! [`EngineBuilder::policy`] without touching engine or optimizer
+//! internals:
+//!
 //! ```no_run
-//! use hashstash::{Engine, EngineConfig, EngineStrategy};
+//! use hashstash::{Database, EngineStrategy};
 //! use hashstash_storage::tpch::{generate, TpchConfig};
 //!
 //! let catalog = generate(TpchConfig::new(0.01, 42));
-//! let mut engine = Engine::new(catalog, EngineConfig::default());
+//! let db = Database::builder(catalog)
+//!     .strategy(EngineStrategy::HashStash)
+//!     .gc_budget(256 << 20)
+//!     .build();
+//! let mut session = db.session();
 //! # let query = hashstash_plan::QueryBuilder::new(1)
 //! #     .table("customer").build().unwrap();
-//! let result = engine.execute(&query).unwrap();
+//! let result = session.execute(&query).unwrap();
 //! println!("{} rows in {:?}", result.rows.len(), result.wall_time);
 //! ```
+//!
+//! The pre-0.2 single-session [`Engine`] remains available as a deprecated
+//! shim for one release; see [`engine`] for the migration sketch.
 
+pub mod db;
 pub mod engine;
 pub mod materialized;
 
-pub use engine::{Engine, EngineConfig, EngineStrategy, QueryResult, SessionStats};
+pub use db::{
+    decision_string, BatchMode, Database, EngineBuilder, EngineStrategy, QueryResult, Session,
+    SessionStats,
+};
+#[allow(deprecated)]
+pub use engine::{Engine, EngineConfig};
+
+// The policy trait is part of the facade's public surface.
+pub use hashstash_opt::policy::ReusePolicy;
 
 // Re-export the component crates so downstream users need only one
 // dependency.

@@ -18,7 +18,7 @@ use hashstash_types::Result;
 use hashstash_cache::HtManager;
 use hashstash_exec::plan::{PhysicalPlan, ScanSpec};
 use hashstash_exec::temp::{TempId, TempTableCache};
-use hashstash_opt::optimizer::{Optimizer, OptimizedQuery};
+use hashstash_opt::optimizer::{OptimizedQuery, Optimizer};
 use hashstash_plan::{HtFingerprint, PredBox, QuerySpec, ReuseCase};
 
 /// Rewrite a never-share plan into the materialization-based baseline:
@@ -31,10 +31,7 @@ pub fn materialized_plan(
     temps: &TempTableCache,
 ) -> Result<OptimizedQuery> {
     let mut oq = optimizer.optimize(q, htm)?;
-    let plan = std::mem::replace(
-        &mut oq.plan,
-        PhysicalPlan::Scan(ScanSpec::full("customer")),
-    );
+    let plan = std::mem::replace(&mut oq.plan, PhysicalPlan::Scan(ScanSpec::full("customer")));
     oq.plan = rewrite(plan, q, temps);
     Ok(oq)
 }

@@ -133,8 +133,7 @@ fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Ro
                 }
                 rows.append(&mut r);
             }
-            let schema =
-                schema.ok_or_else(|| HsError::ExecError("empty union".into()))?;
+            let schema = schema.ok_or_else(|| HsError::ExecError("empty union".into()))?;
             Ok((schema, rows))
         }
         PhysicalPlan::Project { input, attrs } => {
@@ -245,9 +244,9 @@ fn scan_box(
         checks.push((qualified.index_of(attr)?, iv.clone()));
     }
     // Prefer an indexed, bounded attribute as the access path.
-    let indexed = checks.iter().position(|(col, iv)| {
-        table.has_index(*col) && !iv.is_all() && bounded_for_index(iv)
-    });
+    let indexed = checks
+        .iter()
+        .position(|(col, iv)| table.has_index(*col) && !iv.is_all() && bounded_for_index(iv));
     match indexed {
         Some(pos) => {
             let (col, iv) = checks[pos].clone();
@@ -286,10 +285,7 @@ fn scan_box(
 }
 
 fn bounded_for_index(iv: &hashstash_plan::Interval) -> bool {
-    !matches!(
-        (iv.lo(), iv.hi()),
-        (Bound::Unbounded, Bound::Unbounded)
-    )
+    !matches!((iv.lo(), iv.hi()), (Bound::Unbounded, Bound::Unbounded))
 }
 
 fn as_lo_bound(b: &Bound<Value>) -> Bound<&Value> {
@@ -329,7 +325,11 @@ fn run_hash_join(
                     spec.id
                 )));
             };
-            (ht, co.schema.clone(), Some((spec.clone(), co.id, co.fingerprint)))
+            (
+                ht,
+                co.schema.clone(),
+                Some((spec.clone(), co.id, co.fingerprint)),
+            )
         }
         None => {
             let build_plan = build.as_ref().ok_or_else(|| {
@@ -444,7 +444,11 @@ fn run_hash_agg(
                     spec.id
                 )));
             };
-            (ht, co.schema.clone(), Some((spec.clone(), co.id, co.fingerprint)))
+            (
+                ht,
+                co.schema.clone(),
+                Some((spec.clone(), co.id, co.fingerprint)),
+            )
         }
         None => {
             let width: usize = {
@@ -462,11 +466,7 @@ fn run_hash_agg(
                     crate::plan::lookup_attr_type(ctx.catalog, g)?,
                 ));
             }
-            (
-                ExtendibleHashTable::new(width),
-                Schema::new(fields),
-                None,
-            )
+            (ExtendibleHashTable::new(width), Schema::new(fields), None)
         }
     };
 
@@ -615,8 +615,7 @@ fn run_hash_agg(
         }
         None => {
             if let Some(fp) = publish {
-                ctx.htm
-                    .publish(fp.clone(), group_schema, StoredHt::Agg(ht));
+                ctx.htm.publish(fp.clone(), group_schema, StoredHt::Agg(ht));
             }
         }
     }
@@ -793,10 +792,7 @@ mod tests {
             edges: vec![],
             region: Region::all(),
             key_attrs: vec![Arc::from("customer.c_custkey")],
-            payload_attrs: vec![
-                Arc::from("customer.c_custkey"),
-                Arc::from("customer.c_age"),
-            ],
+            payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
             aggregates: vec![],
             tagged: false,
         };
@@ -853,10 +849,7 @@ mod tests {
             edges: vec![],
             region: Region::from_box(wide_pred.clone()),
             key_attrs: vec![Arc::from("customer.c_custkey")],
-            payload_attrs: vec![
-                Arc::from("customer.c_custkey"),
-                Arc::from("customer.c_age"),
-            ],
+            payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
             aggregates: vec![],
             tagged: false,
         };
@@ -931,10 +924,7 @@ mod tests {
             edges: vec![],
             region: Region::from_box(cached_pred.clone()),
             key_attrs: vec![Arc::from("customer.c_custkey")],
-            payload_attrs: vec![
-                Arc::from("customer.c_custkey"),
-                Arc::from("customer.c_age"),
-            ],
+            payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
             aggregates: vec![],
             tagged: false,
         };
@@ -1007,7 +997,10 @@ mod tests {
 
         // The cached table's lineage was widened at check-in.
         let cands_after = htm.candidates(&fp);
-        assert!(cands_after[0].fingerprint.region.set_eq(&request_region.union(&fp.region)));
+        assert!(cands_after[0]
+            .fingerprint
+            .region
+            .set_eq(&request_region.union(&fp.region)));
     }
 
     #[test]

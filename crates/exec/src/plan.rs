@@ -290,8 +290,7 @@ impl PhysicalPlan {
                 Ok(Schema::new(fields))
             }
             None => Err(HsError::PlanError(
-                "join with eliminated build side needs a reuse spec or publish fingerprint"
-                    .into(),
+                "join with eliminated build side needs a reuse spec or publish fingerprint".into(),
             )),
         }
     }
@@ -345,10 +344,7 @@ impl PhysicalPlan {
                 if let Some(b) = build {
                     b.collect_decisions(out);
                 }
-                out.push((
-                    format!("join[{build_key}]"),
-                    reuse.as_ref().map(|r| r.case),
-                ));
+                out.push((format!("join[{build_key}]"), reuse.as_ref().map(|r| r.case)));
             }
             PhysicalPlan::HashAggregate { input, reuse, .. } => {
                 if let Some(i) = input {

@@ -119,9 +119,8 @@ pub struct SharedQueryResult {
 
 /// Evaluate which queries of the batch a row qualifies for.
 fn tag_row(queries: &[QuerySpec], schema: &Schema, row: &Row) -> QidSet {
-    let lookup = |attr: &str| -> Option<Value> {
-        schema.index_of(attr).ok().map(|i| row.get(i).clone())
-    };
+    let lookup =
+        |attr: &str| -> Option<Value> { schema.index_of(attr).ok().map(|i| row.get(i).clone()) };
     let mut tag = QidSet::EMPTY;
     for (slot, q) in queries.iter().enumerate() {
         if q.predicates.matches(lookup) {
@@ -238,8 +237,14 @@ pub fn execute_shared(
     // ------------------------------------------------------------------
     let mut group_tables: Vec<(ExtendibleHashTable<TaggedRow>, Schema)> = Vec::new();
     for (gi, gspec) in spec.group_specs.iter().enumerate() {
-        let (ht, schema) =
-            run_grouping_phase(spec, gspec, &group_needs[gi], &pipeline_schema, &pipeline_rows, ctx)?;
+        let (ht, schema) = run_grouping_phase(
+            spec,
+            gspec,
+            &group_needs[gi],
+            &pipeline_schema,
+            &pipeline_rows,
+            ctx,
+        )?;
         group_tables.push((ht, schema));
     }
 
@@ -270,8 +275,7 @@ pub fn execute_shared(
             SharedOutput::Aggregate { group_spec, aggs } => {
                 let (gtable, gschema) = &group_tables[*group_spec];
                 let gspec = &spec.group_specs[*group_spec];
-                let result =
-                    aggregate_for_query(q, slot, gspec, gtable, gschema, aggs, ctx)?;
+                let result = aggregate_for_query(q, slot, gspec, gtable, gschema, aggs, ctx)?;
                 results.push(result);
             }
         }
@@ -281,10 +285,24 @@ pub fn execute_shared(
     // 6. Hand tables back to the manager.
     // ------------------------------------------------------------------
     for (step, (ht, schema, _)) in spec.steps.iter().zip(step_tables) {
-        finish_table(step.reuse.as_ref(), step.publish.as_ref(), ht, schema, false, ctx)?;
+        finish_table(
+            step.reuse.as_ref(),
+            step.publish.as_ref(),
+            ht,
+            schema,
+            false,
+            ctx,
+        )?;
     }
     for (gspec, (ht, schema)) in spec.group_specs.iter().zip(group_tables) {
-        finish_table(gspec.reuse.as_ref(), gspec.publish.as_ref(), ht, schema, true, ctx)?;
+        finish_table(
+            gspec.reuse.as_ref(),
+            gspec.publish.as_ref(),
+            ht,
+            schema,
+            true,
+            ctx,
+        )?;
     }
 
     Ok(results)
@@ -359,12 +377,9 @@ fn build_shared_join_table(
         }
         None => {
             // Fresh build: scan the table's union region across queries.
-            let union_region = spec
-                .queries
-                .iter()
-                .fold(Region::empty(), |acc, q| {
-                    acc.union(&Region::from_box(q.predicates.project_table(&step.table)))
-                });
+            let union_region = spec.queries.iter().fold(Region::empty(), |acc, q| {
+                acc.union(&Region::from_box(q.predicates.project_table(&step.table)))
+            });
             let scan = crate::plan::ScanSpec {
                 table: step.table.clone(),
                 region: union_region,
@@ -439,10 +454,7 @@ fn run_grouping_phase(
                 ));
             }
             let schema = Schema::new(fields);
-            (
-                ExtendibleHashTable::new(schema.tuple_width()),
-                schema,
-            )
+            (ExtendibleHashTable::new(schema.tuple_width()), schema)
         }
     };
 
@@ -634,7 +646,12 @@ mod tests {
 
     fn mk_query(id: u32, age_lo: i64, age_hi: i64) -> QuerySpec {
         QueryBuilder::new(id)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .filter(
                 "customer.c_age",
                 Interval::closed(Value::Int(age_lo), Value::Int(age_hi)),
@@ -667,10 +684,7 @@ mod tests {
             }],
             group_specs: vec![SharedGroupSpec {
                 group_by: vec!["customer.c_age".into()],
-                stored_attrs: vec![
-                    "customer.c_age".into(),
-                    "orders.o_orderkey".into(),
-                ],
+                stored_attrs: vec!["customer.c_age".into(), "orders.o_orderkey".into()],
                 reuse: None,
                 publish: None,
             }],
@@ -716,7 +730,11 @@ mod tests {
     #[test]
     fn shared_plan_matches_individual_execution() {
         let (cat, mut htm, mut temps) = setup();
-        let queries = vec![mk_query(1, 20, 40), mk_query(2, 30, 60), mk_query(3, 50, 80)];
+        let queries = vec![
+            mk_query(1, 20, 40),
+            mk_query(2, 30, 60),
+            mk_query(3, 50, 80),
+        ];
         let spec = mk_spec(queries.clone());
         let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
         let results = execute_shared(&spec, &mut ctx).unwrap();
@@ -738,12 +756,10 @@ mod tests {
             kind: hashstash_plan::HtKind::JoinBuild,
             tables: std::iter::once(Arc::from("customer")).collect(),
             edges: vec![],
-            region: Region::from_box(
-                hashstash_plan::PredBox::all().with(
-                    "customer.c_age",
-                    Interval::closed(Value::Int(20), Value::Int(60)),
-                ),
-            ),
+            region: Region::from_box(hashstash_plan::PredBox::all().with(
+                "customer.c_age",
+                Interval::closed(Value::Int(20), Value::Int(60)),
+            )),
             key_attrs: vec![Arc::from("customer.c_custkey")],
             payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
             aggregates: vec![],
@@ -767,12 +783,10 @@ mod tests {
             kind: hashstash_plan::HtKind::JoinBuild,
             tables: std::iter::once(Arc::from("customer")).collect(),
             edges: vec![],
-            region: Region::from_box(
-                hashstash_plan::PredBox::all().with(
-                    "customer.c_age",
-                    Interval::closed(Value::Int(20), Value::Int(60)),
-                ),
-            ),
+            region: Region::from_box(hashstash_plan::PredBox::all().with(
+                "customer.c_age",
+                Interval::closed(Value::Int(20), Value::Int(60)),
+            )),
             key_attrs: vec![Arc::from("customer.c_custkey")],
             payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
             aggregates: vec![],
@@ -811,7 +825,12 @@ mod tests {
     fn spj_projection_output() {
         let (cat, mut htm, mut temps) = setup();
         let q = QueryBuilder::new(5)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .filter(
                 "customer.c_age",
                 Interval::closed(Value::Int(30), Value::Int(35)),

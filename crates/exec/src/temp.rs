@@ -105,7 +105,12 @@ impl TempTableCache {
     }
 
     /// Materialize rows under a fingerprint. Returns the temp-table id.
-    pub fn publish(&mut self, fingerprint: HtFingerprint, schema: Schema, rows: Vec<Row>) -> TempId {
+    pub fn publish(
+        &mut self,
+        fingerprint: HtFingerprint,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> TempId {
         self.clock += 1;
         let id = TempId(self.next_id);
         self.next_id += 1;
@@ -218,7 +223,9 @@ mod tests {
     }
 
     fn rows(n: usize) -> Vec<Row> {
-        (0..n).map(|i| Row::new(vec![Value::Int(i as i64)])).collect()
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int(i as i64)]))
+            .collect()
     }
 
     fn schema() -> Schema {

@@ -28,7 +28,7 @@ pub const DEFAULT_SIZES: [usize; 4] = [1 << 10, 32 << 10, 1 << 20, 32 << 20];
 pub const DEFAULT_WIDTHS: [usize; 5] = [8, 16, 64, 128, 256];
 
 /// One measured point of the calibration surface.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationPoint {
     /// Logical hash-table size in bytes when the measurement was taken.
     pub ht_bytes: usize,
@@ -43,7 +43,7 @@ pub struct CalibrationPoint {
 }
 
 /// A calibrated cost surface: `ci/cl/cu` as functions of `(htSize, tWidth)`.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct CostGrid {
     sizes: Vec<usize>,
     widths: Vec<usize>,
@@ -65,7 +65,10 @@ impl CostGrid {
     pub fn new(sizes: Vec<usize>, widths: Vec<usize>, points: Vec<Vec<CalibrationPoint>>) -> Self {
         assert!(!sizes.is_empty() && !widths.is_empty());
         assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes must increase");
-        assert!(widths.windows(2).all(|w| w[0] < w[1]), "widths must increase");
+        assert!(
+            widths.windows(2).all(|w| w[0] < w[1]),
+            "widths must increase"
+        );
         assert_eq!(points.len(), widths.len());
         for row in &points {
             assert_eq!(row.len(), sizes.len());
@@ -86,13 +89,7 @@ impl CostGrid {
         const L1: f64 = 32.0 * 1024.0;
         const L2: f64 = 256.0 * 1024.0;
         const L3: f64 = 25.0 * 1024.0 * 1024.0;
-        let sizes: Vec<usize> = vec![
-            1 << 10,
-            32 << 10,
-            1 << 20,
-            32 << 20,
-            1 << 30,
-        ];
+        let sizes: Vec<usize> = vec![1 << 10, 32 << 10, 1 << 20, 32 << 20, 1 << 30];
         let widths: Vec<usize> = DEFAULT_WIDTHS.to_vec();
         // Piecewise latency model: ns cost of touching one line when the
         // working set has the given size.
@@ -360,7 +357,10 @@ mod tests {
         assert!(c128 > c64);
         assert!(c256 > c128);
         let c8 = g.cost_ns(HtOp::Insert, 1 << 20, 8);
-        assert!((c64 - c8).abs() < 1e-9, "widths within one line cost the same");
+        assert!(
+            (c64 - c8).abs() < 1e-9,
+            "widths within one line cost the same"
+        );
     }
 
     #[test]

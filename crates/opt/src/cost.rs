@@ -124,8 +124,14 @@ impl CostModel {
     pub fn rhj_fresh(&self, build_rows: f64, width: f64, probe_rows: f64) -> f64 {
         let size = self.ht_size(build_rows, width);
         let resize = (build_rows / 2.0) * self.params.resize_ns_per_slot;
-        let build = build_rows * self.grid.cost_ns(HtOp::Insert, size as usize, width as usize);
-        let probe = probe_rows * self.grid.cost_ns(HtOp::Lookup, size as usize, width as usize);
+        let build = build_rows
+            * self
+                .grid
+                .cost_ns(HtOp::Insert, size as usize, width as usize);
+        let probe = probe_rows
+            * self
+                .grid
+                .cost_ns(HtOp::Lookup, size as usize, width as usize);
         resize + build + probe
     }
 
@@ -153,10 +159,14 @@ impl CostModel {
         } else {
             0.0
         };
-        let build =
-            missing * self.grid.cost_ns(HtOp::Insert, size as usize, cand.tuple_width as usize);
-        let probe =
-            probe_rows * self.grid.cost_ns(HtOp::Lookup, size as usize, cand.tuple_width as usize);
+        let build = missing
+            * self
+                .grid
+                .cost_ns(HtOp::Insert, size as usize, cand.tuple_width as usize);
+        let probe = probe_rows
+            * self
+                .grid
+                .cost_ns(HtOp::Lookup, size as usize, cand.tuple_width as usize);
         // Post-filtering false positives: matches scale with the overhead
         // share of the table.
         let post = if cand.overh > 0.0 {
@@ -174,26 +184,24 @@ impl CostModel {
         let groups = distinct_groups.min(input_rows).max(1.0);
         let size = self.ht_size(groups, width);
         let resize = (groups / 2.0) * self.params.resize_ns_per_slot;
-        let insert = groups * self.grid.cost_ns(HtOp::Insert, size as usize, width as usize);
-        let update =
-            (input_rows - groups).max(0.0) * self.grid.cost_ns(HtOp::Update, size as usize, width as usize);
+        let insert = groups
+            * self
+                .grid
+                .cost_ns(HtOp::Insert, size as usize, width as usize);
+        let update = (input_rows - groups).max(0.0)
+            * self
+                .grid
+                .cost_ns(HtOp::Update, size as usize, width as usize);
         resize + insert + update
     }
 
     /// `c_RHA` when reusing a candidate aggregate table: only the missing
     /// input needs to be folded in.
-    pub fn rha_reuse(
-        &self,
-        cand: &CandidateShape,
-        input_rows: f64,
-        distinct_groups: f64,
-    ) -> f64 {
+    pub fn rha_reuse(&self, cand: &CandidateShape, input_rows: f64, distinct_groups: f64) -> f64 {
         let missing_rows = input_rows * (1.0 - cand.contr);
         let missing_groups = distinct_groups.min(missing_rows) * (1.0 - cand.contr);
         let final_groups = cand.entries + missing_groups;
-        let size = self
-            .ht_size(final_groups, cand.tuple_width)
-            .max(cand.bytes);
+        let size = self.ht_size(final_groups, cand.tuple_width).max(cand.bytes);
         let resize = if missing_groups > 0.0 {
             (missing_groups / 2.0) * self.params.resize_ns_per_slot
         } else {
@@ -253,7 +261,10 @@ mod tests {
         };
         let reuse = m.rhj_reuse(&cand, 100_000.0, 1_000_000.0, 1_000_000.0);
         let fresh = m.rhj_fresh(100_000.0, 32.0, 1_000_000.0);
-        assert!(reuse < fresh, "exact reuse skips the build: {reuse} < {fresh}");
+        assert!(
+            reuse < fresh,
+            "exact reuse skips the build: {reuse} < {fresh}"
+        );
     }
 
     #[test]

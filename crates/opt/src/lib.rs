@@ -14,9 +14,12 @@
 //!   contribution- and overhead-ratios of candidate tables.
 //! * [`matching`] — candidate matching and rewrite planning for the four
 //!   reuse cases (exact, subsuming, partial, overlapping).
+//! * [`policy`] — the [`ReusePolicy`] trait and the five built-in policies
+//!   mirroring the paper's §6 configurations; new policies plug in without
+//!   touching the optimizer.
 //! * [`optimizer`] — single-query plan enumeration (Algorithm 1) plus the
-//!   benefit-oriented optimizations of §3.4, with pluggable reuse strategies
-//!   (cost-model / always-share / never-share) for the paper's Exp. 2.
+//!   benefit-oriented optimizations of §3.4, consulting the configured
+//!   [`ReusePolicy`] at every pipeline breaker.
 //! * [`multi`] — the query-batch interface: DP-based merging into
 //!   reuse-aware shared plans (§4.2).
 
@@ -24,10 +27,14 @@ pub mod cost;
 pub mod matching;
 pub mod multi;
 pub mod optimizer;
+pub mod policy;
 pub mod stats;
 
 pub use cost::{CostModel, CostParams};
 pub use matching::{MatchRewrite, Matcher};
 pub use multi::{plan_batch, BatchPlan, BatchUnit};
-pub use optimizer::{OptimizedQuery, Optimizer, OptimizerConfig, ReuseStrategy};
+pub use optimizer::{OptimizedQuery, Optimizer, OptimizerConfig};
+pub use policy::{
+    AlwaysShare, CostBasedReuse, MaterializedReuse, NeverShare, NoReuse, PolicyHandle, ReusePolicy,
+};
 pub use stats::DbStats;

@@ -175,10 +175,7 @@ fn all_additive(aggs: &[AggExpr]) -> bool {
 }
 
 /// Restrict a box to attributes belonging to any of the given tables.
-fn restrict_to_tables(
-    pred: &PredBox,
-    tables: &std::collections::BTreeSet<Arc<str>>,
-) -> PredBox {
+fn restrict_to_tables(pred: &PredBox, tables: &std::collections::BTreeSet<Arc<str>>) -> PredBox {
     let mut out = PredBox::all();
     for (attr, iv) in pred.constrained() {
         let table = attr.split('.').next().unwrap_or("");
@@ -194,7 +191,7 @@ mod tests {
     use super::*;
     use hashstash_cache::{GcConfig, StoredHt, TaggedRow};
     use hashstash_hashtable::ExtendibleHashTable;
-    use hashstash_plan::{AggFunc, Interval, JoinEdge};
+    use hashstash_plan::{AggFunc, Interval};
     use hashstash_storage::tpch::{generate, TpchConfig};
     use hashstash_types::{DataType, Field, Row, Schema, Value};
 
@@ -212,10 +209,7 @@ mod tests {
                 Interval::closed(Value::Int(lo), Value::Int(hi)),
             )),
             key_attrs: vec![Arc::from("customer.c_custkey")],
-            payload_attrs: vec![
-                Arc::from("customer.c_custkey"),
-                Arc::from("customer.c_age"),
-            ],
+            payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
             aggregates: vec![],
             tagged,
         }
@@ -294,7 +288,9 @@ mod tests {
         }
         // Disjoint yields nothing.
         let req = mk_req(80, 90);
-        assert!(m.find_matches(&mut htm, &req, &request_box(80, 90), &st).is_empty());
+        assert!(m
+            .find_matches(&mut htm, &req, &request_box(80, 90), &st)
+            .is_empty());
     }
 
     #[test]
@@ -305,7 +301,9 @@ mod tests {
         publish_join(&mut htm, &join_fp(30, 60, false), 10);
         let mut req = join_fp(30, 60, true);
         req.tagged = true;
-        assert!(m.find_matches(&mut htm, &req, &request_box(30, 60), &st).is_empty());
+        assert!(m
+            .find_matches(&mut htm, &req, &request_box(30, 60), &st)
+            .is_empty());
     }
 
     #[test]
@@ -336,7 +334,10 @@ mod tests {
             tables: std::iter::once(Arc::from("customer")).collect(),
             edges: vec![],
             region: Region::all(),
-            key_attrs: vec![Arc::from("customer.c_age"), Arc::from("customer.c_nationkey")],
+            key_attrs: vec![
+                Arc::from("customer.c_age"),
+                Arc::from("customer.c_nationkey"),
+            ],
             payload_attrs: vec![
                 Arc::from("customer.c_age"),
                 Arc::from("customer.c_nationkey"),
@@ -372,7 +373,9 @@ mod tests {
         // AVG (non-additive) request on a subset ⇒ rejected.
         let mut avg_req = req.clone();
         avg_req.aggregates = vec![AggExpr::new(AggFunc::Avg, "customer.c_acctbal")];
-        assert!(m.find_matches(&mut htm, &avg_req, &PredBox::all(), &st).is_empty());
+        assert!(m
+            .find_matches(&mut htm, &avg_req, &PredBox::all(), &st)
+            .is_empty());
 
         // Superset of keys ⇒ rejected (cached is too coarse).
         let mut sup = cached.clone();
@@ -381,7 +384,9 @@ mod tests {
             Arc::from("customer.c_nationkey"),
             Arc::from("customer.c_mktsegment"),
         ];
-        assert!(m.find_matches(&mut htm, &sup, &PredBox::all(), &st).is_empty());
+        assert!(m
+            .find_matches(&mut htm, &sup, &PredBox::all(), &st)
+            .is_empty());
     }
 
     #[test]
@@ -408,7 +413,8 @@ mod tests {
         let mut req = cached.clone();
         req.aggregates = vec![AggExpr::new(AggFunc::Min, "customer.c_acctbal")];
         assert!(
-            m.find_matches(&mut htm, &req, &PredBox::all(), &st).is_empty(),
+            m.find_matches(&mut htm, &req, &PredBox::all(), &st)
+                .is_empty(),
             "a MIN cannot be answered from a SUM table"
         );
     }

@@ -79,6 +79,7 @@ pub fn plan_batch(
             hashstash_types::QidSet::CAPACITY
         )));
     }
+    let policy = config.policy.clone();
     let optimizer = Optimizer::new(catalog, stats, cost, config);
     let mut single_cost: Vec<f64> = Vec::with_capacity(queries.len());
     for q in queries.iter() {
@@ -144,7 +145,7 @@ pub fn plan_batch(
             let qs: Vec<QuerySpec> = g.iter().map(|&i| queries[i].clone()).collect();
             let refs: Vec<&QuerySpec> = qs.iter().collect();
             let c = estimate_shared_cost(&refs, stats, cost, htm);
-            let spec = derive_shared_spec(&qs, catalog, stats, htm, config.publish_tables)?;
+            let spec = derive_shared_spec(&qs, catalog, stats, htm, policy.as_ref())?;
             total += c;
             units.push(BatchUnit::Shared {
                 indices: g,
@@ -179,9 +180,9 @@ fn estimate_shared_cost(
 
     // Driver scan over the union region.
     let driver_rows = stats.filtered_rows(&driver, &union);
-    let mut total = cost.scan(stats.table_rows(&driver) as f64).min(
-        cost.index_scan(driver_rows),
-    );
+    let mut total = cost
+        .scan(stats.table_rows(&driver) as f64)
+        .min(cost.index_scan(driver_rows));
 
     // Build (or retag) one tagged table per non-driver table.
     let matcher = Matcher;
@@ -198,22 +199,14 @@ fn estimate_shared_cost(
             .iter()
             .map(|m| {
                 cost.retag(m.candidate.entries as f64)
-                    + cost.rhj_fresh(
-                        build_rows * (1.0 - m.contr),
-                        24.0,
-                        driver_rows,
-                    )
+                    + cost.rhj_fresh(build_rows * (1.0 - m.contr), 24.0, driver_rows)
             })
             .fold(f64::INFINITY, f64::min);
         total += fresh.min(reuse);
     }
 
     // Grouping phase: one insert per joined row; aggregation per query.
-    let joined = stats.join_rows(
-        q0.tables.iter().map(|t| t.as_ref()),
-        &q0.joins,
-        &union,
-    );
+    let joined = stats.join_rows(q0.tables.iter().map(|t| t.as_ref()), &q0.joins, &union);
     total += cost.rha_fresh(joined, joined, 48.0) * 0.5; // grouping inserts
     for q in queries {
         let rows_q = stats.join_rows(q.tables.iter().map(|t| t.as_ref()), &q.joins, &q.region());
@@ -231,12 +224,7 @@ fn split_driver(q: &QuerySpec, stats: &DbStats) -> (Arc<str>, Vec<Arc<str>>) {
         .max_by_key(|t| stats.table_rows(t))
         .expect("query has tables")
         .clone();
-    let others = q
-        .tables
-        .iter()
-        .filter(|t| **t != driver)
-        .cloned()
-        .collect();
+    let others = q.tables.iter().filter(|t| **t != driver).cloned().collect();
     (driver, others)
 }
 
@@ -303,13 +291,15 @@ fn shared_required_attrs(queries: &[QuerySpec], table: &str) -> Vec<Arc<str>> {
 }
 
 /// Derive an executable [`SharedPlanSpec`] for a mergeable group, making
-/// reuse decisions against the current cache state.
+/// reuse decisions against the current cache state. The policy filters
+/// reuse candidates and gates which tagged tables are admitted (published)
+/// into the cache.
 pub fn derive_shared_spec(
     queries: &[QuerySpec],
     catalog: &Catalog,
     stats: &DbStats,
     htm: &mut HtManager,
-    publish: bool,
+    policy: &dyn crate::policy::ReusePolicy,
 ) -> Result<SharedPlanSpec> {
     let q0 = &queries[0];
     let (driver, _) = split_driver(q0, stats);
@@ -351,10 +341,19 @@ pub fn derive_shared_spec(
                 tagged: true,
             };
             let request_box = boxes_union_box(queries, t);
-            let m = matcher
-                .find_matches(htm, &request, &request_box, stats)
-                .into_iter()
-                .max_by(|a, b| a.contr.partial_cmp(&b.contr).unwrap_or(std::cmp::Ordering::Equal));
+            let m = if policy.wants_candidates() {
+                policy.candidates(
+                    &request,
+                    matcher.find_matches(htm, &request, &request_box, stats),
+                )
+            } else {
+                Vec::new()
+            };
+            let m = m.into_iter().max_by(|a, b| {
+                a.contr
+                    .partial_cmp(&b.contr)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let reuse = m.map(|m| SharedReuse {
                 id: m.candidate.id,
                 case: m.case,
@@ -367,7 +366,7 @@ pub fn derive_shared_spec(
                 build_key,
                 payload,
                 reuse: reuse.clone(),
-                publish: (publish && reuse.is_none()).then(|| request.clone()),
+                publish: (policy.admit(&request) && reuse.is_none()).then(|| request.clone()),
             });
             covered.push(t.clone());
             remaining.remove(ri);
@@ -386,10 +385,7 @@ pub fn derive_shared_spec(
     let mut outputs: Vec<SharedOutput> = Vec::new();
     for q in queries {
         if q.is_aggregate() {
-            let gi = match group_specs
-                .iter()
-                .position(|g| g.group_by == q.group_by)
-            {
+            let gi = match group_specs.iter().position(|g| g.group_by == q.group_by) {
                 Some(gi) => gi,
                 None => {
                     // Stored attrs: everything any sharing query needs.
@@ -428,8 +424,15 @@ pub fn derive_shared_spec(
                         tagged: true,
                     };
                     let request_box = whole_union_box(queries);
-                    let m = matcher
-                        .find_matches(htm, &request, &request_box, stats)
+                    let m = if policy.wants_candidates() {
+                        policy.candidates(
+                            &request,
+                            matcher.find_matches(htm, &request, &request_box, stats),
+                        )
+                    } else {
+                        Vec::new()
+                    };
+                    let m = m
                         .into_iter()
                         .filter(|m| !m.needs_post_group)
                         .max_by(|a, b| {
@@ -447,7 +450,7 @@ pub fn derive_shared_spec(
                         group_by: q.group_by.clone(),
                         stored_attrs: stored,
                         reuse: reuse.clone(),
-                        publish: (publish && reuse.is_none()).then_some(request),
+                        publish: (policy.admit(&request) && reuse.is_none()).then_some(request),
                     });
                     group_specs.len() - 1
                 }
@@ -518,7 +521,12 @@ mod tests {
 
     fn mk(id: u32, lo: i64, hi: i64) -> QuerySpec {
         QueryBuilder::new(id)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .filter(
                 "customer.c_age",
                 Interval::closed(Value::Int(lo), Value::Int(hi)),
@@ -566,7 +574,10 @@ mod tests {
         let mut htm = HtManager::new(GcConfig::default());
         let other = QueryBuilder::new(9)
             .join("part", "part.p_partkey", "lineitem", "lineitem.l_partkey")
-            .filter("part.p_size", Interval::closed(Value::Int(1), Value::Int(10)))
+            .filter(
+                "part.p_size",
+                Interval::closed(Value::Int(1), Value::Int(10)),
+            )
             .group_by("part.p_brand")
             .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"))
             .build()
@@ -597,7 +608,14 @@ mod tests {
         let (cat, stats, _cost) = setup();
         let mut htm = HtManager::new(GcConfig::default());
         let queries = vec![mk(1, 20, 40), mk(2, 30, 60)];
-        let spec = derive_shared_spec(&queries, &cat, &stats, &mut htm, true).unwrap();
+        let spec = derive_shared_spec(
+            &queries,
+            &cat,
+            &stats,
+            &mut htm,
+            &crate::policy::CostBasedReuse,
+        )
+        .unwrap();
         let mut temps = TempTableCache::unbounded();
         let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
         let results = execute_shared(&spec, &mut ctx).unwrap();
@@ -608,11 +626,7 @@ mod tests {
             &cat,
             &stats,
             &cost,
-            OptimizerConfig {
-                strategy: crate::optimizer::ReuseStrategy::NeverShare,
-                publish_tables: false,
-                ..OptimizerConfig::default()
-            },
+            OptimizerConfig::with_policy(std::sync::Arc::new(crate::policy::NoReuse)),
         );
         let mut htm2 = HtManager::new(GcConfig::default());
         let oq = opt.optimize(&queries[0], &mut htm2).unwrap();

@@ -28,28 +28,16 @@ use hashstash_storage::Catalog;
 
 use crate::cost::{CandidateShape, CostModel};
 use crate::matching::{MatchRewrite, Matcher};
+use crate::policy::{CostBasedReuse, ReusePolicy};
 use crate::stats::DbStats;
 
-/// Reuse decision strategy (paper Exp. 2 baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ReuseStrategy {
-    /// Pick the alternative with the lowest estimated cost (HashStash).
-    #[default]
-    CostModel,
-    /// Greedily reuse the candidate with the highest contribution-ratio,
-    /// whatever the cost ("Always Share").
-    AlwaysShare,
-    /// Never reuse ("Never Share" / traditional optimizer).
-    NeverShare,
-}
-
 /// Optimizer knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OptimizerConfig {
-    /// Reuse decision strategy.
-    pub strategy: ReuseStrategy,
-    /// Publish pipeline-breaker hash tables into the cache (HashStash mode).
-    pub publish_tables: bool,
+    /// Reuse decision policy consulted at every pipeline breaker (which
+    /// candidates to consider, what to admit into the cache, and whether
+    /// reuse is greedily preferred). See [`crate::policy`].
+    pub policy: Arc<dyn ReusePolicy>,
     /// Benefit-oriented: rewrite `AVG` to `SUM`+`COUNT` (paper §3.4).
     pub avg_rewrite: bool,
     /// Benefit-oriented: store selection attributes in join payloads so
@@ -65,12 +53,21 @@ pub struct OptimizerConfig {
 impl Default for OptimizerConfig {
     fn default() -> Self {
         OptimizerConfig {
-            strategy: ReuseStrategy::CostModel,
-            publish_tables: true,
+            policy: Arc::new(CostBasedReuse),
             avg_rewrite: true,
             additional_attributes: true,
             benefit_join_order: true,
             benefit_epsilon: 0.1,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Default knobs under the given reuse policy.
+    pub fn with_policy(policy: Arc<dyn ReusePolicy>) -> Self {
+        OptimizerConfig {
+            policy,
+            ..OptimizerConfig::default()
         }
     }
 }
@@ -98,6 +95,9 @@ pub struct OptimizedQuery {
     pub subplans: Vec<SubPlanCost>,
 }
 
+/// Memo entry of the reuse-free delta-pipeline cache: `(plan, cost, rows)`.
+type FreshPlanEntry = (PhysicalPlan, f64, f64);
+
 #[derive(Debug, Clone)]
 struct PlanInfo {
     plan: PhysicalPlan,
@@ -118,7 +118,7 @@ pub struct Optimizer<'a> {
     /// Per-optimize memo for reuse-free delta pipelines, keyed by
     /// `(mask, predicate, needed attrs)`. Delta plans are enumerated once
     /// per candidate otherwise — quadratic in cache size without this.
-    fresh_memo: std::cell::RefCell<HashMap<(u64, String, String), (PhysicalPlan, f64, f64)>>,
+    fresh_memo: std::cell::RefCell<HashMap<(u64, String, String), FreshPlanEntry>>,
 }
 
 impl<'a> Optimizer<'a> {
@@ -141,8 +141,8 @@ impl<'a> Optimizer<'a> {
     }
 
     /// The configuration in effect.
-    pub fn config(&self) -> OptimizerConfig {
-        self.config
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
     }
 
     /// Optimize a query into a reuse-aware physical plan.
@@ -185,7 +185,11 @@ impl<'a> Optimizer<'a> {
 
     /// Enumerate the best plan per connected sub-graph (already memoized
     /// during optimization) for estimator-accuracy experiments.
-    fn collect_subplans(&self, graph: &JoinGraph, memo: &HashMap<u64, PlanInfo>) -> Vec<SubPlanCost> {
+    fn collect_subplans(
+        &self,
+        graph: &JoinGraph,
+        memo: &HashMap<u64, PlanInfo>,
+    ) -> Vec<SubPlanCost> {
         let mut out: Vec<SubPlanCost> = memo
             .iter()
             .filter(|(mask, _)| mask.count_ones() >= 2)
@@ -220,8 +224,7 @@ impl<'a> Optimizer<'a> {
             let mut best: Option<PlanInfo> = None;
             for (l, r) in graph.connected_partitions(mask) {
                 for (probe_mask, build_mask) in [(l, r), (r, l)] {
-                    let options =
-                        self.join_options(q, graph, probe_mask, build_mask, htm, memo)?;
+                    let options = self.join_options(q, graph, probe_mask, build_mask, htm, memo)?;
                     for opt in options {
                         best = Some(self.pick(best.take(), opt));
                     }
@@ -241,21 +244,18 @@ impl<'a> Optimizer<'a> {
         let Some(inc) = incumbent else {
             return challenger;
         };
-        match self.config.strategy {
-            ReuseStrategy::AlwaysShare => {
-                // Prefer any reusing plan over a non-reusing one.
-                match (inc.reused, challenger.reused) {
-                    (true, false) => return inc,
-                    (false, true) => return challenger,
-                    _ => {}
-                }
+        if self.config.policy.prefer_reuse() {
+            // Prefer any reusing plan over a non-reusing one.
+            match (inc.reused, challenger.reused) {
+                (true, false) => return inc,
+                (false, true) => return challenger,
+                _ => {}
             }
-            ReuseStrategy::NeverShare | ReuseStrategy::CostModel => {}
         }
         if self.config.benefit_join_order {
             let eps = self.config.benefit_epsilon;
-            let close = (inc.cost - challenger.cost).abs()
-                <= eps * inc.cost.min(challenger.cost).max(1.0);
+            let close =
+                (inc.cost - challenger.cost).abs() <= eps * inc.cost.min(challenger.cost).max(1.0);
             if close && challenger.benefit != inc.benefit {
                 return if challenger.benefit > inc.benefit {
                     challenger
@@ -360,8 +360,7 @@ impl<'a> Optimizer<'a> {
             let join_cost =
                 self.cost
                     .rhj_fresh(build_info.rows.max(1.0), payload_width, probe_info.rows);
-            let cost =
-                probe_info.cost + build_info.cost + join_cost + self.cost.output(out_rows);
+            let cost = probe_info.cost + build_info.cost + join_cost + self.cost.output(out_rows);
             options.push(PlanInfo {
                 plan: PhysicalPlan::HashJoin {
                     probe: Box::new(probe_info.plan.clone()),
@@ -369,7 +368,11 @@ impl<'a> Optimizer<'a> {
                     probe_key: probe_key.clone(),
                     build_key: build_key.clone(),
                     reuse: None,
-                    publish: self.config.publish_tables.then(|| request_fp.clone()),
+                    publish: self
+                        .config
+                        .policy
+                        .admit(&request_fp)
+                        .then(|| request_fp.clone()),
                 },
                 cost,
                 rows: out_rows,
@@ -379,25 +382,29 @@ impl<'a> Optimizer<'a> {
         }
 
         // --- Reuse candidates --------------------------------------------
-        if self.config.strategy != ReuseStrategy::NeverShare {
-            let matches = self
-                .matcher
-                .find_matches(htm, &request_fp, &request_box, self.stats);
-            for m in matches {
-                let opt = self.reuse_join_option(
-                    q,
-                    graph,
-                    build_mask,
-                    &probe_info,
-                    &probe_key,
-                    &build_key,
-                    &request_fp,
-                    build_rows,
-                    out_rows,
-                    &m,
-                )?;
-                options.push(opt);
-            }
+        let matches = if self.config.policy.wants_candidates() {
+            self.config.policy.candidates(
+                &request_fp,
+                self.matcher
+                    .find_matches(htm, &request_fp, &request_box, self.stats),
+            )
+        } else {
+            Vec::new()
+        };
+        for m in matches {
+            let opt = self.reuse_join_option(
+                q,
+                graph,
+                build_mask,
+                &probe_info,
+                &probe_key,
+                &build_key,
+                &request_fp,
+                build_rows,
+                out_rows,
+                &m,
+            )?;
+            options.push(opt);
         }
         Ok(options)
     }
@@ -656,9 +663,7 @@ impl<'a> Optimizer<'a> {
 
         // --- Fresh aggregation -------------------------------------------
         let fresh_cost = join_info.cost
-            + self
-                .cost
-                .rha_fresh(join_info.rows, groups, state_width)
+            + self.cost.rha_fresh(join_info.rows, groups, state_width)
             + self.cost.output(groups);
         let fresh = PlanInfo {
             plan: PhysicalPlan::HashAggregate {
@@ -667,7 +672,11 @@ impl<'a> Optimizer<'a> {
                 aggs: storage_aggs.clone(),
                 output_aggs: output_aggs.clone(),
                 reuse: None,
-                publish: self.config.publish_tables.then(|| request_fp.clone()),
+                publish: self
+                    .config
+                    .policy
+                    .admit(&request_fp)
+                    .then(|| request_fp.clone()),
                 post_group_by: None,
             },
             cost: fresh_cost,
@@ -678,14 +687,18 @@ impl<'a> Optimizer<'a> {
         let mut best = fresh;
 
         // --- Reuse candidates ---------------------------------------------
-        if self.config.strategy != ReuseStrategy::NeverShare {
-            let matches = self
-                .matcher
-                .find_matches(htm, &request_fp, &request_box, self.stats);
-            for m in matches {
-                if let Some(opt) = self.reuse_agg_option(q, graph, &request_fp, groups, &m)? {
-                    best = self.pick(Some(best), opt);
-                }
+        let matches = if self.config.policy.wants_candidates() {
+            self.config.policy.candidates(
+                &request_fp,
+                self.matcher
+                    .find_matches(htm, &request_fp, &request_box, self.stats),
+            )
+        } else {
+            Vec::new()
+        };
+        for m in matches {
+            if let Some(opt) = self.reuse_agg_option(q, graph, &request_fp, groups, &m)? {
+                best = self.pick(Some(best), opt);
             }
         }
         let reused = matches_reuse(&best.plan);
@@ -702,8 +715,7 @@ impl<'a> Optimizer<'a> {
     ) -> Result<Option<PlanInfo>> {
         // Output mapping against the *cached* table's stored aggregates.
         let stored_aggs = m.candidate.fingerprint.aggregates.clone();
-        let Ok(output_aggs) =
-            map_output_aggs(&q.aggregates, &stored_aggs, self.config.avg_rewrite)
+        let Ok(output_aggs) = map_output_aggs(&q.aggregates, &stored_aggs, self.config.avg_rewrite)
         else {
             return Ok(None); // cached table lacks a needed accumulator
         };
@@ -726,11 +738,9 @@ impl<'a> Optimizer<'a> {
             }
         }
         // Every needed attribute must come from a table the query joins.
-        let resolvable = extra_needed.iter().all(|attr| {
-            attr.split('.')
-                .next()
-                .is_some_and(|t| q.tables.contains(t))
-        });
+        let resolvable = extra_needed
+            .iter()
+            .all(|attr| attr.split('.').next().is_some_and(|t| q.tables.contains(t)));
         if !resolvable {
             return Ok(None);
         }
@@ -1010,8 +1020,18 @@ mod tests {
 
     fn q3(id: u32, ship_lo: &str) -> QuerySpec {
         QueryBuilder::new(id)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
             .filter(
                 "lineitem.l_shipdate",
                 Interval::at_least(Value::Date(
@@ -1097,11 +1117,7 @@ mod tests {
             &cat,
             &stats,
             &cost,
-            OptimizerConfig {
-                strategy: ReuseStrategy::NeverShare,
-                publish_tables: false,
-                ..OptimizerConfig::default()
-            },
+            OptimizerConfig::with_policy(Arc::new(crate::policy::NoReuse)),
         );
         let mut htm2 = HtManager::new(GcConfig::default());
         let reference = ns.optimize(&q3(3, "1996-01-01"), &mut htm2).unwrap();
@@ -1120,7 +1136,11 @@ mod tests {
         let (cat, stats, cost) = setup();
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
         let mut htm = HtManager::new(GcConfig::default());
-        run(&opt.optimize(&q3(1, "1996-01-01"), &mut htm).unwrap().plan, &cat, &mut htm);
+        run(
+            &opt.optimize(&q3(1, "1996-01-01"), &mut htm).unwrap().plan,
+            &cat,
+            &mut htm,
+        );
 
         let q2 = q3(2, "1996-06-01"); // narrower
         let second = opt.optimize(&q2, &mut htm).unwrap();
@@ -1137,11 +1157,7 @@ mod tests {
             &cat,
             &stats,
             &cost,
-            OptimizerConfig {
-                strategy: ReuseStrategy::NeverShare,
-                publish_tables: false,
-                ..OptimizerConfig::default()
-            },
+            OptimizerConfig::with_policy(Arc::new(crate::policy::NoReuse)),
         );
         let mut htm2 = HtManager::new(GcConfig::default());
         let (_, expect) = run(
@@ -1159,7 +1175,12 @@ mod tests {
         let mut htm = HtManager::new(GcConfig::default());
         // First: group by (age, nationkey).
         let q1 = QueryBuilder::new(1)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .filter(
                 "orders.o_orderdate",
                 Interval::at_least(Value::date_ymd(1995, 1, 1)),
@@ -1173,7 +1194,12 @@ mod tests {
 
         // Roll-up: drop c_nationkey.
         let q2 = QueryBuilder::new(2)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .filter(
                 "orders.o_orderdate",
                 Interval::at_least(Value::date_ymd(1995, 1, 1)),
@@ -1202,11 +1228,7 @@ mod tests {
             &cat,
             &stats,
             &cost,
-            OptimizerConfig {
-                strategy: ReuseStrategy::NeverShare,
-                publish_tables: false,
-                ..OptimizerConfig::default()
-            },
+            OptimizerConfig::with_policy(Arc::new(crate::policy::NoReuse)),
         );
         let mut htm2 = HtManager::new(GcConfig::default());
         let (_, expect) = run(&ns.optimize(&q2, &mut htm2).unwrap().plan, &cat, &mut htm2);
@@ -1221,13 +1243,14 @@ mod tests {
     #[test]
     fn never_share_never_reuses() {
         let (cat, stats, cost) = setup();
-        let cfg = OptimizerConfig {
-            strategy: ReuseStrategy::NeverShare,
-            ..OptimizerConfig::default()
-        };
+        let cfg = OptimizerConfig::with_policy(Arc::new(crate::policy::NeverShare));
         let opt = Optimizer::new(&cat, &stats, &cost, cfg);
         let mut htm = HtManager::new(GcConfig::default());
-        run(&opt.optimize(&q3(1, "1996-01-01"), &mut htm).unwrap().plan, &cat, &mut htm);
+        run(
+            &opt.optimize(&q3(1, "1996-01-01"), &mut htm).unwrap().plan,
+            &cat,
+            &mut htm,
+        );
         let second = opt.optimize(&q3(2, "1996-01-01"), &mut htm).unwrap();
         assert!(second
             .plan
@@ -1242,7 +1265,12 @@ mod tests {
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
         let mut htm = HtManager::new(GcConfig::default());
         let q = QueryBuilder::new(1)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .filter(
                 "customer.c_age",
                 Interval::closed(Value::Int(30), Value::Int(50)),
@@ -1254,7 +1282,9 @@ mod tests {
         let oq = opt.optimize(&q, &mut htm).unwrap();
         // Storage aggregates are SUM + COUNT; output reconstructs AVG.
         match &oq.plan {
-            PhysicalPlan::HashAggregate { aggs, output_aggs, .. } => {
+            PhysicalPlan::HashAggregate {
+                aggs, output_aggs, ..
+            } => {
                 assert_eq!(aggs.len(), 2);
                 assert!(matches!(output_aggs[0], OutputAgg::AvgOf { .. }));
             }

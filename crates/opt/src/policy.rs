@@ -1,0 +1,293 @@
+//! Pluggable reuse policies.
+//!
+//! The paper's §6 evaluation compares five reuse configurations. Earlier
+//! revisions hard-coded them as an enum threaded through the optimizer;
+//! this module replaces that closed set with the [`ReusePolicy`] trait so
+//! new policies can be added — and selected at runtime — without touching
+//! the optimizer or engine internals.
+//!
+//! A policy answers three questions the optimizer asks at every pipeline
+//! breaker:
+//!
+//! 1. [`candidates`](ReusePolicy::candidates) — which of the matched cached
+//!    tables may this operator consider reusing?
+//! 2. [`admit`](ReusePolicy::admit) — should a freshly built table be
+//!    published (admitted) into the cache for future reuse?
+//! 3. [`prefer_reuse`](ReusePolicy::prefer_reuse) — when costs are
+//!    compared, does any reusing alternative beat any non-reusing one
+//!    regardless of estimate (the paper's greedy *Always Share* baseline)?
+//!
+//! Plus one question the engine asks per query:
+//! [`materialize`](ReusePolicy::materialize) — run the
+//! materialization-based baseline (temp tables, Nagel et al. style)
+//! instead of hash-table caching.
+//!
+//! # Implementing a custom policy
+//!
+//! ```
+//! use hashstash_opt::policy::ReusePolicy;
+//! use hashstash_opt::matching::MatchRewrite;
+//! use hashstash_plan::{HtFingerprint, ReuseCase};
+//!
+//! /// Reuse only exact matches: never pay for deltas or post-filters.
+//! struct ExactOnly;
+//!
+//! impl ReusePolicy for ExactOnly {
+//!     fn name(&self) -> &str {
+//!         "exact-only"
+//!     }
+//!     fn candidates(
+//!         &self,
+//!         _request: &HtFingerprint,
+//!         matches: Vec<MatchRewrite>,
+//!     ) -> Vec<MatchRewrite> {
+//!         matches
+//!             .into_iter()
+//!             .filter(|m| m.case == ReuseCase::Exact)
+//!             .collect()
+//!     }
+//!     fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+//!         true
+//!     }
+//! }
+//!
+//! assert_eq!(ExactOnly.name(), "exact-only");
+//! assert!(!ExactOnly.materialize());
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use hashstash_plan::HtFingerprint;
+
+use crate::matching::MatchRewrite;
+
+/// A reuse strategy the optimizer consults at every pipeline breaker.
+///
+/// Implementations must be [`Send`] + [`Sync`]: one policy instance is
+/// shared by every session of a `Database`.
+pub trait ReusePolicy: Send + Sync {
+    /// Short stable name, e.g. `"hashstash"`; used in logs and stats.
+    fn name(&self) -> &str;
+
+    /// Filter (and optionally reorder) the reuse candidates matched for one
+    /// request. `request` is the fingerprint of the hash table the
+    /// requesting operator would build fresh; `matches` are all cached
+    /// tables the matcher found viable. Return an empty vector to forbid
+    /// reuse at this operator.
+    fn candidates(&self, request: &HtFingerprint, matches: Vec<MatchRewrite>) -> Vec<MatchRewrite>;
+
+    /// Whether a freshly built hash table described by `fingerprint` should
+    /// be admitted (published) into the cache when this operator runs.
+    fn admit(&self, fingerprint: &HtFingerprint) -> bool;
+
+    /// Whether the optimizer should run candidate matching at all. Policies
+    /// that unconditionally return no candidates override this to `false`
+    /// so the engine skips the recycle-graph lookup and rewrite planning
+    /// entirely (and cache lookup statistics stay untouched). Default
+    /// `true`.
+    fn wants_candidates(&self) -> bool {
+        true
+    }
+
+    /// Greedy preference: when `true`, any reusing plan alternative is
+    /// preferred over any non-reusing one before costs are compared (the
+    /// paper's *Always Share* baseline). Default `false`: pure cost-based
+    /// arbitration.
+    fn prefer_reuse(&self) -> bool {
+        false
+    }
+
+    /// Whether the engine should run the materialization-based baseline:
+    /// operator outputs are copied into temp tables during execution and
+    /// reused for exact/subsuming requests only (Nagel et al. style, paper
+    /// §6.1). Default `false`: hash-table caching.
+    fn materialize(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Debug for dyn ReusePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ReusePolicy({})", self.name())
+    }
+}
+
+/// The paper's system: cost-based reuse of every viable candidate, with
+/// every pipeline-breaker hash table admitted into the cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostBasedReuse;
+
+impl ReusePolicy for CostBasedReuse {
+    fn name(&self) -> &str {
+        "hashstash"
+    }
+    fn candidates(
+        &self,
+        _request: &HtFingerprint,
+        matches: Vec<MatchRewrite>,
+    ) -> Vec<MatchRewrite> {
+        matches
+    }
+    fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+        true
+    }
+}
+
+/// Greedy baseline (paper Exp. 2): reuse whenever any candidate matches,
+/// whatever the cost model says.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysShare;
+
+impl ReusePolicy for AlwaysShare {
+    fn name(&self) -> &str {
+        "always-share"
+    }
+    fn candidates(
+        &self,
+        _request: &HtFingerprint,
+        matches: Vec<MatchRewrite>,
+    ) -> Vec<MatchRewrite> {
+        matches
+    }
+    fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+        true
+    }
+    fn prefer_reuse(&self) -> bool {
+        true
+    }
+}
+
+/// Reuse disabled in the optimizer, nothing cached (paper Exp. 2's
+/// *Never Share* baseline; execution-equivalent to [`NoReuse`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverShare;
+
+impl ReusePolicy for NeverShare {
+    fn wants_candidates(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "never-share"
+    }
+    fn candidates(
+        &self,
+        _request: &HtFingerprint,
+        _matches: Vec<MatchRewrite>,
+    ) -> Vec<MatchRewrite> {
+        Vec::new()
+    }
+    fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+        false
+    }
+}
+
+/// Traditional execution: no reuse, no materialization, nothing cached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoReuse;
+
+impl ReusePolicy for NoReuse {
+    fn wants_candidates(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "no-reuse"
+    }
+    fn candidates(
+        &self,
+        _request: &HtFingerprint,
+        _matches: Vec<MatchRewrite>,
+    ) -> Vec<MatchRewrite> {
+        Vec::new()
+    }
+    fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+        false
+    }
+}
+
+/// Materialization-based reuse (paper §6.1, after Nagel et al.): no
+/// hash-table reuse; instead the engine copies operator outputs into temp
+/// tables and reuses those for exact/subsuming requests. `admit` returns
+/// `true` so the optimizer emits publish *markers* that the materialization
+/// rewrite turns into materialize/temp-scan operators — no hash tables are
+/// ever cached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaterializedReuse;
+
+impl ReusePolicy for MaterializedReuse {
+    fn wants_candidates(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &str {
+        "materialized"
+    }
+    fn candidates(
+        &self,
+        _request: &HtFingerprint,
+        _matches: Vec<MatchRewrite>,
+    ) -> Vec<MatchRewrite> {
+        Vec::new()
+    }
+    fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+        true
+    }
+    fn materialize(&self) -> bool {
+        true
+    }
+}
+
+/// Convenience alias for a shared, type-erased policy handle.
+pub type PolicyHandle = Arc<dyn ReusePolicy>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashstash_plan::{HtKind, Region};
+
+    fn probe() -> HtFingerprint {
+        HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("t")).collect(),
+            edges: vec![],
+            region: Region::empty(),
+            key_attrs: vec![],
+            payload_attrs: vec![],
+            aggregates: vec![],
+            tagged: false,
+        }
+    }
+
+    #[test]
+    fn builtin_flags_match_paper_configurations() {
+        let table: [(&dyn ReusePolicy, bool, bool, bool); 5] = [
+            // (policy, admits, prefers reuse, materializes)
+            (&CostBasedReuse, true, false, false),
+            (&AlwaysShare, true, true, false),
+            (&NeverShare, false, false, false),
+            (&NoReuse, false, false, false),
+            (&MaterializedReuse, true, false, true),
+        ];
+        for (p, admits, prefers, materializes) in table {
+            assert_eq!(p.admit(&probe()), admits, "{}", p.name());
+            assert_eq!(p.prefer_reuse(), prefers, "{}", p.name());
+            assert_eq!(p.materialize(), materializes, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn disabled_policies_drop_all_candidates() {
+        assert!(NeverShare.candidates(&probe(), Vec::new()).is_empty());
+        assert!(NoReuse.candidates(&probe(), Vec::new()).is_empty());
+        assert!(MaterializedReuse
+            .candidates(&probe(), Vec::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn trait_objects_are_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PolicyHandle>();
+        let p: PolicyHandle = Arc::new(CostBasedReuse);
+        assert_eq!(format!("{:?}", &*p), "ReusePolicy(hashstash)");
+    }
+}

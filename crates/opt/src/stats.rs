@@ -175,11 +175,7 @@ fn column_stats(col: &Column) -> Option<AttrStats> {
         Column::Float(v) => {
             let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let distinct = v
-                .iter()
-                .map(|x| x.to_bits())
-                .collect::<HashSet<_>>()
-                .len() as u64;
+            let distinct = v.iter().map(|x| x.to_bits()).collect::<HashSet<_>>().len() as u64;
             Some(AttrStats {
                 lo: Value::float(lo),
                 hi: Value::float(hi),
@@ -277,7 +273,10 @@ mod tests {
         let est = s.join_rows(["customer", "orders"], &edges, &Region::all());
         let actual = s.table_rows("orders") as f64;
         // FK join: |orders ⋈ customer| = |orders|; estimate within 2×.
-        assert!(est > actual * 0.5 && est < actual * 2.0, "est={est} actual={actual}");
+        assert!(
+            est > actual * 0.5 && est < actual * 2.0,
+            "est={est} actual={actual}"
+        );
     }
 
     #[test]

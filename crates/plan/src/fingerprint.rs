@@ -136,7 +136,10 @@ mod tests {
     fn fp(kind: HtKind, lo: i32, hi: i32) -> HtFingerprint {
         HtFingerprint {
             kind,
-            tables: ["customer", "orders"].iter().map(|s| Arc::from(*s)).collect(),
+            tables: ["customer", "orders"]
+                .iter()
+                .map(|s| Arc::from(*s))
+                .collect(),
             edges: vec![JoinEdge::new(
                 "customer",
                 "customer.c_custkey",

@@ -169,10 +169,7 @@ impl Interval {
 
     /// Whether the interval is the unconstrained interval.
     pub fn is_all(&self) -> bool {
-        matches!(
-            (&self.lo, &self.hi),
-            (Bound::Unbounded, Bound::Unbounded)
-        )
+        matches!((&self.lo, &self.hi), (Bound::Unbounded, Bound::Unbounded))
     }
 
     /// Whether `v` lies inside the interval.
@@ -431,7 +428,10 @@ mod tests {
         assert_eq!(iv(0, 10).difference(&iv(7, 10)), vec![iv(0, 6)]);
         assert_eq!(iv(0, 10).difference(&iv(0, 10)), Vec::<Interval>::new());
         assert_eq!(iv(0, 10).difference(&iv(20, 30)), vec![iv(0, 10)]);
-        assert_eq!(iv(0, 10).difference(&Interval::all()), Vec::<Interval>::new());
+        assert_eq!(
+            iv(0, 10).difference(&Interval::all()),
+            Vec::<Interval>::new()
+        );
     }
 
     #[test]

@@ -214,8 +214,18 @@ mod tests {
     /// customer — orders — lineitem chain.
     fn chain() -> JoinGraph {
         let q = QueryBuilder::new(1)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
             .build()
             .unwrap();
         JoinGraph::of_query(&q)
@@ -224,10 +234,25 @@ mod tests {
     /// 5-way: customer—orders—lineitem—part, lineitem—supplier.
     fn five_way() -> JoinGraph {
         let q = QueryBuilder::new(1)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
             .join("lineitem", "lineitem.l_partkey", "part", "part.p_partkey")
-            .join("lineitem", "lineitem.l_suppkey", "supplier", "supplier.s_suppkey")
+            .join(
+                "lineitem",
+                "lineitem.l_suppkey",
+                "supplier",
+                "supplier.s_suppkey",
+            )
             .build()
             .unwrap();
         JoinGraph::of_query(&q)
@@ -278,7 +303,9 @@ mod tests {
     #[test]
     fn single_table_has_no_partitions() {
         let g = chain();
-        assert!(g.connected_partitions(g.mask_of_tables(["orders"])).is_empty());
+        assert!(g
+            .connected_partitions(g.mask_of_tables(["orders"]))
+            .is_empty());
     }
 
     #[test]

@@ -29,14 +29,8 @@ fn bound_strategy() -> impl Strategy<Value = Bound<Value>> {
 /// Int intervals (homogeneous type so bounds are comparable).
 fn int_interval() -> impl Strategy<Value = Interval> {
     (
-        prop_oneof![
-            Just(None),
-            (-50i64..50).prop_map(Some),
-        ],
-        prop_oneof![
-            Just(None),
-            (-50i64..50).prop_map(Some),
-        ],
+        prop_oneof![Just(None), (-50i64..50).prop_map(Some),],
+        prop_oneof![Just(None), (-50i64..50).prop_map(Some),],
         any::<bool>(),
         any::<bool>(),
     )
@@ -56,7 +50,9 @@ fn int_interval() -> impl Strategy<Value = Interval> {
 }
 
 fn members(iv: &Interval) -> Vec<i64> {
-    (-60..60).filter(|&x| iv.contains_value(&Value::Int(x))).collect()
+    (-60..60)
+        .filter(|&x| iv.contains_value(&Value::Int(x)))
+        .collect()
 }
 
 proptest! {

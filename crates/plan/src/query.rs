@@ -30,12 +30,7 @@ pub struct JoinEdge {
 impl JoinEdge {
     /// Construct an edge; tables are ordered lexicographically so that the
     /// same logical edge always has the same representation.
-    pub fn new(
-        left_table: &str,
-        left_col: &str,
-        right_table: &str,
-        right_col: &str,
-    ) -> Self {
+    pub fn new(left_table: &str, left_col: &str, right_table: &str, right_col: &str) -> Self {
         if left_table <= right_table {
             JoinEdge {
                 left_table: left_table.into(),
@@ -167,11 +162,10 @@ impl QuerySpec {
                 parent[a] = b;
             }
             let root = find(&mut parent, 0);
-            for i in 1..tables.len() {
+            for (i, table) in tables.iter().enumerate().skip(1) {
                 if find(&mut parent, i) != root {
                     return Err(HsError::PlanError(format!(
-                        "join graph is disconnected at table {}",
-                        tables[i]
+                        "join graph is disconnected at table {table}"
                     )));
                 }
             }
@@ -305,8 +299,18 @@ mod tests {
 
     fn q3_like(id: u32) -> QuerySpec {
         QueryBuilder::new(id)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
             .filter(
                 "lineitem.l_shipdate",
                 Interval::at_least(Value::date_ymd(2015, 2, 1)),
@@ -328,8 +332,18 @@ mod tests {
 
     #[test]
     fn join_edge_canonical_order() {
-        let a = JoinEdge::new("orders", "orders.o_custkey", "customer", "customer.c_custkey");
-        let b = JoinEdge::new("customer", "customer.c_custkey", "orders", "orders.o_custkey");
+        let a = JoinEdge::new(
+            "orders",
+            "orders.o_custkey",
+            "customer",
+            "customer.c_custkey",
+        );
+        let b = JoinEdge::new(
+            "customer",
+            "customer.c_custkey",
+            "orders",
+            "orders.o_custkey",
+        );
         assert_eq!(a, b);
         assert_eq!(a.col_of("orders").unwrap().as_ref(), "orders.o_custkey");
         assert!(a.touches("customer"));
@@ -347,7 +361,12 @@ mod tests {
         assert!(a.same_join_graph(&b));
         // …but adding a table does.
         let c = QueryBuilder::new(3)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .build()
             .unwrap();
         assert!(!a.same_join_graph(&c));
@@ -355,10 +374,7 @@ mod tests {
 
     #[test]
     fn validation_catches_disconnected_graph() {
-        let r = QueryBuilder::new(1)
-            .table("customer")
-            .table("part")
-            .build();
+        let r = QueryBuilder::new(1).table("customer").table("part").build();
         assert!(r.is_err(), "two tables with no join edge must fail");
     }
 
@@ -366,7 +382,10 @@ mod tests {
     fn validation_catches_foreign_predicates() {
         let r = QueryBuilder::new(1)
             .table("customer")
-            .filter("orders.o_orderdate", Interval::all().intersect(&Interval::eq(Value::Date(1))))
+            .filter(
+                "orders.o_orderdate",
+                Interval::all().intersect(&Interval::eq(Value::Date(1))),
+            )
             .build();
         assert!(r.is_err());
     }
@@ -374,7 +393,10 @@ mod tests {
     #[test]
     fn edges_within_subset() {
         let q = q3_like(1);
-        let sub: BTreeSet<Arc<str>> = ["customer", "orders"].iter().map(|s| Arc::from(*s)).collect();
+        let sub: BTreeSet<Arc<str>> = ["customer", "orders"]
+            .iter()
+            .map(|s| Arc::from(*s))
+            .collect();
         let edges = q.edges_within(&sub);
         assert_eq!(edges.len(), 1);
         assert!(edges[0].touches("customer"));

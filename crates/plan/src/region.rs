@@ -60,7 +60,10 @@ impl PredBox {
 
     /// The constraint on `attr` (unconstrained attributes report `all`).
     pub fn interval(&self, attr: &str) -> Interval {
-        self.intervals.get(attr).cloned().unwrap_or_else(Interval::all)
+        self.intervals
+            .get(attr)
+            .cloned()
+            .unwrap_or_else(Interval::all)
     }
 
     /// Iterate over the explicitly constrained attributes.
@@ -306,11 +309,7 @@ impl Region {
 
     /// All attributes constrained anywhere in the region.
     pub fn attrs(&self) -> Vec<Arc<str>> {
-        let mut attrs: Vec<Arc<str>> = self
-            .boxes
-            .iter()
-            .flat_map(|b| b.attrs())
-            .collect();
+        let mut attrs: Vec<Arc<str>> = self.boxes.iter().flat_map(|b| b.attrs()).collect();
         attrs.sort();
         attrs.dedup();
         attrs
@@ -463,7 +462,10 @@ mod tests {
         // Unconstrained attr is NOT a subset of a constrained one.
         let other_attr = date_box("l.x", 0, 10);
         assert!(!wide.is_subset(&other_attr));
-        assert!(wide.intersects(&other_attr), "different attrs still overlap");
+        assert!(
+            wide.intersects(&other_attr),
+            "different attrs still overlap"
+        );
     }
 
     #[test]
@@ -552,7 +554,10 @@ mod tests {
         assert_eq!(ReuseCase::classify(&r, &exact), ReuseCase::Exact);
         assert_eq!(ReuseCase::classify(&r, &subsuming), ReuseCase::Subsuming);
         assert_eq!(ReuseCase::classify(&r, &partial), ReuseCase::Partial);
-        assert_eq!(ReuseCase::classify(&r, &overlapping), ReuseCase::Overlapping);
+        assert_eq!(
+            ReuseCase::classify(&r, &overlapping),
+            ReuseCase::Overlapping
+        );
         assert_eq!(ReuseCase::classify(&r, &disjoint), ReuseCase::Disjoint);
     }
 
@@ -591,8 +596,8 @@ mod tests {
 
     #[test]
     fn project_table_filters_attrs() {
-        let b = date_box("lineitem.l_shipdate", 0, 10)
-            .intersect(&date_box("orders.o_orderdate", 5, 6));
+        let b =
+            date_box("lineitem.l_shipdate", 0, 10).intersect(&date_box("orders.o_orderdate", 5, 6));
         let p = b.project_table("lineitem");
         assert_eq!(p.attrs().len(), 1);
         assert_eq!(p.attrs()[0].as_ref(), "lineitem.l_shipdate");
@@ -602,7 +607,7 @@ mod tests {
     fn region_matches_rows() {
         let r = Region::from_box(date_box("t.d", 0, 10))
             .union(&Region::from_box(date_box("t.d", 20, 30)));
-        let probe = |d: i32| r.matches(|attr| (attr == "t.d").then(|| Value::Date(d)));
+        let probe = |d: i32| r.matches(|attr| (attr == "t.d").then_some(Value::Date(d)));
         assert!(probe(5));
         assert!(!probe(15));
         assert!(probe(25));

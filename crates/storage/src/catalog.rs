@@ -25,7 +25,8 @@ impl Catalog {
     /// Register a table under its own name, replacing any previous table
     /// with the same name.
     pub fn register(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), Arc::new(table));
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Look up a table by name.

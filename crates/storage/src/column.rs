@@ -16,7 +16,10 @@ pub enum Column {
     Int(Vec<i64>),
     Float(Vec<f64>),
     Date(Vec<i32>),
-    Str { dict: Vec<Arc<str>>, codes: Vec<u32> },
+    Str {
+        dict: Vec<Arc<str>>,
+        codes: Vec<u32>,
+    },
 }
 
 impl Column {
@@ -75,9 +78,7 @@ impl Column {
         match (self, v) {
             (Column::Int(c), Value::Int(x)) => Some(c[i].cmp(x)),
             (Column::Date(c), Value::Date(x)) => Some(c[i].cmp(x)),
-            (Column::Float(c), Value::Float(x)) => {
-                Some(hashstash_types::F64(c[i]).cmp(x))
-            }
+            (Column::Float(c), Value::Float(x)) => Some(hashstash_types::F64(c[i]).cmp(x)),
             (Column::Str { dict, codes }, Value::Str(s)) => {
                 Some(dict[codes[i] as usize].as_ref().cmp(s.as_ref()))
             }

@@ -133,7 +133,9 @@ mod tests {
         let (_, idx) = date_index();
         let lo = Value::Date(45);
         let hi = Value::Date(20);
-        assert!(idx.range(Bound::Included(&lo), Bound::Included(&hi)).is_empty());
+        assert!(idx
+            .range(Bound::Included(&lo), Bound::Included(&hi))
+            .is_empty());
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl TableBuilder {
         let mut table = Table {
             name: self.name,
             schema: self.schema,
-            columns: self.builders.into_iter().map(ColumnBuilder::finish).collect(),
+            columns: self
+                .builders
+                .into_iter()
+                .map(ColumnBuilder::finish)
+                .collect(),
             indexes: HashMap::new(),
         };
         for col in indexed {

@@ -40,7 +40,13 @@ pub const MIN_AGE: i64 = 18;
 pub const MAX_AGE: i64 = 92;
 
 /// TPC-H market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -123,10 +129,31 @@ fn gen_region() -> crate::table::Table {
 
 fn gen_nation(rng: &mut SmallRng) -> crate::table::Table {
     let names = [
-        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
-        "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
-        "UNITED KINGDOM", "UNITED STATES",
+        "ALGERIA",
+        "ARGENTINA",
+        "BRAZIL",
+        "CANADA",
+        "EGYPT",
+        "ETHIOPIA",
+        "FRANCE",
+        "GERMANY",
+        "INDIA",
+        "INDONESIA",
+        "IRAN",
+        "IRAQ",
+        "JAPAN",
+        "JORDAN",
+        "KENYA",
+        "MOROCCO",
+        "MOZAMBIQUE",
+        "PERU",
+        "CHINA",
+        "ROMANIA",
+        "SAUDI ARABIA",
+        "VIETNAM",
+        "RUSSIA",
+        "UNITED KINGDOM",
+        "UNITED STATES",
     ];
     let mut b = TableBuilder::new(
         "nation",
@@ -162,7 +189,8 @@ fn gen_supplier(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table 
             Value::float((rng.gen_range(-99_999..=999_999) as f64) / 100.0),
         ]);
     }
-    b.finish_with_indexes(&["s_acctbal"]).expect("valid index column")
+    b.finish_with_indexes(&["s_acctbal"])
+        .expect("valid index column")
 }
 
 fn gen_customer(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
@@ -240,7 +268,8 @@ fn gen_orders(config: &TpchConfig, rng: &mut SmallRng) -> (crate::table::Table, 
         ]);
     }
     (
-        b.finish_with_indexes(&["o_orderdate"]).expect("valid index column"),
+        b.finish_with_indexes(&["o_orderdate"])
+            .expect("valid index column"),
         dates,
     )
 }
@@ -281,7 +310,8 @@ fn gen_lineitem(
             ]);
         }
     }
-    b.finish_with_indexes(&["l_shipdate"]).expect("valid index column")
+    b.finish_with_indexes(&["l_shipdate"])
+        .expect("valid index column")
 }
 
 #[cfg(test)]
@@ -367,7 +397,11 @@ mod tests {
             assert!((MIN_AGE..=MAX_AGE).contains(&a));
         }
         assert!(customer.index_on("c_age").is_some());
-        assert!(cat.get("lineitem").unwrap().index_on("l_shipdate").is_some());
+        assert!(cat
+            .get("lineitem")
+            .unwrap()
+            .index_on("l_shipdate")
+            .is_some());
         assert!(cat.get("orders").unwrap().index_on("o_orderdate").is_some());
         assert!(cat.get("part").unwrap().index_on("p_brand").is_some());
     }

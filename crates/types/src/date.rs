@@ -101,7 +101,10 @@ mod tests {
             days_from_ymd(2000, 3, 1),
             "2000 is a leap year (divisible by 400)"
         );
-        assert!(parse_date("1900-02-29").is_none(), "1900 is not a leap year");
+        assert!(
+            parse_date("1900-02-29").is_none(),
+            "1900 is not a leap year"
+        );
     }
 
     #[test]

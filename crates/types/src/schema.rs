@@ -120,10 +120,7 @@ mod tests {
         let s = sample();
         assert_eq!(s.index_of("customer.c_age").unwrap(), 1);
         assert_eq!(s.field("customer.c_name").unwrap().dtype, DataType::Str);
-        assert!(matches!(
-            s.index_of("nope"),
-            Err(HsError::UnknownColumn(_))
-        ));
+        assert!(matches!(s.index_of("nope"), Err(HsError::UnknownColumn(_))));
     }
 
     #[test]
@@ -139,7 +136,9 @@ mod tests {
     #[test]
     fn project_reorders() {
         let s = sample();
-        let p = s.project(&["customer.c_name", "customer.c_custkey"]).unwrap();
+        let p = s
+            .project(&["customer.c_name", "customer.c_custkey"])
+            .unwrap();
         assert_eq!(p.field_at(0).name, "customer.c_name");
         assert_eq!(p.field_at(1).name, "customer.c_custkey");
         assert!(s.project(&["missing"]).is_err());

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use crate::date;
 
 /// The type of a column or scalar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -94,7 +94,10 @@ impl Ord for F64 {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Greater,
             (false, true) => Ordering::Less,
-            (false, false) => self.0.partial_cmp(&other.0).expect("non-NaN floats compare"),
+            (false, false) => self
+                .0
+                .partial_cmp(&other.0)
+                .expect("non-NaN floats compare"),
         }
     }
 }

@@ -86,8 +86,18 @@ pub fn exp2_session() -> Vec<Exp2Step> {
         .enumerate()
         .map(|(i, s)| {
             let mut b = QueryBuilder::new(i as u32)
-                .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-                .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+                .join(
+                    "customer",
+                    "customer.c_custkey",
+                    "orders",
+                    "orders.o_custkey",
+                )
+                .join(
+                    "orders",
+                    "orders.o_orderkey",
+                    "lineitem",
+                    "lineitem.l_orderkey",
+                )
                 .join("lineitem", "lineitem.l_partkey", "part", "part.p_partkey")
                 .join(
                     "lineitem",
@@ -95,10 +105,7 @@ pub fn exp2_session() -> Vec<Exp2Step> {
                     "supplier",
                     "supplier.s_suppkey",
                 )
-                .filter(
-                    "orders.o_orderdate",
-                    Interval::half_open(d(s.lo), d(s.hi)),
-                )
+                .filter("orders.o_orderdate", Interval::half_open(d(s.lo), d(s.hi)))
                 .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"))
                 .agg(AggExpr::new(AggFunc::Count, "lineitem.l_orderkey"));
             for g in s.group_by {
@@ -124,7 +131,13 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Initial", "ZoomIn", "ZoomOut", "ShiftMuch", "ShiftLess", "DrillDown", "RollUp"
+                "Initial",
+                "ZoomIn",
+                "ZoomOut",
+                "ShiftMuch",
+                "ShiftLess",
+                "DrillDown",
+                "RollUp"
             ]
         );
     }

@@ -196,9 +196,8 @@ fn apply(
             state.hi = state.lo + new_len;
         }
         Interaction::ZoomOut => {
-            let new_len = ((len as f64) / overlap.max(0.4)).min(
-                (domain_hi - domain_lo) as f64 * 0.5,
-            ) as i32;
+            let new_len =
+                ((len as f64) / overlap.max(0.4)).min((domain_hi - domain_lo) as f64 * 0.5) as i32;
             let center = state.lo + len / 2;
             state.lo = (center - new_len / 2).max(domain_lo);
             state.hi = (state.lo + new_len).min(domain_hi);
@@ -284,8 +283,18 @@ fn structural_shift(
 
 fn build_query(id: u32, state: &SessionState) -> QuerySpec {
     let mut b = QueryBuilder::new(id)
-        .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-        .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+        .join(
+            "customer",
+            "customer.c_custkey",
+            "orders",
+            "orders.o_custkey",
+        )
+        .join(
+            "orders",
+            "orders.o_orderkey",
+            "lineitem",
+            "lineitem.l_orderkey",
+        )
         .filter(
             "lineitem.l_shipdate",
             Interval::half_open(Value::Date(state.lo), Value::Date(state.hi)),
@@ -297,7 +306,12 @@ fn build_query(id: u32, state: &SessionState) -> QuerySpec {
         b = b.join("lineitem", "lineitem.l_partkey", "part", "part.p_partkey");
     }
     if state.supplier_joined {
-        b = b.join("lineitem", "lineitem.l_suppkey", "supplier", "supplier.s_suppkey");
+        b = b.join(
+            "lineitem",
+            "lineitem.l_suppkey",
+            "supplier",
+            "supplier.s_suppkey",
+        );
     }
     for g in &state.drill_groups {
         b = b.group_by(g);
@@ -363,7 +377,10 @@ mod tests {
     #[test]
     fn overlap_ordering_matches_reuse_potential() {
         let low = average_overlap(&generate_trace(TraceConfig::paper(ReusePotential::Low, 3)));
-        let med = average_overlap(&generate_trace(TraceConfig::paper(ReusePotential::Medium, 3)));
+        let med = average_overlap(&generate_trace(TraceConfig::paper(
+            ReusePotential::Medium,
+            3,
+        )));
         let high = average_overlap(&generate_trace(TraceConfig::paper(ReusePotential::High, 3)));
         assert!(low < med, "low={low} med={med}");
         assert!(med < high, "med={med} high={high}");
@@ -373,7 +390,11 @@ mod tests {
 
     #[test]
     fn all_queries_validate() {
-        for reuse in [ReusePotential::Low, ReusePotential::Medium, ReusePotential::High] {
+        for reuse in [
+            ReusePotential::Low,
+            ReusePotential::Medium,
+            ReusePotential::High,
+        ] {
             for t in generate_trace(TraceConfig::paper(reuse, 5)) {
                 t.query.validate().unwrap();
             }

@@ -1,0 +1,98 @@
+//! Registering a custom [`ReusePolicy`] — no engine or optimizer internals
+//! required. The policy here reuses only *exact* matches (never paying for
+//! delta pipelines or post-filters) and refuses to admit join build-side
+//! tables into the cache, keeping only aggregation results.
+//!
+//! ```text
+//! cargo run --example custom_policy --release
+//! ```
+
+use hashstash::{Database, ReusePolicy};
+use hashstash_opt::MatchRewrite;
+use hashstash_plan::{AggExpr, AggFunc, HtFingerprint, HtKind, Interval, QueryBuilder, ReuseCase};
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_types::Value;
+
+/// Cache only aggregate tables; reuse them only on exact predicate matches.
+struct ExactAggOnly;
+
+impl ReusePolicy for ExactAggOnly {
+    fn name(&self) -> &str {
+        "exact-agg-only"
+    }
+
+    fn candidates(
+        &self,
+        _request: &HtFingerprint,
+        matches: Vec<MatchRewrite>,
+    ) -> Vec<MatchRewrite> {
+        matches
+            .into_iter()
+            .filter(|m| m.case == ReuseCase::Exact)
+            .collect()
+    }
+
+    fn admit(&self, fingerprint: &HtFingerprint) -> bool {
+        fingerprint.kind == HtKind::Aggregate
+    }
+}
+
+fn main() {
+    let catalog = generate(TpchConfig::new(0.02, 42));
+    // The custom policy plugs in through the builder like any built-in.
+    let db = Database::builder(catalog).policy(ExactAggOnly).build();
+    let mut session = db.session();
+
+    let query = |id: u32, lo: i64, hi: i64| {
+        QueryBuilder::new(id)
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .filter(
+                "customer.c_age",
+                Interval::closed(Value::Int(lo), Value::Int(hi)),
+            )
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(AggFunc::Sum, "orders.o_totalprice"))
+            .build()
+            .expect("valid query")
+    };
+
+    println!("policy: {}", db.policy().name());
+    let first = session.execute(&query(1, 25, 55)).expect("first run");
+    println!(
+        "q1 (cold)          : {} groups, {} decisions, cache now {} tables",
+        first.rows.len(),
+        first.decisions.len(),
+        db.cache_stats().entries
+    );
+
+    // Exact repeat ⇒ the cached aggregate answers the whole query.
+    let exact = session.execute(&query(2, 25, 55)).expect("exact repeat");
+    let reused = exact.decisions.iter().filter(|(_, c)| c.is_some()).count();
+    println!(
+        "q2 (exact repeat)  : {} groups, {reused} operator(s) reused",
+        exact.rows.len()
+    );
+
+    // Widened range would only be a *partial* match — this policy skips it.
+    let widened = session.execute(&query(3, 20, 60)).expect("widened");
+    let reused = widened
+        .decisions
+        .iter()
+        .filter(|(_, c)| c.is_some())
+        .count();
+    println!(
+        "q3 (widened range) : {} groups, {reused} operator(s) reused (exact-only ⇒ 0)",
+        widened.rows.len()
+    );
+
+    let stats = db.cache_stats();
+    println!(
+        "cache: {} tables, {} publishes, {} reuses (join builds never admitted)",
+        stats.entries, stats.publishes, stats.reuses
+    );
+}

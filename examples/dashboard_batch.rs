@@ -6,15 +6,19 @@
 //! cargo run --example dashboard_batch --release
 //! ```
 
-use hashstash::engine::BatchMode;
-use hashstash::{Engine, EngineConfig};
+use hashstash::{BatchMode, Database};
 use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder, QuerySpec};
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_types::Value;
 
 fn widget(id: u32, lo_age: i64, hi_age: i64, func: AggFunc) -> QuerySpec {
     QueryBuilder::new(id)
-        .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+        .join(
+            "customer",
+            "customer.c_custkey",
+            "orders",
+            "orders.o_custkey",
+        )
         .filter(
             "customer.c_age",
             Interval::closed(Value::Int(lo_age), Value::Int(hi_age)),
@@ -27,7 +31,8 @@ fn widget(id: u32, lo_age: i64, hi_age: i64, func: AggFunc) -> QuerySpec {
 
 fn main() {
     let catalog = generate(TpchConfig::new(0.02, 42));
-    let mut engine = Engine::new(catalog, EngineConfig::default());
+    let db = Database::open(catalog);
+    let mut session = db.session();
 
     // Eight dashboard widgets over overlapping age cohorts with different
     // aggregates — mergeable into one shared plan (same join graph).
@@ -48,14 +53,17 @@ fn main() {
         BatchMode::SharedWithReuse,
     ] {
         let t0 = std::time::Instant::now();
-        let results = engine.execute_batch(&batch, mode).expect("batch runs");
+        let results = session.execute_batch(&batch, mode).expect("batch runs");
         let total = t0.elapsed();
         let rows: usize = results.iter().map(|r| r.rows.len()).sum();
-        println!("{mode:?}: {} queries, {rows} result rows, {total:.2?}", results.len());
+        println!(
+            "{mode:?}: {} queries, {rows} result rows, {total:.2?}",
+            results.len()
+        );
     }
     println!(
         "cache after batches: {} tables, {} reuses",
-        engine.cache_stats().entries,
-        engine.cache_stats().reuses
+        db.cache_stats().entries,
+        db.cache_stats().reuses
     );
 }

@@ -8,7 +8,7 @@
 //! cargo run --example data_exploration --release
 //! ```
 
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{Database, EngineStrategy};
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_workload::trace::{generate_trace, Interaction, ReusePotential, TraceConfig};
 
@@ -23,11 +23,12 @@ fn main() {
 
     for strategy in [EngineStrategy::NoReuse, EngineStrategy::HashStash] {
         let catalog = generate(TpchConfig::new(0.02, 42));
-        let mut engine = Engine::new(catalog, EngineConfig::with_strategy(strategy));
+        let db = Database::builder(catalog).strategy(strategy).build();
+        let mut session = db.session();
         println!("\n--- strategy: {strategy:?} ---");
         let mut total = std::time::Duration::ZERO;
         for step in &trace {
-            let r = engine.execute(&step.query).expect("query runs");
+            let r = session.execute(&step.query).expect("query runs");
             total += r.wall_time;
             let reused = r.decisions.iter().filter(|(_, c)| c.is_some()).count();
             let tag = match step.interaction {
@@ -52,8 +53,8 @@ fn main() {
         println!(
             "total: {:.2?}; cache: {} reuses, {:.1} KB",
             total,
-            engine.cache_stats().reuses,
-            engine.cache_stats().bytes as f64 / 1024.0
+            db.cache_stats().reuses,
+            db.cache_stats().bytes as f64 / 1024.0
         );
     }
 }

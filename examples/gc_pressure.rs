@@ -6,7 +6,7 @@
 //! cargo run --example gc_pressure --release
 //! ```
 
-use hashstash::{Engine, EngineConfig};
+use hashstash::Database;
 use hashstash_cache::GcConfig;
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_workload::trace::{generate_trace, ReusePotential, TraceConfig};
@@ -20,9 +20,10 @@ fn main() {
     });
 
     // Pass 1: unlimited cache to learn the peak footprint.
-    let mut unbounded = Engine::new(generate(TpchConfig::new(0.02, 42)), EngineConfig::default());
+    let unbounded = Database::open(generate(TpchConfig::new(0.02, 42)));
+    let mut warm = unbounded.session();
     for tq in &trace {
-        unbounded.execute(&tq.query).expect("query");
+        warm.execute(&tq.query).expect("query");
     }
     let peak = unbounded.cache_stats().peak_bytes;
     println!(
@@ -33,14 +34,15 @@ fn main() {
     );
 
     // Pass 2: 20% budget — watch evictions happen while reuse continues.
-    let mut cfg = EngineConfig::default();
-    cfg.gc = GcConfig {
-        budget_bytes: Some(peak / 5),
-        ..GcConfig::default()
-    };
-    let mut tight = Engine::new(generate(TpchConfig::new(0.02, 42)), cfg);
+    let tight = Database::builder(generate(TpchConfig::new(0.02, 42)))
+        .gc(GcConfig {
+            budget_bytes: Some(peak / 5),
+            ..GcConfig::default()
+        })
+        .build();
+    let mut session = tight.session();
     for (i, tq) in trace.iter().enumerate() {
-        tight.execute(&tq.query).expect("query");
+        session.execute(&tq.query).expect("query");
         let s = tight.cache_stats();
         if i % 6 == 0 {
             println!(

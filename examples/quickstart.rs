@@ -6,7 +6,7 @@
 //! cargo run --example quickstart --release
 //! ```
 
-use hashstash::{Engine, EngineConfig};
+use hashstash::Database;
 use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder};
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_types::Value;
@@ -16,9 +16,10 @@ fn main() {
     let catalog = generate(TpchConfig::new(0.02, 42));
     println!("tables: {:?}", catalog.table_names());
 
-    // 2. An engine with the HashStash strategy (reuse-aware optimizer +
-    //    hash-table cache).
-    let mut engine = Engine::new(catalog, EngineConfig::default());
+    // 2. A database with the HashStash policy (reuse-aware optimizer +
+    //    hash-table cache) and a session to drive queries through.
+    let db = Database::open(catalog);
+    let mut session = db.session();
 
     // 3. TPC-H Q3-style query: 3-way join + aggregation.
     //    SELECT c_age, SUM(l_quantity)
@@ -26,8 +27,18 @@ fn main() {
     //    WHERE l_shipdate >= 1996-03-01 GROUP BY c_age
     let query = |id: u32, ship: (i32, u32, u32)| {
         QueryBuilder::new(id)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
-            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_orderkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
             .filter(
                 "lineitem.l_shipdate",
                 Interval::at_least(Value::date_ymd(ship.0, ship.1, ship.2)),
@@ -38,7 +49,7 @@ fn main() {
             .expect("valid query")
     };
 
-    let first = engine.execute(&query(1, (1996, 3, 1))).expect("first run");
+    let first = session.execute(&query(1, (1996, 3, 1))).expect("first run");
     println!(
         "first run : {} groups in {:.2?} (hash tables built, then cached)",
         first.rows.len(),
@@ -47,7 +58,9 @@ fn main() {
 
     // 4. A follow-up query with a *wider* predicate: partial reuse — only
     //    the missing two months are scanned and added to the cached tables.
-    let second = engine.execute(&query(2, (1996, 1, 1))).expect("second run");
+    let second = session
+        .execute(&query(2, (1996, 1, 1)))
+        .expect("second run");
     println!(
         "second run: {} groups in {:.2?} (reuse decisions: {:?})",
         second.rows.len(),
@@ -59,7 +72,7 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    let stats = engine.cache_stats();
+    let stats = db.cache_stats();
     println!(
         "cache: {} tables, {} reuses, hit-ratio {:.2}, {:.1} KB",
         stats.entries,

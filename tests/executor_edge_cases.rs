@@ -1,7 +1,7 @@
 //! Edge-case and failure-injection tests for the executor and engine:
 //! empty inputs, degenerate predicates, eviction races and cache poisoning.
 
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{decision_string, Database, EngineStrategy};
 use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder, QuerySpec};
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_storage::{Catalog, TableBuilder};
@@ -13,7 +13,12 @@ fn catalog() -> Catalog {
 
 fn q_age(id: u32, lo: i64, hi: i64) -> QuerySpec {
     QueryBuilder::new(id)
-        .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+        .join(
+            "customer",
+            "customer.c_custkey",
+            "orders",
+            "orders.o_custkey",
+        )
         .filter(
             "customer.c_age",
             Interval::closed(Value::Int(lo), Value::Int(hi)),
@@ -26,7 +31,7 @@ fn q_age(id: u32, lo: i64, hi: i64) -> QuerySpec {
 
 #[test]
 fn empty_predicate_range_yields_empty_result() {
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    let mut engine = Database::open(catalog()).session();
     // c_age in [200, 300] matches nothing (domain is 18..92).
     let r = engine.execute(&q_age(1, 200, 300)).unwrap();
     assert!(r.rows.is_empty());
@@ -38,14 +43,14 @@ fn empty_predicate_range_yields_empty_result() {
 
 #[test]
 fn inverted_range_is_empty_not_an_error() {
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    let mut engine = Database::open(catalog()).session();
     let r = engine.execute(&q_age(1, 80, 20)).unwrap();
     assert!(r.rows.is_empty());
 }
 
 #[test]
 fn single_table_aggregate_without_joins() {
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    let mut engine = Database::open(catalog()).session();
     let q = QueryBuilder::new(1)
         .table("customer")
         .group_by("customer.c_mktsegment")
@@ -57,7 +62,12 @@ fn single_table_aggregate_without_joins() {
     let total: i64 = r.rows.iter().map(|row| row.get(1).as_int().unwrap()).sum();
     assert_eq!(
         total as usize,
-        engine.catalog().get("customer").unwrap().row_count()
+        engine
+            .database()
+            .catalog()
+            .get("customer")
+            .unwrap()
+            .row_count()
     );
     // Run again: exact reuse of the aggregate table.
     let r2 = engine.execute(&q).unwrap();
@@ -67,7 +77,7 @@ fn single_table_aggregate_without_joins() {
 
 #[test]
 fn aggregate_without_group_by_returns_one_row() {
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    let mut engine = Database::open(catalog()).session();
     let q = QueryBuilder::new(1)
         .table("orders")
         .filter(
@@ -95,9 +105,14 @@ fn empty_base_table_join() {
     )
     .finish();
     cat.register(empty);
-    let mut engine = Engine::new(cat, EngineConfig::default());
+    let mut engine = Database::open(cat).session();
     let q = QueryBuilder::new(1)
-        .join("promo", "promo.pr_custkey", "customer", "customer.c_custkey")
+        .join(
+            "promo",
+            "promo.pr_custkey",
+            "customer",
+            "customer.c_custkey",
+        )
         .group_by("customer.c_age")
         .agg(AggExpr::new(AggFunc::Count, "promo.pr_pct"))
         .build()
@@ -108,7 +123,7 @@ fn empty_base_table_join() {
 
 #[test]
 fn min_max_aggregates_on_dates() {
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    let mut engine = Database::open(catalog()).session();
     let q = QueryBuilder::new(1)
         .table("orders")
         .group_by("orders.o_custkey")
@@ -129,8 +144,11 @@ fn min_max_aggregates_on_dates() {
 fn alternating_queries_stress_cache_transitions() {
     // Alternate between two shapes so the cache flips between candidates;
     // verify against no-reuse at every step.
-    let mut hs = Engine::new(catalog(), EngineConfig::default());
-    let mut ns = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+    let mut hs = Database::open(catalog()).session();
+    let mut ns = Database::builder(catalog())
+        .strategy(EngineStrategy::NoReuse)
+        .build()
+        .session();
     for i in 0..10u32 {
         let q = if i % 2 == 0 {
             q_age(i, 20 + i as i64, 60 + i as i64)
@@ -159,7 +177,7 @@ fn alternating_queries_stress_cache_transitions() {
 
 #[test]
 fn unknown_table_is_a_clean_error() {
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    let mut engine = Database::open(catalog()).session();
     let q = QueryBuilder::new(1)
         .table("no_such_table")
         .agg(AggExpr::new(AggFunc::Count, "no_such_table.x"))
@@ -171,12 +189,12 @@ fn unknown_table_is_a_clean_error() {
 
 #[test]
 fn decision_string_marks_eliminated_operators() {
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
+    let mut engine = Database::open(catalog()).session();
     let q = q_age(1, 20, 80);
     engine.execute(&q).unwrap();
     // Identical query: aggregate exact-reuse eliminates the join entirely.
     let r = engine.execute(&q_age(2, 20, 80)).unwrap();
-    let s = Engine::decision_string(&r, &["customer.", "agg"]);
+    let s = decision_string(&r, &["customer.", "agg"]);
     assert_eq!(s.len(), 2);
     assert!(
         s == "XS" || s == "SS",

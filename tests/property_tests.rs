@@ -17,9 +17,8 @@ use hashstash_types::Value;
 // ---------------------------------------------------------------------
 
 fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0i64..100, 0i64..100).prop_map(|(a, b)| {
-        Interval::closed(Value::Int(a.min(b)), Value::Int(a.max(b)))
-    })
+    (0i64..100, 0i64..100)
+        .prop_map(|(a, b)| Interval::closed(Value::Int(a.min(b)), Value::Int(a.max(b))))
 }
 
 /// A box over up to two attributes `x`, `y`.
@@ -210,13 +209,18 @@ proptest! {
 
 mod optimizer_props {
     use super::*;
-    use hashstash::{Engine, EngineConfig, EngineStrategy};
+    use hashstash::{Database, EngineStrategy};
     use hashstash_plan::{AggExpr, AggFunc, QueryBuilder, QuerySpec};
     use hashstash_storage::tpch::{generate, TpchConfig};
 
     fn random_query(id: u32, lo: i64, hi: i64, drill: bool) -> QuerySpec {
         let mut b = QueryBuilder::new(id)
-            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
             .filter(
                 "customer.c_age",
                 Interval::closed(Value::Int(lo.min(hi)), Value::Int(lo.max(hi))),
@@ -226,7 +230,12 @@ mod optimizer_props {
             .agg(AggExpr::new(AggFunc::Avg, "orders.o_totalprice"));
         if drill {
             b = b
-                .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+                .join(
+                    "orders",
+                    "orders.o_orderkey",
+                    "lineitem",
+                    "lineitem.l_orderkey",
+                )
                 .agg(AggExpr::new(AggFunc::Sum, "lineitem.l_quantity"));
         }
         b.build().expect("valid")
@@ -255,11 +264,11 @@ mod optimizer_props {
             bounds in proptest::collection::vec((18i64..92, 18i64..92, any::<bool>()), 3..6)
         ) {
             let catalog = generate(TpchConfig::new(0.002, 555));
-            let mut hs = Engine::new(catalog.clone(), EngineConfig::default());
-            let mut ns = Engine::new(
-                catalog,
-                EngineConfig::with_strategy(EngineStrategy::NoReuse),
-            );
+            let mut hs = Database::open(catalog.clone()).session();
+            let mut ns = Database::builder(catalog)
+                .strategy(EngineStrategy::NoReuse)
+                .build()
+                .session();
             for (i, (lo, hi, drill)) in bounds.iter().enumerate() {
                 let q = random_query(i as u32, *lo, *hi, *drill);
                 let got = normalized(hs.execute(&q).unwrap().rows);

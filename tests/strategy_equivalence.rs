@@ -1,9 +1,10 @@
-//! Cross-crate integration tests: every reuse strategy must produce the
+//! Cross-crate integration tests: every reuse policy must produce the
 //! same answers as plain execution, across whole exploration sessions and
-//! batches, with and without garbage collection.
+//! batches, with and without garbage collection — and the deprecated
+//! `Engine` shim (the pre-0.2 API surface) must agree query-for-query
+//! with the new `Database`/`Session` facade.
 
-use hashstash::engine::BatchMode;
-use hashstash::{Engine, EngineConfig, EngineStrategy};
+use hashstash::{BatchMode, Database, EngineStrategy};
 use hashstash_cache::GcConfig;
 use hashstash_storage::tpch::{generate, TpchConfig};
 use hashstash_types::Row;
@@ -40,10 +41,13 @@ fn full_session_equivalence_across_strategies() {
         structural_prob: 0.3,
     });
     let reference: Vec<_> = {
-        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+        let mut session = Database::builder(catalog())
+            .strategy(EngineStrategy::NoReuse)
+            .build()
+            .session();
         trace
             .iter()
-            .map(|tq| normalized(engine.execute(&tq.query).unwrap().rows))
+            .map(|tq| normalized(session.execute(&tq.query).unwrap().rows))
             .collect()
     };
     for strategy in [
@@ -51,33 +55,120 @@ fn full_session_equivalence_across_strategies() {
         EngineStrategy::Materialized,
         EngineStrategy::AlwaysShare,
     ] {
-        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(strategy));
+        let mut session = Database::builder(catalog())
+            .strategy(strategy)
+            .build()
+            .session();
         for (i, tq) in trace.iter().enumerate() {
-            let got = normalized(engine.execute(&tq.query).unwrap().rows);
+            let got = normalized(session.execute(&tq.query).unwrap().rows);
             assert_eq!(got, reference[i], "{strategy:?} diverges at query {i}");
         }
     }
 }
 
+/// The deprecated `Engine` shim (old single-session API, `EngineConfig`
+/// knobs) must reproduce the new facade decision-for-decision and
+/// row-for-row for all five built-in configurations — i.e. the old API
+/// surface maps losslessly onto the policy-based dispatch. (The pre-0.2
+/// enum *implementation* was deleted in the same release, so this guards
+/// the shim's config translation, not the deleted code.)
+#[test]
+#[allow(deprecated)]
+fn legacy_engine_shim_matches_new_facade() {
+    use hashstash::{Engine, EngineConfig};
+
+    let trace = generate_trace(TraceConfig {
+        reuse: ReusePotential::High,
+        queries: 12,
+        seed: 21,
+        structural_prob: 0.25,
+    });
+    for strategy in [
+        EngineStrategy::HashStash,
+        EngineStrategy::NoReuse,
+        EngineStrategy::Materialized,
+        EngineStrategy::AlwaysShare,
+        EngineStrategy::NeverShare,
+    ] {
+        let mut legacy = Engine::new(catalog(), EngineConfig::with_strategy(strategy));
+        let db = Database::builder(catalog()).strategy(strategy).build();
+        let mut session = db.session();
+        for (i, tq) in trace.iter().enumerate() {
+            let old = legacy.execute(&tq.query).unwrap();
+            let new = session.execute(&tq.query).unwrap();
+            assert_eq!(
+                normalized(old.rows),
+                normalized(new.rows),
+                "{strategy:?} rows diverge at query {i}"
+            );
+            // Same reuse decisions at every pipeline breaker.
+            assert_eq!(
+                old.decisions, new.decisions,
+                "{strategy:?} reuse decisions diverge at query {i}"
+            );
+        }
+        // Same cache behavior overall.
+        assert_eq!(
+            legacy.cache_stats().publishes,
+            db.cache_stats().publishes,
+            "{strategy:?} publish counts diverge"
+        );
+        assert_eq!(
+            legacy.cache_stats().reuses,
+            db.cache_stats().reuses,
+            "{strategy:?} reuse counts diverge"
+        );
+    }
+}
+
+/// Builder defaults must match the documented invariants (and the old
+/// `EngineConfig::default()` semantics).
+#[test]
+fn builder_default_invariants() {
+    let db = Database::builder(catalog()).build();
+    assert_eq!(db.policy().name(), "hashstash", "default policy");
+    assert!(!db.policy().materialize());
+    assert!(!db.policy().prefer_reuse());
+    assert_eq!(db.cache_stats().publishes, 0, "cache starts empty");
+    assert_eq!(db.cache_stats().bytes, 0);
+    assert_eq!(db.temp_stats().publishes, 0, "temp cache starts empty");
+    assert_eq!(db.total_stats().queries, 0);
+
+    // The five named strategies map onto the five built-in policies.
+    for (strategy, name) in [
+        (EngineStrategy::HashStash, "hashstash"),
+        (EngineStrategy::NoReuse, "no-reuse"),
+        (EngineStrategy::Materialized, "materialized"),
+        (EngineStrategy::AlwaysShare, "always-share"),
+        (EngineStrategy::NeverShare, "never-share"),
+    ] {
+        assert_eq!(strategy.policy().name(), name);
+    }
+}
+
 #[test]
 fn exp2_session_equivalence() {
-    let session = exp2_session();
+    let session_steps = exp2_session();
     let reference: Vec<_> = {
-        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
-        session
+        let mut session = Database::builder(catalog())
+            .strategy(EngineStrategy::NoReuse)
+            .build()
+            .session();
+        session_steps
             .iter()
-            .map(|s| normalized(engine.execute(&s.query).unwrap().rows))
+            .map(|s| normalized(session.execute(&s.query).unwrap().rows))
             .collect()
     };
-    let mut engine = Engine::new(catalog(), EngineConfig::default());
-    for (i, s) in session.iter().enumerate() {
-        let got = normalized(engine.execute(&s.query).unwrap().rows);
+    let db = Database::open(catalog());
+    let mut session = db.session();
+    for (i, s) in session_steps.iter().enumerate() {
+        let got = normalized(session.execute(&s.query).unwrap().rows);
         assert_eq!(got, reference[i], "{} diverges", s.name);
     }
     assert!(
-        engine.cache_stats().reuses >= 3,
+        db.cache_stats().reuses >= 3,
         "the session must exercise reuse (got {})",
-        engine.cache_stats().reuses
+        db.cache_stats().reuses
     );
 }
 
@@ -91,15 +182,17 @@ fn batch_modes_equivalent_over_trace_batches() {
     });
     for batch in batches(&trace, 8) {
         let reference: Vec<_> = {
-            let mut engine =
-                Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+            let mut session = Database::builder(catalog())
+                .strategy(EngineStrategy::NoReuse)
+                .build()
+                .session();
             batch
                 .iter()
-                .map(|q| normalized(engine.execute(q).unwrap().rows))
+                .map(|q| normalized(session.execute(q).unwrap().rows))
                 .collect()
         };
-        let mut engine = Engine::new(catalog(), EngineConfig::default());
-        let results = engine
+        let mut session = Database::open(catalog()).session();
+        let results = session
             .execute_batch(&batch, BatchMode::SharedWithReuse)
             .unwrap();
         for (i, r) in results.iter().enumerate() {
@@ -121,44 +214,47 @@ fn gc_does_not_change_answers() {
         structural_prob: 0.2,
     });
     let reference: Vec<_> = {
-        let mut engine = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+        let mut session = Database::builder(catalog())
+            .strategy(EngineStrategy::NoReuse)
+            .build()
+            .session();
         trace
             .iter()
-            .map(|tq| normalized(engine.execute(&tq.query).unwrap().rows))
+            .map(|tq| normalized(session.execute(&tq.query).unwrap().rows))
             .collect()
     };
     // Brutal budget: 64 KB forces constant eviction.
-    let mut cfg = EngineConfig::default();
-    cfg.gc = GcConfig {
-        budget_bytes: Some(64 * 1024),
-        ..GcConfig::default()
-    };
-    let mut engine = Engine::new(catalog(), cfg);
+    let db = Database::builder(catalog())
+        .gc(GcConfig {
+            budget_bytes: Some(64 * 1024),
+            ..GcConfig::default()
+        })
+        .build();
+    let mut session = db.session();
     for (i, tq) in trace.iter().enumerate() {
-        let got = normalized(engine.execute(&tq.query).unwrap().rows);
+        let got = normalized(session.execute(&tq.query).unwrap().rows);
         assert_eq!(got, reference[i], "GC engine diverges at query {i}");
-        assert!(engine.cache_stats().bytes <= 64 * 1024);
+        assert!(db.cache_stats().bytes <= 64 * 1024);
     }
-    assert!(engine.cache_stats().evictions > 0, "budget forced evictions");
+    assert!(db.cache_stats().evictions > 0, "budget forced evictions");
 }
 
 #[test]
 fn zero_budget_cache_still_correct() {
-    let mut cfg = EngineConfig::default();
-    cfg.gc = GcConfig {
-        budget_bytes: Some(0),
-        ..GcConfig::default()
-    };
-    let mut engine = Engine::new(catalog(), cfg);
+    let db = Database::builder(catalog()).gc_budget(0).build();
+    let mut session = db.session();
     let trace = generate_trace(TraceConfig {
         reuse: ReusePotential::High,
         queries: 6,
         seed: 77,
         structural_prob: 0.0,
     });
-    let mut reference = Engine::new(catalog(), EngineConfig::with_strategy(EngineStrategy::NoReuse));
+    let mut reference = Database::builder(catalog())
+        .strategy(EngineStrategy::NoReuse)
+        .build()
+        .session();
     for tq in &trace {
-        let got = normalized(engine.execute(&tq.query).unwrap().rows);
+        let got = normalized(session.execute(&tq.query).unwrap().rows);
         let want = normalized(reference.execute(&tq.query).unwrap().rows);
         assert_eq!(got, want);
     }
