@@ -58,9 +58,9 @@ fn benches(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("never_share", n), &n, |b, _| {
             let plan = fresh_plan();
             b.iter(|| {
-                let mut htm = HtManager::new(GcConfig::default());
-                let mut temps = TempTableCache::unbounded();
-                let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+                let htm = HtManager::new(GcConfig::default());
+                let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+                let mut ctx = ExecContext::new(&cat, &htm, &temps);
                 execute(&plan, &mut ctx).unwrap().1.len()
             });
         });
@@ -73,11 +73,11 @@ fn benches(c: &mut Criterion) {
             let schema = Schema::new(vec![Field::new("dim.d_key", DataType::Int)]);
             b.iter_batched(
                 || {
-                    let mut htm = HtManager::new(GcConfig::default());
+                    let htm = HtManager::new(GcConfig::default());
                     let id = htm.publish(fingerprint(), schema.clone(), StoredHt::Join(ht.clone()));
                     (htm, id)
                 },
-                |(mut htm, id)| {
+                |(htm, id)| {
                     let plan = PhysicalPlan::HashJoin {
                         probe: Box::new(PhysicalPlan::Scan(ScanSpec::full("fact"))),
                         build: None,
@@ -88,12 +88,13 @@ fn benches(c: &mut Criterion) {
                             case: ReuseCase::Exact,
                             post_filter: None,
                             request_region: Region::all(),
+                            cached_region: Region::all(),
                             schema: schema.clone(),
                         }),
                         publish: None,
                     };
-                    let mut temps = TempTableCache::unbounded();
-                    let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+                    let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+                    let mut ctx = ExecContext::new(&cat, &htm, &temps);
                     execute(&plan, &mut ctx).unwrap().1.len()
                 },
                 criterion::BatchSize::LargeInput,

@@ -1,0 +1,137 @@
+//! Exp 7: multi-session throughput scaling on the sharded, `Arc`-backed
+//! reuse cache.
+//!
+//! PR 1's facade serialized every query on one reuse-cache mutex held from
+//! optimization through execution. This experiment drives T ∈ {1, 2, 4, 8}
+//! concurrent sessions of *exact-match reuse* queries against one warmed
+//! `Database` and reports queries/second per thread count — the lock-free
+//! read path should scale with threads, which the old design could not.
+//!
+//! Output: a human-readable table plus `BENCH_concurrency.json` (consumed
+//! by CI as an artifact). Smoke mode (`HASHSTASH_SMOKE=1`) shrinks the
+//! scale factor and iteration count so the run finishes in seconds.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use hashstash::Database;
+use hashstash_bench::common::{header, ms, seed};
+use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder, QuerySpec};
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_types::Value;
+
+fn smoke() -> bool {
+    std::env::var("HASHSTASH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The query grid: a handful of join+aggregate shapes with fixed
+/// predicates, so after the warm-up every execution is exact-match reuse —
+/// the read-only path whose concurrency this experiment measures.
+fn grid() -> Vec<QuerySpec> {
+    (0..4u32)
+        .map(|i| {
+            QueryBuilder::new(i)
+                .join(
+                    "customer",
+                    "customer.c_custkey",
+                    "orders",
+                    "orders.o_custkey",
+                )
+                .filter(
+                    "customer.c_age",
+                    Interval::closed(Value::Int(20 + i as i64 * 5), Value::Int(60 + i as i64 * 5)),
+                )
+                .group_by("customer.c_age")
+                .agg(AggExpr::new(AggFunc::Count, "orders.o_orderkey"))
+                .build()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = smoke();
+    let sf = if smoke { 0.01 } else { 0.05 };
+    let iters = if smoke { 24 } else { 120 };
+    let thread_counts = [1usize, 2, 4, 8];
+
+    header("Exp 7: multi-session throughput (sharded HtManager)");
+    println!("scale factor {sf}, {iters} queries/thread, smoke={smoke}");
+
+    let db = Database::builder(generate(TpchConfig::new(sf, seed()))).build();
+    let queries = Arc::new(grid());
+
+    // Warm-up: publish every shape's tables once.
+    let mut warm = db.session();
+    for q in queries.iter() {
+        warm.execute(q).unwrap();
+    }
+    assert!(
+        db.cache_stats().publishes > 0,
+        "warm-up must populate the cache"
+    );
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                let queries = Arc::clone(&queries);
+                thread::spawn(move || {
+                    let mut session = db.session();
+                    let mut reused = 0usize;
+                    for k in 0..iters {
+                        let q = &queries[(k + t) % queries.len()];
+                        let r = session.execute(q).unwrap();
+                        if r.decisions.iter().any(|(_, c)| c.is_some()) {
+                            reused += 1;
+                        }
+                    }
+                    reused
+                })
+            })
+            .collect();
+        let mut reused_total = 0usize;
+        for h in handles {
+            reused_total += h.join().expect("worker panicked");
+        }
+        let wall = t0.elapsed();
+        let total_queries = threads * iters;
+        let qps = total_queries as f64 / wall.as_secs_f64();
+        println!(
+            "{threads:>2} threads: {total_queries:>5} queries in {:>9.2} ms  →  {qps:>9.1} q/s  ({reused_total} reused)",
+            ms(wall)
+        );
+        rows.push((threads, ms(wall), qps, reused_total));
+    }
+
+    let single_qps = rows[0].2;
+    let results: Vec<String> = rows
+        .iter()
+        .map(|(threads, wall_ms, qps, reused)| {
+            format!(
+                "    {{\"threads\": {threads}, \"wall_ms\": {wall_ms:.3}, \"qps\": {qps:.1}, \"reused_queries\": {reused}, \"speedup\": {:.3}}}",
+                qps / single_qps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"concurrency\",\n  \"smoke\": {smoke},\n  \"scale_factor\": {sf},\n  \"queries_per_thread\": {iters},\n  \"shards\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        db.cache().num_shards(),
+        results.join(",\n")
+    );
+    let mut f = std::fs::File::create("BENCH_concurrency.json").expect("write results");
+    f.write_all(json.as_bytes()).unwrap();
+    println!("\nwrote BENCH_concurrency.json");
+
+    for (threads, _, qps, _) in &rows {
+        if *threads >= 4 && *qps <= single_qps {
+            println!(
+                "WARNING: {threads}-thread throughput ({qps:.1} q/s) did not exceed single-session ({single_qps:.1} q/s)"
+            );
+        }
+    }
+}

@@ -9,18 +9,25 @@
 //!   (optionally qid-tagged), aggregate accumulator states, and raw grouped
 //!   rows for shared aggregates.
 //! * [`manager::HtManager`] — publish / candidates / checkout / checkin /
-//!   release life-cycle. Only one query may reuse a given table at a time
-//!   (paper §2.2), enforced by the checkout protocol.
+//!   release life-cycle. The manager is *sharded by fingerprint shape* and
+//!   all methods take `&self`, so any number of sessions can use it
+//!   concurrently. Cached tables are `Arc`-backed: read-only reuse shares a
+//!   handle clone between any number of queries, while mutating reuse
+//!   (partial/overlapping) is copy-on-write under the paper's single-reuser
+//!   rule (§2.2) — enforced only where mutation actually happens. Checkouts
+//!   are RAII guards: error paths and panics release the table instead of
+//!   leaking it.
 //! * [`recycle`] — the recycle-graph-style lineage index: candidate lookup
 //!   is pruned to nodes that actually reference a cached hash table
 //!   (paper §3.3).
 //! * [`manager::GcConfig`] — coarse-grained LRU eviction of whole tables
-//!   (paper §5), with optional alternative policies for ablation studies.
+//!   (paper §5) under a budget shared across shards, with optional
+//!   alternative policies for ablation studies.
 
 pub mod manager;
 pub mod payload;
 pub mod recycle;
 
-pub use manager::{CacheStats, CheckedOut, EvictionPolicy, GcConfig, HtManager};
+pub use manager::{CacheStats, CheckedOut, EvictionPolicy, GcConfig, HtManager, DEFAULT_SHARDS};
 pub use payload::{AggAccum, AggPayload, StoredHt, TaggedRow};
 pub use recycle::RecycleGraph;

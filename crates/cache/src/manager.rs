@@ -1,13 +1,43 @@
 //! The hash-table cache and its garbage collector.
+//!
+//! # Concurrency model
+//!
+//! The manager is sharded by the *shape key* of each table's fingerprint
+//! (operator kind, base tables, join edges, hash keys — the recycle-graph
+//! bucketing): every shard owns an independent mutex over its entry map and
+//! recycle-graph slice, so sessions touching unrelated plan shapes never
+//! contend. The memory budget and all statistics are process-wide atomics
+//! shared across shards.
+//!
+//! Cached tables are stored as `Arc<StoredHt>` handles:
+//!
+//! * [`HtManager::checkout`] — *shared* checkout for read-only reuse (exact
+//!   and subsuming): clones the handle, so any number of queries can probe
+//!   the same table concurrently. No lock is held while the table is in use.
+//! * [`HtManager::checkout_mut`] — *exclusive* checkout for mutating reuse
+//!   (partial/overlapping delta insertion, shared-plan re-tagging). Only one
+//!   writer per table at a time — the paper's single-reuser rule (§2.2) is
+//!   enforced exactly where mutation happens. Writers copy-on-write via
+//!   [`Arc::make_mut`], so concurrent readers keep probing their immutable
+//!   snapshot; the new version is published at [`CheckedOut::checkin`].
+//!
+//! Both checkouts return an RAII [`CheckedOut`] guard: dropping it (error
+//! return, panic, or plain completion of a read-only reuse) releases the
+//! table back to the cache, so an executor error path can never strand an
+//! entry as permanently checked out.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use hashstash_types::{HsError, HtId, Result, Schema};
 
 use hashstash_plan::HtFingerprint;
 
 use crate::payload::StoredHt;
-use crate::recycle::RecycleGraph;
+use crate::recycle::{RecycleGraph, ShapeKey};
 
 /// Eviction policy for the coarse-grained garbage collector.
 ///
@@ -29,7 +59,7 @@ pub enum EvictionPolicy {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GcConfig {
     /// Memory budget for all cached tables; `None` disables eviction
-    /// (the paper's "wo GC" mode).
+    /// (the paper's "wo GC" mode). The budget is shared across shards.
     pub budget_bytes: Option<usize>,
     /// Which table to evict when over budget.
     pub policy: EvictionPolicy,
@@ -45,14 +75,13 @@ pub struct GcConfig {
 pub struct CacheStats {
     /// Hash tables ever published into the cache.
     pub publishes: u64,
-    /// Checkouts for reuse.
+    /// Checkouts for reuse (shared and exclusive).
     pub reuses: u64,
     /// Tables evicted by the GC.
     pub evictions: u64,
     /// Candidate lookups served.
     pub candidate_lookups: u64,
-    /// Current footprint in bytes (checked-out tables count at their size
-    /// when last seen).
+    /// Current footprint in bytes.
     pub bytes: usize,
     /// Current number of cached tables.
     pub entries: usize,
@@ -75,30 +104,140 @@ impl CacheStats {
 struct CacheEntry {
     fingerprint: HtFingerprint,
     schema: Schema,
-    /// `None` while checked out by a query.
-    ht: Option<StoredHt>,
+    /// The shared table handle. Readers clone it; writers replace it at
+    /// check-in (copy-on-write).
+    ht: Arc<StoredHt>,
     bytes: usize,
     last_used: u64,
     use_count: u64,
+    /// Outstanding shared (read-only) checkouts.
+    readers: u32,
+    /// Whether an exclusive (mutating) checkout is outstanding.
+    writer: bool,
     /// Fine-grained mode: one timestamp per arena slot.
     entry_stamps: Option<Vec<u64>>,
 }
 
-/// A cached table checked out for exclusive reuse by one query.
+impl CacheEntry {
+    /// Pinned entries are never evicted and never dropped.
+    fn pinned(&self) -> bool {
+        self.readers > 0 || self.writer
+    }
+}
+
+/// How a [`CheckedOut`] guard holds its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckoutMode {
+    /// Read-only handle clone; any number may coexist.
+    Shared,
+    /// Mutating copy-on-write checkout; at most one per table.
+    Exclusive,
+}
+
+/// An RAII guard over a cached table checked out by one query.
 ///
-/// The paper allows "only one query to reuse a hash-table in the cache at a
-/// time" (§2.2); ownership transfer enforces that statically.
+/// Shared guards ([`HtManager::checkout`]) give read-only access through
+/// [`CheckedOut::table`]. Exclusive guards ([`HtManager::checkout_mut`])
+/// additionally allow [`CheckedOut::table_mut`] (copy-on-write) and publish
+/// their new version — typically with a widened `fingerprint` — via
+/// [`CheckedOut::checkin`].
+///
+/// Dropping a guard without checking in releases the pin: a shared guard
+/// simply decrements the reader count, an exclusive guard abandons its
+/// private copy and leaves the cached version untouched. Either way the
+/// entry stays available and correctly accounted — error paths and panics
+/// cannot leak a checked-out table.
 #[derive(Debug)]
-pub struct CheckedOut {
-    /// Identity in the cache; pass back to [`HtManager::checkin`].
+pub struct CheckedOut<'m> {
+    mgr: &'m HtManager,
+    /// Identity in the cache.
     pub id: HtId,
     /// Lineage at checkout time. Mutating reuses (partial/overlapping)
-    /// update the region before check-in.
+    /// widen the region before [`CheckedOut::checkin`].
     pub fingerprint: HtFingerprint,
     /// Payload schema (qualified attribute names → types).
     pub schema: Schema,
-    /// The table itself.
-    pub ht: StoredHt,
+    ht: Arc<StoredHt>,
+    mode: CheckoutMode,
+    active: bool,
+}
+
+impl CheckedOut<'_> {
+    /// Read-only view of the table.
+    pub fn table(&self) -> &StoredHt {
+        &self.ht
+    }
+
+    /// Whether this guard may mutate the table.
+    pub fn is_exclusive(&self) -> bool {
+        self.mode == CheckoutMode::Exclusive
+    }
+
+    /// Mutable access via copy-on-write. Only exclusive guards may mutate;
+    /// concurrent readers keep their pre-mutation snapshot.
+    ///
+    /// Note the cost: because the cache entry keeps its own handle, the
+    /// first `table_mut` call always copies the table. That copy is the
+    /// deliberate price of abandon-on-drop semantics (an executor error
+    /// after partial mutation leaves the cached version pristine) and of
+    /// letting readers keep probing during the mutation; the cost model
+    /// does not yet charge it to partial reuse (see ROADMAP).
+    pub fn table_mut(&mut self) -> Result<&mut StoredHt> {
+        if self.mode != CheckoutMode::Exclusive {
+            return Err(HsError::CacheError(format!(
+                "{} checked out shared (read-only); use checkout_mut to mutate",
+                self.id
+            )));
+        }
+        Ok(Arc::make_mut(&mut self.ht))
+    }
+
+    /// A cheap owned handle on the current version of the table (used by
+    /// shared plans that check in early and keep reading).
+    pub fn snapshot(&self) -> Arc<StoredHt> {
+        Arc::clone(&self.ht)
+    }
+
+    /// The common epilogue of a mutating (delta) reuse: widen the lineage
+    /// region by the requesting operator's region, publish the new version,
+    /// and hand back an immutable snapshot so the caller can keep reading
+    /// (probing, output production) without holding the writer slot.
+    pub fn checkin_widened(
+        mut self,
+        request_region: &hashstash_plan::Region,
+    ) -> Result<Arc<StoredHt>> {
+        self.fingerprint.region = self.fingerprint.region.union(request_region);
+        let snapshot = self.snapshot();
+        self.checkin()?;
+        Ok(snapshot)
+    }
+
+    /// Publish this guard's (possibly mutated) table version and updated
+    /// `fingerprint`/`schema` back to the cache. A no-op release for shared
+    /// guards, which cannot have changed anything.
+    pub fn checkin(mut self) -> Result<()> {
+        self.active = false;
+        match self.mode {
+            CheckoutMode::Shared => {
+                self.mgr.release(self.id, self.mode);
+                Ok(())
+            }
+            CheckoutMode::Exclusive => self.mgr.commit_checkin(
+                self.id,
+                self.fingerprint.clone(),
+                self.schema.clone(),
+                Arc::clone(&self.ht),
+            ),
+        }
+    }
+}
+
+impl Drop for CheckedOut<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            self.mgr.release(self.id, self.mode);
+        }
+    }
 }
 
 /// Candidate description handed to the optimizer for costing.
@@ -115,27 +254,92 @@ pub struct Candidate {
     pub bytes: usize,
 }
 
-/// The Hash Table Manager.
-#[derive(Debug)]
-pub struct HtManager {
+/// Snapshot of the fields eviction policies compare, so the victim search
+/// can scan shards one at a time without holding several locks.
+#[derive(Debug, Clone, Copy)]
+struct VictimKey {
+    last_used: u64,
+    use_count: u64,
+    bytes: usize,
+}
+
+impl VictimKey {
+    fn of(e: &CacheEntry) -> Self {
+        VictimKey {
+            last_used: e.last_used,
+            use_count: e.use_count,
+            bytes: e.bytes,
+        }
+    }
+
+    fn better_victim(&self, other: &VictimKey, policy: EvictionPolicy) -> bool {
+        match policy {
+            EvictionPolicy::Lru => self.last_used < other.last_used,
+            EvictionPolicy::Lfu => {
+                (self.use_count, self.last_used) < (other.use_count, other.last_used)
+            }
+            EvictionPolicy::BenefitWeighted => {
+                let da = (self.use_count + 1) as f64 / self.bytes.max(1) as f64;
+                let db = (other.use_count + 1) as f64 / other.bytes.max(1) as f64;
+                da < db || (da == db && self.last_used < other.last_used)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ShardState {
     entries: HashMap<HtId, CacheEntry>,
     recycle: RecycleGraph,
-    gc: GcConfig,
-    next_id: u64,
-    clock: u64,
-    stats: CacheStats,
+}
+
+/// Default shard count: enough to keep 8-way session fan-out off a single
+/// lock without bloating tiny test caches.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The Hash Table Manager: a sharded, concurrently accessible cache.
+///
+/// All methods take `&self`; interior locking is per shard. See the module
+/// docs for the checkout/checkin concurrency model.
+#[derive(Debug)]
+pub struct HtManager {
+    shards: Vec<Mutex<ShardState>>,
+    gc: Mutex<GcConfig>,
+    next_id: AtomicU64,
+    clock: AtomicU64,
+    publishes: AtomicU64,
+    reuses: AtomicU64,
+    evictions: AtomicU64,
+    candidate_lookups: AtomicU64,
+    bytes: AtomicUsize,
+    entries: AtomicUsize,
+    peak_bytes: AtomicUsize,
 }
 
 impl HtManager {
-    /// Create a manager with the given GC configuration.
+    /// Create a manager with the given GC configuration and
+    /// [`DEFAULT_SHARDS`] shards.
     pub fn new(gc: GcConfig) -> Self {
+        HtManager::with_shards(gc, DEFAULT_SHARDS)
+    }
+
+    /// Create a manager with an explicit shard count (≥ 1).
+    pub fn with_shards(gc: GcConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
         HtManager {
-            entries: HashMap::new(),
-            recycle: RecycleGraph::new(),
-            gc,
-            next_id: 1,
-            clock: 0,
-            stats: CacheStats::default(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
+            gc: Mutex::new(gc),
+            next_id: AtomicU64::new(1),
+            clock: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            candidate_lookups: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
         }
     }
 
@@ -144,254 +348,502 @@ impl HtManager {
         HtManager::new(GcConfig::default())
     }
 
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    /// Number of independent shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
-    fn recompute_footprint(&mut self) {
-        self.stats.bytes = self.entries.values().map(|e| e.bytes).sum();
-        self.stats.entries = self.entries.len();
-        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.bytes);
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn gc(&self) -> GcConfig {
+        *self.gc.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, ShardState> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Shard owning tables of this fingerprint's shape (and the shape's
+    /// recycle-graph slice).
+    fn shard_of_shape(&self, fp: &HtFingerprint) -> usize {
+        let mut h = DefaultHasher::new();
+        ShapeKey::of(fp).hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Shard an id was homed in at publish time (encoded in the id).
+    fn shard_of_id(&self, id: HtId) -> usize {
+        (id.0 as usize) % self.shards.len()
+    }
+
+    fn add_bytes(&self, delta: usize) {
+        let now = self.bytes.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub_bytes(&self, delta: usize) {
+        self.bytes.fetch_sub(delta, Ordering::Relaxed);
     }
 
     /// Publish a hash table materialized by a pipeline breaker. Returns its
     /// cache id. May trigger evictions to respect the memory budget.
-    pub fn publish(&mut self, fingerprint: HtFingerprint, schema: Schema, ht: StoredHt) -> HtId {
-        let id = HtId(self.next_id);
-        self.next_id += 1;
+    pub fn publish(&self, fingerprint: HtFingerprint, schema: Schema, ht: StoredHt) -> HtId {
+        let shard = self.shard_of_shape(&fingerprint);
+        // Encode the home shard in the id so id-only operations (checkout,
+        // checkin, drop) find the right shard without a global index.
+        let raw = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = HtId(raw * self.shards.len() as u64 + shard as u64);
         let now = self.tick();
         let bytes = ht.logical_bytes();
-        let entry_stamps = self.gc.fine_grained.then(|| vec![now; ht.len()]);
-        self.recycle.add(&fingerprint, id);
-        self.entries.insert(
-            id,
-            CacheEntry {
-                fingerprint,
-                schema,
-                ht: Some(ht),
-                bytes,
-                last_used: now,
-                use_count: 0,
-                entry_stamps,
-            },
-        );
-        self.stats.publishes += 1;
-        self.recompute_footprint();
+        let entry_stamps = self.gc().fine_grained.then(|| vec![now; ht.len()]);
+        {
+            let mut state = self.lock_shard(shard);
+            state.recycle.add(&fingerprint, id);
+            state.entries.insert(
+                id,
+                CacheEntry {
+                    fingerprint,
+                    schema,
+                    ht: Arc::new(ht),
+                    bytes,
+                    last_used: now,
+                    use_count: 0,
+                    readers: 0,
+                    writer: false,
+                    entry_stamps,
+                },
+            );
+            // Count the bytes while still holding the shard lock: the entry
+            // is evictable the moment the lock drops, and a concurrent
+            // eviction must never subtract bytes the counter doesn't hold
+            // yet (usize underflow).
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            self.add_bytes(bytes);
+        }
+        self.publishes.fetch_add(1, Ordering::Relaxed);
         self.enforce_budget();
         id
     }
 
     /// Candidate tables whose producing sub-plan matches the request's
-    /// shape. Checked-out tables are excluded (single-reuser rule).
-    pub fn candidates(&mut self, request: &HtFingerprint) -> Vec<Candidate> {
-        self.stats.candidate_lookups += 1;
-        let ids = self.recycle.candidates(request);
-        ids.into_iter()
-            .filter_map(|id| {
-                let e = self.entries.get(&id)?;
-                let ht = e.ht.as_ref()?;
-                Some(Candidate {
-                    id,
-                    fingerprint: e.fingerprint.clone(),
-                    schema: e.schema.clone(),
-                    entries: ht.len(),
-                    distinct_keys: ht.distinct_keys(),
-                    tuple_width: ht.tuple_width(),
-                    bytes: ht.logical_bytes(),
-                })
-            })
-            .collect()
+    /// shape. Tables with an outstanding *mutating* checkout are excluded
+    /// (single-reuser rule for writers); tables held by readers remain
+    /// candidates — shared read-only reuse is the point of the Arc design.
+    pub fn candidates(&self, request: &HtFingerprint) -> Vec<Candidate> {
+        self.candidate_lookups.fetch_add(1, Ordering::Relaxed);
+        fn push_candidate(out: &mut Vec<Candidate>, state: &ShardState, id: HtId) {
+            let Some(e) = state.entries.get(&id) else {
+                return; // evicted between graph probe and entry lookup
+            };
+            if e.writer {
+                return;
+            }
+            out.push(Candidate {
+                id,
+                fingerprint: e.fingerprint.clone(),
+                schema: e.schema.clone(),
+                entries: e.ht.len(),
+                distinct_keys: e.ht.distinct_keys(),
+                tuple_width: e.ht.tuple_width(),
+                bytes: e.ht.logical_bytes(),
+            });
+        }
+
+        let shape_shard = self.shard_of_shape(request);
+        let mut out = Vec::new();
+        // Entries of this shape home in the shape's shard, so serve them
+        // under the single lock we already hold for the graph probe. Only
+        // ids re-homed by a shape-changing checkin (not produced by any
+        // current code path) need another shard's lock.
+        let foreign: Vec<HtId> = {
+            let mut state = self.lock_shard(shape_shard);
+            let ids = state.recycle.candidates(request);
+            let mut foreign = Vec::new();
+            for id in ids {
+                if self.shard_of_id(id) == shape_shard {
+                    push_candidate(&mut out, &state, id);
+                } else {
+                    foreign.push(id);
+                }
+            }
+            foreign
+        };
+        for id in foreign {
+            let state = self.lock_shard(self.shard_of_id(id));
+            push_candidate(&mut out, &state, id);
+        }
+        out
     }
 
-    /// Check a table out for exclusive reuse.
-    pub fn checkout(&mut self, id: HtId) -> Result<CheckedOut> {
+    fn checkout_inner(
+        &self,
+        id: HtId,
+        mode: CheckoutMode,
+        expect_region: Option<&hashstash_plan::Region>,
+    ) -> Result<CheckedOut<'_>> {
         let now = self.tick();
-        let fine = self.gc.fine_grained;
-        let entry = self
+        let fine = self.gc().fine_grained;
+        let mut state = self.lock_shard(self.shard_of_id(id));
+        let entry = state
             .entries
             .get_mut(&id)
             .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
-        let ht = entry
-            .ht
-            .take()
-            .ok_or_else(|| HsError::CacheError(format!("{id} already checked out")))?;
+        // Lineage validation happens *before* any bookkeeping: a failed
+        // (stale-plan) checkout must not inflate use counts, LRU stamps or
+        // the reuse statistics.
+        if let Some(expect) = expect_region {
+            if !entry.fingerprint.region.set_eq(expect) {
+                return Err(HsError::CacheError(format!(
+                    "{id} lineage changed since planning"
+                )));
+            }
+        }
+        match mode {
+            CheckoutMode::Shared => entry.readers += 1,
+            CheckoutMode::Exclusive => {
+                if entry.writer {
+                    return Err(HsError::CacheError(format!(
+                        "{id} already checked out for writing"
+                    )));
+                }
+                entry.writer = true;
+            }
+        }
         entry.last_used = now;
         entry.use_count += 1;
         if fine {
             // Fine-grained bookkeeping: re-stamp every entry. This is the
             // per-entry monitoring overhead the paper measured and rejected.
-            entry.entry_stamps = Some(vec![now; ht.len()]);
+            entry.entry_stamps = Some(vec![now; entry.ht.len()]);
         }
-        self.stats.reuses += 1;
+        self.reuses.fetch_add(1, Ordering::Relaxed);
         Ok(CheckedOut {
+            mgr: self,
             id,
             fingerprint: entry.fingerprint.clone(),
             schema: entry.schema.clone(),
-            ht,
+            ht: Arc::clone(&entry.ht),
+            mode,
+            active: true,
         })
     }
 
-    /// Return a table after the query finishes (paper Figure 1, step 4).
-    /// The fingerprint may have changed (partial reuse widens the region);
-    /// the recycle graph is updated if the shape changed.
-    pub fn checkin(&mut self, co: CheckedOut) -> Result<()> {
+    /// Check a table out for shared, read-only reuse (exact and subsuming
+    /// matches). Any number of shared checkouts may coexist.
+    pub fn checkout(&self, id: HtId) -> Result<CheckedOut<'_>> {
+        self.checkout_inner(id, CheckoutMode::Shared, None)
+    }
+
+    /// [`HtManager::checkout`], but failing — without touching use counts
+    /// or LRU stamps — unless the table's lineage region still equals
+    /// `expect_region`. Sessions use this to detect that a concurrent
+    /// partial reuse widened the table after their plan classified it.
+    pub fn checkout_expecting(
+        &self,
+        id: HtId,
+        expect_region: &hashstash_plan::Region,
+    ) -> Result<CheckedOut<'_>> {
+        self.checkout_inner(id, CheckoutMode::Shared, Some(expect_region))
+    }
+
+    /// Check a table out for mutating reuse (partial/overlapping delta
+    /// insertion, shared-plan re-tagging). At most one mutating checkout per
+    /// table — the paper's single-reuser rule, enforced only where mutation
+    /// actually happens. Mutation is copy-on-write: concurrent readers keep
+    /// their snapshot until [`CheckedOut::checkin`] publishes the new
+    /// version.
+    pub fn checkout_mut(&self, id: HtId) -> Result<CheckedOut<'_>> {
+        self.checkout_inner(id, CheckoutMode::Exclusive, None)
+    }
+
+    /// [`HtManager::checkout_mut`] with the same lineage pre-validation as
+    /// [`HtManager::checkout_expecting`].
+    pub fn checkout_mut_expecting(
+        &self,
+        id: HtId,
+        expect_region: &hashstash_plan::Region,
+    ) -> Result<CheckedOut<'_>> {
+        self.checkout_inner(id, CheckoutMode::Exclusive, Some(expect_region))
+    }
+
+    /// Release a pin without publishing changes (guard drop).
+    fn release(&self, id: HtId, mode: CheckoutMode) {
+        let mut state = self.lock_shard(self.shard_of_id(id));
+        if let Some(entry) = state.entries.get_mut(&id) {
+            match mode {
+                CheckoutMode::Shared => entry.readers = entry.readers.saturating_sub(1),
+                CheckoutMode::Exclusive => entry.writer = false,
+            }
+        }
+    }
+
+    /// Publish an exclusive guard's new table version (paper Figure 1,
+    /// step 4). The fingerprint may have changed (partial reuse widens the
+    /// region); the recycle graph is updated if the shape changed.
+    fn commit_checkin(
+        &self,
+        id: HtId,
+        fingerprint: HtFingerprint,
+        schema: Schema,
+        ht: Arc<StoredHt>,
+    ) -> Result<()> {
         let now = self.tick();
-        let fine = self.gc.fine_grained;
-        let entry = self
-            .entries
-            .get_mut(&co.id)
-            .ok_or_else(|| HsError::CacheError(format!("{} not in cache", co.id)))?;
-        if entry.ht.is_some() {
-            return Err(HsError::CacheError(format!(
-                "{} was not checked out",
-                co.id
-            )));
+        let fine = self.gc().fine_grained;
+        let home = self.shard_of_id(id);
+        let shape_change = {
+            let mut state = self.lock_shard(home);
+            let entry = state
+                .entries
+                .get_mut(&id)
+                .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
+            debug_assert!(entry.writer, "checkin without an exclusive checkout");
+            let shape_change =
+                (!entry.fingerprint.same_shape(&fingerprint)).then(|| entry.fingerprint.clone());
+            let old_bytes = entry.bytes;
+            let new_bytes = ht.logical_bytes();
+            entry.bytes = new_bytes;
+            if fine {
+                entry.entry_stamps = Some(vec![now; ht.len()]);
+            }
+            entry.fingerprint = fingerprint.clone();
+            entry.schema = schema;
+            entry.ht = ht;
+            entry.last_used = now;
+            entry.writer = false;
+            // Byte delta while still holding the shard lock: once it drops
+            // the entry is evictable, and a concurrent eviction subtracting
+            // the new size against a counter still holding the old one
+            // would underflow.
+            if new_bytes >= old_bytes {
+                self.add_bytes(new_bytes - old_bytes);
+            } else {
+                self.sub_bytes(old_bytes - new_bytes);
+            }
+            shape_change
+        };
+        // Move the recycle registration when the shape changed (one shard
+        // lock at a time; candidate lookups tolerate the brief window by
+        // re-validating against the entry).
+        if let Some(old_fp) = shape_change {
+            self.lock_shard(self.shard_of_shape(&old_fp))
+                .recycle
+                .remove(&old_fp, id);
+            self.lock_shard(self.shard_of_shape(&fingerprint))
+                .recycle
+                .add(&fingerprint, id);
         }
-        let shape_changed = !entry.fingerprint.same_shape(&co.fingerprint);
-        if shape_changed {
-            self.recycle.remove(&entry.fingerprint, co.id);
-            self.recycle.add(&co.fingerprint, co.id);
-        }
-        entry.bytes = co.ht.logical_bytes();
-        if fine {
-            entry.entry_stamps = Some(vec![now; co.ht.len()]);
-        }
-        entry.fingerprint = co.fingerprint;
-        entry.schema = co.schema;
-        entry.ht = Some(co.ht);
-        entry.last_used = now;
-        self.recompute_footprint();
         self.enforce_budget();
         Ok(())
     }
 
-    /// Drop a table outright.
-    pub fn drop_table(&mut self, id: HtId) -> Result<()> {
-        let entry = self
-            .entries
-            .remove(&id)
-            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
-        self.recycle.remove(&entry.fingerprint, id);
-        self.recompute_footprint();
+    /// Drop a table outright. Fails while the table is checked out.
+    pub fn drop_table(&self, id: HtId) -> Result<()> {
+        let entry = {
+            let mut state = self.lock_shard(self.shard_of_id(id));
+            match state.entries.get(&id) {
+                None => return Err(HsError::CacheError(format!("{id} not in cache"))),
+                Some(e) if e.pinned() => {
+                    return Err(HsError::CacheError(format!("{id} is checked out")))
+                }
+                Some(_) => state.entries.remove(&id).expect("entry exists"),
+            }
+        };
+        self.lock_shard(self.shard_of_shape(&entry.fingerprint))
+            .recycle
+            .remove(&entry.fingerprint, id);
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+        self.sub_bytes(entry.bytes);
         Ok(())
     }
 
     /// Evict tables until the footprint drops below the budget. Checked-out
-    /// tables are never evicted. Returns the number of evictions.
-    pub fn enforce_budget(&mut self) -> usize {
-        let Some(budget) = self.gc.budget_bytes else {
+    /// tables (readers or writer) are never evicted. Returns the number of
+    /// evictions.
+    pub fn enforce_budget(&self) -> usize {
+        let gc = self.gc();
+        let Some(budget) = gc.budget_bytes else {
             return 0;
         };
         let mut evicted = 0;
-        while self.stats.bytes > budget {
-            let victim = self
-                .entries
-                .iter()
-                .filter(|(_, e)| e.ht.is_some())
-                .min_by(|(_, a), (_, b)| match self.gc.policy {
-                    EvictionPolicy::Lru => a.last_used.cmp(&b.last_used),
-                    EvictionPolicy::Lfu => a
-                        .use_count
-                        .cmp(&b.use_count)
-                        .then(a.last_used.cmp(&b.last_used)),
-                    EvictionPolicy::BenefitWeighted => {
-                        let da = (a.use_count + 1) as f64 / a.bytes.max(1) as f64;
-                        let db = (b.use_count + 1) as f64 / b.bytes.max(1) as f64;
-                        da.partial_cmp(&db)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.last_used.cmp(&b.last_used))
+        while self.bytes.load(Ordering::Relaxed) > budget {
+            // Pick the policy's best victim across all shards, locking one
+            // shard at a time.
+            let mut victim: Option<(usize, HtId, VictimKey)> = None;
+            for (si, _) in self.shards.iter().enumerate() {
+                let state = self.lock_shard(si);
+                for (&id, e) in &state.entries {
+                    if e.pinned() {
+                        continue;
                     }
-                })
-                .map(|(&id, _)| id);
-            let Some(id) = victim else { break };
-            let entry = self.entries.remove(&id).expect("victim exists");
-            self.recycle.remove(&entry.fingerprint, id);
-            self.stats.evictions += 1;
-            evicted += 1;
-            self.recompute_footprint();
+                    let key = VictimKey::of(e);
+                    if victim
+                        .as_ref()
+                        .is_none_or(|(_, _, best)| key.better_victim(best, gc.policy))
+                    {
+                        victim = Some((si, id, key));
+                    }
+                }
+            }
+            let Some((si, id, _)) = victim else { break };
+            // Re-lock and re-validate: the victim may have been pinned or
+            // removed by a concurrent session since the scan.
+            let removed = {
+                let mut state = self.lock_shard(si);
+                match state.entries.get(&id) {
+                    Some(e) if !e.pinned() => state.entries.remove(&id),
+                    _ => None,
+                }
+            };
+            if let Some(entry) = removed {
+                self.lock_shard(self.shard_of_shape(&entry.fingerprint))
+                    .recycle
+                    .remove(&entry.fingerprint, id);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.sub_bytes(entry.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted += 1;
+            }
         }
         evicted
     }
 
     /// Fine-grained GC: drop the oldest `1 - keep_fraction` of a table's
     /// entries (requires `fine_grained` mode). Returns entries removed.
-    pub fn prune_entries(&mut self, id: HtId, keep_fraction: f64) -> Result<usize> {
-        if !self.gc.fine_grained {
+    /// Copy-on-write: concurrent readers keep the unpruned snapshot.
+    pub fn prune_entries(&self, id: HtId, keep_fraction: f64) -> Result<usize> {
+        if !self.gc().fine_grained {
             return Err(HsError::Config(
                 "prune_entries requires fine_grained GC mode".into(),
             ));
         }
-        let entry = self
-            .entries
-            .get_mut(&id)
-            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
-        let Some(ht) = entry.ht.as_mut() else {
-            return Err(HsError::CacheError(format!("{id} checked out")));
+        let now = self.tick();
+        let (before, after) = {
+            let mut state = self.lock_shard(self.shard_of_id(id));
+            let entry = state
+                .entries
+                .get_mut(&id)
+                .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
+            if entry.writer {
+                return Err(HsError::CacheError(format!("{id} checked out")));
+            }
+            let stamps = entry.entry_stamps.clone().unwrap_or_default();
+            let before = entry.ht.len();
+            let keep = ((before as f64) * keep_fraction).ceil() as usize;
+            if keep >= before {
+                return Ok(0);
+            }
+            // Rank entries by (stamp, arena position); keep the newest
+            // `keep`. Position breaks ties so a uniform-stamp table still
+            // prunes.
+            let mut order: Vec<usize> = (0..before).collect();
+            order.sort_unstable_by_key(|&i| (stamps.get(i).copied().unwrap_or(0), i));
+            let mut keep_mask = vec![false; before];
+            for &i in order.iter().rev().take(keep) {
+                keep_mask[i] = true;
+            }
+            let mut idx = 0usize;
+            let ht = Arc::make_mut(&mut entry.ht);
+            match ht {
+                StoredHt::Join(t) | StoredHt::SharedGroup(t) => t.retain(|_, _| {
+                    let keep_it = keep_mask.get(idx).copied().unwrap_or(false);
+                    idx += 1;
+                    keep_it
+                }),
+                StoredHt::Agg(t) => t.retain(|_, _| {
+                    let keep_it = keep_mask.get(idx).copied().unwrap_or(false);
+                    idx += 1;
+                    keep_it
+                }),
+            }
+            let after = ht.len();
+            let old_bytes = entry.bytes;
+            entry.bytes = entry.ht.logical_bytes();
+            // Survivors get a *fresh* stamp: a later checkout always ticks
+            // later than the prune, keeping per-entry timestamps monotone.
+            entry.entry_stamps = Some(vec![now; after]);
+            let new_bytes = entry.bytes;
+            // Byte delta under the shard lock (see publish/commit_checkin:
+            // a concurrent eviction must never see the entry's new size
+            // before the counter does).
+            if new_bytes >= old_bytes {
+                self.add_bytes(new_bytes - old_bytes);
+            } else {
+                self.sub_bytes(old_bytes - new_bytes);
+            }
+            (before, after)
         };
-        let stamps = entry.entry_stamps.clone().unwrap_or_default();
-        let before = ht.len();
-        let keep = ((before as f64) * keep_fraction).ceil() as usize;
-        if keep >= before {
-            return Ok(0);
-        }
-        // Rank entries by (stamp, arena position); keep the newest `keep`.
-        // Position breaks ties so a uniform-stamp table still prunes.
-        let mut order: Vec<usize> = (0..before).collect();
-        order.sort_unstable_by_key(|&i| (stamps.get(i).copied().unwrap_or(0), i));
-        let mut keep_mask = vec![false; before];
-        for &i in order.iter().rev().take(keep) {
-            keep_mask[i] = true;
-        }
-        let mut idx = 0usize;
-        match ht {
-            StoredHt::Join(t) | StoredHt::SharedGroup(t) => t.retain(|_, _| {
-                let keep_it = keep_mask.get(idx).copied().unwrap_or(false);
-                idx += 1;
-                keep_it
-            }),
-            StoredHt::Agg(t) => t.retain(|_, _| {
-                let keep_it = keep_mask.get(idx).copied().unwrap_or(false);
-                idx += 1;
-                keep_it
-            }),
-        }
-        let after = ht.len();
-        entry.bytes = ht.logical_bytes();
-        entry.entry_stamps = Some(vec![self.clock; after]);
-        self.recompute_footprint();
         Ok(before - after)
+    }
+
+    /// Fine-grained per-slot timestamps of a table (`None` unless
+    /// `fine_grained` mode stamped it). For tests and GC experiments.
+    pub fn entry_stamps(&self, id: HtId) -> Result<Option<Vec<u64>>> {
+        let state = self.lock_shard(self.shard_of_id(id));
+        state
+            .entries
+            .get(&id)
+            .map(|e| e.entry_stamps.clone())
+            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))
     }
 
     /// Aggregate statistics snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            publishes: self.publishes.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            candidate_lookups: self.candidate_lookups.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Recount footprint and entries directly from the shards (O(entries),
+    /// takes every shard lock in turn). At quiesce this must equal
+    /// [`CacheStats::bytes`]/[`CacheStats::entries`] — the concurrency
+    /// stress tests assert exactly that.
+    pub fn audit(&self) -> (usize, usize) {
+        let mut bytes = 0;
+        let mut entries = 0;
+        for (si, _) in self.shards.iter().enumerate() {
+            let state = self.lock_shard(si);
+            entries += state.entries.len();
+            bytes += state.entries.values().map(|e| e.bytes).sum::<usize>();
+        }
+        (bytes, entries)
     }
 
     /// Number of cached tables.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.load(Ordering::Relaxed)
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Whether a given table is currently cached (and not checked out).
+    /// Whether a given table is currently cached and not held by a writer
+    /// (readers do not block availability).
     pub fn is_available(&self, id: HtId) -> bool {
-        self.entries.get(&id).is_some_and(|e| e.ht.is_some())
+        let state = self.lock_shard(self.shard_of_id(id));
+        state.entries.get(&id).is_some_and(|e| !e.writer)
     }
 
     /// The GC configuration.
     pub fn gc_config(&self) -> GcConfig {
-        self.gc
+        self.gc()
     }
 
     /// Replace the GC configuration (budget changes take effect on the next
     /// publish/checkin).
-    pub fn set_gc_config(&mut self, gc: GcConfig) {
-        self.gc = gc;
+    pub fn set_gc_config(&self, gc: GcConfig) {
+        *self.gc.lock().unwrap_or_else(PoisonError::into_inner) = gc;
     }
 }
 
@@ -402,7 +854,6 @@ mod tests {
     use hashstash_hashtable::ExtendibleHashTable;
     use hashstash_plan::{HtKind, Interval, PredBox, Region};
     use hashstash_types::{DataType, Field, Row, Value};
-    use std::sync::Arc;
 
     fn fp(lo: i64, hi: i64) -> HtFingerprint {
         HtFingerprint {
@@ -434,7 +885,7 @@ mod tests {
 
     #[test]
     fn publish_candidates_checkout_checkin() {
-        let mut m = HtManager::unbounded();
+        let m = HtManager::unbounded();
         let id = m.publish(fp(0, 50), schema(), table(100));
         assert_eq!(m.len(), 1);
         let cands = m.candidates(&fp(0, 10));
@@ -442,36 +893,111 @@ mod tests {
         assert_eq!(cands[0].id, id);
         assert_eq!(cands[0].entries, 100);
 
+        // Shared checkouts coexist and keep the table available.
         let co = m.checkout(id).unwrap();
-        assert!(!m.is_available(id));
+        let co2 = m.checkout(id).unwrap();
+        assert!(m.is_available(id), "shared readers keep availability");
+        assert_eq!(
+            m.candidates(&fp(0, 10)).len(),
+            1,
+            "readers do not hide candidates"
+        );
+        assert_eq!(co.table().len(), co2.table().len());
+        drop(co2);
+        co.checkin().unwrap();
+        assert!(m.is_available(id));
+        assert_eq!(m.stats().reuses, 2);
+        assert!((m.stats().hit_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusive_checkout_is_single_reuser() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(0, 50), schema(), table(10));
+        let w = m.checkout_mut(id).unwrap();
+        assert!(!m.is_available(id), "writer blocks availability");
         assert!(
             m.candidates(&fp(0, 10)).is_empty(),
-            "checked out ⇒ no candidate"
+            "writer-held ⇒ no candidate"
         );
-        assert!(m.checkout(id).is_err(), "double checkout rejected");
-        m.checkin(co).unwrap();
+        assert!(m.checkout_mut(id).is_err(), "double mutating checkout");
+        // Readers may still snapshot the pre-mutation version.
+        let r = m.checkout(id).unwrap();
+        assert_eq!(r.table().len(), 10);
+        drop(w); // dropped without checkin: cached version untouched
         assert!(m.is_available(id));
-        assert_eq!(m.stats().reuses, 1);
-        assert!((m.stats().hit_ratio() - 1.0).abs() < 1e-9);
+        let again = m.checkout_mut(id).unwrap();
+        assert_eq!(again.table().len(), 10);
+    }
+
+    #[test]
+    fn dropped_guard_releases_instead_of_leaking() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(0, 50), schema(), table(25));
+        let bytes = m.stats().bytes;
+        {
+            let _w = m.checkout_mut(id).unwrap();
+            // Simulated executor error: the guard is dropped here without
+            // a checkin.
+        }
+        assert!(m.is_available(id), "entry recovered on guard drop");
+        assert_eq!(m.candidates(&fp(0, 10)).len(), 1);
+        assert_eq!(m.stats().bytes, bytes, "bytes still accounted");
+        let (audit_bytes, audit_entries) = m.audit();
+        assert_eq!(audit_bytes, bytes);
+        assert_eq!(audit_entries, 1);
+    }
+
+    #[test]
+    fn cow_mutation_preserves_reader_snapshots() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(20, 30), schema(), table(10));
+        let reader = m.checkout(id).unwrap();
+        let mut writer = m.checkout_mut(id).unwrap();
+        {
+            let StoredHt::Join(t) = writer.table_mut().unwrap() else {
+                panic!("join table")
+            };
+            for i in 100..110u64 {
+                t.insert(i, TaggedRow::untagged(Row::new(vec![Value::Int(i as i64)])));
+            }
+        }
+        writer.fingerprint.region = fp(10, 30).region;
+        writer.checkin().unwrap();
+        // The reader still sees the pre-mutation snapshot…
+        assert_eq!(reader.table().len(), 10);
+        // …while the cache serves the new version with widened lineage.
+        let cands = m.candidates(&fp(10, 30));
+        assert_eq!(cands[0].entries, 20);
+        assert!(cands[0].fingerprint.region.set_eq(&fp(10, 30).region));
+    }
+
+    #[test]
+    fn shared_guard_rejects_mutation() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(0, 10), schema(), table(5));
+        let mut r = m.checkout(id).unwrap();
+        assert!(r.table_mut().is_err(), "shared checkout is read-only");
     }
 
     #[test]
     fn checkin_updates_region_after_partial_reuse() {
-        let mut m = HtManager::unbounded();
+        let m = HtManager::unbounded();
         let id = m.publish(fp(20, 30), schema(), table(10));
-        let mut co = m.checkout(id).unwrap();
+        let mut co = m.checkout_mut(id).unwrap();
         // Simulate a partial reuse that widened the region to [10, 30].
         co.fingerprint.region = fp(10, 30).region;
-        m.checkin(co).unwrap();
+        co.checkin().unwrap();
         let cands = m.candidates(&fp(10, 30));
         assert!(cands[0].fingerprint.region.set_eq(&fp(10, 30).region));
+        let _ = id;
     }
 
     #[test]
     fn lru_eviction_under_budget() {
         let bytes_of = |n: usize| table(n).logical_bytes();
         let budget = bytes_of(100) * 2 + bytes_of(100) / 2;
-        let mut m = HtManager::new(GcConfig {
+        let m = HtManager::new(GcConfig {
             budget_bytes: Some(budget),
             policy: EvictionPolicy::Lru,
             fine_grained: false,
@@ -480,7 +1006,7 @@ mod tests {
         let b = m.publish(fp(20, 30), schema(), table(100));
         // Touch `a` so `b` becomes the LRU victim.
         let co = m.checkout(a).unwrap();
-        m.checkin(co).unwrap();
+        co.checkin().unwrap();
         let _c = m.publish(fp(40, 50), schema(), table(100));
         assert_eq!(m.stats().evictions, 1);
         assert!(m.is_available(a), "recently used survives");
@@ -489,7 +1015,7 @@ mod tests {
 
     #[test]
     fn lfu_eviction_prefers_rarely_used() {
-        let mut m = HtManager::new(GcConfig {
+        let m = HtManager::new(GcConfig {
             budget_bytes: Some(table(100).logical_bytes() * 2),
             policy: EvictionPolicy::Lfu,
             fine_grained: false,
@@ -498,7 +1024,7 @@ mod tests {
         let b = m.publish(fp(20, 30), schema(), table(100));
         for _ in 0..3 {
             let co = m.checkout(a).unwrap();
-            m.checkin(co).unwrap();
+            co.checkin().unwrap();
         }
         // `b` has zero reuses; publishing a third table evicts it.
         let _c = m.publish(fp(40, 50), schema(), table(100));
@@ -506,41 +1032,55 @@ mod tests {
         assert!(!m.is_available(b));
     }
 
+    /// The checked-out-survival property, asserted unconditionally: a
+    /// budget sized for exactly one table admits `b`; while `b` is pinned
+    /// by a checkout, publishing `c` must evict `c` itself (the only
+    /// unpinned entry), never the pinned `b`.
     #[test]
     fn checked_out_tables_survive_eviction() {
-        let mut m = HtManager::new(GcConfig {
-            budget_bytes: Some(1), // everything is over budget
+        let one_table = table(10).logical_bytes();
+        let m = HtManager::new(GcConfig {
+            budget_bytes: Some(one_table),
             policy: EvictionPolicy::Lru,
             fine_grained: false,
         });
-        let a = m.publish(fp(0, 10), schema(), table(10));
-        // `a` is evicted immediately (over budget, not checked out).
-        assert!(!m.is_available(a));
-        // Publish again but hold a checkout during the squeeze.
         let b = m.publish(fp(0, 10), schema(), table(10));
-        if m.is_available(b) {
-            let co = m.checkout(b).unwrap();
-            let _c = m.publish(fp(20, 30), schema(), table(10));
-            // b survives because it is checked out.
-            m.checkin(co).unwrap();
-        }
-        // No panic ⇒ protocol holds even under extreme pressure.
+        assert!(m.is_available(b), "budget admits exactly one table");
+
+        // Shared pin: the squeeze must pick someone else.
+        let co = m.checkout(b).unwrap();
+        let c = m.publish(fp(20, 30), schema(), table(10));
+        assert!(m.is_available(b), "reader-pinned table survives the GC");
+        assert!(!m.is_available(c), "the unpinned newcomer was evicted");
+        co.checkin().unwrap();
+
+        // Exclusive pin: same property.
+        let w = m.checkout_mut(b).unwrap();
+        let d = m.publish(fp(40, 50), schema(), table(10));
+        assert!(!m.is_available(d), "unpinned newcomer evicted again");
+        drop(w);
+        assert!(m.is_available(b), "writer-pinned table survived the GC");
+        assert_eq!(m.len(), 1);
+        assert!(m.stats().bytes <= one_table, "budget holds at quiesce");
     }
 
     #[test]
     fn budget_none_never_evicts() {
-        let mut m = HtManager::unbounded();
+        let m = HtManager::unbounded();
         for i in 0..20 {
             m.publish(fp(i, i + 1), schema(), table(50));
         }
         assert_eq!(m.stats().evictions, 0);
         assert_eq!(m.len(), 20);
         assert!(m.stats().peak_bytes >= m.stats().bytes);
+        let (bytes, entries) = m.audit();
+        assert_eq!(bytes, m.stats().bytes);
+        assert_eq!(entries, 20);
     }
 
     #[test]
     fn prune_entries_fine_grained() {
-        let mut m = HtManager::new(GcConfig {
+        let m = HtManager::new(GcConfig {
             budget_bytes: None,
             policy: EvictionPolicy::Lru,
             fine_grained: true,
@@ -552,19 +1092,78 @@ mod tests {
         assert!(cands[0].entries <= 30);
     }
 
+    /// Pruned survivors must carry a *fresh* timestamp so that a checkout
+    /// right after the prune stamps strictly later — per-entry timestamps
+    /// stay monotone (the pre-PR code re-used a stale clock value).
+    #[test]
+    fn prune_restamps_with_fresh_tick() {
+        let m = HtManager::new(GcConfig {
+            budget_bytes: None,
+            policy: EvictionPolicy::Lru,
+            fine_grained: true,
+        });
+        let id = m.publish(fp(0, 10), schema(), table(40));
+        let publish_stamp = m.entry_stamps(id).unwrap().unwrap()[0];
+        m.prune_entries(id, 0.5).unwrap();
+        let after_prune = m.entry_stamps(id).unwrap().unwrap();
+        assert!(!after_prune.is_empty());
+        assert!(
+            after_prune.iter().all(|&s| s > publish_stamp),
+            "prune stamps ({:?}) must advance past the publish stamp {publish_stamp}",
+            &after_prune[..1]
+        );
+        // A checkout after the prune must stamp strictly later still.
+        let co = m.checkout(id).unwrap();
+        co.checkin().unwrap();
+        let after_checkout = m.entry_stamps(id).unwrap().unwrap();
+        assert!(
+            after_checkout.iter().all(|&s| s > after_prune[0]),
+            "checkout stamps must be monotone over prune stamps"
+        );
+    }
+
     #[test]
     fn prune_requires_fine_grained_mode() {
-        let mut m = HtManager::unbounded();
+        let m = HtManager::unbounded();
         let id = m.publish(fp(0, 10), schema(), table(10));
         assert!(matches!(m.prune_entries(id, 0.5), Err(HsError::Config(_))));
     }
 
     #[test]
     fn drop_table_removes_from_recycle_graph() {
-        let mut m = HtManager::unbounded();
+        let m = HtManager::unbounded();
         let id = m.publish(fp(0, 10), schema(), table(10));
         m.drop_table(id).unwrap();
         assert!(m.candidates(&fp(0, 10)).is_empty());
         assert!(m.drop_table(id).is_err());
+        let (bytes, entries) = m.audit();
+        assert_eq!((bytes, entries), (0, 0));
+        assert_eq!(m.stats().bytes, 0);
+    }
+
+    #[test]
+    fn drop_table_refuses_pinned_entries() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(0, 10), schema(), table(10));
+        let co = m.checkout(id).unwrap();
+        assert!(m.drop_table(id).is_err(), "reader pin blocks drop");
+        drop(co);
+        assert!(m.drop_table(id).is_ok());
+    }
+
+    #[test]
+    fn ids_spread_across_shards_by_shape() {
+        let m = HtManager::with_shards(GcConfig::default(), 4);
+        // Different shapes (different key attrs) land on (usually)
+        // different shards; same shape stays on one shard.
+        let a1 = m.publish(fp(0, 10), schema(), table(5));
+        let a2 = m.publish(fp(20, 30), schema(), table(5));
+        assert_eq!(
+            a1.0 % 4,
+            a2.0 % 4,
+            "same shape ⇒ same home shard (region differences are irrelevant)"
+        );
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.candidates(&fp(0, 50)).len(), 2);
     }
 }

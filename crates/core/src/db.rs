@@ -4,13 +4,20 @@
 //!
 //! The immutable query infrastructure — catalog, statistics, cost model and
 //! the configured [`ReusePolicy`] — lives in the [`Database`] and is read
-//! lock-free by every session. The mutable reuse state (the Hash Table
-//! Manager and the temp-table cache) sits behind one mutex: a session holds
-//! it from optimization through execution so a table chosen for reuse
-//! cannot be evicted or checked out by a concurrent session mid-query.
-//! Queries therefore serialize on the reuse caches, but any number of
-//! threads can hold sessions, and every hash table published by one
-//! session is reusable by all others.
+//! lock-free by every session. The Hash Table Manager is itself concurrent
+//! (sharded by fingerprint shape, `Arc`-backed tables): a session takes a
+//! shard lock only for candidate lookup, checkout pinning, and
+//! publish/check-in. **Execution runs lock-free** on cloned table handles,
+//! so sessions executing non-conflicting queries — in particular, read-only
+//! exact-match reuse of the *same* table — proceed fully in parallel.
+//! Mutating reuse (partial/overlapping) is copy-on-write under the paper's
+//! single-reuser rule; see [`hashstash_cache::manager`] for the model.
+//!
+//! A table the optimizer picked can, in the short window before the session
+//! pins it, be evicted or write-locked by a concurrent session. The session
+//! then simply re-plans (the stale candidate is gone from the cache) — a
+//! bounded retry that degrades to reuse-free execution under pathological
+//! contention, never to a wrong answer.
 //!
 //! ```no_run
 //! use hashstash::Database;
@@ -31,7 +38,9 @@ use hashstash_types::{HsError, QueryId, Result, Row, Schema};
 
 use hashstash_cache::{CacheStats, GcConfig, HtManager};
 use hashstash_exec::shared::execute_shared;
-use hashstash_exec::{execute, ExecContext, ExecMetrics, TempTableCache, TempTableStats};
+use hashstash_exec::{
+    acquire_plan_checkouts, execute, ExecContext, ExecMetrics, TempTableCache, TempTableStats,
+};
 use hashstash_opt::multi::{plan_batch, BatchUnit};
 use hashstash_opt::optimizer::{OptimizedQuery, Optimizer, OptimizerConfig};
 use hashstash_opt::policy::{
@@ -127,12 +136,6 @@ pub enum BatchMode {
     SingleWithReuse,
     /// Reuse-aware shared plans (query-batch interface).
     SharedWithReuse,
-}
-
-/// The shared mutable reuse state of a [`Database`].
-struct ReuseCaches {
-    htm: HtManager,
-    temps: TempTableCache,
 }
 
 /// Fluent configuration for a [`Database`] (obtain via
@@ -271,10 +274,8 @@ impl EngineBuilder {
             additional_attributes: self.additional_attributes,
             benefit_join_order: self.benefit_join_order,
             benefit_epsilon: self.benefit_epsilon,
-            caches: Mutex::new(ReuseCaches {
-                htm: HtManager::new(self.gc),
-                temps: TempTableCache::new(self.temp_budget),
-            }),
+            htm: HtManager::new(self.gc),
+            temps: Mutex::new(TempTableCache::new(self.temp_budget)),
             totals: Mutex::new(SessionStats::default()),
         })
     }
@@ -293,7 +294,8 @@ pub struct Database {
     additional_attributes: bool,
     benefit_join_order: bool,
     benefit_epsilon: f64,
-    caches: Mutex<ReuseCaches>,
+    htm: HtManager,
+    temps: Mutex<TempTableCache>,
     totals: Mutex<SessionStats>,
 }
 
@@ -334,12 +336,12 @@ impl Database {
 
     /// Hash-table cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
-        self.lock_caches().htm.stats()
+        self.htm.stats()
     }
 
     /// Temp-table cache statistics (materialized baseline).
     pub fn temp_stats(&self) -> TempTableStats {
-        self.lock_caches().temps.stats()
+        self.lock_temps().stats()
     }
 
     /// Totals accumulated across every session of this database.
@@ -350,25 +352,29 @@ impl Database {
     /// Current reuse-cache memory footprint in bytes (hash tables or temp
     /// tables, depending on the policy).
     pub fn reuse_memory_bytes(&self) -> usize {
-        let caches = self.lock_caches();
         if self.policy.materialize() {
-            caches.temps.stats().bytes
+            self.lock_temps().stats().bytes
         } else {
-            caches.htm.stats().bytes
+            self.htm.stats().bytes
         }
     }
 
-    /// Run `f` with exclusive access to the Hash Table Manager (tests and
-    /// experiments seed or inspect the cache through this).
-    pub fn with_cache<R>(&self, f: impl FnOnce(&mut HtManager) -> R) -> R {
-        f(&mut self.lock_caches().htm)
+    /// The Hash Table Manager. It is safe to use directly from any thread
+    /// (all its methods take `&self`); tests and experiments seed or
+    /// inspect the cache through this.
+    pub fn cache(&self) -> &HtManager {
+        &self.htm
     }
 
-    /// Lock the reuse caches. A panicking query may leave a table checked
-    /// out, which degrades reuse but never correctness — so poisoning is
-    /// deliberately ignored rather than cascading to every later query.
-    fn lock_caches(&self) -> MutexGuard<'_, ReuseCaches> {
-        self.caches.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Run `f` against the Hash Table Manager (kept for callers predating
+    /// [`Database::cache`]; the manager no longer needs `&mut`).
+    pub fn with_cache<R>(&self, f: impl FnOnce(&HtManager) -> R) -> R {
+        f(&self.htm)
+    }
+
+    /// Lock the temp-table cache (materialized baseline) for one operation.
+    fn lock_temps(&self) -> MutexGuard<'_, TempTableCache> {
+        self.temps.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn optimizer_config(&self, policy: &Arc<dyn ReusePolicy>) -> OptimizerConfig {
@@ -414,48 +420,62 @@ impl Session {
         self.execute_with_policy(q, &policy)
     }
 
+    /// How many times a session re-plans a query whose chosen reuse
+    /// candidates were evicted (or write-locked) by concurrent sessions
+    /// before it falls back to reuse-free execution.
+    const MAX_REUSE_RETRIES: usize = 3;
+
     fn execute_with_policy(
         &mut self,
         q: &QuerySpec,
         policy: &Arc<dyn ReusePolicy>,
     ) -> Result<QueryResult> {
         let db = Arc::clone(&self.db);
-        // Hold the cache lock from optimization through execution: the
-        // tables the optimizer picked must not be evicted or checked out by
-        // a concurrent session before the executor consumes them.
-        let mut caches = db.lock_caches();
-        self.execute_locked(&db, q, policy, &mut caches)
+        for _ in 0..Self::MAX_REUSE_RETRIES {
+            match self.execute_once(&db, q, policy) {
+                // A table the optimizer picked was evicted or write-locked
+                // between planning and pinning. Re-plan: the stale
+                // candidate no longer appears, so the retry makes progress.
+                Err(HsError::CacheError(_)) => continue,
+                r => return r,
+            }
+        }
+        // Pathological contention: degrade to plain execution. NoReuse
+        // neither checks out nor publishes, so it cannot race the cache.
+        let off: Arc<dyn ReusePolicy> = Arc::new(NoReuse);
+        self.execute_once(&db, q, &off)
     }
 
-    /// Optimize + execute one query against already-locked caches. Split
-    /// out so the batch path can run single-query units without releasing
-    /// the lock mid-batch (a concurrent eviction would invalidate cached
-    /// tables that later shared units reference by id).
-    fn execute_locked(
+    /// One optimize + pin + execute attempt. The cache is locked (per
+    /// shard) only inside candidate lookups, the checkout pins taken right
+    /// after planning, and publish/check-in; execution itself runs
+    /// lock-free on the pinned handles.
+    fn execute_once(
         &mut self,
         db: &Database,
         q: &QuerySpec,
         policy: &Arc<dyn ReusePolicy>,
-        caches: &mut ReuseCaches,
     ) -> Result<QueryResult> {
         let opt_cfg = db.optimizer_config(policy);
         let optimizer = Optimizer::new(&db.catalog, &db.stats, &db.cost, opt_cfg);
 
         let t0 = Instant::now();
-        let oq = {
-            let ReuseCaches { htm, temps } = caches;
-            if policy.materialize() {
-                materialized_plan(&optimizer, q, htm, temps)?
-            } else {
-                optimizer.optimize(q, htm)?
-            }
+        let oq = if policy.materialize() {
+            materialized_plan(&optimizer, q, &db.htm, &db.temps)?
+        } else {
+            optimizer.optimize(q, &db.htm)?
         };
+        // Pin every table the plan reuses before execution starts; from
+        // here on the plan cannot be invalidated by concurrent evictions.
+        let pins = acquire_plan_checkouts(&oq.plan, &db.htm)?;
         let optimize_time = t0.elapsed();
 
         let decisions = oq.plan.reuse_decisions();
         let t1 = Instant::now();
-        let ReuseCaches { htm, temps } = caches;
-        let mut ctx = ExecContext::new(&db.catalog, htm, temps);
+        let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps);
+        for co in pins {
+            ctx.adopt_checkout(co);
+        }
         let (schema, rows) = execute(&oq.plan, &mut ctx)?;
         let wall_time = t1.elapsed();
         let metrics = ctx.metrics;
@@ -478,9 +498,8 @@ impl Session {
     /// Optimize a query without executing it (experiments peek at plans).
     pub fn plan_only(&self, q: &QuerySpec) -> Result<OptimizedQuery> {
         let opt_cfg = self.db.optimizer_config(&self.db.policy);
-        let mut caches = self.db.lock_caches();
         let optimizer = Optimizer::new(&self.db.catalog, &self.db.stats, &self.db.cost, opt_cfg);
-        optimizer.optimize(q, &mut caches.htm)
+        optimizer.optimize(q, &self.db.htm)
     }
 
     /// Execute a batch of queries (query-batch interface, paper §4).
@@ -505,8 +524,50 @@ impl Session {
 
     fn execute_shared_batch(&mut self, queries: &[QuerySpec]) -> Result<Vec<QueryResult>> {
         let db = Arc::clone(&self.db);
+        // Results survive re-planning: a retry only runs the queries whose
+        // unit had not completed yet, so finished units are neither
+        // re-executed (duplicate publishes) nor re-recorded (stats).
+        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        for _ in 0..Self::MAX_REUSE_RETRIES {
+            match self.try_shared_batch(&db, queries, &mut results) {
+                // A shared unit's planned reuse table vanished (evicted or
+                // write-locked by a concurrent session) before the unit
+                // ran. Re-plan the batch against the current cache state.
+                Err(HsError::CacheError(_)) => continue,
+                Ok(()) => {
+                    return results
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            r.ok_or_else(|| {
+                                HsError::ExecError(format!("query {i} missing from batch plan"))
+                            })
+                        })
+                        .collect();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Pathological contention: run the remaining queries one at a time
+        // (each has its own retry + reuse-free fallback).
+        for (i, slot) in results.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(self.execute(&queries[i])?);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("filled above"))
+            .collect())
+    }
+
+    fn try_shared_batch(
+        &mut self,
+        db: &Arc<Database>,
+        queries: &[QuerySpec],
+        results: &mut [Option<QueryResult>],
+    ) -> Result<()> {
         let opt_cfg = db.optimizer_config(&db.policy);
-        let mut caches = db.lock_caches();
         let t0 = Instant::now();
         let plan = plan_batch(
             queries,
@@ -514,21 +575,23 @@ impl Session {
             &db.stats,
             &db.cost,
             opt_cfg,
-            &mut caches.htm,
+            &db.htm,
             true,
         )?;
         let optimize_time = t0.elapsed();
 
-        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
         let policy = Arc::clone(&db.policy);
         for unit in plan.units {
             match unit {
                 BatchUnit::Single { index, .. } => {
-                    // Run the single-query path WITHOUT releasing the lock:
-                    // shared units planned above reference cached tables by
-                    // id, and a concurrent session could evict them in any
-                    // unlocked window.
-                    let r = self.execute_locked(&db, &queries[index], &policy, &mut caches)?;
+                    if results[index].is_some() {
+                        continue; // completed before a batch re-plan
+                    }
+                    // Single units re-plan on their own; they no longer need
+                    // a batch-wide lock because the shared units pin their
+                    // tables at checkout time and check them back in the
+                    // moment their mutation completes.
+                    let r = self.execute_with_policy(&queries[index], &policy)?;
                     results[index] = Some(r);
                 }
                 BatchUnit::Shared {
@@ -536,17 +599,27 @@ impl Session {
                     spec,
                     est_cost_ns,
                 } => {
+                    // A re-plan may regroup units, so count and store only
+                    // the queries that had not completed before the retry —
+                    // finished queries keep their result and are not
+                    // re-recorded in the statistics.
+                    let fresh = indices.iter().filter(|&&i| results[i].is_none()).count();
+                    if fresh == 0 {
+                        continue; // completed before a batch re-plan
+                    }
                     let t1 = Instant::now();
-                    let ReuseCaches { htm, temps } = &mut *caches;
-                    let mut ctx = ExecContext::new(&db.catalog, htm, temps);
+                    let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps);
                     let shared_results = execute_shared(&spec, &mut ctx)?;
                     let wall = t1.elapsed();
                     let metrics = ctx.metrics;
                     self.stats
-                        .record(indices.len() as u64, wall, Duration::ZERO, &metrics);
-                    db.record(indices.len() as u64, wall, Duration::ZERO, &metrics);
+                        .record(fresh as u64, wall, Duration::ZERO, &metrics);
+                    db.record(fresh as u64, wall, Duration::ZERO, &metrics);
                     let per_query_wall = wall / indices.len().max(1) as u32;
                     for (slot, &index) in indices.iter().enumerate() {
+                        if results[index].is_some() {
+                            continue;
+                        }
                         let r = &shared_results[slot];
                         results[index] = Some(QueryResult {
                             query: queries[index].id,
@@ -562,14 +635,7 @@ impl Session {
                 }
             }
         }
-        drop(caches);
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| {
-                r.ok_or_else(|| HsError::ExecError(format!("query {i} missing from batch plan")))
-            })
-            .collect()
+        Ok(())
     }
 }
 
@@ -806,9 +872,7 @@ mod tests {
         let db = Database::builder(catalog()).build();
         assert_eq!(db.policy().name(), "hashstash");
         assert!(!db.policy().materialize());
-        let caches = db.lock_caches();
-        assert_eq!(caches.htm.gc_config().budget_bytes, None);
-        drop(caches);
+        assert_eq!(db.cache().gc_config().budget_bytes, None);
         assert_eq!(db.cache_stats().publishes, 0);
         assert_eq!(db.total_stats().queries, 0);
     }

@@ -42,19 +42,22 @@
 //! println!("{} rows in {:?}", result.rows.len(), result.wall_time);
 //! ```
 //!
-//! The pre-0.2 single-session [`Engine`] remains available as a deprecated
-//! shim for one release; see [`engine`] for the migration sketch.
+//! Any number of threads can drive [`Session`]s concurrently: the Hash
+//! Table Manager is sharded and `Arc`-backed, so the only serialization
+//! points are per-shard candidate lookups and publish/check-in — execution
+//! itself runs lock-free, and read-only exact-match reuse of the same
+//! cached table proceeds in parallel across sessions.
+//!
+//! (The pre-0.2 single-session `Engine`/`EngineConfig` shim, deprecated in
+//! 0.2, has been removed; use [`Database::builder`] + [`Session`].)
 
 pub mod db;
-pub mod engine;
 pub mod materialized;
 
 pub use db::{
     decision_string, BatchMode, Database, EngineBuilder, EngineStrategy, QueryResult, Session,
     SessionStats,
 };
-#[allow(deprecated)]
-pub use engine::{Engine, EngineConfig};
 
 // The policy trait is part of the facade's public surface.
 pub use hashstash_opt::policy::ReusePolicy;

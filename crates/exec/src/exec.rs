@@ -1,16 +1,24 @@
 //! The single-threaded plan interpreter.
+//!
+//! Each query runs on its own thread against a shared [`HtManager`]: the
+//! interpreter holds no cache lock during execution. Reused tables are
+//! [`CheckedOut`] RAII guards — read-only reuse probes a shared `Arc`
+//! snapshot, mutating reuse copies-on-write and publishes at check-in, and
+//! any error path (or panic) releases the guard instead of stranding the
+//! cached table.
 
+use std::collections::HashMap;
 use std::ops::Bound;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use hashstash_types::{HsError, Result, Row, Schema, Value};
+use hashstash_types::{HsError, HtId, Result, Row, Schema, Value};
 
-use hashstash_cache::{AggPayload, HtManager, StoredHt, TaggedRow};
+use hashstash_cache::{AggPayload, CheckedOut, HtManager, StoredHt, TaggedRow};
 use hashstash_hashtable::ExtendibleHashTable;
 use hashstash_plan::PredBox;
 use hashstash_storage::{Catalog, Table};
 
-use crate::plan::{OutputAgg, PhysicalPlan, ScanSpec};
+use crate::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 use crate::temp::TempTableCache;
 
 /// Operation counters collected during execution. These are the observables
@@ -55,26 +63,106 @@ impl ExecMetrics {
 
 /// Execution context threading the catalog, the Hash Table Manager, the
 /// temp-table cache (materialization baseline) and metrics through the tree.
+///
+/// The manager is shared (`&HtManager`, internally sharded); the temp-table
+/// cache sits behind a mutex that is locked only for the duration of a
+/// single publish/read, never across operators.
 pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
-    pub htm: &'a mut HtManager,
-    pub temps: &'a mut TempTableCache,
+    pub htm: &'a HtManager,
+    pub temps: &'a Mutex<TempTableCache>,
     pub metrics: ExecMetrics,
+    /// Checkout guards acquired by the session *before* execution started
+    /// (so a table the optimizer picked cannot be evicted in between).
+    /// Operators consume them by id; reuse specs without a pre-acquired
+    /// guard fall back to checking out directly.
+    checkouts: HashMap<HtId, CheckedOut<'a>>,
 }
 
 impl<'a> ExecContext<'a> {
     /// Fresh context.
-    pub fn new(
-        catalog: &'a Catalog,
-        htm: &'a mut HtManager,
-        temps: &'a mut TempTableCache,
-    ) -> Self {
+    pub fn new(catalog: &'a Catalog, htm: &'a HtManager, temps: &'a Mutex<TempTableCache>) -> Self {
         ExecContext {
             catalog,
             htm,
             temps,
             metrics: ExecMetrics::default(),
+            checkouts: HashMap::new(),
         }
+    }
+
+    /// Hand the context a checkout guard acquired ahead of execution.
+    pub fn adopt_checkout(&mut self, co: CheckedOut<'a>) {
+        self.checkouts.insert(co.id, co);
+    }
+
+    /// Acquire the guard for a reuse directive: a pre-acquired guard if the
+    /// session pinned one of the matching mode, otherwise a direct
+    /// (validated) checkout.
+    fn checkout_for(&mut self, spec: &ReuseSpec) -> Result<CheckedOut<'a>> {
+        let mode_matches = self
+            .checkouts
+            .get(&spec.id)
+            .is_some_and(|co| co.is_exclusive() == spec.case.needs_delta());
+        if mode_matches {
+            return Ok(self.checkouts.remove(&spec.id).expect("checked above"));
+        }
+        checkout_spec(self.htm, spec)
+    }
+
+    /// Lock the temp-table cache for one operation.
+    pub fn lock_temps(&self) -> MutexGuard<'a, TempTableCache> {
+        self.temps.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Acquire checkout guards for every reuse directive in a plan, in plan
+/// order. Sessions call this between optimization and execution: it is the
+/// only moment a chosen candidate can turn out to be gone (evicted or
+/// write-locked by a concurrent session), reported as a `CacheError` the
+/// caller handles by re-planning.
+pub fn acquire_plan_checkouts<'a>(
+    plan: &PhysicalPlan,
+    htm: &'a HtManager,
+) -> Result<Vec<CheckedOut<'a>>> {
+    let specs = plan.reuse_specs();
+    // The same table may legitimately serve two *read-only* operators (one
+    // guard suffices; operators past the first fall back to a direct shared
+    // checkout). A duplicate involving mutation cannot work — the first
+    // operator's check-in widens the lineage out from under the second's
+    // plan — so fail fast here (→ re-plan) instead of mid-execution.
+    for (i, a) in specs.iter().enumerate() {
+        for b in &specs[..i] {
+            if a.id == b.id && (a.case.needs_delta() || b.case.needs_delta()) {
+                return Err(HsError::CacheError(format!(
+                    "{} reused twice in one plan with mutation",
+                    a.id
+                )));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for spec in specs {
+        if out.iter().any(|co: &CheckedOut<'_>| co.id == spec.id) {
+            continue;
+        }
+        out.push(checkout_spec(htm, spec)?);
+    }
+    Ok(out)
+}
+
+/// Check out the table a reuse directive names — shared for read-only
+/// cases, exclusive when the case mutates — and validate that its lineage
+/// still matches what the optimizer planned against. A concurrent session
+/// may have widened the table's region (partial reuse) in the window since
+/// planning, which would make the planned classification, delta scan and
+/// post-filter stale; that surfaces as a `CacheError` so the session
+/// re-plans against the current cache state.
+fn checkout_spec<'m>(htm: &'m HtManager, spec: &ReuseSpec) -> Result<CheckedOut<'m>> {
+    if spec.case.needs_delta() {
+        htm.checkout_mut_expecting(spec.id, &spec.cached_region)
+    } else {
+        htm.checkout_expecting(spec.id, &spec.cached_region)
     }
 }
 
@@ -99,7 +187,7 @@ fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Ro
             // The baseline's materialization cost: one extra copy of every
             // tuple out of the pipeline into a temp table.
             ctx.metrics.materialized_rows += rows.len() as u64;
-            ctx.temps
+            ctx.lock_temps()
                 .publish(fingerprint.clone(), schema.clone(), rows.clone());
             Ok((schema, rows))
         }
@@ -108,7 +196,7 @@ fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Ro
             schema: _,
             post_filter,
         } => {
-            let (schema, rows) = ctx.temps.read(*id)?;
+            let (schema, rows) = ctx.lock_temps().read(*id)?;
             ctx.metrics.rows_scanned += rows.len() as u64;
             let rows = match post_filter {
                 Some(pf) => {
@@ -304,6 +392,31 @@ fn as_hi_bound(b: &Bound<Value>) -> Bound<&Value> {
 // Hash join
 // ---------------------------------------------------------------------------
 
+/// The build side of a hash join: either a freshly built local table or an
+/// RAII guard over a reused cached table (shared snapshot for read-only
+/// reuse, copy-on-write for delta insertion).
+enum JoinBuild<'m> {
+    Fresh(ExtendibleHashTable<TaggedRow>),
+    Reused(CheckedOut<'m>),
+    /// A mutating reuse that has already been checked back in: the writer
+    /// pin is released and the probe phase reads this immutable snapshot.
+    Snapshot(Arc<StoredHt>),
+}
+
+impl JoinBuild<'_> {
+    fn probe_table(&self) -> &ExtendibleHashTable<TaggedRow> {
+        let stored = match self {
+            JoinBuild::Fresh(t) => return t,
+            JoinBuild::Reused(co) => co.table(),
+            JoinBuild::Snapshot(s) => s,
+        };
+        match stored {
+            StoredHt::Join(t) => t,
+            _ => unreachable!("kind verified at checkout"),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_hash_join(
     ctx: &mut ExecContext<'_>,
@@ -315,35 +428,32 @@ fn run_hash_join(
     publish: &Option<hashstash_plan::HtFingerprint>,
 ) -> Result<(Schema, Vec<Row>)> {
     // --- Build phase -------------------------------------------------------
-    let (mut ht, build_schema, checked_out) = match reuse {
+    let (build_schema, mut source) = match reuse {
         Some(spec) => {
-            let co = ctx.htm.checkout(spec.id)?;
+            let co = ctx.checkout_for(spec)?;
             ctx.metrics.reused_tables += 1;
-            let StoredHt::Join(ht) = co.ht else {
+            if !matches!(co.table(), StoredHt::Join(_)) {
                 return Err(HsError::ExecError(format!(
                     "{} is not a join hash table",
                     spec.id
                 )));
-            };
-            (
-                ht,
-                co.schema.clone(),
-                Some((spec.clone(), co.id, co.fingerprint)),
-            )
+            }
+            (co.schema.clone(), JoinBuild::Reused(co))
         }
         None => {
             let build_plan = build.as_ref().ok_or_else(|| {
                 HsError::ExecError("hash join without build plan or reuse".into())
             })?;
-            let (schema, _) = (build_plan.schema(ctx.catalog)?, ());
+            let schema = build_plan.schema(ctx.catalog)?;
             let ht = ExtendibleHashTable::new(schema.tuple_width());
-            (ht, schema, None)
+            (schema, JoinBuild::Fresh(ht))
         }
     };
     let build_key_idx = build_schema.index_of(build_key)?;
 
     // Insert rows from the build sub-plan: all of them for a fresh table,
-    // only the delta for partial/overlapping reuse.
+    // only the delta for partial/overlapping reuse (copy-on-write on the
+    // checked-out handle).
     if let Some(build_plan) = build {
         if reuse.is_none() || reuse.as_ref().is_some_and(|r| r.case.needs_delta()) {
             let (bs, rows) = run(build_plan, ctx)?;
@@ -352,11 +462,19 @@ fn run_hash_join(
                     "build schema mismatch: expected {build_schema:?}, got {bs:?}"
                 )));
             }
-            ht.reserve(rows.len());
             ctx.metrics.ht_inserts += rows.len() as u64;
+            let target = match &mut source {
+                JoinBuild::Fresh(t) => t,
+                JoinBuild::Reused(co) => match co.table_mut()? {
+                    StoredHt::Join(t) => t,
+                    _ => unreachable!("kind verified at checkout"),
+                },
+                JoinBuild::Snapshot(_) => unreachable!("mutation precedes check-in"),
+            };
+            target.reserve(rows.len());
             for row in rows {
                 let key = row.key64(&[build_key_idx]);
-                ht.insert(key, TaggedRow::untagged(row));
+                target.insert(key, TaggedRow::untagged(row));
             }
             if reuse.is_none() {
                 ctx.metrics.built_tables += 1;
@@ -368,7 +486,21 @@ fn run_hash_join(
         ));
     }
 
-    // --- Probe phase -------------------------------------------------------
+    // A mutating reuse is complete once the delta is inserted: publish the
+    // new version (widened lineage) immediately so the writer pin is not
+    // held across the probe phase, and keep probing a cheap snapshot.
+    if let Some(spec) = reuse {
+        if spec.case.needs_delta() {
+            source = match source {
+                JoinBuild::Reused(co) => {
+                    JoinBuild::Snapshot(co.checkin_widened(&spec.request_region)?)
+                }
+                other => other,
+            };
+        }
+    }
+
+    // --- Probe phase (read-only: no lock, shared with other sessions) ------
     let (probe_schema, probe_rows) = run(probe, ctx)?;
     let probe_key_idx = probe_schema.index_of(probe_key)?;
     let post_filter = match reuse.as_ref().and_then(|r| r.post_filter.as_ref()) {
@@ -377,10 +509,11 @@ fn run_hash_join(
     };
     let mut out = Vec::new();
     ctx.metrics.ht_probes += probe_rows.len() as u64;
+    let ht = source.probe_table();
     for prow in &probe_rows {
         let key = prow.key64(&[probe_key_idx]);
         let pval = prow.get(probe_key_idx);
-        for tagged in ht.probe(key) {
+        for tagged in ht.probe_readonly(key) {
             // Verify the actual key (hash keys may collide).
             if tagged.row.get(build_key_idx) != pval {
                 continue;
@@ -395,19 +528,11 @@ fn run_hash_join(
     }
 
     // --- Hand the table back to the manager --------------------------------
-    match checked_out {
-        Some((spec, id, mut fingerprint)) => {
-            if spec.case.needs_delta() {
-                fingerprint.region = fingerprint.region.union(&spec.request_region);
-            }
-            ctx.htm.checkin(hashstash_cache::CheckedOut {
-                id,
-                fingerprint,
-                schema: build_schema.clone(),
-                ht: StoredHt::Join(ht),
-            })?;
-        }
-        None => {
+    match source {
+        // Read-only reuse: dropping the guard releases the shared pin.
+        // Mutating reuse was already checked in before the probe.
+        JoinBuild::Reused(_) | JoinBuild::Snapshot(_) => {}
+        JoinBuild::Fresh(ht) => {
             if let Some(fp) = publish {
                 ctx.htm
                     .publish(fp.clone(), build_schema.clone(), StoredHt::Join(ht));
@@ -422,6 +547,40 @@ fn run_hash_join(
 // Hash aggregate
 // ---------------------------------------------------------------------------
 
+/// The state of a hash aggregate: fresh local table or reused guard.
+enum AggSource<'m> {
+    Fresh(ExtendibleHashTable<AggPayload>),
+    Reused(CheckedOut<'m>),
+    /// A mutating reuse that has already been checked back in: the writer
+    /// pin is released and the output phase reads this immutable snapshot.
+    Snapshot(Arc<StoredHt>),
+}
+
+impl AggSource<'_> {
+    fn read_table(&self) -> &ExtendibleHashTable<AggPayload> {
+        let stored = match self {
+            AggSource::Fresh(t) => return t,
+            AggSource::Reused(co) => co.table(),
+            AggSource::Snapshot(s) => s,
+        };
+        match stored {
+            StoredHt::Agg(t) => t,
+            _ => unreachable!("kind verified at checkout"),
+        }
+    }
+
+    fn write_table(&mut self) -> Result<&mut ExtendibleHashTable<AggPayload>> {
+        match self {
+            AggSource::Fresh(t) => Ok(t),
+            AggSource::Reused(co) => match co.table_mut()? {
+                StoredHt::Agg(t) => Ok(t),
+                _ => unreachable!("kind verified at checkout"),
+            },
+            AggSource::Snapshot(_) => unreachable!("mutation precedes check-in"),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_hash_agg(
     ctx: &mut ExecContext<'_>,
@@ -434,21 +593,17 @@ fn run_hash_agg(
     post_group_by: &Option<Vec<Arc<str>>>,
 ) -> Result<(Schema, Vec<Row>)> {
     // --- Acquire the hash table --------------------------------------------
-    let (mut ht, group_schema, checked_out) = match reuse {
+    let (group_schema, mut source) = match reuse {
         Some(spec) => {
-            let co = ctx.htm.checkout(spec.id)?;
+            let co = ctx.checkout_for(spec)?;
             ctx.metrics.reused_tables += 1;
-            let StoredHt::Agg(ht) = co.ht else {
+            if !matches!(co.table(), StoredHt::Agg(_)) {
                 return Err(HsError::ExecError(format!(
                     "{} is not an aggregate hash table",
                     spec.id
                 )));
-            };
-            (
-                ht,
-                co.schema.clone(),
-                Some((spec.clone(), co.id, co.fingerprint)),
-            )
+            }
+            (co.schema.clone(), AggSource::Reused(co))
         }
         None => {
             let width: usize = {
@@ -466,7 +621,10 @@ fn run_hash_agg(
                     crate::plan::lookup_attr_type(ctx.catalog, g)?,
                 ));
             }
-            (ExtendibleHashTable::new(width), Schema::new(fields), None)
+            (
+                Schema::new(fields),
+                AggSource::Fresh(ExtendibleHashTable::new(width)),
+            )
         }
     };
 
@@ -485,6 +643,9 @@ fn run_hash_agg(
             if reuse.is_none() {
                 ctx.metrics.built_tables += 1;
             }
+            let ht = source.write_table()?;
+            let mut inserts = 0u64;
+            let mut updates = 0u64;
             for row in rows {
                 let key = row.key64(&group_idx);
                 let group_row = row.project(&group_idx);
@@ -507,11 +668,27 @@ fn run_hash_agg(
                     },
                 );
                 if created {
-                    ctx.metrics.ht_inserts += 1;
+                    inserts += 1;
                 } else {
-                    ctx.metrics.ht_updates += 1;
+                    updates += 1;
                 }
             }
+            ctx.metrics.ht_inserts += inserts;
+            ctx.metrics.ht_updates += updates;
+        }
+    }
+
+    // A mutating reuse is complete once the delta is folded: publish the
+    // new version (widened lineage) immediately so the writer pin is not
+    // held across output production, and keep reading a cheap snapshot.
+    if let Some(spec) = reuse {
+        if spec.case.needs_delta() {
+            source = match source {
+                AggSource::Reused(co) => {
+                    AggSource::Snapshot(co.checkin_widened(&spec.request_region)?)
+                }
+                other => other,
+            };
         }
     }
 
@@ -522,6 +699,7 @@ fn run_hash_agg(
     };
 
     let mut out_rows = Vec::new();
+    let ht = source.read_table();
     match post_group_by {
         None => {
             for (_, payload) in ht.iter() {
@@ -601,19 +779,11 @@ fn run_hash_agg(
     let out_schema = Schema::new(fields);
 
     // --- Hand the table back -------------------------------------------------
-    match checked_out {
-        Some((spec, id, mut fingerprint)) => {
-            if spec.case.needs_delta() {
-                fingerprint.region = fingerprint.region.union(&spec.request_region);
-            }
-            ctx.htm.checkin(hashstash_cache::CheckedOut {
-                id,
-                fingerprint,
-                schema: group_schema,
-                ht: StoredHt::Agg(ht),
-            })?;
-        }
-        None => {
+    match source {
+        // Read-only reuse: the guard drop releases the shared pin.
+        // Mutating reuse was already checked in before output production.
+        AggSource::Reused(_) | AggSource::Snapshot(_) => {}
+        AggSource::Fresh(ht) => {
             if let Some(fp) = publish {
                 ctx.htm.publish(fp.clone(), group_schema, StoredHt::Agg(ht));
             }
@@ -655,11 +825,11 @@ mod tests {
     use hashstash_plan::{AggExpr, AggFunc, HtFingerprint, HtKind, Interval, Region, ReuseCase};
     use hashstash_storage::tpch::{generate, TpchConfig};
 
-    fn setup() -> (Catalog, HtManager, TempTableCache) {
+    fn setup() -> (Catalog, HtManager, Mutex<TempTableCache>) {
         (
             generate(TpchConfig::new(0.002, 5)),
             HtManager::new(GcConfig::default()),
-            TempTableCache::unbounded(),
+            Mutex::new(TempTableCache::unbounded()),
         )
     }
 
@@ -669,13 +839,13 @@ mod tests {
 
     #[test]
     fn scan_with_filter_matches_manual_count() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let pred = PredBox::all().with(
             "customer.c_age",
             Interval::closed(Value::Int(30), Value::Int(40)),
         );
         let plan = PhysicalPlan::Scan(ScanSpec::filtered("customer", pred));
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let (schema, rows) = execute(&plan, &mut ctx).unwrap();
         let age_idx = schema.index_of("customer.c_age").unwrap();
         assert!(!rows.is_empty());
@@ -697,7 +867,7 @@ mod tests {
 
     #[test]
     fn join_produces_correct_pairs() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let plan = PhysicalPlan::HashJoin {
             probe: Box::new(scan_all("orders")),
             build: Some(Box::new(scan_all("customer"))),
@@ -706,7 +876,7 @@ mod tests {
             reuse: None,
             publish: None,
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let (schema, rows) = execute(&plan, &mut ctx).unwrap();
         // Every order joins exactly one customer.
         let orders = cat.get("orders").unwrap().row_count();
@@ -722,7 +892,7 @@ mod tests {
 
     #[test]
     fn aggregate_sums_match_manual() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let aggs = vec![
             AggExpr::new(AggFunc::Sum, "customer.c_acctbal"),
             AggExpr::new(AggFunc::Count, "customer.c_custkey"),
@@ -736,7 +906,7 @@ mod tests {
             publish: None,
             post_group_by: None,
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let (schema, rows) = execute(&plan, &mut ctx).unwrap();
         assert_eq!(schema.len(), 3);
         // Totals across groups must equal table totals.
@@ -753,7 +923,7 @@ mod tests {
 
     #[test]
     fn avg_reconstruction_from_sum_count() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let aggs = vec![
             AggExpr::new(AggFunc::Sum, "customer.c_acctbal"),
             AggExpr::new(AggFunc::Count, "customer.c_acctbal"),
@@ -770,7 +940,7 @@ mod tests {
             publish: None,
             post_group_by: None,
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let (_, rows) = execute(&plan, &mut ctx).unwrap();
         assert_eq!(rows.len(), 1);
         let table = cat.get("customer").unwrap();
@@ -785,7 +955,7 @@ mod tests {
 
     #[test]
     fn join_publish_then_exact_reuse() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let fp = HtFingerprint {
             kind: HtKind::JoinBuild,
             tables: std::iter::once(Arc::from("customer")).collect(),
@@ -807,7 +977,7 @@ mod tests {
             reuse: None,
             publish: Some(fp.clone()),
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let (_, rows1) = execute(&first, &mut ctx).unwrap();
         let inserts_first = ctx.metrics.ht_inserts;
         assert!(inserts_first > 0);
@@ -826,11 +996,12 @@ mod tests {
                 case: ReuseCase::Exact,
                 post_filter: None,
                 request_region: Region::all(),
+                cached_region: cand.fingerprint.region.clone(),
                 schema: cand.schema.clone(),
             }),
             publish: None,
         };
-        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx2 = ExecContext::new(&cat, &htm, &temps);
         let (_, rows2) = execute(&second, &mut ctx2).unwrap();
         assert_eq!(rows1.len(), rows2.len());
         assert_eq!(ctx2.metrics.ht_inserts, 0, "exact reuse inserts nothing");
@@ -840,7 +1011,7 @@ mod tests {
 
     #[test]
     fn subsuming_reuse_post_filters() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         // Build a cached table over customers age >= 20 (wide).
         let wide_pred = PredBox::all().with("customer.c_age", Interval::at_least(Value::Int(20)));
         let fp = HtFingerprint {
@@ -864,7 +1035,7 @@ mod tests {
             reuse: None,
             publish: Some(fp.clone()),
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         execute(&first, &mut ctx).unwrap();
 
         // Now ask for age >= 30 (narrow) via subsuming reuse.
@@ -881,11 +1052,12 @@ mod tests {
                 case: ReuseCase::Subsuming,
                 post_filter: Some(narrow.clone()),
                 request_region: Region::from_box(narrow.clone()),
+                cached_region: cand.fingerprint.region.clone(),
                 schema: cand.schema.clone(),
             }),
             publish: None,
         };
-        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx2 = ExecContext::new(&cat, &htm, &temps);
         let (schema, rows) = execute(&second, &mut ctx2).unwrap();
         let age_idx = schema.index_of("customer.c_age").unwrap();
         assert!(!rows.is_empty());
@@ -905,14 +1077,14 @@ mod tests {
             reuse: None,
             publish: None,
         };
-        let mut ctx3 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx3 = ExecContext::new(&cat, &htm, &temps);
         let (_, ref_rows) = execute(&reference, &mut ctx3).unwrap();
         assert_eq!(rows.len(), ref_rows.len());
     }
 
     #[test]
     fn partial_reuse_adds_missing_tuples() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         // Cache customers with age in [40, 60].
         let cached_pred = PredBox::all().with(
             "customer.c_age",
@@ -939,7 +1111,7 @@ mod tests {
             reuse: None,
             publish: Some(fp.clone()),
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         execute(&first, &mut ctx).unwrap();
 
         // Request age in [30, 60]: delta is [30, 39].
@@ -966,11 +1138,12 @@ mod tests {
                 case: ReuseCase::Partial,
                 post_filter: None,
                 request_region: request_region.clone(),
+                cached_region: cand.fingerprint.region.clone(),
                 schema: cand.schema.clone(),
             }),
             publish: None,
         };
-        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx2 = ExecContext::new(&cat, &htm, &temps);
         let (schema, rows) = execute(&second, &mut ctx2).unwrap();
         assert!(ctx2.metrics.ht_inserts > 0, "delta rows inserted");
         let age_idx = schema.index_of("customer.c_age").unwrap();
@@ -991,7 +1164,7 @@ mod tests {
             reuse: None,
             publish: None,
         };
-        let mut ctx3 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx3 = ExecContext::new(&cat, &htm, &temps);
         let (_, ref_rows) = execute(&reference, &mut ctx3).unwrap();
         assert_eq!(rows.len(), ref_rows.len());
 
@@ -1005,7 +1178,7 @@ mod tests {
 
     #[test]
     fn post_group_by_reaggregates() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         // Group by (age, nation) then post-group to age only.
         let aggs = vec![AggExpr::new(AggFunc::Sum, "customer.c_acctbal")];
         let plan = PhysicalPlan::HashAggregate {
@@ -1017,7 +1190,7 @@ mod tests {
             publish: None,
             post_group_by: Some(vec!["customer.c_age".into()]),
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let (schema, rows) = execute(&plan, &mut ctx).unwrap();
         assert_eq!(schema.len(), 2);
 
@@ -1031,7 +1204,7 @@ mod tests {
             publish: None,
             post_group_by: None,
         };
-        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx2 = ExecContext::new(&cat, &htm, &temps);
         let (_, mut ref_rows) = execute(&reference, &mut ctx2).unwrap();
         let mut got = rows.clone();
         got.sort();
@@ -1047,13 +1220,13 @@ mod tests {
 
     #[test]
     fn empty_region_scan_returns_nothing() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let plan = PhysicalPlan::Scan(ScanSpec {
             table: "customer".into(),
             region: Region::empty(),
             projection: vec![],
         });
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let (_, rows) = execute(&plan, &mut ctx).unwrap();
         assert!(rows.is_empty());
         assert_eq!(ctx.metrics.rows_scanned, 0);

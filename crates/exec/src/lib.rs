@@ -24,7 +24,7 @@ pub mod plan;
 pub mod shared;
 pub mod temp;
 
-pub use exec::{execute, ExecContext, ExecMetrics};
+pub use exec::{acquire_plan_checkouts, execute, ExecContext, ExecMetrics};
 pub use plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 pub use shared::{SharedPlanSpec, SharedReuse};
 pub use temp::{TempTableCache, TempTableStats};

@@ -66,6 +66,11 @@ pub struct ReuseSpec {
     /// Region of the *requesting* operator; used at check-in to widen the
     /// cached table's lineage after missing tuples were added.
     pub request_region: Region,
+    /// Region of the *cached* table at planning time. The executor
+    /// re-validates it at checkout: if a concurrent session widened the
+    /// table's lineage in between, the classification (and delta/post
+    /// filter) computed here is stale and the query must re-plan.
+    pub cached_region: Region,
     /// Payload schema of the cached table (known to the optimizer from the
     /// candidate's statistics), so plan schemas are computable even when the
     /// build sub-plan is eliminated.
@@ -320,6 +325,51 @@ impl PhysicalPlan {
         let mut out = Vec::new();
         self.collect_decisions(&mut out);
         out
+    }
+
+    /// Collect every reuse directive in the tree, in execution order. The
+    /// session uses this to check out (pin) all chosen tables right after
+    /// optimization, before execution starts.
+    pub fn reuse_specs(&self) -> Vec<&ReuseSpec> {
+        let mut out = Vec::new();
+        self.collect_reuse_specs(&mut out);
+        out
+    }
+
+    fn collect_reuse_specs<'p>(&'p self, out: &mut Vec<&'p ReuseSpec>) {
+        match self {
+            PhysicalPlan::Scan(_) | PhysicalPlan::TempScan { .. } => {}
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Materialize { input, .. } => input.collect_reuse_specs(out),
+            PhysicalPlan::Union { inputs } => {
+                for i in inputs {
+                    i.collect_reuse_specs(out);
+                }
+            }
+            PhysicalPlan::HashJoin {
+                probe,
+                build,
+                reuse,
+                ..
+            } => {
+                probe.collect_reuse_specs(out);
+                if let Some(b) = build {
+                    b.collect_reuse_specs(out);
+                }
+                if let Some(r) = reuse {
+                    out.push(r);
+                }
+            }
+            PhysicalPlan::HashAggregate { input, reuse, .. } => {
+                if let Some(i) = input {
+                    i.collect_reuse_specs(out);
+                }
+                if let Some(r) = reuse {
+                    out.push(r);
+                }
+            }
+        }
     }
 
     fn collect_decisions(&self, out: &mut Vec<(String, Option<ReuseCase>)>) {

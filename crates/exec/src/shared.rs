@@ -16,6 +16,12 @@
 //!   tuples (partial/overlapping reuse) are produced by re-running the join
 //!   pipeline restricted to the delta region.
 //!
+//! Re-tagging mutates the table, so shared reuse always takes an
+//! *exclusive* checkout and copies-on-write; the retagged (and
+//! delta-extended) version is checked in as soon as it is complete, and the
+//! rest of the batch keeps probing a cheap `Arc` snapshot of it — the
+//! cached entry is writer-locked only while tags are being rewritten.
+//!
 //! The executor here implements a *probe pipeline*: one driver table streams
 //! through a chain of single-table build sides — the shape of the paper's
 //! Figure 5 (per-table selections feeding shared joins).
@@ -43,6 +49,10 @@ pub struct SharedReuse {
     pub delta_region: Region,
     /// Union region of the requesting batch (for lineage widening).
     pub request_region: Region,
+    /// Region of the cached table at batch-planning time; re-validated at
+    /// checkout (a concurrent widening makes `delta_region` stale and the
+    /// batch re-plans).
+    pub cached_region: Region,
 }
 
 /// One shared join step: build a tagged hash table over a single base table
@@ -117,6 +127,26 @@ pub struct SharedQueryResult {
     pub rows: Vec<Row>,
 }
 
+/// A tagged table a shared plan works on: freshly built this batch, or an
+/// immutable snapshot of a reused cached table (already retagged, checked
+/// in, and released back to the manager).
+enum SharedTable {
+    Fresh(ExtendibleHashTable<TaggedRow>),
+    Snapshot(std::sync::Arc<StoredHt>),
+}
+
+impl SharedTable {
+    fn tagged(&self) -> &ExtendibleHashTable<TaggedRow> {
+        match self {
+            SharedTable::Fresh(t) => t,
+            SharedTable::Snapshot(s) => match &**s {
+                StoredHt::Join(t) | StoredHt::SharedGroup(t) => t,
+                StoredHt::Agg(_) => unreachable!("shared plans never snapshot aggregate tables"),
+            },
+        }
+    }
+}
+
 /// Evaluate which queries of the batch a row qualifies for.
 fn tag_row(queries: &[QuerySpec], schema: &Schema, row: &Row) -> QidSet {
     let lookup =
@@ -138,7 +168,7 @@ pub fn execute_shared(
     // ------------------------------------------------------------------
     // 1. Build (or reuse + re-tag) the tagged hash table of every join step.
     // ------------------------------------------------------------------
-    let mut step_tables: Vec<(ExtendibleHashTable<TaggedRow>, Schema, usize)> = Vec::new();
+    let mut step_tables: Vec<(SharedTable, Schema, usize)> = Vec::new();
     for step in &spec.steps {
         let (ht, schema) = build_shared_join_table(spec, step, ctx)?;
         let key_idx = schema.index_of(&step.build_key)?;
@@ -204,16 +234,16 @@ pub fn execute_shared(
             pipeline_rows.push((row, QidSet::EMPTY));
         }
         // Probe through every step, narrowing tags by the build side's tags.
-        for (step, (ht, build_schema, build_key_idx)) in
-            spec.steps.iter().zip(step_tables.iter_mut())
-        {
+        // Probing is read-only: reused tables are immutable snapshots, so
+        // no cache lock is held here.
+        for (step, (ht, build_schema, build_key_idx)) in spec.steps.iter().zip(step_tables.iter()) {
             let probe_idx = pipeline_schema.index_of(&step.probe_attr)?;
             let mut next = Vec::with_capacity(pipeline_rows.len());
             ctx.metrics.ht_probes += pipeline_rows.len() as u64;
             for (row, _) in &pipeline_rows {
                 let key = row.key64(&[probe_idx]);
                 let pval = row.get(probe_idx);
-                for tagged in ht.probe(key) {
+                for tagged in ht.tagged().probe_readonly(key) {
                     if tagged.row.get(*build_key_idx) != pval {
                         continue;
                     }
@@ -235,7 +265,7 @@ pub fn execute_shared(
     // ------------------------------------------------------------------
     // 4. Run grouping phases (reuse/retag + delta folding).
     // ------------------------------------------------------------------
-    let mut group_tables: Vec<(ExtendibleHashTable<TaggedRow>, Schema)> = Vec::new();
+    let mut group_tables: Vec<(SharedTable, Schema)> = Vec::new();
     for (gi, gspec) in spec.group_specs.iter().enumerate() {
         let (ht, schema) = run_grouping_phase(
             spec,
@@ -275,34 +305,22 @@ pub fn execute_shared(
             SharedOutput::Aggregate { group_spec, aggs } => {
                 let (gtable, gschema) = &group_tables[*group_spec];
                 let gspec = &spec.group_specs[*group_spec];
-                let result = aggregate_for_query(q, slot, gspec, gtable, gschema, aggs, ctx)?;
+                let result =
+                    aggregate_for_query(q, slot, gspec, gtable.tagged(), gschema, aggs, ctx)?;
                 results.push(result);
             }
         }
     }
 
     // ------------------------------------------------------------------
-    // 6. Hand tables back to the manager.
+    // 6. Publish freshly built tables (reused ones were checked in the
+    //    moment their retag/delta mutation completed).
     // ------------------------------------------------------------------
     for (step, (ht, schema, _)) in spec.steps.iter().zip(step_tables) {
-        finish_table(
-            step.reuse.as_ref(),
-            step.publish.as_ref(),
-            ht,
-            schema,
-            false,
-            ctx,
-        )?;
+        finish_table(step.publish.as_ref(), ht, schema, false, ctx);
     }
     for (gspec, (ht, schema)) in spec.group_specs.iter().zip(group_tables) {
-        finish_table(
-            gspec.reuse.as_ref(),
-            gspec.publish.as_ref(),
-            ht,
-            schema,
-            true,
-            ctx,
-        )?;
+        finish_table(gspec.publish.as_ref(), ht, schema, true, ctx);
     }
 
     Ok(results)
@@ -313,7 +331,7 @@ fn build_shared_join_table(
     spec: &SharedPlanSpec,
     step: &SharedJoinStep,
     ctx: &mut ExecContext<'_>,
-) -> Result<(ExtendibleHashTable<TaggedRow>, Schema)> {
+) -> Result<(SharedTable, Schema)> {
     let table = ctx.catalog.get(&step.table)?;
     let qualified = table.qualified_schema();
     let names: Vec<&str> = step.payload.iter().map(|a| a.as_ref()).collect();
@@ -321,25 +339,38 @@ fn build_shared_join_table(
 
     match &step.reuse {
         Some(reuse) => {
-            let co = ctx.htm.checkout(reuse.id)?;
+            // Re-tagging mutates the table: exclusive checkout, COW. The
+            // checkout re-validates the lineage the batch was planned
+            // against; a concurrent widening surfaces as `CacheError` and
+            // the batch re-plans.
+            let mut co = ctx
+                .htm
+                .checkout_mut_expecting(reuse.id, &reuse.cached_region)?;
             ctx.metrics.reused_tables += 1;
-            let StoredHt::Join(mut ht) = co.ht else {
+            if !matches!(co.table(), StoredHt::Join(_)) {
                 return Err(HsError::ExecError(format!(
                     "{} is not a join hash table",
                     reuse.id
                 )));
-            };
+            }
+            let co_schema = co.schema.clone();
             // Re-tag every stored tuple with the current batch's predicates
             // (paper §4.1: stale tags would corrupt results).
-            let co_schema = co.schema.clone();
-            let queries = &spec.queries;
-            let mut retag_updates = 0u64;
-            ht.for_each_mut(|_, tagged| {
-                tagged.tag = tag_row(queries, &co_schema, &tagged.row);
-                retag_updates += 1;
-            });
-            ctx.metrics.ht_updates += retag_updates;
-            // Add missing tuples for partial/overlapping reuse.
+            {
+                let StoredHt::Join(ht) = co.table_mut()? else {
+                    unreachable!("kind verified above")
+                };
+                let queries = &spec.queries;
+                let mut retag_updates = 0u64;
+                ht.for_each_mut(|_, tagged| {
+                    tagged.tag = tag_row(queries, &co_schema, &tagged.row);
+                    retag_updates += 1;
+                });
+                ctx.metrics.ht_updates += retag_updates;
+            }
+            // Add missing tuples for partial/overlapping reuse *before*
+            // check-in, so the cached version really covers the widened
+            // region it claims.
             if reuse.case.needs_delta() && !reuse.delta_region.is_empty() {
                 let delta = project_region_to_table(&reuse.delta_region, &step.table);
                 let scan = crate::plan::ScanSpec {
@@ -350,30 +381,27 @@ fn build_shared_join_table(
                 let (dschema, rows) =
                     crate::exec::execute(&crate::plan::PhysicalPlan::Scan(scan), ctx)?;
                 let key_idx = dschema.index_of(&step.build_key)?;
-                ht.reserve(rows.len());
                 ctx.metrics.ht_inserts += rows.len() as u64;
+                let StoredHt::Join(ht) = co.table_mut()? else {
+                    unreachable!("kind verified above")
+                };
+                ht.reserve(rows.len());
                 for row in rows {
                     let tag = tag_row(&spec.queries, &dschema, &row);
                     let key = row.key64(&[key_idx]);
                     ht.insert(key, TaggedRow::tagged(row, tag));
                 }
             }
-            // Reconstruct checkout context for later check-in.
-            // (We stash the fingerprint inside the reuse spec path at
-            // finish_table time via the manager's candidate lookup.)
-            ctx.htm.checkin(hashstash_cache::CheckedOut {
-                id: co.id,
-                fingerprint: {
-                    let mut fp = co.fingerprint;
-                    if reuse.case.needs_delta() {
-                        fp.region = fp.region.union(&reuse.request_region);
-                    }
-                    fp
-                },
-                schema: co_schema.clone(),
-                ht: StoredHt::Join(ht.clone()),
-            })?;
-            Ok((ht, co_schema))
+            // Check the retagged version in immediately (releasing the
+            // writer lock) and keep probing a cheap snapshot of it.
+            let snapshot = if reuse.case.needs_delta() {
+                co.checkin_widened(&reuse.request_region)?
+            } else {
+                let snapshot = co.snapshot();
+                co.checkin()?;
+                snapshot
+            };
+            Ok((SharedTable::Snapshot(snapshot), co_schema))
         }
         None => {
             // Fresh build: scan the table's union region across queries.
@@ -397,13 +425,13 @@ fn build_shared_join_table(
                 let key = row.key64(&[key_idx]);
                 ht.insert(key, TaggedRow::tagged(row, tag));
             }
-            Ok((ht, dschema))
+            Ok((SharedTable::Fresh(ht), dschema))
         }
     }
 }
 
-/// Run one shared grouping phase: reuse + retag, then fold delta/full
-/// pipeline rows.
+/// Run one shared grouping phase: reuse + retag + delta folding, check-in,
+/// then return the table for the per-query aggregation passes.
 fn run_grouping_phase(
     spec: &SharedPlanSpec,
     gspec: &SharedGroupSpec,
@@ -411,39 +439,60 @@ fn run_grouping_phase(
     pipeline_schema: &Schema,
     pipeline_rows: &[(Row, QidSet)],
     ctx: &mut ExecContext<'_>,
-) -> Result<(ExtendibleHashTable<TaggedRow>, Schema)> {
-    let (mut ht, schema) = match &gspec.reuse {
+) -> Result<(SharedTable, Schema)> {
+    match &gspec.reuse {
         Some(reuse) => {
-            let co = ctx.htm.checkout(reuse.id)?;
+            // Re-tagging mutates the table: exclusive checkout, COW. The
+            // checkout re-validates the lineage the batch was planned
+            // against; a concurrent widening surfaces as `CacheError` and
+            // the batch re-plans.
+            let mut co = ctx
+                .htm
+                .checkout_mut_expecting(reuse.id, &reuse.cached_region)?;
             ctx.metrics.reused_tables += 1;
-            let StoredHt::SharedGroup(mut ht) = co.ht else {
+            if !matches!(co.table(), StoredHt::SharedGroup(_)) {
                 return Err(HsError::ExecError(format!(
                     "{} is not a shared-group hash table",
                     reuse.id
                 )));
-            };
+            }
             let co_schema = co.schema.clone();
-            let queries = &spec.queries;
-            let mut retag_updates = 0u64;
-            ht.for_each_mut(|_, tagged| {
-                tagged.tag = tag_row(queries, &co_schema, &tagged.row);
-                retag_updates += 1;
-            });
-            ctx.metrics.ht_updates += retag_updates;
-            // Check in a clone with widened lineage; we keep working on ht.
-            ctx.htm.checkin(hashstash_cache::CheckedOut {
-                id: co.id,
-                fingerprint: {
-                    let mut fp = co.fingerprint;
-                    if reuse.case.needs_delta() {
-                        fp.region = fp.region.union(&reuse.request_region);
-                    }
-                    fp
-                },
-                schema: co_schema.clone(),
-                ht: StoredHt::SharedGroup(ht.clone()),
-            })?;
-            (ht, co_schema)
+            {
+                let StoredHt::SharedGroup(ht) = co.table_mut()? else {
+                    unreachable!("kind verified above")
+                };
+                let queries = &spec.queries;
+                let mut retag_updates = 0u64;
+                ht.for_each_mut(|_, tagged| {
+                    tagged.tag = tag_row(queries, &co_schema, &tagged.row);
+                    retag_updates += 1;
+                });
+                ctx.metrics.ht_updates += retag_updates;
+                // Fold the delta rows *before* check-in, so the cached
+                // version really contains the region its widened lineage
+                // claims.
+                if let Some(need_region) = need {
+                    fold_pipeline_rows(
+                        ht,
+                        gspec,
+                        need_region,
+                        pipeline_schema,
+                        pipeline_rows,
+                        &mut ctx.metrics,
+                    )?;
+                }
+            }
+            // Publish the retagged + extended version immediately
+            // (releasing the writer lock) and keep an immutable snapshot
+            // for the per-query aggregation passes.
+            let snapshot = if reuse.case.needs_delta() {
+                co.checkin_widened(&reuse.request_region)?
+            } else {
+                let snapshot = co.snapshot();
+                co.checkin()?;
+                snapshot
+            };
+            Ok((SharedTable::Snapshot(snapshot), co_schema))
         }
         None => {
             let mut fields = Vec::new();
@@ -454,52 +503,64 @@ fn run_grouping_phase(
                 ));
             }
             let schema = Schema::new(fields);
-            (ExtendibleHashTable::new(schema.tuple_width()), schema)
-        }
-    };
-
-    // Fold the needed pipeline rows into the grouping table.
-    if let Some(need_region) = need {
-        let group_idx: Vec<usize> = gspec
-            .group_by
-            .iter()
-            .map(|g| schema.index_of(g))
-            .collect::<Result<Vec<_>>>()?;
-        let stored_idx: Vec<usize> = gspec
-            .stored_attrs
-            .iter()
-            .map(|a| pipeline_schema.index_of(a))
-            .collect::<Result<Vec<_>>>()?;
-        // Map group attrs to positions inside the stored projection.
-        let _ = &group_idx;
-        for (row, tag) in pipeline_rows {
-            if tag.is_empty() {
-                continue;
+            let mut ht = ExtendibleHashTable::new(schema.tuple_width());
+            if let Some(need_region) = need {
+                fold_pipeline_rows(
+                    &mut ht,
+                    gspec,
+                    need_region,
+                    pipeline_schema,
+                    pipeline_rows,
+                    &mut ctx.metrics,
+                )?;
             }
-            // Only fold rows inside the region this grouping phase needs
-            // (a reused table already covers the rest).
-            if !region_matches_row(need_region, pipeline_schema, row) {
-                continue;
-            }
-            let stored = row.project(&stored_idx);
-            let gkey_idx: Vec<usize> = gspec
-                .group_by
-                .iter()
-                .map(|g| {
-                    gspec
-                        .stored_attrs
-                        .iter()
-                        .position(|a| a == g)
-                        .expect("group attr stored")
-                })
-                .collect();
-            let key = stored.key64(&gkey_idx);
-            ht.insert(key, TaggedRow::tagged(stored, *tag));
-            ctx.metrics.ht_inserts += 1;
+            Ok((SharedTable::Fresh(ht), schema))
         }
     }
+}
 
-    Ok((ht, schema))
+/// Fold the pipeline rows a grouping phase still needs into its table
+/// (everything for a fresh table, only the delta region for reuse).
+fn fold_pipeline_rows(
+    ht: &mut ExtendibleHashTable<TaggedRow>,
+    gspec: &SharedGroupSpec,
+    need_region: &Region,
+    pipeline_schema: &Schema,
+    pipeline_rows: &[(Row, QidSet)],
+    metrics: &mut crate::exec::ExecMetrics,
+) -> Result<()> {
+    let stored_idx: Vec<usize> = gspec
+        .stored_attrs
+        .iter()
+        .map(|a| pipeline_schema.index_of(a))
+        .collect::<Result<Vec<_>>>()?;
+    // Map group attrs to positions inside the stored projection.
+    let gkey_idx: Vec<usize> = gspec
+        .group_by
+        .iter()
+        .map(|g| {
+            gspec
+                .stored_attrs
+                .iter()
+                .position(|a| a == g)
+                .expect("group attr stored")
+        })
+        .collect();
+    for (row, tag) in pipeline_rows {
+        if tag.is_empty() {
+            continue;
+        }
+        // Only fold rows inside the region this grouping phase needs
+        // (a reused table already covers the rest).
+        if !region_matches_row(need_region, pipeline_schema, row) {
+            continue;
+        }
+        let stored = row.project(&stored_idx);
+        let key = stored.key64(&gkey_idx);
+        ht.insert(key, TaggedRow::tagged(stored, *tag));
+        metrics.ht_inserts += 1;
+    }
+    Ok(())
 }
 
 /// Aggregation phase for one query over a shared grouping table.
@@ -589,19 +650,15 @@ fn aggregate_for_query(
 }
 
 /// Publish a freshly built tagged table (reused ones were checked in
-/// immediately after mutation).
+/// immediately after their retag/delta mutation completed).
 fn finish_table(
-    reuse: Option<&SharedReuse>,
     publish: Option<&HtFingerprint>,
-    ht: ExtendibleHashTable<TaggedRow>,
+    table: SharedTable,
     schema: Schema,
     shared_group: bool,
     ctx: &mut ExecContext<'_>,
-) -> Result<()> {
-    if reuse.is_some() {
-        return Ok(()); // already checked in
-    }
-    if let Some(fp) = publish {
+) {
+    if let (SharedTable::Fresh(ht), Some(fp)) = (table, publish) {
         let stored = if shared_group {
             StoredHt::SharedGroup(ht)
         } else {
@@ -609,7 +666,6 @@ fn finish_table(
         };
         ctx.htm.publish(fp.clone(), schema, stored);
     }
-    Ok(())
 }
 
 /// Restrict a region to the attributes of one table (projection — a
@@ -636,11 +692,11 @@ mod tests {
     use hashstash_storage::tpch::{generate, TpchConfig};
     use hashstash_storage::Catalog;
 
-    fn setup() -> (Catalog, HtManager, TempTableCache) {
+    fn setup() -> (Catalog, HtManager, std::sync::Mutex<TempTableCache>) {
         (
             generate(TpchConfig::new(0.002, 11)),
             HtManager::unbounded(),
-            TempTableCache::unbounded(),
+            std::sync::Mutex::new(TempTableCache::unbounded()),
         )
     }
 
@@ -694,8 +750,8 @@ mod tests {
 
     /// Reference: run one query through the single-query executor.
     fn reference(q: &QuerySpec, cat: &Catalog) -> Vec<Row> {
-        let mut htm = HtManager::unbounded();
-        let mut temps = TempTableCache::unbounded();
+        let htm = HtManager::unbounded();
+        let temps = std::sync::Mutex::new(TempTableCache::unbounded());
         let plan = crate::plan::PhysicalPlan::HashAggregate {
             input: Some(Box::new(crate::plan::PhysicalPlan::HashJoin {
                 probe: Box::new(crate::plan::PhysicalPlan::Scan(
@@ -721,7 +777,7 @@ mod tests {
             publish: None,
             post_group_by: None,
         };
-        let mut ctx = ExecContext::new(cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(cat, &htm, &temps);
         let (_, mut rows) = crate::exec::execute(&plan, &mut ctx).unwrap();
         rows.sort();
         rows
@@ -729,14 +785,14 @@ mod tests {
 
     #[test]
     fn shared_plan_matches_individual_execution() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let queries = vec![
             mk_query(1, 20, 40),
             mk_query(2, 30, 60),
             mk_query(3, 50, 80),
         ];
         let spec = mk_spec(queries.clone());
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let results = execute_shared(&spec, &mut ctx).unwrap();
         assert_eq!(results.len(), 3);
         for (q, res) in queries.iter().zip(&results) {
@@ -749,7 +805,7 @@ mod tests {
 
     #[test]
     fn shared_plan_publishes_tagged_tables() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let queries = vec![mk_query(1, 20, 40), mk_query(2, 30, 60)];
         let mut spec = mk_spec(queries.clone());
         let fp = HtFingerprint {
@@ -766,7 +822,7 @@ mod tests {
             tagged: true,
         };
         spec.steps[0].publish = Some(fp.clone());
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         execute_shared(&spec, &mut ctx).unwrap();
         let cands = htm.candidates(&fp);
         assert_eq!(cands.len(), 1);
@@ -775,7 +831,7 @@ mod tests {
 
     #[test]
     fn shared_join_reuse_with_retag_matches_fresh_run() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         // Batch 1 publishes a tagged customer table over ages [20, 60].
         let batch1 = vec![mk_query(1, 20, 40), mk_query(2, 30, 60)];
         let mut spec1 = mk_spec(batch1);
@@ -793,7 +849,7 @@ mod tests {
             tagged: true,
         };
         spec1.steps[0].publish = Some(fp.clone());
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         execute_shared(&spec1, &mut ctx).unwrap();
         let cands = htm.candidates(&fp);
         let cand_id = cands[0].id;
@@ -810,8 +866,9 @@ mod tests {
             case: ReuseCase::Subsuming,
             delta_region: Region::empty(),
             request_region: request,
+            cached_region: fp.region.clone(),
         });
-        let mut ctx2 = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx2 = ExecContext::new(&cat, &htm, &temps);
         let results = execute_shared(&spec2, &mut ctx2).unwrap();
         assert!(ctx2.metrics.ht_updates > 0, "re-tagging happened");
         for (q, res) in batch2.iter().zip(&results) {
@@ -823,7 +880,7 @@ mod tests {
 
     #[test]
     fn spj_projection_output() {
-        let (cat, mut htm, mut temps) = setup();
+        let (cat, htm, temps) = setup();
         let q = QueryBuilder::new(5)
             .join(
                 "customer",
@@ -856,7 +913,7 @@ mod tests {
                 "customer.c_age".into(),
             ])],
         };
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let results = execute_shared(&spec, &mut ctx).unwrap();
         assert_eq!(results.len(), 1);
         assert!(!results[0].rows.is_empty());

@@ -13,6 +13,13 @@
 //! Both costs fall out naturally here: [`crate::plan::PhysicalPlan::Materialize`]
 //! copies rows into this cache, and a reusing plan scans the temp table into
 //! an ordinary hash-join build.
+//!
+//! Concurrency: unlike the sharded Hash Table Manager, this cache keeps a
+//! plain `&mut self` API and lives behind a `Mutex` owned by the engine
+//! ([`crate::ExecContext`] locks it only for the duration of one
+//! publish/read, never across operators). A `TempScan` whose table was
+//! evicted by a concurrent session surfaces a `CacheError`, which the
+//! session handles by re-planning.
 
 use std::collections::HashMap;
 

@@ -49,7 +49,7 @@ impl Matcher {
     /// * `stats` — for contribution/overhead estimation.
     pub fn find_matches(
         &self,
-        htm: &mut HtManager,
+        htm: &HtManager,
         request: &HtFingerprint,
         request_box: &PredBox,
         stats: &DbStats,
@@ -215,7 +215,7 @@ mod tests {
         }
     }
 
-    fn publish_join(htm: &mut HtManager, fp: &HtFingerprint, entries: usize) {
+    fn publish_join(htm: &HtManager, fp: &HtFingerprint, entries: usize) {
         let mut ht = ExtendibleHashTable::new(12);
         for i in 0..entries as u64 {
             ht.insert(
@@ -244,8 +244,8 @@ mod tests {
     fn four_cases_classified() {
         let st = stats();
         let m = Matcher;
-        let mut htm = HtManager::new(GcConfig::default());
-        publish_join(&mut htm, &join_fp(30, 60, false), 100);
+        let htm = HtManager::new(GcConfig::default());
+        publish_join(&htm, &join_fp(30, 60, false), 100);
 
         let mk_req = |lo: i64, hi: i64| {
             let mut fp = join_fp(lo, hi, false);
@@ -260,7 +260,7 @@ mod tests {
         ];
         for (lo, hi, expect) in cases {
             let req = mk_req(lo, hi);
-            let matches = m.find_matches(&mut htm, &req, &request_box(lo, hi), &st);
+            let matches = m.find_matches(&htm, &req, &request_box(lo, hi), &st);
             assert_eq!(matches.len(), 1, "case {expect}");
             assert_eq!(matches[0].case, expect);
             match expect {
@@ -289,7 +289,7 @@ mod tests {
         // Disjoint yields nothing.
         let req = mk_req(80, 90);
         assert!(m
-            .find_matches(&mut htm, &req, &request_box(80, 90), &st)
+            .find_matches(&htm, &req, &request_box(80, 90), &st)
             .is_empty());
     }
 
@@ -297,12 +297,12 @@ mod tests {
     fn tagged_mismatch_rejected() {
         let st = stats();
         let m = Matcher;
-        let mut htm = HtManager::new(GcConfig::default());
-        publish_join(&mut htm, &join_fp(30, 60, false), 10);
+        let htm = HtManager::new(GcConfig::default());
+        publish_join(&htm, &join_fp(30, 60, false), 10);
         let mut req = join_fp(30, 60, true);
         req.tagged = true;
         assert!(m
-            .find_matches(&mut htm, &req, &request_box(30, 60), &st)
+            .find_matches(&htm, &req, &request_box(30, 60), &st)
             .is_empty());
     }
 
@@ -310,14 +310,14 @@ mod tests {
     fn missing_post_filter_attr_rejected() {
         let st = stats();
         let m = Matcher;
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         // Candidate payload lacks c_age ⇒ subsuming reuse impossible.
         let mut fp = join_fp(30, 60, false);
         fp.payload_attrs = vec![Arc::from("customer.c_custkey")];
-        publish_join(&mut htm, &fp, 10);
+        publish_join(&htm, &fp, 10);
         let mut req = join_fp(40, 50, false);
         req.payload_attrs = vec![Arc::from("customer.c_custkey")];
-        let matches = m.find_matches(&mut htm, &req, &request_box(40, 50), &st);
+        let matches = m.find_matches(&htm, &req, &request_box(40, 50), &st);
         assert!(
             matches.is_empty(),
             "paper: no post-filter attributes ⇒ no reuse"
@@ -328,7 +328,7 @@ mod tests {
     fn aggregate_group_subset_requires_additive() {
         let st = stats();
         let m = Matcher;
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let cached = HtFingerprint {
             kind: HtKind::Aggregate,
             tables: std::iter::once(Arc::from("customer")).collect(),
@@ -365,7 +365,7 @@ mod tests {
         // Additive request on a subset of keys ⇒ post-group match.
         let mut req = cached.clone();
         req.key_attrs = vec![Arc::from("customer.c_age")];
-        let matches = m.find_matches(&mut htm, &req, &PredBox::all(), &st);
+        let matches = m.find_matches(&htm, &req, &PredBox::all(), &st);
         assert_eq!(matches.len(), 1);
         assert!(matches[0].needs_post_group);
         assert_eq!(matches[0].case, ReuseCase::Exact);
@@ -374,7 +374,7 @@ mod tests {
         let mut avg_req = req.clone();
         avg_req.aggregates = vec![AggExpr::new(AggFunc::Avg, "customer.c_acctbal")];
         assert!(m
-            .find_matches(&mut htm, &avg_req, &PredBox::all(), &st)
+            .find_matches(&htm, &avg_req, &PredBox::all(), &st)
             .is_empty());
 
         // Superset of keys ⇒ rejected (cached is too coarse).
@@ -384,16 +384,14 @@ mod tests {
             Arc::from("customer.c_nationkey"),
             Arc::from("customer.c_mktsegment"),
         ];
-        assert!(m
-            .find_matches(&mut htm, &sup, &PredBox::all(), &st)
-            .is_empty());
+        assert!(m.find_matches(&htm, &sup, &PredBox::all(), &st).is_empty());
     }
 
     #[test]
     fn aggregate_function_mismatch_rejected() {
         let st = stats();
         let m = Matcher;
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let cached = HtFingerprint {
             kind: HtKind::Aggregate,
             tables: std::iter::once(Arc::from("customer")).collect(),
@@ -413,8 +411,7 @@ mod tests {
         let mut req = cached.clone();
         req.aggregates = vec![AggExpr::new(AggFunc::Min, "customer.c_acctbal")];
         assert!(
-            m.find_matches(&mut htm, &req, &PredBox::all(), &st)
-                .is_empty(),
+            m.find_matches(&htm, &req, &PredBox::all(), &st).is_empty(),
             "a MIN cannot be answered from a SUM table"
         );
     }

@@ -63,7 +63,7 @@ pub fn plan_batch(
     stats: &DbStats,
     cost: &CostModel,
     config: OptimizerConfig,
-    htm: &mut HtManager,
+    htm: &HtManager,
     allow_sharing: bool,
 ) -> Result<BatchPlan> {
     if queries.is_empty() {
@@ -91,7 +91,7 @@ pub fn plan_batch(
     let mut groups: Vec<Vec<usize>> = vec![vec![0]];
     if allow_sharing {
         let mut group_cost_memo: HashMap<Vec<usize>, f64> = HashMap::new();
-        let mut eval_group = |g: &Vec<usize>, htm: &mut HtManager| -> f64 {
+        let mut eval_group = |g: &Vec<usize>, htm: &HtManager| -> f64 {
             if g.len() == 1 {
                 return single_cost[g[0]];
             }
@@ -172,7 +172,7 @@ fn estimate_shared_cost(
     queries: &[&QuerySpec],
     stats: &DbStats,
     cost: &CostModel,
-    htm: &mut HtManager,
+    htm: &HtManager,
 ) -> f64 {
     let q0 = queries[0];
     let union = union_region(queries);
@@ -298,7 +298,7 @@ pub fn derive_shared_spec(
     queries: &[QuerySpec],
     catalog: &Catalog,
     stats: &DbStats,
-    htm: &mut HtManager,
+    htm: &HtManager,
     policy: &dyn crate::policy::ReusePolicy,
 ) -> Result<SharedPlanSpec> {
     let q0 = &queries[0];
@@ -359,6 +359,7 @@ pub fn derive_shared_spec(
                 case: m.case,
                 delta_region: m.delta_region,
                 request_region: table_region.clone(),
+                cached_region: m.candidate.fingerprint.region.clone(),
             });
             steps.push(SharedJoinStep {
                 table: t.clone(),
@@ -445,6 +446,7 @@ pub fn derive_shared_spec(
                         case: m.case,
                         delta_region: m.delta_region,
                         request_region: union.clone(),
+                        cached_region: m.candidate.fingerprint.region.clone(),
                     });
                     group_specs.push(SharedGroupSpec {
                         group_by: q.group_by.clone(),
@@ -540,7 +542,7 @@ mod tests {
     #[test]
     fn batch_merges_same_join_graph() {
         let (cat, stats, cost) = setup();
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let queries = vec![mk(1, 20, 40), mk(2, 30, 50), mk(3, 35, 60), mk(4, 50, 70)];
         let plan = plan_batch(
             &queries,
@@ -548,7 +550,7 @@ mod tests {
             &stats,
             &cost,
             OptimizerConfig::default(),
-            &mut htm,
+            &htm,
             true,
         )
         .unwrap();
@@ -571,7 +573,7 @@ mod tests {
     #[test]
     fn batch_keeps_different_join_graphs_apart() {
         let (cat, stats, cost) = setup();
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let other = QueryBuilder::new(9)
             .join("part", "part.p_partkey", "lineitem", "lineitem.l_partkey")
             .filter(
@@ -589,7 +591,7 @@ mod tests {
             &stats,
             &cost,
             OptimizerConfig::default(),
-            &mut htm,
+            &htm,
             true,
         )
         .unwrap();
@@ -606,18 +608,12 @@ mod tests {
     #[test]
     fn derived_shared_spec_executes_correctly() {
         let (cat, stats, _cost) = setup();
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let queries = vec![mk(1, 20, 40), mk(2, 30, 60)];
-        let spec = derive_shared_spec(
-            &queries,
-            &cat,
-            &stats,
-            &mut htm,
-            &crate::policy::CostBasedReuse,
-        )
-        .unwrap();
-        let mut temps = TempTableCache::unbounded();
-        let mut ctx = ExecContext::new(&cat, &mut htm, &mut temps);
+        let spec = derive_shared_spec(&queries, &cat, &stats, &htm, &crate::policy::CostBasedReuse)
+            .unwrap();
+        let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let results = execute_shared(&spec, &mut ctx).unwrap();
         assert_eq!(results.len(), 2);
         // Cross-check one query against the single-query path.
@@ -628,10 +624,10 @@ mod tests {
             &cost,
             OptimizerConfig::with_policy(std::sync::Arc::new(crate::policy::NoReuse)),
         );
-        let mut htm2 = HtManager::new(GcConfig::default());
-        let oq = opt.optimize(&queries[0], &mut htm2).unwrap();
-        let mut temps2 = TempTableCache::unbounded();
-        let mut ctx2 = ExecContext::new(&cat, &mut htm2, &mut temps2);
+        let htm2 = HtManager::new(GcConfig::default());
+        let oq = opt.optimize(&queries[0], &htm2).unwrap();
+        let temps2 = std::sync::Mutex::new(TempTableCache::unbounded());
+        let mut ctx2 = ExecContext::new(&cat, &htm2, &temps2);
         let (_, mut expect) = hashstash_exec::execute(&oq.plan, &mut ctx2).unwrap();
         expect.sort();
         let mut got = results[0].rows.clone();
@@ -645,7 +641,7 @@ mod tests {
     #[test]
     fn oversized_batch_rejected() {
         let (cat, stats, cost) = setup();
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let queries: Vec<QuerySpec> = (0..65).map(|i| mk(i, 20, 40)).collect();
         assert!(plan_batch(
             &queries,
@@ -653,7 +649,7 @@ mod tests {
             &stats,
             &cost,
             OptimizerConfig::default(),
-            &mut htm,
+            &htm,
             true
         )
         .is_err());
@@ -662,14 +658,14 @@ mod tests {
     #[test]
     fn empty_batch_is_empty_plan() {
         let (cat, stats, cost) = setup();
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let plan = plan_batch(
             &[],
             &cat,
             &stats,
             &cost,
             OptimizerConfig::default(),
-            &mut htm,
+            &htm,
             true,
         )
         .unwrap();

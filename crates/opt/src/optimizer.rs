@@ -146,7 +146,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Optimize a query into a reuse-aware physical plan.
-    pub fn optimize(&self, q: &QuerySpec, htm: &mut HtManager) -> Result<OptimizedQuery> {
+    pub fn optimize(&self, q: &QuerySpec, htm: &HtManager) -> Result<OptimizedQuery> {
         let graph = JoinGraph::of_query(q);
         let mut memo: HashMap<u64, PlanInfo> = HashMap::new();
         self.fresh_memo.borrow_mut().clear();
@@ -212,7 +212,7 @@ impl<'a> Optimizer<'a> {
         q: &QuerySpec,
         graph: &JoinGraph,
         mask: u64,
-        htm: &mut HtManager,
+        htm: &HtManager,
         memo: &mut HashMap<u64, PlanInfo>,
     ) -> Result<PlanInfo> {
         if let Some(hit) = memo.get(&mask) {
@@ -317,7 +317,7 @@ impl<'a> Optimizer<'a> {
         graph: &JoinGraph,
         probe_mask: u64,
         build_mask: u64,
-        htm: &mut HtManager,
+        htm: &HtManager,
         memo: &mut HashMap<u64, PlanInfo>,
     ) -> Result<Vec<PlanInfo>> {
         let cross = graph.cross_edges(probe_mask, build_mask);
@@ -454,6 +454,7 @@ impl<'a> Optimizer<'a> {
                     case: m.case,
                     post_filter: m.post_filter.clone(),
                     request_region: request_fp.region.clone(),
+                    cached_region: m.candidate.fingerprint.region.clone(),
                     schema: m.candidate.schema.clone(),
                 }),
                 publish: None,
@@ -637,7 +638,7 @@ impl<'a> Optimizer<'a> {
         q: &QuerySpec,
         graph: &JoinGraph,
         join_info: PlanInfo,
-        htm: &mut HtManager,
+        htm: &HtManager,
     ) -> Result<(PhysicalPlan, f64, bool)> {
         let storage_aggs = self.storage_aggs(q);
         let output_aggs = map_output_aggs(&q.aggregates, &storage_aggs, self.config.avg_rewrite)?;
@@ -777,6 +778,7 @@ impl<'a> Optimizer<'a> {
                 case: m.case,
                 post_filter: m.post_filter.clone(),
                 request_region: request_fp.region.clone(),
+                cached_region: m.candidate.fingerprint.region.clone(),
                 schema: m.candidate.schema.clone(),
             }),
             publish: None,
@@ -1047,10 +1049,10 @@ mod tests {
     fn run(
         plan: &PhysicalPlan,
         cat: &Catalog,
-        htm: &mut HtManager,
+        htm: &HtManager,
     ) -> (hashstash_types::Schema, Vec<hashstash_types::Row>) {
-        let mut temps = TempTableCache::unbounded();
-        let mut ctx = ExecContext::new(cat, htm, &mut temps);
+        let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+        let mut ctx = ExecContext::new(cat, htm, &temps);
         let (schema, mut rows) = execute(plan, &mut ctx).unwrap();
         rows.sort();
         (schema, rows)
@@ -1060,10 +1062,10 @@ mod tests {
     fn optimize_and_execute_q3() {
         let (cat, stats, cost) = setup();
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
-        let mut htm = HtManager::new(GcConfig::default());
-        let oq = opt.optimize(&q3(1, "1996-01-01"), &mut htm).unwrap();
+        let htm = HtManager::new(GcConfig::default());
+        let oq = opt.optimize(&q3(1, "1996-01-01"), &htm).unwrap();
         assert!(oq.est_cost_ns > 0.0);
-        let (_, rows) = run(&oq.plan, &cat, &mut htm);
+        let (_, rows) = run(&oq.plan, &cat, &htm);
         assert!(!rows.is_empty());
         // Three pipeline breakers were published: 2 joins + 1 aggregate.
         assert_eq!(htm.stats().publishes, 3);
@@ -1074,20 +1076,20 @@ mod tests {
     fn second_identical_query_gets_exact_reuse() {
         let (cat, stats, cost) = setup();
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let q = q3(1, "1996-01-01");
-        let first = opt.optimize(&q, &mut htm).unwrap();
-        let (_, rows1) = run(&first.plan, &cat, &mut htm);
+        let first = opt.optimize(&q, &htm).unwrap();
+        let (_, rows1) = run(&first.plan, &cat, &htm);
 
         let q2 = q3(2, "1996-01-01");
-        let second = opt.optimize(&q2, &mut htm).unwrap();
+        let second = opt.optimize(&q2, &htm).unwrap();
         let decisions = second.plan.reuse_decisions();
         assert!(
             decisions.iter().any(|(_, c)| c == &Some(ReuseCase::Exact)),
             "expected exact reuse, got {decisions:?}"
         );
         assert!(second.est_cost_ns < first.est_cost_ns);
-        let (_, rows2) = run(&second.plan, &cat, &mut htm);
+        let (_, rows2) = run(&second.plan, &cat, &htm);
         assert_eq!(rows1, rows2, "reuse must not change answers");
     }
 
@@ -1095,14 +1097,14 @@ mod tests {
     fn widened_predicate_gets_partial_reuse_and_correct_answers() {
         let (cat, stats, cost) = setup();
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let q = q3(1, "1996-06-01");
-        let first = opt.optimize(&q, &mut htm).unwrap();
-        run(&first.plan, &cat, &mut htm);
+        let first = opt.optimize(&q, &htm).unwrap();
+        run(&first.plan, &cat, &htm);
 
         // Wider request (earlier ship date) ⇒ partial reuse with a delta.
         let q2 = q3(2, "1996-01-01");
-        let second = opt.optimize(&q2, &mut htm).unwrap();
+        let second = opt.optimize(&q2, &htm).unwrap();
         let decisions = second.plan.reuse_decisions();
         assert!(
             decisions
@@ -1110,7 +1112,7 @@ mod tests {
                 .any(|(_, c)| matches!(c, Some(ReuseCase::Partial))),
             "expected partial reuse, got {decisions:?}"
         );
-        let (_, rows) = run(&second.plan, &cat, &mut htm);
+        let (_, rows) = run(&second.plan, &cat, &htm);
 
         // Reference: never-share run in a fresh engine.
         let ns = Optimizer::new(
@@ -1119,9 +1121,9 @@ mod tests {
             &cost,
             OptimizerConfig::with_policy(Arc::new(crate::policy::NoReuse)),
         );
-        let mut htm2 = HtManager::new(GcConfig::default());
-        let reference = ns.optimize(&q3(3, "1996-01-01"), &mut htm2).unwrap();
-        let (_, expect) = run(&reference.plan, &cat, &mut htm2);
+        let htm2 = HtManager::new(GcConfig::default());
+        let reference = ns.optimize(&q3(3, "1996-01-01"), &htm2).unwrap();
+        let (_, expect) = run(&reference.plan, &cat, &htm2);
         assert_eq!(rows.len(), expect.len());
         for (a, b) in rows.iter().zip(&expect) {
             assert_eq!(a.get(0), b.get(0), "group keys match");
@@ -1135,15 +1137,15 @@ mod tests {
     fn narrowed_predicate_gets_subsuming_reuse() {
         let (cat, stats, cost) = setup();
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         run(
-            &opt.optimize(&q3(1, "1996-01-01"), &mut htm).unwrap().plan,
+            &opt.optimize(&q3(1, "1996-01-01"), &htm).unwrap().plan,
             &cat,
-            &mut htm,
+            &htm,
         );
 
         let q2 = q3(2, "1996-06-01"); // narrower
-        let second = opt.optimize(&q2, &mut htm).unwrap();
+        let second = opt.optimize(&q2, &htm).unwrap();
         let decisions = second.plan.reuse_decisions();
         assert!(
             decisions
@@ -1152,18 +1154,18 @@ mod tests {
             "expected subsuming reuse, got {decisions:?}"
         );
         // Correctness vs never-share.
-        let (_, rows) = run(&second.plan, &cat, &mut htm);
+        let (_, rows) = run(&second.plan, &cat, &htm);
         let ns = Optimizer::new(
             &cat,
             &stats,
             &cost,
             OptimizerConfig::with_policy(Arc::new(crate::policy::NoReuse)),
         );
-        let mut htm2 = HtManager::new(GcConfig::default());
+        let htm2 = HtManager::new(GcConfig::default());
         let (_, expect) = run(
-            &ns.optimize(&q3(3, "1996-06-01"), &mut htm2).unwrap().plan,
+            &ns.optimize(&q3(3, "1996-06-01"), &htm2).unwrap().plan,
             &cat,
-            &mut htm2,
+            &htm2,
         );
         assert_eq!(rows.len(), expect.len());
     }
@@ -1172,7 +1174,7 @@ mod tests {
     fn rollup_uses_post_group_by() {
         let (cat, stats, cost) = setup();
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         // First: group by (age, nationkey).
         let q1 = QueryBuilder::new(1)
             .join(
@@ -1190,7 +1192,7 @@ mod tests {
             .agg(AggExpr::new(AggFunc::Sum, "orders.o_totalprice"))
             .build()
             .unwrap();
-        run(&opt.optimize(&q1, &mut htm).unwrap().plan, &cat, &mut htm);
+        run(&opt.optimize(&q1, &htm).unwrap().plan, &cat, &htm);
 
         // Roll-up: drop c_nationkey.
         let q2 = QueryBuilder::new(2)
@@ -1208,7 +1210,7 @@ mod tests {
             .agg(AggExpr::new(AggFunc::Sum, "orders.o_totalprice"))
             .build()
             .unwrap();
-        let second = opt.optimize(&q2, &mut htm).unwrap();
+        let second = opt.optimize(&q2, &htm).unwrap();
         match &second.plan {
             PhysicalPlan::HashAggregate {
                 input,
@@ -1222,7 +1224,7 @@ mod tests {
             }
             other => panic!("expected aggregate root, got {other:?}"),
         }
-        let (_, rows) = run(&second.plan, &cat, &mut htm);
+        let (_, rows) = run(&second.plan, &cat, &htm);
         // Reference.
         let ns = Optimizer::new(
             &cat,
@@ -1230,8 +1232,8 @@ mod tests {
             &cost,
             OptimizerConfig::with_policy(Arc::new(crate::policy::NoReuse)),
         );
-        let mut htm2 = HtManager::new(GcConfig::default());
-        let (_, expect) = run(&ns.optimize(&q2, &mut htm2).unwrap().plan, &cat, &mut htm2);
+        let htm2 = HtManager::new(GcConfig::default());
+        let (_, expect) = run(&ns.optimize(&q2, &htm2).unwrap().plan, &cat, &htm2);
         assert_eq!(rows.len(), expect.len());
         for (a, b) in rows.iter().zip(&expect) {
             let fa = a.get(1).as_float().unwrap();
@@ -1245,13 +1247,13 @@ mod tests {
         let (cat, stats, cost) = setup();
         let cfg = OptimizerConfig::with_policy(Arc::new(crate::policy::NeverShare));
         let opt = Optimizer::new(&cat, &stats, &cost, cfg);
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         run(
-            &opt.optimize(&q3(1, "1996-01-01"), &mut htm).unwrap().plan,
+            &opt.optimize(&q3(1, "1996-01-01"), &htm).unwrap().plan,
             &cat,
-            &mut htm,
+            &htm,
         );
-        let second = opt.optimize(&q3(2, "1996-01-01"), &mut htm).unwrap();
+        let second = opt.optimize(&q3(2, "1996-01-01"), &htm).unwrap();
         assert!(second
             .plan
             .reuse_decisions()
@@ -1263,7 +1265,7 @@ mod tests {
     fn avg_query_round_trips_through_rewrite() {
         let (cat, stats, cost) = setup();
         let opt = Optimizer::new(&cat, &stats, &cost, OptimizerConfig::default());
-        let mut htm = HtManager::new(GcConfig::default());
+        let htm = HtManager::new(GcConfig::default());
         let q = QueryBuilder::new(1)
             .join(
                 "customer",
@@ -1279,7 +1281,7 @@ mod tests {
             .agg(AggExpr::new(AggFunc::Avg, "orders.o_totalprice"))
             .build()
             .unwrap();
-        let oq = opt.optimize(&q, &mut htm).unwrap();
+        let oq = opt.optimize(&q, &htm).unwrap();
         // Storage aggregates are SUM + COUNT; output reconstructs AVG.
         match &oq.plan {
             PhysicalPlan::HashAggregate {
@@ -1290,7 +1292,7 @@ mod tests {
             }
             other => panic!("unexpected root {other:?}"),
         }
-        let (_, rows) = run(&oq.plan, &cat, &mut htm);
+        let (_, rows) = run(&oq.plan, &cat, &htm);
         assert!(!rows.is_empty());
         for r in &rows {
             let avg = r.get(1).as_float().unwrap();
