@@ -75,6 +75,10 @@ pub struct GcConfig {
 pub struct CacheStats {
     /// Hash tables ever published into the cache.
     pub publishes: u64,
+    /// Publish calls deduplicated onto an existing identical-lineage entry
+    /// (e.g. re-publishes from re-planned retries). `publishes +
+    /// publish_dedups` equals the number of publish calls.
+    pub publish_dedups: u64,
     /// Checkouts for reuse (shared and exclusive).
     pub reuses: u64,
     /// Tables evicted by the GC.
@@ -123,6 +127,19 @@ impl CacheEntry {
     fn pinned(&self) -> bool {
         self.readers > 0 || self.writer
     }
+}
+
+/// Lineage validation applied inside a checkout, before any bookkeeping.
+#[derive(Debug, Clone, Copy)]
+enum RegionCheck<'r> {
+    /// No validation (plain checkout by id).
+    None,
+    /// The lineage must still equal the planned region (mutating reuse:
+    /// the delta was computed against it, so any drift invalidates it).
+    Eq(&'r hashstash_plan::Region),
+    /// The lineage must still cover the request region (read-only reuse:
+    /// concurrent widening is tolerated and compensated by the executor).
+    Covers(&'r hashstash_plan::Region),
 }
 
 /// How a [`CheckedOut`] guard holds its table.
@@ -308,6 +325,7 @@ pub struct HtManager {
     next_id: AtomicU64,
     clock: AtomicU64,
     publishes: AtomicU64,
+    publish_dedups: AtomicU64,
     reuses: AtomicU64,
     evictions: AtomicU64,
     candidate_lookups: AtomicU64,
@@ -334,6 +352,7 @@ impl HtManager {
             next_id: AtomicU64::new(1),
             clock: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
+            publish_dedups: AtomicU64::new(0),
             reuses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             candidate_lookups: AtomicU64::new(0),
@@ -391,17 +410,41 @@ impl HtManager {
 
     /// Publish a hash table materialized by a pipeline breaker. Returns its
     /// cache id. May trigger evictions to respect the memory budget.
+    ///
+    /// Publishing a lineage that is already cached (same shape, payload and
+    /// set-equal region — e.g. a re-planned retry re-running an operator
+    /// whose first attempt's publish survived the abort) is deduplicated:
+    /// the existing entry is kept (base tables are immutable, so identical
+    /// lineage means identical content), its LRU stamp refreshed, and its
+    /// id returned without touching the footprint or the publish counter.
     pub fn publish(&self, fingerprint: HtFingerprint, schema: Schema, ht: StoredHt) -> HtId {
         let shard = self.shard_of_shape(&fingerprint);
-        // Encode the home shard in the id so id-only operations (checkout,
-        // checkin, drop) find the right shard without a global index.
-        let raw = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let id = HtId(raw * self.shards.len() as u64 + shard as u64);
         let now = self.tick();
         let bytes = ht.logical_bytes();
         let entry_stamps = self.gc().fine_grained.then(|| vec![now; ht.len()]);
-        {
+        let id = {
             let mut state = self.lock_shard(shard);
+            let duplicate = state
+                .recycle
+                .candidates(&fingerprint)
+                .into_iter()
+                .find(|id| {
+                    state
+                        .entries
+                        .get(id)
+                        .is_some_and(|e| !e.writer && e.fingerprint.same_lineage(&fingerprint))
+                });
+            if let Some(id) = duplicate {
+                let entry = state.entries.get_mut(&id).expect("checked above");
+                entry.last_used = now;
+                self.publish_dedups.fetch_add(1, Ordering::Relaxed);
+                return id;
+            }
+            // Encode the home shard in the id so id-only operations
+            // (checkout, checkin, drop) find the right shard without a
+            // global index.
+            let raw = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let id = HtId(raw * self.shards.len() as u64 + shard as u64);
             state.recycle.add(&fingerprint, id);
             state.entries.insert(
                 id,
@@ -423,7 +466,8 @@ impl HtManager {
             // yet (usize underflow).
             self.entries.fetch_add(1, Ordering::Relaxed);
             self.add_bytes(bytes);
-        }
+            id
+        };
         self.publishes.fetch_add(1, Ordering::Relaxed);
         self.enforce_budget();
         id
@@ -483,7 +527,7 @@ impl HtManager {
         &self,
         id: HtId,
         mode: CheckoutMode,
-        expect_region: Option<&hashstash_plan::Region>,
+        check: RegionCheck<'_>,
     ) -> Result<CheckedOut<'_>> {
         let now = self.tick();
         let fine = self.gc().fine_grained;
@@ -495,11 +539,21 @@ impl HtManager {
         // Lineage validation happens *before* any bookkeeping: a failed
         // (stale-plan) checkout must not inflate use counts, LRU stamps or
         // the reuse statistics.
-        if let Some(expect) = expect_region {
-            if !entry.fingerprint.region.set_eq(expect) {
-                return Err(HsError::CacheError(format!(
-                    "{id} lineage changed since planning"
-                )));
+        match check {
+            RegionCheck::None => {}
+            RegionCheck::Eq(expect) => {
+                if !entry.fingerprint.region.set_eq(expect) {
+                    return Err(HsError::CacheError(format!(
+                        "{id} lineage changed since planning"
+                    )));
+                }
+            }
+            RegionCheck::Covers(request) => {
+                if !request.is_subset(&entry.fingerprint.region) {
+                    return Err(HsError::CacheError(format!(
+                        "{id} lineage no longer covers the requested region"
+                    )));
+                }
             }
         }
         match mode {
@@ -535,7 +589,7 @@ impl HtManager {
     /// Check a table out for shared, read-only reuse (exact and subsuming
     /// matches). Any number of shared checkouts may coexist.
     pub fn checkout(&self, id: HtId) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Shared, None)
+        self.checkout_inner(id, CheckoutMode::Shared, RegionCheck::None)
     }
 
     /// [`HtManager::checkout`], but failing — without touching use counts
@@ -547,7 +601,27 @@ impl HtManager {
         id: HtId,
         expect_region: &hashstash_plan::Region,
     ) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Shared, Some(expect_region))
+        self.checkout_inner(id, CheckoutMode::Shared, RegionCheck::Eq(expect_region))
+    }
+
+    /// Shared checkout validating that the table's lineage still **covers**
+    /// `request_region`, rather than equalling the planned region exactly.
+    /// Read-only (exact/subsuming) reuse uses this so a concurrent lineage
+    /// widening — which only *adds* tuples — downgrades to an in-place
+    /// subsuming reuse (the executor post-filters to the request region)
+    /// instead of forcing a full re-plan. The guard's `fingerprint` carries
+    /// the lineage observed at checkout, letting the caller detect whether
+    /// compensation is needed.
+    pub fn checkout_covering(
+        &self,
+        id: HtId,
+        request_region: &hashstash_plan::Region,
+    ) -> Result<CheckedOut<'_>> {
+        self.checkout_inner(
+            id,
+            CheckoutMode::Shared,
+            RegionCheck::Covers(request_region),
+        )
     }
 
     /// Check a table out for mutating reuse (partial/overlapping delta
@@ -557,17 +631,19 @@ impl HtManager {
     /// their snapshot until [`CheckedOut::checkin`] publishes the new
     /// version.
     pub fn checkout_mut(&self, id: HtId) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Exclusive, None)
+        self.checkout_inner(id, CheckoutMode::Exclusive, RegionCheck::None)
     }
 
     /// [`HtManager::checkout_mut`] with the same lineage pre-validation as
-    /// [`HtManager::checkout_expecting`].
+    /// [`HtManager::checkout_expecting`]. Mutating reuse keeps the strict
+    /// equality check: its delta scan was computed against the planned
+    /// region, so any widening makes the delta wrong and must re-plan.
     pub fn checkout_mut_expecting(
         &self,
         id: HtId,
         expect_region: &hashstash_plan::Region,
     ) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Exclusive, Some(expect_region))
+        self.checkout_inner(id, CheckoutMode::Exclusive, RegionCheck::Eq(expect_region))
     }
 
     /// Release a pin without publishing changes (guard drop).
@@ -794,6 +870,7 @@ impl HtManager {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             publishes: self.publishes.load(Ordering::Relaxed),
+            publish_dedups: self.publish_dedups.load(Ordering::Relaxed),
             reuses: self.reuses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             candidate_lookups: self.candidate_lookups.load(Ordering::Relaxed),
@@ -908,6 +985,58 @@ mod tests {
         assert!(m.is_available(id));
         assert_eq!(m.stats().reuses, 2);
         assert!((m.stats().hit_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_lineage_publish_dedups() {
+        let m = HtManager::unbounded();
+        let a = m.publish(fp(0, 50), schema(), table(100));
+        let bytes = m.stats().bytes;
+        let b = m.publish(fp(0, 50), schema(), table(100));
+        assert_eq!(a, b, "identical lineage maps onto the existing entry");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.stats().publishes, 1, "dedup does not inflate publishes");
+        assert_eq!(m.stats().publish_dedups, 1);
+        assert_eq!(m.stats().bytes, bytes, "dedup does not inflate footprint");
+        assert_eq!(m.audit(), (bytes, 1));
+        // A different region is a different lineage and gets its own entry.
+        let c = m.publish(fp(0, 60), schema(), table(100));
+        assert_ne!(a, c);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.stats().publishes, 2);
+    }
+
+    #[test]
+    fn dedup_skips_writer_held_entries() {
+        let m = HtManager::unbounded();
+        let a = m.publish(fp(0, 50), schema(), table(10));
+        let w = m.checkout_mut(a).unwrap();
+        // The held entry's lineage is about to change at check-in, so a
+        // concurrent identical publish must not alias onto it.
+        let b = m.publish(fp(0, 50), schema(), table(10));
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+        drop(w);
+    }
+
+    #[test]
+    fn checkout_covering_tolerates_concurrent_widening() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(20, 30), schema(), table(10));
+        let planned = fp(20, 30).region;
+        // A concurrent partial reuse widens the lineage to [10, 30].
+        let mut w = m.checkout_mut(id).unwrap();
+        w.fingerprint.region = fp(10, 30).region;
+        w.checkin().unwrap();
+        // Strict (mutating-reuse) validation fails…
+        assert!(m.checkout_expecting(id, &planned).is_err());
+        // …but the covering checkout succeeds and reports the widened
+        // lineage so the executor can compensate with a post-filter.
+        let co = m.checkout_covering(id, &planned).unwrap();
+        assert!(co.fingerprint.region.set_eq(&fp(10, 30).region));
+        drop(co);
+        // A request the lineage does not cover still fails.
+        assert!(m.checkout_covering(id, &fp(0, 50).region).is_err());
     }
 
     #[test]

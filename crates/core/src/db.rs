@@ -164,6 +164,7 @@ pub struct EngineBuilder {
     benefit_join_order: bool,
     benefit_epsilon: f64,
     calibrate: bool,
+    parallelism: usize,
 }
 
 impl EngineBuilder {
@@ -178,6 +179,7 @@ impl EngineBuilder {
             benefit_join_order: true,
             benefit_epsilon: 0.1,
             calibrate: false,
+            parallelism: hashstash_exec::engine_default_parallelism(),
         }
     }
 
@@ -253,6 +255,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Worker threads for morsel-parallel execution inside a single query
+    /// (scan filtering, join probing, reuse post-filtering). `1` is the
+    /// serial interpreter; any value produces bit-identical results.
+    /// Default: the `PARALLELISM` environment variable if set, otherwise
+    /// all available cores.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
     /// Construct the database. Returns an [`Arc`] so sessions — possibly on
     /// other threads — can share it immediately.
     pub fn build(self) -> Arc<Database> {
@@ -264,12 +276,16 @@ impl EngineBuilder {
             )
         } else {
             CostModel::synthetic()
-        };
+        }
+        // The optimizer must price probe/scan phases the way the executor
+        // will actually run them.
+        .with_parallelism(self.parallelism);
         Arc::new(Database {
             catalog: self.catalog,
             stats,
             cost,
             policy: self.policy,
+            parallelism: self.parallelism,
             avg_rewrite: self.avg_rewrite,
             additional_attributes: self.additional_attributes,
             benefit_join_order: self.benefit_join_order,
@@ -290,6 +306,7 @@ pub struct Database {
     stats: DbStats,
     cost: CostModel,
     policy: Arc<dyn ReusePolicy>,
+    parallelism: usize,
     avg_rewrite: bool,
     additional_attributes: bool,
     benefit_join_order: bool,
@@ -332,6 +349,12 @@ impl Database {
     /// The reuse policy in effect.
     pub fn policy(&self) -> &Arc<dyn ReusePolicy> {
         &self.policy
+    }
+
+    /// Morsel-parallel worker count every session's executor uses
+    /// (`1` = serial interpreter).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Hash-table cache statistics.
@@ -472,7 +495,8 @@ impl Session {
 
         let decisions = oq.plan.reuse_decisions();
         let t1 = Instant::now();
-        let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps);
+        let mut ctx =
+            ExecContext::new(&db.catalog, &db.htm, &db.temps).with_parallelism(db.parallelism);
         for co in pins {
             ctx.adopt_checkout(co);
         }
@@ -608,7 +632,8 @@ impl Session {
                         continue; // completed before a batch re-plan
                     }
                     let t1 = Instant::now();
-                    let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps);
+                    let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps)
+                        .with_parallelism(db.parallelism);
                     let shared_results = execute_shared(&spec, &mut ctx)?;
                     let wall = t1.elapsed();
                     let metrics = ctx.metrics;
@@ -875,6 +900,52 @@ mod tests {
         assert_eq!(db.cache().gc_config().budget_bytes, None);
         assert_eq!(db.cache_stats().publishes, 0);
         assert_eq!(db.total_stats().queries, 0);
+        assert!(db.parallelism() >= 1);
+        assert_eq!(
+            Database::builder(catalog())
+                .parallelism(0)
+                .build()
+                .parallelism(),
+            1
+        );
+    }
+
+    /// Engine-level agreement: a 4-worker database answers a reuse-heavy
+    /// sequence (fresh build → exact reuse → partial reuse) identically to
+    /// a serial one. Compared as sets: the parallel-aware cost pricing may
+    /// legitimately pick a different (equivalent) join orientation, so row
+    /// *order* is only guaranteed plan-for-plan — the executor-level
+    /// bit-identity pinned by `tests/parallel_determinism.rs`.
+    #[test]
+    fn parallel_database_agrees_with_serial() {
+        let queries = [
+            q3(1, "1996-06-01"),
+            q3(2, "1996-06-01"),
+            q3(3, "1996-01-01"),
+        ];
+        let serial = Database::builder(catalog()).parallelism(1).build();
+        let parallel = Database::builder(catalog()).parallelism(4).build();
+        let mut s = serial.session();
+        let mut p = parallel.session();
+        for q in &queries {
+            let a = sorted(s.execute(q).unwrap().rows);
+            let b = sorted(p.execute(q).unwrap().rows);
+            assert_eq!(a.len(), b.len(), "query {} row count", q.id);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.get(0), y.get(0), "query {} group keys", q.id);
+                let fx = x.get(1).as_float().unwrap();
+                let fy = y.get(1).as_float().unwrap();
+                assert!(
+                    (fx - fy).abs() < 1e-6 * fy.abs().max(1.0),
+                    "query {} aggregates: {fx} vs {fy}",
+                    q.id
+                );
+            }
+        }
+        assert!(
+            parallel.cache_stats().reuses > 0,
+            "reuse survives parallelism"
+        );
     }
 
     /// A custom policy plugs in end-to-end without touching engine or

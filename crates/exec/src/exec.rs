@@ -1,4 +1,4 @@
-//! The single-threaded plan interpreter.
+//! The morsel-parallel plan interpreter.
 //!
 //! Each query runs on its own thread against a shared [`HtManager`]: the
 //! interpreter holds no cache lock during execution. Reused tables are
@@ -6,6 +6,15 @@
 //! snapshot, mutating reuse copies-on-write and publishes at check-in, and
 //! any error path (or panic) releases the guard instead of stranding the
 //! cached table.
+//!
+//! Within one query, the hot loops — base-table scan filtering, hash-join
+//! probing, and the post-filter pass over reused tables — are split into
+//! row-range morsels and fanned out over [`ExecContext::parallelism`]
+//! workers (see [`crate::parallel`]). Output is concatenated in morsel
+//! order, so results are bit-identical to the serial interpreter
+//! (`parallelism = 1`). Build sides stay serial: insertion order defines
+//! the collision-chain order that probe output depends on, and the cost
+//! model charges the build accordingly.
 
 use std::collections::HashMap;
 use std::ops::Bound;
@@ -18,6 +27,7 @@ use hashstash_hashtable::ExtendibleHashTable;
 use hashstash_plan::PredBox;
 use hashstash_storage::{Catalog, Table};
 
+use crate::parallel::{collect_morsels, default_parallelism};
 use crate::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 use crate::temp::TempTableCache;
 
@@ -72,6 +82,10 @@ pub struct ExecContext<'a> {
     pub htm: &'a HtManager,
     pub temps: &'a Mutex<TempTableCache>,
     pub metrics: ExecMetrics,
+    /// Worker threads for morsel-parallel operator loops. `1` is the serial
+    /// interpreter; any value produces bit-identical output (morsel-order
+    /// concatenation), so this is purely a throughput knob.
+    pub parallelism: usize,
     /// Checkout guards acquired by the session *before* execution started
     /// (so a table the optimizer picked cannot be evicted in between).
     /// Operators consume them by id; reuse specs without a pre-acquired
@@ -80,15 +94,25 @@ pub struct ExecContext<'a> {
 }
 
 impl<'a> ExecContext<'a> {
-    /// Fresh context.
+    /// Fresh context. Parallelism defaults to the `PARALLELISM` environment
+    /// variable (or `1` — the serial interpreter) so an entire test suite
+    /// can be re-run N-way; engines override it explicitly via
+    /// [`ExecContext::with_parallelism`].
     pub fn new(catalog: &'a Catalog, htm: &'a HtManager, temps: &'a Mutex<TempTableCache>) -> Self {
         ExecContext {
             catalog,
             htm,
             temps,
             metrics: ExecMetrics::default(),
+            parallelism: default_parallelism(),
             checkouts: HashMap::new(),
         }
+    }
+
+    /// Set the morsel-parallel worker count (`1` = serial).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 
     /// Hand the context a checkout guard acquired ahead of execution.
@@ -152,18 +176,59 @@ pub fn acquire_plan_checkouts<'a>(
 }
 
 /// Check out the table a reuse directive names — shared for read-only
-/// cases, exclusive when the case mutates — and validate that its lineage
-/// still matches what the optimizer planned against. A concurrent session
-/// may have widened the table's region (partial reuse) in the window since
-/// planning, which would make the planned classification, delta scan and
-/// post-filter stale; that surfaces as a `CacheError` so the session
-/// re-plans against the current cache state.
+/// cases, exclusive when the case mutates — and validate its lineage
+/// against what the optimizer planned. A concurrent session may have
+/// widened the table's region (partial reuse) in the window since planning:
+///
+/// * a **mutating** reuse cannot survive that — its delta scan was computed
+///   against the planned region — so the widening surfaces as a
+///   `CacheError` and the session re-plans;
+/// * a **read-only** (exact/subsuming) reuse still has everything it needs
+///   as long as the widened region covers the request. The checkout is
+///   accepted and the executor compensates with a recovery post-filter
+///   ([`widened_recovery_filter`]) instead of throwing the plan away.
 fn checkout_spec<'m>(htm: &'m HtManager, spec: &ReuseSpec) -> Result<CheckedOut<'m>> {
     if spec.case.needs_delta() {
         htm.checkout_mut_expecting(spec.id, &spec.cached_region)
     } else {
-        htm.checkout_expecting(spec.id, &spec.cached_region)
+        htm.checkout_covering(spec.id, &spec.request_region)
     }
+}
+
+/// Recovery post-filter for a read-only reuse whose cached table was
+/// widened between planning and checkout: the planned exact (or subsuming)
+/// classification is re-classified **in place** as a subsuming match
+/// against the widened lineage, by filtering stored tuples down to the
+/// request region. Sound because box membership is fully determined by the
+/// box's constrained attributes: a tuple passing every request constraint
+/// lies in the request region, which the planned (narrower) lineage already
+/// covered — so no widening-delta tuple can slip through, and completeness
+/// follows from the covering check at checkout.
+///
+/// Returns `None` when the lineage is unchanged (the common case). Fails
+/// with a `CacheError` — handled by the session as an ordinary re-plan —
+/// when the request region is not a single box or constrains an attribute
+/// the stored payload lacks (then no in-place filter can compensate).
+fn widened_recovery_filter(spec: &ReuseSpec, co: &CheckedOut<'_>) -> Result<Option<PredBox>> {
+    if co.fingerprint.region.set_eq(&spec.cached_region) {
+        return Ok(None);
+    }
+    let boxes = spec.request_region.boxes();
+    let [request_box] = boxes else {
+        return Err(HsError::CacheError(format!(
+            "{} widened since planning and the request region is not a single box",
+            spec.id
+        )));
+    };
+    for (attr, _) in request_box.constrained() {
+        if co.schema.index_of(attr).is_err() {
+            return Err(HsError::CacheError(format!(
+                "{} widened since planning and payload lacks {attr} for recovery",
+                spec.id
+            )));
+        }
+    }
+    Ok(Some(request_box.clone()))
 }
 
 /// Execute a plan, returning its output schema and rows.
@@ -317,7 +382,10 @@ fn run_scan(spec: &ScanSpec, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<R
     Ok((out_schema, rows))
 }
 
-/// Scan one box of the region, using a secondary index when available.
+/// Scan one box of the region, using a secondary index when available. The
+/// residual filter + projection loop is morsel-parallel over row ids (or
+/// index hits); morsel-order concatenation keeps the output identical to a
+/// serial scan.
 fn scan_box(
     table: &Table,
     qualified: &Schema,
@@ -345,28 +413,39 @@ fn scan_box(
             let ids = index.range(as_lo_bound(iv.lo()), as_hi_bound(iv.hi()));
             ctx.metrics.index_rows += ids.len() as u64;
             ctx.metrics.rows_scanned += ids.len() as u64;
-            for &rid in ids {
-                let rid = rid as usize;
-                if checks
-                    .iter()
-                    .enumerate()
-                    .all(|(i, (c, v))| i == pos || v.contains_value(&table.column(*c).get(rid)))
-                {
-                    out.push(table.row_projected(rid, proj));
-                }
-            }
+            let checks = &checks;
+            let mut rows =
+                collect_morsels(ctx.parallelism, ids.len(), |range| {
+                    let mut buf = Vec::new();
+                    for &rid in &ids[range] {
+                        let rid = rid as usize;
+                        if checks.iter().enumerate().all(|(i, (c, v))| {
+                            i == pos || v.contains_value(&table.column(*c).get(rid))
+                        }) {
+                            buf.push(table.row_projected(rid, proj));
+                        }
+                    }
+                    buf
+                });
+            out.append(&mut rows);
         }
         None => {
             let n = table.row_count();
             ctx.metrics.rows_scanned += n as u64;
-            for rid in 0..n {
-                if checks
-                    .iter()
-                    .all(|(c, v)| v.contains_value(&table.column(*c).get(rid)))
-                {
-                    out.push(table.row_projected(rid, proj));
+            let checks = &checks;
+            let mut rows = collect_morsels(ctx.parallelism, n, |range| {
+                let mut buf = Vec::new();
+                for rid in range {
+                    if checks
+                        .iter()
+                        .all(|(c, v)| v.contains_value(&table.column(*c).get(rid)))
+                    {
+                        buf.push(table.row_projected(rid, proj));
+                    }
                 }
-            }
+                buf
+            });
+            out.append(&mut rows);
         }
     }
     Ok(())
@@ -428,6 +507,7 @@ fn run_hash_join(
     publish: &Option<hashstash_plan::HtFingerprint>,
 ) -> Result<(Schema, Vec<Row>)> {
     // --- Build phase -------------------------------------------------------
+    let mut recovery_filter: Option<PredBox> = None;
     let (build_schema, mut source) = match reuse {
         Some(spec) => {
             let co = ctx.checkout_for(spec)?;
@@ -437,6 +517,9 @@ fn run_hash_join(
                     "{} is not a join hash table",
                     spec.id
                 )));
+            }
+            if !spec.case.needs_delta() {
+                recovery_filter = widened_recovery_filter(spec, &co)?;
             }
             (co.schema.clone(), JoinBuild::Reused(co))
         }
@@ -503,29 +586,37 @@ fn run_hash_join(
     // --- Probe phase (read-only: no lock, shared with other sessions) ------
     let (probe_schema, probe_rows) = run(probe, ctx)?;
     let probe_key_idx = probe_schema.index_of(probe_key)?;
-    let post_filter = match reuse.as_ref().and_then(|r| r.post_filter.as_ref()) {
-        Some(pf) => Some(BoxEval::bind(pf, &build_schema)?),
-        None => None,
-    };
-    let mut out = Vec::new();
+    // Planned post-filter (subsuming/overlapping reuse) plus the recovery
+    // filter compensating for a concurrently widened cached table.
+    let mut post_filters: Vec<BoxEval> = Vec::new();
+    if let Some(pf) = reuse.as_ref().and_then(|r| r.post_filter.as_ref()) {
+        post_filters.push(BoxEval::bind(pf, &build_schema)?);
+    }
+    if let Some(rf) = &recovery_filter {
+        post_filters.push(BoxEval::bind(rf, &build_schema)?);
+    }
     ctx.metrics.ht_probes += probe_rows.len() as u64;
     let ht = source.probe_table();
-    for prow in &probe_rows {
-        let key = prow.key64(&[probe_key_idx]);
-        let pval = prow.get(probe_key_idx);
-        for tagged in ht.probe_readonly(key) {
-            // Verify the actual key (hash keys may collide).
-            if tagged.row.get(build_key_idx) != pval {
-                continue;
-            }
-            if let Some(pf) = &post_filter {
-                if !pf.eval(&tagged.row) {
+    let post_filters = &post_filters;
+    let probe_rows_ref = &probe_rows;
+    let out = collect_morsels(ctx.parallelism, probe_rows.len(), |range| {
+        let mut buf = Vec::new();
+        for prow in &probe_rows_ref[range] {
+            let key = prow.key64(&[probe_key_idx]);
+            let pval = prow.get(probe_key_idx);
+            for tagged in ht.probe_readonly(key) {
+                // Verify the actual key (hash keys may collide).
+                if tagged.row.get(build_key_idx) != pval {
                     continue;
                 }
+                if !post_filters.iter().all(|pf| pf.eval(&tagged.row)) {
+                    continue;
+                }
+                buf.push(prow.concat(&tagged.row));
             }
-            out.push(prow.concat(&tagged.row));
         }
-    }
+        buf
+    });
 
     // --- Hand the table back to the manager --------------------------------
     match source {
@@ -593,6 +684,7 @@ fn run_hash_agg(
     post_group_by: &Option<Vec<Arc<str>>>,
 ) -> Result<(Schema, Vec<Row>)> {
     // --- Acquire the hash table --------------------------------------------
+    let mut recovery_filter: Option<PredBox> = None;
     let (group_schema, mut source) = match reuse {
         Some(spec) => {
             let co = ctx.checkout_for(spec)?;
@@ -602,6 +694,9 @@ fn run_hash_agg(
                     "{} is not an aggregate hash table",
                     spec.id
                 )));
+            }
+            if !spec.case.needs_delta() {
+                recovery_filter = widened_recovery_filter(spec, &co)?;
             }
             (co.schema.clone(), AggSource::Reused(co))
         }
@@ -693,27 +788,39 @@ fn run_hash_agg(
     }
 
     // --- Produce output ----------------------------------------------------
-    let post_filter = match reuse.as_ref().and_then(|r| r.post_filter.as_ref()) {
-        Some(pf) => Some(BoxEval::bind(pf, &group_schema)?),
-        None => None,
-    };
+    // Planned post-filter (subsuming reuse) plus the recovery filter for a
+    // concurrently widened cached table; both apply to group keys.
+    let mut post_filters: Vec<BoxEval> = Vec::new();
+    if let Some(pf) = reuse.as_ref().and_then(|r| r.post_filter.as_ref()) {
+        post_filters.push(BoxEval::bind(pf, &group_schema)?);
+    }
+    if let Some(rf) = &recovery_filter {
+        post_filters.push(BoxEval::bind(rf, &group_schema)?);
+    }
 
     let mut out_rows = Vec::new();
     let ht = source.read_table();
     match post_group_by {
         None => {
-            for (_, payload) in ht.iter() {
-                if let Some(pf) = &post_filter {
-                    if !pf.eval(&payload.group) {
+            // The post-filter + finalize pass over the stored groups — the
+            // entire output phase of exact/subsuming reuse — runs
+            // morsel-parallel over the arena.
+            let post_filters = &post_filters;
+            out_rows = collect_morsels(ctx.parallelism, ht.len(), |range| {
+                let mut buf = Vec::new();
+                for (_, payload) in ht.iter_range(range) {
+                    if !post_filters.iter().all(|pf| pf.eval(&payload.group)) {
                         continue;
                     }
+                    buf.push(finalize_row(&payload.group, &payload.accums, output_aggs));
                 }
-                out_rows.push(finalize_row(&payload.group, &payload.accums, output_aggs));
-            }
+                buf
+            });
         }
         Some(subset) => {
             // Post-aggregation: re-group the cached table on a subset of its
-            // group-by attributes, merging accumulator states.
+            // group-by attributes, merging accumulator states. Serial: the
+            // merge order into one accumulator table is order-sensitive.
             let subset_idx: Vec<usize> = subset
                 .iter()
                 .map(|g| group_schema.index_of(g))
@@ -721,10 +828,8 @@ fn run_hash_agg(
             let mut regrouped: ExtendibleHashTable<AggPayload> =
                 ExtendibleHashTable::new(ht.tuple_width());
             for (_, payload) in ht.iter() {
-                if let Some(pf) = &post_filter {
-                    if !pf.eval(&payload.group) {
-                        continue;
-                    }
+                if !post_filters.iter().all(|pf| pf.eval(&payload.group)) {
+                    continue;
                 }
                 let gkey_row = payload.group.project(&subset_idx);
                 let key = gkey_row.key64(&(0..subset_idx.len()).collect::<Vec<_>>());
@@ -1215,6 +1320,200 @@ mod tests {
             let fa = a.get(1).as_float().unwrap();
             let fb = b.get(1).as_float().unwrap();
             assert!((fa - fb).abs() < 1e-6 * fb.abs().max(1.0));
+        }
+    }
+
+    /// A planned exact match whose cached table was widened by a concurrent
+    /// partial reuse between planning and checkout is re-classified in
+    /// place as a subsuming match (post-filter to the request region)
+    /// instead of failing the checkout and forcing a full re-plan.
+    #[test]
+    fn widened_exact_reuse_recovers_in_place() {
+        let (cat, htm, temps) = setup();
+        // Cache customers with age in [40, 60].
+        let cached_pred = PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(40), Value::Int(60)),
+        );
+        let fp = HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("customer")).collect(),
+            edges: vec![],
+            region: Region::from_box(cached_pred.clone()),
+            key_attrs: vec![Arc::from("customer.c_custkey")],
+            payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
+            aggregates: vec![],
+            tagged: false,
+        };
+        let first = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(
+                ScanSpec::filtered("customer", cached_pred.clone())
+                    .project(&["customer.c_custkey", "customer.c_age"]),
+            ))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: Some(fp.clone()),
+        };
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
+        execute(&first, &mut ctx).unwrap();
+        let cand = &htm.candidates(&fp)[0];
+
+        // The plan as of *now*: exact reuse of the [40, 60] table.
+        let stale = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: None,
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: Some(ReuseSpec {
+                id: cand.id,
+                case: ReuseCase::Exact,
+                post_filter: None,
+                request_region: fp.region.clone(),
+                cached_region: fp.region.clone(),
+                schema: cand.schema.clone(),
+            }),
+            publish: None,
+        };
+
+        // Concurrent session: partial reuse widens the table to [30, 60]
+        // by inserting the [30, 39] delta.
+        let widened = Region::from_box(PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(30), Value::Int(60)),
+        ));
+        {
+            let mut w = htm.checkout_mut(cand.id).unwrap();
+            let table = cat.get("customer").unwrap();
+            let key = table.schema().index_of("c_custkey").unwrap();
+            let age = table.schema().index_of("c_age").unwrap();
+            let StoredHt::Join(ht) = w.table_mut().unwrap() else {
+                panic!("join table")
+            };
+            for rid in 0..table.row_count() {
+                let a = table.column(age).get(rid).as_int().unwrap();
+                if (30..40).contains(&a) {
+                    let row = table.row_projected(rid, &[key, age]);
+                    ht.insert(row.key64(&[0]), TaggedRow::untagged(row));
+                }
+            }
+            w.checkin_widened(&widened).unwrap();
+        }
+
+        // Executing the stale plan succeeds — no CacheError, no re-plan —
+        // and still answers for [40, 60] only.
+        let mut ctx2 = ExecContext::new(&cat, &htm, &temps);
+        let (_, rows) = execute(&stale, &mut ctx2).unwrap();
+        assert_eq!(ctx2.metrics.reused_tables, 1);
+
+        let reference = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(
+                ScanSpec::filtered("customer", cached_pred)
+                    .project(&["customer.c_custkey", "customer.c_age"]),
+            ))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: None,
+        };
+        let mut ctx3 = ExecContext::new(&cat, &htm, &temps);
+        let (_, mut expect) = execute(&reference, &mut ctx3).unwrap();
+        let mut got = rows;
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect, "recovery post-filter restores the request");
+    }
+
+    /// When the widened table cannot compensate (payload lacks a request
+    /// attribute), the checkout surfaces a `CacheError` so the session
+    /// re-plans — never a wrong answer.
+    #[test]
+    fn widened_reuse_without_filter_attrs_replans() {
+        let (cat, htm, temps) = setup();
+        let pred = PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(40), Value::Int(60)),
+        );
+        let fp = HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("customer")).collect(),
+            edges: vec![],
+            region: Region::from_box(pred.clone()),
+            key_attrs: vec![Arc::from("customer.c_custkey")],
+            // Payload does NOT store c_age: no recovery filter possible.
+            payload_attrs: vec![Arc::from("customer.c_custkey")],
+            aggregates: vec![],
+            tagged: false,
+        };
+        let first = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(
+                ScanSpec::filtered("customer", pred).project(&["customer.c_custkey"]),
+            ))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: Some(fp.clone()),
+        };
+        let mut ctx = ExecContext::new(&cat, &htm, &temps);
+        execute(&first, &mut ctx).unwrap();
+        let cand = &htm.candidates(&fp)[0];
+        let stale = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: None,
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: Some(ReuseSpec {
+                id: cand.id,
+                case: ReuseCase::Exact,
+                post_filter: None,
+                request_region: fp.region.clone(),
+                cached_region: fp.region.clone(),
+                schema: cand.schema.clone(),
+            }),
+            publish: None,
+        };
+        let widened = Region::from_box(PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(30), Value::Int(60)),
+        ));
+        let w = htm.checkout_mut(cand.id).unwrap();
+        w.checkin_widened(&widened).unwrap();
+        let mut ctx2 = ExecContext::new(&cat, &htm, &temps);
+        assert!(matches!(
+            execute(&stale, &mut ctx2),
+            Err(HsError::CacheError(_))
+        ));
+    }
+
+    /// Parallel execution is bit-identical (unsorted, row for row) to the
+    /// serial interpreter, counters included.
+    #[test]
+    fn parallel_execution_is_bit_identical() {
+        let (cat, htm, temps) = setup();
+        let pred = PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(25), Value::Int(55)),
+        );
+        let plan = PhysicalPlan::HashJoin {
+            probe: Box::new(scan_all("orders")),
+            build: Some(Box::new(PhysicalPlan::Scan(ScanSpec::filtered(
+                "customer", pred,
+            )))),
+            probe_key: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            reuse: None,
+            publish: None,
+        };
+        let mut serial = ExecContext::new(&cat, &htm, &temps).with_parallelism(1);
+        let (_, want) = execute(&plan, &mut serial).unwrap();
+        for workers in [2, 4, 8] {
+            let mut par = ExecContext::new(&cat, &htm, &temps).with_parallelism(workers);
+            let (_, got) = execute(&plan, &mut par).unwrap();
+            assert_eq!(got, want, "{workers} workers");
+            assert_eq!(par.metrics, serial.metrics, "{workers} workers");
         }
     }
 

@@ -1,11 +1,14 @@
-//! Physical operators and the single-threaded executor.
+//! Physical operators and the morsel-parallel executor.
 //!
 //! The paper's prototype compiles queries to C++ and runs single-threaded
 //! "in order to show the pure effects of reuse" (§6). This crate is the
-//! equivalent substrate: a recursive, single-threaded interpreter over
-//! physical plans whose pipeline breakers materialize
+//! equivalent substrate: a recursive interpreter over physical plans whose
+//! pipeline breakers materialize
 //! [`hashstash_hashtable::ExtendibleHashTable`]s and exchange them with the
-//! Hash Table Manager.
+//! Hash Table Manager. Unlike the prototype, the hot operator loops (scan
+//! filtering, join probing, reuse post-filtering) fan out over row-range
+//! morsels — see [`parallel`] — with output deterministically equal to the
+//! serial interpreter.
 //!
 //! * [`plan`] — the physical plan tree: scans (with region predicates and
 //!   index support), filter/project, hash join and hash aggregate with
@@ -13,6 +16,9 @@
 //! * [`exec`] — the interpreter plus [`exec::ExecMetrics`] (tuples scanned,
 //!   hash-table inserts/probes/updates, bytes materialized) used to validate
 //!   cost models.
+//! * [`parallel`] — the morsel scheduler: a fixed scoped-thread worker pool
+//!   over an atomic morsel counter, per-worker output buffers concatenated
+//!   in morsel-index order.
 //! * [`temp`] — the temp-table cache of the materialization-based reuse
 //!   baseline (Nagel-style: exact + subsuming reuse of *operator outputs*,
 //!   paid for by extra materialization work during execution).
@@ -20,11 +26,13 @@
 //!   query-id tagging and re-tagging (paper §4).
 
 pub mod exec;
+pub mod parallel;
 pub mod plan;
 pub mod shared;
 pub mod temp;
 
 pub use exec::{acquire_plan_checkouts, execute, ExecContext, ExecMetrics};
+pub use parallel::{default_parallelism, engine_default_parallelism, MORSEL_ROWS};
 pub use plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 pub use shared::{SharedPlanSpec, SharedReuse};
 pub use temp::{TempTableCache, TempTableStats};

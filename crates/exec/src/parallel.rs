@@ -1,0 +1,241 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! The interpreter stays a plain recursive tree-walk; the hot loops inside
+//! individual operators — base-table scan filtering, hash-join probing, the
+//! post-filter pass over a reused table — are split into fixed-size
+//! row-range *morsels* dispatched to a small fixed pool of scoped worker
+//! threads (no work stealing: workers claim the next morsel index from a
+//! shared atomic counter, which balances skew just as well for uniform
+//! row-range work).
+//!
+//! # Determinism
+//!
+//! Each worker writes into a private output buffer per morsel; the
+//! scheduler returns the per-morsel buffers **in morsel-index order**, and
+//! rows within one morsel are processed in row order. Concatenating the
+//! buffers therefore yields exactly the sequence the serial loop would have
+//! produced: parallel execution is bit-identical to `parallelism = 1`, for
+//! any worker count and any scheduling interleaving. Tests pin this
+//! (`tests/parallel_determinism.rs`).
+//!
+//! # Granularity
+//!
+//! Inputs smaller than one morsel ([`MORSEL_ROWS`]) never cross a thread
+//! boundary — tiny operators keep their serial fast path and zero spawn
+//! overhead, so unit tests and low-selectivity deltas are unaffected by the
+//! engine-level parallelism default.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Rows per morsel. Large enough that per-morsel dispatch (one atomic
+/// fetch-add plus a buffer push) is noise; small enough that a handful of
+/// morsels balance across workers even on skewed filters.
+pub const MORSEL_ROWS: usize = 1024;
+
+/// Minimum morsel count before a phase fans out. Workers are scoped
+/// threads spawned per parallel phase (the offline container rules out a
+/// rayon-style global pool), so a spawn+join round must be amortized over
+/// several morsels of real work; below this, inline execution wins. The
+/// cost model mirrors this threshold and prices the spawn
+/// ([`CostParams::parallel_spawn_ns`]).
+///
+/// [`CostParams::parallel_spawn_ns`]: ../../hashstash_opt/cost/struct.CostParams.html
+pub const MIN_PARALLEL_MORSELS: usize = 4;
+
+/// Worker count taken from the `PARALLELISM` environment variable, falling
+/// back to `1` (the serial interpreter). [`ExecContext::new`] uses this so
+/// a whole test suite can be re-run under N-way execution by exporting
+/// `PARALLELISM=N` (the CI matrix does exactly that).
+///
+/// [`ExecContext::new`]: crate::ExecContext::new
+pub fn default_parallelism() -> usize {
+    // Cached: this runs once per ExecContext, i.e. on the per-query hot
+    // path, and the variable cannot meaningfully change mid-process.
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PARALLELISM")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Worker count for an engine: the `PARALLELISM` environment variable if
+/// set, otherwise every core the OS reports.
+pub fn engine_default_parallelism() -> usize {
+    std::env::var("PARALLELISM")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Number of morsels `total` rows split into.
+pub fn morsel_count(total: usize) -> usize {
+    total.div_ceil(MORSEL_ROWS)
+}
+
+#[inline]
+fn morsel_range(index: usize, total: usize) -> Range<usize> {
+    let start = index * MORSEL_ROWS;
+    start..(start + MORSEL_ROWS).min(total)
+}
+
+/// Run `f` once per morsel of `0..total` on up to `parallelism` worker
+/// threads and return the per-morsel outputs **in morsel-index order**.
+///
+/// `f` receives the row range of its morsel and must be pure with respect
+/// to shared state (it gets `&` captures only). With `parallelism <= 1`,
+/// or when the input is smaller than [`MIN_PARALLEL_MORSELS`] morsels
+/// (too little work to amortize the per-phase spawn+join), `f` runs once
+/// over the whole range inline on the caller's thread — the serial
+/// interpreter path, byte for byte and allocation for allocation.
+///
+/// A panic inside a worker is propagated to the caller with its original
+/// payload after the scope joins (no detached threads, no poisoned state).
+pub fn run_morsels<T, F>(parallelism: usize, total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let morsels = morsel_count(total);
+    if morsels == 0 {
+        return Vec::new();
+    }
+    if parallelism <= 1 || morsels < MIN_PARALLEL_MORSELS {
+        // One undivided morsel: the pre-morsel serial loop, with no
+        // per-chunk allocations (rows within a morsel are processed in row
+        // order, so the output is the same either way).
+        return vec![f(0..total)];
+    }
+    let workers = parallelism.min(morsels);
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= morsels {
+                            break;
+                        }
+                        local.push((i, f(morsel_range(i, total))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                // Re-raise with the original payload so the real panic
+                // message and location survive to the test/CI output.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut all: Vec<(usize, T)> = parts.into_iter().flatten().collect();
+    debug_assert_eq!(all.len(), morsels);
+    all.sort_unstable_by_key(|(i, _)| *i);
+    all.into_iter().map(|(_, t)| t).collect()
+}
+
+/// [`run_morsels`] for the common case of producing rows: flattens the
+/// per-morsel buffers (still in morsel order) into one output vector.
+pub fn collect_morsels<T, F>(parallelism: usize, total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let mut chunks = run_morsels(parallelism, total, f);
+    if chunks.len() <= 1 {
+        return chunks.pop().unwrap_or_default();
+    }
+    let n = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(n);
+    for mut c in chunks {
+        out.append(&mut c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_runs_nothing() {
+        let calls = AtomicUsize::new(0);
+        let out: Vec<Vec<u32>> = run_morsels(4, 0, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        });
+        assert!(out.is_empty());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn small_input_stays_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let out = run_morsels(8, MORSEL_ROWS, |r| {
+            assert_eq!(std::thread::current().id(), caller);
+            r.len()
+        });
+        assert_eq!(out, vec![MORSEL_ROWS]);
+    }
+
+    #[test]
+    fn morsel_order_is_deterministic_for_any_worker_count() {
+        let total = MORSEL_ROWS * 7 + 123;
+        let serial: Vec<usize> = collect_morsels(1, total, |r| r.collect());
+        assert_eq!(serial, (0..total).collect::<Vec<_>>());
+        for workers in [2, 3, 4, 8, 64] {
+            let parallel: Vec<usize> = collect_morsels(workers, total, |r| r.collect());
+            assert_eq!(parallel, serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn ranges_tile_the_input_exactly() {
+        let total = MORSEL_ROWS * 3 + 1;
+        let ranges = run_morsels(4, total, |r| r);
+        assert_eq!(ranges.len(), morsel_count(total));
+        let mut expect_start = 0;
+        for r in &ranges {
+            assert_eq!(r.start, expect_start);
+            expect_start = r.end;
+        }
+        assert_eq!(expect_start, total);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates_with_original_payload() {
+        run_morsels(2, MORSEL_ROWS * 4, |r| {
+            if r.start >= MORSEL_ROWS {
+                panic!("boom");
+            }
+            r.len()
+        });
+    }
+
+    #[test]
+    fn sub_threshold_inputs_run_inline_as_one_chunk() {
+        let caller = std::thread::current().id();
+        let total = MORSEL_ROWS * (MIN_PARALLEL_MORSELS - 1);
+        let out = run_morsels(8, total, |r| {
+            assert_eq!(std::thread::current().id(), caller);
+            r
+        });
+        assert_eq!(out, vec![0..total], "one undivided serial chunk");
+    }
+}

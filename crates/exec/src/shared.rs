@@ -235,28 +235,44 @@ pub fn execute_shared(
         }
         // Probe through every step, narrowing tags by the build side's tags.
         // Probing is read-only: reused tables are immutable snapshots, so
-        // no cache lock is held here.
+        // no cache lock is held here — each step fans out over row-range
+        // morsels (concatenated in morsel order, so the pipeline is
+        // bit-identical to the serial interpreter).
         for (step, (ht, build_schema, build_key_idx)) in spec.steps.iter().zip(step_tables.iter()) {
             let probe_idx = pipeline_schema.index_of(&step.probe_attr)?;
-            let mut next = Vec::with_capacity(pipeline_rows.len());
             ctx.metrics.ht_probes += pipeline_rows.len() as u64;
-            for (row, _) in &pipeline_rows {
-                let key = row.key64(&[probe_idx]);
-                let pval = row.get(probe_idx);
-                for tagged in ht.tagged().probe_readonly(key) {
-                    if tagged.row.get(*build_key_idx) != pval {
-                        continue;
+            let input = &pipeline_rows;
+            let next =
+                crate::parallel::collect_morsels(ctx.parallelism, pipeline_rows.len(), |range| {
+                    let mut buf = Vec::new();
+                    for (row, _) in &input[range] {
+                        let key = row.key64(&[probe_idx]);
+                        let pval = row.get(probe_idx);
+                        for tagged in ht.tagged().probe_readonly(key) {
+                            if tagged.row.get(*build_key_idx) != pval {
+                                continue;
+                            }
+                            buf.push((row.concat(&tagged.row), tagged.tag));
+                        }
                     }
-                    next.push((row.concat(&tagged.row), tagged.tag));
-                }
-            }
+                    buf
+                });
             pipeline_schema = pipeline_schema.concat(build_schema);
             pipeline_rows = next;
         }
         // Final tags: per-query predicate evaluation over the full row,
-        // intersected with the tags accumulated from build sides.
-        for (row, tag) in &mut pipeline_rows {
-            let full = tag_row(&spec.queries, &pipeline_schema, row);
+        // intersected with the tags accumulated from build sides. The
+        // per-row evaluation is independent, so it fans out as well.
+        let schema_ref = &pipeline_schema;
+        let rows_ref = &pipeline_rows;
+        let tags: Vec<QidSet> =
+            crate::parallel::collect_morsels(ctx.parallelism, pipeline_rows.len(), |range| {
+                rows_ref[range]
+                    .iter()
+                    .map(|(row, _)| tag_row(&spec.queries, schema_ref, row))
+                    .collect()
+            });
+        for ((_, tag), full) in pipeline_rows.iter_mut().zip(tags) {
             *tag = full;
         }
         pipeline_rows.retain(|(_, tag)| !tag.is_empty());

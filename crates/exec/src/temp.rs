@@ -42,6 +42,8 @@ impl std::fmt::Display for TempId {
 pub struct TempTableStats {
     /// Temp tables ever materialized.
     pub publishes: u64,
+    /// Publish calls deduplicated onto an existing identical-lineage table.
+    pub publish_dedups: u64,
     /// Reuses served.
     pub reuses: u64,
     /// Evictions under the memory budget.
@@ -112,6 +114,12 @@ impl TempTableCache {
     }
 
     /// Materialize rows under a fingerprint. Returns the temp-table id.
+    ///
+    /// Re-publishing an identical lineage (e.g. a re-planned retry
+    /// re-materializing an operator output that already survived an aborted
+    /// attempt) is deduplicated: the existing table is kept, its LRU stamp
+    /// refreshed, and its id returned without inflating the footprint or
+    /// the publish counter.
     pub fn publish(
         &mut self,
         fingerprint: HtFingerprint,
@@ -119,6 +127,17 @@ impl TempTableCache {
         rows: Vec<Row>,
     ) -> TempId {
         self.clock += 1;
+        let duplicate = self
+            .entries
+            .iter()
+            .find(|(_, e)| e.fingerprint.same_lineage(&fingerprint))
+            .map(|(&id, _)| id);
+        if let Some(id) = duplicate {
+            let e = self.entries.get_mut(&id).expect("found above");
+            e.last_used = self.clock;
+            self.stats.publish_dedups += 1;
+            return id;
+        }
         let id = TempId(self.next_id);
         self.next_id += 1;
         let bytes = rows.iter().map(row_bytes).sum();
@@ -217,11 +236,20 @@ mod tests {
     use hashstash_types::{DataType, Field, Value};
 
     fn fp() -> HtFingerprint {
+        fp_over(0)
+    }
+
+    /// Distinct lineages per `lo` (publishing the *same* lineage twice is
+    /// deduplicated — see `identical_lineage_publish_dedups`).
+    fn fp_over(lo: i64) -> HtFingerprint {
         HtFingerprint {
             kind: HtKind::JoinBuild,
             tables: std::iter::once(std::sync::Arc::from("t")).collect(),
             edges: vec![],
-            region: Region::all(),
+            region: Region::from_box(hashstash_plan::PredBox::all().with(
+                "t.k",
+                hashstash_plan::Interval::at_least(hashstash_types::Value::Int(lo)),
+            )),
             key_attrs: vec![std::sync::Arc::from("t.k")],
             payload_attrs: vec![std::sync::Arc::from("t.k")],
             aggregates: vec![],
@@ -261,10 +289,10 @@ mod tests {
     fn lru_eviction() {
         let bytes10 = rows(10).iter().map(row_bytes).sum::<usize>();
         let mut c = TempTableCache::new(Some(bytes10 * 2 + 1));
-        let a = c.publish(fp(), schema(), rows(10));
-        let b = c.publish(fp(), schema(), rows(10));
+        let a = c.publish(fp_over(0), schema(), rows(10));
+        let b = c.publish(fp_over(1), schema(), rows(10));
         c.read(a).unwrap(); // freshen a
-        let _d = c.publish(fp(), schema(), rows(10));
+        let _d = c.publish(fp_over(2), schema(), rows(10));
         assert_eq!(c.stats().evictions, 1);
         assert!(c.read(a).is_ok());
         assert!(c.read(b).is_err(), "LRU victim gone");
@@ -273,8 +301,36 @@ mod tests {
     #[test]
     fn fingerprints_enumerate() {
         let mut c = TempTableCache::unbounded();
-        c.publish(fp(), schema(), rows(1));
-        c.publish(fp(), schema(), rows(2));
+        c.publish(fp_over(0), schema(), rows(1));
+        c.publish(fp_over(1), schema(), rows(2));
         assert_eq!(c.fingerprints().len(), 2);
+    }
+
+    #[test]
+    fn identical_lineage_publish_dedups() {
+        let mut c = TempTableCache::unbounded();
+        let a = c.publish(fp(), schema(), rows(10));
+        let b = c.publish(fp(), schema(), rows(10));
+        assert_eq!(a, b, "identical lineage maps to the existing table");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().publishes, 1, "dedup does not inflate publishes");
+        assert_eq!(c.stats().publish_dedups, 1);
+        // A different lineage still gets its own entry.
+        let d = c.publish(fp_over(7), schema(), rows(10));
+        assert_ne!(a, d);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn dedup_refreshes_lru_stamp() {
+        let bytes10 = rows(10).iter().map(row_bytes).sum::<usize>();
+        let mut c = TempTableCache::new(Some(bytes10 * 2 + 1));
+        let a = c.publish(fp_over(0), schema(), rows(10));
+        let b = c.publish(fp_over(1), schema(), rows(10));
+        // Re-publishing `a`'s lineage freshens it, so `b` is the LRU victim.
+        assert_eq!(c.publish(fp_over(0), schema(), rows(10)), a);
+        c.publish(fp_over(2), schema(), rows(10));
+        assert!(c.read(a).is_ok(), "deduped republish counts as a touch");
+        assert!(c.read(b).is_err());
     }
 }

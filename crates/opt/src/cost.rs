@@ -38,6 +38,24 @@ pub struct CostParams {
     pub output_ns: f64,
     /// Per-bucket directory resize cost (ns).
     pub resize_ns_per_slot: f64,
+    /// Copy-on-write charge per byte of a cached table: a mutating
+    /// (partial/overlapping) reuse clones the whole table before writing
+    /// its delta, so the optimizer must not price mutating reuse of a large
+    /// cached table as if the delta insert were the only cost.
+    pub cow_ns_per_byte: f64,
+    /// Worker threads the executor fans morsel-parallel phases (scan
+    /// filtering, probe, reuse post-filtering) out to. `1` = serial
+    /// interpreter; reuse-vs-recompute decisions would otherwise silently
+    /// assume serial probe costs.
+    pub parallel_workers: usize,
+    /// Fixed dispatch overhead per morsel (ns): one atomic claim plus the
+    /// output-buffer bookkeeping.
+    pub morsel_overhead_ns: f64,
+    /// Per-worker spawn+join cost of one parallel phase (ns). Workers are
+    /// scoped threads created per phase, not a persistent pool, so every
+    /// fan-out pays this once per worker; together with the executor's
+    /// morsel-count threshold it keeps the model honest about small inputs.
+    pub parallel_spawn_ns: f64,
 }
 
 impl Default for CostParams {
@@ -50,6 +68,10 @@ impl Default for CostParams {
             retag_ns: 6.0,
             output_ns: 4.0,
             resize_ns_per_slot: 0.6,
+            cow_ns_per_byte: 0.08,
+            parallel_workers: 1,
+            morsel_overhead_ns: 400.0,
+            parallel_spawn_ns: 25_000.0,
         }
     }
 }
@@ -87,9 +109,36 @@ impl CostModel {
         CostModel::new(CostGrid::synthetic(), CostParams::default())
     }
 
+    /// The same model assuming the executor fans morsel-parallel phases out
+    /// to `workers` threads (engines set this from their `parallelism`
+    /// knob; `1` reproduces the serial model exactly).
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.params.parallel_workers = workers.max(1);
+        self
+    }
+
     /// Scalar parameters.
     pub fn params(&self) -> &CostParams {
         &self.params
+    }
+
+    /// Effective cost of a morsel-parallelizable phase whose serial cost is
+    /// `serial_ns` over `rows` items: near-linear speedup capped by the
+    /// morsel count, plus per-morsel dispatch overhead and the per-worker
+    /// spawn+join of the scoped-thread phase. Identity for one worker or
+    /// inputs below the executor's fan-out threshold
+    /// ([`hashstash_exec::parallel::MIN_PARALLEL_MORSELS`]) — exactly the
+    /// serial fast path.
+    pub fn parallel(&self, serial_ns: f64, rows: f64) -> f64 {
+        let workers = self.params.parallel_workers.max(1) as f64;
+        let morsel = hashstash_exec::MORSEL_ROWS as f64;
+        let morsels = (rows / morsel).ceil();
+        if workers <= 1.0 || morsels < hashstash_exec::parallel::MIN_PARALLEL_MORSELS as f64 {
+            return serial_ns;
+        }
+        let effective = workers.min(morsels);
+        (serial_ns + morsels * self.params.morsel_overhead_ns) / effective
+            + effective * self.params.parallel_spawn_ns
     }
 
     /// The calibration grid.
@@ -97,14 +146,16 @@ impl CostModel {
         &self.grid
     }
 
-    /// Cost of scanning `rows` tuples sequentially.
+    /// Cost of scanning `rows` tuples sequentially (filter + projection
+    /// fan out over morsels).
     pub fn scan(&self, rows: f64) -> f64 {
-        rows * self.params.scan_ns
+        self.parallel(rows * self.params.scan_ns, rows)
     }
 
-    /// Cost of fetching `rows` tuples through a secondary index.
+    /// Cost of fetching `rows` tuples through a secondary index (the
+    /// residual-filter pass over index hits fans out over morsels too).
     pub fn index_scan(&self, rows: f64) -> f64 {
-        rows * self.params.index_ns
+        self.parallel(rows * self.params.index_ns, rows)
     }
 
     /// Cost of materializing `rows` tuples into a temp table (baseline).
@@ -120,7 +171,9 @@ impl CostModel {
     }
 
     /// `c_RHJ` for building a *fresh* join table of `build_rows` tuples of
-    /// `width` bytes and probing it with `probe_rows` tuples.
+    /// `width` bytes and probing it with `probe_rows` tuples. The build
+    /// stays serial (insertion order defines collision-chain order, which
+    /// the deterministic probe output depends on); the probe phase fans out.
     pub fn rhj_fresh(&self, build_rows: f64, width: f64, probe_rows: f64) -> f64 {
         let size = self.ht_size(build_rows, width);
         let resize = (build_rows / 2.0) * self.params.resize_ns_per_slot;
@@ -128,10 +181,13 @@ impl CostModel {
             * self
                 .grid
                 .cost_ns(HtOp::Insert, size as usize, width as usize);
-        let probe = probe_rows
-            * self
-                .grid
-                .cost_ns(HtOp::Lookup, size as usize, width as usize);
+        let probe = self.parallel(
+            probe_rows
+                * self
+                    .grid
+                    .cost_ns(HtOp::Lookup, size as usize, width as usize),
+            probe_rows,
+        );
         resize + build + probe
     }
 
@@ -159,23 +215,37 @@ impl CostModel {
         } else {
             0.0
         };
+        // Mutating (delta-inserting) reuse copies the whole cached table
+        // before the first write (copy-on-write under the shared-checkout
+        // model); read-only reuse pays nothing here.
+        let cow = if missing > 0.0 {
+            cand.bytes * self.params.cow_ns_per_byte
+        } else {
+            0.0
+        };
         let build = missing
             * self
                 .grid
                 .cost_ns(HtOp::Insert, size as usize, cand.tuple_width as usize);
-        let probe = probe_rows
-            * self
-                .grid
-                .cost_ns(HtOp::Lookup, size as usize, cand.tuple_width as usize);
+        let probe = self.parallel(
+            probe_rows
+                * self
+                    .grid
+                    .cost_ns(HtOp::Lookup, size as usize, cand.tuple_width as usize),
+            probe_rows,
+        );
         // Post-filtering false positives: matches scale with the overhead
-        // share of the table.
+        // share of the table. Runs inside the morsel-parallel probe loop.
         let post = if cand.overh > 0.0 {
             let false_matches = expected_matches * cand.overh / (1.0 - cand.overh).max(0.05);
-            (expected_matches + false_matches) * self.params.filter_ns
+            self.parallel(
+                (expected_matches + false_matches) * self.params.filter_ns,
+                probe_rows,
+            )
         } else {
             0.0
         };
-        resize + build + probe + post
+        resize + cow + build + probe + post
     }
 
     /// `c_RHA` for a *fresh* aggregation of `input_rows` tuples with
@@ -207,6 +277,13 @@ impl CostModel {
         } else {
             0.0
         };
+        // Copy-on-write: folding a delta into the cached aggregate clones
+        // the whole table first (see `rhj_reuse`).
+        let cow = if missing_rows > 0.0 {
+            cand.bytes * self.params.cow_ns_per_byte
+        } else {
+            0.0
+        };
         let insert = missing_groups
             * self
                 .grid
@@ -216,9 +293,13 @@ impl CostModel {
                 .grid
                 .cost_ns(HtOp::Update, size as usize, cand.tuple_width as usize);
         // Post-filtering groups that the request does not need (subsuming /
-        // overlapping on group attributes).
-        let post = cand.entries * cand.overh * self.params.filter_ns;
-        resize + insert + update + post
+        // overlapping on group attributes); the output pass fans out over
+        // the stored groups.
+        let post = self.parallel(
+            cand.entries * cand.overh * self.params.filter_ns,
+            cand.entries,
+        );
+        resize + cow + insert + update + post
     }
 
     /// Cost of re-tagging every stored tuple of a reused table in a shared
@@ -334,6 +415,73 @@ mod tests {
         let reuse = m.rha_reuse(&cand, 1_000_000.0, 1_000.0);
         let fresh = m.rha_fresh(1_000_000.0, 1_000.0, 64.0);
         assert!(reuse < fresh * 0.05, "{reuse} vs {fresh}");
+    }
+
+    #[test]
+    fn cow_copy_charged_to_mutating_reuse_only() {
+        let m = model();
+        let readonly = CandidateShape {
+            entries: 1_000_000.0,
+            bytes: m.ht_size(1_000_000.0, 32.0),
+            tuple_width: 32.0,
+            contr: 1.0,
+            overh: 0.0,
+        };
+        let mutating = CandidateShape {
+            contr: 0.999,
+            ..readonly
+        };
+        let exact = m.rhj_reuse(&readonly, 1_000_000.0, 1_000.0, 1_000.0);
+        let partial = m.rhj_reuse(&mutating, 1_000_000.0, 1_000.0, 1_000.0);
+        // A near-exact partial reuse of a huge table still pays the O(table)
+        // copy-on-write before inserting its tiny delta.
+        let cow = readonly.bytes * m.params().cow_ns_per_byte;
+        assert!(
+            partial - exact >= cow * 0.99,
+            "partial={partial} exact={exact} cow={cow}"
+        );
+        // Same for aggregates.
+        let agg_exact = m.rha_reuse(&readonly, 0.0, 1_000.0);
+        let agg_partial = m.rha_reuse(&mutating, 1_000.0, 1_000.0);
+        assert!(agg_partial - agg_exact >= cow * 0.99);
+    }
+
+    #[test]
+    fn parallel_workers_shrink_probe_and_scan_costs() {
+        let serial = CostModel::synthetic();
+        let par = CostModel::synthetic().with_parallelism(4);
+        // One worker reproduces the serial model exactly.
+        let one = CostModel::synthetic().with_parallelism(1);
+        assert_eq!(
+            one.rhj_fresh(100_000.0, 32.0, 1_000_000.0),
+            serial.rhj_fresh(100_000.0, 32.0, 1_000_000.0)
+        );
+        // Probe-heavy joins and big scans get cheaper with workers…
+        assert!(
+            par.rhj_fresh(100_000.0, 32.0, 1_000_000.0)
+                < serial.rhj_fresh(100_000.0, 32.0, 1_000_000.0)
+        );
+        assert!(par.scan(1_000_000.0) < serial.scan(1_000_000.0));
+        // …but sub-morsel inputs keep the serial fast path.
+        assert_eq!(par.scan(100.0), serial.scan(100.0));
+        // Reuse probes are priced with the same parallel term, so the
+        // reuse-vs-recompute comparison stays apples to apples.
+        let cand = CandidateShape {
+            entries: 100_000.0,
+            bytes: serial.ht_size(100_000.0, 32.0),
+            tuple_width: 32.0,
+            contr: 1.0,
+            overh: 0.0,
+        };
+        assert!(
+            par.rhj_reuse(&cand, 100_000.0, 1_000_000.0, 1_000_000.0)
+                < serial.rhj_reuse(&cand, 100_000.0, 1_000_000.0, 1_000_000.0)
+        );
+        assert!(
+            par.rhj_reuse(&cand, 100_000.0, 1_000_000.0, 1_000_000.0)
+                < par.rhj_fresh(100_000.0, 32.0, 1_000_000.0),
+            "exact reuse still wins under parallel pricing"
+        );
     }
 
     #[test]

@@ -88,6 +88,20 @@ impl HtFingerprint {
             && self.key_attrs == other.key_attrs
     }
 
+    /// Whether two fingerprints describe the *same* lineage: same shape,
+    /// same payload and aggregates, same tagging, and set-equal predicate
+    /// regions. Base tables are immutable, so same lineage implies
+    /// identical table content — the caches use this to deduplicate
+    /// re-publishes (e.g. a re-planned retry re-running an operator whose
+    /// first attempt's publish survived the abort).
+    pub fn same_lineage(&self, other: &HtFingerprint) -> bool {
+        self.same_shape(other)
+            && self.payload_attrs == other.payload_attrs
+            && self.aggregates == other.aggregates
+            && self.tagged == other.tagged
+            && self.region.set_eq(&other.region)
+    }
+
     /// Whether every attribute in `needed` is available in this table's
     /// payload (for post-filtering and projection). The paper: "If the hash
     /// table does not contain the attributes needed to test post, it does

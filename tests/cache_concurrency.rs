@@ -298,7 +298,17 @@ fn shard_contention_stress_no_lost_bytes() {
         "budget holds at quiesce ({} > {budget})",
         htm.stats().bytes
     );
-    assert!(stats.publishes >= (THREADS * OPS) as u64);
+    // Every op published exactly once; each call either created an entry
+    // or deduplicated onto an identical lineage still in cache. The two
+    // counters must account for every call — no drops, no double counts.
+    assert_eq!(
+        stats.publishes + stats.publish_dedups,
+        (THREADS * OPS) as u64,
+        "publish accounting drifted (publishes={}, dedups={})",
+        stats.publishes,
+        stats.publish_dedups
+    );
+    assert!(stats.publishes > 0);
 }
 
 /// A session executes (and reuses) while another client holds a shared

@@ -1,0 +1,330 @@
+//! Morsel-parallel execution must be **bit-identical** to the serial
+//! interpreter: same rows, same order, same counters, for every plan shape
+//! — scans, fresh joins, aggregates, exact/subsuming/partial reuse and
+//! shared plans — at any worker count. Plus a stress test running parallel
+//! queries concurrently with cache eviction under a tight GC budget.
+
+use std::sync::{Arc, Mutex};
+
+use hashstash::{Database, EngineStrategy};
+use hashstash_cache::HtManager;
+use hashstash_exec::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
+use hashstash_exec::shared::{
+    execute_shared, SharedGroupSpec, SharedJoinStep, SharedOutput, SharedPlanSpec,
+};
+use hashstash_exec::{execute, ExecContext, ExecMetrics, TempTableCache};
+use hashstash_plan::{
+    AggExpr, AggFunc, HtFingerprint, HtKind, Interval, PredBox, QueryBuilder, Region, ReuseCase,
+};
+use hashstash_storage::tpch::{generate, TpchConfig};
+use hashstash_storage::Catalog;
+use hashstash_types::{Row, Schema, Value};
+
+fn catalog() -> Catalog {
+    generate(TpchConfig::new(0.01, 99))
+}
+
+fn scan_all(table: &str) -> PhysicalPlan {
+    PhysicalPlan::Scan(ScanSpec::full(table))
+}
+
+fn customer_fp(lo: i64, hi: i64) -> HtFingerprint {
+    HtFingerprint {
+        kind: HtKind::JoinBuild,
+        tables: std::iter::once(Arc::from("customer")).collect(),
+        edges: vec![],
+        region: Region::from_box(PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(lo), Value::Int(hi)),
+        )),
+        key_attrs: vec![Arc::from("customer.c_custkey")],
+        payload_attrs: vec![Arc::from("customer.c_custkey"), Arc::from("customer.c_age")],
+        aggregates: vec![],
+        tagged: false,
+    }
+}
+
+fn join_publishing(lo: i64, hi: i64, fp: &HtFingerprint) -> PhysicalPlan {
+    PhysicalPlan::HashJoin {
+        probe: Box::new(scan_all("orders")),
+        build: Some(Box::new(PhysicalPlan::Scan(
+            ScanSpec::filtered(
+                "customer",
+                PredBox::all().with(
+                    "customer.c_age",
+                    Interval::closed(Value::Int(lo), Value::Int(hi)),
+                ),
+            )
+            .project(&["customer.c_custkey", "customer.c_age"]),
+        ))),
+        probe_key: "orders.o_custkey".into(),
+        build_key: "customer.c_custkey".into(),
+        reuse: None,
+        publish: Some(fp.clone()),
+    }
+}
+
+/// Execute a reuse-heavy plan sequence — fresh scan, fresh join + publish,
+/// exact reuse, subsuming reuse (post-filter), partial reuse (delta), hash
+/// aggregate — under one worker count, returning every result verbatim.
+fn run_sequence(cat: &Catalog, parallelism: usize) -> Vec<(Schema, Vec<Row>, ExecMetrics)> {
+    let htm = HtManager::unbounded();
+    let temps = Mutex::new(TempTableCache::unbounded());
+    let mut results = Vec::new();
+    let mut run = |plan: &PhysicalPlan| {
+        let mut ctx = ExecContext::new(cat, &htm, &temps).with_parallelism(parallelism);
+        let (schema, rows) = execute(plan, &mut ctx).expect("plan executes");
+        results.push((schema, rows, ctx.metrics));
+    };
+
+    // 1. Filtered scan.
+    run(&PhysicalPlan::Scan(ScanSpec::filtered(
+        "customer",
+        PredBox::all().with(
+            "customer.c_age",
+            Interval::closed(Value::Int(30), Value::Int(50)),
+        ),
+    )));
+
+    // 2. Fresh join over ages [30, 60], published.
+    let fp = customer_fp(30, 60);
+    run(&join_publishing(30, 60, &fp));
+    let htm_ref = &htm;
+    let cand = htm_ref.candidates(&fp).remove(0);
+
+    // 3. Exact reuse.
+    run(&PhysicalPlan::HashJoin {
+        probe: Box::new(scan_all("orders")),
+        build: None,
+        probe_key: "orders.o_custkey".into(),
+        build_key: "customer.c_custkey".into(),
+        reuse: Some(ReuseSpec {
+            id: cand.id,
+            case: ReuseCase::Exact,
+            post_filter: None,
+            request_region: fp.region.clone(),
+            cached_region: fp.region.clone(),
+            schema: cand.schema.clone(),
+        }),
+        publish: None,
+    });
+
+    // 4. Subsuming reuse: ages [40, 50] answered by post-filtering [30, 60].
+    let narrow = PredBox::all().with(
+        "customer.c_age",
+        Interval::closed(Value::Int(40), Value::Int(50)),
+    );
+    run(&PhysicalPlan::HashJoin {
+        probe: Box::new(scan_all("orders")),
+        build: None,
+        probe_key: "orders.o_custkey".into(),
+        build_key: "customer.c_custkey".into(),
+        reuse: Some(ReuseSpec {
+            id: cand.id,
+            case: ReuseCase::Subsuming,
+            post_filter: Some(narrow.clone()),
+            request_region: Region::from_box(narrow),
+            cached_region: fp.region.clone(),
+            schema: cand.schema.clone(),
+        }),
+        publish: None,
+    });
+
+    // 5. Partial reuse: widen to [20, 60] with a delta build over [20, 29].
+    let request = Region::from_box(PredBox::all().with(
+        "customer.c_age",
+        Interval::closed(Value::Int(20), Value::Int(60)),
+    ));
+    let delta = request.difference(&fp.region);
+    run(&PhysicalPlan::HashJoin {
+        probe: Box::new(scan_all("orders")),
+        build: Some(Box::new(PhysicalPlan::Scan(ScanSpec {
+            table: "customer".into(),
+            region: delta,
+            projection: vec!["customer.c_custkey".into(), "customer.c_age".into()],
+        }))),
+        probe_key: "orders.o_custkey".into(),
+        build_key: "customer.c_custkey".into(),
+        reuse: Some(ReuseSpec {
+            id: cand.id,
+            case: ReuseCase::Partial,
+            post_filter: None,
+            request_region: request,
+            cached_region: fp.region.clone(),
+            schema: cand.schema.clone(),
+        }),
+        publish: None,
+    });
+
+    // 6. Hash aggregate with group-by (fresh build + output pass).
+    run(&PhysicalPlan::HashAggregate {
+        input: Some(Box::new(scan_all("customer"))),
+        group_by: vec!["customer.c_age".into()],
+        aggs: vec![
+            AggExpr::new(AggFunc::Sum, "customer.c_acctbal"),
+            AggExpr::new(AggFunc::Count, "customer.c_custkey"),
+        ],
+        output_aggs: vec![OutputAgg::Direct(0), OutputAgg::Direct(1)],
+        reuse: None,
+        publish: None,
+        post_group_by: None,
+    });
+
+    results
+}
+
+#[test]
+fn parallel_plans_match_serial_row_for_row() {
+    let cat = catalog();
+    let serial = run_sequence(&cat, 1);
+    for workers in [4, 8] {
+        let parallel = run_sequence(&cat, workers);
+        assert_eq!(parallel.len(), serial.len());
+        for (i, ((ss, sr, sm), (ps, pr, pm))) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(ps, ss, "plan {i}, {workers} workers: schema");
+            assert_eq!(pr, sr, "plan {i}, {workers} workers: rows (unsorted)");
+            assert_eq!(pm, sm, "plan {i}, {workers} workers: metrics");
+        }
+    }
+}
+
+#[test]
+fn parallel_shared_plan_matches_serial() {
+    let cat = catalog();
+    let queries: Vec<_> = (0..3u32)
+        .map(|i| {
+            QueryBuilder::new(i)
+                .join(
+                    "customer",
+                    "customer.c_custkey",
+                    "orders",
+                    "orders.o_custkey",
+                )
+                .filter(
+                    "customer.c_age",
+                    Interval::closed(
+                        Value::Int(20 + i as i64 * 10),
+                        Value::Int(50 + i as i64 * 10),
+                    ),
+                )
+                .group_by("customer.c_age")
+                .agg(AggExpr::new(AggFunc::Count, "orders.o_orderkey"))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let spec = SharedPlanSpec {
+        queries: queries.clone(),
+        driver: "orders".into(),
+        driver_attrs: vec!["orders.o_orderkey".into(), "orders.o_custkey".into()],
+        steps: vec![SharedJoinStep {
+            table: "customer".into(),
+            probe_attr: "orders.o_custkey".into(),
+            build_key: "customer.c_custkey".into(),
+            payload: vec!["customer.c_custkey".into(), "customer.c_age".into()],
+            reuse: None,
+            publish: None,
+        }],
+        group_specs: vec![SharedGroupSpec {
+            group_by: vec!["customer.c_age".into()],
+            stored_attrs: vec!["customer.c_age".into(), "orders.o_orderkey".into()],
+            reuse: None,
+            publish: None,
+        }],
+        outputs: queries
+            .iter()
+            .map(|q| SharedOutput::Aggregate {
+                group_spec: 0,
+                aggs: q.aggregates.clone(),
+            })
+            .collect(),
+    };
+    let run = |parallelism: usize| {
+        let htm = HtManager::unbounded();
+        let temps = Mutex::new(TempTableCache::unbounded());
+        let mut ctx = ExecContext::new(&cat, &htm, &temps).with_parallelism(parallelism);
+        let results = execute_shared(&spec, &mut ctx).unwrap();
+        (
+            results
+                .into_iter()
+                .map(|r| (r.query, r.rows))
+                .collect::<Vec<_>>(),
+            ctx.metrics,
+        )
+    };
+    let (serial_rows, serial_metrics) = run(1);
+    for workers in [4, 8] {
+        let (rows, metrics) = run(workers);
+        assert_eq!(rows, serial_rows, "{workers} workers");
+        assert_eq!(metrics, serial_metrics, "{workers} workers");
+    }
+}
+
+/// Parallel queries racing cache eviction under a tight GC budget: every
+/// answer must match the no-reuse reference, and the cache byte accounting
+/// must audit clean at quiesce.
+#[test]
+fn parallel_queries_race_eviction_under_tight_budget() {
+    let mk_query = |id: u32, k: i64| {
+        QueryBuilder::new(id)
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .filter(
+                "customer.c_age",
+                Interval::closed(Value::Int(20 + k), Value::Int(60 + k)),
+            )
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(AggFunc::Count, "orders.o_orderkey"))
+            .build()
+            .unwrap()
+    };
+
+    // Serial, reuse-free reference answers (COUNT aggregates: exact ints).
+    let reference = Database::builder(catalog())
+        .strategy(EngineStrategy::NoReuse)
+        .parallelism(1)
+        .build();
+    let mut ref_session = reference.session();
+    let expected: Vec<Vec<Row>> = (0..8)
+        .map(|k| {
+            let mut rows = ref_session
+                .execute(&mk_query(1000 + k, k as i64))
+                .unwrap()
+                .rows;
+            rows.sort();
+            rows
+        })
+        .collect();
+
+    let budget = 96 * 1024;
+    let db = Database::builder(catalog())
+        .gc_budget(budget)
+        .parallelism(4)
+        .build();
+    let expected = Arc::new(expected);
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let db = Arc::clone(&db);
+            let expected = Arc::clone(&expected);
+            s.spawn(move || {
+                let mut session = db.session();
+                for round in 0..6u32 {
+                    let k = ((t + round) % 8) as usize;
+                    let q = mk_query(t * 100 + round, k as i64);
+                    let mut rows = session.execute(&q).expect("query survives eviction").rows;
+                    rows.sort();
+                    assert_eq!(rows, expected[k], "thread {t} round {round}");
+                }
+            });
+        }
+    });
+    let stats = db.cache_stats();
+    assert!(stats.bytes <= budget, "budget holds at quiesce");
+    let (audit_bytes, audit_entries) = db.cache().audit();
+    assert_eq!(stats.bytes, audit_bytes, "byte accounting audits clean");
+    assert_eq!(stats.entries, audit_entries);
+}
