@@ -59,7 +59,7 @@ fn benches(c: &mut Criterion) {
             let plan = fresh_plan();
             b.iter(|| {
                 let htm = HtManager::new(GcConfig::default());
-                let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+                let temps = TempTableCache::unbounded();
                 let mut ctx = ExecContext::new(&cat, &htm, &temps);
                 execute(&plan, &mut ctx).unwrap().1.len()
             });
@@ -93,7 +93,7 @@ fn benches(c: &mut Criterion) {
                         }),
                         publish: None,
                     };
-                    let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+                    let temps = TempTableCache::unbounded();
                     let mut ctx = ExecContext::new(&cat, &htm, &temps);
                     execute(&plan, &mut ctx).unwrap().1.len()
                 },

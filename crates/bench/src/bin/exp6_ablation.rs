@@ -71,7 +71,7 @@ fn main() {
             let gc = GcConfig {
                 budget_bytes: Some((peak as f64 * 0.3) as usize),
                 policy,
-                fine_grained: false,
+                ..GcConfig::default()
             };
             let (t, reuses, evictions) = run_with(move |b| b.gc(gc), &trace);
             println!("{name:<34} {t:>10.1}ms {reuses:>8} {evictions:>10}");

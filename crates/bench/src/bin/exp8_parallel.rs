@@ -14,7 +14,7 @@
 //! 1-core container's ~1× is interpretable.
 
 use std::io::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use hashstash_bench::common::{header, ms};
@@ -90,7 +90,7 @@ fn main() {
 
     let cat = synth(n);
     let htm = HtManager::new(GcConfig::default());
-    let temps = Mutex::new(TempTableCache::unbounded());
+    let temps = TempTableCache::unbounded();
 
     // Warm the cache once: the exact-reuse and subsuming-reuse legs of the
     // mix probe this table (read-only shared checkouts, any worker count).

@@ -1,13 +1,15 @@
-//! The hash-table cache and its garbage collector.
+//! The hash-table cache: a typed facade over the generic
+//! [`crate::store::ReuseStore`].
 //!
 //! # Concurrency model
 //!
-//! The manager is sharded by the *shape key* of each table's fingerprint
+//! The store is sharded by the *shape key* of each table's fingerprint
 //! (operator kind, base tables, join edges, hash keys — the recycle-graph
 //! bucketing): every shard owns an independent mutex over its entry map and
 //! recycle-graph slice, so sessions touching unrelated plan shapes never
-//! contend. The memory budget and all statistics are process-wide atomics
-//! shared across shards.
+//! contend. The memory budget and all statistics are process-wide atomics;
+//! the budget may be *shared* with other stores (the temp-table cache), in
+//! which case one eviction loop ranks every payload kind together.
 //!
 //! Cached tables are stored as `Arc<StoredHt>` handles:
 //!
@@ -18,244 +20,30 @@
 //!   (partial/overlapping delta insertion, shared-plan re-tagging). Only one
 //!   writer per table at a time — the paper's single-reuser rule (§2.2) is
 //!   enforced exactly where mutation happens. Writers copy-on-write via
-//!   [`Arc::make_mut`], so concurrent readers keep probing their immutable
-//!   snapshot; the new version is published at [`CheckedOut::checkin`].
+//!   `Arc::make_mut` — or, when no reader snapshot is outstanding, take the
+//!   sole-reference in-place fast path that skips the O(table) copy — so
+//!   concurrent readers always keep probing their immutable snapshot; the
+//!   new version is published at [`CheckedOut::checkin`].
 //!
 //! Both checkouts return an RAII [`CheckedOut`] guard: dropping it (error
 //! return, panic, or plain completion of a read-only reuse) releases the
 //! table back to the cache, so an executor error path can never strand an
 //! entry as permanently checked out.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
-use hashstash_types::{HsError, HtId, Result, Schema};
+use hashstash_types::{HtId, Result, Schema};
 
 use hashstash_plan::HtFingerprint;
 
 use crate::payload::StoredHt;
-use crate::recycle::{RecycleGraph, ShapeKey};
+use crate::store::{Checkout, ReuseBudget, ReuseStore, StoreCandidate};
 
-/// Eviction policy for the coarse-grained garbage collector.
-///
-/// The paper ships LRU (§5); LFU and benefit-weighted eviction are provided
-/// for the ablation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EvictionPolicy {
-    /// Evict the table with the oldest last-access timestamp (paper §5).
-    #[default]
-    Lru,
-    /// Evict the least frequently reused table.
-    Lfu,
-    /// Evict the table with the lowest reuse-per-byte density — large,
-    /// rarely reused tables go first.
-    BenefitWeighted,
-}
+pub use crate::store::{CacheStats, EvictionPolicy, GcConfig, DEFAULT_SHARDS};
 
-/// Garbage-collector configuration.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct GcConfig {
-    /// Memory budget for all cached tables; `None` disables eviction
-    /// (the paper's "wo GC" mode). The budget is shared across shards.
-    pub budget_bytes: Option<usize>,
-    /// Which table to evict when over budget.
-    pub policy: EvictionPolicy,
-    /// Enable the fine-grained (per-entry) bookkeeping mode the paper
-    /// implemented and then disabled for its overhead (§5). When on, every
-    /// checkout re-stamps all entries of the table — the monitoring cost
-    /// shows up in the GC overhead experiment.
-    pub fine_grained: bool,
-}
-
-/// Aggregate cache statistics (drives the paper's Figure 7b table).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct CacheStats {
-    /// Hash tables ever published into the cache.
-    pub publishes: u64,
-    /// Publish calls deduplicated onto an existing identical-lineage entry
-    /// (e.g. re-publishes from re-planned retries). `publishes +
-    /// publish_dedups` equals the number of publish calls.
-    pub publish_dedups: u64,
-    /// Checkouts for reuse (shared and exclusive).
-    pub reuses: u64,
-    /// Tables evicted by the GC.
-    pub evictions: u64,
-    /// Candidate lookups served.
-    pub candidate_lookups: u64,
-    /// Current footprint in bytes.
-    pub bytes: usize,
-    /// Current number of cached tables.
-    pub entries: usize,
-    /// High-water mark of the footprint.
-    pub peak_bytes: usize,
-}
-
-impl CacheStats {
-    /// The paper's "hit ratio": average number of reuses per cached element.
-    pub fn hit_ratio(&self) -> f64 {
-        if self.publishes == 0 {
-            0.0
-        } else {
-            self.reuses as f64 / self.publishes as f64
-        }
-    }
-}
-
-#[derive(Debug)]
-struct CacheEntry {
-    fingerprint: HtFingerprint,
-    schema: Schema,
-    /// The shared table handle. Readers clone it; writers replace it at
-    /// check-in (copy-on-write).
-    ht: Arc<StoredHt>,
-    bytes: usize,
-    last_used: u64,
-    use_count: u64,
-    /// Outstanding shared (read-only) checkouts.
-    readers: u32,
-    /// Whether an exclusive (mutating) checkout is outstanding.
-    writer: bool,
-    /// Fine-grained mode: one timestamp per arena slot.
-    entry_stamps: Option<Vec<u64>>,
-}
-
-impl CacheEntry {
-    /// Pinned entries are never evicted and never dropped.
-    fn pinned(&self) -> bool {
-        self.readers > 0 || self.writer
-    }
-}
-
-/// Lineage validation applied inside a checkout, before any bookkeeping.
-#[derive(Debug, Clone, Copy)]
-enum RegionCheck<'r> {
-    /// No validation (plain checkout by id).
-    None,
-    /// The lineage must still equal the planned region (mutating reuse:
-    /// the delta was computed against it, so any drift invalidates it).
-    Eq(&'r hashstash_plan::Region),
-    /// The lineage must still cover the request region (read-only reuse:
-    /// concurrent widening is tolerated and compensated by the executor).
-    Covers(&'r hashstash_plan::Region),
-}
-
-/// How a [`CheckedOut`] guard holds its table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CheckoutMode {
-    /// Read-only handle clone; any number may coexist.
-    Shared,
-    /// Mutating copy-on-write checkout; at most one per table.
-    Exclusive,
-}
-
-/// An RAII guard over a cached table checked out by one query.
-///
-/// Shared guards ([`HtManager::checkout`]) give read-only access through
-/// [`CheckedOut::table`]. Exclusive guards ([`HtManager::checkout_mut`])
-/// additionally allow [`CheckedOut::table_mut`] (copy-on-write) and publish
-/// their new version — typically with a widened `fingerprint` — via
-/// [`CheckedOut::checkin`].
-///
-/// Dropping a guard without checking in releases the pin: a shared guard
-/// simply decrements the reader count, an exclusive guard abandons its
-/// private copy and leaves the cached version untouched. Either way the
-/// entry stays available and correctly accounted — error paths and panics
-/// cannot leak a checked-out table.
-#[derive(Debug)]
-pub struct CheckedOut<'m> {
-    mgr: &'m HtManager,
-    /// Identity in the cache.
-    pub id: HtId,
-    /// Lineage at checkout time. Mutating reuses (partial/overlapping)
-    /// widen the region before [`CheckedOut::checkin`].
-    pub fingerprint: HtFingerprint,
-    /// Payload schema (qualified attribute names → types).
-    pub schema: Schema,
-    ht: Arc<StoredHt>,
-    mode: CheckoutMode,
-    active: bool,
-}
-
-impl CheckedOut<'_> {
-    /// Read-only view of the table.
-    pub fn table(&self) -> &StoredHt {
-        &self.ht
-    }
-
-    /// Whether this guard may mutate the table.
-    pub fn is_exclusive(&self) -> bool {
-        self.mode == CheckoutMode::Exclusive
-    }
-
-    /// Mutable access via copy-on-write. Only exclusive guards may mutate;
-    /// concurrent readers keep their pre-mutation snapshot.
-    ///
-    /// Note the cost: because the cache entry keeps its own handle, the
-    /// first `table_mut` call always copies the table. That copy is the
-    /// deliberate price of abandon-on-drop semantics (an executor error
-    /// after partial mutation leaves the cached version pristine) and of
-    /// letting readers keep probing during the mutation; the cost model
-    /// does not yet charge it to partial reuse (see ROADMAP).
-    pub fn table_mut(&mut self) -> Result<&mut StoredHt> {
-        if self.mode != CheckoutMode::Exclusive {
-            return Err(HsError::CacheError(format!(
-                "{} checked out shared (read-only); use checkout_mut to mutate",
-                self.id
-            )));
-        }
-        Ok(Arc::make_mut(&mut self.ht))
-    }
-
-    /// A cheap owned handle on the current version of the table (used by
-    /// shared plans that check in early and keep reading).
-    pub fn snapshot(&self) -> Arc<StoredHt> {
-        Arc::clone(&self.ht)
-    }
-
-    /// The common epilogue of a mutating (delta) reuse: widen the lineage
-    /// region by the requesting operator's region, publish the new version,
-    /// and hand back an immutable snapshot so the caller can keep reading
-    /// (probing, output production) without holding the writer slot.
-    pub fn checkin_widened(
-        mut self,
-        request_region: &hashstash_plan::Region,
-    ) -> Result<Arc<StoredHt>> {
-        self.fingerprint.region = self.fingerprint.region.union(request_region);
-        let snapshot = self.snapshot();
-        self.checkin()?;
-        Ok(snapshot)
-    }
-
-    /// Publish this guard's (possibly mutated) table version and updated
-    /// `fingerprint`/`schema` back to the cache. A no-op release for shared
-    /// guards, which cannot have changed anything.
-    pub fn checkin(mut self) -> Result<()> {
-        self.active = false;
-        match self.mode {
-            CheckoutMode::Shared => {
-                self.mgr.release(self.id, self.mode);
-                Ok(())
-            }
-            CheckoutMode::Exclusive => self.mgr.commit_checkin(
-                self.id,
-                self.fingerprint.clone(),
-                self.schema.clone(),
-                Arc::clone(&self.ht),
-            ),
-        }
-    }
-}
-
-impl Drop for CheckedOut<'_> {
-    fn drop(&mut self) {
-        if self.active {
-            self.mgr.release(self.id, self.mode);
-        }
-    }
-}
+/// An RAII guard over a cached hash table checked out by one query — the
+/// hash-table instantiation of the generic [`Checkout`] guard.
+pub type CheckedOut<'m> = Checkout<'m, HtId, StoredHt>;
 
 /// Candidate description handed to the optimizer for costing.
 #[derive(Debug, Clone)]
@@ -271,48 +59,19 @@ pub struct Candidate {
     pub bytes: usize,
 }
 
-/// Snapshot of the fields eviction policies compare, so the victim search
-/// can scan shards one at a time without holding several locks.
-#[derive(Debug, Clone, Copy)]
-struct VictimKey {
-    last_used: u64,
-    use_count: u64,
-    bytes: usize,
-}
-
-impl VictimKey {
-    fn of(e: &CacheEntry) -> Self {
-        VictimKey {
-            last_used: e.last_used,
-            use_count: e.use_count,
-            bytes: e.bytes,
-        }
-    }
-
-    fn better_victim(&self, other: &VictimKey, policy: EvictionPolicy) -> bool {
-        match policy {
-            EvictionPolicy::Lru => self.last_used < other.last_used,
-            EvictionPolicy::Lfu => {
-                (self.use_count, self.last_used) < (other.use_count, other.last_used)
-            }
-            EvictionPolicy::BenefitWeighted => {
-                let da = (self.use_count + 1) as f64 / self.bytes.max(1) as f64;
-                let db = (other.use_count + 1) as f64 / other.bytes.max(1) as f64;
-                da < db || (da == db && self.last_used < other.last_used)
-            }
+impl Candidate {
+    fn of(c: StoreCandidate<HtId, StoredHt>) -> Self {
+        Candidate {
+            entries: c.payload.len(),
+            distinct_keys: c.payload.distinct_keys(),
+            tuple_width: c.payload.tuple_width(),
+            bytes: c.payload.logical_bytes(),
+            id: c.id,
+            fingerprint: c.fingerprint,
+            schema: c.schema,
         }
     }
 }
-
-#[derive(Debug, Default)]
-struct ShardState {
-    entries: HashMap<HtId, CacheEntry>,
-    recycle: RecycleGraph,
-}
-
-/// Default shard count: enough to keep 8-way session fan-out off a single
-/// lock without bloating tiny test caches.
-pub const DEFAULT_SHARDS: usize = 8;
 
 /// The Hash Table Manager: a sharded, concurrently accessible cache.
 ///
@@ -320,45 +79,29 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// docs for the checkout/checkin concurrency model.
 #[derive(Debug)]
 pub struct HtManager {
-    shards: Vec<Mutex<ShardState>>,
-    gc: Mutex<GcConfig>,
-    next_id: AtomicU64,
-    clock: AtomicU64,
-    publishes: AtomicU64,
-    publish_dedups: AtomicU64,
-    reuses: AtomicU64,
-    evictions: AtomicU64,
-    candidate_lookups: AtomicU64,
-    bytes: AtomicUsize,
-    entries: AtomicUsize,
-    peak_bytes: AtomicUsize,
+    store: ReuseStore<HtId, StoredHt>,
 }
 
 impl HtManager {
     /// Create a manager with the given GC configuration and
-    /// [`DEFAULT_SHARDS`] shards.
+    /// [`DEFAULT_SHARDS`] shards, over a private budget.
     pub fn new(gc: GcConfig) -> Self {
         HtManager::with_shards(gc, DEFAULT_SHARDS)
     }
 
-    /// Create a manager with an explicit shard count (≥ 1).
+    /// Create a manager with an explicit shard count (≥ 1) over a private
+    /// budget.
     pub fn with_shards(gc: GcConfig, shards: usize) -> Self {
-        let shards = shards.max(1);
+        HtManager::with_budget(ReuseBudget::new(gc), shards)
+    }
+
+    /// Create a manager over an existing — possibly shared — budget. An
+    /// engine that also runs a temp-table cache hands both the *same*
+    /// budget, which makes the byte limit and the eviction victim search
+    /// span both payload kinds.
+    pub fn with_budget(budget: Arc<ReuseBudget>, shards: usize) -> Self {
         HtManager {
-            shards: (0..shards)
-                .map(|_| Mutex::new(ShardState::default()))
-                .collect(),
-            gc: Mutex::new(gc),
-            next_id: AtomicU64::new(1),
-            clock: AtomicU64::new(0),
-            publishes: AtomicU64::new(0),
-            publish_dedups: AtomicU64::new(0),
-            reuses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            candidate_lookups: AtomicU64::new(0),
-            bytes: AtomicUsize::new(0),
-            entries: AtomicUsize::new(0),
-            peak_bytes: AtomicUsize::new(0),
+            store: ReuseStore::new(budget, shards),
         }
     }
 
@@ -369,108 +112,22 @@ impl HtManager {
 
     /// Number of independent shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.store.num_shards()
     }
 
-    fn tick(&self) -> u64 {
-        self.clock.fetch_add(1, Ordering::Relaxed) + 1
-    }
-
-    fn gc(&self) -> GcConfig {
-        *self.gc.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, ShardState> {
-        self.shards[idx]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Shard owning tables of this fingerprint's shape (and the shape's
-    /// recycle-graph slice).
-    fn shard_of_shape(&self, fp: &HtFingerprint) -> usize {
-        let mut h = DefaultHasher::new();
-        ShapeKey::of(fp).hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
-    }
-
-    /// Shard an id was homed in at publish time (encoded in the id).
-    fn shard_of_id(&self, id: HtId) -> usize {
-        (id.0 as usize) % self.shards.len()
-    }
-
-    fn add_bytes(&self, delta: usize) {
-        let now = self.bytes.fetch_add(delta, Ordering::Relaxed) + delta;
-        self.peak_bytes.fetch_max(now, Ordering::Relaxed);
-    }
-
-    fn sub_bytes(&self, delta: usize) {
-        self.bytes.fetch_sub(delta, Ordering::Relaxed);
+    /// The budget governing this cache (possibly shared with the temp-table
+    /// cache).
+    pub fn budget(&self) -> &Arc<ReuseBudget> {
+        self.store.budget()
     }
 
     /// Publish a hash table materialized by a pipeline breaker. Returns its
     /// cache id. May trigger evictions to respect the memory budget.
     ///
-    /// Publishing a lineage that is already cached (same shape, payload and
-    /// set-equal region — e.g. a re-planned retry re-running an operator
-    /// whose first attempt's publish survived the abort) is deduplicated:
-    /// the existing entry is kept (base tables are immutable, so identical
-    /// lineage means identical content), its LRU stamp refreshed, and its
-    /// id returned without touching the footprint or the publish counter.
+    /// Identical-lineage re-publishes are deduplicated — see
+    /// [`ReuseStore::publish`].
     pub fn publish(&self, fingerprint: HtFingerprint, schema: Schema, ht: StoredHt) -> HtId {
-        let shard = self.shard_of_shape(&fingerprint);
-        let now = self.tick();
-        let bytes = ht.logical_bytes();
-        let entry_stamps = self.gc().fine_grained.then(|| vec![now; ht.len()]);
-        let id = {
-            let mut state = self.lock_shard(shard);
-            let duplicate = state
-                .recycle
-                .candidates(&fingerprint)
-                .into_iter()
-                .find(|id| {
-                    state
-                        .entries
-                        .get(id)
-                        .is_some_and(|e| !e.writer && e.fingerprint.same_lineage(&fingerprint))
-                });
-            if let Some(id) = duplicate {
-                let entry = state.entries.get_mut(&id).expect("checked above");
-                entry.last_used = now;
-                self.publish_dedups.fetch_add(1, Ordering::Relaxed);
-                return id;
-            }
-            // Encode the home shard in the id so id-only operations
-            // (checkout, checkin, drop) find the right shard without a
-            // global index.
-            let raw = self.next_id.fetch_add(1, Ordering::Relaxed);
-            let id = HtId(raw * self.shards.len() as u64 + shard as u64);
-            state.recycle.add(&fingerprint, id);
-            state.entries.insert(
-                id,
-                CacheEntry {
-                    fingerprint,
-                    schema,
-                    ht: Arc::new(ht),
-                    bytes,
-                    last_used: now,
-                    use_count: 0,
-                    readers: 0,
-                    writer: false,
-                    entry_stamps,
-                },
-            );
-            // Count the bytes while still holding the shard lock: the entry
-            // is evictable the moment the lock drops, and a concurrent
-            // eviction must never subtract bytes the counter doesn't hold
-            // yet (usize underflow).
-            self.entries.fetch_add(1, Ordering::Relaxed);
-            self.add_bytes(bytes);
-            id
-        };
-        self.publishes.fetch_add(1, Ordering::Relaxed);
-        self.enforce_budget();
-        id
+        self.store.publish(fingerprint, schema, ht)
     }
 
     /// Candidate tables whose producing sub-plan matches the request's
@@ -478,118 +135,17 @@ impl HtManager {
     /// (single-reuser rule for writers); tables held by readers remain
     /// candidates — shared read-only reuse is the point of the Arc design.
     pub fn candidates(&self, request: &HtFingerprint) -> Vec<Candidate> {
-        self.candidate_lookups.fetch_add(1, Ordering::Relaxed);
-        fn push_candidate(out: &mut Vec<Candidate>, state: &ShardState, id: HtId) {
-            let Some(e) = state.entries.get(&id) else {
-                return; // evicted between graph probe and entry lookup
-            };
-            if e.writer {
-                return;
-            }
-            out.push(Candidate {
-                id,
-                fingerprint: e.fingerprint.clone(),
-                schema: e.schema.clone(),
-                entries: e.ht.len(),
-                distinct_keys: e.ht.distinct_keys(),
-                tuple_width: e.ht.tuple_width(),
-                bytes: e.ht.logical_bytes(),
-            });
-        }
-
-        let shape_shard = self.shard_of_shape(request);
-        let mut out = Vec::new();
-        // Entries of this shape home in the shape's shard, so serve them
-        // under the single lock we already hold for the graph probe. Only
-        // ids re-homed by a shape-changing checkin (not produced by any
-        // current code path) need another shard's lock.
-        let foreign: Vec<HtId> = {
-            let mut state = self.lock_shard(shape_shard);
-            let ids = state.recycle.candidates(request);
-            let mut foreign = Vec::new();
-            for id in ids {
-                if self.shard_of_id(id) == shape_shard {
-                    push_candidate(&mut out, &state, id);
-                } else {
-                    foreign.push(id);
-                }
-            }
-            foreign
-        };
-        for id in foreign {
-            let state = self.lock_shard(self.shard_of_id(id));
-            push_candidate(&mut out, &state, id);
-        }
-        out
-    }
-
-    fn checkout_inner(
-        &self,
-        id: HtId,
-        mode: CheckoutMode,
-        check: RegionCheck<'_>,
-    ) -> Result<CheckedOut<'_>> {
-        let now = self.tick();
-        let fine = self.gc().fine_grained;
-        let mut state = self.lock_shard(self.shard_of_id(id));
-        let entry = state
-            .entries
-            .get_mut(&id)
-            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
-        // Lineage validation happens *before* any bookkeeping: a failed
-        // (stale-plan) checkout must not inflate use counts, LRU stamps or
-        // the reuse statistics.
-        match check {
-            RegionCheck::None => {}
-            RegionCheck::Eq(expect) => {
-                if !entry.fingerprint.region.set_eq(expect) {
-                    return Err(HsError::CacheError(format!(
-                        "{id} lineage changed since planning"
-                    )));
-                }
-            }
-            RegionCheck::Covers(request) => {
-                if !request.is_subset(&entry.fingerprint.region) {
-                    return Err(HsError::CacheError(format!(
-                        "{id} lineage no longer covers the requested region"
-                    )));
-                }
-            }
-        }
-        match mode {
-            CheckoutMode::Shared => entry.readers += 1,
-            CheckoutMode::Exclusive => {
-                if entry.writer {
-                    return Err(HsError::CacheError(format!(
-                        "{id} already checked out for writing"
-                    )));
-                }
-                entry.writer = true;
-            }
-        }
-        entry.last_used = now;
-        entry.use_count += 1;
-        if fine {
-            // Fine-grained bookkeeping: re-stamp every entry. This is the
-            // per-entry monitoring overhead the paper measured and rejected.
-            entry.entry_stamps = Some(vec![now; entry.ht.len()]);
-        }
-        self.reuses.fetch_add(1, Ordering::Relaxed);
-        Ok(CheckedOut {
-            mgr: self,
-            id,
-            fingerprint: entry.fingerprint.clone(),
-            schema: entry.schema.clone(),
-            ht: Arc::clone(&entry.ht),
-            mode,
-            active: true,
-        })
+        self.store
+            .candidates(request)
+            .into_iter()
+            .map(Candidate::of)
+            .collect()
     }
 
     /// Check a table out for shared, read-only reuse (exact and subsuming
     /// matches). Any number of shared checkouts may coexist.
     pub fn checkout(&self, id: HtId) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Shared, RegionCheck::None)
+        self.store.checkout(id)
     }
 
     /// [`HtManager::checkout`], but failing — without touching use counts
@@ -601,7 +157,7 @@ impl HtManager {
         id: HtId,
         expect_region: &hashstash_plan::Region,
     ) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Shared, RegionCheck::Eq(expect_region))
+        self.store.checkout_expecting(id, expect_region)
     }
 
     /// Shared checkout validating that the table's lineage still **covers**
@@ -617,21 +173,17 @@ impl HtManager {
         id: HtId,
         request_region: &hashstash_plan::Region,
     ) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(
-            id,
-            CheckoutMode::Shared,
-            RegionCheck::Covers(request_region),
-        )
+        self.store.checkout_covering(id, request_region)
     }
 
     /// Check a table out for mutating reuse (partial/overlapping delta
     /// insertion, shared-plan re-tagging). At most one mutating checkout per
     /// table — the paper's single-reuser rule, enforced only where mutation
-    /// actually happens. Mutation is copy-on-write: concurrent readers keep
-    /// their snapshot until [`CheckedOut::checkin`] publishes the new
-    /// version.
+    /// actually happens. Mutation is copy-on-write (with a sole-reference
+    /// in-place fast path): concurrent readers keep their snapshot until
+    /// [`CheckedOut::checkin`] publishes the new version.
     pub fn checkout_mut(&self, id: HtId) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Exclusive, RegionCheck::None)
+        self.store.checkout_mut(id)
     }
 
     /// [`HtManager::checkout_mut`] with the same lineage pre-validation as
@@ -643,241 +195,39 @@ impl HtManager {
         id: HtId,
         expect_region: &hashstash_plan::Region,
     ) -> Result<CheckedOut<'_>> {
-        self.checkout_inner(id, CheckoutMode::Exclusive, RegionCheck::Eq(expect_region))
-    }
-
-    /// Release a pin without publishing changes (guard drop).
-    fn release(&self, id: HtId, mode: CheckoutMode) {
-        let mut state = self.lock_shard(self.shard_of_id(id));
-        if let Some(entry) = state.entries.get_mut(&id) {
-            match mode {
-                CheckoutMode::Shared => entry.readers = entry.readers.saturating_sub(1),
-                CheckoutMode::Exclusive => entry.writer = false,
-            }
-        }
-    }
-
-    /// Publish an exclusive guard's new table version (paper Figure 1,
-    /// step 4). The fingerprint may have changed (partial reuse widens the
-    /// region); the recycle graph is updated if the shape changed.
-    fn commit_checkin(
-        &self,
-        id: HtId,
-        fingerprint: HtFingerprint,
-        schema: Schema,
-        ht: Arc<StoredHt>,
-    ) -> Result<()> {
-        let now = self.tick();
-        let fine = self.gc().fine_grained;
-        let home = self.shard_of_id(id);
-        let shape_change = {
-            let mut state = self.lock_shard(home);
-            let entry = state
-                .entries
-                .get_mut(&id)
-                .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
-            debug_assert!(entry.writer, "checkin without an exclusive checkout");
-            let shape_change =
-                (!entry.fingerprint.same_shape(&fingerprint)).then(|| entry.fingerprint.clone());
-            let old_bytes = entry.bytes;
-            let new_bytes = ht.logical_bytes();
-            entry.bytes = new_bytes;
-            if fine {
-                entry.entry_stamps = Some(vec![now; ht.len()]);
-            }
-            entry.fingerprint = fingerprint.clone();
-            entry.schema = schema;
-            entry.ht = ht;
-            entry.last_used = now;
-            entry.writer = false;
-            // Byte delta while still holding the shard lock: once it drops
-            // the entry is evictable, and a concurrent eviction subtracting
-            // the new size against a counter still holding the old one
-            // would underflow.
-            if new_bytes >= old_bytes {
-                self.add_bytes(new_bytes - old_bytes);
-            } else {
-                self.sub_bytes(old_bytes - new_bytes);
-            }
-            shape_change
-        };
-        // Move the recycle registration when the shape changed (one shard
-        // lock at a time; candidate lookups tolerate the brief window by
-        // re-validating against the entry).
-        if let Some(old_fp) = shape_change {
-            self.lock_shard(self.shard_of_shape(&old_fp))
-                .recycle
-                .remove(&old_fp, id);
-            self.lock_shard(self.shard_of_shape(&fingerprint))
-                .recycle
-                .add(&fingerprint, id);
-        }
-        self.enforce_budget();
-        Ok(())
+        self.store.checkout_mut_expecting(id, expect_region)
     }
 
     /// Drop a table outright. Fails while the table is checked out.
     pub fn drop_table(&self, id: HtId) -> Result<()> {
-        let entry = {
-            let mut state = self.lock_shard(self.shard_of_id(id));
-            match state.entries.get(&id) {
-                None => return Err(HsError::CacheError(format!("{id} not in cache"))),
-                Some(e) if e.pinned() => {
-                    return Err(HsError::CacheError(format!("{id} is checked out")))
-                }
-                Some(_) => state.entries.remove(&id).expect("entry exists"),
-            }
-        };
-        self.lock_shard(self.shard_of_shape(&entry.fingerprint))
-            .recycle
-            .remove(&entry.fingerprint, id);
-        self.entries.fetch_sub(1, Ordering::Relaxed);
-        self.sub_bytes(entry.bytes);
-        Ok(())
+        self.store.drop_entry(id)
     }
 
-    /// Evict tables until the footprint drops below the budget. Checked-out
-    /// tables (readers or writer) are never evicted. Returns the number of
-    /// evictions.
+    /// Evict tables until the footprint drops below the budget (running the
+    /// TTL expiry first). Checked-out tables (readers or writer) are never
+    /// evicted. When the budget is shared, the victim search spans every
+    /// store registered with it; the return value counts evictions across
+    /// all of them.
     pub fn enforce_budget(&self) -> usize {
-        let gc = self.gc();
-        let Some(budget) = gc.budget_bytes else {
-            return 0;
-        };
-        let mut evicted = 0;
-        while self.bytes.load(Ordering::Relaxed) > budget {
-            // Pick the policy's best victim across all shards, locking one
-            // shard at a time.
-            let mut victim: Option<(usize, HtId, VictimKey)> = None;
-            for (si, _) in self.shards.iter().enumerate() {
-                let state = self.lock_shard(si);
-                for (&id, e) in &state.entries {
-                    if e.pinned() {
-                        continue;
-                    }
-                    let key = VictimKey::of(e);
-                    if victim
-                        .as_ref()
-                        .is_none_or(|(_, _, best)| key.better_victim(best, gc.policy))
-                    {
-                        victim = Some((si, id, key));
-                    }
-                }
-            }
-            let Some((si, id, _)) = victim else { break };
-            // Re-lock and re-validate: the victim may have been pinned or
-            // removed by a concurrent session since the scan.
-            let removed = {
-                let mut state = self.lock_shard(si);
-                match state.entries.get(&id) {
-                    Some(e) if !e.pinned() => state.entries.remove(&id),
-                    _ => None,
-                }
-            };
-            if let Some(entry) = removed {
-                self.lock_shard(self.shard_of_shape(&entry.fingerprint))
-                    .recycle
-                    .remove(&entry.fingerprint, id);
-                self.entries.fetch_sub(1, Ordering::Relaxed);
-                self.sub_bytes(entry.bytes);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                evicted += 1;
-            }
-        }
-        evicted
+        self.store.enforce_budget()
     }
 
     /// Fine-grained GC: drop the oldest `1 - keep_fraction` of a table's
     /// entries (requires `fine_grained` mode). Returns entries removed.
     /// Copy-on-write: concurrent readers keep the unpruned snapshot.
     pub fn prune_entries(&self, id: HtId, keep_fraction: f64) -> Result<usize> {
-        if !self.gc().fine_grained {
-            return Err(HsError::Config(
-                "prune_entries requires fine_grained GC mode".into(),
-            ));
-        }
-        let now = self.tick();
-        let (before, after) = {
-            let mut state = self.lock_shard(self.shard_of_id(id));
-            let entry = state
-                .entries
-                .get_mut(&id)
-                .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
-            if entry.writer {
-                return Err(HsError::CacheError(format!("{id} checked out")));
-            }
-            let stamps = entry.entry_stamps.clone().unwrap_or_default();
-            let before = entry.ht.len();
-            let keep = ((before as f64) * keep_fraction).ceil() as usize;
-            if keep >= before {
-                return Ok(0);
-            }
-            // Rank entries by (stamp, arena position); keep the newest
-            // `keep`. Position breaks ties so a uniform-stamp table still
-            // prunes.
-            let mut order: Vec<usize> = (0..before).collect();
-            order.sort_unstable_by_key(|&i| (stamps.get(i).copied().unwrap_or(0), i));
-            let mut keep_mask = vec![false; before];
-            for &i in order.iter().rev().take(keep) {
-                keep_mask[i] = true;
-            }
-            let mut idx = 0usize;
-            let ht = Arc::make_mut(&mut entry.ht);
-            match ht {
-                StoredHt::Join(t) | StoredHt::SharedGroup(t) => t.retain(|_, _| {
-                    let keep_it = keep_mask.get(idx).copied().unwrap_or(false);
-                    idx += 1;
-                    keep_it
-                }),
-                StoredHt::Agg(t) => t.retain(|_, _| {
-                    let keep_it = keep_mask.get(idx).copied().unwrap_or(false);
-                    idx += 1;
-                    keep_it
-                }),
-            }
-            let after = ht.len();
-            let old_bytes = entry.bytes;
-            entry.bytes = entry.ht.logical_bytes();
-            // Survivors get a *fresh* stamp: a later checkout always ticks
-            // later than the prune, keeping per-entry timestamps monotone.
-            entry.entry_stamps = Some(vec![now; after]);
-            let new_bytes = entry.bytes;
-            // Byte delta under the shard lock (see publish/commit_checkin:
-            // a concurrent eviction must never see the entry's new size
-            // before the counter does).
-            if new_bytes >= old_bytes {
-                self.add_bytes(new_bytes - old_bytes);
-            } else {
-                self.sub_bytes(old_bytes - new_bytes);
-            }
-            (before, after)
-        };
-        Ok(before - after)
+        self.store.prune_entries(id, keep_fraction)
     }
 
     /// Fine-grained per-slot timestamps of a table (`None` unless
     /// `fine_grained` mode stamped it). For tests and GC experiments.
     pub fn entry_stamps(&self, id: HtId) -> Result<Option<Vec<u64>>> {
-        let state = self.lock_shard(self.shard_of_id(id));
-        state
-            .entries
-            .get(&id)
-            .map(|e| e.entry_stamps.clone())
-            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))
+        self.store.entry_stamps(id)
     }
 
     /// Aggregate statistics snapshot.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            publishes: self.publishes.load(Ordering::Relaxed),
-            publish_dedups: self.publish_dedups.load(Ordering::Relaxed),
-            reuses: self.reuses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            candidate_lookups: self.candidate_lookups.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            entries: self.entries.load(Ordering::Relaxed),
-            peak_bytes: self.peak_bytes.load(Ordering::Relaxed),
-        }
+        self.store.stats()
     }
 
     /// Recount footprint and entries directly from the shards (O(entries),
@@ -885,42 +235,34 @@ impl HtManager {
     /// [`CacheStats::bytes`]/[`CacheStats::entries`] — the concurrency
     /// stress tests assert exactly that.
     pub fn audit(&self) -> (usize, usize) {
-        let mut bytes = 0;
-        let mut entries = 0;
-        for (si, _) in self.shards.iter().enumerate() {
-            let state = self.lock_shard(si);
-            entries += state.entries.len();
-            bytes += state.entries.values().map(|e| e.bytes).sum::<usize>();
-        }
-        (bytes, entries)
+        self.store.audit()
     }
 
     /// Number of cached tables.
     pub fn len(&self) -> usize {
-        self.entries.load(Ordering::Relaxed)
+        self.store.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.store.is_empty()
     }
 
     /// Whether a given table is currently cached and not held by a writer
     /// (readers do not block availability).
     pub fn is_available(&self, id: HtId) -> bool {
-        let state = self.lock_shard(self.shard_of_id(id));
-        state.entries.get(&id).is_some_and(|e| !e.writer)
+        self.store.is_available(id)
     }
 
-    /// The GC configuration.
+    /// The GC configuration (of the — possibly shared — budget).
     pub fn gc_config(&self) -> GcConfig {
-        self.gc()
+        self.store.budget().gc_config()
     }
 
     /// Replace the GC configuration (budget changes take effect on the next
     /// publish/checkin).
     pub fn set_gc_config(&self, gc: GcConfig) {
-        *self.gc.lock().unwrap_or_else(PoisonError::into_inner) = gc;
+        self.store.budget().set_gc_config(gc);
     }
 }
 
@@ -930,7 +272,7 @@ mod tests {
     use crate::payload::TaggedRow;
     use hashstash_hashtable::ExtendibleHashTable;
     use hashstash_plan::{HtKind, Interval, PredBox, Region};
-    use hashstash_types::{DataType, Field, Row, Value};
+    use hashstash_types::{DataType, Field, HsError, Row, Value};
 
     fn fp(lo: i64, hi: i64) -> HtFingerprint {
         HtFingerprint {
@@ -1101,6 +443,83 @@ mod tests {
         assert!(cands[0].fingerprint.region.set_eq(&fp(10, 30).region));
     }
 
+    /// Sole-reference fast path: with no reader snapshot outstanding, the
+    /// mutation happens **in place** — the post-checkin cache entry is the
+    /// very same allocation that was published, not a copy.
+    #[test]
+    fn sole_reference_mutation_skips_the_copy() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(20, 30), schema(), table(10));
+        let original_ptr = {
+            let co = m.checkout(id).unwrap();
+            Arc::as_ptr(&co.snapshot())
+        };
+        let mut writer = m.checkout_mut(id).unwrap();
+        {
+            let StoredHt::Join(t) = writer.table_mut().unwrap() else {
+                panic!("join table")
+            };
+            t.insert(500, TaggedRow::untagged(Row::new(vec![Value::Int(500)])));
+        }
+        writer.fingerprint.region = fp(10, 30).region;
+        writer.checkin().unwrap();
+        let after = m.checkout(id).unwrap();
+        assert_eq!(after.table().len(), 11, "delta landed");
+        assert_eq!(
+            Arc::as_ptr(&after.snapshot()),
+            original_ptr,
+            "no COW copy: the cached allocation is unchanged"
+        );
+    }
+
+    /// During an in-place mutation there is no snapshot to hand out: a
+    /// concurrent shared checkout fails with a `CacheError` (the session's
+    /// ordinary re-plan path) instead of observing a torn table. A reader
+    /// that grabbed its snapshot *before* the writer mutates forces the
+    /// copy-on-write path and keeps its view — pinned by
+    /// `cow_mutation_preserves_reader_snapshots`.
+    #[test]
+    fn in_place_window_rejects_new_readers() {
+        let m = HtManager::unbounded();
+        let id = m.publish(fp(20, 30), schema(), table(10));
+        let mut writer = m.checkout_mut(id).unwrap();
+        writer.table_mut().unwrap(); // takes the in-place fast path
+        assert!(
+            matches!(m.checkout(id), Err(HsError::CacheError(_))),
+            "no snapshot exists during the in-place window"
+        );
+        writer.checkin().unwrap();
+        assert!(m.checkout(id).is_ok(), "snapshot restored at check-in");
+    }
+
+    /// Abandoning a guard *after* it took the in-place fast path drops the
+    /// entry: the pristine version no longer exists, and re-publishing a
+    /// possibly half-mutated table under its old lineage could serve wrong
+    /// answers. Accounting must stay exact.
+    #[test]
+    fn abandoned_in_place_mutation_drops_the_entry() {
+        let m = HtManager::unbounded();
+        let keep = m.publish(fp(40, 60), schema(), table(5));
+        let id = m.publish(fp(20, 30), schema(), table(10));
+        {
+            let mut writer = m.checkout_mut(id).unwrap();
+            let StoredHt::Join(t) = writer.table_mut().unwrap() else {
+                panic!("join table")
+            };
+            t.insert(999, TaggedRow::untagged(Row::new(vec![Value::Int(999)])));
+            // Simulated executor error: dropped without checkin.
+        }
+        assert!(!m.is_available(id), "half-mutated entry dropped");
+        assert!(m.is_available(keep), "other entries untouched");
+        // Shape-matched candidates no longer include the dropped entry.
+        let cands = m.candidates(&fp(20, 30));
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].id, keep);
+        let (audit_bytes, audit_entries) = m.audit();
+        assert_eq!(audit_entries, 1);
+        assert_eq!(m.stats().bytes, audit_bytes, "accounting stays exact");
+    }
+
     #[test]
     fn shared_guard_rejects_mutation() {
         let m = HtManager::unbounded();
@@ -1129,7 +548,7 @@ mod tests {
         let m = HtManager::new(GcConfig {
             budget_bytes: Some(budget),
             policy: EvictionPolicy::Lru,
-            fine_grained: false,
+            ..GcConfig::default()
         });
         let a = m.publish(fp(0, 10), schema(), table(100));
         let b = m.publish(fp(20, 30), schema(), table(100));
@@ -1147,7 +566,7 @@ mod tests {
         let m = HtManager::new(GcConfig {
             budget_bytes: Some(table(100).logical_bytes() * 2),
             policy: EvictionPolicy::Lfu,
-            fine_grained: false,
+            ..GcConfig::default()
         });
         let a = m.publish(fp(0, 10), schema(), table(100));
         let b = m.publish(fp(20, 30), schema(), table(100));
@@ -1171,7 +590,7 @@ mod tests {
         let m = HtManager::new(GcConfig {
             budget_bytes: Some(one_table),
             policy: EvictionPolicy::Lru,
-            fine_grained: false,
+            ..GcConfig::default()
         });
         let b = m.publish(fp(0, 10), schema(), table(10));
         assert!(m.is_available(b), "budget admits exactly one table");
@@ -1207,12 +626,71 @@ mod tests {
         assert_eq!(entries, 20);
     }
 
+    /// Per-table TTL: entries idle longer than `ttl_ticks` are evicted
+    /// ahead of the victim search, even with no byte pressure at all.
+    #[test]
+    fn ttl_evicts_idle_entries_without_byte_pressure() {
+        let m = HtManager::new(GcConfig {
+            ttl_ticks: Some(8),
+            ..GcConfig::default()
+        });
+        let idle = m.publish(fp(0, 10), schema(), table(10));
+        let hot = m.publish(fp(20, 30), schema(), table(10));
+        // Advance the clock past the TTL by touching only `hot`.
+        for _ in 0..10 {
+            m.checkout(hot).unwrap().checkin().unwrap();
+        }
+        m.enforce_budget();
+        assert!(!m.is_available(idle), "idle entry expired");
+        assert!(m.is_available(hot), "recently used entry survives");
+        assert_eq!(m.stats().evictions, 1);
+        let (audit_bytes, audit_entries) = m.audit();
+        assert_eq!(audit_entries, 1);
+        assert_eq!(m.stats().bytes, audit_bytes);
+    }
+
+    /// TTL pruning is monotone: under the same operation history, a longer
+    /// TTL never expires an entry a shorter TTL would have kept.
+    #[test]
+    fn ttl_pruning_is_monotone_in_the_ttl() {
+        // Same op sequence against two managers differing only in TTL.
+        fn survivors(ttl: u64) -> Vec<bool> {
+            let m = HtManager::new(GcConfig {
+                ttl_ticks: Some(ttl),
+                ..GcConfig::default()
+            });
+            let ids: Vec<HtId> = (0..4)
+                .map(|i| m.publish(fp(i * 20, i * 20 + 10), schema(), table(10)))
+                .collect();
+            // Touch table k exactly 2k times, interleaved, so older tables
+            // have strictly older last-used stamps.
+            for round in 0..6 {
+                for (k, &id) in ids.iter().enumerate() {
+                    if round < 2 * k {
+                        m.checkout(id).unwrap().checkin().unwrap();
+                    }
+                }
+            }
+            m.enforce_budget();
+            ids.iter().map(|&id| m.is_available(id)).collect()
+        }
+        let short = survivors(3);
+        let long = survivors(12);
+        for (i, (s, l)) in short.iter().zip(&long).enumerate() {
+            assert!(
+                !s || *l,
+                "entry {i} survived ttl=3 but was expired by ttl=12"
+            );
+        }
+        // The shorter TTL expired at least as many entries.
+        assert!(short.iter().filter(|s| !**s).count() >= long.iter().filter(|l| !**l).count());
+    }
+
     #[test]
     fn prune_entries_fine_grained() {
         let m = HtManager::new(GcConfig {
-            budget_bytes: None,
-            policy: EvictionPolicy::Lru,
             fine_grained: true,
+            ..GcConfig::default()
         });
         let id = m.publish(fp(0, 10), schema(), table(100));
         let removed = m.prune_entries(id, 0.25).unwrap();
@@ -1227,9 +705,8 @@ mod tests {
     #[test]
     fn prune_restamps_with_fresh_tick() {
         let m = HtManager::new(GcConfig {
-            budget_bytes: None,
-            policy: EvictionPolicy::Lru,
             fine_grained: true,
+            ..GcConfig::default()
         });
         let id = m.publish(fp(0, 10), schema(), table(40));
         let publish_stamp = m.entry_stamps(id).unwrap().unwrap()[0];

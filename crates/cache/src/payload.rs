@@ -1,8 +1,12 @@
-//! Value types stored inside cached hash tables.
+//! Value types stored inside cached hash tables — and the payloads the
+//! generic [`crate::store::ReuseStore`] accepts ([`StoredHt`] for the Hash
+//! Table Manager, [`MaterializedRows`] for the temp-table baseline).
 
 use hashstash_types::{QidSet, Row, Value};
 
 use hashstash_plan::{AggExpr, AggFunc};
+
+use crate::store::ReusePayload;
 
 /// A row with a query-id tag.
 ///
@@ -203,6 +207,91 @@ impl StoredHt {
             StoredHt::Join(ht) | StoredHt::SharedGroup(ht) => ht.tuple_width(),
             StoredHt::Agg(ht) => ht.tuple_width(),
         }
+    }
+}
+
+impl ReusePayload for StoredHt {
+    fn logical_bytes(&self) -> usize {
+        StoredHt::logical_bytes(self)
+    }
+
+    fn len(&self) -> usize {
+        StoredHt::len(self)
+    }
+
+    fn retain_mask(&mut self, keep: &[bool]) {
+        let mut idx = 0usize;
+        let mut keep_it = || {
+            let k = keep.get(idx).copied().unwrap_or(false);
+            idx += 1;
+            k
+        };
+        match self {
+            StoredHt::Join(t) | StoredHt::SharedGroup(t) => t.retain(|_, _| keep_it()),
+            StoredHt::Agg(t) => t.retain(|_, _| keep_it()),
+        }
+    }
+}
+
+/// Approximate in-memory size of one materialized row (arrays of scalars).
+pub fn row_bytes(row: &Row) -> usize {
+    row.values()
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => 16 + s.len(),
+            _ => 8,
+        })
+        .sum::<usize>()
+        + 24
+}
+
+/// A materialized intermediate result: the payload type of the temp-table
+/// baseline (plain row vectors, Nagel et al. style). Byte accounting is
+/// precomputed so budget checks never re-walk the rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterializedRows {
+    rows: Vec<Row>,
+    bytes: usize,
+}
+
+impl MaterializedRows {
+    /// Wrap materialized rows, computing their footprint once.
+    pub fn new(rows: Vec<Row>) -> Self {
+        let bytes = rows.iter().map(row_bytes).sum();
+        MaterializedRows { rows, bytes }
+    }
+
+    /// The materialized rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+}
+
+impl std::ops::Deref for MaterializedRows {
+    type Target = [Row];
+
+    fn deref(&self) -> &[Row] {
+        &self.rows
+    }
+}
+
+impl ReusePayload for MaterializedRows {
+    fn logical_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn retain_mask(&mut self, keep: &[bool]) {
+        let mut idx = 0usize;
+        self.rows.retain(|_| {
+            let k = keep.get(idx).copied().unwrap_or(false);
+            idx += 1;
+            k
+        });
+        self.bytes = self.rows.iter().map(row_bytes).sum();
     }
 }
 

@@ -1,0 +1,1265 @@
+//! The generic reuse store: one sharded, budget-governed cache layer
+//! behind both the Hash Table Manager and the temp-table cache.
+//!
+//! HashStash treats cached hash tables and materialized intermediates as
+//! *one* reuse problem — one memory budget, one cost/benefit decision
+//! (paper §4–5). [`ReuseStore`] realizes that: everything the two caches
+//! would otherwise duplicate lives here exactly once —
+//!
+//! * fingerprint-shape **sharding** (a shard per shape-key hash, so
+//!   sessions touching unrelated plan shapes never contend),
+//! * the **shared byte budget** ([`ReuseBudget`]): several typed stores
+//!   register with one budget, and the eviction loop ranks entries of
+//!   *every* registered store in a single victim search,
+//! * RAII shared/exclusive **checkout guards** ([`Checkout`]) with
+//!   copy-on-write mutation (and a sole-reference in-place fast path),
+//! * identical-lineage **publish dedup**,
+//! * **recycle-graph** candidate lookup (paper §3.3),
+//! * statistics, per-table TTL expiry and eviction.
+//!
+//! The facades ([`crate::manager::HtManager`],
+//! `hashstash_exec::temp::TempTableCache`) only add their payload type and
+//! id newtype on top.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
+
+use hashstash_types::{HsError, Result, Schema};
+
+use hashstash_plan::HtFingerprint;
+
+use crate::recycle::{RecycleGraph, ShapeKey};
+
+/// Default shard count: enough to keep 8-way session fan-out off a single
+/// lock without bloating tiny test caches.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// What a payload type must provide to live in a [`ReuseStore`].
+///
+/// `Clone` powers copy-on-write mutation (`Arc::make_mut`); everything else
+/// is bookkeeping the store needs for budgets and fine-grained GC.
+pub trait ReusePayload: Clone + Send + Sync + fmt::Debug + 'static {
+    /// Logical footprint in bytes (drives the shared budget).
+    fn logical_bytes(&self) -> usize;
+
+    /// Number of stored elements (rows or hash-table entries) — the unit of
+    /// fine-grained GC stamps.
+    fn len(&self) -> usize;
+
+    /// Whether the payload holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keep exactly the elements whose position is `true` in `keep`
+    /// (fine-grained pruning). Positions beyond `keep.len()` are dropped.
+    fn retain_mask(&mut self, keep: &[bool]);
+}
+
+/// Typed id newtype over the store's raw `u64` ids. The home shard is
+/// encoded in the raw value (`raw * shards + shard`), so id-only operations
+/// find their shard without a global index.
+pub trait StoreId: Copy + Eq + Hash + fmt::Debug + fmt::Display + Send + Sync + 'static {
+    /// Wrap a raw store id.
+    fn from_raw(raw: u64) -> Self;
+    /// Unwrap to the raw store id.
+    fn raw(self) -> u64;
+}
+
+impl StoreId for hashstash_types::HtId {
+    fn from_raw(raw: u64) -> Self {
+        hashstash_types::HtId(raw)
+    }
+    fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Eviction policy for the coarse-grained garbage collector.
+///
+/// The paper ships LRU (§5); LFU and benefit-weighted eviction are provided
+/// for the ablation experiments. Under a shared [`ReuseBudget`] the policy
+/// ranks hash tables and temp tables in the *same* victim search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the table with the oldest last-access timestamp (paper §5).
+    #[default]
+    Lru,
+    /// Evict the least frequently reused table.
+    Lfu,
+    /// Evict the table with the lowest reuse-per-byte density — large,
+    /// rarely reused tables go first.
+    BenefitWeighted,
+}
+
+/// Garbage-collector configuration (shared across every store registered
+/// with one [`ReuseBudget`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcConfig {
+    /// Memory budget for all cached tables of *all* payload kinds; `None`
+    /// disables eviction (the paper's "wo GC" mode). The budget is shared
+    /// across shards and across stores.
+    pub budget_bytes: Option<usize>,
+    /// Which table to evict when over budget.
+    pub policy: EvictionPolicy,
+    /// Enable the fine-grained (per-entry) bookkeeping mode the paper
+    /// implemented and then disabled for its overhead (§5). When on, every
+    /// checkout re-stamps all entries of the table — the monitoring cost
+    /// shows up in the GC overhead experiment.
+    pub fine_grained: bool,
+    /// Per-table TTL in clock ticks: entries idle longer than this are
+    /// evicted ahead of the victim search (even with no byte pressure).
+    /// `None` (default) disables TTL expiry.
+    pub ttl_ticks: Option<u64>,
+    /// Anti-starvation floor for the shared budget: a store whose footprint
+    /// is at or below this many bytes is skipped by the victim search while
+    /// any other registered store still has evictable mass above its floor.
+    /// `0` (default) disables the floor.
+    pub floor_bytes: usize,
+}
+
+/// Aggregate per-store statistics (drives the paper's Figure 7b table).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Tables ever published into this store.
+    pub publishes: u64,
+    /// Publish calls deduplicated onto an existing identical-lineage entry
+    /// (e.g. re-publishes from re-planned retries). `publishes +
+    /// publish_dedups` equals the number of publish calls.
+    pub publish_dedups: u64,
+    /// Checkouts for reuse (shared and exclusive).
+    pub reuses: u64,
+    /// Tables evicted by the GC (budget pressure or TTL expiry).
+    pub evictions: u64,
+    /// Candidate lookups served.
+    pub candidate_lookups: u64,
+    /// Current footprint of this store in bytes.
+    pub bytes: usize,
+    /// Current number of cached tables in this store.
+    pub entries: usize,
+    /// High-water mark of this store's footprint.
+    pub peak_bytes: usize,
+}
+
+impl CacheStats {
+    /// The paper's "hit ratio": average number of reuses per cached element.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.publishes == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.publishes as f64
+        }
+    }
+}
+
+/// Snapshot of the fields eviction policies compare, so the victim search
+/// can scan shards (and stores) one at a time without holding several
+/// locks. The clock behind `last_used` is owned by the shared
+/// [`ReuseBudget`], which is what makes cross-store comparison meaningful.
+#[derive(Debug, Clone, Copy)]
+struct VictimKey {
+    last_used: u64,
+    use_count: u64,
+    bytes: usize,
+}
+
+impl VictimKey {
+    fn better_victim(&self, other: &VictimKey, policy: EvictionPolicy) -> bool {
+        match policy {
+            EvictionPolicy::Lru => self.last_used < other.last_used,
+            EvictionPolicy::Lfu => {
+                (self.use_count, self.last_used) < (other.use_count, other.last_used)
+            }
+            EvictionPolicy::BenefitWeighted => {
+                let da = (self.use_count + 1) as f64 / self.bytes.max(1) as f64;
+                let db = (other.use_count + 1) as f64 / other.bytes.max(1) as f64;
+                da < db || (da == db && self.last_used < other.last_used)
+            }
+        }
+    }
+}
+
+/// The eviction-side view of one typed store, used by [`ReuseBudget`] to
+/// run a single victim search across payload kinds.
+trait VictimSource: Send + Sync + fmt::Debug {
+    /// Current footprint of this store (for the anti-starvation floor).
+    fn current_bytes(&self) -> usize;
+    /// The policy's best unpinned victim in this store, if any.
+    fn best_victim(&self, policy: EvictionPolicy) -> Option<(u64, VictimKey)>;
+    /// Re-validate and evict; `false` if the entry was pinned or removed
+    /// since the scan.
+    fn try_evict(&self, raw_id: u64) -> bool;
+    /// Evict every unpinned entry whose `last_used` is older than `cutoff`
+    /// (TTL expiry). Returns the number evicted.
+    fn expire_idle(&self, cutoff: u64) -> usize;
+}
+
+/// The shared byte budget: one logical clock, one footprint counter and one
+/// eviction loop governing every [`ReuseStore`] registered with it.
+///
+/// Standalone stores create a private budget; an engine that caches both
+/// hash tables and temp tables hands the *same* `Arc<ReuseBudget>` to both,
+/// which is what makes "one memory budget, one eviction decision" true.
+#[derive(Debug)]
+pub struct ReuseBudget {
+    gc: Mutex<GcConfig>,
+    clock: AtomicU64,
+    bytes: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    /// Clock tick of the last TTL sweep — the sweep is O(total entries)
+    /// across every store, so it is throttled rather than run on each
+    /// publish/checkin.
+    ttl_sweep_tick: AtomicU64,
+    stores: Mutex<Vec<Weak<dyn VictimSource>>>,
+}
+
+impl ReuseBudget {
+    /// A budget with the given GC configuration.
+    pub fn new(gc: GcConfig) -> Arc<Self> {
+        Arc::new(ReuseBudget {
+            gc: Mutex::new(gc),
+            clock: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            ttl_sweep_tick: AtomicU64::new(0),
+            stores: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The GC configuration.
+    pub fn gc_config(&self) -> GcConfig {
+        *self.gc.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replace the GC configuration (budget changes take effect on the next
+    /// publish/checkin).
+    pub fn set_gc_config(&self, gc: GcConfig) {
+        *self.gc.lock().unwrap_or_else(PoisonError::into_inner) = gc;
+    }
+
+    /// Combined footprint of every registered store, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the combined footprint.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn register(&self, store: Weak<dyn VictimSource>) {
+        self.stores
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(store);
+    }
+
+    fn add_bytes(&self, delta: usize) {
+        let now = self.bytes.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub_bytes(&self, delta: usize) {
+        self.bytes.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// Live registered stores (pruning any that were dropped).
+    fn sources(&self) -> Vec<Arc<dyn VictimSource>> {
+        let mut stores = self.stores.lock().unwrap_or_else(PoisonError::into_inner);
+        stores.retain(|w| w.strong_count() > 0);
+        stores.iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// TTL expiry followed by the cross-store victim loop: evict until the
+    /// combined footprint drops below the budget. Checked-out tables are
+    /// never evicted. Returns the number of evictions.
+    pub fn enforce(&self) -> usize {
+        let gc = self.gc_config();
+        let sources = self.sources();
+        let mut evicted = 0;
+        // Per-table TTL first: idle entries go regardless of byte pressure,
+        // ahead of the policy's victim search. The sweep scans every entry
+        // of every store, so it runs at most once per ttl/8 ticks (a CAS
+        // elects one sweeper under concurrency) — worst-case staleness is
+        // ttl + ttl/8 rather than a full scan per publish/checkin.
+        if let Some(ttl) = gc.ttl_ticks {
+            let now = self.clock.load(Ordering::Relaxed);
+            let interval = (ttl / 8).max(1);
+            let last = self.ttl_sweep_tick.load(Ordering::Relaxed);
+            if now.saturating_sub(last) >= interval
+                && self
+                    .ttl_sweep_tick
+                    .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                let cutoff = now.saturating_sub(ttl);
+                for s in &sources {
+                    evicted += s.expire_idle(cutoff);
+                }
+            }
+        }
+        let Some(budget) = gc.budget_bytes else {
+            return evicted;
+        };
+        while self.bytes() > budget {
+            // One victim search ranking every store's entries together.
+            // Pass 1 respects the anti-starvation floor; pass 2 (only
+            // needed when a floor is configured and pass 1 found nothing)
+            // considers everything so enforcement always makes progress.
+            let mut victim = Self::best_over(&sources, gc.policy, gc.floor_bytes);
+            if victim.is_none() && gc.floor_bytes > 0 {
+                victim = Self::best_over(&sources, gc.policy, 0);
+            }
+            let Some((source, raw_id, _)) = victim else {
+                break;
+            };
+            if source.try_evict(raw_id) {
+                evicted += 1;
+            }
+            // Re-validation failure (pinned or removed since the scan) just
+            // re-enters the loop and re-scans.
+        }
+        evicted
+    }
+
+    fn best_over(
+        sources: &[Arc<dyn VictimSource>],
+        policy: EvictionPolicy,
+        floor_bytes: usize,
+    ) -> Option<(Arc<dyn VictimSource>, u64, VictimKey)> {
+        let mut best: Option<(Arc<dyn VictimSource>, u64, VictimKey)> = None;
+        for s in sources {
+            if floor_bytes > 0 && s.current_bytes() <= floor_bytes {
+                continue; // protected: this kind is at its floor
+            }
+            if let Some((id, key)) = s.best_victim(policy) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, _, b)| key.better_victim(b, policy))
+                {
+                    best = Some((Arc::clone(s), id, key));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// How the cache entry holds its payload.
+#[derive(Debug)]
+enum Slot<P> {
+    /// The shared handle. Readers clone it; writers replace it at check-in.
+    Present(Arc<P>),
+    /// An exclusive guard took the payload out for sole-reference in-place
+    /// mutation. Restored at check-in; the entry is dropped if the guard
+    /// abandons (the payload may be half-mutated, so the pristine version
+    /// no longer exists).
+    InPlace,
+}
+
+#[derive(Debug)]
+struct StoreEntry<P> {
+    fingerprint: HtFingerprint,
+    schema: Schema,
+    slot: Slot<P>,
+    bytes: usize,
+    last_used: u64,
+    use_count: u64,
+    /// Outstanding shared (read-only) checkouts.
+    readers: u32,
+    /// Whether an exclusive (mutating) checkout is outstanding.
+    writer: bool,
+    /// Fine-grained mode: one timestamp per stored element.
+    entry_stamps: Option<Vec<u64>>,
+}
+
+impl<P> StoreEntry<P> {
+    /// Pinned entries are never evicted and never dropped.
+    fn pinned(&self) -> bool {
+        self.readers > 0 || self.writer
+    }
+}
+
+/// Lineage validation applied inside a checkout, before any bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RegionCheck<'r> {
+    /// No validation (plain checkout by id).
+    None,
+    /// The lineage must still equal the planned region (mutating reuse:
+    /// the delta was computed against it, so any drift invalidates it).
+    Eq(&'r hashstash_plan::Region),
+    /// The lineage must still cover the request region (read-only reuse:
+    /// concurrent widening is tolerated and compensated by the executor).
+    Covers(&'r hashstash_plan::Region),
+}
+
+/// How a [`Checkout`] guard holds its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckoutMode {
+    /// Read-only handle clone; any number may coexist.
+    Shared,
+    /// Mutating copy-on-write checkout; at most one per table.
+    Exclusive,
+}
+
+/// An RAII guard over a cached table checked out by one query.
+///
+/// Shared guards give read-only access through [`Checkout::table`].
+/// Exclusive guards additionally allow [`Checkout::table_mut`] and publish
+/// their new version — typically with a widened `fingerprint` — via
+/// [`Checkout::checkin`].
+///
+/// Dropping a guard without checking in releases the pin: a shared guard
+/// simply decrements the reader count; an exclusive guard abandons its
+/// private copy and leaves the cached version untouched — unless the guard
+/// took the sole-reference in-place fast path, in which case the pristine
+/// version no longer exists and the (possibly half-mutated) entry is
+/// dropped from the cache instead of being republished under a lineage it
+/// may no longer match. Either way error paths and panics cannot leak a
+/// checked-out table or corrupt a cached one.
+#[derive(Debug)]
+pub struct Checkout<'s, Id: StoreId, P: ReusePayload> {
+    store: &'s ReuseStore<Id, P>,
+    /// Identity in the cache.
+    pub id: Id,
+    /// Lineage at checkout time. Mutating reuses (partial/overlapping)
+    /// widen the region before [`Checkout::checkin`].
+    pub fingerprint: HtFingerprint,
+    /// Payload schema (qualified attribute names → types).
+    pub schema: Schema,
+    payload: Arc<P>,
+    mode: CheckoutMode,
+    /// Whether this guard took the entry's handle for in-place mutation.
+    in_place: bool,
+    active: bool,
+}
+
+impl<Id: StoreId, P: ReusePayload> Checkout<'_, Id, P> {
+    /// Read-only view of the payload.
+    pub fn table(&self) -> &P {
+        &self.payload
+    }
+
+    /// Whether this guard may mutate the payload.
+    pub fn is_exclusive(&self) -> bool {
+        self.mode == CheckoutMode::Exclusive
+    }
+
+    /// Mutable access. Only exclusive guards may mutate; concurrent readers
+    /// keep their pre-mutation snapshot.
+    ///
+    /// When the guard holds the **sole** reference (no concurrent reader
+    /// snapshots — `Arc` count of exactly two: the cache entry and this
+    /// guard), the entry's handle is taken out and the mutation happens in
+    /// place, skipping the O(table) copy. Readers arriving during the
+    /// in-place window get a `CacheError` (→ ordinary re-plan). With any
+    /// reader snapshot outstanding the mutation is copy-on-write as before:
+    /// the copy is the price of letting readers keep probing, and of
+    /// abandon-on-drop leaving the cached version pristine.
+    pub fn table_mut(&mut self) -> Result<&mut P> {
+        if self.mode != CheckoutMode::Exclusive {
+            return Err(HsError::CacheError(format!(
+                "{} checked out shared (read-only); use checkout_mut to mutate",
+                self.id
+            )));
+        }
+        if !self.in_place && Arc::strong_count(&self.payload) == 2 {
+            // Possibly sole-referenced (entry + this guard). Confirm under
+            // the shard lock — new references are only minted there, so a
+            // count of 2 observed under the lock is definitive — and take
+            // the entry's handle so we own the only one.
+            let inner = &self.store.inner;
+            let mut state = inner.lock_shard(inner.shard_of_id(self.id));
+            if let Some(entry) = state.entries.get_mut(&self.id) {
+                if let Slot::Present(h) = &entry.slot {
+                    if Arc::ptr_eq(h, &self.payload) && Arc::strong_count(&self.payload) == 2 {
+                        entry.slot = Slot::InPlace;
+                        self.in_place = true;
+                    }
+                }
+            }
+        }
+        // Sole reference → mutates in place; otherwise copy-on-write.
+        Ok(Arc::make_mut(&mut self.payload))
+    }
+
+    /// A cheap owned handle on the current version of the payload (used by
+    /// shared plans that check in early and keep reading).
+    pub fn snapshot(&self) -> Arc<P> {
+        Arc::clone(&self.payload)
+    }
+
+    /// The common epilogue of a mutating (delta) reuse: widen the lineage
+    /// region by the requesting operator's region, publish the new version,
+    /// and hand back an immutable snapshot so the caller can keep reading
+    /// (probing, output production) without holding the writer slot.
+    pub fn checkin_widened(mut self, request_region: &hashstash_plan::Region) -> Result<Arc<P>> {
+        self.fingerprint.region = self.fingerprint.region.union(request_region);
+        let snapshot = self.snapshot();
+        self.checkin()?;
+        Ok(snapshot)
+    }
+
+    /// Publish this guard's (possibly mutated) payload version and updated
+    /// `fingerprint`/`schema` back to the cache. A no-op release for shared
+    /// guards, which cannot have changed anything.
+    pub fn checkin(mut self) -> Result<()> {
+        self.active = false;
+        match self.mode {
+            CheckoutMode::Shared => {
+                self.store.release(self.id, self.mode, false);
+                Ok(())
+            }
+            CheckoutMode::Exclusive => self.store.commit_checkin(
+                self.id,
+                self.fingerprint.clone(),
+                self.schema.clone(),
+                Arc::clone(&self.payload),
+            ),
+        }
+    }
+}
+
+impl<Id: StoreId, P: ReusePayload> Drop for Checkout<'_, Id, P> {
+    fn drop(&mut self) {
+        if self.active {
+            self.store.release(self.id, self.mode, self.in_place);
+        }
+    }
+}
+
+/// Candidate description handed to the facade (and on to the optimizer):
+/// the entry's identity plus a cheap handle on its payload, from which the
+/// facade derives whatever statistics its cost model consumes.
+#[derive(Debug, Clone)]
+pub struct StoreCandidate<Id, P> {
+    pub id: Id,
+    pub fingerprint: HtFingerprint,
+    pub schema: Schema,
+    pub payload: Arc<P>,
+}
+
+#[derive(Debug)]
+struct ShardState<Id, P> {
+    entries: HashMap<Id, StoreEntry<P>>,
+    recycle: RecycleGraph<Id>,
+}
+
+impl<Id, P> Default for ShardState<Id, P> {
+    fn default() -> Self {
+        ShardState {
+            entries: HashMap::new(),
+            recycle: RecycleGraph::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StoreInner<Id: StoreId, P: ReusePayload> {
+    budget: Arc<ReuseBudget>,
+    shards: Vec<Mutex<ShardState<Id, P>>>,
+    next_id: AtomicU64,
+    publishes: AtomicU64,
+    publish_dedups: AtomicU64,
+    reuses: AtomicU64,
+    evictions: AtomicU64,
+    candidate_lookups: AtomicU64,
+    bytes: AtomicUsize,
+    entries: AtomicUsize,
+    peak_bytes: AtomicUsize,
+}
+
+impl<Id: StoreId, P: ReusePayload> StoreInner<Id, P> {
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, ShardState<Id, P>> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Shard owning tables of this fingerprint's shape (and the shape's
+    /// recycle-graph slice).
+    fn shard_of_shape(&self, fp: &HtFingerprint) -> usize {
+        let mut h = DefaultHasher::new();
+        ShapeKey::of(fp).hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Shard an id was homed in at publish time (encoded in the id).
+    fn shard_of_id(&self, id: Id) -> usize {
+        (id.raw() as usize) % self.shards.len()
+    }
+
+    /// Count a footprint increase against this store *and* the shared
+    /// budget (call while holding the shard lock that made the bytes
+    /// visible — a concurrent eviction must never subtract bytes the
+    /// counters don't hold yet).
+    fn add_bytes(&self, delta: usize) {
+        let now = self.bytes.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak_bytes.fetch_max(now, Ordering::Relaxed);
+        self.budget.add_bytes(delta);
+    }
+
+    fn sub_bytes(&self, delta: usize) {
+        self.bytes.fetch_sub(delta, Ordering::Relaxed);
+        self.budget.sub_bytes(delta);
+    }
+
+    /// Remove an already-extracted entry's recycle registration and
+    /// accounting (entry map removal happened under the home shard lock).
+    fn account_removed(&self, id: Id, entry: &StoreEntry<P>) {
+        self.lock_shard(self.shard_of_shape(&entry.fingerprint))
+            .recycle
+            .remove(&entry.fingerprint, id);
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+        self.sub_bytes(entry.bytes);
+    }
+}
+
+impl<Id: StoreId, P: ReusePayload> VictimSource for StoreInner<Id, P> {
+    fn current_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    fn best_victim(&self, policy: EvictionPolicy) -> Option<(u64, VictimKey)> {
+        let mut victim: Option<(u64, VictimKey)> = None;
+        for (si, _) in self.shards.iter().enumerate() {
+            let state = self.lock_shard(si);
+            for (&id, e) in &state.entries {
+                if e.pinned() {
+                    continue;
+                }
+                let key = VictimKey {
+                    last_used: e.last_used,
+                    use_count: e.use_count,
+                    bytes: e.bytes,
+                };
+                if victim
+                    .as_ref()
+                    .is_none_or(|(_, best)| key.better_victim(best, policy))
+                {
+                    victim = Some((id.raw(), key));
+                }
+            }
+        }
+        victim
+    }
+
+    fn try_evict(&self, raw_id: u64) -> bool {
+        let id = Id::from_raw(raw_id);
+        // Re-lock and re-validate: the victim may have been pinned or
+        // removed by a concurrent session since the scan.
+        let removed = {
+            let mut state = self.lock_shard(self.shard_of_id(id));
+            match state.entries.get(&id) {
+                Some(e) if !e.pinned() => state.entries.remove(&id),
+                _ => None,
+            }
+        };
+        match removed {
+            Some(entry) => {
+                self.account_removed(id, &entry);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn expire_idle(&self, cutoff: u64) -> usize {
+        let mut evicted = 0;
+        for (si, _) in self.shards.iter().enumerate() {
+            let expired: Vec<(Id, StoreEntry<P>)> = {
+                let mut state = self.lock_shard(si);
+                let ids: Vec<Id> = state
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| !e.pinned() && e.last_used < cutoff)
+                    .map(|(&id, _)| id)
+                    .collect();
+                ids.into_iter()
+                    .filter_map(|id| state.entries.remove(&id).map(|e| (id, e)))
+                    .collect()
+            };
+            for (id, entry) in expired {
+                self.account_removed(id, &entry);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// A sharded, concurrently accessible reuse cache for one payload type.
+///
+/// All methods take `&self`; interior locking is per shard. See the module
+/// docs for the checkout/checkin concurrency model. Cloning is cheap (the
+/// state is `Arc`-shared).
+#[derive(Debug, Clone)]
+pub struct ReuseStore<Id: StoreId, P: ReusePayload> {
+    inner: Arc<StoreInner<Id, P>>,
+}
+
+impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
+    /// A store governed by `budget`, with `shards` shards (≥ 1). The store
+    /// registers itself with the budget's victim search.
+    pub fn new(budget: Arc<ReuseBudget>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let inner = Arc::new(StoreInner {
+            budget,
+            shards: (0..shards)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
+            next_id: AtomicU64::new(1),
+            publishes: AtomicU64::new(0),
+            publish_dedups: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            candidate_lookups: AtomicU64::new(0),
+            bytes: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+        });
+        let weak: Weak<StoreInner<Id, P>> = Arc::downgrade(&inner);
+        inner.budget.register(weak);
+        ReuseStore { inner }
+    }
+
+    /// A store with a private, unlimited budget (GC off).
+    pub fn unbounded(shards: usize) -> Self {
+        ReuseStore::new(ReuseBudget::new(GcConfig::default()), shards)
+    }
+
+    /// The budget governing this store (possibly shared with others).
+    pub fn budget(&self) -> &Arc<ReuseBudget> {
+        &self.inner.budget
+    }
+
+    /// Number of independent shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Publish a payload under a fingerprint. Returns its cache id. May
+    /// trigger evictions (in any store sharing the budget) to respect the
+    /// memory budget.
+    ///
+    /// Publishing a lineage that is already cached (same shape, payload and
+    /// set-equal region — e.g. a re-planned retry re-running an operator
+    /// whose first attempt's publish survived the abort) is deduplicated:
+    /// the existing entry is kept (base tables are immutable, so identical
+    /// lineage means identical content), its LRU stamp refreshed, and its
+    /// id returned without touching the footprint or the publish counter.
+    pub fn publish(&self, fingerprint: HtFingerprint, schema: Schema, payload: P) -> Id {
+        let inner = &self.inner;
+        let shard = inner.shard_of_shape(&fingerprint);
+        let now = inner.budget.tick();
+        let bytes = payload.logical_bytes();
+        let entry_stamps = inner
+            .budget
+            .gc_config()
+            .fine_grained
+            .then(|| vec![now; payload.len()]);
+        let id = {
+            let mut state = inner.lock_shard(shard);
+            let duplicate = state
+                .recycle
+                .candidates(&fingerprint)
+                .into_iter()
+                .find(|id| {
+                    state
+                        .entries
+                        .get(id)
+                        .is_some_and(|e| !e.writer && e.fingerprint.same_lineage(&fingerprint))
+                });
+            if let Some(id) = duplicate {
+                let entry = state.entries.get_mut(&id).expect("checked above");
+                entry.last_used = now;
+                inner.publish_dedups.fetch_add(1, Ordering::Relaxed);
+                return id;
+            }
+            // Encode the home shard in the id so id-only operations
+            // (checkout, checkin, drop) find the right shard without a
+            // global index.
+            let raw = inner.next_id.fetch_add(1, Ordering::Relaxed);
+            let id = Id::from_raw(raw * inner.shards.len() as u64 + shard as u64);
+            state.recycle.add(&fingerprint, id);
+            state.entries.insert(
+                id,
+                StoreEntry {
+                    fingerprint,
+                    schema,
+                    slot: Slot::Present(Arc::new(payload)),
+                    bytes,
+                    last_used: now,
+                    use_count: 0,
+                    readers: 0,
+                    writer: false,
+                    entry_stamps,
+                },
+            );
+            // Count the bytes while still holding the shard lock: the entry
+            // is evictable the moment the lock drops, and a concurrent
+            // eviction must never subtract bytes the counter doesn't hold
+            // yet (usize underflow).
+            inner.entries.fetch_add(1, Ordering::Relaxed);
+            inner.add_bytes(bytes);
+            inner.publishes.fetch_add(1, Ordering::Relaxed);
+            id
+        };
+        inner.budget.enforce();
+        id
+    }
+
+    /// Candidate tables whose producing sub-plan matches the request's
+    /// shape. Tables with an outstanding *mutating* checkout are excluded
+    /// (single-reuser rule for writers); tables held by readers remain
+    /// candidates — shared read-only reuse is the point of the Arc design.
+    pub fn candidates(&self, request: &HtFingerprint) -> Vec<StoreCandidate<Id, P>> {
+        let inner = &self.inner;
+        inner.candidate_lookups.fetch_add(1, Ordering::Relaxed);
+        fn push_candidate<Id: StoreId, P: ReusePayload>(
+            out: &mut Vec<StoreCandidate<Id, P>>,
+            state: &ShardState<Id, P>,
+            id: Id,
+        ) {
+            let Some(e) = state.entries.get(&id) else {
+                return; // evicted between graph probe and entry lookup
+            };
+            let Slot::Present(payload) = &e.slot else {
+                return; // held for in-place mutation
+            };
+            if e.writer {
+                return;
+            }
+            out.push(StoreCandidate {
+                id,
+                fingerprint: e.fingerprint.clone(),
+                schema: e.schema.clone(),
+                payload: Arc::clone(payload),
+            });
+        }
+
+        let shape_shard = inner.shard_of_shape(request);
+        let mut out = Vec::new();
+        // Entries of this shape home in the shape's shard, so serve them
+        // under the single lock we already hold for the graph probe. Only
+        // ids re-homed by a shape-changing checkin (not produced by any
+        // current code path) need another shard's lock.
+        let foreign: Vec<Id> = {
+            let mut state = inner.lock_shard(shape_shard);
+            let ids = state.recycle.candidates(request);
+            let mut foreign = Vec::new();
+            for id in ids {
+                if inner.shard_of_id(id) == shape_shard {
+                    push_candidate(&mut out, &state, id);
+                } else {
+                    foreign.push(id);
+                }
+            }
+            foreign
+        };
+        for id in foreign {
+            let state = inner.lock_shard(inner.shard_of_id(id));
+            push_candidate(&mut out, &state, id);
+        }
+        out
+    }
+
+    /// All cached fingerprints (the temp-table baseline enumerates its
+    /// cache instead of going through shape matching).
+    pub fn fingerprints(&self) -> Vec<(Id, HtFingerprint)> {
+        let inner = &self.inner;
+        let mut out = Vec::new();
+        for (si, _) in inner.shards.iter().enumerate() {
+            let state = inner.lock_shard(si);
+            out.extend(
+                state
+                    .entries
+                    .iter()
+                    .map(|(&id, e)| (id, e.fingerprint.clone())),
+            );
+        }
+        out
+    }
+
+    /// Schema of a cached entry.
+    pub fn schema(&self, id: Id) -> Result<Schema> {
+        let inner = &self.inner;
+        let state = inner.lock_shard(inner.shard_of_id(id));
+        state
+            .entries
+            .get(&id)
+            .map(|e| e.schema.clone())
+            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))
+    }
+
+    pub(crate) fn checkout_inner(
+        &self,
+        id: Id,
+        exclusive: bool,
+        check: RegionCheck<'_>,
+    ) -> Result<Checkout<'_, Id, P>> {
+        let inner = &self.inner;
+        let now = inner.budget.tick();
+        let fine = inner.budget.gc_config().fine_grained;
+        let mode = if exclusive {
+            CheckoutMode::Exclusive
+        } else {
+            CheckoutMode::Shared
+        };
+        let mut state = inner.lock_shard(inner.shard_of_id(id));
+        let entry = state
+            .entries
+            .get_mut(&id)
+            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
+        // Lineage validation happens *before* any bookkeeping: a failed
+        // (stale-plan) checkout must not inflate use counts, LRU stamps or
+        // the reuse statistics.
+        match check {
+            RegionCheck::None => {}
+            RegionCheck::Eq(expect) => {
+                if !entry.fingerprint.region.set_eq(expect) {
+                    return Err(HsError::CacheError(format!(
+                        "{id} lineage changed since planning"
+                    )));
+                }
+            }
+            RegionCheck::Covers(request) => {
+                if !request.is_subset(&entry.fingerprint.region) {
+                    return Err(HsError::CacheError(format!(
+                        "{id} lineage no longer covers the requested region"
+                    )));
+                }
+            }
+        }
+        let Slot::Present(handle) = &entry.slot else {
+            // The writer took the payload for in-place mutation; there is
+            // no snapshot to hand out until it checks back in.
+            return Err(HsError::CacheError(format!(
+                "{id} checked out for in-place mutation"
+            )));
+        };
+        let payload = Arc::clone(handle);
+        match mode {
+            CheckoutMode::Shared => entry.readers += 1,
+            CheckoutMode::Exclusive => {
+                if entry.writer {
+                    return Err(HsError::CacheError(format!(
+                        "{id} already checked out for writing"
+                    )));
+                }
+                entry.writer = true;
+            }
+        }
+        entry.last_used = now;
+        entry.use_count += 1;
+        if fine {
+            // Fine-grained bookkeeping: re-stamp every element. This is the
+            // per-entry monitoring overhead the paper measured and rejected.
+            entry.entry_stamps = Some(vec![now; payload.len()]);
+        }
+        inner.reuses.fetch_add(1, Ordering::Relaxed);
+        Ok(Checkout {
+            store: self,
+            id,
+            fingerprint: entry.fingerprint.clone(),
+            schema: entry.schema.clone(),
+            payload,
+            mode,
+            in_place: false,
+            active: true,
+        })
+    }
+
+    /// Check an entry out for shared, read-only reuse. Any number of shared
+    /// checkouts may coexist.
+    pub fn checkout(&self, id: Id) -> Result<Checkout<'_, Id, P>> {
+        self.checkout_inner(id, false, RegionCheck::None)
+    }
+
+    /// Shared checkout failing — without touching use counts or LRU stamps
+    /// — unless the lineage region still equals `expect_region`.
+    pub fn checkout_expecting(
+        &self,
+        id: Id,
+        expect_region: &hashstash_plan::Region,
+    ) -> Result<Checkout<'_, Id, P>> {
+        self.checkout_inner(id, false, RegionCheck::Eq(expect_region))
+    }
+
+    /// Shared checkout validating that the lineage still **covers**
+    /// `request_region` (read-only reuse tolerates concurrent widening; the
+    /// guard's `fingerprint` carries the observed lineage so the caller can
+    /// compensate).
+    pub fn checkout_covering(
+        &self,
+        id: Id,
+        request_region: &hashstash_plan::Region,
+    ) -> Result<Checkout<'_, Id, P>> {
+        self.checkout_inner(id, false, RegionCheck::Covers(request_region))
+    }
+
+    /// Check an entry out for mutating reuse. At most one mutating checkout
+    /// per entry — the paper's single-reuser rule (§2.2), enforced only
+    /// where mutation actually happens.
+    pub fn checkout_mut(&self, id: Id) -> Result<Checkout<'_, Id, P>> {
+        self.checkout_inner(id, true, RegionCheck::None)
+    }
+
+    /// [`ReuseStore::checkout_mut`] with strict lineage pre-validation
+    /// (mutating reuse computed its delta against the planned region, so
+    /// any widening must re-plan).
+    pub fn checkout_mut_expecting(
+        &self,
+        id: Id,
+        expect_region: &hashstash_plan::Region,
+    ) -> Result<Checkout<'_, Id, P>> {
+        self.checkout_inner(id, true, RegionCheck::Eq(expect_region))
+    }
+
+    /// Release a pin without publishing changes (guard drop). An exclusive
+    /// guard that took the in-place fast path leaves no pristine version to
+    /// fall back to, so its entry is dropped from the cache.
+    fn release(&self, id: Id, mode: CheckoutMode, in_place: bool) {
+        let inner = &self.inner;
+        let removed = {
+            let mut state = inner.lock_shard(inner.shard_of_id(id));
+            if let Some(entry) = state.entries.get_mut(&id) {
+                match mode {
+                    CheckoutMode::Shared => {
+                        entry.readers = entry.readers.saturating_sub(1);
+                        None
+                    }
+                    CheckoutMode::Exclusive => {
+                        entry.writer = false;
+                        if in_place && matches!(entry.slot, Slot::InPlace) {
+                            state.entries.remove(&id)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(entry) = removed {
+            inner.account_removed(id, &entry);
+        }
+    }
+
+    /// Publish an exclusive guard's new payload version (paper Figure 1,
+    /// step 4). The fingerprint may have changed (partial reuse widens the
+    /// region); the recycle graph is updated if the shape changed.
+    fn commit_checkin(
+        &self,
+        id: Id,
+        fingerprint: HtFingerprint,
+        schema: Schema,
+        payload: Arc<P>,
+    ) -> Result<()> {
+        let inner = &self.inner;
+        let now = inner.budget.tick();
+        let fine = inner.budget.gc_config().fine_grained;
+        let home = inner.shard_of_id(id);
+        let shape_change = {
+            let mut state = inner.lock_shard(home);
+            let entry = state
+                .entries
+                .get_mut(&id)
+                .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
+            debug_assert!(entry.writer, "checkin without an exclusive checkout");
+            let shape_change =
+                (!entry.fingerprint.same_shape(&fingerprint)).then(|| entry.fingerprint.clone());
+            let old_bytes = entry.bytes;
+            let new_bytes = payload.logical_bytes();
+            entry.bytes = new_bytes;
+            if fine {
+                entry.entry_stamps = Some(vec![now; payload.len()]);
+            }
+            entry.fingerprint = fingerprint.clone();
+            entry.schema = schema;
+            entry.slot = Slot::Present(payload);
+            entry.last_used = now;
+            entry.writer = false;
+            // Byte delta while still holding the shard lock: once it drops
+            // the entry is evictable, and a concurrent eviction subtracting
+            // the new size against a counter still holding the old one
+            // would underflow.
+            if new_bytes >= old_bytes {
+                inner.add_bytes(new_bytes - old_bytes);
+            } else {
+                inner.sub_bytes(old_bytes - new_bytes);
+            }
+            shape_change
+        };
+        // Move the recycle registration when the shape changed (one shard
+        // lock at a time; candidate lookups tolerate the brief window by
+        // re-validating against the entry).
+        if let Some(old_fp) = shape_change {
+            inner
+                .lock_shard(inner.shard_of_shape(&old_fp))
+                .recycle
+                .remove(&old_fp, id);
+            inner
+                .lock_shard(inner.shard_of_shape(&fingerprint))
+                .recycle
+                .add(&fingerprint, id);
+        }
+        inner.budget.enforce();
+        Ok(())
+    }
+
+    /// Drop an entry outright. Fails while it is checked out.
+    pub fn drop_entry(&self, id: Id) -> Result<()> {
+        let inner = &self.inner;
+        let entry = {
+            let mut state = inner.lock_shard(inner.shard_of_id(id));
+            match state.entries.get(&id) {
+                None => return Err(HsError::CacheError(format!("{id} not in cache"))),
+                Some(e) if e.pinned() => {
+                    return Err(HsError::CacheError(format!("{id} is checked out")))
+                }
+                Some(_) => state.entries.remove(&id).expect("entry exists"),
+            }
+        };
+        inner.account_removed(id, &entry);
+        Ok(())
+    }
+
+    /// Run the budget's TTL expiry + cross-store victim loop (see
+    /// [`ReuseBudget::enforce`]). Returns the number of evictions across
+    /// every store sharing the budget.
+    pub fn enforce_budget(&self) -> usize {
+        self.inner.budget.enforce()
+    }
+
+    /// Fine-grained GC: drop the oldest `1 - keep_fraction` of an entry's
+    /// elements (requires `fine_grained` mode). Returns elements removed.
+    /// Copy-on-write: concurrent readers keep the unpruned snapshot.
+    pub fn prune_entries(&self, id: Id, keep_fraction: f64) -> Result<usize> {
+        let inner = &self.inner;
+        if !inner.budget.gc_config().fine_grained {
+            return Err(HsError::Config(
+                "prune_entries requires fine_grained GC mode".into(),
+            ));
+        }
+        let now = inner.budget.tick();
+        let (before, after) = {
+            let mut state = inner.lock_shard(inner.shard_of_id(id));
+            let entry = state
+                .entries
+                .get_mut(&id)
+                .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))?;
+            if entry.writer {
+                return Err(HsError::CacheError(format!("{id} checked out")));
+            }
+            let Slot::Present(handle) = &mut entry.slot else {
+                return Err(HsError::CacheError(format!("{id} checked out")));
+            };
+            let stamps = entry.entry_stamps.clone().unwrap_or_default();
+            let before = handle.len();
+            let keep = ((before as f64) * keep_fraction).ceil() as usize;
+            if keep >= before {
+                return Ok(0);
+            }
+            // Rank elements by (stamp, position); keep the newest `keep`.
+            // Position breaks ties so a uniform-stamp table still prunes.
+            let mut order: Vec<usize> = (0..before).collect();
+            order.sort_unstable_by_key(|&i| (stamps.get(i).copied().unwrap_or(0), i));
+            let mut keep_mask = vec![false; before];
+            for &i in order.iter().rev().take(keep) {
+                keep_mask[i] = true;
+            }
+            Arc::make_mut(handle).retain_mask(&keep_mask);
+            let after = handle.len();
+            let old_bytes = entry.bytes;
+            entry.bytes = handle.logical_bytes();
+            // Survivors get a *fresh* stamp: a later checkout always ticks
+            // later than the prune, keeping per-element timestamps monotone.
+            entry.entry_stamps = Some(vec![now; after]);
+            let new_bytes = entry.bytes;
+            // Byte delta under the shard lock (see publish/commit_checkin:
+            // a concurrent eviction must never see the entry's new size
+            // before the counter does).
+            if new_bytes >= old_bytes {
+                inner.add_bytes(new_bytes - old_bytes);
+            } else {
+                inner.sub_bytes(old_bytes - new_bytes);
+            }
+            (before, after)
+        };
+        Ok(before - after)
+    }
+
+    /// Fine-grained per-element timestamps of an entry (`None` unless
+    /// `fine_grained` mode stamped it). For tests and GC experiments.
+    pub fn entry_stamps(&self, id: Id) -> Result<Option<Vec<u64>>> {
+        let inner = &self.inner;
+        let state = inner.lock_shard(inner.shard_of_id(id));
+        state
+            .entries
+            .get(&id)
+            .map(|e| e.entry_stamps.clone())
+            .ok_or_else(|| HsError::CacheError(format!("{id} not in cache")))
+    }
+
+    /// Aggregate statistics snapshot (this store only; the combined
+    /// footprint lives on the [`ReuseBudget`]).
+    pub fn stats(&self) -> CacheStats {
+        let inner = &self.inner;
+        CacheStats {
+            publishes: inner.publishes.load(Ordering::Relaxed),
+            publish_dedups: inner.publish_dedups.load(Ordering::Relaxed),
+            reuses: inner.reuses.load(Ordering::Relaxed),
+            evictions: inner.evictions.load(Ordering::Relaxed),
+            candidate_lookups: inner.candidate_lookups.load(Ordering::Relaxed),
+            bytes: inner.bytes.load(Ordering::Relaxed),
+            entries: inner.entries.load(Ordering::Relaxed),
+            peak_bytes: inner.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Recount footprint and entries directly from the shards (O(entries),
+    /// takes every shard lock in turn). At quiesce this must equal
+    /// [`CacheStats::bytes`]/[`CacheStats::entries`] — the concurrency
+    /// stress tests assert exactly that.
+    pub fn audit(&self) -> (usize, usize) {
+        let inner = &self.inner;
+        let mut bytes = 0;
+        let mut entries = 0;
+        for (si, _) in inner.shards.iter().enumerate() {
+            let state = inner.lock_shard(si);
+            entries += state.entries.len();
+            bytes += state.entries.values().map(|e| e.bytes).sum::<usize>();
+        }
+        (bytes, entries)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.entries.load(Ordering::Relaxed)
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a given entry is currently cached and not held by a writer
+    /// (readers do not block availability).
+    pub fn is_available(&self, id: Id) -> bool {
+        let inner = &self.inner;
+        let state = inner.lock_shard(inner.shard_of_id(id));
+        state.entries.get(&id).is_some_and(|e| !e.writer)
+    }
+}

@@ -31,12 +31,12 @@
 //! println!("{} rows in {:?}", result.rows.len(), result.wall_time);
 //! ```
 
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use hashstash_types::{HsError, QueryId, Result, Row, Schema};
 
-use hashstash_cache::{CacheStats, GcConfig, HtManager};
+use hashstash_cache::{CacheStats, GcConfig, HtManager, ReuseBudget, DEFAULT_SHARDS};
 use hashstash_exec::shared::execute_shared;
 use hashstash_exec::{
     acquire_plan_checkouts, execute, ExecContext, ExecMetrics, TempTableCache, TempTableStats,
@@ -202,22 +202,30 @@ impl EngineBuilder {
         self.policy_handle(strategy.policy())
     }
 
-    /// Hash-table cache GC configuration (budget, eviction policy,
-    /// fine-grained mode). Default: unbounded, LRU.
+    /// Reuse-cache GC configuration (budget, eviction policy, per-table
+    /// TTL, fine-grained mode). One configuration governs **both** payload
+    /// kinds — cached hash tables and materialized temp tables share the
+    /// byte budget, and the eviction loop ranks them together. Default:
+    /// unbounded, LRU.
     pub fn gc(mut self, gc: GcConfig) -> Self {
         self.gc = gc;
         self
     }
 
-    /// Shorthand: cap the hash-table cache at `bytes` (pass `None` to
-    /// disable eviction, the default).
+    /// Shorthand: cap the shared reuse-cache budget (hash tables **and**
+    /// temp tables) at `bytes` (pass `None` to disable eviction, the
+    /// default).
     pub fn gc_budget(mut self, bytes: impl Into<Option<usize>>) -> Self {
         self.gc.budget_bytes = bytes.into();
         self
     }
 
-    /// Temp-table cache budget for the materialized baseline (pass `None`
-    /// for unlimited, the default).
+    /// Kept for callers predating the unified reuse store: hash tables and
+    /// temp tables now share **one** byte budget, so this folds into the
+    /// shared cap at [`EngineBuilder::build`] — added on top of any
+    /// [`EngineBuilder::gc_budget`] (the old total allowance was the two
+    /// caps combined), or used alone when no GC budget is set. Call order
+    /// relative to `gc_budget`/`gc` does not matter.
     pub fn temp_budget(mut self, bytes: impl Into<Option<usize>>) -> Self {
         self.temp_budget = bytes.into();
         self
@@ -280,6 +288,15 @@ impl EngineBuilder {
         // The optimizer must price probe/scan phases the way the executor
         // will actually run them.
         .with_parallelism(self.parallelism);
+        // One budget for both reuse caches: hash tables and temp tables
+        // draw on the same byte limit and compete in one eviction loop. A
+        // legacy temp_budget is folded in additively, so configuring both
+        // caps yields the old total allowance regardless of call order.
+        let mut gc = self.gc;
+        if let Some(t) = self.temp_budget {
+            gc.budget_bytes = Some(gc.budget_bytes.map_or(t, |b| b.saturating_add(t)));
+        }
+        let budget = ReuseBudget::new(gc);
         Arc::new(Database {
             catalog: self.catalog,
             stats,
@@ -290,8 +307,9 @@ impl EngineBuilder {
             additional_attributes: self.additional_attributes,
             benefit_join_order: self.benefit_join_order,
             benefit_epsilon: self.benefit_epsilon,
-            htm: HtManager::new(self.gc),
-            temps: Mutex::new(TempTableCache::new(self.temp_budget)),
+            htm: HtManager::with_budget(Arc::clone(&budget), DEFAULT_SHARDS),
+            temps: TempTableCache::with_budget(Arc::clone(&budget), DEFAULT_SHARDS),
+            budget,
             totals: Mutex::new(SessionStats::default()),
         })
     }
@@ -312,7 +330,8 @@ pub struct Database {
     benefit_join_order: bool,
     benefit_epsilon: f64,
     htm: HtManager,
-    temps: Mutex<TempTableCache>,
+    temps: TempTableCache,
+    budget: Arc<ReuseBudget>,
     totals: Mutex<SessionStats>,
 }
 
@@ -364,7 +383,7 @@ impl Database {
 
     /// Temp-table cache statistics (materialized baseline).
     pub fn temp_stats(&self) -> TempTableStats {
-        self.lock_temps().stats()
+        self.temps.stats()
     }
 
     /// Totals accumulated across every session of this database.
@@ -372,14 +391,16 @@ impl Database {
         *self.totals.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Current reuse-cache memory footprint in bytes (hash tables or temp
-    /// tables, depending on the policy).
+    /// Current reuse-cache memory footprint in bytes: the combined
+    /// footprint of every payload kind under the shared budget (hash
+    /// tables *and* temp tables — whichever the policy populates).
     pub fn reuse_memory_bytes(&self) -> usize {
-        if self.policy.materialize() {
-            self.lock_temps().stats().bytes
-        } else {
-            self.htm.stats().bytes
-        }
+        self.budget.bytes()
+    }
+
+    /// The shared budget governing both reuse caches.
+    pub fn reuse_budget(&self) -> &Arc<ReuseBudget> {
+        &self.budget
     }
 
     /// The Hash Table Manager. It is safe to use directly from any thread
@@ -393,11 +414,6 @@ impl Database {
     /// [`Database::cache`]; the manager no longer needs `&mut`).
     pub fn with_cache<R>(&self, f: impl FnOnce(&HtManager) -> R) -> R {
         f(&self.htm)
-    }
-
-    /// Lock the temp-table cache (materialized baseline) for one operation.
-    fn lock_temps(&self) -> MutexGuard<'_, TempTableCache> {
-        self.temps.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn optimizer_config(&self, policy: &Arc<dyn ReusePolicy>) -> OptimizerConfig {
@@ -890,6 +906,35 @@ mod tests {
         }
         assert!(db.cache_stats().bytes <= 64 * 1024);
         assert!(db.cache_stats().evictions > 0);
+    }
+
+    /// The legacy `temp_budget` folds into the shared cap additively and
+    /// order-independently: both caps configured yields the old *total*
+    /// allowance, never a silent last-write-wins shrink.
+    #[test]
+    fn temp_budget_folds_into_the_shared_budget() {
+        let a = Database::builder(catalog())
+            .gc_budget(1 << 30)
+            .temp_budget(64 << 20)
+            .build();
+        assert_eq!(
+            a.cache().gc_config().budget_bytes,
+            Some((1 << 30) + (64 << 20))
+        );
+        let b = Database::builder(catalog())
+            .temp_budget(64 << 20)
+            .gc_budget(1 << 30)
+            .build();
+        assert_eq!(
+            b.cache().gc_config().budget_bytes,
+            a.cache().gc_config().budget_bytes,
+            "call order does not matter"
+        );
+        // temp_budget alone caps the shared pool.
+        let c = Database::builder(catalog()).temp_budget(64 << 20).build();
+        assert_eq!(c.cache().gc_config().budget_bytes, Some(64 << 20));
+        // The temp cache is governed by the same budget object.
+        assert_eq!(c.reuse_budget().gc_config().budget_bytes, Some(64 << 20));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! 3. a reused temp table feeds an ordinary hash-join build — the hash table
 //!    must be rebuilt from the temp rows every time.
 
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 
 use hashstash_types::Result;
 
@@ -25,20 +25,19 @@ use hashstash_plan::{HtFingerprint, PredBox, QuerySpec, ReuseCase};
 /// replace reusable sub-plans with temp scans (exact/subsuming only) and
 /// wrap the remaining pipeline breakers with materialization.
 ///
-/// The temp-table mutex is locked only around the rewrite (the candidate
-/// lookup), never across the optimizer's join enumeration — a temp table
-/// evicted between this rewrite and execution surfaces as a `CacheError`
-/// the session's retry loop handles.
+/// The temp cache is a sharded `&self` store, so the rewrite takes no lock
+/// across the optimizer's join enumeration — a temp table evicted between
+/// this rewrite and execution surfaces as a `CacheError` the session's
+/// retry loop handles.
 pub fn materialized_plan(
     optimizer: &Optimizer<'_>,
     q: &QuerySpec,
     htm: &HtManager,
-    temps: &Mutex<TempTableCache>,
+    temps: &TempTableCache,
 ) -> Result<OptimizedQuery> {
     let mut oq = optimizer.optimize(q, htm)?;
     let plan = std::mem::replace(&mut oq.plan, PhysicalPlan::Scan(ScanSpec::full("customer")));
-    let temps = temps.lock().unwrap_or_else(PoisonError::into_inner);
-    oq.plan = rewrite(plan, q, &temps);
+    oq.plan = rewrite(plan, q, temps);
     Ok(oq)
 }
 

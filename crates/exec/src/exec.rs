@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::ops::Bound;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
 use hashstash_types::{HsError, HtId, Result, Row, Schema, Value};
 
@@ -74,13 +74,13 @@ impl ExecMetrics {
 /// Execution context threading the catalog, the Hash Table Manager, the
 /// temp-table cache (materialization baseline) and metrics through the tree.
 ///
-/// The manager is shared (`&HtManager`, internally sharded); the temp-table
-/// cache sits behind a mutex that is locked only for the duration of a
-/// single publish/read, never across operators.
+/// Both caches are sharded facades over the same generic reuse store, so
+/// both are shared by plain reference — no mutex anywhere on the executor's
+/// path.
 pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     pub htm: &'a HtManager,
-    pub temps: &'a Mutex<TempTableCache>,
+    pub temps: &'a TempTableCache,
     pub metrics: ExecMetrics,
     /// Worker threads for morsel-parallel operator loops. `1` is the serial
     /// interpreter; any value produces bit-identical output (morsel-order
@@ -98,7 +98,7 @@ impl<'a> ExecContext<'a> {
     /// variable (or `1` — the serial interpreter) so an entire test suite
     /// can be re-run N-way; engines override it explicitly via
     /// [`ExecContext::with_parallelism`].
-    pub fn new(catalog: &'a Catalog, htm: &'a HtManager, temps: &'a Mutex<TempTableCache>) -> Self {
+    pub fn new(catalog: &'a Catalog, htm: &'a HtManager, temps: &'a TempTableCache) -> Self {
         ExecContext {
             catalog,
             htm,
@@ -132,11 +132,6 @@ impl<'a> ExecContext<'a> {
             return Ok(self.checkouts.remove(&spec.id).expect("checked above"));
         }
         checkout_spec(self.htm, spec)
-    }
-
-    /// Lock the temp-table cache for one operation.
-    pub fn lock_temps(&self) -> MutexGuard<'a, TempTableCache> {
-        self.temps.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -252,7 +247,7 @@ fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Ro
             // The baseline's materialization cost: one extra copy of every
             // tuple out of the pipeline into a temp table.
             ctx.metrics.materialized_rows += rows.len() as u64;
-            ctx.lock_temps()
+            ctx.temps
                 .publish(fingerprint.clone(), schema.clone(), rows.clone());
             Ok((schema, rows))
         }
@@ -261,14 +256,19 @@ fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Ro
             schema: _,
             post_filter,
         } => {
-            let (schema, rows) = ctx.lock_temps().read(*id)?;
+            // `read` hands back an `Arc` snapshot of the cached rows — no
+            // per-reuse copy of the whole table. Only the rows that survive
+            // the post-filter are cloned into the pipeline (the unfiltered
+            // exact-reuse path still pays the re-read the baseline is
+            // priced for).
+            let (schema, rows) = ctx.temps.read(*id)?;
             ctx.metrics.rows_scanned += rows.len() as u64;
             let rows = match post_filter {
                 Some(pf) => {
                     let evaluator = BoxEval::bind(pf, &schema)?;
-                    rows.into_iter().filter(|r| evaluator.eval(r)).collect()
+                    rows.iter().filter(|r| evaluator.eval(r)).cloned().collect()
                 }
-                None => rows,
+                None => rows.rows().to_vec(),
             };
             Ok((schema, rows))
         }
@@ -930,11 +930,11 @@ mod tests {
     use hashstash_plan::{AggExpr, AggFunc, HtFingerprint, HtKind, Interval, Region, ReuseCase};
     use hashstash_storage::tpch::{generate, TpchConfig};
 
-    fn setup() -> (Catalog, HtManager, Mutex<TempTableCache>) {
+    fn setup() -> (Catalog, HtManager, TempTableCache) {
         (
             generate(TpchConfig::new(0.002, 5)),
             HtManager::new(GcConfig::default()),
-            Mutex::new(TempTableCache::unbounded()),
+            TempTableCache::unbounded(),
         )
     }
 

@@ -708,11 +708,11 @@ mod tests {
     use hashstash_storage::tpch::{generate, TpchConfig};
     use hashstash_storage::Catalog;
 
-    fn setup() -> (Catalog, HtManager, std::sync::Mutex<TempTableCache>) {
+    fn setup() -> (Catalog, HtManager, TempTableCache) {
         (
             generate(TpchConfig::new(0.002, 11)),
             HtManager::unbounded(),
-            std::sync::Mutex::new(TempTableCache::unbounded()),
+            TempTableCache::unbounded(),
         )
     }
 
@@ -767,7 +767,7 @@ mod tests {
     /// Reference: run one query through the single-query executor.
     fn reference(q: &QuerySpec, cat: &Catalog) -> Vec<Row> {
         let htm = HtManager::unbounded();
-        let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+        let temps = TempTableCache::unbounded();
         let plan = crate::plan::PhysicalPlan::HashAggregate {
             input: Some(Box::new(crate::plan::PhysicalPlan::HashJoin {
                 probe: Box::new(crate::plan::PhysicalPlan::Scan(

@@ -1,4 +1,5 @@
-//! Temp-table cache for the materialization-based reuse baseline.
+//! Temp-table cache for the materialization-based reuse baseline — a typed
+//! facade over the generic [`hashstash_cache::ReuseStore`].
 //!
 //! The paper's baseline (§6.1, following Nagel et al. ICDE'13) materializes
 //! the *outputs* of selected operators into temporary in-memory tables and
@@ -14,17 +15,23 @@
 //! copies rows into this cache, and a reusing plan scans the temp table into
 //! an ordinary hash-join build.
 //!
-//! Concurrency: unlike the sharded Hash Table Manager, this cache keeps a
-//! plain `&mut self` API and lives behind a `Mutex` owned by the engine
-//! ([`crate::ExecContext`] locks it only for the duration of one
-//! publish/read, never across operators). A `TempScan` whose table was
-//! evicted by a concurrent session surfaces a `CacheError`, which the
-//! session handles by re-planning.
+//! Concurrency: the facade inherits the store's model wholesale — sharded by
+//! fingerprint shape, every method `&self`, reads served as cheap `Arc`
+//! snapshots (no per-reuse copy of the rows, and no engine-level mutex). A
+//! `TempScan` whose table was evicted by a concurrent session surfaces a
+//! `CacheError`, which the session handles by re-planning.
+//!
+//! The store may share its [`ReuseBudget`] with the Hash Table Manager
+//! ([`TempTableCache::with_budget`]): then one byte budget governs both
+//! payload kinds and one eviction loop ranks them together.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use hashstash_types::{HsError, Result, Row, Schema};
+use hashstash_types::{Result, Row, Schema};
 
+use hashstash_cache::{
+    CacheStats, GcConfig, MaterializedRows, ReuseBudget, ReuseStore, StoreId, DEFAULT_SHARDS,
+};
 use hashstash_plan::HtFingerprint;
 
 /// Identifier of a materialized temporary table.
@@ -34,6 +41,15 @@ pub struct TempId(pub u64);
 impl std::fmt::Display for TempId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "TT{}", self.0)
+    }
+}
+
+impl StoreId for TempId {
+    fn from_raw(raw: u64) -> Self {
+        TempId(raw)
+    }
+    fn raw(self) -> u64 {
+        self.0
     }
 }
 
@@ -63,54 +79,50 @@ impl TempTableStats {
             self.reuses as f64 / self.publishes as f64
         }
     }
+
+    fn of(s: CacheStats) -> Self {
+        TempTableStats {
+            publishes: s.publishes,
+            publish_dedups: s.publish_dedups,
+            reuses: s.reuses,
+            evictions: s.evictions,
+            bytes: s.bytes,
+            entries: s.entries,
+        }
+    }
 }
 
-#[derive(Debug)]
-struct TempEntry {
-    fingerprint: HtFingerprint,
-    schema: Schema,
-    rows: Vec<Row>,
-    bytes: usize,
-    last_used: u64,
-}
-
-/// An LRU-bounded cache of materialized intermediate results.
+/// A sharded, budget-bounded cache of materialized intermediate results.
+/// All methods take `&self`.
 #[derive(Debug)]
 pub struct TempTableCache {
-    entries: HashMap<TempId, TempEntry>,
-    budget_bytes: Option<usize>,
-    next_id: u64,
-    clock: u64,
-    stats: TempTableStats,
-}
-
-/// Approximate in-memory size of one row (arrays of scalars).
-fn row_bytes(row: &Row) -> usize {
-    row.values()
-        .iter()
-        .map(|v| match v {
-            hashstash_types::Value::Str(s) => 16 + s.len(),
-            _ => 8,
-        })
-        .sum::<usize>()
-        + 24
+    store: ReuseStore<TempId, MaterializedRows>,
 }
 
 impl TempTableCache {
-    /// Cache with a memory budget.
+    /// Cache with a private memory budget.
     pub fn new(budget_bytes: Option<usize>) -> Self {
-        TempTableCache {
-            entries: HashMap::new(),
-            budget_bytes,
-            next_id: 1,
-            clock: 0,
-            stats: TempTableStats::default(),
-        }
+        TempTableCache::with_budget(
+            ReuseBudget::new(GcConfig {
+                budget_bytes,
+                ..GcConfig::default()
+            }),
+            DEFAULT_SHARDS,
+        )
     }
 
     /// Unlimited cache.
     pub fn unbounded() -> Self {
         TempTableCache::new(None)
+    }
+
+    /// Cache over an existing — possibly shared — budget. The engine hands
+    /// the same budget to the Hash Table Manager, so hash tables and temp
+    /// tables compete in one victim search under one byte limit.
+    pub fn with_budget(budget: Arc<ReuseBudget>, shards: usize) -> Self {
+        TempTableCache {
+            store: ReuseStore::new(budget, shards),
+        }
     }
 
     /// Materialize rows under a fingerprint. Returns the temp-table id.
@@ -120,118 +132,71 @@ impl TempTableCache {
     /// attempt) is deduplicated: the existing table is kept, its LRU stamp
     /// refreshed, and its id returned without inflating the footprint or
     /// the publish counter.
-    pub fn publish(
-        &mut self,
-        fingerprint: HtFingerprint,
-        schema: Schema,
-        rows: Vec<Row>,
-    ) -> TempId {
-        self.clock += 1;
-        let duplicate = self
-            .entries
-            .iter()
-            .find(|(_, e)| e.fingerprint.same_lineage(&fingerprint))
-            .map(|(&id, _)| id);
-        if let Some(id) = duplicate {
-            let e = self.entries.get_mut(&id).expect("found above");
-            e.last_used = self.clock;
-            self.stats.publish_dedups += 1;
-            return id;
-        }
-        let id = TempId(self.next_id);
-        self.next_id += 1;
-        let bytes = rows.iter().map(row_bytes).sum();
-        self.entries.insert(
-            id,
-            TempEntry {
-                fingerprint,
-                schema,
-                rows,
-                bytes,
-                last_used: self.clock,
-            },
-        );
-        self.stats.publishes += 1;
-        self.refresh_footprint();
-        self.enforce_budget();
-        id
+    pub fn publish(&self, fingerprint: HtFingerprint, schema: Schema, rows: Vec<Row>) -> TempId {
+        self.store
+            .publish(fingerprint, schema, MaterializedRows::new(rows))
     }
 
     /// All cached fingerprints (candidate matching happens in the engine's
     /// baseline strategy — exact and subsuming only).
     pub fn fingerprints(&self) -> Vec<(TempId, HtFingerprint)> {
-        self.entries
-            .iter()
-            .map(|(&id, e)| (id, e.fingerprint.clone()))
-            .collect()
+        self.store.fingerprints()
     }
 
     /// Schema of a temp table.
     pub fn schema(&self, id: TempId) -> Result<Schema> {
-        self.entries
-            .get(&id)
-            .map(|e| e.schema.clone())
-            .ok_or_else(|| HsError::CacheError(format!("{id} not cached")))
+        self.store.schema(id)
     }
 
-    /// Read rows (clones — a temp table is re-read into the pipeline, the
-    /// point of the baseline's extra cost). Bumps LRU and reuse statistics.
-    pub fn read(&mut self, id: TempId) -> Result<(Schema, Vec<Row>)> {
-        self.clock += 1;
-        let e = self
-            .entries
-            .get_mut(&id)
-            .ok_or_else(|| HsError::CacheError(format!("{id} not cached")))?;
-        e.last_used = self.clock;
-        self.stats.reuses += 1;
-        Ok((e.schema.clone(), e.rows.clone()))
+    /// Read a temp table: an `Arc` snapshot of the materialized rows — no
+    /// copy of the table, however large. (Feeding the rows back into a
+    /// pipeline still costs the re-read the baseline is *supposed* to pay;
+    /// what this avoids is the extra full-table clone the cache itself used
+    /// to make on every reuse.) Bumps LRU and reuse statistics.
+    pub fn read(&self, id: TempId) -> Result<(Schema, Arc<MaterializedRows>)> {
+        let co = self.store.checkout(id)?;
+        let schema = co.schema.clone();
+        let rows = co.snapshot();
+        co.checkin()?;
+        Ok((schema, rows))
     }
 
-    /// LRU eviction until under budget.
-    pub fn enforce_budget(&mut self) -> usize {
-        let Some(budget) = self.budget_bytes else {
-            return 0;
-        };
-        let mut evicted = 0;
-        while self.stats.bytes > budget && !self.entries.is_empty() {
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&id, _)| id);
-            let Some(id) = victim else { break };
-            self.entries.remove(&id);
-            self.stats.evictions += 1;
-            evicted += 1;
-            self.refresh_footprint();
-        }
-        evicted
-    }
-
-    fn refresh_footprint(&mut self) {
-        self.stats.bytes = self.entries.values().map(|e| e.bytes).sum();
-        self.stats.entries = self.entries.len();
+    /// Evict until under budget (shared victim search when the budget is
+    /// shared). Returns the number of evictions.
+    pub fn enforce_budget(&self) -> usize {
+        self.store.enforce_budget()
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> TempTableStats {
-        self.stats
+        TempTableStats::of(self.store.stats())
+    }
+
+    /// The budget governing this cache.
+    pub fn budget(&self) -> &Arc<ReuseBudget> {
+        self.store.budget()
+    }
+
+    /// Recount footprint and entries directly from the shards (testing).
+    pub fn audit(&self) -> (usize, usize) {
+        self.store.audit()
     }
 
     /// Number of cached tables.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.store.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.store.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hashstash_cache::payload::row_bytes;
     use hashstash_plan::{HtKind, Region};
     use hashstash_types::{DataType, Field, Value};
 
@@ -269,7 +234,7 @@ mod tests {
 
     #[test]
     fn publish_and_read() {
-        let mut c = TempTableCache::unbounded();
+        let c = TempTableCache::unbounded();
         let id = c.publish(fp(), schema(), rows(10));
         let (s, r) = c.read(id).unwrap();
         assert_eq!(s.len(), 1);
@@ -278,9 +243,27 @@ mod tests {
         assert!((c.stats().hit_ratio() - 1.0).abs() < 1e-9);
     }
 
+    /// The satellite fix: a read hands back a *snapshot* of the cached
+    /// allocation, not a fresh copy — and the snapshot stays valid (and
+    /// cheap) even if the table is evicted while the reader holds it.
+    #[test]
+    fn read_returns_shared_snapshot_not_a_copy() {
+        let c = TempTableCache::unbounded();
+        let id = c.publish(fp(), schema(), rows(100));
+        let (_, first) = c.read(id).unwrap();
+        let (_, second) = c.read(id).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "both reads share the cached allocation"
+        );
+        // Snapshot outlives eviction of the entry.
+        drop(c);
+        assert_eq!(first.len(), 100);
+    }
+
     #[test]
     fn missing_table_errors() {
-        let mut c = TempTableCache::unbounded();
+        let c = TempTableCache::unbounded();
         assert!(c.read(TempId(99)).is_err());
         assert!(c.schema(TempId(99)).is_err());
     }
@@ -288,7 +271,7 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let bytes10 = rows(10).iter().map(row_bytes).sum::<usize>();
-        let mut c = TempTableCache::new(Some(bytes10 * 2 + 1));
+        let c = TempTableCache::new(Some(bytes10 * 2 + 1));
         let a = c.publish(fp_over(0), schema(), rows(10));
         let b = c.publish(fp_over(1), schema(), rows(10));
         c.read(a).unwrap(); // freshen a
@@ -300,7 +283,7 @@ mod tests {
 
     #[test]
     fn fingerprints_enumerate() {
-        let mut c = TempTableCache::unbounded();
+        let c = TempTableCache::unbounded();
         c.publish(fp_over(0), schema(), rows(1));
         c.publish(fp_over(1), schema(), rows(2));
         assert_eq!(c.fingerprints().len(), 2);
@@ -308,7 +291,7 @@ mod tests {
 
     #[test]
     fn identical_lineage_publish_dedups() {
-        let mut c = TempTableCache::unbounded();
+        let c = TempTableCache::unbounded();
         let a = c.publish(fp(), schema(), rows(10));
         let b = c.publish(fp(), schema(), rows(10));
         assert_eq!(a, b, "identical lineage maps to the existing table");
@@ -324,7 +307,7 @@ mod tests {
     #[test]
     fn dedup_refreshes_lru_stamp() {
         let bytes10 = rows(10).iter().map(row_bytes).sum::<usize>();
-        let mut c = TempTableCache::new(Some(bytes10 * 2 + 1));
+        let c = TempTableCache::new(Some(bytes10 * 2 + 1));
         let a = c.publish(fp_over(0), schema(), rows(10));
         let b = c.publish(fp_over(1), schema(), rows(10));
         // Re-publishing `a`'s lineage freshens it, so `b` is the LRU victim.

@@ -21,6 +21,8 @@
 
 use hashstash_hashtable::calibration::{CostGrid, HtOp};
 
+use crate::policy::AdmissionScore;
+
 /// Scalar cost constants besides the calibrated grid.
 #[derive(Debug, Clone, Copy)]
 pub struct CostParams {
@@ -300,6 +302,32 @@ impl CostModel {
             cand.entries,
         );
         resize + cow + insert + update + post
+    }
+
+    /// Admission score for publishing a fresh **join build**: the benefit
+    /// is the build-side share of `c_RHJ` (resize + inserts — exactly what
+    /// a future exact reuse skips; the probe is paid either way), the cost
+    /// is the table's predicted footprint.
+    pub fn admission_score_join(&self, build_rows: f64, width: f64) -> AdmissionScore {
+        AdmissionScore {
+            predicted_benefit_ns: self.rhj_fresh(build_rows, width, 0.0),
+            predicted_bytes: self.ht_size(build_rows, width),
+        }
+    }
+
+    /// Admission score for publishing a fresh **aggregate**: a future exact
+    /// reuse skips the whole `c_RHA` (aggregation is all build), against
+    /// the grouped table's predicted footprint.
+    pub fn admission_score_agg(
+        &self,
+        input_rows: f64,
+        distinct_groups: f64,
+        width: f64,
+    ) -> AdmissionScore {
+        AdmissionScore {
+            predicted_benefit_ns: self.rha_fresh(input_rows, distinct_groups, width),
+            predicted_bytes: self.ht_size(distinct_groups.min(input_rows).max(1.0), width),
+        }
     }
 
     /// Cost of re-tagging every stored tuple of a reused table in a shared

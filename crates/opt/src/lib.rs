@@ -35,6 +35,7 @@ pub use matching::{MatchRewrite, Matcher};
 pub use multi::{plan_batch, BatchPlan, BatchUnit};
 pub use optimizer::{OptimizedQuery, Optimizer, OptimizerConfig};
 pub use policy::{
-    AlwaysShare, CostBasedReuse, MaterializedReuse, NeverShare, NoReuse, PolicyHandle, ReusePolicy,
+    AdmissionScore, AlwaysShare, BenefitScoredAdmission, CostBasedReuse, MaterializedReuse,
+    NeverShare, NoReuse, PolicyHandle, ReusePolicy,
 };
 pub use stats::DbStats;

@@ -612,7 +612,7 @@ mod tests {
         let queries = vec![mk(1, 20, 40), mk(2, 30, 60)];
         let spec = derive_shared_spec(&queries, &cat, &stats, &htm, &crate::policy::CostBasedReuse)
             .unwrap();
-        let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+        let temps = TempTableCache::unbounded();
         let mut ctx = ExecContext::new(&cat, &htm, &temps);
         let results = execute_shared(&spec, &mut ctx).unwrap();
         assert_eq!(results.len(), 2);
@@ -626,7 +626,7 @@ mod tests {
         );
         let htm2 = HtManager::new(GcConfig::default());
         let oq = opt.optimize(&queries[0], &htm2).unwrap();
-        let temps2 = std::sync::Mutex::new(TempTableCache::unbounded());
+        let temps2 = TempTableCache::unbounded();
         let mut ctx2 = ExecContext::new(&cat, &htm2, &temps2);
         let (_, mut expect) = hashstash_exec::execute(&oq.plan, &mut ctx2).unwrap();
         expect.sort();

@@ -361,6 +361,11 @@ impl<'a> Optimizer<'a> {
                 self.cost
                     .rhj_fresh(build_info.rows.max(1.0), payload_width, probe_info.rows);
             let cost = probe_info.cost + build_info.cost + join_cost + self.cost.output(out_rows);
+            // Benefit-scored admission: the policy sees what a future exact
+            // reuse of this build would save per byte of cache footprint.
+            let score = self
+                .cost
+                .admission_score_join(build_info.rows.max(1.0), payload_width);
             options.push(PlanInfo {
                 plan: PhysicalPlan::HashJoin {
                     probe: Box::new(probe_info.plan.clone()),
@@ -371,7 +376,7 @@ impl<'a> Optimizer<'a> {
                     publish: self
                         .config
                         .policy
-                        .admit(&request_fp)
+                        .admit_scored(&request_fp, &score)
                         .then(|| request_fp.clone()),
                 },
                 cost,
@@ -666,6 +671,11 @@ impl<'a> Optimizer<'a> {
         let fresh_cost = join_info.cost
             + self.cost.rha_fresh(join_info.rows, groups, state_width)
             + self.cost.output(groups);
+        // Benefit-scored admission (see join_options): cycles a future
+        // exact reuse of the grouped table would save, per byte kept.
+        let agg_score = self
+            .cost
+            .admission_score_agg(join_info.rows, groups, state_width);
         let fresh = PlanInfo {
             plan: PhysicalPlan::HashAggregate {
                 input: Some(Box::new(join_info.plan.clone())),
@@ -676,7 +686,7 @@ impl<'a> Optimizer<'a> {
                 publish: self
                     .config
                     .policy
-                    .admit(&request_fp)
+                    .admit_scored(&request_fp, &agg_score)
                     .then(|| request_fp.clone()),
                 post_group_by: None,
             },
@@ -1051,7 +1061,7 @@ mod tests {
         cat: &Catalog,
         htm: &HtManager,
     ) -> (hashstash_types::Schema, Vec<hashstash_types::Row>) {
-        let temps = std::sync::Mutex::new(TempTableCache::unbounded());
+        let temps = TempTableCache::unbounded();
         let mut ctx = ExecContext::new(cat, htm, &temps);
         let (schema, mut rows) = execute(plan, &mut ctx).unwrap();
         rows.sort();

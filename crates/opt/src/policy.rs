@@ -11,8 +11,13 @@
 //!
 //! 1. [`candidates`](ReusePolicy::candidates) — which of the matched cached
 //!    tables may this operator consider reusing?
-//! 2. [`admit`](ReusePolicy::admit) — should a freshly built table be
-//!    published (admitted) into the cache for future reuse?
+//! 2. [`admit`](ReusePolicy::admit) /
+//!    [`admit_scored`](ReusePolicy::admit_scored) — should a freshly built
+//!    table be published (admitted) into the cache for future reuse? The
+//!    scored variant receives an [`AdmissionScore`] — the cost model's
+//!    prediction of cycles a future reuse would save, per byte of cache
+//!    footprint — so policies can refuse tables that are cheap to rebuild
+//!    but expensive to keep (see [`BenefitScoredAdmission`]).
 //! 3. [`prefer_reuse`](ReusePolicy::prefer_reuse) — when costs are
 //!    compared, does any reusing alternative beat any non-reusing one
 //!    regardless of estimate (the paper's greedy *Always Share* baseline)?
@@ -62,6 +67,27 @@ use hashstash_plan::HtFingerprint;
 
 use crate::matching::MatchRewrite;
 
+/// The cost model's prediction of what admitting a freshly built table is
+/// worth: the cycles a single future exact reuse would save (the avoided
+/// build work) against the bytes the table would occupy in the cache. This
+/// is the per-candidate analogue of the paper's GC weight — benefit over
+/// size — applied at *admission* time instead of eviction time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionScore {
+    /// Estimated build cost (ns) that one future exact reuse would skip.
+    pub predicted_benefit_ns: f64,
+    /// Estimated cache footprint of the table (bytes).
+    pub predicted_bytes: f64,
+}
+
+impl AdmissionScore {
+    /// Predicted cycles saved per byte of footprint — the admission
+    /// analogue of the GC's benefit/size weight.
+    pub fn benefit_per_byte(&self) -> f64 {
+        self.predicted_benefit_ns / self.predicted_bytes.max(1.0)
+    }
+}
+
 /// A reuse strategy the optimizer consults at every pipeline breaker.
 ///
 /// Implementations must be [`Send`] + [`Sync`]: one policy instance is
@@ -80,6 +106,16 @@ pub trait ReusePolicy: Send + Sync {
     /// Whether a freshly built hash table described by `fingerprint` should
     /// be admitted (published) into the cache when this operator runs.
     fn admit(&self, fingerprint: &HtFingerprint) -> bool;
+
+    /// [`ReusePolicy::admit`] with the cost model's benefit prediction
+    /// attached. The optimizer calls this wherever it can price the build
+    /// (single-query pipeline breakers); shared-plan publishes, which have
+    /// no per-operator costing, fall back to the unscored hook. The default
+    /// ignores the score, so existing policies keep their behavior.
+    fn admit_scored(&self, fingerprint: &HtFingerprint, score: &AdmissionScore) -> bool {
+        let _ = score;
+        self.admit(fingerprint)
+    }
 
     /// Whether the optimizer should run candidate matching at all. Policies
     /// that unconditionally return no candidates override this to `false`
@@ -236,6 +272,62 @@ impl ReusePolicy for MaterializedReuse {
     }
 }
 
+/// Cost-based reuse with **benefit-scored admission**: candidates and
+/// arbitration as [`CostBasedReuse`], but a freshly built table is admitted
+/// only when the predicted cycles-saved-per-byte of a future reuse clears a
+/// threshold. Tables that are cheap to rebuild relative to the cache space
+/// they occupy (fat payloads, tiny builds) are not worth evicting someone
+/// else for — the admission-time mirror of the paper's GC weight.
+#[derive(Debug, Clone, Copy)]
+pub struct BenefitScoredAdmission {
+    /// Minimum predicted benefit (ns saved per byte) for admission.
+    pub min_benefit_per_byte: f64,
+}
+
+impl BenefitScoredAdmission {
+    /// Default threshold (ns/byte): under the synthetic cost grid the
+    /// Fig. 7 workload's join builds score ≈0.7–2 (cheap-to-rebuild, wide
+    /// payloads at the low end) while aggregates — whose reuse skips the
+    /// whole input pass — score far higher. `1.0` sits at the join
+    /// median: the densest half of the builds is admitted, the
+    /// rebuild-cheap half is refused.
+    pub const DEFAULT_MIN_BENEFIT_PER_BYTE: f64 = 1.0;
+
+    /// Policy with an explicit threshold.
+    pub fn new(min_benefit_per_byte: f64) -> Self {
+        BenefitScoredAdmission {
+            min_benefit_per_byte,
+        }
+    }
+}
+
+impl Default for BenefitScoredAdmission {
+    fn default() -> Self {
+        BenefitScoredAdmission::new(Self::DEFAULT_MIN_BENEFIT_PER_BYTE)
+    }
+}
+
+impl ReusePolicy for BenefitScoredAdmission {
+    fn name(&self) -> &str {
+        "benefit-scored"
+    }
+    fn candidates(
+        &self,
+        _request: &HtFingerprint,
+        matches: Vec<MatchRewrite>,
+    ) -> Vec<MatchRewrite> {
+        matches
+    }
+    /// Unscored fallback (shared-plan publishes): admit, as
+    /// [`CostBasedReuse`] would.
+    fn admit(&self, _fingerprint: &HtFingerprint) -> bool {
+        true
+    }
+    fn admit_scored(&self, _fingerprint: &HtFingerprint, score: &AdmissionScore) -> bool {
+        score.benefit_per_byte() >= self.min_benefit_per_byte
+    }
+}
+
 /// Convenience alias for a shared, type-erased policy handle.
 pub type PolicyHandle = Arc<dyn ReusePolicy>;
 
@@ -281,6 +373,44 @@ mod tests {
         assert!(MaterializedReuse
             .candidates(&probe(), Vec::new())
             .is_empty());
+    }
+
+    #[test]
+    fn admit_scored_defaults_to_admit() {
+        let generous = AdmissionScore {
+            predicted_benefit_ns: 1e9,
+            predicted_bytes: 1.0,
+        };
+        let stingy = AdmissionScore {
+            predicted_benefit_ns: 0.0,
+            predicted_bytes: 1e9,
+        };
+        // Policies that don't override the hook ignore the score entirely.
+        assert!(CostBasedReuse.admit_scored(&probe(), &stingy));
+        assert!(!NoReuse.admit_scored(&probe(), &generous));
+    }
+
+    #[test]
+    fn benefit_scored_admission_thresholds_on_benefit_per_byte() {
+        let p = BenefitScoredAdmission::new(0.5);
+        let dense = AdmissionScore {
+            predicted_benefit_ns: 100.0,
+            predicted_bytes: 100.0, // 1.0 ns/byte
+        };
+        let sparse = AdmissionScore {
+            predicted_benefit_ns: 100.0,
+            predicted_bytes: 1000.0, // 0.1 ns/byte
+        };
+        assert!(p.admit_scored(&probe(), &dense));
+        assert!(!p.admit_scored(&probe(), &sparse));
+        // Unscored fallback (shared plans) admits like CostBasedReuse.
+        assert!(p.admit(&probe()));
+        assert!((AdmissionScore {
+            predicted_benefit_ns: 7.0,
+            predicted_bytes: 0.0,
+        })
+        .benefit_per_byte()
+        .is_finite());
     }
 
     #[test]

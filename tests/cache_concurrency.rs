@@ -12,7 +12,7 @@
 //!   under a tight GC budget; at quiesce the atomic statistics must agree
 //!   exactly with a recount of the shard contents (no lost bytes).
 
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Barrier};
 use std::thread;
 
 use hashstash_cache::{EvictionPolicy, GcConfig, HtManager, StoredHt, TaggedRow};
@@ -66,7 +66,7 @@ fn join_schema() -> Schema {
 fn executor_error_path_returns_checked_out_table() {
     let cat = generate(TpchConfig::new(0.002, 5));
     let htm = HtManager::unbounded();
-    let temps = Mutex::new(TempTableCache::unbounded());
+    let temps = TempTableCache::unbounded();
 
     // An *aggregate* payload published under a join-build fingerprint: the
     // join operator checks it out, then errors on the kind mismatch.
@@ -118,7 +118,7 @@ fn executor_error_path_returns_checked_out_table() {
 fn mutating_error_path_keeps_cached_version() {
     let cat = generate(TpchConfig::new(0.002, 5));
     let htm = HtManager::unbounded();
-    let temps = Mutex::new(TempTableCache::unbounded());
+    let temps = TempTableCache::unbounded();
 
     let fp = customer_fp(40, 60);
     let id = htm.publish(fp.clone(), join_schema(), join_table(10));
@@ -232,7 +232,7 @@ fn shard_contention_stress_no_lost_bytes() {
         GcConfig {
             budget_bytes: Some(budget),
             policy: EvictionPolicy::Lru,
-            fine_grained: false,
+            ..GcConfig::default()
         },
         8,
     ));

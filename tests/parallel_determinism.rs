@@ -4,7 +4,7 @@
 //! shared plans — at any worker count. Plus a stress test running parallel
 //! queries concurrently with cache eviction under a tight GC budget.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use hashstash::{Database, EngineStrategy};
 use hashstash_cache::HtManager;
@@ -69,7 +69,7 @@ fn join_publishing(lo: i64, hi: i64, fp: &HtFingerprint) -> PhysicalPlan {
 /// aggregate — under one worker count, returning every result verbatim.
 fn run_sequence(cat: &Catalog, parallelism: usize) -> Vec<(Schema, Vec<Row>, ExecMetrics)> {
     let htm = HtManager::unbounded();
-    let temps = Mutex::new(TempTableCache::unbounded());
+    let temps = TempTableCache::unbounded();
     let mut results = Vec::new();
     let mut run = |plan: &PhysicalPlan| {
         let mut ctx = ExecContext::new(cat, &htm, &temps).with_parallelism(parallelism);
@@ -241,7 +241,7 @@ fn parallel_shared_plan_matches_serial() {
     };
     let run = |parallelism: usize| {
         let htm = HtManager::unbounded();
-        let temps = Mutex::new(TempTableCache::unbounded());
+        let temps = TempTableCache::unbounded();
         let mut ctx = ExecContext::new(&cat, &htm, &temps).with_parallelism(parallelism);
         let results = execute_shared(&spec, &mut ctx).unwrap();
         (
