@@ -2,10 +2,18 @@
 //!
 //! The operators whose reuse effects Figure 9 measures — base-table scan,
 //! hash-join build + probe, exact-reuse probe, and the post-filter pass of
-//! subsuming reuse — are exactly the loops the morsel scheduler fans out.
-//! This experiment runs that mix at W ∈ {1, 2, 4, 8} workers against the
-//! same data, asserts the outputs stay row-identical, and reports the
-//! wall-clock speedup over the serial interpreter.
+//! subsuming reuse — are exactly the loops the morsel scheduler fans out,
+//! plus a **build-bound phase** (pure join build, fresh aggregate build)
+//! exercising the partitioned parallel build. This experiment runs that mix
+//! at W ∈ {1, 2, 4, 8} workers against the same data and reports the
+//! wall-clock speedup (overall and build-only) over the serial interpreter.
+//!
+//! Determinism is a **hard error**, smoke mode included: every iteration's
+//! full output digest (row contents *and* order) is compared against the
+//! serial reference and against the worker count's own first iteration; any
+//! divergence is recorded in the JSON (`"deterministic": false`) and the
+//! process exits non-zero, so CI fails loudly instead of archiving a bad
+//! artifact silently.
 //!
 //! Output: a human-readable table plus `BENCH_parallel.json` (uploaded by
 //! CI as an artifact). Smoke mode (`HASHSTASH_SMOKE=1`) shrinks the row
@@ -15,13 +23,15 @@
 
 use std::io::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hashstash_bench::common::{header, ms};
 use hashstash_cache::{GcConfig, HtManager};
-use hashstash_exec::plan::{PhysicalPlan, ReuseSpec, ScanSpec};
+use hashstash_exec::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 use hashstash_exec::{execute, ExecContext, TempTableCache};
-use hashstash_plan::{HtFingerprint, HtKind, Interval, PredBox, Region, ReuseCase};
+use hashstash_plan::{
+    AggExpr, AggFunc, HtFingerprint, HtKind, Interval, PredBox, Region, ReuseCase,
+};
 use hashstash_storage::{Catalog, TableBuilder};
 use hashstash_types::{DataType, Value};
 
@@ -122,17 +132,23 @@ fn main() {
         "dim.d_attr",
         Interval::closed(Value::Int(0), Value::Int(249)),
     );
-    let mix: Vec<(&str, PhysicalPlan)> = vec![
+    // (name, build_bound, plan): the build-bound entries isolate the
+    // partitioned parallel build — an empty probe side (pure join build)
+    // and a fresh aggregate (all insert/update work, no probe at all).
+    let mix: Vec<(&str, bool, PhysicalPlan)> = vec![
         (
             "scan",
+            false,
             PhysicalPlan::Scan(ScanSpec::filtered("dim", scan_pred)),
         ),
         (
             "fresh_join",
+            false,
             join(Some(PhysicalPlan::Scan(ScanSpec::full("dim"))), None),
         ),
         (
             "exact_reuse_probe",
+            false,
             join(
                 None,
                 Some(ReuseSpec {
@@ -147,6 +163,7 @@ fn main() {
         ),
         (
             "subsuming_reuse_filter",
+            false,
             join(
                 None,
                 Some(ReuseSpec {
@@ -158,6 +175,49 @@ fn main() {
                     schema: cand.schema.clone(),
                 }),
             ),
+        ),
+        (
+            "join_build_bound",
+            true,
+            // Build-dominated, but with a *chain-order-observable* output:
+            // the build keys on d_attr (n/1000 duplicates per key), and the
+            // small probe slice emits each key's matches in collision-chain
+            // order — so the divergence digest would catch a build whose
+            // chain layout varied with the worker count. An empty probe
+            // would leave the build unobservable here.
+            PhysicalPlan::HashJoin {
+                probe: Box::new(PhysicalPlan::Scan(
+                    ScanSpec::filtered(
+                        "dim",
+                        PredBox::all().with(
+                            "dim.d_attr",
+                            Interval::closed(Value::Int(0), Value::Int(20)),
+                        ),
+                    )
+                    .project(&["dim.d_attr"]),
+                )),
+                build: Some(Box::new(PhysicalPlan::Scan(ScanSpec::full("dim")))),
+                probe_key: "dim.d_attr".into(),
+                build_key: "dim.d_attr".into(),
+                reuse: None,
+                publish: None,
+            },
+        ),
+        (
+            "agg_build_bound",
+            true,
+            PhysicalPlan::HashAggregate {
+                input: Some(Box::new(PhysicalPlan::Scan(ScanSpec::full("dim")))),
+                group_by: vec!["dim.d_attr".into()],
+                aggs: vec![
+                    AggExpr::new(AggFunc::Sum, "dim.d_key"),
+                    AggExpr::new(AggFunc::Count, "dim.d_key"),
+                ],
+                output_aggs: vec![OutputAgg::Direct(0), OutputAgg::Direct(1)],
+                reuse: None,
+                publish: None,
+                post_group_by: None,
+            },
         ),
     ];
 
@@ -172,57 +232,88 @@ fn main() {
         (rows.len(), h.finish())
     }
 
+    // Divergence — across worker counts *or* across iterations of one
+    // worker count — is a hard error (recorded in the JSON, then exit 1),
+    // in smoke mode and full mode alike.
     let mut reference: Option<Vec<(usize, u64)>> = None;
-    let mut rows_table: Vec<(usize, f64, f64)> = Vec::new();
+    let mut divergences: Vec<String> = Vec::new();
+    let mut rows_table: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
     for &workers in &worker_counts {
-        let t0 = Instant::now();
-        let mut digests = vec![(0usize, 0u64); mix.len()];
-        for _ in 0..iters {
-            for (i, (_, plan)) in mix.iter().enumerate() {
+        let mut wall = Duration::ZERO;
+        let mut build_wall = Duration::ZERO;
+        for iter in 0..iters {
+            let mut digests = Vec::with_capacity(mix.len());
+            for (name, build_bound, plan) in &mix {
+                let t0 = Instant::now();
                 let mut ctx = ExecContext::new(&cat, &htm, &temps).with_parallelism(workers);
-                let (_, rows) = execute(plan, &mut ctx).expect("mix plan");
-                digests[i] = digest(&rows);
+                let (_, rows) = execute(plan, &mut ctx).expect(name);
+                let dt = t0.elapsed();
+                wall += dt;
+                if *build_bound {
+                    build_wall += dt;
+                }
+                digests.push(digest(&rows));
+            }
+            // One check covers both divergence shapes (cross-worker and
+            // cross-iteration): the reference is iteration 0 of the serial
+            // interpreter, so each event is reported exactly once.
+            match &reference {
+                None => reference = Some(digests),
+                Some(want) if want != &digests => divergences.push(format!(
+                    "{workers} workers, iteration {iter}: output diverged from the \
+                     serial reference (1 worker, iteration 0)"
+                )),
+                Some(_) => {}
             }
         }
-        let wall = t0.elapsed();
-        match &reference {
-            None => reference = Some(digests),
-            Some(want) => assert_eq!(
-                &digests, want,
-                "parallel output diverged from serial at {workers} workers"
-            ),
-        }
-        rows_table.push((workers, ms(wall), 0.0));
+        rows_table.push((workers, ms(wall), 0.0, ms(build_wall), 0.0));
     }
     let serial_ms = rows_table[0].1;
+    let serial_build_ms = rows_table[0].3;
     for row in &mut rows_table {
         row.2 = serial_ms / row.1;
+        row.4 = serial_build_ms / row.3;
     }
-    for (workers, wall, speedup) in &rows_table {
-        println!("{workers:>2} workers: {wall:>10.2} ms  →  speedup {speedup:>5.2}×");
+    for (workers, wall, speedup, build_wall, build_speedup) in &rows_table {
+        println!(
+            "{workers:>2} workers: {wall:>10.2} ms (speedup {speedup:>5.2}×)  |  \
+             build-bound {build_wall:>10.2} ms (speedup {build_speedup:>5.2}×)"
+        );
     }
-    let speedup_at_4 = rows_table
-        .iter()
-        .find(|(w, _, _)| *w == 4)
-        .map(|(_, _, s)| *s)
-        .unwrap_or(0.0);
+    let at_4 = rows_table.iter().find(|r| r.0 == 4);
+    let speedup_at_4 = at_4.map(|r| r.2).unwrap_or(0.0);
+    let build_speedup_at_4 = at_4.map(|r| r.4).unwrap_or(0.0);
+    let deterministic = divergences.is_empty();
 
     let results: Vec<String> = rows_table
         .iter()
-        .map(|(workers, wall, speedup)| {
+        .map(|(workers, wall, speedup, build_wall, build_speedup)| {
             format!(
-                "    {{\"workers\": {workers}, \"wall_ms\": {wall:.3}, \"speedup\": {speedup:.3}}}"
+                "    {{\"workers\": {workers}, \"wall_ms\": {wall:.3}, \"speedup\": {speedup:.3}, \
+                 \"build_wall_ms\": {build_wall:.3}, \"build_speedup\": {build_speedup:.3}}}"
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"parallel\",\n  \"smoke\": {smoke},\n  \"dim_rows\": {n},\n  \"fact_rows\": {},\n  \"iterations\": {iters},\n  \"available_cores\": {cores},\n  \"operator_mix\": [\"scan\", \"fresh_join\", \"exact_reuse_probe\", \"subsuming_reuse_filter\"],\n  \"deterministic\": true,\n  \"speedup_at_4_workers\": {speedup_at_4:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"parallel\",\n  \"smoke\": {smoke},\n  \"dim_rows\": {n},\n  \"fact_rows\": {},\n  \"iterations\": {iters},\n  \"available_cores\": {cores},\n  \"operator_mix\": [\"scan\", \"fresh_join\", \"exact_reuse_probe\", \"subsuming_reuse_filter\", \"join_build_bound\", \"agg_build_bound\"],\n  \"build_bound_mix\": [\"join_build_bound\", \"agg_build_bound\"],\n  \"deterministic\": {deterministic},\n  \"speedup_at_4_workers\": {speedup_at_4:.3},\n  \"build_speedup_at_4_workers\": {build_speedup_at_4:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
         n * 4,
         results.join(",\n")
     );
     let mut f = std::fs::File::create("BENCH_parallel.json").expect("write results");
     f.write_all(json.as_bytes()).unwrap();
     println!("\nwrote BENCH_parallel.json");
+
+    if !deterministic {
+        for d in &divergences {
+            eprintln!("DIVERGENCE: {d}");
+        }
+        eprintln!(
+            "ERROR: parallel execution diverged from the serial interpreter \
+             ({} case(s)) — failing hard",
+            divergences.len()
+        );
+        std::process::exit(1);
+    }
 
     if cores >= 4 && speedup_at_4 < 2.0 {
         println!(

@@ -12,9 +12,15 @@
 //! row-range morsels and fanned out over [`ExecContext::parallelism`]
 //! workers (see [`crate::parallel`]). Output is concatenated in morsel
 //! order, so results are bit-identical to the serial interpreter
-//! (`parallelism = 1`). Build sides stay serial: insertion order defines
-//! the collision-chain order that probe output depends on, and the cost
-//! model charges the build accordingly.
+//! (`parallelism = 1`). Fresh *builds* fan out too, but partitioned by
+//! bucket / key rather than by morsel: insertion order defines the
+//! collision-chain order that probe output (and the cached table's layout)
+//! depends on, so workers compute disjoint partitions of the serial chain
+//! structure and a serial stitch reproduces it exactly — parallel-built
+//! tables are bit-identical to serially built ones, and publish into the
+//! reuse cache with identical fingerprints and footprints. Mutating-reuse
+//! delta inserts stay serial (they extend existing chain history); the cost
+//! model prices both regimes.
 
 use std::collections::HashMap;
 use std::ops::Bound;
@@ -27,7 +33,10 @@ use hashstash_hashtable::ExtendibleHashTable;
 use hashstash_plan::PredBox;
 use hashstash_storage::{Catalog, Table};
 
-use crate::parallel::{collect_morsels, default_parallelism};
+use crate::parallel::{
+    build_grouped_partitioned, build_multimap_partitioned, collect_morsels, default_parallelism,
+    MIN_PARALLEL_BUILD_ROWS,
+};
 use crate::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 use crate::temp::TempTableCache;
 
@@ -554,10 +563,30 @@ fn run_hash_join(
                 },
                 JoinBuild::Snapshot(_) => unreachable!("mutation precedes check-in"),
             };
-            target.reserve(rows.len());
-            for row in rows {
-                let key = row.key64(&[build_key_idx]);
-                target.insert(key, TaggedRow::untagged(row));
+            if reuse.is_none() && ctx.parallelism > 1 && rows.len() >= MIN_PARALLEL_BUILD_ROWS {
+                // Partitioned parallel build of the fresh table: key
+                // extraction fans out over morsels, chain construction over
+                // bucket ranges; the stitched table is bit-identical to the
+                // serial loop below (same chains, layout, and stats), so
+                // probe output, fingerprints, and publish dedup are
+                // unaffected by the worker count.
+                let rows_ref = &rows;
+                let keys: Vec<u64> = collect_morsels(ctx.parallelism, rows.len(), |range| {
+                    rows_ref[range]
+                        .iter()
+                        .map(|row| row.key64(&[build_key_idx]))
+                        .collect()
+                });
+                let values: Vec<TaggedRow> = rows.into_iter().map(TaggedRow::untagged).collect();
+                build_multimap_partitioned(ctx.parallelism, target, keys, values);
+            } else {
+                // Serial build — also the only path for mutating-reuse
+                // deltas, which extend a table with existing chain history.
+                target.reserve(rows.len());
+                for row in rows {
+                    let key = row.key64(&[build_key_idx]);
+                    target.insert(key, TaggedRow::untagged(row));
+                }
             }
             if reuse.is_none() {
                 ctx.metrics.built_tables += 1;
@@ -741,31 +770,80 @@ fn run_hash_agg(
             let ht = source.write_table()?;
             let mut inserts = 0u64;
             let mut updates = 0u64;
-            for row in rows {
-                let key = row.key64(&group_idx);
-                let group_row = row.project(&group_idx);
-                let created = ht.upsert_where(
-                    key,
-                    |p: &AggPayload| p.group == group_row,
-                    || {
-                        // First tuple of a missing group: pay the insert and
-                        // fold the row into the fresh accumulators.
-                        let mut p = AggPayload::new(group_row.clone(), aggs);
-                        for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
-                            accum.update(row.get(ai));
-                        }
+            if reuse.is_none() && ctx.parallelism > 1 && rows.len() >= MIN_PARALLEL_BUILD_ROWS {
+                // Partitioned parallel aggregate build: hashing/projection
+                // fans out over morsels, folding over key partitions (each
+                // group's accumulators are updated in global row order, so
+                // even floating-point sums are bitwise serial), then the
+                // structural history is replayed serially — one `touch`
+                // (lazy-split freshen) per row, one `insert` per
+                // group-creating row — which is exactly what the serial
+                // `upsert_where` loop below does to the table.
+                let rows_ref = &rows;
+                let group_idx_ref = &group_idx;
+                let prep: Vec<(u64, Row)> = collect_morsels(ctx.parallelism, rows.len(), |range| {
+                    rows_ref[range]
+                        .iter()
+                        .map(|row| (row.key64(group_idx_ref), row.project(group_idx_ref)))
+                        .collect()
+                });
+                let keys: Vec<u64> = prep.iter().map(|(k, _)| *k).collect();
+                let fold = |i: usize, p: &mut AggPayload| {
+                    for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
+                        accum.update(rows_ref[i].get(ai));
+                    }
+                };
+                let gb = build_grouped_partitioned(
+                    ctx.parallelism,
+                    &keys,
+                    |i: usize, p: &AggPayload| p.group == prep[i].1,
+                    |i: usize| {
+                        let mut p = AggPayload::new(prep[i].1.clone(), aggs);
+                        fold(i, &mut p);
                         p
                     },
-                    |p| {
-                        for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
-                            accum.update(row.get(ai));
-                        }
-                    },
+                    |i: usize, p: &mut AggPayload| fold(i, p),
                 );
-                if created {
-                    inserts += 1;
-                } else {
-                    updates += 1;
+                inserts = gb.inserts;
+                updates = gb.updates;
+                let mut merged = gb.groups.into_iter().peekable();
+                for (i, (key, _)) in prep.iter().enumerate() {
+                    if merged.peek().is_some_and(|g| g.first_row == i) {
+                        let g = merged.next().expect("peeked");
+                        ht.touch(g.key);
+                        ht.insert(g.key, g.payload);
+                    } else {
+                        ht.touch(*key);
+                    }
+                }
+                debug_assert!(merged.peek().is_none(), "all groups replayed");
+            } else {
+                for row in rows {
+                    let key = row.key64(&group_idx);
+                    let group_row = row.project(&group_idx);
+                    let created = ht.upsert_where(
+                        key,
+                        |p: &AggPayload| p.group == group_row,
+                        || {
+                            // First tuple of a missing group: pay the insert
+                            // and fold the row into the fresh accumulators.
+                            let mut p = AggPayload::new(group_row.clone(), aggs);
+                            for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
+                                accum.update(row.get(ai));
+                            }
+                            p
+                        },
+                        |p| {
+                            for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
+                                accum.update(row.get(ai));
+                            }
+                        },
+                    );
+                    if created {
+                        inserts += 1;
+                    } else {
+                        updates += 1;
+                    }
                 }
             }
             ctx.metrics.ht_inserts += inserts;

@@ -7,8 +7,9 @@
 //! [`hashstash_hashtable::ExtendibleHashTable`]s and exchange them with the
 //! Hash Table Manager. Unlike the prototype, the hot operator loops (scan
 //! filtering, join probing, reuse post-filtering) fan out over row-range
-//! morsels — see [`parallel`] — with output deterministically equal to the
-//! serial interpreter.
+//! morsels, and fresh hash-table *builds* fan out over bucket/key
+//! partitions — see [`parallel`] — with output (and the built tables
+//! themselves) deterministically equal to the serial interpreter.
 //!
 //! * [`plan`] — the physical plan tree: scans (with region predicates and
 //!   index support), filter/project, hash join and hash aggregate with
@@ -32,7 +33,9 @@ pub mod shared;
 pub mod temp;
 
 pub use exec::{acquire_plan_checkouts, execute, ExecContext, ExecMetrics};
-pub use parallel::{default_parallelism, engine_default_parallelism, MORSEL_ROWS};
+pub use parallel::{
+    default_parallelism, engine_default_parallelism, MIN_PARALLEL_BUILD_ROWS, MORSEL_ROWS,
+};
 pub use plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 pub use shared::{SharedPlanSpec, SharedReuse};
 pub use temp::{TempTableCache, TempTableStats};

@@ -24,10 +24,25 @@
 //! boundary — tiny operators keep their serial fast path and zero spawn
 //! overhead, so unit tests and low-selectivity deltas are unaffected by the
 //! engine-level parallelism default.
+//!
+//! # Builds
+//!
+//! Hash-table *builds* cannot use the per-morsel output-buffer trick:
+//! insertion order defines collision-chain order, which probe output order
+//! (and the cached table's layout) depends on. Fresh builds instead fan out
+//! **by bucket**: [`build_multimap_partitioned`] has workers compute the
+//! chains of disjoint bucket ranges from the row-order key sequence and
+//! stitches them serially, and [`build_grouped_partitioned`] partitions
+//! aggregate folding by key and replays the structural history — both
+//! bit-identical to the serial build at any worker count (pinned by
+//! `tests/build_equivalence.rs` and `tests/parallel_determinism.rs`).
 
+use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+use hashstash_hashtable::{bucket_ranges, partition_chains, ExtendibleHashTable};
 
 /// Rows per morsel. Large enough that per-morsel dispatch (one atomic
 /// fetch-add plus a buffer push) is noise; small enough that a handful of
@@ -149,6 +164,201 @@ where
     all.into_iter().map(|(_, t)| t).collect()
 }
 
+/// Minimum build-side row count before a hash-table build fans out. A
+/// partitioned build pays one spawn+join round plus a serial stitch pass;
+/// below this the plain insert loop wins. Mirrors the morsel fan-out
+/// threshold (`MORSEL_ROWS * MIN_PARALLEL_MORSELS`), and the cost model
+/// prices the same cutoff ([`CostModel::parallel_build`]).
+///
+/// [`CostModel::parallel_build`]: ../../hashstash_opt/cost/struct.CostModel.html#method.parallel_build
+pub const MIN_PARALLEL_BUILD_ROWS: usize = MORSEL_ROWS * MIN_PARALLEL_MORSELS;
+
+/// Build a multimap hash table from parallel `keys`/`values` columns in row
+/// order, **bit-identically** to the serial `reserve(n)` + [`insert`] loop,
+/// fanning the chain computation out over `workers` bucket-range
+/// partitions. (Columns rather than pairs: call sites compute the keys in a
+/// morsel-parallel pass and would otherwise zip and immediately un-zip.)
+///
+/// The directory is pre-sized first, which fixes every key's bucket; each
+/// worker owns a contiguous bucket range and derives the collision chains
+/// its buckets would have after a serial build (same newest-first order,
+/// same distinct-key bookkeeping). A single serial stitch pass then installs
+/// chains and values — arena order is row order either way, so the result is
+/// byte-identical to the serial build at any worker count, including the
+/// lazy-split depth state and the resize counter. With `workers <= 1` this
+/// *is* the serial loop.
+///
+/// `table` must be empty (fresh build). Mutating-reuse delta inserts keep
+/// the plain serial loop: they extend a table with existing history.
+///
+/// [`insert`]: ExtendibleHashTable::insert
+pub fn build_multimap_partitioned<V: Send>(
+    workers: usize,
+    table: &mut ExtendibleHashTable<V>,
+    keys: Vec<u64>,
+    values: Vec<V>,
+) {
+    assert_eq!(keys.len(), values.len(), "one key per value");
+    table.reserve(keys.len());
+    if workers <= 1 || keys.len() < 2 {
+        for (key, value) in keys.into_iter().zip(values) {
+            table.insert(key, value);
+        }
+        return;
+    }
+    let dir_len = table.bucket_count();
+    let ranges = bucket_ranges(dir_len, workers);
+    let keys_ref = &keys;
+    let parts = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| s.spawn(move || partition_chains(keys_ref, dir_len, range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect::<Vec<_>>()
+    });
+    table.fill_from_partitions(&keys, values, parts);
+}
+
+/// One group discovered by [`build_grouped_partitioned`], tagged with the
+/// row that created it.
+#[derive(Debug)]
+pub struct MergedGroup<P> {
+    /// Index of the first input row that hashed-and-matched this group —
+    /// the row whose serial `upsert` would have inserted it.
+    pub first_row: usize,
+    /// The group's 64-bit hash key.
+    pub key: u64,
+    /// The fully folded payload (all of the group's rows applied in global
+    /// row order).
+    pub payload: P,
+}
+
+/// Result of a partitioned grouped build: groups in first-occurrence order
+/// plus the insert/update counts the serial fold would have reported.
+#[derive(Debug)]
+pub struct GroupedBuild<P> {
+    /// Discovered groups, ascending by [`MergedGroup::first_row`] — exactly
+    /// the arena order a serial `upsert` loop produces.
+    pub groups: Vec<MergedGroup<P>>,
+    /// Rows that created a group (`c_insert` events).
+    pub inserts: u64,
+    /// Rows folded into an existing group (`c_update` events).
+    pub updates: u64,
+}
+
+/// Deterministic key → worker assignment for grouped builds. Any map works
+/// as long as equal keys agree (a group never spans workers); mixing the
+/// key decorrelates it from the table's bucket-index low bits.
+#[inline]
+fn group_owner(key: u64, workers: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % workers
+}
+
+/// Fold rows into groups in parallel, partitioned **by key**, such that the
+/// outcome is independent of the worker count:
+///
+/// * group identity (`matches`) and per-group fold order are key-local
+///   facts: each worker scans the full row sequence in row order and folds
+///   only the rows whose key it owns, so every group's `update` calls happen
+///   in global row order — floating-point accumulation included;
+/// * the merged group list is ordered by first-occurrence row, which is the
+///   arena order of a serial `upsert` loop.
+///
+/// The caller replays the structural history into a real table (one
+/// [`touch`] per row, one [`insert`] per group-creating row — see
+/// [`ExtendibleHashTable::touch`]) to obtain a table bit-identical to the
+/// serial build. With `workers <= 1` the single partition still uses this
+/// code path; callers that want the serial fast path keep their own loop.
+///
+/// [`touch`]: ExtendibleHashTable::touch
+/// [`insert`]: ExtendibleHashTable::insert
+pub fn build_grouped_partitioned<P, M, I, U>(
+    workers: usize,
+    keys: &[u64],
+    matches: M,
+    init: I,
+    update: U,
+) -> GroupedBuild<P>
+where
+    P: Send,
+    M: Fn(usize, &P) -> bool + Sync,
+    I: Fn(usize) -> P + Sync,
+    U: Fn(usize, &mut P) + Sync,
+{
+    let workers = workers.max(1);
+    let fold_partition = |w: usize| {
+        let mut groups: Vec<MergedGroup<P>> = Vec::new();
+        // key → positions in `groups` (collisions on the 64-bit key are
+        // disambiguated by `matches`, like the serial chain walk).
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut inserts = 0u64;
+        let mut updates = 0u64;
+        for (i, &key) in keys.iter().enumerate() {
+            if workers > 1 && group_owner(key, workers) != w {
+                continue;
+            }
+            let slot = index.entry(key).or_default();
+            let found = slot
+                .iter()
+                .copied()
+                .find(|&g| matches(i, &groups[g as usize].payload));
+            match found {
+                Some(g) => {
+                    update(i, &mut groups[g as usize].payload);
+                    updates += 1;
+                }
+                None => {
+                    slot.push(groups.len() as u32);
+                    groups.push(MergedGroup {
+                        first_row: i,
+                        key,
+                        payload: init(i),
+                    });
+                    inserts += 1;
+                }
+            }
+        }
+        (groups, inserts, updates)
+    };
+    let parts: Vec<(Vec<MergedGroup<P>>, u64, u64)> = if workers <= 1 {
+        vec![fold_partition(0)]
+    } else {
+        let fold_ref = &fold_partition;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || fold_ref(w))).collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+    let mut inserts = 0;
+    let mut updates = 0;
+    let mut groups = Vec::with_capacity(parts.iter().map(|(g, _, _)| g.len()).sum());
+    for (g, i, u) in parts {
+        groups.extend(g);
+        inserts += i;
+        updates += u;
+    }
+    // first_row is unique (one creating row per group), so this is a total
+    // order — the serial arena order, independent of the partitioning.
+    groups.sort_unstable_by_key(|g| g.first_row);
+    GroupedBuild {
+        groups,
+        inserts,
+        updates,
+    }
+}
+
 /// [`run_morsels`] for the common case of producing rows: flattens the
 /// per-morsel buffers (still in morsel order) into one output vector.
 pub fn collect_morsels<T, F>(parallelism: usize, total: usize, f: F) -> Vec<T>
@@ -215,6 +425,59 @@ mod tests {
             expect_start = r.end;
         }
         assert_eq!(expect_start, total);
+    }
+
+    #[test]
+    fn partitioned_multimap_build_matches_serial_layout() {
+        let n = MORSEL_ROWS * 5 + 77;
+        let keys: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(31) % 997).collect();
+        let values = || (0..n as u64).collect::<Vec<_>>();
+        let mut serial = ExtendibleHashTable::new(16);
+        build_multimap_partitioned(1, &mut serial, keys.clone(), values());
+        for workers in [2, 3, 4, 8] {
+            let mut par = ExtendibleHashTable::new(16);
+            build_multimap_partitioned(workers, &mut par, keys.clone(), values());
+            assert!(par.layout_eq(&serial), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn grouped_build_is_worker_count_invariant_bitwise() {
+        // The payload is a running f64 sum: any change in per-group fold
+        // order shows up as a bit difference.
+        let keys: Vec<u64> = (0..5000u64).map(|i| (i * i) % 13).collect();
+        let run = |workers| {
+            build_grouped_partitioned(
+                workers,
+                &keys,
+                |_i, _p: &f64| true,
+                |i| (i as f64) * 0.1,
+                |i, p| *p += (i as f64) * 0.1,
+            )
+        };
+        let one = run(1);
+        let distinct = {
+            let mut k: Vec<u64> = keys.clone();
+            k.sort_unstable();
+            k.dedup();
+            k.len()
+        };
+        assert_eq!(one.groups.len(), distinct);
+        assert_eq!(one.inserts as usize, distinct);
+        assert_eq!(one.updates as usize, keys.len() - distinct);
+        for workers in [2, 4, 8] {
+            let got = run(workers);
+            assert_eq!((got.inserts, got.updates), (one.inserts, one.updates));
+            assert_eq!(got.groups.len(), one.groups.len(), "{workers} workers");
+            for (a, b) in got.groups.iter().zip(&one.groups) {
+                assert_eq!((a.first_row, a.key), (b.first_row, b.key));
+                assert_eq!(
+                    a.payload.to_bits(),
+                    b.payload.to_bits(),
+                    "float fold order must be serial ({workers} workers)"
+                );
+            }
+        }
     }
 
     #[test]

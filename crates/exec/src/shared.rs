@@ -436,10 +436,35 @@ fn build_shared_join_table(
                 ExtendibleHashTable::with_capacity(schema.tuple_width(), rows.len());
             ctx.metrics.ht_inserts += rows.len() as u64;
             ctx.metrics.built_tables += 1;
-            for row in rows {
-                let tag = tag_row(&spec.queries, &dschema, &row);
-                let key = row.key64(&[key_idx]);
-                ht.insert(key, TaggedRow::tagged(row, tag));
+            if ctx.parallelism > 1 && rows.len() >= crate::parallel::MIN_PARALLEL_BUILD_ROWS {
+                // Tagging (evaluating every query's predicates per row)
+                // dominates this build; it fans out over morsels and the
+                // chain construction over bucket partitions, stitched
+                // bit-identically to the serial loop below — so a tagged
+                // table published from a parallel build re-tags and reuses
+                // exactly like a serially built one.
+                let rows_ref = &rows;
+                let queries = &spec.queries;
+                let meta: Vec<(u64, QidSet)> =
+                    crate::parallel::collect_morsels(ctx.parallelism, rows.len(), |range| {
+                        rows_ref[range]
+                            .iter()
+                            .map(|row| (row.key64(&[key_idx]), tag_row(queries, &dschema, row)))
+                            .collect()
+                    });
+                let (keys, tags): (Vec<u64>, Vec<QidSet>) = meta.into_iter().unzip();
+                let values: Vec<TaggedRow> = tags
+                    .into_iter()
+                    .zip(rows)
+                    .map(|(tag, row)| TaggedRow::tagged(row, tag))
+                    .collect();
+                crate::parallel::build_multimap_partitioned(ctx.parallelism, &mut ht, keys, values);
+            } else {
+                for row in rows {
+                    let tag = tag_row(&spec.queries, &dschema, &row);
+                    let key = row.key64(&[key_idx]);
+                    ht.insert(key, TaggedRow::tagged(row, tag));
+                }
             }
             Ok((SharedTable::Fresh(ht), dschema))
         }

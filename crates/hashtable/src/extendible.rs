@@ -392,6 +392,125 @@ impl<V> ExtendibleHashTable<V> {
             self.grow_directory();
         }
     }
+
+    /// The structural half of a lookup: bring `key`'s bucket up to the
+    /// current global depth, without reading or writing any entry.
+    ///
+    /// [`upsert`](Self::upsert)-style operations freshen the key's bucket on
+    /// *every* row, hit or miss — so a stale bucket's lazy split (and the
+    /// chain redistribution it performs) happens at a deterministic point in
+    /// the input sequence. The partitioned parallel build replays exactly
+    /// that freshen history: `touch` for every input row, plus
+    /// [`insert`](Self::insert) for the rows that created a group. Skipping
+    /// the touches would leave different lazy-split state (and therefore
+    /// different chain order after later splits) than the serial build.
+    #[inline]
+    pub fn touch(&mut self, key: u64) {
+        let b = self.bucket_of(key);
+        self.freshen(b);
+    }
+
+    /// Install the chains computed by a partitioned build
+    /// ([`partition_chains`](crate::partitioned::partition_chains)) and the
+    /// corresponding key/value columns into this **empty** table, producing
+    /// the same table a serial `reserve(n)` + row-order
+    /// [`insert`](Self::insert) loop would have produced.
+    ///
+    /// Requirements (checked): the table is empty and already sized so that
+    /// no directory growth happens during `pairs.len()` inserts (call
+    /// [`reserve`](Self::reserve) first), the partitions tile the directory
+    /// contiguously, and every row is owned by exactly one partition.
+    ///
+    /// The serial build freshens the bucket of every inserted row; on an
+    /// empty table a freshen moves no entries, it only performs the
+    /// lazy-split depth bookkeeping. Replaying it per populated bucket (the
+    /// set of buckets a serial build would have freshened) reproduces that
+    /// bookkeeping exactly, order-independently.
+    pub fn fill_from_partitions(
+        &mut self,
+        keys: &[u64],
+        values: Vec<V>,
+        parts: Vec<crate::partitioned::ChainPartition>,
+    ) {
+        use crate::partitioned::PART_NIL;
+        assert_eq!(keys.len(), values.len(), "one key per value");
+        assert!(
+            self.arena.is_empty(),
+            "fill_from_partitions: table not empty"
+        );
+        assert!(
+            self.directory.len() * MAX_AVG_CHAIN >= keys.len(),
+            "fill_from_partitions: reserve() the table for {} rows first",
+            keys.len()
+        );
+        let mut next_tile = 0usize;
+        let owned: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(
+            owned,
+            keys.len(),
+            "every row owned by exactly one partition"
+        );
+        // Per-row next links in arena terms (arena index == row index).
+        let mut next_global = vec![NIL; keys.len()];
+        for part in &parts {
+            assert_eq!(part.buckets.start, next_tile, "partitions must tile");
+            next_tile = part.buckets.end;
+            for (pos, &row) in part.rows.iter().enumerate() {
+                let link = part.links[pos];
+                next_global[row as usize] = if link == PART_NIL {
+                    NIL
+                } else {
+                    part.rows[link as usize]
+                };
+            }
+            for (off, &head) in part.heads.iter().enumerate() {
+                if head == PART_NIL {
+                    continue;
+                }
+                let bucket = part.buckets.start + off;
+                // Replay the serial build's insert-time freshen (empty-table
+                // bookkeeping only — chains are installed below).
+                self.freshen(bucket);
+                self.directory[bucket] = part.rows[head as usize];
+            }
+            self.distinct_keys += part.distinct;
+        }
+        assert_eq!(
+            next_tile,
+            self.directory.len(),
+            "partitions must cover the directory"
+        );
+        for (i, (&key, value)) in keys.iter().zip(values).enumerate() {
+            self.arena.push(Entry {
+                key,
+                next: next_global[i],
+                value,
+            });
+        }
+    }
+
+    /// Structural equality down to the physical layout: directory heads,
+    /// per-bucket lazy-split depths, arena order, chain links, and all
+    /// statistics. Two tables that are `layout_eq` answer every probe in the
+    /// same order, report the same footprint, and serialize identically —
+    /// the equivalence the parallel-build determinism tests pin.
+    pub fn layout_eq(&self, other: &Self) -> bool
+    where
+        V: PartialEq,
+    {
+        self.global_depth == other.global_depth
+            && self.distinct_keys == other.distinct_keys
+            && self.tuple_width == other.tuple_width
+            && self.resizes == other.resizes
+            && self.directory == other.directory
+            && self.depth == other.depth
+            && self.arena.len() == other.arena.len()
+            && self
+                .arena
+                .iter()
+                .zip(&other.arena)
+                .all(|(a, b)| a.key == b.key && a.next == b.next && a.value == b.value)
+    }
 }
 
 /// Iterator over values matching a probe key.

@@ -9,6 +9,11 @@
 //!   chains (paper §3.2.1). Resizing doubles only the bucket directory;
 //!   chains are redistributed *lazily* the next time a stale bucket is
 //!   touched, so a resize never rehashes the whole table at once.
+//! * [`partitioned`] — bucket-partitioned build primitives: per-partition
+//!   chain computation plus a serial stitch that reproduces the serial
+//!   build's layout byte for byte, so executors can parallelize the build
+//!   phase without changing collision-chain (and therefore probe output)
+//!   order.
 //! * [`calibration`] — the micro-benchmark harness behind the paper's
 //!   Figure 3: per-tuple insert / probe / update costs as a function of hash
 //!   table size (1KB…1GB) and tuple width (8B…256B), plus an interpolating
@@ -20,6 +25,8 @@
 
 pub mod calibration;
 pub mod extendible;
+pub mod partitioned;
 
 pub use calibration::{CalibrationPoint, Calibrator, CostGrid};
 pub use extendible::{ExtendibleHashTable, HtStats};
+pub use partitioned::{bucket_ranges, partition_chains, ChainPartition};

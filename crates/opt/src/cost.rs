@@ -58,6 +58,15 @@ pub struct CostParams {
     /// fan-out pays this once per worker; together with the executor's
     /// morsel-count threshold it keeps the model honest about small inputs.
     pub parallel_spawn_ns: f64,
+    /// Serial stitch/replay cost per build-input row of a partitioned
+    /// parallel build (ns): the single-threaded pass that installs the
+    /// per-partition chains (joins) or replays the structural history
+    /// (aggregates) after the workers' partition passes. It also absorbs
+    /// the per-worker full key scan of the partition phase. This is the
+    /// merge term that keeps the model honest about Amdahl's law on builds:
+    /// a parallel build never gets cheaper than `rows ·
+    /// build_merge_ns_per_row`.
+    pub build_merge_ns_per_row: f64,
 }
 
 impl Default for CostParams {
@@ -74,6 +83,7 @@ impl Default for CostParams {
             parallel_workers: 1,
             morsel_overhead_ns: 400.0,
             parallel_spawn_ns: 25_000.0,
+            build_merge_ns_per_row: 1.5,
         }
     }
 }
@@ -143,6 +153,26 @@ impl CostModel {
             + effective * self.params.parallel_spawn_ns
     }
 
+    /// Effective cost of a **partitioned parallel build** whose serial cost
+    /// is `serial_ns` over `rows` build-input rows: the per-partition chain
+    /// computation (joins) / key-partitioned folding (aggregates) divides
+    /// across workers, then a serial stitch/replay pass pays
+    /// [`CostParams::build_merge_ns_per_row`] per row, plus the per-worker
+    /// spawn+join of the scoped-thread phase. Identity for one worker or
+    /// inputs below the executor's fan-out cutoff
+    /// ([`hashstash_exec::MIN_PARALLEL_BUILD_ROWS`]) — exactly the serial
+    /// insert loop. This is what lets reuse-vs-recompute (and admission
+    /// benefit scoring) stop assuming serial `ht_inserts`.
+    pub fn parallel_build(&self, serial_ns: f64, rows: f64) -> f64 {
+        let workers = self.params.parallel_workers.max(1) as f64;
+        if workers <= 1.0 || rows < hashstash_exec::MIN_PARALLEL_BUILD_ROWS as f64 {
+            return serial_ns;
+        }
+        serial_ns / workers
+            + rows * self.params.build_merge_ns_per_row
+            + workers * self.params.parallel_spawn_ns
+    }
+
     /// The calibration grid.
     pub fn grid(&self) -> &CostGrid {
         &self.grid
@@ -173,16 +203,21 @@ impl CostModel {
     }
 
     /// `c_RHJ` for building a *fresh* join table of `build_rows` tuples of
-    /// `width` bytes and probing it with `probe_rows` tuples. The build
-    /// stays serial (insertion order defines collision-chain order, which
-    /// the deterministic probe output depends on); the probe phase fans out.
+    /// `width` bytes and probing it with `probe_rows` tuples. The build is
+    /// priced as a partitioned parallel build ([`Self::parallel_build`]):
+    /// workers derive disjoint bucket partitions of the serial chain order
+    /// and a serial stitch installs them, so determinism costs a merge term
+    /// rather than serialization. The probe phase fans out over morsels.
     pub fn rhj_fresh(&self, build_rows: f64, width: f64, probe_rows: f64) -> f64 {
         let size = self.ht_size(build_rows, width);
         let resize = (build_rows / 2.0) * self.params.resize_ns_per_slot;
-        let build = build_rows
-            * self
-                .grid
-                .cost_ns(HtOp::Insert, size as usize, width as usize);
+        let build = self.parallel_build(
+            build_rows
+                * self
+                    .grid
+                    .cost_ns(HtOp::Insert, size as usize, width as usize),
+            build_rows,
+        );
         let probe = self.parallel(
             probe_rows
                 * self
@@ -199,6 +234,11 @@ impl CostModel {
     /// * `probe_rows` — probe-side input size.
     /// * `expected_matches` — estimated probe matches (drives post-filter
     ///   cost when the candidate carries overhead tuples).
+    ///
+    /// The delta insert of a mutating reuse is priced *serially* on
+    /// purpose: the executor keeps delta inserts on the serial path (they
+    /// extend a table with existing chain history, which the partitioned
+    /// build cannot reproduce), so the model must not discount them.
     pub fn rhj_reuse(
         &self,
         cand: &CandidateShape,
@@ -251,7 +291,10 @@ impl CostModel {
     }
 
     /// `c_RHA` for a *fresh* aggregation of `input_rows` tuples with
-    /// `distinct_groups` groups of `width`-byte states.
+    /// `distinct_groups` groups of `width`-byte states. The fold (inserts +
+    /// updates) is priced as a partitioned parallel build over the input
+    /// rows ([`Self::parallel_build`]): key-partitioned workers fold groups
+    /// in global row order, a serial replay pass reconstructs the table.
     pub fn rha_fresh(&self, input_rows: f64, distinct_groups: f64, width: f64) -> f64 {
         let groups = distinct_groups.min(input_rows).max(1.0);
         let size = self.ht_size(groups, width);
@@ -264,7 +307,7 @@ impl CostModel {
             * self
                 .grid
                 .cost_ns(HtOp::Update, size as usize, width as usize);
-        resize + insert + update
+        resize + self.parallel_build(insert + update, input_rows)
     }
 
     /// `c_RHA` when reusing a candidate aggregate table: only the missing
@@ -510,6 +553,54 @@ mod tests {
                 < par.rhj_fresh(100_000.0, 32.0, 1_000_000.0),
             "exact reuse still wins under parallel pricing"
         );
+    }
+
+    #[test]
+    fn parallel_build_pricing() {
+        let serial = model();
+        let one = CostModel::synthetic().with_parallelism(1);
+        let par = CostModel::synthetic().with_parallelism(4);
+        // One worker reproduces the serial model exactly, builds included.
+        assert_eq!(
+            one.rhj_fresh(100_000.0, 32.0, 0.0),
+            serial.rhj_fresh(100_000.0, 32.0, 0.0)
+        );
+        assert_eq!(
+            one.rha_fresh(1_000_000.0, 50_000.0, 64.0),
+            serial.rha_fresh(1_000_000.0, 50_000.0, 64.0)
+        );
+        // Big builds get cheaper with workers…
+        assert!(par.rhj_fresh(100_000.0, 32.0, 0.0) < serial.rhj_fresh(100_000.0, 32.0, 0.0));
+        assert!(
+            par.rha_fresh(1_000_000.0, 50_000.0, 64.0)
+                < serial.rha_fresh(1_000_000.0, 50_000.0, 64.0)
+        );
+        // …but below the executor's fan-out cutoff pricing stays serial…
+        let small = (hashstash_exec::MIN_PARALLEL_BUILD_ROWS - 1) as f64;
+        assert_eq!(
+            par.rhj_fresh(small, 32.0, 0.0),
+            serial.rhj_fresh(small, 32.0, 0.0)
+        );
+        // …and the serial stitch pass bounds the speedup (Amdahl).
+        assert!(
+            par.parallel_build(1e9, 100_000.0) >= 100_000.0 * par.params().build_merge_ns_per_row
+        );
+    }
+
+    #[test]
+    fn admission_benefit_reflects_parallel_build() {
+        // A future reuse saves a *parallel* build on a parallel engine, so
+        // the admission benefit must shrink with workers (same footprint).
+        let serial = model();
+        let par = CostModel::synthetic().with_parallelism(4);
+        let s = serial.admission_score_join(100_000.0, 32.0);
+        let p = par.admission_score_join(100_000.0, 32.0);
+        assert!(p.predicted_benefit_ns < s.predicted_benefit_ns);
+        assert_eq!(p.predicted_bytes, s.predicted_bytes);
+        let s = serial.admission_score_agg(1_000_000.0, 50_000.0, 64.0);
+        let p = par.admission_score_agg(1_000_000.0, 50_000.0, 64.0);
+        assert!(p.predicted_benefit_ns < s.predicted_benefit_ns);
+        assert_eq!(p.predicted_bytes, s.predicted_bytes);
     }
 
     #[test]

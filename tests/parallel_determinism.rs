@@ -3,6 +3,13 @@
 //! — scans, fresh joins, aggregates, exact/subsuming/partial reuse and
 //! shared plans — at any worker count. Plus a stress test running parallel
 //! queries concurrently with cache eviction under a tight GC budget.
+//!
+//! The `*_build_phase_*` tests use build sides large enough to cross the
+//! partitioned-build fan-out threshold
+//! ([`hashstash_exec::MIN_PARALLEL_BUILD_ROWS`]), so they pin the *build*
+//! phase end to end: parallel-built tables must publish with identical
+//! lineage, statistics and footprint, dedup identically, and serve
+//! exact/subsuming/partial reuse with byte-identical results.
 
 use std::sync::Arc;
 
@@ -17,8 +24,8 @@ use hashstash_plan::{
     AggExpr, AggFunc, HtFingerprint, HtKind, Interval, PredBox, QueryBuilder, Region, ReuseCase,
 };
 use hashstash_storage::tpch::{generate, TpchConfig};
-use hashstash_storage::Catalog;
-use hashstash_types::{Row, Schema, Value};
+use hashstash_storage::{Catalog, TableBuilder};
+use hashstash_types::{DataType, Row, Schema, Value};
 
 fn catalog() -> Catalog {
     generate(TpchConfig::new(0.01, 99))
@@ -257,6 +264,397 @@ fn parallel_shared_plan_matches_serial() {
         let (rows, metrics) = run(workers);
         assert_eq!(rows, serial_rows, "{workers} workers");
         assert_eq!(metrics, serial_metrics, "{workers} workers");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Build-phase coverage: build sides above MIN_PARALLEL_BUILD_ROWS, so the
+// partitioned parallel build actually engages at workers > 1.
+// ---------------------------------------------------------------------------
+
+/// Synthetic star schema with a build side (12k dim rows) well above the
+/// partitioned-build threshold, a float measure (so aggregate accumulation
+/// order is observable bit for bit) and fact fan-out 2.
+fn big_catalog() -> Catalog {
+    let n = 12_000i64;
+    let mut cat = Catalog::new();
+    let mut d = TableBuilder::new(
+        "dim",
+        vec![
+            ("d_key", DataType::Int),
+            ("d_attr", DataType::Int),
+            ("d_val", DataType::Float),
+        ],
+    );
+    for i in 0..n {
+        d.push_row(vec![
+            Value::Int(i),
+            Value::Int(i % 797),
+            Value::float((i % 101) as f64 * 0.25 - 7.5),
+        ]);
+    }
+    cat.register(d.finish());
+    let mut f = TableBuilder::new("fact", vec![("f_key", DataType::Int)]);
+    for i in 0..n * 2 {
+        f.push_row(vec![Value::Int((i * 7) % n)]);
+    }
+    cat.register(f.finish());
+    cat
+}
+
+fn dim_join_fp(lo: i64, hi: i64) -> HtFingerprint {
+    HtFingerprint {
+        kind: HtKind::JoinBuild,
+        tables: std::iter::once(Arc::from("dim")).collect(),
+        edges: vec![],
+        region: Region::from_box(PredBox::all().with(
+            "dim.d_key",
+            Interval::closed(Value::Int(lo), Value::Int(hi)),
+        )),
+        key_attrs: vec![Arc::from("dim.d_key")],
+        payload_attrs: vec![Arc::from("dim.d_key"), Arc::from("dim.d_attr")],
+        aggregates: vec![],
+        tagged: false,
+    }
+}
+
+fn dim_filtered_scan(lo: i64, hi: i64) -> PhysicalPlan {
+    PhysicalPlan::Scan(
+        ScanSpec::filtered(
+            "dim",
+            PredBox::all().with(
+                "dim.d_key",
+                Interval::closed(Value::Int(lo), Value::Int(hi)),
+            ),
+        )
+        .project(&["dim.d_key", "dim.d_attr"]),
+    )
+}
+
+fn dim_join(
+    build: Option<PhysicalPlan>,
+    reuse: Option<ReuseSpec>,
+    fp: Option<HtFingerprint>,
+) -> PhysicalPlan {
+    PhysicalPlan::HashJoin {
+        probe: Box::new(scan_all("fact")),
+        build: build.map(Box::new),
+        probe_key: "fact.f_key".into(),
+        build_key: "dim.d_key".into(),
+        reuse,
+        publish: fp,
+    }
+}
+
+/// Everything a worker-count run of the build-heavy sequence observes:
+/// per-plan outputs + metrics, the published tables' lineage/statistics,
+/// and the cache counters (publishes, dedups, reuses).
+struct BuildRun {
+    results: Vec<(Schema, Vec<Row>, ExecMetrics)>,
+    join_stats: (usize, usize, usize, usize),
+    join_region: Region,
+    agg_stats: (usize, usize, usize, usize),
+    agg_region: Region,
+    cache: hashstash_cache::CacheStats,
+}
+
+/// Build-bound sequence: fresh parallel-built join publish, an
+/// identical-lineage re-publish (dedup), exact / subsuming / partial reuse
+/// of the parallel-built table, a fresh parallel-built aggregate publish
+/// (float sums), and an exact aggregate reuse.
+fn run_build_sequence(cat: &Catalog, parallelism: usize) -> BuildRun {
+    let htm = HtManager::unbounded();
+    let temps = TempTableCache::unbounded();
+    let mut results = Vec::new();
+    let mut run = |plan: &PhysicalPlan| {
+        let mut ctx = ExecContext::new(cat, &htm, &temps).with_parallelism(parallelism);
+        let (schema, rows) = execute(plan, &mut ctx).expect("plan executes");
+        results.push((schema, rows, ctx.metrics));
+    };
+
+    // 1. Fresh join: 8001-row build side (parallel build at workers > 1),
+    //    published.
+    let fp = dim_join_fp(0, 8000);
+    run(&dim_join(
+        Some(dim_filtered_scan(0, 8000)),
+        None,
+        Some(fp.clone()),
+    ));
+    let cand = htm.candidates(&fp).remove(0);
+
+    // 2. Identical-lineage re-publish: the parallel-built table must dedup
+    //    against the cached one exactly like a serially built table.
+    run(&dim_join(
+        Some(dim_filtered_scan(0, 8000)),
+        None,
+        Some(fp.clone()),
+    ));
+
+    // 3. Exact reuse of the parallel-built table.
+    run(&dim_join(
+        None,
+        Some(ReuseSpec {
+            id: cand.id,
+            case: ReuseCase::Exact,
+            post_filter: None,
+            request_region: fp.region.clone(),
+            cached_region: fp.region.clone(),
+            schema: cand.schema.clone(),
+        }),
+        None,
+    ));
+
+    // 4. Subsuming reuse: post-filter the parallel-built table to d_key
+    //    [2000, 6000].
+    let narrow = PredBox::all().with(
+        "dim.d_key",
+        Interval::closed(Value::Int(2000), Value::Int(6000)),
+    );
+    run(&dim_join(
+        None,
+        Some(ReuseSpec {
+            id: cand.id,
+            case: ReuseCase::Subsuming,
+            post_filter: Some(narrow.clone()),
+            request_region: Region::from_box(narrow),
+            cached_region: fp.region.clone(),
+            schema: cand.schema.clone(),
+        }),
+        None,
+    ));
+
+    // 5. Partial (mutating) reuse: widen to [0, 10000] — the serial delta
+    //    insert extends the parallel-built chain history.
+    let request = Region::from_box(PredBox::all().with(
+        "dim.d_key",
+        Interval::closed(Value::Int(0), Value::Int(10_000)),
+    ));
+    let delta = request.difference(&fp.region);
+    run(&dim_join(
+        Some(PhysicalPlan::Scan(ScanSpec {
+            table: "dim".into(),
+            region: delta,
+            projection: vec!["dim.d_key".into(), "dim.d_attr".into()],
+        })),
+        Some(ReuseSpec {
+            id: cand.id,
+            case: ReuseCase::Partial,
+            post_filter: None,
+            request_region: request,
+            cached_region: fp.region.clone(),
+            schema: cand.schema.clone(),
+        }),
+        None,
+    ));
+
+    // 6. Fresh aggregate: 12k input rows (parallel grouped build), float
+    //    sums whose accumulation order is observable, published.
+    let aggs = vec![
+        AggExpr::new(AggFunc::Sum, "dim.d_val"),
+        AggExpr::new(AggFunc::Count, "dim.d_key"),
+    ];
+    let agg_fp = HtFingerprint {
+        kind: HtKind::Aggregate,
+        tables: std::iter::once(Arc::from("dim")).collect(),
+        edges: vec![],
+        region: Region::all(),
+        key_attrs: vec![Arc::from("dim.d_attr")],
+        payload_attrs: vec![Arc::from("dim.d_attr")],
+        aggregates: aggs.clone(),
+        tagged: false,
+    };
+    let agg_plan = |reuse: Option<ReuseSpec>, publish: Option<HtFingerprint>, input: bool| {
+        PhysicalPlan::HashAggregate {
+            input: input.then(|| Box::new(scan_all("dim"))),
+            group_by: vec!["dim.d_attr".into()],
+            aggs: aggs.clone(),
+            output_aggs: vec![OutputAgg::Direct(0), OutputAgg::Direct(1)],
+            reuse,
+            publish,
+            post_group_by: None,
+        }
+    };
+    run(&agg_plan(None, Some(agg_fp.clone()), true));
+    let agg_cand = htm.candidates(&agg_fp).remove(0);
+
+    // 7. Exact reuse of the parallel-built aggregate.
+    run(&agg_plan(
+        Some(ReuseSpec {
+            id: agg_cand.id,
+            case: ReuseCase::Exact,
+            post_filter: None,
+            request_region: Region::all(),
+            cached_region: agg_cand.fingerprint.region.clone(),
+            schema: agg_cand.schema.clone(),
+        }),
+        None,
+        false,
+    ));
+
+    let jc = htm.candidates(&fp).remove(0);
+    let ac = htm.candidates(&agg_fp).remove(0);
+    BuildRun {
+        results,
+        join_stats: (jc.entries, jc.distinct_keys, jc.tuple_width, jc.bytes),
+        join_region: jc.fingerprint.region.clone(),
+        agg_stats: (ac.entries, ac.distinct_keys, ac.tuple_width, ac.bytes),
+        agg_region: ac.fingerprint.region.clone(),
+        cache: htm.stats(),
+    }
+}
+
+/// The build phase end to end: a parallel build must change *nothing*
+/// observable — rows, order, metrics, published lineage and statistics,
+/// dedup and reuse behavior — relative to the serial interpreter.
+#[test]
+fn parallel_build_phase_matches_serial_end_to_end() {
+    let cat = big_catalog();
+    let serial = run_build_sequence(&cat, 1);
+    assert!(
+        serial.cache.publish_dedups >= 1,
+        "the identical-lineage re-publish must dedup"
+    );
+    for workers in [4, 8] {
+        let parallel = run_build_sequence(&cat, workers);
+        assert_eq!(parallel.results.len(), serial.results.len());
+        for (i, ((ss, sr, sm), (ps, pr, pm))) in
+            serial.results.iter().zip(&parallel.results).enumerate()
+        {
+            assert_eq!(ps, ss, "plan {i}, {workers} workers: schema");
+            assert_eq!(pr, sr, "plan {i}, {workers} workers: rows (unsorted)");
+            assert_eq!(pm, sm, "plan {i}, {workers} workers: metrics");
+        }
+        assert_eq!(
+            parallel.join_stats, serial.join_stats,
+            "{workers} workers: published join table statistics"
+        );
+        assert_eq!(
+            parallel.agg_stats, serial.agg_stats,
+            "{workers} workers: published aggregate statistics"
+        );
+        assert!(
+            parallel.join_region.set_eq(&serial.join_region),
+            "{workers} workers: join lineage region"
+        );
+        assert!(
+            parallel.agg_region.set_eq(&serial.agg_region),
+            "{workers} workers: aggregate lineage region"
+        );
+        assert_eq!(
+            parallel.cache, serial.cache,
+            "{workers} workers: cache counters (publishes/dedups/reuses/bytes)"
+        );
+    }
+}
+
+/// Shared plans with a build side above the fan-out threshold: the tagged
+/// table is parallel-built in batch 1, published, then *reused with
+/// re-tagging* by batch 2 — results and metrics must match the serial
+/// interpreter at every worker count.
+#[test]
+fn parallel_shared_build_phase_matches_serial() {
+    let cat = big_catalog();
+    let mk_query = |id: u32, lo: i64, hi: i64| {
+        QueryBuilder::new(id)
+            .join("dim", "dim.d_key", "fact", "fact.f_key")
+            .filter(
+                "dim.d_attr",
+                Interval::closed(Value::Int(lo), Value::Int(hi)),
+            )
+            .group_by("dim.d_attr")
+            .agg(AggExpr::new(AggFunc::Count, "fact.f_key"))
+            .build()
+            .unwrap()
+    };
+    let mk_spec = |queries: Vec<hashstash_plan::QuerySpec>,
+                   reuse: Option<hashstash_exec::SharedReuse>,
+                   publish: Option<HtFingerprint>| {
+        let outputs = queries
+            .iter()
+            .map(|q| SharedOutput::Aggregate {
+                group_spec: 0,
+                aggs: q.aggregates.clone(),
+            })
+            .collect();
+        SharedPlanSpec {
+            queries,
+            driver: "fact".into(),
+            driver_attrs: vec!["fact.f_key".into()],
+            steps: vec![SharedJoinStep {
+                table: "dim".into(),
+                probe_attr: "fact.f_key".into(),
+                build_key: "dim.d_key".into(),
+                payload: vec!["dim.d_key".into(), "dim.d_attr".into()],
+                reuse,
+                publish,
+            }],
+            group_specs: vec![SharedGroupSpec {
+                group_by: vec!["dim.d_attr".into()],
+                stored_attrs: vec!["dim.d_attr".into(), "fact.f_key".into()],
+                reuse: None,
+                publish: None,
+            }],
+            outputs,
+        }
+    };
+    let tagged_fp = HtFingerprint {
+        tagged: true,
+        region: Region::from_box(PredBox::all().with(
+            "dim.d_attr",
+            Interval::closed(Value::Int(0), Value::Int(750)),
+        )),
+        ..dim_join_fp(0, 0)
+    };
+    let run = |parallelism: usize| {
+        let htm = HtManager::unbounded();
+        let temps = TempTableCache::unbounded();
+        // Batch 1: wide predicates → >11k-row tagged build, published.
+        let spec1 = mk_spec(
+            vec![mk_query(1, 0, 500), mk_query(2, 250, 750)],
+            None,
+            Some(tagged_fp.clone()),
+        );
+        let mut ctx = ExecContext::new(&cat, &htm, &temps).with_parallelism(parallelism);
+        let r1 = execute_shared(&spec1, &mut ctx).unwrap();
+        let cand = htm.candidates(&tagged_fp).remove(0);
+        // Batch 2: subsuming reuse of the parallel-built tagged table, with
+        // the mandatory re-tag pass.
+        let request = Region::from_box(PredBox::all().with(
+            "dim.d_attr",
+            Interval::closed(Value::Int(100), Value::Int(600)),
+        ));
+        let spec2 = mk_spec(
+            vec![mk_query(10, 100, 400), mk_query(11, 300, 600)],
+            Some(hashstash_exec::SharedReuse {
+                id: cand.id,
+                case: ReuseCase::Subsuming,
+                delta_region: Region::empty(),
+                request_region: request,
+                cached_region: tagged_fp.region.clone(),
+            }),
+            None,
+        );
+        let r2 = execute_shared(&spec2, &mut ctx).unwrap();
+        let out: Vec<_> = r1
+            .into_iter()
+            .chain(r2)
+            .map(|r| (r.query, r.schema, r.rows))
+            .collect();
+        (
+            out,
+            ctx.metrics,
+            (cand.entries, cand.distinct_keys, cand.bytes),
+        )
+    };
+    let (serial_out, serial_metrics, serial_cand) = run(1);
+    for workers in [4, 8] {
+        let (out, metrics, cand) = run(workers);
+        assert_eq!(out, serial_out, "{workers} workers");
+        assert_eq!(metrics, serial_metrics, "{workers} workers");
+        assert_eq!(
+            cand, serial_cand,
+            "{workers} workers: published tagged table stats"
+        );
     }
 }
 
