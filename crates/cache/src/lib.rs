@@ -39,5 +39,5 @@ pub use payload::{AggAccum, AggPayload, MaterializedRows, StoredHt, TaggedRow};
 pub use recycle::RecycleGraph;
 pub use store::{
     CacheStats, Checkout, EvictionPolicy, GcConfig, ReuseBudget, ReusePayload, ReuseStore,
-    StoreCandidate, StoreId, DEFAULT_SHARDS,
+    SnapshotEntry, StoreCandidate, StoreId, DEFAULT_SHARDS,
 };

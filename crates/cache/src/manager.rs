@@ -37,7 +37,7 @@ use hashstash_types::{HtId, Result, Schema};
 use hashstash_plan::HtFingerprint;
 
 use crate::payload::StoredHt;
-use crate::store::{Checkout, ReuseBudget, ReuseStore, StoreCandidate};
+use crate::store::{Checkout, ReuseBudget, ReuseStore, SnapshotEntry, StoreCandidate};
 
 pub use crate::store::{CacheStats, EvictionPolicy, GcConfig, DEFAULT_SHARDS};
 
@@ -223,6 +223,13 @@ impl HtManager {
     /// `fine_grained` mode stamped it). For tests and GC experiments.
     pub fn entry_stamps(&self, id: HtId) -> Result<Option<Vec<u64>>> {
         self.store.entry_stamps(id)
+    }
+
+    /// Stats-neutral snapshot of every available table for persistence —
+    /// see [`ReuseStore::snapshot_entries`]. Does not pin entries or touch
+    /// LRU/use counters; writer-held tables are skipped.
+    pub fn snapshot_entries(&self) -> Vec<SnapshotEntry<HtId, StoredHt>> {
+        self.store.snapshot_entries()
     }
 
     /// Aggregate statistics snapshot.

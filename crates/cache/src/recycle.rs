@@ -56,6 +56,37 @@ impl ShapeKey {
             keys,
         }
     }
+
+    /// A process- and version-stable 64-bit hash of the shape.
+    ///
+    /// Shard routing must not depend on `RandomState` seeds or on the std
+    /// hasher's (unspecified, version-dependent) algorithm: warm restart
+    /// re-publishes persisted entries in a *new* process, and the golden
+    /// shard-routing test pins this value, so the hash is FNV-1a over an
+    /// unambiguous field encoding (each component terminated by `\0`, which
+    /// cannot occur in table/column names).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes.iter().chain(std::iter::once(&0u8)) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.kind.as_bytes());
+        for t in &self.tables {
+            eat(t.as_bytes());
+        }
+        eat(b"|");
+        for e in &self.edges {
+            eat(e.as_bytes());
+        }
+        eat(b"|");
+        for k in &self.keys {
+            eat(k.as_bytes());
+        }
+        h
+    }
 }
 
 /// One node of the recycle graph: a materializing operator plus the cached

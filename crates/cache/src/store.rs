@@ -21,10 +21,9 @@
 //! `hashstash_exec::temp::TempTableCache`) only add their payload type and
 //! id newtype on top.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
 
@@ -547,6 +546,27 @@ pub struct StoreCandidate<Id, P> {
     pub payload: Arc<P>,
 }
 
+/// One entry as seen by a stats-neutral persistence snapshot
+/// ([`ReuseStore::snapshot_entries`]): the payload handle plus the
+/// bookkeeping the snapshot writer scores admission with.
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry<Id, P> {
+    /// Cache id at snapshot time (ids are *not* stable across restarts —
+    /// rehydration re-publishes and obtains fresh ids).
+    pub id: Id,
+    /// Lineage of the entry.
+    pub fingerprint: HtFingerprint,
+    /// Payload schema.
+    pub schema: Schema,
+    /// Shared payload handle (a clone of the cache's `Arc`).
+    pub payload: Arc<P>,
+    /// Logical footprint in bytes.
+    pub bytes: usize,
+    /// How often the entry was checked out — the numerator of the
+    /// benefit-per-byte persistence score.
+    pub use_count: u64,
+}
+
 #[derive(Debug)]
 struct ShardState<Id, P> {
     entries: HashMap<Id, StoreEntry<P>>,
@@ -585,11 +605,12 @@ impl<Id: StoreId, P: ReusePayload> StoreInner<Id, P> {
     }
 
     /// Shard owning tables of this fingerprint's shape (and the shape's
-    /// recycle-graph slice).
+    /// recycle-graph slice). Routed by [`ShapeKey::stable_hash`] — not a
+    /// `RandomState`-seeded std hasher — so the same shape lands on the
+    /// same shard in every process, which the durability layer's golden
+    /// shard-routing test pins for warm restarts.
     fn shard_of_shape(&self, fp: &HtFingerprint) -> usize {
-        let mut h = DefaultHasher::new();
-        ShapeKey::of(fp).hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
+        (ShapeKey::of(fp).stable_hash() as usize) % self.shards.len()
     }
 
     /// Shard an id was homed in at publish time (encoded in the id).
@@ -887,6 +908,42 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
                     .iter()
                     .map(|(&id, e)| (id, e.fingerprint.clone())),
             );
+        }
+        out
+    }
+
+    /// Stats-neutral snapshot of every available entry, for persistence.
+    ///
+    /// Clones each entry's shared payload handle under its shard lock —
+    /// the same race-safety a shared checkout relies on (base handles are
+    /// immutable; mutating reuse replaces the `Arc` at check-in, so a
+    /// snapshot taken concurrently sees either the old or the new version,
+    /// both internally consistent). Unlike a checkout it does **not** bump
+    /// `use_count`, LRU stamps or the `reuses` counter, does not pin the
+    /// entry, and is invisible to cache statistics. Entries held for
+    /// in-place mutation or by an exclusive writer are skipped (their
+    /// pristine payload may no longer exist).
+    pub fn snapshot_entries(&self) -> Vec<SnapshotEntry<Id, P>> {
+        let inner = &self.inner;
+        let mut out = Vec::new();
+        for (si, _) in inner.shards.iter().enumerate() {
+            let state = inner.lock_shard(si);
+            for (&id, e) in &state.entries {
+                let Slot::Present(payload) = &e.slot else {
+                    continue;
+                };
+                if e.writer {
+                    continue;
+                }
+                out.push(SnapshotEntry {
+                    id,
+                    fingerprint: e.fingerprint.clone(),
+                    schema: e.schema.clone(),
+                    payload: Arc::clone(payload),
+                    bytes: e.bytes,
+                    use_count: e.use_count,
+                });
+            }
         }
         out
     }

@@ -31,12 +31,16 @@
 //! println!("{} rows in {:?}", result.rows.len(), result.wall_time);
 //! ```
 
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use hashstash_types::{HsError, QueryId, Result, Row, Schema};
 
 use hashstash_cache::{CacheStats, GcConfig, HtManager, ReuseBudget, DEFAULT_SHARDS};
+use hashstash_durability::{
+    benefit_score, Durability, DurabilityConfig, FsyncPolicy, PersistedEntry, PersistedPayload,
+};
 use hashstash_exec::shared::execute_shared;
 use hashstash_exec::{
     acquire_plan_checkouts, execute, ExecContext, ExecMetrics, TempTableCache, TempTableStats,
@@ -165,6 +169,9 @@ pub struct EngineBuilder {
     benefit_epsilon: f64,
     calibrate: bool,
     parallelism: usize,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    persist_min_benefit: f64,
 }
 
 impl EngineBuilder {
@@ -180,6 +187,9 @@ impl EngineBuilder {
             benefit_epsilon: 0.1,
             calibrate: false,
             parallelism: hashstash_exec::engine_default_parallelism(),
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
+            persist_min_benefit: 0.0,
         }
     }
 
@@ -273,10 +283,96 @@ impl EngineBuilder {
         self
     }
 
+    /// Make the database durable under `path`, and recover whatever a
+    /// previous incarnation left there.
+    ///
+    /// # Recovery
+    ///
+    /// When `path` holds prior history, the *recovered* catalog (newest
+    /// valid snapshot + WAL replay) wins over the catalog passed to
+    /// [`Database::builder`]. On first boot the builder's catalog is
+    /// authoritative and every table is logged to the WAL before the
+    /// database opens. Persisted reuse-cache entries are **rehydrated** by
+    /// re-publishing them through the caches' normal admission path, so
+    /// budgets, shard accounting and `stats == audit()` hold exactly as if
+    /// the entries had been built by queries.
+    ///
+    /// # Crash vs clean exit
+    ///
+    /// A *clean* exit — [`Database::flush`] or simply dropping the last
+    /// handle — writes a snapshot, rotates the WAL and fsyncs, so restart
+    /// recovers everything including the torn-tail-free WAL. A *crash*
+    /// recovers the newest valid snapshot plus every WAL record the
+    /// configured [`EngineBuilder::fsync`] policy had made durable; a
+    /// half-written ("torn") final record is detected by CRC and truncated,
+    /// never fatal. Recovery therefore always yields a prefix of history.
+    pub fn data_dir(mut self, path: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(path.into());
+        self
+    }
+
+    /// WAL fsync policy (`none | interval | always`); see
+    /// [`FsyncPolicy`]. Only meaningful with [`EngineBuilder::data_dir`].
+    /// Default: [`FsyncPolicy::Interval`].
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Minimum benefit-per-byte score ([`benefit_score`]: checkouts per
+    /// KiB) a cache entry must clear to be persisted by snapshots. The
+    /// default `0.0` persists every entry; any bar `> 0` drops entries that
+    /// were never reused. Only meaningful with
+    /// [`EngineBuilder::data_dir`].
+    pub fn persist_min_benefit(mut self, bar: f64) -> Self {
+        self.persist_min_benefit = bar;
+        self
+    }
+
     /// Construct the database. Returns an [`Arc`] so sessions — possibly on
     /// other threads — can share it immediately.
+    ///
+    /// Panics if [`EngineBuilder::data_dir`] recovery hits an I/O error;
+    /// use [`EngineBuilder::try_build`] to handle that gracefully.
     pub fn build(self) -> Arc<Database> {
-        let stats = DbStats::from_catalog(&self.catalog);
+        self.try_build().expect("engine build failed")
+    }
+
+    /// Construct the database, surfacing durability I/O errors instead of
+    /// panicking. Identical to [`EngineBuilder::build`] when no
+    /// [`EngineBuilder::data_dir`] is configured (in-memory engines cannot
+    /// fail to build).
+    pub fn try_build(self) -> Result<Arc<Database>> {
+        // Durable engines recover the data directory first: the recovered
+        // catalog wins over the builder's when prior history exists; on
+        // first boot the builder's tables are logged to the WAL so a crash
+        // before the first snapshot still recovers them.
+        let (durability, catalog, recovered) = match self.data_dir {
+            Some(dir) => {
+                let (d, rec) = Durability::open(DurabilityConfig {
+                    dir,
+                    fsync: self.fsync,
+                    persist_min_benefit: self.persist_min_benefit,
+                })
+                .map_err(dur_err)?;
+                if rec.catalog.is_empty() {
+                    for name in self.catalog.table_names() {
+                        let table = self
+                            .catalog
+                            .get(name)
+                            .expect("table_names returned a missing table");
+                        d.log_table_load(&table).map_err(dur_err)?;
+                    }
+                    d.sync().map_err(dur_err)?;
+                    (Some(d), self.catalog, rec.entries)
+                } else {
+                    (Some(d), rec.catalog, rec.entries)
+                }
+            }
+            None => (None, self.catalog, Vec::new()),
+        };
+
+        let stats = DbStats::from_catalog(&catalog);
         let cost = if self.calibrate {
             CostModel::new(
                 hashstash_hashtable::Calibrator::default().run(),
@@ -297,8 +393,8 @@ impl EngineBuilder {
             gc.budget_bytes = Some(gc.budget_bytes.map_or(t, |b| b.saturating_add(t)));
         }
         let budget = ReuseBudget::new(gc);
-        Arc::new(Database {
-            catalog: self.catalog,
+        let db = Arc::new(Database {
+            catalog,
             stats,
             cost,
             policy: self.policy,
@@ -311,7 +407,23 @@ impl EngineBuilder {
             temps: TempTableCache::with_budget(Arc::clone(&budget), DEFAULT_SHARDS),
             budget,
             totals: Mutex::new(SessionStats::default()),
-        })
+            durability,
+        });
+        // Warm restart: re-publish persisted entries through the caches'
+        // normal admission path, so budget enforcement, shard accounting
+        // and the stats == audit() invariant hold by construction. Entries
+        // get fresh ids (cache ids are never stable across restarts).
+        for entry in recovered {
+            match entry.payload {
+                PersistedPayload::Ht(ht) => {
+                    db.htm.publish(entry.fingerprint, entry.schema, ht);
+                }
+                PersistedPayload::Temp(rows) => {
+                    db.temps.publish(entry.fingerprint, entry.schema, rows);
+                }
+            }
+        }
+        Ok(db)
     }
 }
 
@@ -333,6 +445,12 @@ pub struct Database {
     temps: TempTableCache,
     budget: Arc<ReuseBudget>,
     totals: Mutex<SessionStats>,
+    durability: Option<Durability>,
+}
+
+/// Map a durability I/O error into the engine's error type.
+fn dur_err(e: std::io::Error) -> HsError {
+    HsError::Config(format!("durability: {e}"))
 }
 
 impl Database {
@@ -416,6 +534,71 @@ impl Database {
         f(&self.htm)
     }
 
+    /// Whether this database persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The WAL fsync policy in effect (`None` for in-memory databases).
+    pub fn fsync_policy(&self) -> Option<hashstash_durability::FsyncPolicy> {
+        self.durability.as_ref().map(|d| d.fsync_policy())
+    }
+
+    /// Persist the current state: write a snapshot of the catalog plus
+    /// every reuse-cache entry whose benefit-per-byte clears the
+    /// [`EngineBuilder::persist_min_benefit`] bar, rotate to a fresh WAL
+    /// segment, and delete superseded files. No-op (returns `Ok`) for
+    /// in-memory databases.
+    ///
+    /// # Clean-exit contract
+    ///
+    /// After a successful `flush` the data directory contains exactly one
+    /// snapshot and one empty WAL segment — no torn tail is possible, and
+    /// the next [`EngineBuilder::data_dir`] boot recovers the full catalog
+    /// and the persisted cache subset. Dropping the last `Arc<Database>`
+    /// calls `flush` best-effort (errors swallowed — a dropping database
+    /// has nowhere to report them); call `flush` explicitly when you need
+    /// the error.
+    ///
+    /// Snapshotting is safe against live queries: entries are cloned under
+    /// the caches' shard locks via the same guards that protect checkout,
+    /// and entries currently write-locked (mid-mutation) are skipped —
+    /// they re-qualify at the next flush.
+    pub fn flush(&self) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let bar = d.persist_min_benefit();
+        let mut entries = Vec::new();
+        for e in self.htm.snapshot_entries() {
+            let score = benefit_score(e.use_count, e.bytes);
+            if score >= bar {
+                entries.push(PersistedEntry {
+                    fingerprint: e.fingerprint,
+                    schema: e.schema,
+                    use_count: e.use_count,
+                    bytes: e.bytes as u64,
+                    score,
+                    payload: PersistedPayload::Ht((*e.payload).clone()),
+                });
+            }
+        }
+        for e in self.temps.snapshot_entries() {
+            let score = benefit_score(e.use_count, e.bytes);
+            if score >= bar {
+                entries.push(PersistedEntry {
+                    fingerprint: e.fingerprint,
+                    schema: e.schema,
+                    use_count: e.use_count,
+                    bytes: e.bytes as u64,
+                    score,
+                    payload: PersistedPayload::Temp(e.payload.rows().to_vec()),
+                });
+            }
+        }
+        d.flush_snapshot(&self.catalog, &entries).map_err(dur_err)
+    }
+
     fn optimizer_config(&self, policy: &Arc<dyn ReusePolicy>) -> OptimizerConfig {
         OptimizerConfig {
             policy: Arc::clone(policy),
@@ -431,6 +614,17 @@ impl Database {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .record(queries, wall, optimize, m);
+    }
+}
+
+impl Drop for Database {
+    /// Best-effort flush on clean exit, so simply letting the last handle
+    /// go out of scope leaves no torn WAL tail. Errors are swallowed here;
+    /// call [`Database::flush`] explicitly to observe them.
+    fn drop(&mut self) {
+        if self.durability.is_some() {
+            let _ = self.flush();
+        }
     }
 }
 
@@ -991,6 +1185,47 @@ mod tests {
             parallel.cache_stats().reuses > 0,
             "reuse survives parallelism"
         );
+    }
+
+    /// Durable lifecycle: build with a data dir, run queries, drop (clean
+    /// exit flush), rebuild from the same dir with an *empty* catalog —
+    /// the recovered catalog wins and the warmed cache serves reuse on the
+    /// very first query.
+    #[test]
+    fn durable_restart_rehydrates_the_cache() {
+        let dir = std::env::temp_dir().join(format!("hashstash-core-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::builder(catalog()).data_dir(&dir).build();
+            assert!(db.is_durable());
+            assert_eq!(
+                db.fsync_policy(),
+                Some(hashstash_durability::FsyncPolicy::Interval)
+            );
+            let mut session = db.session();
+            session.execute(&q3(1, "1996-06-01")).unwrap();
+            session.execute(&q3(2, "1996-01-01")).unwrap();
+            assert!(db.cache_stats().publishes > 0);
+            db.flush().unwrap();
+        } // Drop flushes again, harmlessly.
+        let db = Database::builder(Catalog::new()).data_dir(&dir).build();
+        assert_eq!(db.catalog().len(), catalog().len(), "catalog recovered");
+        assert!(
+            db.cache_stats().publishes > 0,
+            "cache rehydrated through the admission path"
+        );
+        let (audit_bytes, audit_entries) = db.cache().audit();
+        assert_eq!(db.cache_stats().bytes, audit_bytes, "stats == audit");
+        assert_eq!(db.cache_stats().entries, audit_entries);
+        let mut session = db.session();
+        let r = session.execute(&q3(3, "1996-06-01")).unwrap();
+        assert!(
+            r.decisions.iter().any(|(_, c)| c.is_some()),
+            "first post-restart query reuses warm tables: {:?}",
+            r.decisions
+        );
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// A custom policy plugs in end-to-end without touching engine or

@@ -48,6 +48,13 @@
 //! itself runs lock-free, and read-only exact-match reuse of the same
 //! cached table proceeds in parallel across sessions.
 //!
+//! Engines configured with [`EngineBuilder::data_dir`] are *durable*: a
+//! write-ahead log plus benefit-scored snapshots persist the catalog and
+//! the reuse caches, and a restart **rehydrates** cached hash tables so
+//! the first queries after a reboot reuse work done before it (see
+//! [`hashstash_durability`] for formats and recovery semantics, and
+//! [`db::Database::flush`] for the crash-vs-clean-exit contract).
+//!
 //! (The pre-0.2 single-session `Engine`/`EngineConfig` shim, deprecated in
 //! 0.2, has been removed; use [`Database::builder`] + [`Session`].)
 
@@ -65,6 +72,7 @@ pub use hashstash_opt::policy::ReusePolicy;
 // Re-export the component crates so downstream users need only one
 // dependency.
 pub use hashstash_cache as cache;
+pub use hashstash_durability as durability;
 pub use hashstash_exec as exec;
 pub use hashstash_hashtable as hashtable;
 pub use hashstash_opt as opt;

@@ -1,0 +1,303 @@
+//! Snapshots: the full catalog plus a benefit-scored subset of the reuse
+//! caches, in one atomically-installed file.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! [magic "HSSNAP01"][body][crc32(body): u32 LE]
+//! ```
+//!
+//! The body is: catalog table count + tables, then cache-entry count +
+//! entries. Each entry carries its lineage fingerprint, schema, use count,
+//! byte footprint, the benefit score it was admitted with, and the payload
+//! (a cached hash table with exact physical layout, or materialized
+//! temp-table rows).
+//!
+//! # Atomicity
+//!
+//! A snapshot is written to `<name>.tmp` and `rename`d into place, so a
+//! crash mid-write never damages an existing snapshot; validation (magic +
+//! whole-body CRC) rejects a half-written or bit-rotted file, and recovery
+//! falls back to the next older valid snapshot or to WAL-only replay.
+//!
+//! # Persistence bar
+//!
+//! Mirroring the cache's benefit-scored *admission*, the snapshot writer
+//! persists only entries whose benefit-per-byte clears a configurable bar:
+//! the score is `use_count / KiB` ([`benefit_score`]) — an entry that was
+//! never reused since publish scores 0 and is dropped by any bar > 0. The
+//! default bar of `0.0` persists every available entry (score ≥ bar).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use hashstash_types::{Row, Schema};
+
+use hashstash_cache::{MaterializedRows, StoredHt};
+use hashstash_plan::HtFingerprint;
+use hashstash_storage::{Catalog, Table};
+
+use crate::codec::{
+    decode_fingerprint, decode_rows, decode_schema, decode_stored_ht, decode_table,
+    encode_fingerprint, encode_rows, encode_schema, encode_stored_ht, encode_table, Reader, Writer,
+};
+use crate::crc::crc32;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAP_MAGIC: &[u8; 8] = b"HSSNAP01";
+
+/// Benefit-per-byte score of one cache entry: checkouts per KiB of
+/// footprint. The snapshot writer persists entries whose score clears the
+/// configured bar; the score is also stored with the entry, so tooling can
+/// inspect why an entry was kept.
+pub fn benefit_score(use_count: u64, bytes: usize) -> f64 {
+    use_count as f64 * 1024.0 / bytes.max(1) as f64
+}
+
+/// One persisted cache entry.
+#[derive(Debug, Clone)]
+pub struct PersistedEntry {
+    /// Lineage of the entry (rehydration re-publishes under it).
+    pub fingerprint: HtFingerprint,
+    /// Payload schema.
+    pub schema: Schema,
+    /// Checkout count at snapshot time.
+    pub use_count: u64,
+    /// Logical footprint in bytes at snapshot time.
+    pub bytes: u64,
+    /// The [`benefit_score`] the entry was admitted with.
+    pub score: f64,
+    /// The payload itself.
+    pub payload: PersistedPayload,
+}
+
+/// A persisted payload: one of the two reuse-cache kinds.
+#[derive(Debug, Clone)]
+pub enum PersistedPayload {
+    /// A cached hash table (join build / aggregate / shared-group), with
+    /// its exact physical layout.
+    Ht(StoredHt),
+    /// Materialized temp-table rows (the materialization baseline's cache).
+    Temp(Vec<Row>),
+}
+
+/// A decoded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The full catalog at snapshot time.
+    pub catalog: Catalog,
+    /// The persisted cache subset.
+    pub entries: Vec<PersistedEntry>,
+}
+
+/// Write a snapshot atomically (`path.tmp` + rename). When `sync` is set
+/// the file is fsynced before the rename — pair with the WAL's policy.
+pub fn write_snapshot(
+    path: &Path,
+    catalog: &Catalog,
+    entries: &[PersistedEntry],
+    sync: bool,
+) -> std::io::Result<()> {
+    let mut w = Writer::new();
+    let names = catalog.table_names();
+    w.put_count(names.len());
+    for name in names {
+        let table = catalog
+            .get(name)
+            .expect("table_names returned a missing table");
+        encode_table(&mut w, &table);
+    }
+    w.put_count(entries.len());
+    for e in entries {
+        match &e.payload {
+            PersistedPayload::Ht(ht) => {
+                w.put_u8(0);
+                encode_fingerprint(&mut w, &e.fingerprint);
+                encode_schema(&mut w, &e.schema);
+                w.put_u64(e.use_count);
+                w.put_u64(e.bytes);
+                w.put_f64(e.score);
+                encode_stored_ht(&mut w, ht);
+            }
+            PersistedPayload::Temp(rows) => {
+                w.put_u8(1);
+                encode_fingerprint(&mut w, &e.fingerprint);
+                encode_schema(&mut w, &e.schema);
+                w.put_u64(e.use_count);
+                w.put_u64(e.bytes);
+                w.put_f64(e.score);
+                let mat = MaterializedRows::new(rows.clone());
+                encode_rows(&mut w, &mat);
+            }
+        }
+    }
+    let body = w.into_inner();
+
+    let tmp = path.with_extension("snap.tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(SNAP_MAGIC)?;
+        f.write_all(&body)?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        if sync {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    if sync {
+        // Make the rename itself durable.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read and validate a snapshot. `Err` carries the reason the file was
+/// rejected (bad magic, CRC mismatch, decode failure); recovery treats any
+/// `Err` as "this snapshot does not exist" and falls back.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, String> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("cannot read snapshot: {e}"))?;
+    if bytes.len() < SNAP_MAGIC.len() + 4 || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err("bad snapshot magic".to_string());
+    }
+    let body = &bytes[SNAP_MAGIC.len()..bytes.len() - 4];
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err("snapshot CRC mismatch".to_string());
+    }
+
+    let mut r = Reader::new(body);
+    let n_tables = r.get_count(1)?;
+    let mut catalog = Catalog::new();
+    for _ in 0..n_tables {
+        let table: Table = decode_table(&mut r)?;
+        catalog.register(table);
+    }
+    let n_entries = r.get_count(1)?;
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let kind = r.get_u8()?;
+        let fingerprint = decode_fingerprint(&mut r)?;
+        let schema = decode_schema(&mut r)?;
+        let use_count = r.get_u64()?;
+        let bytes = r.get_u64()?;
+        let score = r.get_f64()?;
+        let payload = match kind {
+            0 => PersistedPayload::Ht(decode_stored_ht(&mut r)?),
+            1 => PersistedPayload::Temp(decode_rows(&mut r)?),
+            k => return Err(format!("unknown snapshot entry kind {k}")),
+        };
+        entries.push(PersistedEntry {
+            fingerprint,
+            schema,
+            use_count,
+            bytes,
+            score,
+            payload,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(format!(
+            "{} trailing bytes after snapshot body",
+            r.remaining()
+        ));
+    }
+    Ok(Snapshot { catalog, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashstash_cache::TaggedRow;
+    use hashstash_hashtable::ExtendibleHashTable;
+    use hashstash_plan::{HtKind, Region};
+    use hashstash_storage::TableBuilder;
+    use hashstash_types::{DataType, Value};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hssnap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> (Catalog, Vec<PersistedEntry>) {
+        let mut cat = Catalog::new();
+        let mut b = TableBuilder::new("t", vec![("x", DataType::Int)]);
+        b.push_row(vec![Value::Int(7)]);
+        cat.register(b.finish());
+
+        let mut ht = ExtendibleHashTable::new(8);
+        ht.insert(1, TaggedRow::untagged(Row::new(vec![Value::Int(1)])));
+        let fp = HtFingerprint {
+            kind: HtKind::JoinBuild,
+            tables: std::iter::once(Arc::from("t")).collect(),
+            edges: vec![],
+            region: Region::all(),
+            key_attrs: vec![Arc::from("t.x")],
+            payload_attrs: vec![Arc::from("t.x")],
+            aggregates: vec![],
+            tagged: false,
+        };
+        let entries = vec![PersistedEntry {
+            fingerprint: fp,
+            schema: Schema::new(vec![hashstash_types::Field::new("t.x", DataType::Int)]),
+            use_count: 3,
+            bytes: 64,
+            score: benefit_score(3, 64),
+            payload: PersistedPayload::Ht(StoredHt::Join(ht)),
+        }];
+        (cat, entries)
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let path = tmp("roundtrip.snap");
+        let (cat, entries) = sample();
+        write_snapshot(&path, &cat, &entries, false).unwrap();
+        let snap = read_snapshot(&path).unwrap();
+        assert_eq!(snap.catalog.len(), 1);
+        assert_eq!(snap.catalog.get("t").unwrap().row_count(), 1);
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.entries[0].use_count, 3);
+        assert!(snap.entries[0]
+            .fingerprint
+            .same_lineage(&entries[0].fingerprint));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_rejected() {
+        let path = tmp("corrupt.snap");
+        let (cat, entries) = sample();
+        write_snapshot(&path, &cat, &entries, false).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        // Truncation is also caught by the CRC.
+        std::fs::write(&path, &bytes[..mid]).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn benefit_score_scales() {
+        assert_eq!(benefit_score(0, 1024), 0.0);
+        assert_eq!(benefit_score(2, 1024), 2.0);
+        assert!(benefit_score(1, 10 << 20) < benefit_score(1, 1024));
+    }
+}

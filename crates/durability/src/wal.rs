@@ -1,0 +1,330 @@
+//! The write-ahead log: append-only segment files with CRC-framed records.
+//!
+//! # On-disk format
+//!
+//! A segment file (`wal-NNNNNN.log`) starts with the 8-byte magic
+//! `HSWAL001` followed by a sequence of records, each framed as
+//!
+//! ```text
+//! [payload_len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! where `payload[0]` is the record kind and the rest is the kind-specific
+//! body ([`crate::codec`]). The log records *re-executable facts* — catalog
+//! DDL and base-table loads — not page deltas: replay re-registers each
+//! table, which deterministically rebuilds its secondary indexes.
+//!
+//! # Torn tails
+//!
+//! A crash can leave a half-written record at the end of the last segment.
+//! Replay stops at the first frame whose length field runs past the file
+//! or whose CRC mismatches, and reports the length of the valid prefix;
+//! recovery truncates the file there and continues with a *prefix of
+//! history* — a torn tail is expected damage, never fatal. A frame whose
+//! CRC passes but whose payload fails to decode indicates real corruption
+//! beyond a torn write and is treated the same way (stop, truncate).
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for append latency: `Always` syncs
+//! after every record (no committed record is ever lost), `Interval` syncs
+//! every [`INTERVAL_RECORDS`] records (bounded loss window), `None` leaves
+//! syncing to the OS (crash may lose recent records; a *clean* shutdown
+//! still syncs on [`Wal::sync`] via `Database::flush`).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use hashstash_storage::Table;
+
+use crate::codec::{decode_table, encode_table, Reader, Writer};
+use crate::crc::crc32;
+
+/// Magic bytes opening every WAL segment.
+pub const WAL_MAGIC: &[u8; 8] = b"HSWAL001";
+
+/// Records between syncs under [`FsyncPolicy::Interval`].
+pub const INTERVAL_RECORDS: u64 = 16;
+
+/// When appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Never fsync on append; the OS flushes when it pleases. Fastest, and
+    /// what a clean shutdown (which syncs explicitly) needs anyway.
+    None,
+    /// Fsync every [`INTERVAL_RECORDS`] appends: bounded loss window.
+    #[default]
+    Interval,
+    /// Fsync after every append: no committed record is ever lost.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Stable name, recorded in bench JSON and parsed by
+    /// [`FsyncPolicy::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::None => "none",
+            FsyncPolicy::Interval => "interval",
+            FsyncPolicy::Always => "always",
+        }
+    }
+
+    /// Parse `none|interval|always` (the bench/CI knob).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "none" => Some(FsyncPolicy::None),
+            "interval" => Some(FsyncPolicy::Interval),
+            "always" => Some(FsyncPolicy::Always),
+            _ => None,
+        }
+    }
+}
+
+/// One logged fact.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    /// A base table was registered in the catalog (DDL + load in one:
+    /// tables are immutable once registered).
+    TableLoad(Table),
+}
+
+const KIND_TABLE_LOAD: u8 = 1;
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            WalRecord::TableLoad(t) => {
+                w.put_u8(KIND_TABLE_LOAD);
+                encode_table(&mut w, t);
+            }
+        }
+        w.into_inner()
+    }
+
+    fn decode(payload: &[u8]) -> Result<WalRecord, String> {
+        let mut r = Reader::new(payload);
+        match r.get_u8()? {
+            KIND_TABLE_LOAD => {
+                let t = decode_table(&mut r)?;
+                Ok(WalRecord::TableLoad(t))
+            }
+            k => Err(format!("unknown WAL record kind {k}")),
+        }
+    }
+}
+
+/// The result of replaying one segment.
+#[derive(Debug)]
+pub struct Replay {
+    /// Records of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic included). The segment is
+    /// truncated to this length before further appends.
+    pub valid_len: u64,
+    /// Whether anything (torn tail or trailing corruption) was cut off.
+    pub torn: bool,
+}
+
+/// An open, appendable WAL segment.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    appends_since_sync: u64,
+}
+
+impl Wal {
+    /// Create a fresh segment (truncates any existing file) and write the
+    /// magic header. The header is synced immediately unless the policy is
+    /// [`FsyncPolicy::None`].
+    pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        if policy != FsyncPolicy::None {
+            file.sync_all()?;
+        }
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// Open an existing segment for appending after replay: the file is
+    /// truncated to `valid_len` (dropping any torn tail) and appends
+    /// continue from there.
+    pub fn open_append(path: &Path, policy: FsyncPolicy, valid_len: u64) -> std::io::Result<Wal> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            appends_since_sync: 0,
+        })
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record, framed and checksummed, honouring the fsync
+    /// policy.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.appends_since_sync += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Interval if self.appends_since_sync >= INTERVAL_RECORDS => self.sync()?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Replay a segment: decode the valid prefix, report where it ends.
+    ///
+    /// Returns `Ok` with an empty record list (and `torn = true`) even for
+    /// a file whose magic is damaged — recovery then starts from the
+    /// snapshot alone. Only real I/O errors surface as `Err`.
+    pub fn replay(path: &Path) -> std::io::Result<Replay> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Ok(Replay {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: true,
+            });
+        }
+        let mut records = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        loop {
+            if bytes.len() - pos < 8 {
+                break; // clean end (0 left) or torn length/crc header
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            let body_start = pos + 8;
+            if bytes.len() - body_start < len {
+                break; // torn payload
+            }
+            let payload = &bytes[body_start..body_start + len];
+            if crc32(payload) != crc {
+                break; // torn or bit-rotted payload
+            }
+            match WalRecord::decode(payload) {
+                Ok(rec) => records.push(rec),
+                Err(_) => break, // CRC-passing garbage: stop at the prefix
+            }
+            pos = body_start + len;
+        }
+        Ok(Replay {
+            torn: pos != bytes.len(),
+            valid_len: pos as u64,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashstash_storage::TableBuilder;
+    use hashstash_types::{DataType, Value};
+
+    fn tiny(name: &str, rows: i64) -> Table {
+        let mut b = TableBuilder::new(name, vec![("x", DataType::Int)]);
+        for i in 0..rows {
+            b.push_row(vec![Value::Int(i)]);
+        }
+        b.finish()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hswal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("basic.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::None).unwrap();
+        wal.append(&WalRecord::TableLoad(tiny("a", 3))).unwrap();
+        wal.append(&WalRecord::TableLoad(tiny("b", 5))).unwrap();
+        wal.sync().unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert!(!replay.torn);
+        assert_eq!(replay.records.len(), 2);
+        let WalRecord::TableLoad(t) = &replay.records[1];
+        assert_eq!(t.name(), "b");
+        assert_eq!(t.row_count(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_prefix() {
+        let path = tmp("torn.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::None).unwrap();
+        wal.append(&WalRecord::TableLoad(tiny("a", 3))).unwrap();
+        wal.append(&WalRecord::TableLoad(tiny("b", 5))).unwrap();
+        wal.sync().unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Chop 3 bytes off the final record.
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full - 3)
+            .unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.valid_len < full - 3);
+        // Appending after open_append continues from the valid prefix.
+        let mut wal = Wal::open_append(&path, FsyncPolicy::None, replay.valid_len).unwrap();
+        wal.append(&WalRecord::TableLoad(tiny("c", 1))).unwrap();
+        wal.sync().unwrap();
+        let replay = Wal::replay(&path).unwrap();
+        assert!(!replay.torn);
+        assert_eq!(replay.records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parse_roundtrip() {
+        for p in [
+            FsyncPolicy::None,
+            FsyncPolicy::Interval,
+            FsyncPolicy::Always,
+        ] {
+            assert_eq!(FsyncPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

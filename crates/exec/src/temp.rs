@@ -30,7 +30,8 @@ use std::sync::Arc;
 use hashstash_types::{Result, Row, Schema};
 
 use hashstash_cache::{
-    CacheStats, GcConfig, MaterializedRows, ReuseBudget, ReuseStore, StoreId, DEFAULT_SHARDS,
+    CacheStats, GcConfig, MaterializedRows, ReuseBudget, ReuseStore, SnapshotEntry, StoreId,
+    DEFAULT_SHARDS,
 };
 use hashstash_plan::HtFingerprint;
 
@@ -159,6 +160,14 @@ impl TempTableCache {
         let rows = co.snapshot();
         co.checkin()?;
         Ok((schema, rows))
+    }
+
+    /// Stats-neutral snapshot of every available temp table for
+    /// persistence — see
+    /// [`hashstash_cache::ReuseStore::snapshot_entries`]. Unlike
+    /// [`TempTableCache::read`] this does not bump LRU or reuse counters.
+    pub fn snapshot_entries(&self) -> Vec<SnapshotEntry<TempId, MaterializedRows>> {
+        self.store.snapshot_entries()
     }
 
     /// Evict until under budget (shared victim search when the budget is

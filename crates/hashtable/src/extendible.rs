@@ -489,6 +489,83 @@ impl<V> ExtendibleHashTable<V> {
         }
     }
 
+    /// Borrowed byte-exact structural view for persistence.
+    ///
+    /// Together with [`from_layout`](Self::from_layout) this round-trips a
+    /// table *including* its physical layout: a serialized-then-restored
+    /// table is [`layout_eq`](Self::layout_eq) to the original, so probes
+    /// answer in the same order and the footprint statistics match.
+    pub fn layout(&self) -> HtLayout<'_> {
+        HtLayout {
+            tuple_width: self.tuple_width,
+            global_depth: self.global_depth,
+            resizes: self.resizes,
+            distinct_keys: self.distinct_keys,
+            directory: &self.directory,
+            depth: &self.depth,
+        }
+    }
+
+    /// Arena entries in physical order as `(key, next_link, value)`. The
+    /// next-link is the arena index of the next chain node (or `u32::MAX`
+    /// for end-of-chain) — opaque to callers, but required to restore the
+    /// exact chain structure via [`from_layout`](Self::from_layout).
+    pub fn arena_entries(&self) -> impl Iterator<Item = (u64, u32, &V)> {
+        self.arena.iter().map(|e| (e.key, e.next, &e.value))
+    }
+
+    /// Rebuild a table from a previously exported layout.
+    ///
+    /// Returns `None` if the parts are structurally inconsistent (directory
+    /// and depth length must equal `2^global_depth`, local depths must not
+    /// exceed the global depth, and every chain link must stay inside the
+    /// arena) — a corrupt or torn persisted image must never produce a
+    /// table that panics on probe.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_layout(
+        tuple_width: usize,
+        global_depth: u8,
+        resizes: usize,
+        distinct_keys: usize,
+        directory: Vec<u32>,
+        depth: Vec<u8>,
+        arena: Vec<(u64, u32, V)>,
+    ) -> Option<Self> {
+        if global_depth as u32 >= u32::BITS {
+            return None;
+        }
+        let buckets = 1usize << global_depth;
+        if directory.len() != buckets || depth.len() != buckets {
+            return None;
+        }
+        let n = arena.len();
+        let in_range = |link: u32| link == NIL || (link as usize) < n;
+        if !directory.iter().all(|&h| in_range(h)) {
+            return None;
+        }
+        if !depth.iter().all(|&d| d <= global_depth) {
+            return None;
+        }
+        if !arena.iter().all(|&(_, next, _)| in_range(next)) {
+            return None;
+        }
+        if distinct_keys > n {
+            return None;
+        }
+        Some(ExtendibleHashTable {
+            directory,
+            depth,
+            arena: arena
+                .into_iter()
+                .map(|(key, next, value)| Entry { key, next, value })
+                .collect(),
+            global_depth,
+            distinct_keys,
+            tuple_width,
+            resizes,
+        })
+    }
+
     /// Structural equality down to the physical layout: directory heads,
     /// per-bucket lazy-split depths, arena order, chain links, and all
     /// statistics. Two tables that are `layout_eq` answer every probe in the
@@ -511,6 +588,26 @@ impl<V> ExtendibleHashTable<V> {
                 .zip(&other.arena)
                 .all(|(a, b)| a.key == b.key && a.next == b.next && a.value == b.value)
     }
+}
+
+/// Borrowed structural view of an [`ExtendibleHashTable`] for persistence
+/// (see [`ExtendibleHashTable::layout`]). Arena entries are exported
+/// separately via [`ExtendibleHashTable::arena_entries`] so callers can
+/// stream values through their own codec.
+#[derive(Debug, Clone, Copy)]
+pub struct HtLayout<'a> {
+    /// Logical tuple width in bytes.
+    pub tuple_width: usize,
+    /// Directory depth (`2^global_depth` slots).
+    pub global_depth: u8,
+    /// Directory doublings performed so far.
+    pub resizes: usize,
+    /// Distinct keys currently stored.
+    pub distinct_keys: usize,
+    /// Directory: bucket heads as arena indices (`u32::MAX` = empty).
+    pub directory: &'a [u32],
+    /// Per-bucket lazy-split local depths.
+    pub depth: &'a [u8],
 }
 
 /// Iterator over values matching a probe key.
@@ -733,5 +830,66 @@ mod tests {
         assert_eq!(s.distinct_keys, 2);
         assert_eq!(s.tuple_width, 32);
         assert_eq!(s.bytes, ht.logical_bytes());
+    }
+
+    #[test]
+    fn layout_roundtrip_is_layout_eq() {
+        let mut ht = ExtendibleHashTable::new(16);
+        for i in 0..100u64 {
+            ht.insert(i % 37, i as u32);
+        }
+        let l = ht.layout();
+        let rebuilt = ExtendibleHashTable::from_layout(
+            l.tuple_width,
+            l.global_depth,
+            l.resizes,
+            l.distinct_keys,
+            l.directory.to_vec(),
+            l.depth.to_vec(),
+            ht.arena_entries().map(|(k, n, v)| (k, n, *v)).collect(),
+        )
+        .expect("exported layout is consistent");
+        assert!(ht.layout_eq(&rebuilt));
+        assert_eq!(
+            rebuilt.probe_readonly(5).copied().collect::<Vec<_>>(),
+            ht.probe_readonly(5).copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_layout_rejects_corrupt_parts() {
+        // Directory length must be 2^global_depth.
+        assert!(ExtendibleHashTable::<u32>::from_layout(
+            8,
+            2,
+            0,
+            0,
+            vec![NIL; 3],
+            vec![2; 3],
+            Vec::new()
+        )
+        .is_none());
+        // Chain links must stay inside the arena.
+        assert!(ExtendibleHashTable::<u32>::from_layout(
+            8,
+            1,
+            0,
+            1,
+            vec![7, NIL],
+            vec![1, 1],
+            vec![(0, NIL, 1u32)]
+        )
+        .is_none());
+        // Local depths must not exceed the global depth.
+        assert!(ExtendibleHashTable::<u32>::from_layout(
+            8,
+            1,
+            0,
+            0,
+            vec![NIL, NIL],
+            vec![1, 2],
+            Vec::new()
+        )
+        .is_none());
     }
 }

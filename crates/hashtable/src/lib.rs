@@ -28,5 +28,5 @@ pub mod extendible;
 pub mod partitioned;
 
 pub use calibration::{CalibrationPoint, Calibrator, CostGrid};
-pub use extendible::{ExtendibleHashTable, HtStats};
+pub use extendible::{ExtendibleHashTable, HtLayout, HtStats};
 pub use partitioned::{bucket_ranges, partition_chains, ChainPartition};

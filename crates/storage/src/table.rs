@@ -68,6 +68,62 @@ impl Table {
         Row::new(cols.iter().map(|&c| self.columns[c].get(i)).collect())
     }
 
+    /// Reassemble a table from recovered parts: name, schema, columns and
+    /// the positions of indexed columns. Indexes are rebuilt (not restored
+    /// byte-wise — `SortedIndex::build` is deterministic over the column
+    /// content, so a rebuilt index equals the original). Validates that
+    /// columns are rectangular and match the schema's types and width.
+    pub fn from_parts(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+        indexed: &[usize],
+    ) -> Result<Table> {
+        let name = name.into();
+        if columns.len() != schema.len() {
+            return Err(HsError::ExecError(format!(
+                "table {name}: {} columns for a {}-field schema",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if c.data_type() != schema.field_at(i).dtype {
+                return Err(HsError::TypeMismatch {
+                    expected: schema.field_at(i).dtype.to_string(),
+                    found: c.data_type().to_string(),
+                });
+            }
+        }
+        let mut table = Table {
+            name,
+            schema,
+            columns,
+            indexes: HashMap::new(),
+        };
+        check_rectangular(&table)?;
+        for &col in indexed {
+            if col >= table.schema.len() {
+                return Err(HsError::ExecError(format!(
+                    "table {}: index on out-of-range column {col}",
+                    table.name
+                )));
+            }
+            let index = SortedIndex::build(&table.columns[col]);
+            table.indexes.insert(col, index);
+        }
+        Ok(table)
+    }
+
+    /// Positions of columns carrying a secondary index, sorted (the
+    /// persistence layer records these so recovery rebuilds the same
+    /// indexes).
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
+        cols.sort_unstable();
+        cols
+    }
+
     /// Build (or rebuild) a sorted secondary index on the named column.
     pub fn create_index(&mut self, column: &str) -> Result<()> {
         let idx = self.schema.index_of(column)?;
@@ -241,5 +297,43 @@ mod tests {
     #[test]
     fn bytes_positive() {
         assert!(people().bytes() > 0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_with_indexes() {
+        let t = people();
+        let columns: Vec<Column> = (0..t.schema().len()).map(|i| t.column(i).clone()).collect();
+        let rebuilt =
+            Table::from_parts(t.name(), t.schema().clone(), columns, &t.indexed_columns()).unwrap();
+        assert_eq!(rebuilt.row_count(), t.row_count());
+        assert_eq!(rebuilt.indexed_columns(), t.indexed_columns());
+        assert!(rebuilt.index_on("age").is_some());
+        for i in 0..t.row_count() {
+            assert_eq!(rebuilt.row(i), t.row(i));
+        }
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let t = people();
+        // Wrong column count.
+        assert!(
+            Table::from_parts("x", t.schema().clone(), vec![t.column(0).clone()], &[]).is_err()
+        );
+        // Type mismatch against the schema.
+        assert!(Table::from_parts(
+            "x",
+            t.schema().clone(),
+            vec![
+                t.column(1).clone(),
+                t.column(0).clone(),
+                t.column(2).clone()
+            ],
+            &[]
+        )
+        .is_ok()); // both Int — same type, allowed
+                   // Out-of-range index position.
+        let columns: Vec<Column> = (0..t.schema().len()).map(|i| t.column(i).clone()).collect();
+        assert!(Table::from_parts("x", t.schema().clone(), columns, &[9]).is_err());
     }
 }
