@@ -80,6 +80,9 @@ fn main() {
             .map(|t| {
                 let db = Arc::clone(&db);
                 let queries = Arc::clone(&queries);
+                // tidy:allow(no-raw-spawn): bench client threads model external
+                // concurrent sessions, not engine-internal parallelism
+                #[allow(clippy::disallowed_methods)]
                 thread::spawn(move || {
                     let mut session = db.session();
                     let mut reused = 0usize;

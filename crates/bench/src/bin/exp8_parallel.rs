@@ -26,11 +26,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hashstash_bench::common::{header, ms};
-use hashstash_cache::{GcConfig, HtManager};
+use hashstash_cache::recycle::ShapeKey;
+use hashstash_cache::{GcConfig, HtManager, DEFAULT_SHARDS};
 use hashstash_exec::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 use hashstash_exec::{execute, ExecContext, TempTableCache};
 use hashstash_plan::{
-    AggExpr, AggFunc, HtFingerprint, HtKind, Interval, PredBox, Region, ReuseCase,
+    AggExpr, AggFunc, HtFingerprint, HtKind, Interval, JoinEdge, PredBox, Region, ReuseCase,
 };
 use hashstash_storage::{Catalog, TableBuilder};
 use hashstash_types::{DataType, Value};
@@ -72,6 +73,40 @@ fn dim_fingerprint(region: Region) -> HtFingerprint {
     }
 }
 
+/// Golden cross-check run before any measurement: the bench and the engine
+/// must agree on shard routing. Pins `ShapeKey::stable_hash` of the same
+/// canonical join fingerprint as `tests/durability_recovery.rs`'s golden
+/// test, and the shard it lands on at the default shard count — a drift
+/// here means bench numbers and engine behaviour are describing different
+/// shards.
+fn assert_engine_shard_routing() {
+    let fp = HtFingerprint {
+        kind: HtKind::JoinBuild,
+        tables: ["customer", "orders"].into_iter().map(Arc::from).collect(),
+        edges: vec![JoinEdge::new(
+            "customer",
+            "customer.c_custkey",
+            "orders",
+            "orders.o_custkey",
+        )],
+        region: Region::all(),
+        key_attrs: vec![Arc::from("customer.c_custkey")],
+        payload_attrs: vec![Arc::from("customer.c_age")],
+        aggregates: vec![],
+        tagged: false,
+    };
+    let h = ShapeKey::of(&fp).stable_hash();
+    assert_eq!(
+        h, 0x6894_58a4_d0e0_8586,
+        "ShapeKey::stable_hash drifted from the engine's golden value"
+    );
+    assert_eq!(
+        (h % DEFAULT_SHARDS as u64) as usize,
+        6,
+        "canonical fingerprint routes to a different shard than the engine"
+    );
+}
+
 fn join(build: Option<PhysicalPlan>, reuse: Option<ReuseSpec>) -> PhysicalPlan {
     PhysicalPlan::HashJoin {
         probe: Box::new(PhysicalPlan::Scan(ScanSpec::full("fact"))),
@@ -84,6 +119,7 @@ fn join(build: Option<PhysicalPlan>, reuse: Option<ReuseSpec>) -> PhysicalPlan {
 }
 
 fn main() {
+    assert_engine_shard_routing();
     let smoke = smoke();
     let n: i64 = if smoke { 20_000 } else { 150_000 };
     let iters = if smoke { 3 } else { 8 };
@@ -223,9 +259,11 @@ fn main() {
 
     // Per-plan digest of the full output — row contents *and* order — so a
     // determinism regression that preserves cardinality still fails here.
+    // FNV-1a via StableHasher, so digests are also comparable across runs
+    // and processes (DefaultHasher is seeded per process).
     fn digest(rows: &[hashstash_types::Row]) -> (usize, u64) {
         use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = hashstash_types::StableHasher::new();
         for r in rows {
             r.hash(&mut h);
         }

@@ -29,6 +29,8 @@
 //!   §5) under the shared budget, with optional alternative policies, TTLs
 //!   and an anti-starvation floor per payload kind.
 
+#[cfg(feature = "analysis")]
+pub mod analysis;
 pub mod manager;
 pub mod payload;
 pub mod recycle;

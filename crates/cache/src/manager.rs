@@ -245,6 +245,20 @@ impl HtManager {
         self.store.audit()
     }
 
+    /// Pin-leak detector forward (`analysis` feature): panics unless every
+    /// checkout guard has been returned and every entry is unpinned. See
+    /// `ReuseStore::assert_quiesced`.
+    #[cfg(feature = "analysis")]
+    pub fn assert_quiesced(&self) {
+        self.store.assert_quiesced()
+    }
+
+    /// Number of checkout guards currently outstanding (`analysis` feature).
+    #[cfg(feature = "analysis")]
+    pub fn outstanding_pins(&self) -> i64 {
+        self.store.outstanding_pins()
+    }
+
     /// Number of cached tables.
     pub fn len(&self) -> usize {
         self.store.len()

@@ -119,6 +119,9 @@ impl AggAccum {
                 *sa += sb;
                 *ca += cb;
             }
+            // tidy:allow(no-panic-paths): planner invariant — accumulators of one
+            // expression always share a function; merging mismatched kinds would
+            // silently corrupt results, so fail loudly
             (a, b) => panic!("cannot merge {:?} into {:?}", b.func(), a.func()),
         }
     }

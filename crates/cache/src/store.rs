@@ -21,7 +21,7 @@
 //! `hashstash_exec::temp::TempTableCache`) only add their payload type and
 //! id newtype on top.
 
-use std::collections::HashMap;
+use std::collections::{hash_map, HashMap};
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -36,6 +36,74 @@ use crate::recycle::{RecycleGraph, ShapeKey};
 /// Default shard count: enough to keep 8-way session fan-out off a single
 /// lock without bloating tiny test caches.
 pub const DEFAULT_SHARDS: usize = 8;
+
+// ------------------------------------------------------------- lock order
+//
+// The declared global lock order (see the `// lock-order:` annotations on
+// the fields below, the lock-discipline tidy lint, and the table in README
+// `Correctness tooling`). The store's protocol holds at most one of these
+// at a time; under `--features analysis` every acquisition is checked
+// against the strictly-increasing rule by a thread-local tracker.
+
+/// Level of [`ReuseBudget`]'s store registry.
+pub const LEVEL_BUDGET_STORES: u32 = 10;
+/// Level shared by every store shard (two shard locks never nest).
+pub const LEVEL_SHARD: u32 = 20;
+/// Level of [`ReuseBudget`]'s GC-config leaf lock.
+pub const LEVEL_BUDGET_GC: u32 = 30;
+
+/// A `MutexGuard` that reports its release to the lock-order tracker.
+#[cfg(feature = "analysis")]
+#[derive(Debug)]
+pub(crate) struct OrderedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    level: u32,
+}
+
+#[cfg(feature = "analysis")]
+impl<T> std::ops::Deref for OrderedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+#[cfg(feature = "analysis")]
+impl<T> std::ops::DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(feature = "analysis")]
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        crate::analysis::release(self.level);
+    }
+}
+
+#[cfg(feature = "analysis")]
+pub(crate) type LockGuard<'a, T> = OrderedGuard<'a, T>;
+#[cfg(not(feature = "analysis"))]
+pub(crate) type LockGuard<'a, T> = MutexGuard<'a, T>;
+
+/// Acquire `m` at the declared `level`. Poisoning is tolerated everywhere
+/// in the store (entries stay consistent under panic because guards clean
+/// up), so this never panics on a poisoned mutex; under `analysis` it
+/// panics on a lock-order violation instead.
+#[cfg(feature = "analysis")]
+fn lock_at<'a, T>(m: &'a Mutex<T>, level: u32) -> LockGuard<'a, T> {
+    crate::analysis::acquire(level);
+    OrderedGuard {
+        guard: m.lock().unwrap_or_else(PoisonError::into_inner),
+        level,
+    }
+}
+
+#[cfg(not(feature = "analysis"))]
+fn lock_at<'a, T>(m: &'a Mutex<T>, _level: u32) -> LockGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a payload type must provide to live in a [`ReuseStore`].
 ///
@@ -205,6 +273,7 @@ trait VictimSource: Send + Sync + fmt::Debug {
 /// which is what makes "one memory budget, one eviction decision" true.
 #[derive(Debug)]
 pub struct ReuseBudget {
+    // lock-order: 30 (budget GC config; leaf — read, copied out, released)
     gc: Mutex<GcConfig>,
     clock: AtomicU64,
     bytes: AtomicUsize,
@@ -213,6 +282,8 @@ pub struct ReuseBudget {
     /// across every store, so it is throttled rather than run on each
     /// publish/checkin.
     ttl_sweep_tick: AtomicU64,
+    // lock-order: 10 (budget store registry; enforce snapshots it before
+    // touching any store's shards)
     stores: Mutex<Vec<Weak<dyn VictimSource>>>,
 }
 
@@ -231,13 +302,13 @@ impl ReuseBudget {
 
     /// The GC configuration.
     pub fn gc_config(&self) -> GcConfig {
-        *self.gc.lock().unwrap_or_else(PoisonError::into_inner)
+        *lock_at(&self.gc, LEVEL_BUDGET_GC)
     }
 
     /// Replace the GC configuration (budget changes take effect on the next
     /// publish/checkin).
     pub fn set_gc_config(&self, gc: GcConfig) {
-        *self.gc.lock().unwrap_or_else(PoisonError::into_inner) = gc;
+        *lock_at(&self.gc, LEVEL_BUDGET_GC) = gc;
     }
 
     /// Combined footprint of every registered store, in bytes.
@@ -255,10 +326,7 @@ impl ReuseBudget {
     }
 
     fn register(&self, store: Weak<dyn VictimSource>) {
-        self.stores
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(store);
+        lock_at(&self.stores, LEVEL_BUDGET_STORES).push(store);
     }
 
     fn add_bytes(&self, delta: usize) {
@@ -272,7 +340,7 @@ impl ReuseBudget {
 
     /// Live registered stores (pruning any that were dropped).
     fn sources(&self) -> Vec<Arc<dyn VictimSource>> {
-        let mut stores = self.stores.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut stores = lock_at(&self.stores, LEVEL_BUDGET_STORES);
         stores.retain(|w| w.strong_count() > 0);
         stores.iter().filter_map(Weak::upgrade).collect()
     }
@@ -585,6 +653,8 @@ impl<Id, P> Default for ShardState<Id, P> {
 #[derive(Debug)]
 struct StoreInner<Id: StoreId, P: ReusePayload> {
     budget: Arc<ReuseBudget>,
+    // lock-order: 20 (store shards; two are never held at once — cross-shard
+    // moves in commit_checkin go one shard at a time)
     shards: Vec<Mutex<ShardState<Id, P>>>,
     next_id: AtomicU64,
     publishes: AtomicU64,
@@ -595,13 +665,15 @@ struct StoreInner<Id: StoreId, P: ReusePayload> {
     bytes: AtomicUsize,
     entries: AtomicUsize,
     peak_bytes: AtomicUsize,
+    /// Pin-leak detector: +1 per successful checkout, −1 per release or
+    /// exclusive checkin. [`ReuseStore::assert_quiesced`] requires 0.
+    #[cfg(feature = "analysis")]
+    pins: std::sync::atomic::AtomicI64,
 }
 
 impl<Id: StoreId, P: ReusePayload> StoreInner<Id, P> {
-    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, ShardState<Id, P>> {
-        self.shards[idx]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+    fn lock_shard(&self, idx: usize) -> LockGuard<'_, ShardState<Id, P>> {
+        lock_at(&self.shards[idx], LEVEL_SHARD)
     }
 
     /// Shard owning tables of this fingerprint's shape (and the shape's
@@ -748,6 +820,8 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             bytes: AtomicUsize::new(0),
             entries: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
+            #[cfg(feature = "analysis")]
+            pins: std::sync::atomic::AtomicI64::new(0),
         });
         let weak: Weak<StoreInner<Id, P>> = Arc::downgrade(&inner);
         inner.budget.register(weak);
@@ -791,19 +865,15 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             .then(|| vec![now; payload.len()]);
         let id = {
             let mut state = inner.lock_shard(shard);
-            let duplicate = state
-                .recycle
-                .candidates(&fingerprint)
-                .into_iter()
-                .find(|id| {
-                    state
-                        .entries
-                        .get(id)
-                        .is_some_and(|e| !e.writer && e.fingerprint.same_lineage(&fingerprint))
-                });
+            let candidates = state.recycle.candidates(&fingerprint);
+            let duplicate = candidates.into_iter().find_map(|id| {
+                let entry = state.entries.get_mut(&id)?;
+                (!entry.writer && entry.fingerprint.same_lineage(&fingerprint)).then(|| {
+                    entry.last_used = now;
+                    id
+                })
+            });
             if let Some(id) = duplicate {
-                let entry = state.entries.get_mut(&id).expect("checked above");
-                entry.last_used = now;
                 inner.publish_dedups.fetch_add(1, Ordering::Relaxed);
                 return id;
             }
@@ -1025,6 +1095,8 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             entry.entry_stamps = Some(vec![now; payload.len()]);
         }
         inner.reuses.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "analysis")]
+        inner.pins.fetch_add(1, Ordering::Relaxed);
         Ok(Checkout {
             store: self,
             id,
@@ -1088,6 +1160,8 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
     /// fall back to, so its entry is dropped from the cache.
     fn release(&self, id: Id, mode: CheckoutMode, in_place: bool) {
         let inner = &self.inner;
+        #[cfg(feature = "analysis")]
+        inner.pins.fetch_sub(1, Ordering::Relaxed);
         let removed = {
             let mut state = inner.lock_shard(inner.shard_of_id(id));
             if let Some(entry) = state.entries.get_mut(&id) {
@@ -1125,6 +1199,10 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
         payload: Arc<P>,
     ) -> Result<()> {
         let inner = &self.inner;
+        // The guard is consumed whether or not the commit succeeds, so the
+        // pin is gone either way.
+        #[cfg(feature = "analysis")]
+        inner.pins.fetch_sub(1, Ordering::Relaxed);
         let now = inner.budget.tick();
         let fine = inner.budget.gc_config().fine_grained;
         let home = inner.shard_of_id(id);
@@ -1181,12 +1259,14 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
         let inner = &self.inner;
         let entry = {
             let mut state = inner.lock_shard(inner.shard_of_id(id));
-            match state.entries.get(&id) {
-                None => return Err(HsError::CacheError(format!("{id} not in cache"))),
-                Some(e) if e.pinned() => {
+            match state.entries.entry(id) {
+                hash_map::Entry::Vacant(_) => {
+                    return Err(HsError::CacheError(format!("{id} not in cache")))
+                }
+                hash_map::Entry::Occupied(e) if e.get().pinned() => {
                     return Err(HsError::CacheError(format!("{id} is checked out")))
                 }
-                Some(_) => state.entries.remove(&id).expect("entry exists"),
+                hash_map::Entry::Occupied(e) => e.remove(),
             }
         };
         inner.account_removed(id, &entry);
@@ -1318,5 +1398,40 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
         let inner = &self.inner;
         let state = inner.lock_shard(inner.shard_of_id(id));
         state.entries.get(&id).is_some_and(|e| !e.writer)
+    }
+
+    /// Checkout guards currently outstanding (`analysis` feature only).
+    #[cfg(feature = "analysis")]
+    pub fn outstanding_pins(&self) -> i64 {
+        self.inner.pins.load(Ordering::SeqCst)
+    }
+
+    /// Pin-leak detector: assert that every checkout guard ever handed out
+    /// has been returned (released, dropped or checked in) and that no
+    /// entry still carries readers, a writer or an in-place hole.
+    ///
+    /// Call at a quiesce point — after every worker thread has joined. A
+    /// `mem::forget`-leaked guard, a double-count bug, or a release path
+    /// that forgets its bookkeeping all fail here with the store's state
+    /// spelled out, instead of silently pinning entries against eviction.
+    #[cfg(feature = "analysis")]
+    pub fn assert_quiesced(&self) {
+        let pins = self.outstanding_pins();
+        assert_eq!(
+            pins, 0,
+            "pin leak: {pins} checkout guard(s) never returned to the store"
+        );
+        let inner = &self.inner;
+        for (si, _) in inner.shards.iter().enumerate() {
+            let state = inner.lock_shard(si);
+            for (id, e) in &state.entries {
+                assert_eq!(e.readers, 0, "{id}: {} reader(s) at quiesce", e.readers);
+                assert!(!e.writer, "{id}: writer flag still set at quiesce");
+                assert!(
+                    matches!(e.slot, Slot::Present(_)),
+                    "{id}: payload still taken for in-place mutation at quiesce"
+                );
+            }
+        }
     }
 }

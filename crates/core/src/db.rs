@@ -444,6 +444,7 @@ pub struct Database {
     htm: HtManager,
     temps: TempTableCache,
     budget: Arc<ReuseBudget>,
+    // lock-order: 50 (session stats rollup; leaf)
     totals: Mutex<SessionStats>,
     durability: Option<Durability>,
 }

@@ -91,6 +91,7 @@ pub struct Durability {
     dir: PathBuf,
     fsync: FsyncPolicy,
     persist_min_benefit: f64,
+    // lock-order: 40 (WAL append/rotate state; no cache lock is taken under it)
     state: Mutex<WalState>,
 }
 

@@ -133,12 +133,13 @@ impl<'a> ExecContext<'a> {
     /// session pinned one of the matching mode, otherwise a direct
     /// (validated) checkout.
     fn checkout_for(&mut self, spec: &ReuseSpec) -> Result<CheckedOut<'a>> {
-        let mode_matches = self
-            .checkouts
-            .get(&spec.id)
-            .is_some_and(|co| co.is_exclusive() == spec.case.needs_delta());
-        if mode_matches {
-            return Ok(self.checkouts.remove(&spec.id).expect("checked above"));
+        if let Some(co) = self.checkouts.remove(&spec.id) {
+            if co.is_exclusive() == spec.case.needs_delta() {
+                return Ok(co);
+            }
+            // Wrong mode: keep the pre-acquired guard for a later operator
+            // and fall through to a direct checkout.
+            self.checkouts.insert(spec.id, co);
         }
         checkout_spec(self.htm, spec)
     }
@@ -808,8 +809,7 @@ fn run_hash_agg(
                 updates = gb.updates;
                 let mut merged = gb.groups.into_iter().peekable();
                 for (i, (key, _)) in prep.iter().enumerate() {
-                    if merged.peek().is_some_and(|g| g.first_row == i) {
-                        let g = merged.next().expect("peeked");
+                    if let Some(g) = merged.next_if(|g| g.first_row == i) {
                         ht.touch(g.key);
                         ht.insert(g.key, g.payload);
                     } else {

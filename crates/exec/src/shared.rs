@@ -584,9 +584,11 @@ fn fold_pipeline_rows(
                 .stored_attrs
                 .iter()
                 .position(|a| a == g)
-                .expect("group attr stored")
+                .ok_or_else(|| {
+                    HsError::ExecError(format!("group attr {g} missing from stored projection"))
+                })
         })
-        .collect();
+        .collect::<Result<Vec<_>>>()?;
     for (row, tag) in pipeline_rows {
         if tag.is_empty() {
             continue;

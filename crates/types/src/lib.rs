@@ -24,4 +24,4 @@ pub use error::{HsError, Result};
 pub use ids::{ColId, HtId, QidSet, QueryId, TableId};
 pub use row::Row;
 pub use schema::{Field, Schema};
-pub use value::{DataType, Value, F64};
+pub use value::{fnv1a, DataType, StableHasher, Value, F64};

@@ -232,6 +232,47 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A streaming [`std::hash::Hasher`] over the same pinned FNV-1a as
+/// [`fnv1a`]: process-independent, toolchain-independent, seedless.
+///
+/// This is the drop-in replacement for `DefaultHasher` wherever a digest
+/// must be comparable across processes or asserted against a golden value
+/// (bench row digests, `#[derive(Hash)]` types in determinism checks).
+/// `DefaultHasher`/`RandomState` are banned outside tests by the
+/// `no-std-hasher` tidy lint precisely because their output is allowed to
+/// change per process and per release.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// A hasher at the FNV-1a offset basis.
+    #[inline]
+    pub fn new() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl std::hash::Hasher for StableHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -265,10 +306,9 @@ impl From<&str> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::hash_map::DefaultHasher;
 
     fn hash_of<T: Hash>(v: &T) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = StableHasher::new();
         v.hash(&mut h);
         h.finish()
     }

@@ -108,6 +108,9 @@ fn executor_error_path_returns_checked_out_table() {
     let (audit_bytes, audit_entries) = htm.audit();
     assert_eq!(audit_bytes, htm.stats().bytes);
     assert_eq!(audit_entries, 1);
+    // The pin counter agrees: the error path returned the guard.
+    #[cfg(feature = "analysis")]
+    htm.assert_quiesced();
 }
 
 /// Same property on the *mutating* (partial reuse) path: the executor
@@ -159,6 +162,9 @@ fn mutating_error_path_keeps_cached_version() {
     // And the table is still fully usable.
     let w = htm.checkout_mut(id).unwrap();
     drop(w);
+    // Both the failed attempt and the probe guard were returned.
+    #[cfg(feature = "analysis")]
+    htm.assert_quiesced();
 }
 
 /// Exact-match reuse is genuinely concurrent: all eight threads hold a
@@ -177,6 +183,8 @@ fn shared_checkouts_of_one_table_coexist_across_threads() {
         .map(|_| {
             let htm = Arc::clone(&htm);
             let barrier = Arc::clone(&barrier);
+            // Raw spawns model independent client sessions (see clippy.toml).
+            #[allow(clippy::disallowed_methods)]
             thread::spawn(move || {
                 let co = htm.checkout(id).expect("shared checkout never blocks");
                 // Every thread holds its guard here simultaneously.
@@ -197,6 +205,9 @@ fn shared_checkouts_of_one_table_coexist_across_threads() {
     }
     assert!(htm.is_available(id));
     assert_eq!(htm.stats().reuses, THREADS as u64);
+    // All eight shared guards dropped cleanly.
+    #[cfg(feature = "analysis")]
+    htm.assert_quiesced();
 }
 
 /// 8 threads × mixed exact/partial reuse over several plan shapes under a
@@ -242,6 +253,7 @@ fn shard_contention_stress_no_lost_bytes() {
         .map(|t| {
             let htm = Arc::clone(&htm);
             let barrier = Arc::clone(&barrier);
+            #[allow(clippy::disallowed_methods)]
             thread::spawn(move || {
                 barrier.wait();
                 for i in 0..OPS {
@@ -283,6 +295,12 @@ fn shard_contention_stress_no_lost_bytes() {
     for h in handles {
         h.join().expect("no thread panicked");
     }
+
+    // Quiesce: with the `analysis` feature on, the pin-leak detector runs
+    // first — every checkout guard across all 480 mixed-mode ops must have
+    // been returned before the byte accounting is trusted.
+    #[cfg(feature = "analysis")]
+    htm.assert_quiesced();
 
     // Quiesce: nothing is checked out, so the stats must be exact.
     let stats = htm.stats();
@@ -352,6 +370,7 @@ fn session_executes_while_cache_handle_is_held() {
     // A fresh session still executes — and still gets cache hits — while
     // the handle is held on another "thread".
     let db2 = Arc::clone(&db);
+    #[allow(clippy::disallowed_methods)]
     let (rows, reused) = thread::spawn(move || {
         let mut s = db2.session();
         let r = s.execute(&q(2)).unwrap();

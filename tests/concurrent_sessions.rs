@@ -48,6 +48,8 @@ fn two_sessions_reuse_each_others_tables() {
     // Thread A runs a query; thread B (spawned after A joins) runs the
     // *same* query from a brand-new session and must reuse A's tables.
     let db_a = Arc::clone(&db);
+    // Raw spawns model independent client sessions (see clippy.toml).
+    #[allow(clippy::disallowed_methods)]
     thread::spawn(move || {
         let mut session = db_a.session();
         session.execute(&q_age(1, 20, 60)).unwrap();
@@ -57,6 +59,7 @@ fn two_sessions_reuse_each_others_tables() {
     assert!(db.cache_stats().publishes > 0, "thread A published tables");
 
     let db_b = Arc::clone(&db);
+    #[allow(clippy::disallowed_methods)]
     let reused = thread::spawn(move || {
         let mut session = db_b.session();
         let r = session.execute(&q_age(2, 20, 60)).unwrap();
@@ -104,6 +107,7 @@ fn concurrent_sessions_stress() {
             let db = Arc::clone(&db);
             let grid = Arc::clone(&grid);
             let expected = Arc::clone(&expected);
+            #[allow(clippy::disallowed_methods)]
             thread::spawn(move || {
                 let mut session = db.session();
                 let mut reused_queries = 0usize;
@@ -169,6 +173,7 @@ fn concurrent_sessions_with_tight_gc_budget() {
             let db = Arc::clone(&db);
             let shapes = Arc::clone(&shapes);
             let expected = Arc::clone(&expected);
+            #[allow(clippy::disallowed_methods)]
             thread::spawn(move || {
                 let mut session = db.session();
                 for round in 0..3 {

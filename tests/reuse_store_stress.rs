@@ -88,6 +88,8 @@ fn mixed_payload_stress_audit_clean_under_shared_budget() {
             let htm = Arc::clone(&htm);
             let temps = Arc::clone(&temps);
             let barrier = Arc::clone(&barrier);
+            // Raw spawns model independent client sessions (see clippy.toml).
+            #[allow(clippy::disallowed_methods)]
             thread::spawn(move || {
                 barrier.wait();
                 for i in 0..OPS {
@@ -136,6 +138,15 @@ fn mixed_payload_stress_audit_clean_under_shared_budget() {
         .collect();
     for h in handles {
         h.join().expect("no thread panicked");
+    }
+
+    // Quiesce: with the `analysis` feature on, every checkout guard must
+    // have been returned (pin-leak detector) before any other invariant is
+    // checked — a leaked guard would pin entries and skew eviction.
+    #[cfg(feature = "analysis")]
+    {
+        htm.assert_quiesced();
+        temps.assert_quiesced();
     }
 
     // Quiesce: per-store stats agree exactly with shard recounts.
@@ -267,6 +278,20 @@ fn floor_prevents_either_kind_from_starving_the_other() {
     assert!(htm2.is_available(h2), "hash table below the floor survives");
     assert_eq!(htm2.stats().evictions, 0, "floor shielded the ht store");
     assert!(temps2.stats().evictions > 0);
+}
+
+/// The pin-leak detector actually detects: a `mem::forget`-leaked checkout
+/// guard (never released, never dropped) must fail the quiesce assertion
+/// instead of silently pinning its entry against eviction forever.
+#[cfg(feature = "analysis")]
+#[test]
+#[should_panic(expected = "pin leak")]
+fn forgotten_checkout_guard_fails_quiesce() {
+    let (_, htm, _temps) = shared_pair(GcConfig::default());
+    let id = htm.publish(fp("h", 0, 10), schema(), ht(8));
+    let guard = htm.checkout(id).expect("fresh publish is available");
+    std::mem::forget(guard);
+    htm.assert_quiesced();
 }
 
 /// With a floor configured but only one store holding anything, the

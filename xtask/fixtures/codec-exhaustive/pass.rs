@@ -1,0 +1,26 @@
+//! Must pass `codec-exhaustive`: every variant of both persisted enums is
+//! named in the codec section. NOT compiled — read as text by xtask tests.
+
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Date(i32),
+}
+
+pub enum WalRecord {
+    TableLoad(String),
+}
+
+pub fn encode(v: &Value, r: &WalRecord) -> u8 {
+    let a = match v {
+        Value::Int(_) => 1,
+        Value::Float(_) => 2,
+        Value::Str(_) => 3,
+        Value::Date(_) => 4,
+    };
+    let b = match r {
+        WalRecord::TableLoad(_) => 1,
+    };
+    a ^ b
+}

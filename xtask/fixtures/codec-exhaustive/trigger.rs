@@ -1,0 +1,32 @@
+//! Must trip `codec-exhaustive`: the enums gain variants (`Bool`,
+//! `Checkpoint`) that the codec section below never names. The fixture
+//! test points both the def and match halves of the rule at this file.
+//! NOT compiled — read as text by xtask's fixture tests.
+
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Date(i32),
+    Bool(bool),
+}
+
+pub enum WalRecord {
+    TableLoad(String),
+    Checkpoint(u64),
+}
+
+pub fn encode(v: &Value, r: &WalRecord) -> u8 {
+    let a = match v {
+        Value::Int(_) => 1,
+        Value::Float(_) => 2,
+        Value::Str(_) => 3,
+        Value::Date(_) => 4,
+        _ => 0,
+    };
+    let b = match r {
+        WalRecord::TableLoad(_) => 1,
+        _ => 0,
+    };
+    a ^ b
+}

@@ -1,0 +1,16 @@
+//! Must pass `lock-discipline`: every lock field declares its level, on
+//! the line above or trailing, and non-field uses of Mutex (locals, return
+//! types) need no annotation. NOT compiled — read as text by xtask tests.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Registry {
+    // lock-order: 110 (fixture registry entries)
+    pub entries: Mutex<Vec<u64>>,
+    pub index: RwLock<Vec<usize>>, // lock-order: 120 (fixture registry index)
+}
+
+pub fn local_locks_are_not_fields() -> Mutex<u8> {
+    let scratch: Mutex<u8> = Mutex::new(0);
+    scratch
+}

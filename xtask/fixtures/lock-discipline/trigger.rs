@@ -1,0 +1,11 @@
+//! Must trip `lock-discipline`: one Mutex field with no lock-order
+//! annotation and one with a malformed annotation. NOT compiled — read as
+//! text by xtask's fixture tests.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Registry {
+    pub entries: Mutex<Vec<u64>>,
+    // lock-order: high
+    pub index: RwLock<Vec<usize>>,
+}

@@ -1,0 +1,34 @@
+//! Must pass `no-panic-paths`: fallible code returns Err, Drop is
+//! best-effort, the one intentional unwrap carries a tidy:allow with a
+//! reason, and test code may panic freely. NOT compiled — read as text.
+
+pub fn recover(bytes: &[u8]) -> Result<u32, String> {
+    let head: [u8; 4] = bytes
+        .get(..4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| "truncated header".to_string())?;
+    Ok(u32::from_le_bytes(head))
+}
+
+pub fn checked(bytes: &[u8]) -> u32 {
+    debug_assert!(bytes.len() >= 4);
+    // tidy:allow(no-panic-paths): length checked by the caller's framing loop
+    u32::from_le_bytes(bytes[..4].try_into().unwrap())
+}
+
+pub struct Flusher;
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        // Best effort: a failed flush on drop must not abort the process.
+        let _ = std::fs::write("state", b"x");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::recover(&[1, 0, 0, 0]).unwrap();
+    }
+}

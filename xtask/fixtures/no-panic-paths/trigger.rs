@@ -1,0 +1,26 @@
+//! Must trip `no-panic-paths` (checked under a panic-free crate's rel
+//! path): a live unwrap, a live expect, a panic!, and an unwrap inside a
+//! Drop impl. NOT compiled — read as text by xtask's fixture tests.
+
+pub fn recover(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}
+
+pub fn lookup(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).expect("entry exists")
+}
+
+pub fn must(cond: bool) {
+    if !cond {
+        panic!("invariant violated");
+    }
+}
+
+pub struct Flusher;
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        std::fs::write("state", b"x").unwrap();
+    }
+}

@@ -1,0 +1,22 @@
+//! Must pass `no-raw-spawn`: live code goes through the morsel scheduler,
+//! a bench client carries an explicit allow, tests spawn freely. NOT
+//! compiled — read as text by xtask's fixture tests.
+
+pub fn fan_out(xs: &mut [u64]) {
+    hashstash_exec::parallel::run_morsels(xs, |x| *x += 1);
+}
+
+pub fn bench_clients(n: usize) {
+    for _ in 0..n {
+        // tidy:allow(no-raw-spawn): bench client threads model external sessions, not engine work
+        std::thread::spawn(|| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        std::thread::spawn(|| {}).join().ok();
+    }
+}

@@ -1,0 +1,18 @@
+//! Must trip `no-raw-spawn` (checked under a rel path that is not the
+//! morsel scheduler): raw spawn and scope in live code. NOT compiled —
+//! read as text by xtask's fixture tests.
+
+pub fn fan_out(jobs: Vec<Box<dyn FnOnce() + Send>>) {
+    let handles: Vec<_> = jobs.into_iter().map(std::thread::spawn).collect();
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+pub fn scoped(xs: &mut [u64]) {
+    std::thread::scope(|s| {
+        for x in xs.iter_mut() {
+            s.spawn(move || *x += 1);
+        }
+    });
+}

@@ -1,0 +1,18 @@
+//! Must pass `no-std-hasher`: std hashers only inside test code, live code
+//! on the pinned FNV-1a. NOT compiled — read as text by xtask's tests.
+
+pub fn route(key: u64, shards: usize) -> usize {
+    (hashstash_types::fnv1a(&key.to_le_bytes()) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{BuildHasher, RandomState};
+
+    #[test]
+    fn test_only_std_hashers_are_fine() {
+        let _ = DefaultHasher::new();
+        let _ = RandomState::new().build_hasher();
+    }
+}

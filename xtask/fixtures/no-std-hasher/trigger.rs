@@ -1,0 +1,11 @@
+//! Must trip `no-std-hasher`: a live (non-test) use of the process-seeded
+//! std hasher. NOT compiled — read as text by xtask's fixture tests.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+pub fn route(key: u64, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}

@@ -1,0 +1,377 @@
+//! Line-level source model for the tidy lints.
+//!
+//! tidy is deliberately *not* a compiler plugin: like rust-lang/rust's
+//! `src/tools/tidy` it works on lines of text, so it builds in a second,
+//! runs offline, and survives syntax the toolchain of the day cannot parse
+//! yet. The price is a small amount of honest heuristics, all of which live
+//! here:
+//!
+//! * comment and string-literal **stripping** (so a doc comment mentioning
+//!   `unwrap()` or a lint's own token table never trips a lint),
+//! * `#[cfg(test)]` / `#[test]` scope tracking by brace depth (lints gate
+//!   on *non-test* code),
+//! * `impl Drop for` scope tracking (panic sites inside `Drop` abort the
+//!   process during unwind and get their own rule),
+//! * `// tidy:allow(<lint>): <reason>` escape hatches — trailing on the
+//!   offending line or standalone in the comment block directly above it
+//!   (attributes may intervene); the reason is mandatory.
+
+/// One analyzed source line.
+#[derive(Debug)]
+pub struct Line {
+    /// The raw text (comments intact) — used to parse `tidy:allow`.
+    pub raw: String,
+    /// The code portion: line/block comments removed, string and char
+    /// literal *contents* blanked (the quotes remain so tokens cannot
+    /// merge across a removed literal).
+    pub code: String,
+    /// Inside a `#[cfg(test)]` item, a `#[test]` fn, or a test-only file.
+    pub in_test: bool,
+    /// Inside an `impl ... Drop for ...` block.
+    pub in_drop: bool,
+    /// Lints explicitly allowed on this line (name → reason given).
+    pub allows: Vec<(String, String)>,
+    /// A `tidy:allow` on this line was malformed (missing reason or bad
+    /// syntax); the driver reports these so a typo cannot silently grant
+    /// an exemption.
+    pub malformed_allow: bool,
+}
+
+impl Line {
+    /// Whether `lint` is explicitly allowed on this line.
+    pub fn allows(&self, lint: &str) -> bool {
+        self.allows.iter().any(|(l, _)| l == lint)
+    }
+}
+
+/// One analyzed file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated — the unit every
+    /// lint's scoping rules are written against, and what diagnostics print.
+    pub rel: String,
+    pub lines: Vec<Line>,
+}
+
+/// Strip comments and literal contents from a whole file, producing one
+/// `code` string per line. A tiny state machine; raw strings (`r#".."#`),
+/// nested block comments, and escapes are handled, which covers everything
+/// the tree actually contains.
+fn strip(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Str,
+        RawStr(usize),
+        Char,
+        Block(usize),
+    }
+    let mut st = St::Code;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let b: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(b.len());
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            match st {
+                St::Code => {
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        break; // line comment: rest of the line is gone
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        st = St::Block(1);
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    } else if c == '"' {
+                        st = St::Str;
+                        code.push('"');
+                    } else if c == 'r' && matches!(b.get(i + 1), Some('"') | Some('#')) {
+                        // Possible raw string: r"..." or r#"..."#
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&'"') {
+                            st = St::RawStr(hashes);
+                            code.push('"');
+                            i = j + 1;
+                            continue;
+                        }
+                        code.push(c);
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a lifetime is 'ident not
+                        // followed by a closing quote.
+                        let is_lifetime =
+                            b.get(i + 1).is_some_and(|n| n.is_alphabetic() || *n == '_')
+                                && b.get(i + 2) != Some(&'\'');
+                        if is_lifetime {
+                            code.push(c);
+                        } else {
+                            st = St::Char;
+                            code.push('\'');
+                        }
+                    } else {
+                        code.push(c);
+                    }
+                }
+                St::Str => {
+                    if c == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        st = St::Code;
+                        code.push('"');
+                    }
+                }
+                St::RawStr(h) => {
+                    if c == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0;
+                        while seen < h && b.get(j) == Some(&'#') {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == h {
+                            st = St::Code;
+                            code.push('"');
+                            i = j;
+                            continue;
+                        }
+                    }
+                }
+                St::Char => {
+                    if c == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if c == '\'' {
+                        st = St::Code;
+                        code.push('\'');
+                    }
+                }
+                St::Block(d) => {
+                    if c == '*' && b.get(i + 1) == Some(&'/') {
+                        st = if d == 1 { St::Code } else { St::Block(d - 1) };
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && b.get(i + 1) == Some(&'*') {
+                        st = St::Block(d + 1);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Unterminated string/char at end of line cannot continue in valid
+        // rust (only raw strings and block comments span lines).
+        if st == St::Str || st == St::Char {
+            st = St::Code;
+        }
+        out.push(code);
+    }
+    out
+}
+
+/// Parse every `tidy:allow(<lint>): <reason>` occurrence on a raw line;
+/// both the lint name and a non-empty reason are mandatory.
+///
+/// A mention without `(` right after, or with a `<placeholder>` name, is
+/// prose *about* the syntax (docs, error messages) and is skipped rather
+/// than flagged — an attempted-but-broken allow always has `(realname`.
+fn parse_allows(raw: &str) -> (Vec<(String, String)>, bool) {
+    let mut allows = Vec::new();
+    let mut malformed = false;
+    let mut rest = raw;
+    while let Some(at) = rest.find("tidy:allow") {
+        rest = &rest[at + "tidy:allow".len()..];
+        if !rest.starts_with('(') || rest.starts_with("(<") {
+            continue;
+        }
+        let ok = (|| {
+            let inner = rest.strip_prefix('(')?;
+            let close = inner.find(')')?;
+            let name = inner[..close].trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+                return None;
+            }
+            let after = inner[close + 1..].strip_prefix(':')?;
+            let reason = after.trim();
+            if reason.is_empty() {
+                return None;
+            }
+            Some((name.to_string(), reason.to_string()))
+        })();
+        match ok {
+            Some(pair) => allows.push(pair),
+            None => malformed = true,
+        }
+    }
+    (allows, malformed)
+}
+
+/// Analyze one file's text into a [`SourceFile`].
+///
+/// `force_test` marks every line as test code (used for files under a
+/// `tests/` directory, which are integration tests in their entirety).
+pub fn analyze(rel: String, text: &str, force_test: bool) -> SourceFile {
+    let codes = strip(text);
+    let raws: Vec<&str> = text.lines().collect();
+
+    // Scope tracking: each `{` pushes (is_test, is_drop) inherited from the
+    // enclosing scope plus any pending attribute/header seen since the last
+    // brace at this depth.
+    let mut scopes: Vec<(bool, bool)> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_drop = false;
+    let mut lines = Vec::with_capacity(codes.len());
+
+    for (idx, code) in codes.iter().enumerate() {
+        let raw = raws.get(idx).copied().unwrap_or("");
+        let (mut allows, malformed) = parse_allows(raw);
+        // A standalone allow-comment exempts the next code line. Comments
+        // wrap, and attributes (`#[allow(...)]`) may sit between comment and
+        // code, so walk the whole contiguous comment/attribute block above.
+        if !raw.trim_start().starts_with("//") {
+            let mut j = idx;
+            while j > 0 {
+                j -= 1;
+                let prev_raw = raws[j].trim_start();
+                if prev_raw.starts_with("//") {
+                    let (prev_allows, _) = parse_allows(prev_raw);
+                    allows.extend(prev_allows);
+                } else if !codes[j].trim_start().starts_with("#[") {
+                    break;
+                }
+            }
+        }
+
+        let inherited_test = scopes.iter().any(|s| s.0);
+        let inherited_drop = scopes.iter().any(|s| s.1);
+
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            pending_test = true;
+        }
+        // `impl ... Drop for ...` header (possibly with generics between).
+        if code.trim_start().starts_with("impl") && code.contains("Drop for") {
+            pending_drop = true;
+        }
+
+        // The line belongs to a test/drop scope if the enclosing scope is
+        // one, or if it is itself part of the pending item's header.
+        let in_test = force_test || inherited_test || pending_test;
+        let in_drop = inherited_drop || pending_drop;
+
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    scopes.push((
+                        pending_test || scopes.iter().any(|s| s.0),
+                        pending_drop || scopes.iter().any(|s| s.1),
+                    ));
+                    pending_test = false;
+                    pending_drop = false;
+                }
+                '}' => {
+                    scopes.pop();
+                }
+                // An item ending without a body (`#[cfg(test)] use x;`)
+                // consumes the pending attribute. Statement semicolons
+                // inside bodies are harmless: pending is only ever set by
+                // attribute/header lines immediately preceding an item.
+                ';' => {
+                    pending_test = false;
+                    pending_drop = false;
+                }
+                _ => {}
+            }
+        }
+
+        lines.push(Line {
+            raw: raw.to_string(),
+            code: code.clone(),
+            in_test,
+            in_drop,
+            allows,
+            malformed_allow: malformed,
+        });
+    }
+
+    SourceFile { rel, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> SourceFile {
+        analyze("x.rs".into(), text, false)
+    }
+
+    #[test]
+    fn strips_comments_and_literals() {
+        let f = file("let x = \"unwrap()\"; // .unwrap() here\nlet y = 1; /* panic! */ z();");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[1].code.contains("panic"));
+        assert!(f.lines[1].code.contains("z()"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let f = file("let s = r#\"DefaultHasher \"quoted\"\"#; f::<'a>(s);");
+        assert!(!f.lines[0].code.contains("DefaultHasher"));
+        assert!(f.lines[0].code.contains("f::<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_scope_covers_module_body() {
+        let f = file(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}",
+        );
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn drop_impl_scope() {
+        let f =
+            file("impl<T> Drop for Guard<T> {\n    fn drop(&mut self) { x(); }\n}\nfn after() {}");
+        assert!(f.lines[1].in_drop);
+        assert!(!f.lines[3].in_drop);
+    }
+
+    #[test]
+    fn allow_trailing_and_standalone() {
+        let f = file("x.unwrap(); // tidy:allow(no-panic-paths): length checked above\n// tidy:allow(no-raw-spawn): bench client threads\nthread::spawn(f);");
+        assert!(f.lines[0].allows("no-panic-paths"));
+        assert!(f.lines[2].allows("no-raw-spawn"));
+        assert!(!f.lines[2].allows("no-panic-paths"));
+    }
+
+    #[test]
+    fn allow_reaches_through_comment_block_and_attributes() {
+        let f = file(
+            "// tidy:allow(no-raw-spawn): reasons often wrap onto a second\n\
+             // comment line, and an attribute may sit in between\n\
+             #[allow(clippy::disallowed_methods)]\n\
+             thread::spawn(f);\n\
+             thread::spawn(g);",
+        );
+        assert!(f.lines[3].allows("no-raw-spawn"));
+        // The block exempts only the first code line after it.
+        assert!(!f.lines[4].allows("no-raw-spawn"));
+    }
+
+    #[test]
+    fn malformed_allow_is_flagged() {
+        let f = file("x.unwrap(); // tidy:allow(no-panic-paths)\n");
+        assert!(f.lines[0].malformed_allow);
+        assert!(!f.lines[0].allows("no-panic-paths"));
+    }
+}
