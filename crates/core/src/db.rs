@@ -44,6 +44,7 @@ use hashstash_durability::{
 use hashstash_exec::shared::execute_shared;
 use hashstash_exec::{
     acquire_plan_checkouts, execute, ExecContext, ExecMetrics, TempTableCache, TempTableStats,
+    WorkerPool,
 };
 use hashstash_opt::multi::{plan_batch, BatchUnit};
 use hashstash_opt::optimizer::{OptimizedQuery, Optimizer, OptimizerConfig};
@@ -169,6 +170,7 @@ pub struct EngineBuilder {
     benefit_epsilon: f64,
     calibrate: bool,
     parallelism: usize,
+    pin_workers: bool,
     data_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
     persist_min_benefit: f64,
@@ -187,6 +189,7 @@ impl EngineBuilder {
             benefit_epsilon: 0.1,
             calibrate: false,
             parallelism: hashstash_exec::engine_default_parallelism(),
+            pin_workers: false,
             data_dir: None,
             fsync: FsyncPolicy::default(),
             persist_min_benefit: 0.0,
@@ -280,6 +283,17 @@ impl EngineBuilder {
     /// all available cores.
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Pin each pool worker thread to a core (`worker id % cores`) at
+    /// spawn — placement scaffolding for NUMA-aware scheduling. Best
+    /// effort: a sandboxed container may refuse the affinity syscall, in
+    /// which case the workers simply run unpinned
+    /// ([`hashstash_exec::WorkerPool::pinned_workers`] reports how many
+    /// pins took). Default off.
+    pub fn pin_workers(mut self, on: bool) -> Self {
+        self.pin_workers = on;
         self
     }
 
@@ -406,6 +420,10 @@ impl EngineBuilder {
             htm: HtManager::with_budget(Arc::clone(&budget), DEFAULT_SHARDS),
             temps: TempTableCache::with_budget(Arc::clone(&budget), DEFAULT_SHARDS),
             budget,
+            // The submitting session thread is always a phase participant,
+            // so `parallelism`-way execution needs `parallelism - 1` pool
+            // workers. One pool serves every session of this database.
+            pool: WorkerPool::new(self.parallelism.saturating_sub(1), self.pin_workers),
             totals: Mutex::new(SessionStats::default()),
             durability,
         });
@@ -444,6 +462,9 @@ pub struct Database {
     htm: HtManager,
     temps: TempTableCache,
     budget: Arc<ReuseBudget>,
+    /// Persistent morsel workers shared by every session of this database
+    /// (spawned once at build, joined on drop).
+    pool: WorkerPool,
     // lock-order: 50 (session stats rollup; leaf)
     totals: Mutex<SessionStats>,
     durability: Option<Durability>,
@@ -493,6 +514,22 @@ impl Database {
     /// (`1` = serial interpreter).
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// The persistent worker pool parallel phases of every session run on.
+    pub fn worker_pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Assert every background facility is idle: no queued or in-flight
+    /// pool phases, and (under `--features analysis`) no leaked cache
+    /// checkouts in either reuse cache. Stress tests call this after
+    /// joining their clients.
+    #[cfg(feature = "analysis")]
+    pub fn assert_quiesced(&self) {
+        self.pool.assert_quiesced();
+        self.htm.assert_quiesced();
+        self.temps.assert_quiesced();
     }
 
     /// Hash-table cache statistics.
@@ -621,7 +658,9 @@ impl Database {
 impl Drop for Database {
     /// Best-effort flush on clean exit, so simply letting the last handle
     /// go out of scope leaves no torn WAL tail. Errors are swallowed here;
-    /// call [`Database::flush`] explicitly to observe them.
+    /// call [`Database::flush`] explicitly to observe them. The worker
+    /// pool's own `Drop` runs right after this and *joins* its threads —
+    /// no detached workers outlive the database.
     fn drop(&mut self) {
         if self.durability.is_some() {
             let _ = self.flush();
@@ -706,8 +745,9 @@ impl Session {
 
         let decisions = oq.plan.reuse_decisions();
         let t1 = Instant::now();
-        let mut ctx =
-            ExecContext::new(&db.catalog, &db.htm, &db.temps).with_parallelism(db.parallelism);
+        let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps)
+            .with_parallelism(db.parallelism)
+            .with_pool(&db.pool);
         for co in pins {
             ctx.adopt_checkout(co);
         }
@@ -844,7 +884,8 @@ impl Session {
                     }
                     let t1 = Instant::now();
                     let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps)
-                        .with_parallelism(db.parallelism);
+                        .with_parallelism(db.parallelism)
+                        .with_pool(&db.pool);
                     let shared_results = execute_shared(&spec, &mut ctx)?;
                     let wall = t1.elapsed();
                     let metrics = ctx.metrics;

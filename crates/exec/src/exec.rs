@@ -35,9 +35,10 @@ use hashstash_storage::{Catalog, Table};
 
 use crate::parallel::{
     build_grouped_partitioned, build_multimap_partitioned, collect_morsels, default_parallelism,
-    MIN_PARALLEL_BUILD_ROWS,
+    Scheduler, MIN_PARALLEL_BUILD_ROWS,
 };
 use crate::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
+use crate::pool::WorkerPool;
 use crate::temp::TempTableCache;
 
 /// Operation counters collected during execution. These are the observables
@@ -95,6 +96,10 @@ pub struct ExecContext<'a> {
     /// interpreter; any value produces bit-identical output (morsel-order
     /// concatenation), so this is purely a throughput knob.
     pub parallelism: usize,
+    /// The persistent worker pool parallel phases borrow workers from.
+    /// Engines pass their `Database`-owned pool (shared across sessions);
+    /// `None` falls back to the process-wide ambient pool.
+    pool: Option<&'a WorkerPool>,
     /// Checkout guards acquired by the session *before* execution started
     /// (so a table the optimizer picked cannot be evicted in between).
     /// Operators consume them by id; reuse specs without a pre-acquired
@@ -114,6 +119,7 @@ impl<'a> ExecContext<'a> {
             temps,
             metrics: ExecMetrics::default(),
             parallelism: default_parallelism(),
+            pool: None,
             checkouts: HashMap::new(),
         }
     }
@@ -122,6 +128,23 @@ impl<'a> ExecContext<'a> {
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
         self
+    }
+
+    /// Run parallel phases on `pool` instead of the ambient fallback.
+    /// Engines pass their `Database`-owned pool so every session of the
+    /// database shares one set of workers.
+    pub fn with_pool(mut self, pool: &'a WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The scheduler parallel phases run under: this context's worker
+    /// count, on its pool.
+    pub fn sched(&self) -> Scheduler<'a> {
+        Scheduler {
+            parallelism: self.parallelism,
+            pool: self.pool,
+        }
     }
 
     /// Hand the context a checkout guard acquired ahead of execution.
@@ -425,7 +448,7 @@ fn scan_box(
             ctx.metrics.rows_scanned += ids.len() as u64;
             let checks = &checks;
             let mut rows =
-                collect_morsels(ctx.parallelism, ids.len(), |range| {
+                collect_morsels(ctx.sched(), ids.len(), |range| {
                     let mut buf = Vec::new();
                     for &rid in &ids[range] {
                         let rid = rid as usize;
@@ -443,7 +466,7 @@ fn scan_box(
             let n = table.row_count();
             ctx.metrics.rows_scanned += n as u64;
             let checks = &checks;
-            let mut rows = collect_morsels(ctx.parallelism, n, |range| {
+            let mut rows = collect_morsels(ctx.sched(), n, |range| {
                 let mut buf = Vec::new();
                 for rid in range {
                     if checks
@@ -572,14 +595,14 @@ fn run_hash_join(
                 // probe output, fingerprints, and publish dedup are
                 // unaffected by the worker count.
                 let rows_ref = &rows;
-                let keys: Vec<u64> = collect_morsels(ctx.parallelism, rows.len(), |range| {
+                let keys: Vec<u64> = collect_morsels(ctx.sched(), rows.len(), |range| {
                     rows_ref[range]
                         .iter()
                         .map(|row| row.key64(&[build_key_idx]))
                         .collect()
                 });
                 let values: Vec<TaggedRow> = rows.into_iter().map(TaggedRow::untagged).collect();
-                build_multimap_partitioned(ctx.parallelism, target, keys, values);
+                build_multimap_partitioned(ctx.sched(), target, keys, values);
             } else {
                 // Serial build — also the only path for mutating-reuse
                 // deltas, which extend a table with existing chain history.
@@ -629,7 +652,7 @@ fn run_hash_join(
     let ht = source.probe_table();
     let post_filters = &post_filters;
     let probe_rows_ref = &probe_rows;
-    let out = collect_morsels(ctx.parallelism, probe_rows.len(), |range| {
+    let out = collect_morsels(ctx.sched(), probe_rows.len(), |range| {
         let mut buf = Vec::new();
         for prow in &probe_rows_ref[range] {
             let key = prow.key64(&[probe_key_idx]);
@@ -782,24 +805,34 @@ fn run_hash_agg(
                 // `upsert_where` loop below does to the table.
                 let rows_ref = &rows;
                 let group_idx_ref = &group_idx;
-                let prep: Vec<(u64, Row)> = collect_morsels(ctx.parallelism, rows.len(), |range| {
+                // Keys only — the group row is projected lazily, once per
+                // *group* (in `init`), not once per input row: materializing
+                // a projected `Row` per row costs two heap allocations each
+                // and dominates the whole build for low-cardinality groups.
+                let keys: Vec<u64> = collect_morsels(ctx.sched(), rows.len(), |range| {
                     rows_ref[range]
                         .iter()
-                        .map(|row| (row.key64(group_idx_ref), row.project(group_idx_ref)))
+                        .map(|row| row.key64(group_idx_ref))
                         .collect()
                 });
-                let keys: Vec<u64> = prep.iter().map(|(k, _)| *k).collect();
                 let fold = |i: usize, p: &mut AggPayload| {
                     for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
                         accum.update(rows_ref[i].get(ai));
                     }
                 };
                 let gb = build_grouped_partitioned(
-                    ctx.parallelism,
+                    ctx.sched(),
                     &keys,
-                    |i: usize, p: &AggPayload| p.group == prep[i].1,
+                    // Allocation-free equivalent of `p.group == row.project(..)`.
+                    |i: usize, p: &AggPayload| {
+                        p.group.len() == group_idx_ref.len()
+                            && group_idx_ref
+                                .iter()
+                                .enumerate()
+                                .all(|(c, &gi)| *p.group.get(c) == *rows_ref[i].get(gi))
+                    },
                     |i: usize| {
-                        let mut p = AggPayload::new(prep[i].1.clone(), aggs);
+                        let mut p = AggPayload::new(rows_ref[i].project(group_idx_ref), aggs);
                         fold(i, &mut p);
                         p
                     },
@@ -808,12 +841,12 @@ fn run_hash_agg(
                 inserts = gb.inserts;
                 updates = gb.updates;
                 let mut merged = gb.groups.into_iter().peekable();
-                for (i, (key, _)) in prep.iter().enumerate() {
+                for (i, &key) in keys.iter().enumerate() {
                     if let Some(g) = merged.next_if(|g| g.first_row == i) {
                         ht.touch(g.key);
                         ht.insert(g.key, g.payload);
                     } else {
-                        ht.touch(*key);
+                        ht.touch(key);
                     }
                 }
                 debug_assert!(merged.peek().is_none(), "all groups replayed");
@@ -884,7 +917,7 @@ fn run_hash_agg(
             // entire output phase of exact/subsuming reuse — runs
             // morsel-parallel over the arena.
             let post_filters = &post_filters;
-            out_rows = collect_morsels(ctx.parallelism, ht.len(), |range| {
+            out_rows = collect_morsels(ctx.sched(), ht.len(), |range| {
                 let mut buf = Vec::new();
                 for (_, payload) in ht.iter_range(range) {
                     if !post_filters.iter().all(|pf| pf.eval(&payload.group)) {

@@ -17,9 +17,12 @@
 //! * [`exec`] — the interpreter plus [`exec::ExecMetrics`] (tuples scanned,
 //!   hash-table inserts/probes/updates, bytes materialized) used to validate
 //!   cost models.
-//! * [`parallel`] — the morsel scheduler: a fixed scoped-thread worker pool
-//!   over an atomic morsel counter, per-worker output buffers concatenated
-//!   in morsel-index order.
+//! * [`parallel`] — the morsel scheduler: phases over an atomic claim
+//!   space, per-participant output buffers concatenated in morsel-index
+//!   order.
+//! * [`pool`] — the persistent [`pool::WorkerPool`] those phases run on:
+//!   spawned once per `Database` (or lazily process-wide), shared across
+//!   phases, queries, and sessions, joined on drop.
 //! * [`temp`] — the temp-table cache of the materialization-based reuse
 //!   baseline (Nagel-style: exact + subsuming reuse of *operator outputs*,
 //!   paid for by extra materialization work during execution).
@@ -29,13 +32,16 @@
 pub mod exec;
 pub mod parallel;
 pub mod plan;
+pub mod pool;
 pub mod shared;
 pub mod temp;
 
 pub use exec::{acquire_plan_checkouts, execute, ExecContext, ExecMetrics};
 pub use parallel::{
-    default_parallelism, engine_default_parallelism, MIN_PARALLEL_BUILD_ROWS, MORSEL_ROWS,
+    default_parallelism, effective_parallelism, engine_default_parallelism, min_parallel_morsels,
+    Scheduler, MIN_PARALLEL_BUILD_ROWS, MORSEL_ROWS, PHASE_DISPATCH_NS,
 };
 pub use plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
+pub use pool::WorkerPool;
 pub use shared::{SharedPlanSpec, SharedReuse};
 pub use temp::{TempTableCache, TempTableStats};

@@ -3,27 +3,47 @@
 //! The interpreter stays a plain recursive tree-walk; the hot loops inside
 //! individual operators — base-table scan filtering, hash-join probing, the
 //! post-filter pass over a reused table — are split into fixed-size
-//! row-range *morsels* dispatched to a small fixed pool of scoped worker
-//! threads (no work stealing: workers claim the next morsel index from a
-//! shared atomic counter, which balances skew just as well for uniform
-//! row-range work).
+//! row-range *morsels* claimed by the participants of a phase submitted to
+//! a persistent [`WorkerPool`] (see [`crate::pool`] for the submission
+//! protocol). There is no per-phase thread spawning: workers live as long
+//! as their pool, and a phase dispatch is one queue push plus a condvar
+//! wakeup.
 //!
 //! # Determinism
 //!
-//! Each worker writes into a private output buffer per morsel; the
+//! Each participant writes into a private output buffer per morsel; the
 //! scheduler returns the per-morsel buffers **in morsel-index order**, and
 //! rows within one morsel are processed in row order. Concatenating the
 //! buffers therefore yields exactly the sequence the serial loop would have
 //! produced: parallel execution is bit-identical to `parallelism = 1`, for
-//! any worker count and any scheduling interleaving. Tests pin this
-//! (`tests/parallel_determinism.rs`).
+//! any worker count, any pool size, and any scheduling interleaving. Tests
+//! pin this (`tests/parallel_determinism.rs`).
 //!
 //! # Granularity
 //!
-//! Inputs smaller than one morsel ([`MORSEL_ROWS`]) never cross a thread
-//! boundary — tiny operators keep their serial fast path and zero spawn
-//! overhead, so unit tests and low-selectivity deltas are unaffected by the
-//! engine-level parallelism default.
+//! Inputs smaller than [`min_parallel_morsels`] morsels never cross a
+//! thread boundary — tiny operators keep their serial fast path and zero
+//! dispatch overhead, so unit tests and low-selectivity deltas are
+//! unaffected by the engine-level parallelism default. The threshold is
+//! *derived* from the measured per-phase dispatch cost
+//! ([`PHASE_DISPATCH_NS`]), which the cost model also prices
+//! (`CostParams::parallel_dispatch_ns`). In the other direction the
+//! fan-out width is clamped to the machine's core count
+//! ([`effective_parallelism`], floor two): CPU-bound morsels gain nothing
+//! from oversubscription, and every output is participant-count-invariant
+//! so the clamp is invisible to results.
+//!
+//! # Locality
+//!
+//! The claim space is split into one contiguous index segment per
+//! participant. Each participant starts claiming from its *preferred*
+//! segment — the segment that thread last touched if it has one, else a
+//! stable function of its worker id — and only probes neighbouring
+//! segments once its own drains. On today's 1-core container this is pure
+//! scaffolding; on real hardware it keeps a worker walking the column
+//! ranges it last pulled into cache, and gives a NUMA-aware scheduler the
+//! hook it needs (segment → socket). Because the output is reassembled in
+//! index order, preference is invisible to results.
 //!
 //! # Builds
 //!
@@ -37,27 +57,42 @@
 //! bit-identical to the serial build at any worker count (pinned by
 //! `tests/build_equivalence.rs` and `tests/parallel_determinism.rs`).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use hashstash_hashtable::{bucket_ranges, partition_chains, ExtendibleHashTable};
+
+use crate::pool::{WorkerPool, CALLER_SLOT};
 
 /// Rows per morsel. Large enough that per-morsel dispatch (one atomic
 /// fetch-add plus a buffer push) is noise; small enough that a handful of
 /// morsels balance across workers even on skewed filters.
 pub const MORSEL_ROWS: usize = 1024;
 
-/// Minimum morsel count before a phase fans out. Workers are scoped
-/// threads spawned per parallel phase (the offline container rules out a
-/// rayon-style global pool), so a spawn+join round must be amortized over
-/// several morsels of real work; below this, inline execution wins. The
-/// cost model mirrors this threshold and prices the spawn
-/// ([`CostParams::parallel_spawn_ns`]).
-///
-/// [`CostParams::parallel_spawn_ns`]: ../../hashstash_opt/cost/struct.CostParams.html
-pub const MIN_PARALLEL_MORSELS: usize = 4;
+/// Measured cost of submitting one phase to a warm [`WorkerPool`] (queue
+/// push + condvar wakeup + quiesce wait), in nanoseconds. `exp8_parallel`
+/// records the live number per run (`dispatch_warm_ns`); this constant is
+/// the calibrated ceiling the inline threshold and the cost model
+/// (`CostParams::parallel_dispatch_ns`) both derive from. The retired
+/// spawn-per-phase baseline cost ~25 µs per phase — an order of magnitude
+/// more.
+pub const PHASE_DISPATCH_NS: u64 = 2_500;
+
+/// Minimum morsel count before a phase fans out, derived from the dispatch
+/// cost: fanning out must buy at least ~20× [`PHASE_DISPATCH_NS`] of real
+/// work (at a conservative ~2 ns/row for the cheapest morsel loops) to be
+/// worth coordinating, and never engages below two morsels. The cost model
+/// mirrors this exact threshold so plan pricing and runtime behaviour
+/// agree.
+pub fn min_parallel_morsels() -> usize {
+    const AMORTIZE: u64 = 20;
+    const CHEAPEST_NS_PER_ROW: u64 = 2;
+    let rows = (PHASE_DISPATCH_NS * AMORTIZE / CHEAPEST_NS_PER_ROW) as usize;
+    rows.div_ceil(MORSEL_ROWS).max(2)
+}
 
 /// Worker count taken from the `PARALLELISM` environment variable, falling
 /// back to `1` (the serial interpreter). [`ExecContext::new`] uses this so
@@ -92,6 +127,172 @@ pub fn engine_default_parallelism() -> usize {
         })
 }
 
+/// Most participants a phase can productively use on this machine: every
+/// core the OS reports, with a floor of two. CPU-bound morsel work gains
+/// nothing from more runnable threads than cores, and the partitioned
+/// builds pay a full (cheap) key scan *per partition* — so on a small
+/// host an oversubscribed fan-out buys only context-switch churn and
+/// duplicated scans. The floor keeps the pooled and partitioned code
+/// paths live (and covered by the test battery) even on a single-core
+/// container; results are unaffected either way because every output is
+/// participant-count-invariant by construction.
+pub fn effective_parallelism(requested: usize) -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    let limit = *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2)
+    });
+    requested.min(limit)
+}
+
+/// Where a phase runs: how many participants, and on which pool.
+///
+/// `From<usize>` keeps the historical call shape working — a bare worker
+/// count schedules onto the process-wide [`WorkerPool::ambient`] pool —
+/// while engine execution passes `ExecContext::sched()`, which carries the
+/// `Database`-owned pool so concurrent sessions share workers.
+#[derive(Clone, Copy)]
+pub struct Scheduler<'p> {
+    /// Total participants per phase: the submitting thread plus up to
+    /// `parallelism - 1` pool workers. `<= 1` is the serial interpreter.
+    pub parallelism: usize,
+    /// Pool to borrow workers from; `None` resolves to the ambient pool.
+    pub pool: Option<&'p WorkerPool>,
+}
+
+impl From<usize> for Scheduler<'static> {
+    fn from(parallelism: usize) -> Scheduler<'static> {
+        Scheduler {
+            parallelism,
+            pool: None,
+        }
+    }
+}
+
+impl<'p> Scheduler<'p> {
+    /// Participants a phase actually fans out to: the requested
+    /// parallelism clamped by [`effective_parallelism`]. The *serial or
+    /// not* decision keys off the raw `parallelism` (so a `parallelism =
+    /// 1` scheduler is byte-identically the serial interpreter); the
+    /// fan-out width keys off this.
+    fn effective(&self) -> usize {
+        effective_parallelism(self.parallelism)
+    }
+
+    fn pool(&self) -> &'p WorkerPool {
+        match self.pool {
+            Some(pool) => pool,
+            None => WorkerPool::ambient(),
+        }
+    }
+}
+
+thread_local! {
+    /// Index segment this thread last claimed from, for locality-preferring
+    /// claims across phases (`usize::MAX` = none yet). Thread-local rather
+    /// than pool state so the submitting session thread participates too.
+    static LAST_SEGMENT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The claim space of one phase: indices `0..count` split into one
+/// contiguous segment per expected participant. Participants drain their
+/// preferred segment first, then steal from neighbours round-robin — every
+/// index is claimed exactly once regardless of who shows up.
+struct ClaimSpace {
+    /// Next unclaimed index per segment (monotonic; may overshoot its end).
+    cursors: Vec<AtomicUsize>,
+    /// Exclusive end of each segment.
+    ends: Vec<usize>,
+}
+
+impl ClaimSpace {
+    fn new(count: usize, segments: usize) -> ClaimSpace {
+        let segments = segments.max(1).min(count.max(1));
+        let base = count / segments;
+        let extra = count % segments;
+        let mut cursors = Vec::with_capacity(segments);
+        let mut ends = Vec::with_capacity(segments);
+        let mut start = 0;
+        for s in 0..segments {
+            let len = base + usize::from(s < extra);
+            cursors.push(AtomicUsize::new(start));
+            start += len;
+            ends.push(start);
+        }
+        ClaimSpace { cursors, ends }
+    }
+
+    fn segments(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Claim the next index, preferring segment `preferred`; returns the
+    /// index and the segment it came from.
+    fn claim(&self, preferred: usize) -> Option<(usize, usize)> {
+        let k = self.segments();
+        for probe in 0..k {
+            let s = (preferred + probe) % k;
+            let i = self.cursors[s].fetch_add(1, Ordering::Relaxed);
+            if i < self.ends[s] {
+                return Some((i, s));
+            }
+        }
+        None
+    }
+}
+
+/// Segment a participant starts claiming from: the segment its thread last
+/// touched if still valid, else a stable spread by worker id (the caller
+/// takes segment 0 — it starts first, so it gets the front of the input).
+fn preferred_segment(slot: usize, segments: usize) -> usize {
+    let last = LAST_SEGMENT.with(Cell::get);
+    if last < segments {
+        last
+    } else if slot == CALLER_SLOT {
+        0
+    } else {
+        slot % segments
+    }
+}
+
+/// Run `f(i)` for every `i in 0..count` as one pool phase and return the
+/// outputs **in index order** — the shared primitive under [`run_morsels`]
+/// and the partitioned builds. Serial (`parallelism <= 1` or a single
+/// index) runs inline with zero scheduling machinery.
+fn run_indexed<T, F>(sched: Scheduler<'_>, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if sched.parallelism <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let participants = sched.effective().min(count);
+    let claims = ClaimSpace::new(count, participants);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    sched.pool().run_phase(participants - 1, &|slot| {
+        let mut seg = preferred_segment(slot, claims.segments());
+        let mut local = Vec::new();
+        while let Some((i, s)) = claims.claim(seg) {
+            seg = s;
+            local.push((i, f(i)));
+        }
+        LAST_SEGMENT.with(|c| c.set(seg));
+        if !local.is_empty() {
+            results
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend(local);
+        }
+    });
+    let mut all = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+    debug_assert_eq!(all.len(), count);
+    all.sort_unstable_by_key(|(i, _)| *i);
+    all.into_iter().map(|(_, t)| t).collect()
+}
+
 /// Number of morsels `total` rows split into.
 pub fn morsel_count(total: usize) -> usize {
     total.div_ceil(MORSEL_ROWS)
@@ -103,124 +304,95 @@ fn morsel_range(index: usize, total: usize) -> Range<usize> {
     start..(start + MORSEL_ROWS).min(total)
 }
 
-/// Run `f` once per morsel of `0..total` on up to `parallelism` worker
-/// threads and return the per-morsel outputs **in morsel-index order**.
+/// Run `f` once per morsel of `0..total` across the phase's participants
+/// and return the per-morsel outputs **in morsel-index order**.
 ///
 /// `f` receives the row range of its morsel and must be pure with respect
 /// to shared state (it gets `&` captures only). With `parallelism <= 1`,
-/// or when the input is smaller than [`MIN_PARALLEL_MORSELS`] morsels
-/// (too little work to amortize the per-phase spawn+join), `f` runs once
-/// over the whole range inline on the caller's thread — the serial
-/// interpreter path, byte for byte and allocation for allocation.
+/// or when the input is smaller than [`min_parallel_morsels`] morsels (too
+/// little work to amortize even a warm-pool dispatch), `f` runs once over
+/// the whole range inline on the caller's thread — the serial interpreter
+/// path, byte for byte and allocation for allocation.
 ///
-/// A panic inside a worker is propagated to the caller with its original
-/// payload after the scope joins (no detached threads, no poisoned state).
-pub fn run_morsels<T, F>(parallelism: usize, total: usize, f: F) -> Vec<T>
+/// A panic inside any participant is propagated to the caller with its
+/// original payload after the phase quiesces (no detached threads, no
+/// poisoned pool — see `crate::pool`).
+pub fn run_morsels<'p, S, T, F>(sched: S, total: usize, f: F) -> Vec<T>
 where
+    S: Into<Scheduler<'p>>,
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
+    let sched = sched.into();
     let morsels = morsel_count(total);
     if morsels == 0 {
         return Vec::new();
     }
-    if parallelism <= 1 || morsels < MIN_PARALLEL_MORSELS {
+    if sched.parallelism <= 1 || morsels < min_parallel_morsels() {
         // One undivided morsel: the pre-morsel serial loop, with no
         // per-chunk allocations (rows within a morsel are processed in row
         // order, so the output is the same either way).
         return vec![f(0..total)];
     }
-    let workers = parallelism.min(morsels);
-    let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= morsels {
-                            break;
-                        }
-                        local.push((i, f(morsel_range(i, total))));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(local) => local,
-                // Re-raise with the original payload so the real panic
-                // message and location survive to the test/CI output.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut all: Vec<(usize, T)> = parts.into_iter().flatten().collect();
-    debug_assert_eq!(all.len(), morsels);
-    all.sort_unstable_by_key(|(i, _)| *i);
-    all.into_iter().map(|(_, t)| t).collect()
+    run_indexed(sched, morsels, |i| f(morsel_range(i, total)))
 }
 
 /// Minimum build-side row count before a hash-table build fans out. A
-/// partitioned build pays one spawn+join round plus a serial stitch pass;
-/// below this the plain insert loop wins. Mirrors the morsel fan-out
-/// threshold (`MORSEL_ROWS * MIN_PARALLEL_MORSELS`), and the cost model
-/// prices the same cutoff ([`CostModel::parallel_build`]).
+/// partitioned build pays one phase dispatch plus a serial stitch pass
+/// whose cost scales with the row count, so its amortization point sits
+/// well below the morsel threshold: four morsels of rows is where the
+/// partitioned chain computation starts beating the plain insert loop.
+/// The cost model prices the same cutoff
+/// ([`CostModel::parallel_build`]).
 ///
 /// [`CostModel::parallel_build`]: ../../hashstash_opt/cost/struct.CostModel.html#method.parallel_build
-pub const MIN_PARALLEL_BUILD_ROWS: usize = MORSEL_ROWS * MIN_PARALLEL_MORSELS;
+pub const MIN_PARALLEL_BUILD_ROWS: usize = MORSEL_ROWS * 4;
 
 /// Build a multimap hash table from parallel `keys`/`values` columns in row
 /// order, **bit-identically** to the serial `reserve(n)` + [`insert`] loop,
-/// fanning the chain computation out over `workers` bucket-range
+/// fanning the chain computation out over per-worker bucket-range
 /// partitions. (Columns rather than pairs: call sites compute the keys in a
 /// morsel-parallel pass and would otherwise zip and immediately un-zip.)
 ///
 /// The directory is pre-sized first, which fixes every key's bucket; each
-/// worker owns a contiguous bucket range and derives the collision chains
-/// its buckets would have after a serial build (same newest-first order,
-/// same distinct-key bookkeeping). A single serial stitch pass then installs
-/// chains and values — arena order is row order either way, so the result is
-/// byte-identical to the serial build at any worker count, including the
-/// lazy-split depth state and the resize counter. With `workers <= 1` this
-/// *is* the serial loop.
+/// partition owns a contiguous bucket range and derives the collision
+/// chains its buckets would have after a serial build (same newest-first
+/// order, same distinct-key bookkeeping). A single serial stitch pass then
+/// installs chains and values — arena order is row order either way, so the
+/// result is byte-identical to the serial build at any worker count,
+/// including the lazy-split depth state and the resize counter. With
+/// `parallelism <= 1` this *is* the serial loop.
 ///
 /// `table` must be empty (fresh build). Mutating-reuse delta inserts keep
 /// the plain serial loop: they extend a table with existing history.
 ///
 /// [`insert`]: ExtendibleHashTable::insert
-pub fn build_multimap_partitioned<V: Send>(
-    workers: usize,
+pub fn build_multimap_partitioned<'p, S, V>(
+    sched: S,
     table: &mut ExtendibleHashTable<V>,
     keys: Vec<u64>,
     values: Vec<V>,
-) {
+) where
+    S: Into<Scheduler<'p>>,
+    V: Send,
+{
+    let sched = sched.into();
     assert_eq!(keys.len(), values.len(), "one key per value");
     table.reserve(keys.len());
-    if workers <= 1 || keys.len() < 2 {
+    if sched.parallelism <= 1 || keys.len() < 2 {
         for (key, value) in keys.into_iter().zip(values) {
             table.insert(key, value);
         }
         return;
     }
     let dir_len = table.bucket_count();
-    let ranges = bucket_ranges(dir_len, workers);
+    // Every partition scans the full key column, so the partition count is
+    // clamped to the machine — the chains are partition-count-invariant.
+    let ranges = bucket_ranges(dir_len, sched.effective());
     let keys_ref = &keys;
-    let parts = std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| s.spawn(move || partition_chains(keys_ref, dir_len, range)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(part) => part,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect::<Vec<_>>()
+    let ranges_ref = &ranges;
+    let parts = run_indexed(sched, ranges.len(), |i| {
+        partition_chains(keys_ref, dir_len, ranges_ref[i].clone())
     });
     table.fill_from_partitions(&keys, values, parts);
 }
@@ -260,61 +432,119 @@ fn group_owner(key: u64, workers: usize) -> usize {
     ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % workers
 }
 
+/// `HashMap` hasher for keys that already *are* 64-bit hashes (the grouped
+/// build folds `Row::key64` outputs): re-mixing them through SipHash costs
+/// more per row than the fold's real work. Finalizes with one
+/// multiply-shift so low-bit-patterned keys still spread across HashMap
+/// buckets.
+#[derive(Clone, Copy, Default)]
+struct PreHashed(u64);
+
+impl std::hash::Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Total fallback for non-u64 writes (none today): FNV-1a.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        self.0 = key;
+    }
+}
+
+type PreHashedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PreHashed>>;
+
 /// Fold rows into groups in parallel, partitioned **by key**, such that the
 /// outcome is independent of the worker count:
 ///
 /// * group identity (`matches`) and per-group fold order are key-local
-///   facts: each worker scans the full row sequence in row order and folds
-///   only the rows whose key it owns, so every group's `update` calls happen
-///   in global row order — floating-point accumulation included;
+///   facts: each partition scans the full row sequence in row order and
+///   folds only the rows whose key it owns, so every group's `update` calls
+///   happen in global row order — floating-point accumulation included;
 /// * the merged group list is ordered by first-occurrence row, which is the
 ///   arena order of a serial `upsert` loop.
 ///
 /// The caller replays the structural history into a real table (one
 /// [`touch`] per row, one [`insert`] per group-creating row — see
 /// [`ExtendibleHashTable::touch`]) to obtain a table bit-identical to the
-/// serial build. With `workers <= 1` the single partition still uses this
-/// code path; callers that want the serial fast path keep their own loop.
+/// serial build. With `parallelism <= 1` the single partition still uses
+/// this code path; callers that want the serial fast path keep their own
+/// loop.
 ///
 /// [`touch`]: ExtendibleHashTable::touch
 /// [`insert`]: ExtendibleHashTable::insert
-pub fn build_grouped_partitioned<P, M, I, U>(
-    workers: usize,
+pub fn build_grouped_partitioned<'p, S, P, M, I, U>(
+    sched: S,
     keys: &[u64],
     matches: M,
     init: I,
     update: U,
 ) -> GroupedBuild<P>
 where
+    S: Into<Scheduler<'p>>,
     P: Send,
     M: Fn(usize, &P) -> bool + Sync,
     I: Fn(usize) -> P + Sync,
     U: Fn(usize, &mut P) + Sync,
 {
-    let workers = workers.max(1);
+    let sched = sched.into();
+    // Clamped like the multimap build: every partition scans (and
+    // owner-filters) the full key column, and the merged result is
+    // partition-count-invariant.
+    let workers = sched.effective().max(1);
     let fold_partition = |w: usize| {
         let mut groups: Vec<MergedGroup<P>> = Vec::new();
-        // key → positions in `groups` (collisions on the 64-bit key are
-        // disambiguated by `matches`, like the serial chain walk).
-        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        // key → most recent group with that key; earlier same-key groups
+        // (64-bit collisions disambiguated by `matches`, like the serial
+        // chain walk) are linked through `prev`. At most one group matches,
+        // so walk order is irrelevant — and chaining through a side vector
+        // avoids a heap allocation per distinct key.
+        const NO_PREV: u32 = u32::MAX;
+        let mut index: PreHashedMap<u32> = PreHashedMap::default();
+        let mut prev: Vec<u32> = Vec::new();
         let mut inserts = 0u64;
         let mut updates = 0u64;
         for (i, &key) in keys.iter().enumerate() {
             if workers > 1 && group_owner(key, workers) != w {
                 continue;
             }
-            let slot = index.entry(key).or_default();
-            let found = slot
-                .iter()
-                .copied()
-                .find(|&g| matches(i, &groups[g as usize].payload));
+            let mut found = None;
+            let slot = index.entry(key);
+            if let std::collections::hash_map::Entry::Occupied(ref e) = slot {
+                let mut g = *e.get();
+                loop {
+                    if matches(i, &groups[g as usize].payload) {
+                        found = Some(g);
+                        break;
+                    }
+                    g = prev[g as usize];
+                    if g == NO_PREV {
+                        break;
+                    }
+                }
+            }
             match found {
                 Some(g) => {
                     update(i, &mut groups[g as usize].payload);
                     updates += 1;
                 }
                 None => {
-                    slot.push(groups.len() as u32);
+                    let next = groups.len() as u32;
+                    match slot {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            prev.push(*e.get());
+                            *e.get_mut() = next;
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            prev.push(NO_PREV);
+                            v.insert(next);
+                        }
+                    }
                     groups.push(MergedGroup {
                         first_row: i,
                         key,
@@ -329,17 +559,7 @@ where
     let parts: Vec<(Vec<MergedGroup<P>>, u64, u64)> = if workers <= 1 {
         vec![fold_partition(0)]
     } else {
-        let fold_ref = &fold_partition;
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || fold_ref(w))).collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(part) => part,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        })
+        run_indexed(sched, workers, fold_partition)
     };
     let mut inserts = 0;
     let mut updates = 0;
@@ -350,8 +570,11 @@ where
         updates += u;
     }
     // first_row is unique (one creating row per group), so this is a total
-    // order — the serial arena order, independent of the partitioning.
-    groups.sort_unstable_by_key(|g| g.first_row);
+    // order — the serial arena order, independent of the partitioning. Each
+    // partition scanned in row order, so `groups` is a concatenation of
+    // `workers` already-sorted runs: the stable sort's natural-run merge
+    // makes this an O(n log workers) merge, not a full sort.
+    groups.sort_by_key(|g| g.first_row);
     GroupedBuild {
         groups,
         inserts,
@@ -361,12 +584,13 @@ where
 
 /// [`run_morsels`] for the common case of producing rows: flattens the
 /// per-morsel buffers (still in morsel order) into one output vector.
-pub fn collect_morsels<T, F>(parallelism: usize, total: usize, f: F) -> Vec<T>
+pub fn collect_morsels<'p, S, T, F>(sched: S, total: usize, f: F) -> Vec<T>
 where
+    S: Into<Scheduler<'p>>,
     T: Send,
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
-    let mut chunks = run_morsels(parallelism, total, f);
+    let mut chunks = run_morsels(sched, total, f);
     if chunks.len() <= 1 {
         return chunks.pop().unwrap_or_default();
     }
@@ -381,6 +605,19 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Smallest row count that engages the pool (at least
+    /// `min_parallel_morsels()` morsels), plus a ragged tail.
+    fn engaged_total(tail: usize) -> usize {
+        MORSEL_ROWS * (min_parallel_morsels() + 2) + tail
+    }
+
+    #[test]
+    fn threshold_derives_from_dispatch_cost() {
+        // 2 500 ns dispatch × 20 amortization ÷ 2 ns/row = 25 600 rows.
+        assert_eq!(min_parallel_morsels(), 25);
+        assert!(min_parallel_morsels() >= 2);
+    }
 
     #[test]
     fn empty_input_runs_nothing() {
@@ -405,7 +642,7 @@ mod tests {
 
     #[test]
     fn morsel_order_is_deterministic_for_any_worker_count() {
-        let total = MORSEL_ROWS * 7 + 123;
+        let total = engaged_total(123);
         let serial: Vec<usize> = collect_morsels(1, total, |r| r.collect());
         assert_eq!(serial, (0..total).collect::<Vec<_>>());
         for workers in [2, 3, 4, 8, 64] {
@@ -415,8 +652,23 @@ mod tests {
     }
 
     #[test]
+    fn explicit_pool_matches_ambient_pool_output() {
+        let pool = WorkerPool::new(3, false);
+        let total = engaged_total(7);
+        let sched = Scheduler {
+            parallelism: 4,
+            pool: Some(&pool),
+        };
+        let on_private: Vec<usize> = collect_morsels(sched, total, |r| r.collect());
+        let on_ambient: Vec<usize> = collect_morsels(4, total, |r| r.collect());
+        assert_eq!(on_private, on_ambient);
+        assert!(pool.jobs_dispatched() >= 1, "the private pool was used");
+        pool.assert_quiesced();
+    }
+
+    #[test]
     fn ranges_tile_the_input_exactly() {
-        let total = MORSEL_ROWS * 3 + 1;
+        let total = engaged_total(1);
         let ranges = run_morsels(4, total, |r| r);
         assert_eq!(ranges.len(), morsel_count(total));
         let mut expect_start = 0;
@@ -446,7 +698,7 @@ mod tests {
         // The payload is a running f64 sum: any change in per-group fold
         // order shows up as a bit difference.
         let keys: Vec<u64> = (0..5000u64).map(|i| (i * i) % 13).collect();
-        let run = |workers| {
+        let run = |workers: usize| {
             build_grouped_partitioned(
                 workers,
                 &keys,
@@ -483,7 +735,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom")]
     fn worker_panic_propagates_with_original_payload() {
-        run_morsels(2, MORSEL_ROWS * 4, |r| {
+        run_morsels(2, engaged_total(0), |r| {
             if r.start >= MORSEL_ROWS {
                 panic!("boom");
             }
@@ -494,7 +746,7 @@ mod tests {
     #[test]
     fn sub_threshold_inputs_run_inline_as_one_chunk() {
         let caller = std::thread::current().id();
-        let total = MORSEL_ROWS * (MIN_PARALLEL_MORSELS - 1);
+        let total = MORSEL_ROWS * (min_parallel_morsels() - 1);
         let out = run_morsels(8, total, |r| {
             assert_eq!(std::thread::current().id(), caller);
             r

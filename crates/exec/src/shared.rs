@@ -243,7 +243,7 @@ pub fn execute_shared(
             ctx.metrics.ht_probes += pipeline_rows.len() as u64;
             let input = &pipeline_rows;
             let next =
-                crate::parallel::collect_morsels(ctx.parallelism, pipeline_rows.len(), |range| {
+                crate::parallel::collect_morsels(ctx.sched(), pipeline_rows.len(), |range| {
                     let mut buf = Vec::new();
                     for (row, _) in &input[range] {
                         let key = row.key64(&[probe_idx]);
@@ -266,7 +266,7 @@ pub fn execute_shared(
         let schema_ref = &pipeline_schema;
         let rows_ref = &pipeline_rows;
         let tags: Vec<QidSet> =
-            crate::parallel::collect_morsels(ctx.parallelism, pipeline_rows.len(), |range| {
+            crate::parallel::collect_morsels(ctx.sched(), pipeline_rows.len(), |range| {
                 rows_ref[range]
                     .iter()
                     .map(|(row, _)| tag_row(&spec.queries, schema_ref, row))
@@ -446,7 +446,7 @@ fn build_shared_join_table(
                 let rows_ref = &rows;
                 let queries = &spec.queries;
                 let meta: Vec<(u64, QidSet)> =
-                    crate::parallel::collect_morsels(ctx.parallelism, rows.len(), |range| {
+                    crate::parallel::collect_morsels(ctx.sched(), rows.len(), |range| {
                         rows_ref[range]
                             .iter()
                             .map(|row| (row.key64(&[key_idx]), tag_row(queries, &dschema, row)))
@@ -458,7 +458,7 @@ fn build_shared_join_table(
                     .zip(rows)
                     .map(|(tag, row)| TaggedRow::tagged(row, tag))
                     .collect();
-                crate::parallel::build_multimap_partitioned(ctx.parallelism, &mut ht, keys, values);
+                crate::parallel::build_multimap_partitioned(ctx.sched(), &mut ht, keys, values);
             } else {
                 for row in rows {
                     let tag = tag_row(&spec.queries, &dschema, &row);

@@ -53,11 +53,14 @@ pub struct CostParams {
     /// Fixed dispatch overhead per morsel (ns): one atomic claim plus the
     /// output-buffer bookkeeping.
     pub morsel_overhead_ns: f64,
-    /// Per-worker spawn+join cost of one parallel phase (ns). Workers are
-    /// scoped threads created per phase, not a persistent pool, so every
-    /// fan-out pays this once per worker; together with the executor's
-    /// morsel-count threshold it keeps the model honest about small inputs.
-    pub parallel_spawn_ns: f64,
+    /// Dispatch cost of one parallel phase (ns), paid once per phase
+    /// regardless of worker count: a queue push, a condvar wakeup and the
+    /// quiesce wait on the engine's persistent worker pool
+    /// (`hashstash_exec::PHASE_DISPATCH_NS`, measured by `exp8_parallel`).
+    /// The retired spawn-per-phase executor paid ~25 µs *per worker* here;
+    /// together with the executor's derived morsel-count threshold this
+    /// keeps the model honest about small inputs.
+    pub parallel_dispatch_ns: f64,
     /// Serial stitch/replay cost per build-input row of a partitioned
     /// parallel build (ns): the single-threaded pass that installs the
     /// per-partition chains (joins) or replays the structural history
@@ -82,7 +85,7 @@ impl Default for CostParams {
             cow_ns_per_byte: 0.08,
             parallel_workers: 1,
             morsel_overhead_ns: 400.0,
-            parallel_spawn_ns: 25_000.0,
+            parallel_dispatch_ns: hashstash_exec::PHASE_DISPATCH_NS as f64,
             build_merge_ns_per_row: 1.5,
         }
     }
@@ -123,9 +126,13 @@ impl CostModel {
 
     /// The same model assuming the executor fans morsel-parallel phases out
     /// to `workers` threads (engines set this from their `parallelism`
-    /// knob; `1` reproduces the serial model exactly).
+    /// knob; `1` reproduces the serial model exactly). The executor clamps
+    /// its fan-out to the machine's core count
+    /// ([`hashstash_exec::effective_parallelism`]), so the model prices
+    /// the clamped width — requesting 16 workers on a 4-core host must
+    /// not make plans look four times cheaper than they can run.
     pub fn with_parallelism(mut self, workers: usize) -> Self {
-        self.params.parallel_workers = workers.max(1);
+        self.params.parallel_workers = hashstash_exec::effective_parallelism(workers.max(1));
         self
     }
 
@@ -136,30 +143,32 @@ impl CostModel {
 
     /// Effective cost of a morsel-parallelizable phase whose serial cost is
     /// `serial_ns` over `rows` items: near-linear speedup capped by the
-    /// morsel count, plus per-morsel dispatch overhead and the per-worker
-    /// spawn+join of the scoped-thread phase. Identity for one worker or
-    /// inputs below the executor's fan-out threshold
-    /// ([`hashstash_exec::parallel::MIN_PARALLEL_MORSELS`]) — exactly the
-    /// serial fast path.
+    /// morsel count, plus per-morsel dispatch overhead and one flat
+    /// per-phase submission to the persistent worker pool
+    /// ([`CostParams::parallel_dispatch_ns`] — *not* multiplied by the
+    /// worker count; the pool's threads already exist). Identity for one
+    /// worker or inputs below the executor's derived fan-out threshold
+    /// ([`hashstash_exec::min_parallel_morsels`]) — exactly the serial
+    /// fast path.
     pub fn parallel(&self, serial_ns: f64, rows: f64) -> f64 {
         let workers = self.params.parallel_workers.max(1) as f64;
         let morsel = hashstash_exec::MORSEL_ROWS as f64;
         let morsels = (rows / morsel).ceil();
-        if workers <= 1.0 || morsels < hashstash_exec::parallel::MIN_PARALLEL_MORSELS as f64 {
+        if workers <= 1.0 || morsels < hashstash_exec::min_parallel_morsels() as f64 {
             return serial_ns;
         }
         let effective = workers.min(morsels);
         (serial_ns + morsels * self.params.morsel_overhead_ns) / effective
-            + effective * self.params.parallel_spawn_ns
+            + self.params.parallel_dispatch_ns
     }
 
     /// Effective cost of a **partitioned parallel build** whose serial cost
     /// is `serial_ns` over `rows` build-input rows: the per-partition chain
     /// computation (joins) / key-partitioned folding (aggregates) divides
     /// across workers, then a serial stitch/replay pass pays
-    /// [`CostParams::build_merge_ns_per_row`] per row, plus the per-worker
-    /// spawn+join of the scoped-thread phase. Identity for one worker or
-    /// inputs below the executor's fan-out cutoff
+    /// [`CostParams::build_merge_ns_per_row`] per row, plus one flat
+    /// per-phase pool dispatch. Identity for one worker or inputs below
+    /// the executor's fan-out cutoff
     /// ([`hashstash_exec::MIN_PARALLEL_BUILD_ROWS`]) — exactly the serial
     /// insert loop. This is what lets reuse-vs-recompute (and admission
     /// benefit scoring) stop assuming serial `ht_inserts`.
@@ -170,7 +179,7 @@ impl CostModel {
         }
         serial_ns / workers
             + rows * self.params.build_merge_ns_per_row
-            + workers * self.params.parallel_spawn_ns
+            + self.params.parallel_dispatch_ns
     }
 
     /// The calibration grid.

@@ -148,6 +148,71 @@ fn concurrent_sessions_stress() {
     );
 }
 
+/// Eight sessions hammering one parallelism-4 database share its one
+/// worker pool: phases from different sessions interleave on the same
+/// three workers (no per-session or per-phase spawning), answers stay
+/// correct, and the pool is quiesced once the clients join.
+#[test]
+fn eight_sessions_share_one_worker_pool() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 3;
+
+    // Big enough that scans clear the derived morsel threshold — the
+    // sessions must actually submit pool phases, not just inline work.
+    let big = || generate(TpchConfig::new(0.03, 977));
+    let db = Database::builder(big()).parallelism(4).build();
+    let mut reference = Database::builder(big())
+        .strategy(EngineStrategy::NoReuse)
+        .parallelism(1)
+        .build()
+        .session();
+    let shapes: Vec<QuerySpec> = (0..4u32)
+        .map(|i| q_age(i, 18 + i as i64 * 6, 52 + i as i64 * 8))
+        .collect();
+    let expected: Vec<_> = shapes
+        .iter()
+        .map(|q| normalized(reference.execute(q).unwrap().rows))
+        .collect();
+    let shapes = Arc::new(shapes);
+    let expected = Arc::new(expected);
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let shapes = Arc::clone(&shapes);
+            let expected = Arc::clone(&expected);
+            #[allow(clippy::disallowed_methods)]
+            thread::spawn(move || {
+                let mut session = db.session();
+                for round in 0..ROUNDS {
+                    for k in 0..shapes.len() {
+                        let i = (k + t) % shapes.len();
+                        let r = session.execute(&shapes[i]).unwrap();
+                        assert_eq!(
+                            normalized(r.rows),
+                            expected[i],
+                            "thread {t} round {round} query {i}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("session thread panicked");
+    }
+
+    let pool = db.worker_pool();
+    assert_eq!(pool.worker_count(), 3, "one pool, never grown per session");
+    assert!(
+        pool.jobs_dispatched() > 0,
+        "sessions submitted phases to the shared pool"
+    );
+    pool.assert_quiesced();
+    #[cfg(feature = "analysis")]
+    db.assert_quiesced();
+}
+
 /// Concurrency under memory pressure: GC evictions racing with reuse from
 /// several sessions must never corrupt answers.
 #[test]

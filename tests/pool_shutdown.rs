@@ -1,0 +1,37 @@
+//! `Database::drop` must join every pool worker — no detached threads.
+//! This is the only test in its binary so the OS thread count it samples
+//! from `/proc/self/task` (Linux) is not perturbed by sibling tests.
+
+use hashstash::Database;
+use hashstash_storage::tpch::{generate, TpchConfig};
+
+/// Threads in this process, per the kernel (`None` off Linux).
+fn os_thread_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task").ok().map(|d| d.count())
+}
+
+#[test]
+fn database_drop_joins_all_pool_workers() {
+    let before = os_thread_count();
+
+    let db = Database::builder(generate(TpchConfig::new(0.003, 11)))
+        .parallelism(8)
+        .build();
+    assert_eq!(db.worker_pool().worker_count(), 7);
+    if let (Some(before), Some(alive)) = (before, os_thread_count()) {
+        assert!(
+            alive >= before + 7,
+            "7 pool workers are running ({before} -> {alive})"
+        );
+    }
+
+    drop(db);
+    // `WorkerPool::drop` *joins* the workers, so the count is back the
+    // moment drop returns — no polling, no grace period.
+    if let (Some(before), Some(after)) = (before, os_thread_count()) {
+        assert_eq!(
+            after, before,
+            "dropping the database leaves no detached threads"
+        );
+    }
+}

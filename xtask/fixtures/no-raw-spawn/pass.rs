@@ -1,9 +1,10 @@
-//! Must pass `no-raw-spawn`: live code goes through the morsel scheduler,
-//! a bench client carries an explicit allow, tests spawn freely. NOT
-//! compiled — read as text by xtask's fixture tests.
+//! Must pass `no-raw-spawn`: live code submits phases to the persistent
+//! worker pool (the one module allowed to spawn), a bench client carries
+//! an explicit allow, tests spawn freely. NOT compiled — read as text by
+//! xtask's fixture tests.
 
 pub fn fan_out(xs: &mut [u64]) {
-    hashstash_exec::parallel::run_morsels(xs, |x| *x += 1);
+    hashstash_exec::parallel::run_morsels(4, xs.len(), |r| r.len());
 }
 
 pub fn bench_clients(n: usize) {

@@ -1,6 +1,7 @@
 //! Must trip `no-raw-spawn` (checked under a rel path that is not the
-//! morsel scheduler): raw spawn and scope in live code. NOT compiled —
-//! read as text by xtask's fixture tests.
+//! worker pool): raw spawn and scope in live code — scoped per-phase
+//! threads are exactly the pattern the pool retired. NOT compiled — read
+//! as text by xtask's fixture tests.
 
 pub fn fan_out(jobs: Vec<Box<dyn FnOnce() + Send>>) {
     let handles: Vec<_> = jobs.into_iter().map(std::thread::spawn).collect();

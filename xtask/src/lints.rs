@@ -64,8 +64,11 @@ const NO_PANIC_CRATES: &[&str] = &[
     "crates/exec/src/",
 ];
 
-/// The one file allowed to touch raw threads: the morsel scheduler.
-const SPAWN_HOME: &str = "crates/exec/src/parallel.rs";
+/// The one file allowed to touch raw threads: the persistent worker pool
+/// (workers are spawned exactly once there, joined on drop). Even the
+/// morsel scheduler in `parallel.rs` may not spawn — phases borrow pool
+/// workers through `WorkerPool::run_phase`.
+const SPAWN_HOME: &str = "crates/exec/src/pool.rs";
 
 fn diag(out: &mut Vec<Diagnostic>, f: &SourceFile, idx: usize, lint: &'static str, msg: String) {
     out.push(Diagnostic {
@@ -142,9 +145,10 @@ fn no_panic_paths(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 
 // ------------------------------------------------------------- no-raw-spawn
 
-/// All engine threads go through the morsel scheduler; raw
+/// All engine threads live in the persistent worker pool; raw
 /// `std::thread::{spawn,scope}` anywhere else bypasses the worker-count
-/// knob, the cost model's spawn pricing and the determinism battery.
+/// knob, the cost model's dispatch pricing, pool shutdown-join on drop,
+/// and the determinism battery.
 fn no_raw_spawn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     const LINT: &str = "no-raw-spawn";
     if f.rel == SPAWN_HOME {
@@ -161,7 +165,7 @@ fn no_raw_spawn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                     f,
                     i,
                     LINT,
-                    format!("{tok} outside {SPAWN_HOME}; use the morsel scheduler"),
+                    format!("{tok} outside {SPAWN_HOME}; use the worker pool"),
                 );
             }
         }
@@ -522,8 +526,8 @@ mod tests {
     #[test]
     fn spawn_home_is_exempt() {
         let f = analyze(
-            "crates/exec/src/parallel.rs".into(),
-            "fn pool() { std::thread::scope(|s| {}); }",
+            "crates/exec/src/pool.rs".into(),
+            "fn workers() { std::thread::Builder::new(); std::thread::scope(|s| {}); }",
             false,
         );
         assert!(run(std::slice::from_ref(&f), &[])
