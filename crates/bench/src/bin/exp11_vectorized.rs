@@ -1,0 +1,310 @@
+//! Exp 11: selection-vector kernels vs the row-at-a-time interpreter.
+//!
+//! The three columnar hot paths — base-table scan filtering, hash-join
+//! probe key extraction, aggregate key/fold preparation — run here in both
+//! regimes (`ExecContext::with_vectorize`) over the same synthetic data at
+//! W ∈ {1, 4, 8} workers, interleaved across iterations. The filter columns
+//! are deliberately **not** indexed: an indexed predicate takes the index
+//! access path in both regimes and would measure nothing.
+//!
+//! Determinism is a hard error, smoke mode included: every iteration's full
+//! output digest (row contents *and* order) from either regime at any
+//! worker count is compared against the serial row-oracle reference; any
+//! divergence is recorded in the JSON (`"deterministic": false`) and the
+//! process exits non-zero.
+//!
+//! The JSON also records the vectorized execution counters
+//! (`batches_processed`, `rows_filtered_vectorized`) per leg, so the
+//! artifact proves the columnar path actually engaged rather than silently
+//! falling back to rows.
+//!
+//! Output: a human-readable table plus `BENCH_vectorized.json` (uploaded by
+//! CI as an artifact). Smoke mode (`HASHSTASH_SMOKE=1`) shrinks the row
+//! count so the run finishes in seconds.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use hashstash_bench::common::{header, ms};
+use hashstash_cache::{GcConfig, HtManager};
+use hashstash_exec::plan::{OutputAgg, PhysicalPlan, ScanSpec};
+use hashstash_exec::{execute, ExecContext, ExecMetrics, TempTableCache, WorkerPool};
+use hashstash_plan::{AggExpr, AggFunc, Interval, PredBox};
+use hashstash_storage::{Catalog, TableBuilder};
+use hashstash_types::{DataType, Value};
+
+fn smoke() -> bool {
+    std::env::var("HASHSTASH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Deterministic splitmix-style generator (data must be identical across
+/// runs so digests are comparable).
+fn mix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+const DICT: [&str; 4] = ["alpha", "beta", "delta", "gamma"];
+
+/// `t(k, a, f, s)` with no indexes — `a` is the filter column, `k` joins
+/// against `dim(d_key, d_tag)` at ~6% match rate.
+fn synth(n: u64) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut seed = 0xe11_5eedu64;
+    let mut t = TableBuilder::with_capacity(
+        "t",
+        vec![
+            ("k", DataType::Int),
+            ("a", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+        ],
+        n as usize,
+    );
+    for _ in 0..n {
+        let r = mix(&mut seed);
+        t.push_row(vec![
+            Value::Int((r % 65_536) as i64),
+            Value::Int(((r >> 16) % 10_000) as i64),
+            Value::float(((r >> 30) % 1_000) as f64 * 0.125 - 60.0),
+            Value::str(DICT[(r >> 40) as usize % DICT.len()]),
+        ]);
+    }
+    cat.register(t.finish());
+    let mut dim = TableBuilder::with_capacity(
+        "dim",
+        vec![("d_key", DataType::Int), ("d_tag", DataType::Str)],
+        4096,
+    );
+    for i in 0..4096i64 {
+        dim.push_row(vec![
+            Value::Int(i),
+            Value::str(DICT[(i % DICT.len() as i64) as usize]),
+        ]);
+    }
+    cat.register(dim.finish());
+    cat
+}
+
+fn a_filter(lo: i64, hi: i64) -> PredBox {
+    PredBox::all().with("t.a", Interval::closed(Value::Int(lo), Value::Int(hi)))
+}
+
+/// The three columnar hot paths, each dominated by the loop the kernel
+/// replaces: a highly selective filter (kernel work dominates, output
+/// materialization is negligible), a probe over a pre-filtered batch, and
+/// an aggregate folding half the table into four dictionary groups.
+fn legs() -> Vec<(&'static str, PhysicalPlan)> {
+    vec![
+        (
+            "scan_filter",
+            PhysicalPlan::Scan(ScanSpec::filtered("t", a_filter(0, 199))),
+        ),
+        (
+            "join_probe",
+            PhysicalPlan::HashJoin {
+                probe: Box::new(PhysicalPlan::Scan(ScanSpec::filtered(
+                    "t",
+                    a_filter(0, 1999),
+                ))),
+                build: Some(Box::new(PhysicalPlan::Scan(ScanSpec::full("dim")))),
+                probe_key: "t.k".into(),
+                build_key: "dim.d_key".into(),
+                reuse: None,
+                publish: None,
+            },
+        ),
+        (
+            "agg_fold",
+            PhysicalPlan::HashAggregate {
+                input: Some(Box::new(PhysicalPlan::Scan(ScanSpec::filtered(
+                    "t",
+                    a_filter(0, 4999),
+                )))),
+                group_by: vec!["t.s".into()],
+                aggs: vec![
+                    AggExpr::new(AggFunc::Sum, "t.f"),
+                    AggExpr::new(AggFunc::Count, "t.k"),
+                ],
+                output_aggs: vec![OutputAgg::Direct(0), OutputAgg::Direct(1)],
+                reuse: None,
+                publish: None,
+                post_group_by: None,
+            },
+        ),
+    ]
+}
+
+/// Full-output digest — row contents *and* order — via FNV-1a
+/// (`StableHasher`), comparable across runs and processes.
+fn digest(rows: &[hashstash_types::Row]) -> (usize, u64) {
+    use std::hash::{Hash, Hasher};
+    let mut h = hashstash_types::StableHasher::new();
+    for r in rows {
+        r.hash(&mut h);
+    }
+    (rows.len(), h.finish())
+}
+
+fn median(samples: &[Duration]) -> Duration {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) && mid > 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    } else {
+        sorted[mid]
+    }
+}
+
+fn main() {
+    let smoke = smoke();
+    let n: u64 = if smoke { 200_000 } else { 2_000_000 };
+    let iters = 6;
+    let worker_counts = [1usize, 4, 8];
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    header("Exp 11: vectorized columnar hot paths (selection-vector kernels)");
+    println!("t rows {n}, dim rows 4096, {iters} iterations/leg, {cores} cores, smoke={smoke}");
+
+    let cat = synth(n);
+    let htm = HtManager::new(GcConfig::default());
+    let temps = TempTableCache::unbounded();
+    let pool = WorkerPool::new(worker_counts.iter().max().unwrap() - 1, false);
+    let legs = legs();
+
+    // Semantic equality of the metrics is asserted up front, and the
+    // vectorized counters are captured for the JSON: the artifact must
+    // prove the columnar path engaged on every leg.
+    let mut counters: Vec<(usize, u64, u64)> = Vec::new();
+    {
+        for (i, (name, plan)) in legs.iter().enumerate() {
+            let run = |vectorize: bool| -> ExecMetrics {
+                let mut ctx = ExecContext::new(&cat, &htm, &temps)
+                    .with_parallelism(1)
+                    .with_vectorize(vectorize);
+                execute(plan, &mut ctx).expect(name);
+                ctx.metrics
+            };
+            let vec_m = run(true);
+            let row_m = run(false);
+            assert_eq!(
+                vec_m.semantic(),
+                row_m.semantic(),
+                "{name}: semantic metrics must not depend on the regime"
+            );
+            assert!(
+                vec_m.batches_processed > 0 && vec_m.rows_filtered_vectorized > 0,
+                "{name}: the columnar path must engage (got {vec_m:?})"
+            );
+            assert_eq!(row_m.batches_processed, 0, "{name}: oracle stays row-wise");
+            counters.push((i, vec_m.batches_processed, vec_m.rows_filtered_vectorized));
+        }
+    }
+
+    // wall[leg][workers][regime] — regime 0 = row oracle, 1 = vectorized.
+    let mut wall = vec![vec![[Vec::new(), Vec::new()]; worker_counts.len()]; legs.len()];
+    let mut reference: Option<Vec<(usize, u64)>> = None;
+    let mut divergences: Vec<String> = Vec::new();
+    // Worker counts and regimes are interleaved across iterations so slow
+    // drift lands on every cell equally; iteration 0 warms untimed (its
+    // digests still feed the divergence check, with the serial row oracle
+    // of the warm-up pass as the reference).
+    for iter in 0..=iters {
+        for (w, &workers) in worker_counts.iter().enumerate() {
+            for (regime, vectorize) in [(0usize, false), (1usize, true)] {
+                let mut digests = Vec::with_capacity(legs.len());
+                for (l, (name, plan)) in legs.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let mut ctx = ExecContext::new(&cat, &htm, &temps)
+                        .with_parallelism(workers)
+                        .with_vectorize(vectorize)
+                        .with_pool(&pool);
+                    let (_, rows) = execute(plan, &mut ctx).expect(name);
+                    let dt = t0.elapsed();
+                    if iter > 0 {
+                        wall[l][w][regime].push(dt);
+                    }
+                    digests.push(digest(&rows));
+                }
+                match &reference {
+                    None => reference = Some(digests),
+                    Some(want) if want != &digests => divergences.push(format!(
+                        "vectorize={vectorize}, {workers} workers, iteration {iter}: \
+                         output diverged from the serial row-oracle reference"
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut speedup_scan_serial = 0.0;
+    for (l, (name, _)) in legs.iter().enumerate() {
+        for (w, &workers) in worker_counts.iter().enumerate() {
+            let row_ms = ms(median(&wall[l][w][0]));
+            let vec_ms = ms(median(&wall[l][w][1]));
+            let speedup = row_ms / vec_ms;
+            if l == 0 && workers == 1 {
+                speedup_scan_serial = speedup;
+            }
+            println!(
+                "{name:>12} @ {workers} workers: row {row_ms:>9.2} ms, \
+                 vectorized {vec_ms:>9.2} ms  ({speedup:>5.2}×)"
+            );
+            json_rows.push(format!(
+                "    {{\"leg\": \"{name}\", \"workers\": {workers}, \"row_ms\": {row_ms:.3}, \
+                 \"vectorized_ms\": {vec_ms:.3}, \"speedup\": {speedup:.3}}}"
+            ));
+        }
+    }
+    let deterministic = divergences.is_empty();
+    let counter_rows: Vec<String> = counters
+        .iter()
+        .map(|&(l, batches, filtered)| {
+            format!(
+                "    {{\"leg\": \"{}\", \"batches_processed\": {batches}, \
+                 \"rows_filtered_vectorized\": {filtered}}}",
+                legs[l].0
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"vectorized\",\n  \"smoke\": {smoke},\n  \"t_rows\": {n},\n  \
+         \"iterations\": {iters},\n  \"available_cores\": {cores},\n  \
+         \"legs\": [\"scan_filter\", \"join_probe\", \"agg_fold\"],\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"speedup_scan\": {speedup_scan_serial:.3},\n  \
+         \"vectorized_counters\": [\n{}\n  ],\n  \"results\": [\n{}\n  ]\n}}\n",
+        counter_rows.join(",\n"),
+        json_rows.join(",\n")
+    );
+    let mut f = std::fs::File::create("BENCH_vectorized.json").expect("write results");
+    f.write_all(json.as_bytes()).unwrap();
+    println!("\nwrote BENCH_vectorized.json");
+
+    if !deterministic {
+        for d in &divergences {
+            eprintln!("DIVERGENCE: {d}");
+        }
+        eprintln!(
+            "ERROR: vectorized execution diverged from the row-at-a-time \
+             oracle ({} case(s)) — failing hard",
+            divergences.len()
+        );
+        std::process::exit(1);
+    }
+
+    if speedup_scan_serial < 2.0 {
+        println!(
+            "WARNING: serial scan-filter speedup {speedup_scan_serial:.2}× \
+             below the 2× target"
+        );
+    }
+}

@@ -170,6 +170,7 @@ pub struct EngineBuilder {
     benefit_epsilon: f64,
     calibrate: bool,
     parallelism: usize,
+    vectorize: bool,
     pin_workers: bool,
     data_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
@@ -189,6 +190,7 @@ impl EngineBuilder {
             benefit_epsilon: 0.1,
             calibrate: false,
             parallelism: hashstash_exec::engine_default_parallelism(),
+            vectorize: hashstash_exec::default_vectorize(),
             pin_workers: false,
             data_dir: None,
             fsync: FsyncPolicy::default(),
@@ -283,6 +285,17 @@ impl EngineBuilder {
     /// all available cores.
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Run the hot operator loops (scan filtering, probe key extraction,
+    /// aggregate folds) over columnar selection vectors instead of
+    /// materialized rows. Results, metrics and published tables are
+    /// bit-identical either way; `false` keeps the row-at-a-time
+    /// interpreter as a differential oracle. Default: the `HS_VECTORIZE`
+    /// environment variable (`0` disables), otherwise on.
+    pub fn vectorize(mut self, on: bool) -> Self {
+        self.vectorize = on;
         self
     }
 
@@ -397,7 +410,8 @@ impl EngineBuilder {
         }
         // The optimizer must price probe/scan phases the way the executor
         // will actually run them.
-        .with_parallelism(self.parallelism);
+        .with_parallelism(self.parallelism)
+        .with_vectorized(self.vectorize);
         // One budget for both reuse caches: hash tables and temp tables
         // draw on the same byte limit and compete in one eviction loop. A
         // legacy temp_budget is folded in additively, so configuring both
@@ -413,6 +427,7 @@ impl EngineBuilder {
             cost,
             policy: self.policy,
             parallelism: self.parallelism,
+            vectorize: self.vectorize,
             avg_rewrite: self.avg_rewrite,
             additional_attributes: self.additional_attributes,
             benefit_join_order: self.benefit_join_order,
@@ -455,6 +470,7 @@ pub struct Database {
     cost: CostModel,
     policy: Arc<dyn ReusePolicy>,
     parallelism: usize,
+    vectorize: bool,
     avg_rewrite: bool,
     additional_attributes: bool,
     benefit_join_order: bool,
@@ -514,6 +530,12 @@ impl Database {
     /// (`1` = serial interpreter).
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Whether sessions execute the columnar selection-vector paths
+    /// (`HS_VECTORIZE` / [`EngineBuilder::vectorize`]).
+    pub fn vectorize(&self) -> bool {
+        self.vectorize
     }
 
     /// The persistent worker pool parallel phases of every session run on.
@@ -747,6 +769,7 @@ impl Session {
         let t1 = Instant::now();
         let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps)
             .with_parallelism(db.parallelism)
+            .with_vectorize(db.vectorize)
             .with_pool(&db.pool);
         for co in pins {
             ctx.adopt_checkout(co);
@@ -885,6 +908,7 @@ impl Session {
                     let t1 = Instant::now();
                     let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps)
                         .with_parallelism(db.parallelism)
+                        .with_vectorize(db.vectorize)
                         .with_pool(&db.pool);
                     let shared_results = execute_shared(&spec, &mut ctx)?;
                     let wall = t1.elapsed();

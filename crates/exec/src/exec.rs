@@ -26,20 +26,21 @@ use std::collections::HashMap;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use hashstash_types::{HsError, HtId, Result, Row, Schema, Value};
+use hashstash_types::{f64_order_key, DataType, HsError, HtId, Result, Row, Schema, Value};
 
 use hashstash_cache::{AggPayload, CheckedOut, HtManager, StoredHt, TaggedRow};
 use hashstash_hashtable::ExtendibleHashTable;
 use hashstash_plan::PredBox;
-use hashstash_storage::{Catalog, Table};
+use hashstash_storage::{Catalog, Column, RangeKernel, Table};
 
 use crate::parallel::{
     build_grouped_partitioned, build_multimap_partitioned, collect_morsels, default_parallelism,
-    Scheduler, MIN_PARALLEL_BUILD_ROWS,
+    morsel_count, Scheduler, MIN_PARALLEL_BUILD_ROWS,
 };
 use crate::plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 use crate::pool::WorkerPool;
 use crate::temp::TempTableCache;
+use crate::vector::{self, ColumnarBatch, KeyKernel};
 
 /// Operation counters collected during execution. These are the observables
 /// the paper's cost models predict (tuples inserted / probed / updated,
@@ -64,6 +65,14 @@ pub struct ExecMetrics {
     pub reused_tables: u64,
     /// Hash tables built from scratch.
     pub built_tables: u64,
+    /// Selection-vector batches processed by the columnar paths (one per
+    /// morsel of a vectorized scan, filter, probe, or aggregate fold).
+    /// Always a pure function of the input sizes — never of the worker
+    /// count — so parallel runs stay metric-identical to serial ones.
+    pub batches_processed: u64,
+    /// Rows removed by vectorized selection (scan kernels + columnar
+    /// filter refinement); the row interpreter counts nothing here.
+    pub rows_filtered_vectorized: u64,
 }
 
 impl ExecMetrics {
@@ -78,6 +87,21 @@ impl ExecMetrics {
         self.materialized_rows += other.materialized_rows;
         self.reused_tables += other.reused_tables;
         self.built_tables += other.built_tables;
+        self.batches_processed += other.batches_processed;
+        self.rows_filtered_vectorized += other.rows_filtered_vectorized;
+    }
+
+    /// The counters with the same meaning under both execution regimes:
+    /// everything except the two vectorization-only counters (which are
+    /// definitionally zero on the row interpreter). Differential tests
+    /// compare `semantic()` across `HS_VECTORIZE` settings; within one
+    /// regime the full struct is still worker-count-invariant.
+    pub fn semantic(&self) -> ExecMetrics {
+        ExecMetrics {
+            batches_processed: 0,
+            rows_filtered_vectorized: 0,
+            ..*self
+        }
     }
 }
 
@@ -96,6 +120,12 @@ pub struct ExecContext<'a> {
     /// interpreter; any value produces bit-identical output (morsel-order
     /// concatenation), so this is purely a throughput knob.
     pub parallelism: usize,
+    /// Whether scans, filters, probes and aggregate folds run over columnar
+    /// selection vectors ([`crate::vector`]) instead of materialized rows.
+    /// Output, metrics (`semantic()`), and published tables are identical
+    /// either way; the row interpreter stays available as the differential
+    /// oracle (`HS_VECTORIZE=0`).
+    pub vectorize: bool,
     /// The persistent worker pool parallel phases borrow workers from.
     /// Engines pass their `Database`-owned pool (shared across sessions);
     /// `None` falls back to the process-wide ambient pool.
@@ -119,6 +149,7 @@ impl<'a> ExecContext<'a> {
             temps,
             metrics: ExecMetrics::default(),
             parallelism: default_parallelism(),
+            vectorize: crate::vector::default_vectorize(),
             pool: None,
             checkouts: HashMap::new(),
         }
@@ -127,6 +158,13 @@ impl<'a> ExecContext<'a> {
     /// Set the morsel-parallel worker count (`1` = serial).
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Enable or disable the columnar selection-vector paths (`true` by
+    /// default, subject to `HS_VECTORIZE`).
+    pub fn with_vectorize(mut self, vectorize: bool) -> Self {
+        self.vectorize = vectorize;
         self
     }
 
@@ -268,11 +306,9 @@ pub fn execute(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema
 
 fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Row>)> {
     match plan {
-        PhysicalPlan::Scan(spec) => run_scan(spec, ctx),
-        PhysicalPlan::Filter { input, predicate } => {
-            let (schema, rows) = run(input, ctx)?;
-            let evaluator = BoxEval::bind(predicate, &schema)?;
-            let rows = rows.into_iter().filter(|r| evaluator.eval(r)).collect();
+        PhysicalPlan::Scan(_) | PhysicalPlan::Filter { .. } => {
+            let (schema, pipe) = run_batch(plan, ctx)?;
+            let rows = materialize_pipe(pipe, ctx);
             Ok((schema, rows))
         }
         PhysicalPlan::Materialize { input, fingerprint } => {
@@ -384,10 +420,110 @@ impl BoxEval {
 }
 
 // ---------------------------------------------------------------------------
+// Columnar batches
+// ---------------------------------------------------------------------------
+
+/// Data flowing up from a sub-plan: materialized rows, or — on the
+/// vectorized scan → filter spine — a columnar selection-vector batch that
+/// consumers (probe, aggregate fold) read in place and edges materialize.
+enum Pipe {
+    Rows(Vec<Row>),
+    Columnar(ColumnarBatch),
+}
+
+impl Pipe {
+    /// Number of tuples the pipe carries.
+    fn len(&self) -> usize {
+        match self {
+            Pipe::Rows(rows) => rows.len(),
+            Pipe::Columnar(batch) => batch.sel.len(),
+        }
+    }
+}
+
+/// Run a sub-plan keeping its output columnar where the operator chain
+/// allows: scans without an index access path whose constraints all lower
+/// to [`RangeKernel`]s, and filters over such scans. Every other operator
+/// (and every lowering failure) produces materialized rows exactly as the
+/// row interpreter does.
+fn run_batch(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Pipe)> {
+    match plan {
+        PhysicalPlan::Scan(spec) => run_scan_batch(spec, ctx),
+        PhysicalPlan::Filter { input, predicate } => {
+            let (schema, pipe) = run_batch(input, ctx)?;
+            let mut batch = match pipe {
+                Pipe::Columnar(batch) => batch,
+                Pipe::Rows(rows) => {
+                    let evaluator = BoxEval::bind(predicate, &schema)?;
+                    let rows = rows.into_iter().filter(|r| evaluator.eval(r)).collect();
+                    return Ok((schema, Pipe::Rows(rows)));
+                }
+            };
+            // Lower every constraint onto the batch's base columns; any
+            // failure materializes and evaluates the whole predicate
+            // row-at-a-time, exactly like the row interpreter.
+            let mut lowered: Vec<(usize, RangeKernel)> = Vec::new();
+            let mut lowerable = true;
+            for (attr, iv) in predicate.constrained() {
+                let col = batch.proj[schema.index_of(attr)?];
+                match lower_check(iv, batch.table.column(col)) {
+                    Some(kernel) => lowered.push((col, kernel)),
+                    None => {
+                        lowerable = false;
+                        break;
+                    }
+                }
+            }
+            if !lowerable {
+                let rows = materialize_pipe(Pipe::Columnar(batch), ctx);
+                let evaluator = BoxEval::bind(predicate, &schema)?;
+                let rows = rows.into_iter().filter(|r| evaluator.eval(r)).collect();
+                return Ok((schema, Pipe::Rows(rows)));
+            }
+            for (col, kernel) in &lowered {
+                ctx.metrics.batches_processed += morsel_count(batch.sel.len()) as u64;
+                ctx.metrics.rows_filtered_vectorized += vector::refine_selection(
+                    ctx.sched(),
+                    &batch.table,
+                    *col,
+                    kernel,
+                    &mut batch.sel,
+                );
+            }
+            Ok((schema, Pipe::Columnar(batch)))
+        }
+        other => {
+            let (schema, rows) = run(other, ctx)?;
+            Ok((schema, Pipe::Rows(rows)))
+        }
+    }
+}
+
+/// Materialize a pipe into rows — the pipeline edge. Columnar batches turn
+/// into projected rows morsel-parallel, in selection order, which is the
+/// row interpreter's output order by construction.
+fn materialize_pipe(pipe: Pipe, ctx: &mut ExecContext<'_>) -> Vec<Row> {
+    match pipe {
+        Pipe::Rows(rows) => rows,
+        Pipe::Columnar(batch) => {
+            let table = &batch.table;
+            let proj = &batch.proj;
+            let sel = &batch.sel;
+            collect_morsels(ctx.sched(), sel.len(), |range| {
+                sel[range]
+                    .iter()
+                    .map(|&rid| table.row_projected(rid as usize, proj))
+                    .collect()
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scans
 // ---------------------------------------------------------------------------
 
-fn run_scan(spec: &ScanSpec, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Row>)> {
+fn run_scan_batch(spec: &ScanSpec, ctx: &mut ExecContext<'_>) -> Result<(Schema, Pipe)> {
     let table = ctx.catalog.get(&spec.table)?;
     let qualified = table.qualified_schema();
     let proj_indices: Vec<usize> = if spec.projection.is_empty() {
@@ -405,14 +541,169 @@ fn run_scan(spec: &ScanSpec, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<R
         qualified.project(&names)?
     };
 
-    let mut rows = Vec::new();
     if spec.region.is_empty() {
-        return Ok((out_schema, rows));
+        return Ok((out_schema, Pipe::Rows(Vec::new())));
     }
+    let lowered = if ctx.vectorize {
+        lower_region(&table, &qualified, spec)?
+    } else {
+        None
+    };
+    match lowered {
+        Some(per_box) => {
+            let mut sel: Vec<u32> = Vec::new();
+            let n = table.row_count();
+            for checks in &per_box {
+                ctx.metrics.rows_scanned += n as u64;
+                let mut box_sel = vector::select_rows(ctx.sched(), &table, checks, n);
+                ctx.metrics.batches_processed += morsel_count(n) as u64;
+                ctx.metrics.rows_filtered_vectorized += (n - box_sel.len()) as u64;
+                sel.append(&mut box_sel);
+            }
+            Ok((
+                out_schema,
+                Pipe::Columnar(ColumnarBatch {
+                    table,
+                    proj: proj_indices,
+                    sel,
+                }),
+            ))
+        }
+        None => {
+            let mut rows = Vec::new();
+            for pbox in spec.region.boxes() {
+                scan_box(&table, &qualified, pbox, &proj_indices, ctx, &mut rows)?;
+            }
+            Ok((out_schema, Pipe::Rows(rows)))
+        }
+    }
+}
+
+/// One lowered check list per region box: `(column position, kernel)`.
+type LoweredBoxes = Vec<Vec<(usize, RangeKernel)>>;
+
+/// Lower every box of a scan's region onto per-column [`RangeKernel`]s.
+/// Returns `None` — the whole scan keeps the row interpreter — when any box
+/// would take the (metric-visible) index access path or carries a
+/// constraint that cannot lower (cross-type bounds), so access-path choice
+/// and metrics never depend on the vectorization setting.
+fn lower_region(
+    table: &Table,
+    qualified: &Schema,
+    spec: &ScanSpec,
+) -> Result<Option<LoweredBoxes>> {
+    let mut per_box = Vec::new();
     for pbox in spec.region.boxes() {
-        scan_box(&table, &qualified, pbox, &proj_indices, ctx, &mut rows)?;
+        let mut checks: Vec<(usize, hashstash_plan::Interval)> = Vec::new();
+        for (attr, iv) in pbox.constrained() {
+            checks.push((qualified.index_of(attr)?, iv.clone()));
+        }
+        if checks
+            .iter()
+            .any(|(col, iv)| table.has_index(*col) && !iv.is_all() && bounded_for_index(iv))
+        {
+            return Ok(None);
+        }
+        let mut lowered = Vec::with_capacity(checks.len());
+        for (col, iv) in &checks {
+            match lower_check(iv, table.column(*col)) {
+                Some(kernel) => lowered.push((*col, kernel)),
+                None => return Ok(None),
+            }
+        }
+        per_box.push(lowered);
     }
-    Ok((out_schema, rows))
+    Ok(Some(per_box))
+}
+
+/// Lower one interval constraint onto a typed column as a [`RangeKernel`],
+/// or `None` when a bound's type does not match the column (the row
+/// interpreter's cross-type comparison semantics are preserved by falling
+/// back). Discrete columns turn exclusive bounds into inclusive neighbours
+/// (an overflowing neighbour means the interval is empty: `lo > hi`
+/// matches nothing); floats compare through the order-preserving
+/// [`f64_order_key`] mapping, so every float interval becomes an inclusive
+/// `u64` range; dictionary strings evaluate the interval once per distinct
+/// entry and reduce the predicate to a code-mask lookup.
+fn lower_check(iv: &hashstash_plan::Interval, col: &Column) -> Option<RangeKernel> {
+    const EMPTY: RangeKernel = RangeKernel::Int { lo: 1, hi: 0 };
+    match col.data_type() {
+        DataType::Int => {
+            let lo = match iv.lo() {
+                Bound::Unbounded => i64::MIN,
+                Bound::Included(Value::Int(v)) => *v,
+                Bound::Excluded(Value::Int(v)) => match v.checked_add(1) {
+                    Some(x) => x,
+                    None => return Some(EMPTY),
+                },
+                _ => return None,
+            };
+            let hi = match iv.hi() {
+                Bound::Unbounded => i64::MAX,
+                Bound::Included(Value::Int(v)) => *v,
+                Bound::Excluded(Value::Int(v)) => match v.checked_sub(1) {
+                    Some(x) => x,
+                    None => return Some(EMPTY),
+                },
+                _ => return None,
+            };
+            Some(RangeKernel::Int { lo, hi })
+        }
+        DataType::Date => {
+            let lo = match iv.lo() {
+                Bound::Unbounded => i32::MIN,
+                Bound::Included(Value::Date(v)) => *v,
+                Bound::Excluded(Value::Date(v)) => match v.checked_add(1) {
+                    Some(x) => x,
+                    None => return Some(EMPTY),
+                },
+                _ => return None,
+            };
+            let hi = match iv.hi() {
+                Bound::Unbounded => i32::MAX,
+                Bound::Included(Value::Date(v)) => *v,
+                Bound::Excluded(Value::Date(v)) => match v.checked_sub(1) {
+                    Some(x) => x,
+                    None => return Some(EMPTY),
+                },
+                _ => return None,
+            };
+            Some(RangeKernel::Date { lo, hi })
+        }
+        DataType::Float => {
+            // `f64_order_key` is a monotone injection of the engine's F64
+            // total order into u64, so exclusive bounds shift by one key
+            // step. Canonical values never map to 0 or u64::MAX (the
+            // extremes are -inf and canonical NaN), so the shifts cannot
+            // wrap; the saturating guard is belt and braces.
+            let lo = match iv.lo() {
+                Bound::Unbounded => 0,
+                Bound::Included(Value::Float(f)) => f64_order_key(f.0),
+                Bound::Excluded(Value::Float(f)) => f64_order_key(f.0).saturating_add(1),
+                _ => return None,
+            };
+            let hi = match iv.hi() {
+                Bound::Unbounded => u64::MAX,
+                Bound::Included(Value::Float(f)) => f64_order_key(f.0),
+                Bound::Excluded(Value::Float(f)) => match f64_order_key(f.0).checked_sub(1) {
+                    Some(x) => x,
+                    None => return Some(EMPTY),
+                },
+                _ => return None,
+            };
+            Some(RangeKernel::Float { lo, hi })
+        }
+        DataType::Str => {
+            let (dict, _) = col.dict_parts()?;
+            // One boxed-comparison per *distinct* string, reusing the exact
+            // interval semantics (including cross-type bounds) verbatim.
+            let ok = dict
+                .iter()
+                .map(|s| iv.contains_value(&Value::Str(s.clone())))
+                .collect();
+            Some(RangeKernel::Dict { ok })
+        }
+    }
 }
 
 /// Scan one box of the region, using a secondary index when available. The
@@ -637,7 +928,7 @@ fn run_hash_join(
     }
 
     // --- Probe phase (read-only: no lock, shared with other sessions) ------
-    let (probe_schema, probe_rows) = run(probe, ctx)?;
+    let (probe_schema, probe_pipe) = run_batch(probe, ctx)?;
     let probe_key_idx = probe_schema.index_of(probe_key)?;
     // Planned post-filter (subsuming/overlapping reuse) plus the recovery
     // filter compensating for a concurrently widened cached table.
@@ -648,28 +939,68 @@ fn run_hash_join(
     if let Some(rf) = &recovery_filter {
         post_filters.push(BoxEval::bind(rf, &build_schema)?);
     }
-    ctx.metrics.ht_probes += probe_rows.len() as u64;
+    ctx.metrics.ht_probes += probe_pipe.len() as u64;
     let ht = source.probe_table();
     let post_filters = &post_filters;
-    let probe_rows_ref = &probe_rows;
-    let out = collect_morsels(ctx.sched(), probe_rows.len(), |range| {
-        let mut buf = Vec::new();
-        for prow in &probe_rows_ref[range] {
-            let key = prow.key64(&[probe_key_idx]);
-            let pval = prow.get(probe_key_idx);
-            for tagged in ht.probe_readonly(key) {
-                // Verify the actual key (hash keys may collide).
-                if tagged.row.get(build_key_idx) != pval {
-                    continue;
+    let out = match &probe_pipe {
+        Pipe::Rows(probe_rows) => {
+            let probe_rows_ref = &probe_rows;
+            collect_morsels(ctx.sched(), probe_rows.len(), |range| {
+                let mut buf = Vec::new();
+                for prow in &probe_rows_ref[range] {
+                    let key = prow.key64(&[probe_key_idx]);
+                    let pval = prow.get(probe_key_idx);
+                    for tagged in ht.probe_readonly(key) {
+                        // Verify the actual key (hash keys may collide).
+                        if tagged.row.get(build_key_idx) != pval {
+                            continue;
+                        }
+                        if !post_filters.iter().all(|pf| pf.eval(&tagged.row)) {
+                            continue;
+                        }
+                        buf.push(prow.concat(&tagged.row));
+                    }
                 }
-                if !post_filters.iter().all(|pf| pf.eval(&tagged.row)) {
-                    continue;
-                }
-                buf.push(prow.concat(&tagged.row));
-            }
+                buf
+            })
         }
-        buf
-    });
+        Pipe::Columnar(batch) => {
+            // Vectorized probe: keys come straight off the key column
+            // through a monomorphized kernel; the probe row materializes
+            // lazily, once, only when it has at least one match.
+            ctx.metrics.batches_processed += morsel_count(batch.sel.len()) as u64;
+            let table = &batch.table;
+            let proj = &batch.proj;
+            let sel = &batch.sel;
+            let key_col = table.column(proj[probe_key_idx]);
+            let kernel = vector::key_kernel(key_col);
+            let kernel = &kernel;
+            collect_morsels(ctx.sched(), sel.len(), |range| {
+                let mut buf = Vec::new();
+                for &rid in &sel[range] {
+                    let rid = rid as usize;
+                    let key = kernel.key64(rid);
+                    let mut prow: Option<Row> = None;
+                    for tagged in ht.probe_readonly(key) {
+                        // Verify the actual key (hash keys may collide);
+                        // `cmp_row` mismatching types is never equal, same
+                        // as the boxed comparison above.
+                        if key_col.cmp_row(rid, tagged.row.get(build_key_idx))
+                            != Some(std::cmp::Ordering::Equal)
+                        {
+                            continue;
+                        }
+                        if !post_filters.iter().all(|pf| pf.eval(&tagged.row)) {
+                            continue;
+                        }
+                        let prow = prow.get_or_insert_with(|| table.row_projected(rid, proj));
+                        buf.push(prow.concat(&tagged.row));
+                    }
+                }
+                buf
+            })
+        }
+    };
 
     // --- Hand the table back to the manager --------------------------------
     match source {
@@ -779,7 +1110,7 @@ fn run_hash_agg(
     // --- Fold input rows (all of them, or the reuse delta) -----------------
     if let Some(input_plan) = input {
         if reuse.is_none() || reuse.as_ref().is_some_and(|r| r.case.needs_delta()) {
-            let (in_schema, rows) = run(input_plan, ctx)?;
+            let (in_schema, pipe) = run_batch(input_plan, ctx)?;
             let group_idx: Vec<usize> = group_by
                 .iter()
                 .map(|g| in_schema.index_of(g))
@@ -791,94 +1122,28 @@ fn run_hash_agg(
             if reuse.is_none() {
                 ctx.metrics.built_tables += 1;
             }
-            let ht = source.write_table()?;
-            let mut inserts = 0u64;
-            let mut updates = 0u64;
-            if reuse.is_none() && ctx.parallelism > 1 && rows.len() >= MIN_PARALLEL_BUILD_ROWS {
-                // Partitioned parallel aggregate build: hashing/projection
-                // fans out over morsels, folding over key partitions (each
-                // group's accumulators are updated in global row order, so
-                // even floating-point sums are bitwise serial), then the
-                // structural history is replayed serially — one `touch`
-                // (lazy-split freshen) per row, one `insert` per
-                // group-creating row — which is exactly what the serial
-                // `upsert_where` loop below does to the table.
-                let rows_ref = &rows;
-                let group_idx_ref = &group_idx;
-                // Keys only — the group row is projected lazily, once per
-                // *group* (in `init`), not once per input row: materializing
-                // a projected `Row` per row costs two heap allocations each
-                // and dominates the whole build for low-cardinality groups.
-                let keys: Vec<u64> = collect_morsels(ctx.sched(), rows.len(), |range| {
-                    rows_ref[range]
-                        .iter()
-                        .map(|row| row.key64(group_idx_ref))
-                        .collect()
-                });
-                let fold = |i: usize, p: &mut AggPayload| {
-                    for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
-                        accum.update(rows_ref[i].get(ai));
-                    }
-                };
-                let gb = build_grouped_partitioned(
-                    ctx.sched(),
-                    &keys,
-                    // Allocation-free equivalent of `p.group == row.project(..)`.
-                    |i: usize, p: &AggPayload| {
-                        p.group.len() == group_idx_ref.len()
-                            && group_idx_ref
-                                .iter()
-                                .enumerate()
-                                .all(|(c, &gi)| *p.group.get(c) == *rows_ref[i].get(gi))
-                    },
-                    |i: usize| {
-                        let mut p = AggPayload::new(rows_ref[i].project(group_idx_ref), aggs);
-                        fold(i, &mut p);
-                        p
-                    },
-                    |i: usize, p: &mut AggPayload| fold(i, p),
-                );
-                inserts = gb.inserts;
-                updates = gb.updates;
-                let mut merged = gb.groups.into_iter().peekable();
-                for (i, &key) in keys.iter().enumerate() {
-                    if let Some(g) = merged.next_if(|g| g.first_row == i) {
-                        ht.touch(g.key);
-                        ht.insert(g.key, g.payload);
-                    } else {
-                        ht.touch(key);
-                    }
-                }
-                debug_assert!(merged.peek().is_none(), "all groups replayed");
-            } else {
-                for row in rows {
-                    let key = row.key64(&group_idx);
-                    let group_row = row.project(&group_idx);
-                    let created = ht.upsert_where(
-                        key,
-                        |p: &AggPayload| p.group == group_row,
-                        || {
-                            // First tuple of a missing group: pay the insert
-                            // and fold the row into the fresh accumulators.
-                            let mut p = AggPayload::new(group_row.clone(), aggs);
-                            for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
-                                accum.update(row.get(ai));
-                            }
-                            p
-                        },
-                        |p| {
-                            for (accum, &ai) in p.accums.iter_mut().zip(&agg_idx) {
-                                accum.update(row.get(ai));
-                            }
-                        },
-                    );
-                    if created {
-                        inserts += 1;
-                    } else {
-                        updates += 1;
-                    }
-                }
-            }
+            let parallel_build =
+                reuse.is_none() && ctx.parallelism > 1 && pipe.len() >= MIN_PARALLEL_BUILD_ROWS;
+            let (inserts, updates) = match pipe {
+                Pipe::Columnar(batch) => fold_batch(
+                    ctx,
+                    &mut source,
+                    &batch,
+                    &group_idx,
+                    &agg_idx,
+                    aggs,
+                    parallel_build,
+                )?,
+                Pipe::Rows(rows) => fold_rows(
+                    ctx,
+                    &mut source,
+                    rows,
+                    &group_idx,
+                    &agg_idx,
+                    aggs,
+                    parallel_build,
+                )?,
+            };
             ctx.metrics.ht_inserts += inserts;
             ctx.metrics.ht_updates += updates;
         }
@@ -898,6 +1163,233 @@ fn run_hash_agg(
         }
     }
 
+    produce_agg_output(
+        ctx,
+        source,
+        &recovery_filter,
+        group_schema,
+        group_by,
+        aggs,
+        output_aggs,
+        reuse,
+        publish,
+        post_group_by,
+    )
+}
+
+/// Fold materialized input rows into the aggregate table — the row
+/// interpreter's fold, parallel (partitioned) or serial.
+fn fold_rows(
+    ctx: &mut ExecContext<'_>,
+    source: &mut AggSource<'_>,
+    rows: Vec<Row>,
+    group_idx: &[usize],
+    agg_idx: &[usize],
+    aggs: &[hashstash_plan::AggExpr],
+    parallel_build: bool,
+) -> Result<(u64, u64)> {
+    let ht = source.write_table()?;
+    let mut inserts = 0u64;
+    let mut updates = 0u64;
+    if parallel_build {
+        // Partitioned parallel aggregate build: hashing/projection
+        // fans out over morsels, folding over key partitions (each
+        // group's accumulators are updated in global row order, so
+        // even floating-point sums are bitwise serial), then the
+        // structural history is replayed serially — one `touch`
+        // (lazy-split freshen) per row, one `insert` per
+        // group-creating row — which is exactly what the serial
+        // `upsert_where` loop below does to the table.
+        let rows_ref = &rows;
+        let group_idx_ref = group_idx;
+        // Keys only — the group row is projected lazily, once per
+        // *group* (in `init`), not once per input row: materializing
+        // a projected `Row` per row costs two heap allocations each
+        // and dominates the whole build for low-cardinality groups.
+        let keys: Vec<u64> = collect_morsels(ctx.sched(), rows.len(), |range| {
+            rows_ref[range]
+                .iter()
+                .map(|row| row.key64(group_idx_ref))
+                .collect()
+        });
+        let fold = |i: usize, p: &mut AggPayload| {
+            for (accum, &ai) in p.accums.iter_mut().zip(agg_idx) {
+                accum.update(rows_ref[i].get(ai));
+            }
+        };
+        let gb = build_grouped_partitioned(
+            ctx.sched(),
+            &keys,
+            // Allocation-free equivalent of `p.group == row.project(..)`.
+            |i: usize, p: &AggPayload| {
+                p.group.len() == group_idx_ref.len()
+                    && group_idx_ref
+                        .iter()
+                        .enumerate()
+                        .all(|(c, &gi)| *p.group.get(c) == *rows_ref[i].get(gi))
+            },
+            |i: usize| {
+                let mut p = AggPayload::new(rows_ref[i].project(group_idx_ref), aggs);
+                fold(i, &mut p);
+                p
+            },
+            |i: usize, p: &mut AggPayload| fold(i, p),
+        );
+        inserts = gb.inserts;
+        updates = gb.updates;
+        let mut merged = gb.groups.into_iter().peekable();
+        for (i, &key) in keys.iter().enumerate() {
+            if let Some(g) = merged.next_if(|g| g.first_row == i) {
+                ht.touch(g.key);
+                ht.insert(g.key, g.payload);
+            } else {
+                ht.touch(key);
+            }
+        }
+        debug_assert!(merged.peek().is_none(), "all groups replayed");
+    } else {
+        for row in rows {
+            let key = row.key64(group_idx);
+            let group_row = row.project(group_idx);
+            let created = ht.upsert_where(
+                key,
+                |p: &AggPayload| p.group == group_row,
+                || {
+                    // First tuple of a missing group: pay the insert
+                    // and fold the row into the fresh accumulators.
+                    let mut p = AggPayload::new(group_row.clone(), aggs);
+                    for (accum, &ai) in p.accums.iter_mut().zip(agg_idx) {
+                        accum.update(row.get(ai));
+                    }
+                    p
+                },
+                |p| {
+                    for (accum, &ai) in p.accums.iter_mut().zip(agg_idx) {
+                        accum.update(row.get(ai));
+                    }
+                },
+            );
+            if created {
+                inserts += 1;
+            } else {
+                updates += 1;
+            }
+        }
+    }
+    Ok((inserts, updates))
+}
+
+/// Fold a columnar batch into the aggregate table without materializing
+/// input rows: keys come off the group columns through monomorphized
+/// kernels, group membership tests compare column cells against stored
+/// group rows in place, and only the first tuple of each *group* projects a
+/// row (the hash-table payload — a pipeline edge). Insert/update order
+/// follows the selection vector, which is the row interpreter's input
+/// order, so the resulting table (including accumulator fold order and
+/// chain layout) is bit-identical to the row fold.
+fn fold_batch(
+    ctx: &mut ExecContext<'_>,
+    source: &mut AggSource<'_>,
+    batch: &ColumnarBatch,
+    group_idx: &[usize],
+    agg_idx: &[usize],
+    aggs: &[hashstash_plan::AggExpr],
+    parallel_build: bool,
+) -> Result<(u64, u64)> {
+    ctx.metrics.batches_processed += morsel_count(batch.sel.len()) as u64;
+    let table = &batch.table;
+    let sel = &batch.sel;
+    // Input-schema positions → base-table column positions.
+    let group_cols: Vec<usize> = group_idx.iter().map(|&i| batch.proj[i]).collect();
+    let agg_cols: Vec<usize> = agg_idx.iter().map(|&i| batch.proj[i]).collect();
+    let kernels: Vec<KeyKernel<'_>> = group_cols
+        .iter()
+        .map(|&c| vector::key_kernel(table.column(c)))
+        .collect();
+    let matches = |rid: usize, p: &AggPayload| {
+        p.group.len() == group_cols.len()
+            && group_cols.iter().enumerate().all(|(c, &gc)| {
+                table.column(gc).cmp_row(rid, p.group.get(c)) == Some(std::cmp::Ordering::Equal)
+            })
+    };
+    let fold = |rid: usize, p: &mut AggPayload| {
+        for (accum, &ac) in p.accums.iter_mut().zip(&agg_cols) {
+            accum.update(&table.column(ac).get(rid));
+        }
+    };
+    let init = |rid: usize| {
+        let mut p = AggPayload::new(table.row_projected(rid, &group_cols), aggs);
+        fold(rid, &mut p);
+        p
+    };
+    let ht = source.write_table()?;
+    let mut inserts = 0u64;
+    let mut updates = 0u64;
+    if parallel_build {
+        // Same partitioned build as the row fold, driven by selection
+        // indices instead of materialized rows.
+        let kernels = &kernels;
+        let keys: Vec<u64> = collect_morsels(ctx.sched(), sel.len(), |range| {
+            sel[range]
+                .iter()
+                .map(|&rid| vector::group_key64(kernels, rid as usize))
+                .collect()
+        });
+        let gb = build_grouped_partitioned(
+            ctx.sched(),
+            &keys,
+            |i: usize, p: &AggPayload| matches(sel[i] as usize, p),
+            |i: usize| init(sel[i] as usize),
+            |i: usize, p: &mut AggPayload| fold(sel[i] as usize, p),
+        );
+        inserts = gb.inserts;
+        updates = gb.updates;
+        let mut merged = gb.groups.into_iter().peekable();
+        for (i, &key) in keys.iter().enumerate() {
+            if let Some(g) = merged.next_if(|g| g.first_row == i) {
+                ht.touch(g.key);
+                ht.insert(g.key, g.payload);
+            } else {
+                ht.touch(key);
+            }
+        }
+        debug_assert!(merged.peek().is_none(), "all groups replayed");
+    } else {
+        for &rid in sel {
+            let rid = rid as usize;
+            let key = vector::group_key64(&kernels, rid);
+            let created = ht.upsert_where(
+                key,
+                |p: &AggPayload| matches(rid, p),
+                || init(rid),
+                |p| fold(rid, p),
+            );
+            if created {
+                inserts += 1;
+            } else {
+                updates += 1;
+            }
+        }
+    }
+    Ok((inserts, updates))
+}
+
+/// The output phase of a hash aggregate: post-filter + finalize the stored
+/// groups (optionally re-grouping on a subset of the group-by attributes),
+/// assemble the output schema, and hand the table back to the manager.
+#[allow(clippy::too_many_arguments)]
+fn produce_agg_output(
+    ctx: &mut ExecContext<'_>,
+    source: AggSource<'_>,
+    recovery_filter: &Option<PredBox>,
+    group_schema: Schema,
+    group_by: &[Arc<str>],
+    aggs: &[hashstash_plan::AggExpr],
+    output_aggs: &[OutputAgg],
+    reuse: &Option<crate::plan::ReuseSpec>,
+    publish: &Option<hashstash_plan::HtFingerprint>,
+    post_group_by: &Option<Vec<Arc<str>>>,
+) -> Result<(Schema, Vec<Row>)> {
     // --- Produce output ----------------------------------------------------
     // Planned post-filter (subsuming reuse) plus the recovery filter for a
     // concurrently widened cached table; both apply to group keys.

@@ -26,6 +26,10 @@
 //! * [`temp`] — the temp-table cache of the materialization-based reuse
 //!   baseline (Nagel-style: exact + subsuming reuse of *operator outputs*,
 //!   paid for by extra materialization work during execution).
+//! * [`vector`] — selection-vector kernels for the columnar hot paths:
+//!   vectorized scans, filters, probe key extraction and aggregate folds
+//!   that run over `Column` slices and materialize rows only at pipeline
+//!   edges, bit-identical to the row interpreter (`HS_VECTORIZE=0`).
 //! * [`shared`] — reuse-aware shared plans: shared scans, SRHJ and SRHA with
 //!   query-id tagging and re-tagging (paper §4).
 
@@ -35,6 +39,7 @@ pub mod plan;
 pub mod pool;
 pub mod shared;
 pub mod temp;
+pub mod vector;
 
 pub use exec::{acquire_plan_checkouts, execute, ExecContext, ExecMetrics};
 pub use parallel::{
@@ -45,3 +50,4 @@ pub use plan::{OutputAgg, PhysicalPlan, ReuseSpec, ScanSpec};
 pub use pool::WorkerPool;
 pub use shared::{SharedPlanSpec, SharedReuse};
 pub use temp::{TempTableCache, TempTableStats};
+pub use vector::{default_vectorize, ColumnarBatch, KeyKernel};

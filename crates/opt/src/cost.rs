@@ -70,6 +70,19 @@ pub struct CostParams {
     /// a parallel build never gets cheaper than `rows ·
     /// build_merge_ns_per_row`.
     pub build_merge_ns_per_row: f64,
+    /// Whether the executor's columnar selection-vector paths are on
+    /// (`hashstash_exec::default_vectorize`, i.e. `HS_VECTORIZE`). When
+    /// set, sequential scans are priced with the vectorized per-tuple
+    /// cost + per-batch overhead instead of the row-interpreter
+    /// [`CostParams::scan_ns`].
+    pub vectorized: bool,
+    /// Vectorized filter cost per tuple (ns): one typed-slice compare in a
+    /// monomorphized kernel, no boxed scalar materialization. Replaces
+    /// [`CostParams::scan_ns`] on the vectorized scan path.
+    pub vec_scan_ns: f64,
+    /// Fixed per-batch overhead of a vectorized scan (ns): selection-vector
+    /// allocation and kernel dispatch, paid once per morsel-sized batch.
+    pub vec_batch_ns: f64,
 }
 
 impl Default for CostParams {
@@ -87,6 +100,9 @@ impl Default for CostParams {
             morsel_overhead_ns: 400.0,
             parallel_dispatch_ns: hashstash_exec::PHASE_DISPATCH_NS as f64,
             build_merge_ns_per_row: 1.5,
+            vectorized: hashstash_exec::default_vectorize(),
+            vec_scan_ns: 0.5,
+            vec_batch_ns: 60.0,
         }
     }
 }
@@ -187,10 +203,37 @@ impl CostModel {
         &self.grid
     }
 
+    /// The same model pricing scans for the columnar selection-vector
+    /// executor (`true`) or the row interpreter (`false`). Engines set this
+    /// from their vectorize knob so reuse-vs-recompute decisions price the
+    /// scans that will actually run; the default follows `HS_VECTORIZE`.
+    pub fn with_vectorized(mut self, vectorized: bool) -> Self {
+        self.params.vectorized = vectorized;
+        self
+    }
+
+    /// Serial cost of a **vectorized** scan over `rows` tuples: a tight
+    /// typed-slice kernel per tuple plus a fixed overhead per morsel-sized
+    /// batch (selection-vector bookkeeping). The admission scores and
+    /// reuse-vs-recompute comparisons pick this up through [`Self::scan`],
+    /// so a cheaper scan correctly shrinks the benefit of caching
+    /// scan-dominated builds.
+    pub fn vectorized(&self, rows: f64) -> f64 {
+        let batches = (rows / hashstash_exec::MORSEL_ROWS as f64).ceil();
+        rows * self.params.vec_scan_ns + batches * self.params.vec_batch_ns
+    }
+
     /// Cost of scanning `rows` tuples sequentially (filter + projection
-    /// fan out over morsels).
+    /// fan out over morsels). Priced with the vectorized kernel term when
+    /// the engine runs columnar ([`CostParams::vectorized`]), the
+    /// row-interpreter per-tuple cost otherwise.
     pub fn scan(&self, rows: f64) -> f64 {
-        self.parallel(rows * self.params.scan_ns, rows)
+        let serial = if self.params.vectorized {
+            self.vectorized(rows)
+        } else {
+            rows * self.params.scan_ns
+        };
+        self.parallel(serial, rows)
     }
 
     /// Cost of fetching `rows` tuples through a secondary index (the
@@ -610,6 +653,25 @@ mod tests {
         let p = par.admission_score_agg(1_000_000.0, 50_000.0, 64.0);
         assert!(p.predicted_benefit_ns < s.predicted_benefit_ns);
         assert_eq!(p.predicted_bytes, s.predicted_bytes);
+    }
+
+    #[test]
+    fn vectorized_scan_pricing() {
+        let vec = CostModel::synthetic().with_vectorized(true);
+        let row = CostModel::synthetic().with_vectorized(false);
+        // The kernel term beats the row interpreter on big scans (this is
+        // the speedup exp11 measures)…
+        assert!(vec.scan(1_000_000.0) < row.scan(1_000_000.0));
+        // …but the per-batch overhead keeps tiny scans from being priced
+        // as free.
+        assert!(vec.scan(1.0) >= vec.params().vec_batch_ns);
+        // The vectorized term never changes index-scan pricing: the index
+        // path stays row-at-a-time in the executor.
+        assert_eq!(vec.index_scan(10_000.0), row.index_scan(10_000.0));
+        // Admission benefit for scan-independent builds is unaffected.
+        let v = vec.admission_score_join(100_000.0, 32.0);
+        let r = row.admission_score_join(100_000.0, 32.0);
+        assert_eq!(v.predicted_benefit_ns, r.predicted_benefit_ns);
     }
 
     #[test]

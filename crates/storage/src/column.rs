@@ -87,16 +87,159 @@ impl Column {
     }
 
     /// Approximate heap footprint in bytes (used in memory statistics).
+    ///
+    /// Each dictionary entry is charged its string bytes plus the
+    /// `Arc<str>` allocation header (two 8-byte reference counts) plus the
+    /// 16-byte fat pointer slot in the `dict` vector. The header is charged
+    /// per *entry*, not per shared `Arc`: a dictionary entry keeps its
+    /// backing allocation alive regardless of how many other columns share
+    /// it, so per-column accounting must not undercount it.
     pub fn bytes(&self) -> usize {
         match self {
             Column::Int(v) => v.len() * 8,
             Column::Float(v) => v.len() * 8,
             Column::Date(v) => v.len() * 4,
             Column::Str { dict, codes } => {
-                codes.len() * 4 + dict.iter().map(|s| s.len() + 16).sum::<usize>()
+                codes.len() * 4 + dict.iter().map(|s| s.len() + 32).sum::<usize>()
             }
         }
     }
+
+    /// The raw `i64` slice of an `Int` column.
+    #[inline]
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `f64` slice of a `Float` column.
+    #[inline]
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw day-count slice of a `Date` column.
+    #[inline]
+    pub fn as_date(&self) -> Option<&[i32]> {
+        match self {
+            Column::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Dictionary and per-row codes of a `Str` column.
+    #[inline]
+    pub fn dict_parts(&self) -> Option<(&[Arc<str>], &[u32])> {
+        match self {
+            Column::Str { dict, codes } => Some((dict, codes)),
+            _ => None,
+        }
+    }
+
+    /// Selection-vector filter kernel: append to `sel` the row ids in
+    /// `range` whose value passes `kernel`, in ascending order. Returns
+    /// `false` (leaving `sel` untouched) when the kernel's type does not
+    /// match the column — the caller falls back to row-at-a-time
+    /// evaluation. Each arm is a tight loop over the typed slice; no
+    /// per-row `Value` is materialized.
+    pub fn select_range(
+        &self,
+        range: std::ops::Range<usize>,
+        kernel: &RangeKernel,
+        sel: &mut Vec<u32>,
+    ) -> bool {
+        match (self, kernel) {
+            (Column::Int(v), RangeKernel::Int { lo, hi }) => {
+                for i in range {
+                    if (*lo..=*hi).contains(&v[i]) {
+                        sel.push(i as u32);
+                    }
+                }
+                true
+            }
+            (Column::Date(v), RangeKernel::Date { lo, hi }) => {
+                for i in range {
+                    if (*lo..=*hi).contains(&v[i]) {
+                        sel.push(i as u32);
+                    }
+                }
+                true
+            }
+            (Column::Float(v), RangeKernel::Float { lo, hi }) => {
+                for i in range {
+                    let k = hashstash_types::f64_order_key(v[i]);
+                    if (*lo..=*hi).contains(&k) {
+                        sel.push(i as u32);
+                    }
+                }
+                true
+            }
+            (Column::Str { codes, .. }, RangeKernel::Dict { ok }) => {
+                for i in range {
+                    if ok[codes[i] as usize] {
+                        sel.push(i as u32);
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Selection-vector refinement kernel: retain in `sel` only the row ids
+    /// whose value passes `kernel` (order preserved). Returns `false`
+    /// (leaving `sel` untouched) on a kernel/column type mismatch.
+    pub fn refine_range(&self, kernel: &RangeKernel, sel: &mut Vec<u32>) -> bool {
+        match (self, kernel) {
+            (Column::Int(v), RangeKernel::Int { lo, hi }) => {
+                sel.retain(|&rid| (*lo..=*hi).contains(&v[rid as usize]));
+                true
+            }
+            (Column::Date(v), RangeKernel::Date { lo, hi }) => {
+                sel.retain(|&rid| (*lo..=*hi).contains(&v[rid as usize]));
+                true
+            }
+            (Column::Float(v), RangeKernel::Float { lo, hi }) => {
+                sel.retain(|&rid| {
+                    (*lo..=*hi).contains(&hashstash_types::f64_order_key(v[rid as usize]))
+                });
+                true
+            }
+            (Column::Str { codes, .. }, RangeKernel::Dict { ok }) => {
+                sel.retain(|&rid| ok[codes[rid as usize] as usize]);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A compiled, type-specific range test the selection kernels run per row.
+///
+/// All four variants are *inclusive* range compares over primitive
+/// representations: interval bounds are lowered once per scan box
+/// (exclusive bounds become `± 1` on discrete domains and on the float
+/// order key; dictionary predicates become a per-code boolean mask), after
+/// which the per-row work is a branchless-friendly compare with no `Value`
+/// in sight. An impossible predicate lowers to an empty range (`lo > hi`).
+#[derive(Debug, Clone)]
+pub enum RangeKernel {
+    /// `lo <= x <= hi` over an `Int` column.
+    Int { lo: i64, hi: i64 },
+    /// `lo <= x <= hi` over a `Date` column (day counts).
+    Date { lo: i32, hi: i32 },
+    /// `lo <= f64_order_key(x) <= hi` over a `Float` column
+    /// ([`hashstash_types::f64_order_key`] mirrors the `F64` total order).
+    Float { lo: u64, hi: u64 },
+    /// Per-dictionary-code acceptance mask over a `Str` column: the string
+    /// predicate is evaluated once per distinct dictionary entry, turning
+    /// the per-row test into a `u32` index into `ok`.
+    Dict { ok: Vec<bool> },
 }
 
 /// Incremental builder for one column.
@@ -111,6 +254,27 @@ impl ColumnBuilder {
     pub fn new(dtype: DataType) -> Self {
         ColumnBuilder {
             column: Column::new(dtype),
+            dict_lookup: HashMap::new(),
+        }
+    }
+
+    /// Start building a column with room for `n` rows, so pushing `n`
+    /// values never grow-reallocates the data vector (the TPC-H loaders
+    /// know their cardinalities up front). The string dictionary is left
+    /// at its default capacity — distinct-value counts are small and
+    /// unknown.
+    pub fn with_capacity(dtype: DataType, n: usize) -> Self {
+        let column = match dtype {
+            DataType::Int => Column::Int(Vec::with_capacity(n)),
+            DataType::Float => Column::Float(Vec::with_capacity(n)),
+            DataType::Date => Column::Date(Vec::with_capacity(n)),
+            DataType::Str => Column::Str {
+                dict: Vec::new(),
+                codes: Vec::with_capacity(n),
+            },
+        };
+        ColumnBuilder {
+            column,
             dict_lookup: HashMap::new(),
         }
     }
@@ -221,6 +385,96 @@ mod tests {
             b.push_int(i);
         }
         assert_eq!(b.finish().bytes(), 80);
+    }
+
+    #[test]
+    fn str_bytes_accounting_golden() {
+        let mut b = ColumnBuilder::new(DataType::Str);
+        b.push_str("abc"); // dict entry 0: 3 bytes
+        b.push_str("de"); // dict entry 1: 2 bytes
+        b.push_str("abc"); // reuses entry 0
+        let c = b.finish();
+        // 3 codes * 4 bytes + per-entry (len + 16-byte Arc header +
+        // 16-byte fat-pointer slot): (3 + 32) + (2 + 32).
+        assert_eq!(c.bytes(), 12 + 35 + 34);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_without_changing_contents() {
+        let mut a = ColumnBuilder::with_capacity(DataType::Int, 100);
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for i in 0..100 {
+            a.push_int(i);
+            b.push_int(i);
+        }
+        let (a, b) = (a.finish(), b.finish());
+        assert_eq!(a.len(), b.len());
+        for i in 0..100 {
+            assert_eq!(a.get(i), b.get(i));
+        }
+        let mut s = ColumnBuilder::with_capacity(DataType::Str, 4);
+        s.push_str("x");
+        s.push_str("y");
+        s.push_str("x");
+        let s = s.finish();
+        let (dict, codes) = s.dict_parts().unwrap();
+        assert_eq!(dict.len(), 2);
+        assert_eq!(codes, &[0, 1, 0]);
+    }
+
+    #[test]
+    fn typed_slice_accessors() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        b.push_int(5);
+        let c = b.finish();
+        assert_eq!(c.as_int(), Some(&[5i64][..]));
+        assert!(c.as_float().is_none());
+        assert!(c.as_date().is_none());
+        assert!(c.dict_parts().is_none());
+    }
+
+    #[test]
+    fn select_and_refine_kernels_match_scalar_filters() {
+        let mut b = ColumnBuilder::new(DataType::Int);
+        for v in [5i64, -3, 12, 7, 12, 0] {
+            b.push_int(v);
+        }
+        let c = b.finish();
+        let k = RangeKernel::Int { lo: 0, hi: 11 };
+        let mut sel = Vec::new();
+        assert!(c.select_range(0..c.len(), &k, &mut sel));
+        assert_eq!(sel, vec![0, 3, 5]);
+        // Refine with a tighter range.
+        assert!(c.refine_range(&RangeKernel::Int { lo: 5, hi: 7 }, &mut sel));
+        assert_eq!(sel, vec![0, 3]);
+        // Type mismatch leaves the selection untouched.
+        assert!(!c.refine_range(&RangeKernel::Date { lo: 0, hi: 1 }, &mut sel));
+        assert_eq!(sel, vec![0, 3]);
+
+        let mut b = ColumnBuilder::new(DataType::Float);
+        for v in [1.5f64, -0.0, f64::NAN, 3.0] {
+            b.push_float(v);
+        }
+        let c = b.finish();
+        let k = RangeKernel::Float {
+            lo: hashstash_types::f64_order_key(0.0),
+            hi: hashstash_types::f64_order_key(2.0),
+        };
+        let mut sel = Vec::new();
+        assert!(c.select_range(0..c.len(), &k, &mut sel));
+        assert_eq!(sel, vec![0, 1], "-0.0 is inside [0, 2], NaN is above");
+
+        let mut b = ColumnBuilder::new(DataType::Str);
+        for s in ["a", "b", "a", "c"] {
+            b.push_str(s);
+        }
+        let c = b.finish();
+        let k = RangeKernel::Dict {
+            ok: vec![true, false, true],
+        };
+        let mut sel = Vec::new();
+        assert!(c.select_range(1..c.len(), &k, &mut sel));
+        assert_eq!(sel, vec![2, 3]);
     }
 
     #[test]

@@ -20,6 +20,6 @@ pub mod table;
 pub mod tpch;
 
 pub use catalog::Catalog;
-pub use column::Column;
+pub use column::{Column, ColumnBuilder, RangeKernel};
 pub use index::SortedIndex;
 pub use table::{Table, TableBuilder};

@@ -99,7 +99,7 @@ impl Table {
             name,
             schema,
             columns,
-            indexes: HashMap::new(),
+            indexes: HashMap::with_capacity(indexed.len()),
         };
         check_rectangular(&table)?;
         for &col in indexed {
@@ -161,6 +161,17 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a table with the given unqualified column names and types.
     pub fn new(name: impl Into<String>, columns: Vec<(&str, DataType)>) -> Self {
+        TableBuilder::with_capacity(name, columns, 0)
+    }
+
+    /// Start a table with room for `rows` rows in every column, so loaders
+    /// that know their cardinality up front (the TPC-H generator, recovery)
+    /// never grow-reallocate while pushing.
+    pub fn with_capacity(
+        name: impl Into<String>,
+        columns: Vec<(&str, DataType)>,
+        rows: usize,
+    ) -> Self {
         let schema = Schema::new(
             columns
                 .iter()
@@ -169,7 +180,7 @@ impl TableBuilder {
         );
         let builders = columns
             .iter()
-            .map(|(_, t)| ColumnBuilder::new(*t))
+            .map(|(_, t)| ColumnBuilder::with_capacity(*t, rows))
             .collect();
         TableBuilder {
             name: name.into(),

@@ -174,13 +174,14 @@ fn gen_nation(rng: &mut SmallRng) -> crate::table::Table {
 }
 
 fn gen_supplier(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
-    let mut b = TableBuilder::new(
+    let mut b = TableBuilder::with_capacity(
         "supplier",
         vec![
             ("s_suppkey", DataType::Int),
             ("s_nationkey", DataType::Int),
             ("s_acctbal", DataType::Float),
         ],
+        config.suppliers(),
     );
     for k in 1..=config.suppliers() as i64 {
         b.push_row(vec![
@@ -194,7 +195,7 @@ fn gen_supplier(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table 
 }
 
 fn gen_customer(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
-    let mut b = TableBuilder::new(
+    let mut b = TableBuilder::with_capacity(
         "customer",
         vec![
             ("c_custkey", DataType::Int),
@@ -203,6 +204,7 @@ fn gen_customer(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table 
             ("c_acctbal", DataType::Float),
             ("c_mktsegment", DataType::Str),
         ],
+        config.customers(),
     );
     for k in 1..=config.customers() as i64 {
         b.push_row(vec![
@@ -218,7 +220,7 @@ fn gen_customer(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table 
 }
 
 fn gen_part(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
-    let mut b = TableBuilder::new(
+    let mut b = TableBuilder::with_capacity(
         "part",
         vec![
             ("p_partkey", DataType::Int),
@@ -227,6 +229,7 @@ fn gen_part(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
             ("p_size", DataType::Int),
             ("p_retailprice", DataType::Float),
         ],
+        config.parts(),
     );
     for k in 1..=config.parts() as i64 {
         let m = rng.gen_range(1..=5);
@@ -244,7 +247,7 @@ fn gen_part(config: &TpchConfig, rng: &mut SmallRng) -> crate::table::Table {
 }
 
 fn gen_orders(config: &TpchConfig, rng: &mut SmallRng) -> (crate::table::Table, Vec<i32>) {
-    let mut b = TableBuilder::new(
+    let mut b = TableBuilder::with_capacity(
         "orders",
         vec![
             ("o_orderkey", DataType::Int),
@@ -252,6 +255,7 @@ fn gen_orders(config: &TpchConfig, rng: &mut SmallRng) -> (crate::table::Table, 
             ("o_orderdate", DataType::Date),
             ("o_totalprice", DataType::Float),
         ],
+        config.orders(),
     );
     let customers = config.customers() as i64;
     let lo = min_order_date();
@@ -279,7 +283,7 @@ fn gen_lineitem(
     order_dates: &[i32],
     rng: &mut SmallRng,
 ) -> crate::table::Table {
-    let mut b = TableBuilder::new(
+    let mut b = TableBuilder::with_capacity(
         "lineitem",
         vec![
             ("l_orderkey", DataType::Int),
@@ -290,6 +294,9 @@ fn gen_lineitem(
             ("l_discount", DataType::Float),
             ("l_shipdate", DataType::Date),
         ],
+        // 1–7 lineitems per order, 4 expected: reserve the mean so the
+        // common case never reallocates more than once.
+        order_dates.len() * 4,
     );
     let parts = config.parts() as i64;
     let suppliers = config.suppliers() as i64;

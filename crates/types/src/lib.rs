@@ -24,4 +24,7 @@ pub use error::{HsError, Result};
 pub use ids::{ColId, HtId, QidSet, QueryId, TableId};
 pub use row::Row;
 pub use schema::{Field, Schema};
-pub use value::{fnv1a, DataType, StableHasher, Value, F64};
+pub use value::{
+    f64_order_key, fnv1a, key64_combine, key64_date, key64_float, key64_int, key64_str, DataType,
+    StableHasher, Value, F64, KEY64_SEED,
+};

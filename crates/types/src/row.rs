@@ -76,11 +76,9 @@ impl Row {
             [] => 0,
             [i] => self.values[*i].key64(),
             many => {
-                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut h = crate::value::KEY64_SEED;
                 for &i in many {
-                    h ^= self.values[i].key64();
-                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
-                    h ^= h >> 29;
+                    h = crate::value::key64_combine(h, self.values[i].key64());
                 }
                 h
             }

@@ -208,15 +208,86 @@ impl Value {
     ///
     /// Dates and ints map to their integer values; floats map to their
     /// canonical bit pattern; strings hash via FNV-1a (collisions are fine —
-    /// the hash table chains verify full keys).
+    /// the hash table chains verify full keys). The per-type encodings are
+    /// also available as free functions ([`key64_int`], [`key64_date`],
+    /// [`key64_float`], [`key64_str`]) so columnar kernels can derive the
+    /// same keys straight from typed slices without materializing a `Value`.
     #[inline]
     pub fn key64(&self) -> u64 {
         match self {
-            Value::Int(v) => *v as u64,
-            Value::Date(d) => *d as i64 as u64,
-            Value::Float(f) => f.canonical_bits(),
-            Value::Str(s) => fnv1a(s.as_bytes()),
+            Value::Int(v) => key64_int(*v),
+            Value::Date(d) => key64_date(*d),
+            Value::Float(f) => key64_float(f.0),
+            Value::Str(s) => key64_str(s),
         }
+    }
+}
+
+/// [`Value::key64`] of an `Int`, from the raw `i64`.
+#[inline]
+pub fn key64_int(v: i64) -> u64 {
+    v as u64
+}
+
+/// [`Value::key64`] of a `Date`, from the raw day count (sign-extended so
+/// pre-epoch dates keep distinct keys).
+#[inline]
+pub fn key64_date(d: i32) -> u64 {
+    d as i64 as u64
+}
+
+/// [`Value::key64`] of a `Float`, from the raw `f64` (canonical bits:
+/// NaNs collapse, `-0.0` keys as `+0.0`).
+#[inline]
+pub fn key64_float(v: f64) -> u64 {
+    F64(v).canonical_bits()
+}
+
+/// [`Value::key64`] of a `Str`, from the raw string.
+#[inline]
+pub fn key64_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// Seed for [`key64_combine`] — the FNV-1a offset basis.
+pub const KEY64_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold one per-column key into a running composite key. Multi-column
+/// hash-table keys ([`crate::Row::key64`] and the columnar kernels) must mix
+/// per-column keys through this exact combiner, in column order, starting
+/// from [`KEY64_SEED`] — the cached-table layouts published into the reuse
+/// store depend on these keys being identical across executor paths.
+#[inline]
+pub fn key64_combine(h: u64, k: u64) -> u64 {
+    let mut h = h ^ k;
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    h ^ (h >> 29)
+}
+
+/// A monotone `u64` key over the [`F64`] total order: for canonicalized
+/// floats `a` and `b`, `F64(a) < F64(b)` iff
+/// `f64_order_key(a) < f64_order_key(b)`, and equal (canonical) floats map
+/// to equal keys. This turns *every* float interval predicate into an
+/// inclusive `u64` range compare, which is what the columnar selection
+/// kernels run: exclusive bounds become `key ± 1` (the map is injective on
+/// canonical values), unbounded sides become `0` / `u64::MAX`.
+#[inline]
+pub fn f64_order_key(v: f64) -> u64 {
+    // Canonicalize exactly like F64: all NaNs collapse to the positive
+    // quiet NaN (greatest element), -0.0 to +0.0.
+    let v = if v.is_nan() {
+        f64::NAN
+    } else if v == 0.0 {
+        0.0
+    } else {
+        v
+    };
+    let b = v.to_bits();
+    // Standard total-order flip: negatives reverse, positives shift above.
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000_0000_0000
     }
 }
 
@@ -364,6 +435,41 @@ mod tests {
         // equal values must produce equal keys
         assert_eq!(Value::str("abc").key64(), Value::str("abc").key64());
         assert_eq!(Value::float(0.0).key64(), Value::float(-0.0).key64());
+    }
+
+    #[test]
+    fn free_key64_functions_match_value_key64() {
+        assert_eq!(key64_int(-7), Value::Int(-7).key64());
+        assert_eq!(key64_date(-3), Value::Date(-3).key64());
+        assert_eq!(key64_float(2.5), Value::float(2.5).key64());
+        assert_eq!(key64_float(-0.0), Value::float(0.0).key64());
+        assert_eq!(key64_float(f64::NAN), Value::float(f64::NAN).key64());
+        assert_eq!(key64_str("Brand#12"), Value::str("Brand#12").key64());
+    }
+
+    #[test]
+    fn f64_order_key_is_monotone_in_total_order() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            1e300,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for a in samples {
+            for b in samples {
+                assert_eq!(
+                    F64(a).cmp(&F64(b)),
+                    f64_order_key(a).cmp(&f64_order_key(b)),
+                    "order key must mirror F64 total order for {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

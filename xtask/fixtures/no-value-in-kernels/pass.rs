@@ -1,0 +1,29 @@
+//! Must pass `no-value-in-kernels`: kernels read typed slices and the
+//! `key64_*` primitives; longer identifiers containing the token are not
+//! the boxed scalar; tests may materialize scalars freely; an explicit
+//! allow documents an intentional exception. NOT compiled — read as text
+//! by xtask's fixture tests.
+
+pub fn key_of(ints: &[i64], rid: usize) -> u64 {
+    key64_int(ints[rid])
+}
+
+// `Value` inside a longer identifier is a different type entirely.
+pub struct KeyValuePair {
+    pub key: u64,
+    pub payload: u64,
+}
+
+pub fn documented_exception(rid: usize) -> u64 {
+    // tidy:allow(no-value-in-kernels): error path only, never in the per-batch loop
+    Value::Int(rid as i64).key64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_box_scalars() {
+        let v = hashstash_types::Value::Int(7);
+        assert_eq!(v, v.clone());
+    }
+}

@@ -1,0 +1,15 @@
+//! Must trip `no-value-in-kernels` (checked under the kernel module's rel
+//! path): boxed scalars in live kernel code — exactly the per-row
+//! allocation the selection-vector paths exist to avoid. NOT compiled —
+//! read as text by xtask's fixture tests.
+
+pub fn key_of(col: &Column, rid: usize) -> u64 {
+    // A per-row boxed scalar in the hot loop: the whole point of the
+    // kernel module is to never do this.
+    let v: Value = col.get(rid);
+    v.key64()
+}
+
+pub fn matches(col: &Column, rid: usize, bound: &hashstash_types::Value) -> bool {
+    col.cmp_row(rid, bound).is_some()
+}

@@ -1,4 +1,4 @@
-//! The five tidy lints.
+//! The six tidy lints.
 //!
 //! Each lint reports [`Diagnostic`]s against the [`SourceFile`] model; all
 //! of them honour `// tidy:allow(<lint>): <reason>` on the offending line
@@ -168,6 +168,57 @@ fn no_raw_spawn(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                     format!("{tok} outside {SPAWN_HOME}; use the worker pool"),
                 );
             }
+        }
+    }
+}
+
+// ------------------------------------------------------ no-value-in-kernels
+
+/// The columnar kernel module: selection vectors and monomorphized key /
+/// range kernels only. A live `Value` token there means per-row boxed
+/// scalars crept back into a hot loop — predicate lowering (which
+/// legitimately inspects boxed bounds) belongs in `exec.rs`, which hands
+/// down `RangeKernel`s.
+const KERNEL_HOME: &str = "crates/exec/src/vector.rs";
+
+/// Whether `code` contains `Value` as a whole identifier (not as a prefix
+/// or suffix of a longer one, so `KeyValue`/`Values` don't count).
+fn has_value_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(at) = code[from..].find("Value") {
+        let at = from + at;
+        let end = at + "Value".len();
+        if (at == 0 || !ident(bytes[at - 1])) && (end == code.len() || !ident(bytes[end])) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Keep the kernel module scalar-free: typed slices and `key64_*`
+/// primitives only, so the per-batch loops never allocate per row.
+fn no_value_in_kernels(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const LINT: &str = "no-value-in-kernels";
+    if f.rel != KERNEL_HOME {
+        return;
+    }
+    for (i, line) in f.lines.iter().enumerate() {
+        if !live(line, LINT) {
+            continue;
+        }
+        if has_value_token(&line.code) {
+            diag(
+                out,
+                f,
+                i,
+                LINT,
+                "boxed scalar `Value` in the kernel module; kernels run over typed \
+                 slices — lower the predicate in exec.rs and hand down a RangeKernel"
+                    .to_string(),
+            );
         }
     }
 }
@@ -426,6 +477,7 @@ pub fn run(files: &[SourceFile], rules: &[EnumMatchRule]) -> Vec<Diagnostic> {
         no_std_hasher(f, &mut out);
         no_panic_paths(f, &mut out);
         no_raw_spawn(f, &mut out);
+        no_value_in_kernels(f, &mut out);
         lock_discipline(f, &mut out, &mut locks);
     }
     lock_discipline_finish(&locks, &mut out);
@@ -484,6 +536,7 @@ mod tests {
             ("no-std-hasher", "crates/opt/src/fixture.rs"),
             ("no-panic-paths", "crates/cache/src/fixture.rs"),
             ("no-raw-spawn", "crates/opt/src/fixture.rs"),
+            ("no-value-in-kernels", "crates/exec/src/vector.rs"),
             ("lock-discipline", "crates/core/src/fixture.rs"),
             ("codec-exhaustive", "crates/durability/src/fixture.rs"),
         ];

@@ -4,7 +4,7 @@
 //! cargo run -p xtask -- tidy
 //! ```
 //!
-//! walks the workspace's Rust sources and enforces the five repo-specific
+//! walks the workspace's Rust sources and enforces the six repo-specific
 //! lints (see [`lints`]). Exit code 0 means clean; 1 means diagnostics were
 //! printed (one `path:line: [lint] message` per finding); 2 means usage or
 //! I/O trouble.
