@@ -1,0 +1,313 @@
+//! Exp 12: the serving front end under multi-tenant budget pressure.
+//!
+//! A real [`Server`] on a loopback socket serves two authenticated tenants
+//! from one shared [`Database`]:
+//!
+//! - **hot** — a small, repetitive dashboard-style query set, protected by
+//!   a per-tenant budget floor sized to its working set;
+//! - **churn** — an analyst marching month-window join-aggregates across
+//!   the whole `o_orderdate` range, publishing far more than the GC budget
+//!   holds.
+//!
+//! The budget and floor are *sized at runtime* from an unbounded sizing
+//! pass (TPC-H generation is deterministic per `(sf, seed)`), so the run
+//! is tight for every scale factor: the budget fits the hot set plus a few
+//! churn windows, and sustained pressure must land on the churning tenant.
+//!
+//! Hard assertions (smoke mode included):
+//! - the floored tenant loses **zero** entries while the churning tenant
+//!   pays with real evictions;
+//! - per-tenant counters sum exactly to the global cache counters;
+//! - the cache ends within budget.
+//!
+//! Output: a human-readable table plus `BENCH_serving.json` (uploaded by
+//! CI as an artifact) with end-to-end throughput, per-tenant p50/p99
+//! request latency and per-tenant hit ratios.
+
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hashstash::{Database, TenantId};
+use hashstash_bench::common::{header, ms};
+use hashstash_server::protocol::{read_text, write_frame};
+use hashstash_server::{CatalogSchema, Server, ServerConfig, TenantSpec};
+use hashstash_sql::parse_query;
+use hashstash_storage::tpch::{generate, TpchConfig};
+
+fn smoke() -> bool {
+    std::env::var("HASHSTASH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The hot tenant's dashboard set: repeats are exact cache hits.
+const HOT_QUERIES: [&str; 3] = [
+    "SELECT c_age, COUNT(c_custkey) FROM customer GROUP BY c_age",
+    "SELECT c_age, AVG(c_acctbal) FROM customer WHERE c_age >= 30 GROUP BY c_age",
+    "SELECT c_custkey, c_age FROM customer WHERE c_age <= 45",
+];
+
+/// Month window `i` of the churn tenant's march across the TPC-H date
+/// range (1992-01 .. 1998-08): disjoint windows, so every window builds
+/// and publishes fresh join tables.
+fn churn_query(i: usize) -> String {
+    let year = 1992 + i / 12;
+    let month = 1 + i % 12;
+    format!(
+        "SELECT c_age, SUM(l_quantity) FROM customer \
+         JOIN orders ON customer.c_custkey = orders.o_custkey \
+         JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
+         WHERE o_orderdate BETWEEN '{year}-{month:02}-01' AND '{year}-{month:02}-25' \
+         GROUP BY c_age"
+    )
+}
+
+/// A blocking wire client (same protocol the integration tests speak).
+struct Client {
+    r: BufReader<TcpStream>,
+    w: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        Client {
+            r: BufReader::new(stream.try_clone().expect("clone stream")),
+            w: BufWriter::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        write_frame(&mut self.w, line.as_bytes()).expect("send frame");
+        read_text(&mut self.r)
+            .expect("recv frame")
+            .expect("server closed")
+    }
+}
+
+/// Unbounded sizing pass: measure the hot tenant's steady-state footprint
+/// and the average bytes one churn window publishes.
+fn size_workload(sf: f64, seed: u64) -> (usize, usize) {
+    let db = Database::builder(generate(TpchConfig::new(sf, seed))).build();
+    let hot = db.register_tenant("hot");
+    let churn = db.register_tenant("churn");
+    let run = |tenant: TenantId, sql: &str| {
+        let q = parse_query(sql, 0, &CatalogSchema(db.catalog()))
+            .unwrap_or_else(|e| panic!("{sql}: {}", e.render(sql)));
+        db.session_as(tenant).execute(&q).expect("sizing query");
+    };
+    // Twice: the second pass is all reuse, so the footprint is steady.
+    for _ in 0..2 {
+        for sql in HOT_QUERIES {
+            run(hot, sql);
+        }
+    }
+    let hot_bytes = db.tenant_cache_stats(hot).bytes;
+    const WINDOWS: usize = 4;
+    for i in 0..WINDOWS {
+        run(churn, &churn_query(i));
+    }
+    let window_avg = db.tenant_cache_stats(churn).bytes / WINDOWS;
+    assert!(
+        hot_bytes > 0 && window_avg > 0,
+        "sizing pass published nothing"
+    );
+    (hot_bytes, window_avg)
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// One client thread's work: HELLO, run `queries`, QUIT; returns the
+/// per-request wall latencies.
+fn drive(
+    addr: std::net::SocketAddr,
+    name: &str,
+    token: &str,
+    queries: Vec<String>,
+) -> Vec<Duration> {
+    let mut c = Client::connect(addr);
+    let hello = c.send(&format!("HELLO {name} {token}"));
+    assert_eq!(hello, format!("OK tenant={name}"), "handshake failed");
+    let mut lat = Vec::with_capacity(queries.len());
+    for sql in &queries {
+        let t0 = Instant::now();
+        let reply = c.send(&format!("QUERY {sql}"));
+        lat.push(t0.elapsed());
+        assert!(reply.starts_with("OK rows="), "query failed: {reply}");
+    }
+    assert_eq!(c.send("QUIT"), "OK bye");
+    lat
+}
+
+fn main() {
+    let smoke = smoke();
+    let sf = if smoke { 0.002 } else { 0.01 };
+    let seed = 42;
+    let hot_iters = if smoke { 10 } else { 50 };
+    let churn_windows = if smoke { 24 } else { 72 };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    header("Exp 12: serving front end (two tenants, shared budget, floors)");
+    println!("TPC-H sf {sf}, seed {seed}, {cores} cores, smoke={smoke}");
+
+    let (hot_bytes, window_avg) = size_workload(sf, seed);
+    // Tight: the hot set with slack plus ~3 churn windows; the churn march
+    // publishes `churn_windows` of them, so most get evicted again.
+    let budget = hot_bytes * 2 + window_avg * 3;
+    let floor = hot_bytes * 2;
+    println!(
+        "sized: hot set {} KiB, churn window ~{} KiB -> budget {} KiB, hot floor {} KiB",
+        hot_bytes / 1024,
+        window_avg / 1024,
+        budget / 1024,
+        floor / 1024
+    );
+
+    let db = Database::builder(generate(TpchConfig::new(sf, seed)))
+        .gc_budget(budget)
+        .parallelism(2)
+        .build();
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            tenants: vec![
+                TenantSpec {
+                    name: "hot".into(),
+                    token: "hot-secret".into(),
+                    floor_bytes: floor,
+                },
+                TenantSpec {
+                    name: "churn".into(),
+                    token: "churn-secret".into(),
+                    floor_bytes: 0,
+                },
+            ],
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Two clients per tenant; churn thread t marches the even/odd windows.
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..2usize {
+        let hot_q: Vec<String> = (0..hot_iters)
+            .flat_map(|_| HOT_QUERIES.iter().map(|q| q.to_string()))
+            .collect();
+        // tidy:allow(no-raw-spawn): bench client threads model external
+        // network clients; execution inside still uses the shared pool.
+        #[allow(clippy::disallowed_methods)]
+        let h = std::thread::spawn(move || drive(addr, "hot", "hot-secret", hot_q));
+        handles.push(("hot", h));
+        let churn_q: Vec<String> = (t..churn_windows).step_by(2).map(churn_query).collect();
+        // tidy:allow(no-raw-spawn): see above — I/O-bound wire clients.
+        #[allow(clippy::disallowed_methods)]
+        let h = std::thread::spawn(move || drive(addr, "churn", "churn-secret", churn_q));
+        handles.push(("churn", h));
+    }
+    let mut lat_hot = Vec::new();
+    let mut lat_churn = Vec::new();
+    for (tenant, h) in handles {
+        let lat = h.join().expect("client thread");
+        if tenant == "hot" {
+            lat_hot.extend(lat);
+        } else {
+            lat_churn.extend(lat);
+        }
+    }
+    let wall = t0.elapsed();
+    let requests = lat_hot.len() + lat_churn.len();
+    let throughput = requests as f64 / wall.as_secs_f64();
+
+    // A final wire STATS round-trip (the verb is part of the contract).
+    let mut c = Client::connect(addr);
+    assert_eq!(c.send("HELLO hot hot-secret"), "OK tenant=hot");
+    let stats_reply = c.send("STATS");
+    assert!(stats_reply.starts_with("OK"), "STATS failed: {stats_reply}");
+    assert_eq!(c.send("QUIT"), "OK bye");
+
+    // ---- hard assertions: floors held, pressure landed on the churner,
+    // per-tenant accounting partitions the global counters. ----
+    let hot_id = db.tenant_id("hot").expect("hot registered");
+    let churn_id = db.tenant_id("churn").expect("churn registered");
+    let hs = db.tenant_cache_stats(hot_id);
+    let cs = db.tenant_cache_stats(churn_id);
+    let global = db.cache_stats();
+    assert_eq!(
+        hs.evictions, 0,
+        "floored tenant lost entries: {hs:?} (floor {floor})"
+    );
+    assert!(
+        cs.evictions > 0,
+        "budget never pressured the churning tenant: {cs:?} (budget {budget})"
+    );
+    assert!(
+        global.bytes <= budget,
+        "cache ended over budget: {} > {budget}",
+        global.bytes
+    );
+    assert_eq!(
+        hs.publishes + cs.publishes,
+        global.publishes,
+        "tenant publishes do not partition the global count"
+    );
+    assert_eq!(hs.evictions + cs.evictions, global.evictions);
+    assert_eq!(hs.entries + cs.entries, global.entries);
+    assert_eq!(hs.bytes + cs.bytes, global.bytes);
+
+    lat_hot.sort_unstable();
+    lat_churn.sort_unstable();
+    let rows = [("hot", &lat_hot, hs), ("churn", &lat_churn, cs)];
+    let mut json_rows = Vec::new();
+    for (name, lat, st) in rows {
+        let (p50, p99) = (percentile(lat, 50), percentile(lat, 99));
+        println!(
+            "{name:>6}: {:>4} requests, p50 {:>8.2} ms, p99 {:>8.2} ms, \
+             hit ratio {:.2}, evictions {}, {} KiB resident",
+            lat.len(),
+            ms(p50),
+            ms(p99),
+            st.hit_ratio(),
+            st.evictions,
+            st.bytes / 1024
+        );
+        json_rows.push(format!(
+            "    {{\"tenant\": \"{name}\", \"requests\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"hit_ratio\": {:.4}, \"publishes\": {}, \"reuses\": {}, \
+             \"evictions\": {}, \"bytes\": {}, \"floor_bytes\": {}}}",
+            lat.len(),
+            ms(p50),
+            ms(p99),
+            st.hit_ratio(),
+            st.publishes,
+            st.reuses,
+            st.evictions,
+            st.bytes,
+            if name == "hot" { floor } else { 0 }
+        ));
+    }
+    println!(
+        "total: {requests} requests in {:.2} s -> {throughput:.1} req/s",
+        wall.as_secs_f64()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"smoke\": {smoke},\n  \"sf\": {sf},\n  \
+         \"available_cores\": {cores},\n  \"budget_bytes\": {budget},\n  \
+         \"requests\": {requests},\n  \"wall_s\": {:.3},\n  \
+         \"throughput_rps\": {throughput:.2},\n  \"tenants\": [\n{}\n  ]\n}}\n",
+        wall.as_secs_f64(),
+        json_rows.join(",\n")
+    );
+    let mut f = std::fs::File::create("BENCH_serving.json").expect("write results");
+    f.write_all(json.as_bytes()).unwrap();
+    println!("wrote BENCH_serving.json");
+}

@@ -41,5 +41,5 @@ pub use payload::{AggAccum, AggPayload, MaterializedRows, StoredHt, TaggedRow};
 pub use recycle::RecycleGraph;
 pub use store::{
     CacheStats, Checkout, EvictionPolicy, GcConfig, ReuseBudget, ReusePayload, ReuseStore,
-    SnapshotEntry, StoreCandidate, StoreId, DEFAULT_SHARDS,
+    SnapshotEntry, StoreCandidate, StoreId, TenantId, DEFAULT_SHARDS,
 };

@@ -39,7 +39,7 @@ use hashstash_plan::HtFingerprint;
 use crate::payload::StoredHt;
 use crate::store::{Checkout, ReuseBudget, ReuseStore, SnapshotEntry, StoreCandidate};
 
-pub use crate::store::{CacheStats, EvictionPolicy, GcConfig, DEFAULT_SHARDS};
+pub use crate::store::{CacheStats, EvictionPolicy, GcConfig, TenantId, DEFAULT_SHARDS};
 
 /// An RAII guard over a cached hash table checked out by one query — the
 /// hash-table instantiation of the generic [`Checkout`] guard.
@@ -128,6 +128,19 @@ impl HtManager {
     /// [`ReuseStore::publish`].
     pub fn publish(&self, fingerprint: HtFingerprint, schema: Schema, ht: StoredHt) -> HtId {
         self.store.publish(fingerprint, schema, ht)
+    }
+
+    /// [`HtManager::publish`] on behalf of a tenant: the table is owned by
+    /// `tenant` for per-tenant budget floors and statistics — see
+    /// [`ReuseStore::publish_as`].
+    pub fn publish_as(
+        &self,
+        tenant: TenantId,
+        fingerprint: HtFingerprint,
+        schema: Schema,
+        ht: StoredHt,
+    ) -> HtId {
+        self.store.publish_as(tenant, fingerprint, schema, ht)
     }
 
     /// Candidate tables whose producing sub-plan matches the request's
@@ -235,6 +248,23 @@ impl HtManager {
     /// Aggregate statistics snapshot.
     pub fn stats(&self) -> CacheStats {
         self.store.stats()
+    }
+
+    /// Per-tenant statistics slices — see [`ReuseStore::tenant_stats`].
+    pub fn tenant_stats(&self) -> Vec<(TenantId, CacheStats)> {
+        self.store.tenant_stats()
+    }
+
+    /// One tenant's statistics slice (zeroed when the tenant has no
+    /// history in this cache).
+    pub fn tenant_stats_for(&self, tenant: TenantId) -> CacheStats {
+        self.store.tenant_stats_for(tenant)
+    }
+
+    /// Stamp every cached table with one fresh clock tick (warm-restart
+    /// rehydration) — see [`ReuseStore::freshen_all`].
+    pub fn freshen_all(&self) {
+        self.store.freshen_all()
     }
 
     /// Recount footprint and entries directly from the shards (O(entries),

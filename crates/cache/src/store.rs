@@ -47,8 +47,13 @@ pub const DEFAULT_SHARDS: usize = 8;
 
 /// Level of [`ReuseBudget`]'s store registry.
 pub const LEVEL_BUDGET_STORES: u32 = 10;
+/// Level of [`ReuseBudget`]'s per-tenant floor table (read, copied out,
+/// released before any shard lock).
+pub const LEVEL_TENANT_FLOORS: u32 = 15;
 /// Level shared by every store shard (two shard locks never nest).
 pub const LEVEL_SHARD: u32 = 20;
+/// Level of each store's per-tenant stats rollup (nests under a shard lock).
+pub const LEVEL_TENANT_STATS: u32 = 25;
 /// Level of [`ReuseBudget`]'s GC-config leaf lock.
 pub const LEVEL_BUDGET_GC: u32 = 30;
 
@@ -143,6 +148,33 @@ impl StoreId for hashstash_types::HtId {
     }
     fn raw(self) -> u64 {
         self.0
+    }
+}
+
+/// Identity of a tenant sharing the reuse caches. Every cached entry is
+/// owned by the tenant whose session published it; the budget's victim
+/// search, the per-tenant statistics and the per-tenant anti-starvation
+/// floors ([`ReuseBudget::set_tenant_floor`]) key on this.
+///
+/// Single-tenant embedders never see it: the engine publishes everything
+/// under [`TenantId::DEFAULT`] unless a session says otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant everything belongs to when no tenant is configured.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId::DEFAULT
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
     }
 }
 
@@ -255,14 +287,23 @@ impl VictimKey {
 trait VictimSource: Send + Sync + fmt::Debug {
     /// Current footprint of this store (for the anti-starvation floor).
     fn current_bytes(&self) -> usize;
-    /// The policy's best unpinned victim in this store, if any.
-    fn best_victim(&self, policy: EvictionPolicy) -> Option<(u64, VictimKey)>;
+    /// The policy's best unpinned victim in this store, skipping entries
+    /// owned by a tenant in `protected` (tenants at/below their budget
+    /// floor). Pass an empty slice to consider every tenant.
+    fn best_victim(
+        &self,
+        policy: EvictionPolicy,
+        protected: &[TenantId],
+    ) -> Option<(u64, VictimKey)>;
     /// Re-validate and evict; `false` if the entry was pinned or removed
     /// since the scan.
     fn try_evict(&self, raw_id: u64) -> bool;
     /// Evict every unpinned entry whose `last_used` is older than `cutoff`
     /// (TTL expiry). Returns the number evicted.
     fn expire_idle(&self, cutoff: u64) -> usize;
+    /// Add this store's per-tenant live footprint into `out` (cross-store
+    /// totals drive the per-tenant floors).
+    fn add_tenant_bytes(&self, out: &mut HashMap<TenantId, usize>);
 }
 
 /// The shared byte budget: one logical clock, one footprint counter and one
@@ -282,6 +323,14 @@ pub struct ReuseBudget {
     /// across every store, so it is throttled rather than run on each
     /// publish/checkin.
     ttl_sweep_tick: AtomicU64,
+    /// Round-robin cursor for the floor-ignoring fallback eviction pass:
+    /// rotates the starting store so sustained fallback pressure drains
+    /// every source evenly instead of pulling one kind arbitrarily far
+    /// below its floor while the others sit untouched.
+    fallback_cursor: AtomicUsize,
+    // lock-order: 15 (per-tenant budget floors; read, copied out, released
+    // before any shard lock)
+    tenant_floors: Mutex<HashMap<TenantId, usize>>,
     // lock-order: 10 (budget store registry; enforce snapshots it before
     // touching any store's shards)
     stores: Mutex<Vec<Weak<dyn VictimSource>>>,
@@ -296,6 +345,8 @@ impl ReuseBudget {
             bytes: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
             ttl_sweep_tick: AtomicU64::new(0),
+            fallback_cursor: AtomicUsize::new(0),
+            tenant_floors: Mutex::new(HashMap::new()),
             stores: Mutex::new(Vec::new()),
         })
     }
@@ -319,6 +370,48 @@ impl ReuseBudget {
     /// High-water mark of the combined footprint.
     pub fn peak_bytes(&self) -> usize {
         self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Set (or clear, with `0`) a tenant's anti-starvation floor: while the
+    /// tenant's combined footprint across every registered store is at or
+    /// below `bytes`, the victim search skips its entries, so another
+    /// tenant's churn cannot evict its hot intermediates. The fallback pass
+    /// still ignores floors when *nothing* else is evictable, so
+    /// enforcement always makes progress — size the shared budget above the
+    /// sum of the floors to make them hard in practice.
+    pub fn set_tenant_floor(&self, tenant: TenantId, bytes: usize) {
+        let mut floors = lock_at(&self.tenant_floors, LEVEL_TENANT_FLOORS);
+        if bytes == 0 {
+            floors.remove(&tenant);
+        } else {
+            floors.insert(tenant, bytes);
+        }
+    }
+
+    /// The configured floor for a tenant (`0` when none is set).
+    pub fn tenant_floor(&self, tenant: TenantId) -> usize {
+        lock_at(&self.tenant_floors, LEVEL_TENANT_FLOORS)
+            .get(&tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Combined per-tenant footprint across every registered store.
+    pub fn tenant_bytes(&self) -> HashMap<TenantId, usize> {
+        let mut out = HashMap::new();
+        for s in self.sources() {
+            s.add_tenant_bytes(&mut out);
+        }
+        out
+    }
+
+    /// Record that the caches' entries were freshly stamped (warm-restart
+    /// rehydration calls this after re-publishing): the TTL sweep restarts
+    /// its throttle window from the current clock instead of comparing a
+    /// zeroed sweep tick against rehydration-era stamps.
+    pub fn mark_swept(&self) {
+        self.ttl_sweep_tick
+            .store(self.clock.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     fn tick(&self) -> u64 {
@@ -358,15 +451,24 @@ impl ReuseBudget {
         // elects one sweeper under concurrency) — worst-case staleness is
         // ttl + ttl/8 rather than a full scan per publish/checkin.
         if let Some(ttl) = gc.ttl_ticks {
-            let now = self.clock.load(Ordering::Relaxed);
             let interval = (ttl / 8).max(1);
-            let last = self.ttl_sweep_tick.load(Ordering::Relaxed);
-            if now.saturating_sub(last) >= interval
-                && self
-                    .ttl_sweep_tick
-                    .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-            {
+            let now = self.clock.load(Ordering::Relaxed);
+            // Elect one sweeper with an atomic read-modify-write on the
+            // sweep tick. The old load-then-CAS decided the election on a
+            // possibly stale `last`: a loser whose snapshot was overtaken
+            // concluded a sweep had just run even when the winning stamp
+            // was itself older than a full interval (clock readings
+            // interleave with stamping), deferring a due sweep by another
+            // whole interval. `fetch_update` re-reads the current stamp on
+            // every retry, so exactly one caller wins per elapsed interval
+            // and a due sweep is never skipped.
+            let won = self
+                .ttl_sweep_tick
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |last| {
+                    (now.saturating_sub(last) >= interval).then_some(now)
+                })
+                .is_ok();
+            if won {
                 let cutoff = now.saturating_sub(ttl);
                 for s in &sources {
                     evicted += s.expire_idle(cutoff);
@@ -376,14 +478,30 @@ impl ReuseBudget {
         let Some(budget) = gc.budget_bytes else {
             return evicted;
         };
+        let floors = lock_at(&self.tenant_floors, LEVEL_TENANT_FLOORS).clone();
         while self.bytes() > budget {
             // One victim search ranking every store's entries together.
-            // Pass 1 respects the anti-starvation floor; pass 2 (only
-            // needed when a floor is configured and pass 1 found nothing)
-            // considers everything so enforcement always makes progress.
-            let mut victim = Self::best_over(&sources, gc.policy, gc.floor_bytes);
-            if victim.is_none() && gc.floor_bytes > 0 {
-                victim = Self::best_over(&sources, gc.policy, 0);
+            // Pass 1 respects the per-kind anti-starvation floor *and* the
+            // per-tenant floors (a tenant whose cross-store footprint is at
+            // or below its floor is skipped); pass 2 — only reached when
+            // pass 1 found nothing evictable — ignores both so enforcement
+            // always makes progress, but walks the sources round-robin so
+            // repeated fallback evictions alternate kinds instead of
+            // draining whichever store the policy happens to rank first
+            // arbitrarily far below its floor.
+            let protected: Vec<TenantId> = if floors.is_empty() {
+                Vec::new()
+            } else {
+                let bytes = self.tenant_bytes();
+                floors
+                    .iter()
+                    .filter(|(t, &floor)| bytes.get(t).copied().unwrap_or(0) <= floor)
+                    .map(|(&t, _)| t)
+                    .collect()
+            };
+            let mut victim = Self::best_over(&sources, gc.policy, gc.floor_bytes, &protected);
+            if victim.is_none() && (gc.floor_bytes > 0 || !protected.is_empty()) {
+                victim = self.fallback_victim(&sources, gc.policy);
             }
             let Some((source, raw_id, _)) = victim else {
                 break;
@@ -397,17 +515,40 @@ impl ReuseBudget {
         evicted
     }
 
+    /// The floor-ignoring fallback pass: take the policy's best victim from
+    /// the first source (in round-robin order from a rotating cursor) that
+    /// has any unpinned entry at all.
+    fn fallback_victim(
+        &self,
+        sources: &[Arc<dyn VictimSource>],
+        policy: EvictionPolicy,
+    ) -> Option<(Arc<dyn VictimSource>, u64, VictimKey)> {
+        let n = sources.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.fallback_cursor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let s = &sources[(start + k) % n];
+            if let Some((id, key)) = s.best_victim(policy, &[]) {
+                return Some((Arc::clone(s), id, key));
+            }
+        }
+        None
+    }
+
     fn best_over(
         sources: &[Arc<dyn VictimSource>],
         policy: EvictionPolicy,
         floor_bytes: usize,
+        protected: &[TenantId],
     ) -> Option<(Arc<dyn VictimSource>, u64, VictimKey)> {
         let mut best: Option<(Arc<dyn VictimSource>, u64, VictimKey)> = None;
         for s in sources {
             if floor_bytes > 0 && s.current_bytes() <= floor_bytes {
                 continue; // protected: this kind is at its floor
             }
-            if let Some((id, key)) = s.best_victim(policy) {
+            if let Some((id, key)) = s.best_victim(policy, protected) {
                 if best
                     .as_ref()
                     .is_none_or(|(_, _, b)| key.better_victim(b, policy))
@@ -437,6 +578,11 @@ struct StoreEntry<P> {
     fingerprint: HtFingerprint,
     schema: Schema,
     slot: Slot<P>,
+    /// Owner: the tenant whose session published this entry. Eviction
+    /// protection and the per-tenant statistics key on it; reuse by other
+    /// tenants is credited to the owner (shared reuse across tenants is a
+    /// feature, not a leak — lineages only match on identical base data).
+    tenant: TenantId,
     bytes: usize,
     last_used: u64,
     use_count: u64,
@@ -665,10 +811,26 @@ struct StoreInner<Id: StoreId, P: ReusePayload> {
     bytes: AtomicUsize,
     entries: AtomicUsize,
     peak_bytes: AtomicUsize,
+    // lock-order: 25 (per-tenant stats rollup; nests under one shard lock)
+    tenant_stats: Mutex<HashMap<TenantId, TenantCounters>>,
     /// Pin-leak detector: +1 per successful checkout, −1 per release or
     /// exclusive checkin. [`ReuseStore::assert_quiesced`] requires 0.
     #[cfg(feature = "analysis")]
     pins: std::sync::atomic::AtomicI64,
+}
+
+/// Per-tenant slice of one store's statistics. Candidate lookups are not
+/// tracked here: a lookup serves whichever tenants' entries match, so it has
+/// no single owner — [`CacheStats::candidate_lookups`] stays global-only.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantCounters {
+    publishes: u64,
+    publish_dedups: u64,
+    reuses: u64,
+    evictions: u64,
+    bytes: usize,
+    entries: usize,
+    peak_bytes: usize,
 }
 
 impl<Id: StoreId, P: ReusePayload> StoreInner<Id, P> {
@@ -705,6 +867,25 @@ impl<Id: StoreId, P: ReusePayload> StoreInner<Id, P> {
         self.budget.sub_bytes(delta);
     }
 
+    /// Update one tenant's counter slice. Safe to call with a shard lock
+    /// held (level 20 → 25) or with nothing held.
+    fn tenant_mut(&self, tenant: TenantId, f: impl FnOnce(&mut TenantCounters)) {
+        let mut stats = lock_at(&self.tenant_stats, LEVEL_TENANT_STATS);
+        f(stats.entry(tenant).or_default());
+    }
+
+    /// Grow a tenant's live footprint (and its high-water mark).
+    fn tenant_add_bytes(&self, tenant: TenantId, delta: usize) {
+        self.tenant_mut(tenant, |c| {
+            c.bytes += delta;
+            c.peak_bytes = c.peak_bytes.max(c.bytes);
+        });
+    }
+
+    fn tenant_sub_bytes(&self, tenant: TenantId, delta: usize) {
+        self.tenant_mut(tenant, |c| c.bytes = c.bytes.saturating_sub(delta));
+    }
+
     /// Remove an already-extracted entry's recycle registration and
     /// accounting (entry map removal happened under the home shard lock).
     fn account_removed(&self, id: Id, entry: &StoreEntry<P>) {
@@ -713,6 +894,10 @@ impl<Id: StoreId, P: ReusePayload> StoreInner<Id, P> {
             .remove(&entry.fingerprint, id);
         self.entries.fetch_sub(1, Ordering::Relaxed);
         self.sub_bytes(entry.bytes);
+        self.tenant_mut(entry.tenant, |c| {
+            c.entries = c.entries.saturating_sub(1);
+            c.bytes = c.bytes.saturating_sub(entry.bytes);
+        });
     }
 }
 
@@ -721,12 +906,16 @@ impl<Id: StoreId, P: ReusePayload> VictimSource for StoreInner<Id, P> {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    fn best_victim(&self, policy: EvictionPolicy) -> Option<(u64, VictimKey)> {
+    fn best_victim(
+        &self,
+        policy: EvictionPolicy,
+        protected: &[TenantId],
+    ) -> Option<(u64, VictimKey)> {
         let mut victim: Option<(u64, VictimKey)> = None;
         for (si, _) in self.shards.iter().enumerate() {
             let state = self.lock_shard(si);
             for (&id, e) in &state.entries {
-                if e.pinned() {
+                if e.pinned() || protected.contains(&e.tenant) {
                     continue;
                 }
                 let key = VictimKey {
@@ -760,6 +949,7 @@ impl<Id: StoreId, P: ReusePayload> VictimSource for StoreInner<Id, P> {
             Some(entry) => {
                 self.account_removed(id, &entry);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.tenant_mut(entry.tenant, |c| c.evictions += 1);
                 true
             }
             None => false,
@@ -784,10 +974,18 @@ impl<Id: StoreId, P: ReusePayload> VictimSource for StoreInner<Id, P> {
             for (id, entry) in expired {
                 self.account_removed(id, &entry);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.tenant_mut(entry.tenant, |c| c.evictions += 1);
                 evicted += 1;
             }
         }
         evicted
+    }
+
+    fn add_tenant_bytes(&self, out: &mut HashMap<TenantId, usize>) {
+        let stats = lock_at(&self.tenant_stats, LEVEL_TENANT_STATS);
+        for (&tenant, c) in stats.iter() {
+            *out.entry(tenant).or_default() += c.bytes;
+        }
     }
 }
 
@@ -820,6 +1018,7 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             bytes: AtomicUsize::new(0),
             entries: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
+            tenant_stats: Mutex::new(HashMap::new()),
             #[cfg(feature = "analysis")]
             pins: std::sync::atomic::AtomicI64::new(0),
         });
@@ -854,6 +1053,21 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
     /// lineage means identical content), its LRU stamp refreshed, and its
     /// id returned without touching the footprint or the publish counter.
     pub fn publish(&self, fingerprint: HtFingerprint, schema: Schema, payload: P) -> Id {
+        self.publish_as(TenantId::DEFAULT, fingerprint, schema, payload)
+    }
+
+    /// [`ReuseStore::publish`] on behalf of a tenant: the new entry is owned
+    /// by `tenant` for budget-floor protection and per-tenant statistics.
+    /// A dedup hit keeps the existing entry's owner (base tables are
+    /// immutable, so an identical lineage is the same table whoever built
+    /// it); the dedup itself is credited to the publishing tenant.
+    pub fn publish_as(
+        &self,
+        tenant: TenantId,
+        fingerprint: HtFingerprint,
+        schema: Schema,
+        payload: P,
+    ) -> Id {
         let inner = &self.inner;
         let shard = inner.shard_of_shape(&fingerprint);
         let now = inner.budget.tick();
@@ -875,6 +1089,7 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             });
             if let Some(id) = duplicate {
                 inner.publish_dedups.fetch_add(1, Ordering::Relaxed);
+                inner.tenant_mut(tenant, |c| c.publish_dedups += 1);
                 return id;
             }
             // Encode the home shard in the id so id-only operations
@@ -889,6 +1104,7 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
                     fingerprint,
                     schema,
                     slot: Slot::Present(Arc::new(payload)),
+                    tenant,
                     bytes,
                     last_used: now,
                     use_count: 0,
@@ -904,6 +1120,12 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             inner.entries.fetch_add(1, Ordering::Relaxed);
             inner.add_bytes(bytes);
             inner.publishes.fetch_add(1, Ordering::Relaxed);
+            inner.tenant_mut(tenant, |c| {
+                c.publishes += 1;
+                c.entries += 1;
+                c.bytes += bytes;
+                c.peak_bytes = c.peak_bytes.max(c.bytes);
+            });
             id
         };
         inner.budget.enforce();
@@ -1095,6 +1317,11 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             entry.entry_stamps = Some(vec![now; payload.len()]);
         }
         inner.reuses.fetch_add(1, Ordering::Relaxed);
+        // Reuse is credited to the entry's owner: a tenant's hit ratio
+        // measures how often the tables *it* built paid off, whichever
+        // session probed them.
+        let owner = entry.tenant;
+        inner.tenant_mut(owner, |c| c.reuses += 1);
         #[cfg(feature = "analysis")]
         inner.pins.fetch_add(1, Ordering::Relaxed);
         Ok(Checkout {
@@ -1232,8 +1459,10 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             // would underflow.
             if new_bytes >= old_bytes {
                 inner.add_bytes(new_bytes - old_bytes);
+                inner.tenant_add_bytes(entry.tenant, new_bytes - old_bytes);
             } else {
                 inner.sub_bytes(old_bytes - new_bytes);
+                inner.tenant_sub_bytes(entry.tenant, old_bytes - new_bytes);
             }
             shape_change
         };
@@ -1330,8 +1559,10 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             // before the counter does).
             if new_bytes >= old_bytes {
                 inner.add_bytes(new_bytes - old_bytes);
+                inner.tenant_add_bytes(entry.tenant, new_bytes - old_bytes);
             } else {
                 inner.sub_bytes(old_bytes - new_bytes);
+                inner.tenant_sub_bytes(entry.tenant, old_bytes - new_bytes);
             }
             (before, after)
         };
@@ -1363,6 +1594,69 @@ impl<Id: StoreId, P: ReusePayload> ReuseStore<Id, P> {
             bytes: inner.bytes.load(Ordering::Relaxed),
             entries: inner.entries.load(Ordering::Relaxed),
             peak_bytes: inner.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-tenant statistics slices, sorted by tenant id. Each counter of
+    /// the global [`ReuseStore::stats`] (except `candidate_lookups`, which
+    /// has no single owner, and `peak_bytes`, whose per-tenant high-water
+    /// marks need not peak simultaneously) is the sum of the slices — a
+    /// tenant appears once it has published, reused or evicted anything.
+    pub fn tenant_stats(&self) -> Vec<(TenantId, CacheStats)> {
+        let inner = &self.inner;
+        let stats = lock_at(&inner.tenant_stats, LEVEL_TENANT_STATS);
+        let mut out: Vec<(TenantId, CacheStats)> = stats
+            .iter()
+            .map(|(&tenant, c)| {
+                (
+                    tenant,
+                    CacheStats {
+                        publishes: c.publishes,
+                        publish_dedups: c.publish_dedups,
+                        reuses: c.reuses,
+                        evictions: c.evictions,
+                        candidate_lookups: 0,
+                        bytes: c.bytes,
+                        entries: c.entries,
+                        peak_bytes: c.peak_bytes,
+                    },
+                )
+            })
+            .collect();
+        drop(stats);
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+
+    /// One tenant's statistics slice (zeroed if the tenant has no history).
+    pub fn tenant_stats_for(&self, tenant: TenantId) -> CacheStats {
+        self.tenant_stats()
+            .into_iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, s)| s)
+            .unwrap_or_default()
+    }
+
+    /// Stamp every cached entry with one fresh clock tick.
+    ///
+    /// Warm-restart rehydration calls this after re-publishing the
+    /// persisted entries: each re-publish ticks the shared clock, so a
+    /// large snapshot leaves its earliest entries tens of thousands of
+    /// ticks "older" than its latest purely from rehydration order — the
+    /// first TTL sweep after restart would expire most of the warm cache
+    /// it just paid to rebuild. After `freshen_all` every survivor starts
+    /// its idle clock at the restart instead.
+    pub fn freshen_all(&self) {
+        let inner = &self.inner;
+        let now = inner.budget.tick();
+        for (si, _) in inner.shards.iter().enumerate() {
+            let mut state = inner.lock_shard(si);
+            for e in state.entries.values_mut() {
+                e.last_used = now;
+                if let Some(stamps) = &mut e.entry_stamps {
+                    stamps.fill(now);
+                }
+            }
         }
     }
 

@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 
 use hashstash_types::{HsError, QueryId, Result, Row, Schema};
 
-use hashstash_cache::{CacheStats, GcConfig, HtManager, ReuseBudget, DEFAULT_SHARDS};
+use hashstash_cache::{CacheStats, GcConfig, HtManager, ReuseBudget, TenantId, DEFAULT_SHARDS};
 use hashstash_durability::{
     benefit_score, Durability, DurabilityConfig, FsyncPolicy, PersistedEntry, PersistedPayload,
 };
@@ -175,6 +175,7 @@ pub struct EngineBuilder {
     data_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
     persist_min_benefit: f64,
+    tenants: Vec<(String, usize)>,
 }
 
 impl EngineBuilder {
@@ -195,7 +196,18 @@ impl EngineBuilder {
             data_dir: None,
             fsync: FsyncPolicy::default(),
             persist_min_benefit: 0.0,
+            tenants: Vec::new(),
         }
+    }
+
+    /// Register a tenant at build time with an anti-starvation budget
+    /// floor (`0` = no floor): while the tenant's combined cache footprint
+    /// is at or below `floor_bytes`, other tenants' churn cannot evict its
+    /// entries (see [`ReuseBudget::set_tenant_floor`]). Tenants can also be
+    /// added after build via [`Database::register_tenant`].
+    pub fn tenant(mut self, name: impl Into<String>, floor_bytes: usize) -> Self {
+        self.tenants.push((name.into(), floor_bytes));
+        self
     }
 
     /// Install a reuse policy (any [`ReusePolicy`] implementation; see the
@@ -440,12 +452,32 @@ impl EngineBuilder {
             // workers. One pool serves every session of this database.
             pool: WorkerPool::new(self.parallelism.saturating_sub(1), self.pin_workers),
             totals: Mutex::new(SessionStats::default()),
+            tenants: Mutex::new(Vec::new()),
+            flush_error: FlushErrorSlot::default(),
             durability,
         });
+        for (name, floor) in self.tenants {
+            let t = db.register_tenant(&name);
+            db.budget.set_tenant_floor(t, floor);
+        }
         // Warm restart: re-publish persisted entries through the caches'
         // normal admission path, so budget enforcement, shard accounting
         // and the stats == audit() invariant hold by construction. Entries
         // get fresh ids (cache ids are never stable across restarts).
+        let rehydrated = !recovered.is_empty();
+        let gc = db.budget.gc_config();
+        if rehydrated && gc.ttl_ticks.is_some() {
+            // Every re-publish below ticks the shared clock, so a snapshot
+            // larger than the TTL leaves its earliest entries "idle" purely
+            // from rehydration order — the sweep elected mid-replay would
+            // expire the warm cache the restart is paying to rebuild.
+            // Suspend TTL expiry for the replay (byte-budget enforcement
+            // stays on: admission control is real), restamp, then restore.
+            db.budget.set_gc_config(GcConfig {
+                ttl_ticks: None,
+                ..gc
+            });
+        }
         for entry in recovered {
             match entry.payload {
                 PersistedPayload::Ht(ht) => {
@@ -456,7 +488,44 @@ impl EngineBuilder {
                 }
             }
         }
+        if rehydrated {
+            // Restamp everything with one fresh tick — idleness starts
+            // now, not at an arbitrary point of the replay order — and
+            // restart the sweep throttle from the restamp tick.
+            db.htm.freshen_all();
+            db.temps.freshen_all();
+            db.budget.set_gc_config(gc);
+            db.budget.mark_swept();
+        }
         Ok(db)
+    }
+}
+
+/// A shareable handle on a [`Database`]'s most recent flush failure.
+///
+/// [`Database::flush`] records any error here (and clears it on success);
+/// the `Drop` impl's best-effort final flush does the same, which is the
+/// only way to *observe* a failed final snapshot — `Drop` itself can only
+/// log it. Clone the slot before dropping the last `Arc<Database>`
+/// ([`Database::flush_error_slot`]) and [`FlushErrorSlot::take`] afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct FlushErrorSlot {
+    // lock-order: 55 (last flush error; leaf)
+    slot: Arc<Mutex<Option<HsError>>>,
+}
+
+impl FlushErrorSlot {
+    /// Take the recorded error, leaving the slot empty.
+    pub fn take(&self) -> Option<HsError> {
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    fn record(&self, outcome: &Result<()>) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = outcome.as_ref().err().cloned();
     }
 }
 
@@ -483,6 +552,12 @@ pub struct Database {
     pool: WorkerPool,
     // lock-order: 50 (session stats rollup; leaf)
     totals: Mutex<SessionStats>,
+    /// Registered tenant names; `TenantId(i + 1)` owns index `i`
+    /// ([`TenantId::DEFAULT`] is the anonymous single-tenant id).
+    // lock-order: 52 (tenant registry; leaf)
+    tenants: Mutex<Vec<String>>,
+    /// Most recent flush failure (shared so it outlives the database).
+    flush_error: FlushErrorSlot,
     durability: Option<Durability>,
 }
 
@@ -505,9 +580,69 @@ impl Database {
     /// Open a new session. Sessions are cheap; create one per thread or
     /// per client.
     pub fn session(self: &Arc<Self>) -> Session {
+        self.session_as(TenantId::DEFAULT)
+    }
+
+    /// Open a session on behalf of a tenant: everything its queries publish
+    /// into the reuse caches is owned by `tenant` (budget-floor protection,
+    /// per-tenant statistics). Reuse across tenants still works — lineages
+    /// only match on identical base data, and all tenants share one
+    /// catalog.
+    pub fn session_as(self: &Arc<Self>, tenant: TenantId) -> Session {
         Session {
             db: Arc::clone(self),
+            tenant,
             stats: SessionStats::default(),
+        }
+    }
+
+    /// Register a tenant by name (idempotent: re-registering returns the
+    /// existing id). Tenant ids are assigned in registration order starting
+    /// at `TenantId(1)`; [`TenantId::DEFAULT`] stays reserved for anonymous
+    /// single-tenant use.
+    pub fn register_tenant(&self, name: &str) -> TenantId {
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(i) = tenants.iter().position(|n| n == name) {
+            return TenantId(i as u32 + 1);
+        }
+        tenants.push(name.to_string());
+        TenantId(tenants.len() as u32)
+    }
+
+    /// Look up a registered tenant by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.tenants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TenantId(i as u32 + 1))
+    }
+
+    /// Set (or clear, with `0`) a tenant's anti-starvation budget floor —
+    /// see [`ReuseBudget::set_tenant_floor`].
+    pub fn set_tenant_floor(&self, tenant: TenantId, floor_bytes: usize) {
+        self.budget.set_tenant_floor(tenant, floor_bytes);
+    }
+
+    /// One tenant's combined statistics across both reuse caches (hash
+    /// tables + temp tables). `candidate_lookups` is always `0` here — a
+    /// lookup serves whichever tenants' entries match, so it stays
+    /// global-only; `peak_bytes` is the sum of the two caches' per-tenant
+    /// high-water marks (an upper bound on the tenant's true combined
+    /// peak).
+    pub fn tenant_cache_stats(&self, tenant: TenantId) -> CacheStats {
+        let ht = self.htm.tenant_stats_for(tenant);
+        let tmp = self.temps.tenant_stats_for(tenant);
+        CacheStats {
+            publishes: ht.publishes + tmp.publishes,
+            publish_dedups: ht.publish_dedups + tmp.publish_dedups,
+            reuses: ht.reuses + tmp.reuses,
+            evictions: ht.evictions + tmp.evictions,
+            candidate_lookups: 0,
+            bytes: ht.bytes + tmp.bytes,
+            entries: ht.entries + tmp.entries,
+            peak_bytes: ht.peak_bytes + tmp.peak_bytes,
         }
     }
 
@@ -616,15 +751,35 @@ impl Database {
     /// snapshot and one empty WAL segment — no torn tail is possible, and
     /// the next [`EngineBuilder::data_dir`] boot recovers the full catalog
     /// and the persisted cache subset. Dropping the last `Arc<Database>`
-    /// calls `flush` best-effort (errors swallowed — a dropping database
-    /// has nowhere to report them); call `flush` explicitly when you need
-    /// the error.
+    /// calls `flush` best-effort; a failure there is logged to stderr and
+    /// recorded in the flush-error slot ([`Database::flush_error_slot`]) —
+    /// call `flush` explicitly when you need the error as a return value.
     ///
     /// Snapshotting is safe against live queries: entries are cloned under
     /// the caches' shard locks via the same guards that protect checkout,
     /// and entries currently write-locked (mid-mutation) are skipped —
     /// they re-qualify at the next flush.
     pub fn flush(&self) -> Result<()> {
+        let outcome = self.flush_inner();
+        self.flush_error.record(&outcome);
+        outcome
+    }
+
+    /// The most recent [`Database::flush`] failure, if any (cleared by the
+    /// next successful flush, or by taking it). The `Drop` impl's final
+    /// best-effort flush records here too; use [`Database::flush_error_slot`]
+    /// to keep a handle that survives the drop.
+    pub fn take_flush_error(&self) -> Option<HsError> {
+        self.flush_error.take()
+    }
+
+    /// A clone of the flush-error slot that outlives this database — the
+    /// only way to *check* whether the `Drop`-time final flush succeeded.
+    pub fn flush_error_slot(&self) -> FlushErrorSlot {
+        self.flush_error.clone()
+    }
+
+    fn flush_inner(&self) -> Result<()> {
         let Some(d) = &self.durability else {
             return Ok(());
         };
@@ -679,13 +834,21 @@ impl Database {
 
 impl Drop for Database {
     /// Best-effort flush on clean exit, so simply letting the last handle
-    /// go out of scope leaves no torn WAL tail. Errors are swallowed here;
-    /// call [`Database::flush`] explicitly to observe them. The worker
-    /// pool's own `Drop` runs right after this and *joins* its threads —
-    /// no detached workers outlive the database.
+    /// go out of scope leaves no torn WAL tail. A failed final snapshot
+    /// would silently lose the warm-restart cache, so an error here is
+    /// logged to stderr and recorded in the flush-error slot (readable
+    /// after the drop via a pre-cloned [`Database::flush_error_slot`]);
+    /// `Drop` itself must stay panic-free. The worker pool's own `Drop`
+    /// runs right after this and *joins* its threads — no detached workers
+    /// outlive the database.
     fn drop(&mut self) {
         if self.durability.is_some() {
-            let _ = self.flush();
+            if let Err(e) = self.flush() {
+                eprintln!(
+                    "hashstash: final flush failed on drop: {e}; \
+                     the warm-restart cache was not persisted"
+                );
+            }
         }
     }
 }
@@ -695,6 +858,9 @@ impl Drop for Database {
 /// another thread.
 pub struct Session {
     db: Arc<Database>,
+    /// The tenant this session publishes on behalf of
+    /// ([`TenantId::DEFAULT`] unless opened via [`Database::session_as`]).
+    tenant: TenantId,
     stats: SessionStats,
 }
 
@@ -702,6 +868,11 @@ impl Session {
     /// The database this session runs against.
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// The tenant this session publishes on behalf of.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Statistics accumulated by this session alone.
@@ -770,7 +941,8 @@ impl Session {
         let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps)
             .with_parallelism(db.parallelism)
             .with_vectorize(db.vectorize)
-            .with_pool(&db.pool);
+            .with_pool(&db.pool)
+            .with_tenant(self.tenant);
         for co in pins {
             ctx.adopt_checkout(co);
         }
@@ -909,7 +1081,8 @@ impl Session {
                     let mut ctx = ExecContext::new(&db.catalog, &db.htm, &db.temps)
                         .with_parallelism(db.parallelism)
                         .with_vectorize(db.vectorize)
-                        .with_pool(&db.pool);
+                        .with_pool(&db.pool)
+                        .with_tenant(self.tenant);
                     let shared_results = execute_shared(&spec, &mut ctx)?;
                     let wall = t1.elapsed();
                     let metrics = ctx.metrics;

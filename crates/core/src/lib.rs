@@ -62,9 +62,13 @@ pub mod db;
 pub mod materialized;
 
 pub use db::{
-    decision_string, BatchMode, Database, EngineBuilder, EngineStrategy, QueryResult, Session,
-    SessionStats,
+    decision_string, BatchMode, Database, EngineBuilder, EngineStrategy, FlushErrorSlot,
+    QueryResult, Session, SessionStats,
 };
+
+// Tenant identity is part of the serving surface (sessions, budget floors,
+// per-tenant statistics).
+pub use hashstash_cache::TenantId;
 
 // The policy trait is part of the facade's public surface.
 pub use hashstash_opt::policy::ReusePolicy;

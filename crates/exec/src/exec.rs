@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use hashstash_types::{f64_order_key, DataType, HsError, HtId, Result, Row, Schema, Value};
 
-use hashstash_cache::{AggPayload, CheckedOut, HtManager, StoredHt, TaggedRow};
+use hashstash_cache::{AggPayload, CheckedOut, HtManager, StoredHt, TaggedRow, TenantId};
 use hashstash_hashtable::ExtendibleHashTable;
 use hashstash_plan::PredBox;
 use hashstash_storage::{Catalog, Column, RangeKernel, Table};
@@ -130,6 +130,11 @@ pub struct ExecContext<'a> {
     /// Engines pass their `Database`-owned pool (shared across sessions);
     /// `None` falls back to the process-wide ambient pool.
     pool: Option<&'a WorkerPool>,
+    /// The tenant this execution publishes on behalf of: every hash table
+    /// or temp table materialized by the plan is owned by this tenant in
+    /// the reuse caches ([`TenantId::DEFAULT`] for single-tenant
+    /// embedders).
+    pub tenant: TenantId,
     /// Checkout guards acquired by the session *before* execution started
     /// (so a table the optimizer picked cannot be evicted in between).
     /// Operators consume them by id; reuse specs without a pre-acquired
@@ -151,6 +156,7 @@ impl<'a> ExecContext<'a> {
             parallelism: default_parallelism(),
             vectorize: crate::vector::default_vectorize(),
             pool: None,
+            tenant: TenantId::DEFAULT,
             checkouts: HashMap::new(),
         }
     }
@@ -173,6 +179,12 @@ impl<'a> ExecContext<'a> {
     /// database shares one set of workers.
     pub fn with_pool(mut self, pool: &'a WorkerPool) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attribute everything this execution publishes to `tenant`.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -316,8 +328,12 @@ fn run(plan: &PhysicalPlan, ctx: &mut ExecContext<'_>) -> Result<(Schema, Vec<Ro
             // The baseline's materialization cost: one extra copy of every
             // tuple out of the pipeline into a temp table.
             ctx.metrics.materialized_rows += rows.len() as u64;
-            ctx.temps
-                .publish(fingerprint.clone(), schema.clone(), rows.clone());
+            ctx.temps.publish_as(
+                ctx.tenant,
+                fingerprint.clone(),
+                schema.clone(),
+                rows.clone(),
+            );
             Ok((schema, rows))
         }
         PhysicalPlan::TempScan {
@@ -1009,8 +1025,12 @@ fn run_hash_join(
         JoinBuild::Reused(_) | JoinBuild::Snapshot(_) => {}
         JoinBuild::Fresh(ht) => {
             if let Some(fp) = publish {
-                ctx.htm
-                    .publish(fp.clone(), build_schema.clone(), StoredHt::Join(ht));
+                ctx.htm.publish_as(
+                    ctx.tenant,
+                    fp.clone(),
+                    build_schema.clone(),
+                    StoredHt::Join(ht),
+                );
             }
         }
     }
@@ -1493,7 +1513,8 @@ fn produce_agg_output(
         AggSource::Reused(_) | AggSource::Snapshot(_) => {}
         AggSource::Fresh(ht) => {
             if let Some(fp) = publish {
-                ctx.htm.publish(fp.clone(), group_schema, StoredHt::Agg(ht));
+                ctx.htm
+                    .publish_as(ctx.tenant, fp.clone(), group_schema, StoredHt::Agg(ht));
             }
         }
     }

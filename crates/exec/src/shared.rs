@@ -707,7 +707,7 @@ fn finish_table(
         } else {
             StoredHt::Join(ht)
         };
-        ctx.htm.publish(fp.clone(), schema, stored);
+        ctx.htm.publish_as(ctx.tenant, fp.clone(), schema, stored);
     }
 }
 

@@ -31,7 +31,7 @@ use hashstash_types::{Result, Row, Schema};
 
 use hashstash_cache::{
     CacheStats, GcConfig, MaterializedRows, ReuseBudget, ReuseStore, SnapshotEntry, StoreId,
-    DEFAULT_SHARDS,
+    TenantId, DEFAULT_SHARDS,
 };
 use hashstash_plan::HtFingerprint;
 
@@ -138,6 +138,20 @@ impl TempTableCache {
             .publish(fingerprint, schema, MaterializedRows::new(rows))
     }
 
+    /// [`TempTableCache::publish`] on behalf of a tenant: the table is
+    /// owned by `tenant` for per-tenant budget floors and statistics — see
+    /// [`hashstash_cache::ReuseStore::publish_as`].
+    pub fn publish_as(
+        &self,
+        tenant: TenantId,
+        fingerprint: HtFingerprint,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> TempId {
+        self.store
+            .publish_as(tenant, fingerprint, schema, MaterializedRows::new(rows))
+    }
+
     /// All cached fingerprints (candidate matching happens in the engine's
     /// baseline strategy — exact and subsuming only).
     pub fn fingerprints(&self) -> Vec<(TempId, HtFingerprint)> {
@@ -179,6 +193,24 @@ impl TempTableCache {
     /// Statistics snapshot.
     pub fn stats(&self) -> TempTableStats {
         TempTableStats::of(self.store.stats())
+    }
+
+    /// Per-tenant raw statistics slices — see
+    /// [`hashstash_cache::ReuseStore::tenant_stats`].
+    pub fn tenant_stats(&self) -> Vec<(TenantId, CacheStats)> {
+        self.store.tenant_stats()
+    }
+
+    /// One tenant's raw statistics slice (zeroed when the tenant has no
+    /// history in this cache).
+    pub fn tenant_stats_for(&self, tenant: TenantId) -> CacheStats {
+        self.store.tenant_stats_for(tenant)
+    }
+
+    /// Stamp every cached table with one fresh clock tick (warm-restart
+    /// rehydration) — see [`hashstash_cache::ReuseStore::freshen_all`].
+    pub fn freshen_all(&self) {
+        self.store.freshen_all()
     }
 
     /// The budget governing this cache.

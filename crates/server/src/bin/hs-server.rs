@@ -1,0 +1,167 @@
+//! `hs-server`: stand-alone serving front end over a generated TPC-H
+//! database.
+//!
+//! ```text
+//! hs-server [--addr HOST:PORT] [--sf F] [--seed N] [--gc-budget BYTES]
+//!           [--data-dir PATH] [--tenant NAME:TOKEN[:FLOOR_BYTES]]...
+//! ```
+//!
+//! With no `--tenant` flags a single `default` tenant with token
+//! `default` and no floor is configured. The process serves until killed;
+//! engines configured with `--data-dir` flush durable state when the
+//! database drops on exit.
+//!
+//! Talk to it with anything that can frame bytes, e.g. the workspace's
+//! `exp12_serving` bench, or interactively:
+//!
+//! ```text
+//! HELLO default default
+//! QUERY SELECT c_age, SUM(l_quantity) FROM customer
+//!       JOIN orders ON customer.c_custkey = orders.o_custkey
+//!       JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey
+//!       GROUP BY c_age
+//! STATS
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use hashstash::Database;
+use hashstash_server::{Server, ServerConfig, TenantSpec};
+use hashstash_storage::tpch::{generate, TpchConfig};
+
+struct Args {
+    addr: String,
+    sf: f64,
+    seed: u64,
+    gc_budget: Option<usize>,
+    data_dir: Option<String>,
+    tenants: Vec<TenantSpec>,
+}
+
+fn parse_tenant(spec: &str) -> Result<TenantSpec, String> {
+    let mut parts = spec.splitn(3, ':');
+    let name = parts.next().unwrap_or("").to_string();
+    let token = parts.next().unwrap_or("").to_string();
+    if name.is_empty() || token.is_empty() {
+        return Err(format!(
+            "--tenant wants NAME:TOKEN[:FLOOR_BYTES], got `{spec}`"
+        ));
+    }
+    let floor_bytes = match parts.next() {
+        None => 0,
+        Some(f) => f
+            .parse::<usize>()
+            .map_err(|_| format!("bad floor in --tenant `{spec}`: `{f}` is not a byte count"))?,
+    };
+    Ok(TenantSpec {
+        name,
+        token,
+        floor_bytes,
+    })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        sf: 0.01,
+        seed: 42,
+        gc_budget: None,
+        data_dir: None,
+        tenants: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value ({what})"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("HOST:PORT")?,
+            "--sf" => {
+                args.sf = value("scale factor")?
+                    .parse()
+                    .map_err(|e| format!("bad --sf: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--gc-budget" => {
+                args.gc_budget = Some(
+                    value("bytes")?
+                        .parse()
+                        .map_err(|e| format!("bad --gc-budget: {e}"))?,
+                )
+            }
+            "--data-dir" => args.data_dir = Some(value("path")?),
+            "--tenant" => args
+                .tenants
+                .push(parse_tenant(&value("NAME:TOKEN[:FLOOR]")?)?),
+            "--help" | "-h" => {
+                return Err("usage: hs-server [--addr HOST:PORT] [--sf F] [--seed N] \
+                     [--gc-budget BYTES] [--data-dir PATH] [--tenant NAME:TOKEN[:FLOOR_BYTES]]..."
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.tenants.is_empty() {
+        args.tenants.push(TenantSpec {
+            name: "default".to_string(),
+            token: "default".to_string(),
+            floor_bytes: 0,
+        });
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "hs-server: generating TPC-H sf={} seed={}…",
+        args.sf, args.seed
+    );
+    let catalog = generate(TpchConfig::new(args.sf, args.seed));
+    let mut b = Database::builder(catalog);
+    if let Some(budget) = args.gc_budget {
+        b = b.gc_budget(budget);
+    }
+    if let Some(dir) = &args.data_dir {
+        b = b.data_dir(dir);
+    }
+    let db = b.build();
+
+    let server = match Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            addr: args.addr.clone(),
+            tenants: args.tenants.clone(),
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hs-server: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "hs-server: listening on {} with {} tenant(s)",
+        server.local_addr(),
+        args.tenants.len()
+    );
+
+    // Serve until killed. The accept thread owns the listener; parking the
+    // main thread keeps `db` (and therefore durable flush on drop) alive.
+    loop {
+        std::thread::park();
+    }
+}

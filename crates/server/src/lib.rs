@@ -1,0 +1,22 @@
+//! The HashStash serving front end.
+//!
+//! [`Server`] binds a TCP listener and speaks a length-prefixed text
+//! protocol (see [`protocol`]): clients authenticate as a configured
+//! tenant (`HELLO <name> <token>`), then send SQL over `QUERY …` — parsed
+//! by [`hashstash_sql`], executed through a per-connection engine
+//! [`hashstash::Session`] on the shared worker pool. All connections share
+//! one [`hashstash::Database`], so hash tables published by one query are
+//! reused across clients, while per-tenant budget floors
+//! ([`TenantSpec::floor_bytes`]) keep one tenant's churn from evicting
+//! another's working set below its guarantee. The `STATS` verb exposes
+//! per-tenant [`hashstash::cache::CacheStats`] for exactly that contract.
+//!
+//! The crate is panic-free by lint (tidy `no-panic-paths`): a serving
+//! thread that panicked would silently drop its connection, so every
+//! failure path — protocol, parse, execution, I/O — degrades to an `ERR`
+//! frame or a logged disconnect instead.
+
+pub mod protocol;
+pub mod server;
+
+pub use server::{CatalogSchema, Server, ServerConfig, TenantSpec};

@@ -1,0 +1,144 @@
+//! Span-carrying parse and analysis errors.
+//!
+//! Every error produced by this crate points at the byte range of the
+//! offending token (or clause) in the original SQL text, so a serving
+//! front end can render a caret snippet instead of a bare message. Spans
+//! are byte offsets into the input; [`SqlError::render`] is careful to
+//! slice only on `char` boundaries, so rendering never panics even for
+//! adversarial multi-byte inputs.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte of the offending region.
+    pub start: usize,
+    /// Byte offset one past the last byte of the offending region.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn cover(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A parse or analysis error with the source region it refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// The byte range of the offending token or clause.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Build an error pointing at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Render a two-line caret snippet against the original source:
+    ///
+    /// ```text
+    /// error: unknown table `ordrs`
+    ///   SELECT * FROM ordrs
+    ///                 ^^^^^
+    /// ```
+    ///
+    /// Robust against spans that fall outside `src` or inside multi-byte
+    /// characters (possible only through misuse, but rendering must not
+    /// be the thing that panics in an error path).
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error: {}\n", self.message);
+        // Clamp to char boundaries by walking backwards until get() works.
+        let clamp = |mut i: usize| {
+            i = i.min(src.len());
+            while i > 0 && !src.is_char_boundary(i) {
+                i -= 1;
+            }
+            i
+        };
+        let start = clamp(self.span.start);
+        let end = clamp(self.span.end.max(self.span.start)).max(start);
+        // Single-line sources are the norm; for multi-line input point at
+        // the line containing the span start.
+        let line_start = src
+            .get(..start)
+            .and_then(|s| s.rfind('\n').map(|i| i + 1))
+            .unwrap_or(0);
+        let line_end = src
+            .get(start..)
+            .and_then(|s| s.find('\n').map(|i| start + i))
+            .unwrap_or(src.len());
+        let line = src.get(line_start..line_end).unwrap_or("");
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+        // Caret columns are counted in chars of the prefix, not bytes.
+        let prefix_chars = src
+            .get(line_start..start)
+            .map(|s| s.chars().count())
+            .unwrap_or(0);
+        let span_chars = src
+            .get(start..end.min(line_end))
+            .map(|s| s.chars().count())
+            .unwrap_or(0)
+            .max(1);
+        out.push_str("  ");
+        for _ in 0..prefix_chars {
+            out.push(' ');
+        }
+        for _ in 0..span_chars {
+            out.push('^');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (at bytes {}..{})",
+            self.message, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_span() {
+        let src = "SELECT * FROM ordrs";
+        let err = SqlError::new("unknown table `ordrs`", Span::new(14, 19));
+        let r = err.render(src);
+        assert!(r.contains("SELECT * FROM ordrs"));
+        assert!(r.ends_with("              ^^^^^"));
+    }
+
+    #[test]
+    fn render_survives_bogus_spans_and_multibyte() {
+        let src = "SELECT 'héllo' FROM t";
+        for (a, b) in [(0, 1000), (9, 10), (1000, 2000), (5, 3)] {
+            let _ = SqlError::new("x", Span::new(a, b)).render(src);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! The tokenizer: SQL text to a span-carrying token stream.
+//!
+//! Hand-written over `char_indices` so every token knows its exact byte
+//! range and no input — including byte soup — can make it panic: there is
+//! no slicing by computed offsets, only iterator-driven accumulation.
+//! Keywords are *not* distinguished here; identifiers keep their original
+//! spelling and the parser matches them case-insensitively, which keeps
+//! the token type small and lets error messages echo the user's casing.
+
+use crate::error::{Span, SqlError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare identifier or keyword (`SELECT`, `lineitem`, `l_quantity`).
+    Ident(String),
+    /// Integer literal. Overflow is a lex error, not a wrap.
+    Int(i64),
+    /// Float literal (`1.5`, `0.07`).
+    Float(f64),
+    /// Single-quoted string literal, quotes stripped, `''` unescaped.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=` — lexed so the parser can reject it with a good
+    /// message (disequality is not expressible as a conjunctive interval).
+    Ne,
+    /// `-` (only meaningful as a literal sign in this grammar).
+    Minus,
+    /// End of input (carries the one-past-end span).
+    Eof,
+}
+
+impl Tok {
+    /// Short description used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Float(v) => format!("float `{v}`"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Ne => "`<>`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus where it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Tokenize `src` completely. Returns the token list terminated by
+/// [`Tok::Eof`], or the first lexical error.
+pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let mut it = src.char_indices().peekable();
+    while let Some(&(at, c)) = it.peek() {
+        if c.is_whitespace() {
+            it.next();
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            let mut end = at;
+            while let Some(&(j, d)) = it.peek() {
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    ident.push(d);
+                    end = j + d.len_utf8();
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                tok: Tok::Ident(ident),
+                span: Span::new(at, end),
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (tok, span) = lex_number(&mut it, at)?;
+            out.push(Token { tok, span });
+            continue;
+        }
+        if c == '\'' {
+            it.next();
+            let mut s = String::new();
+            let mut end = None;
+            while let Some((j, d)) = it.next() {
+                if d == '\'' {
+                    // '' inside a string is an escaped quote.
+                    if let Some(&(_, '\'')) = it.peek() {
+                        s.push('\'');
+                        it.next();
+                        continue;
+                    }
+                    end = Some(j + 1);
+                    break;
+                }
+                s.push(d);
+            }
+            let end = end.ok_or_else(|| {
+                SqlError::new("unterminated string literal", Span::new(at, src.len()))
+            })?;
+            out.push(Token {
+                tok: Tok::Str(s),
+                span: Span::new(at, end),
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        it.next();
+        let two = |it: &mut std::iter::Peekable<std::str::CharIndices>, want: char| {
+            if let Some(&(_, d)) = it.peek() {
+                if d == want {
+                    it.next();
+                    return true;
+                }
+            }
+            false
+        };
+        let (tok, len) = match c {
+            ',' => (Tok::Comma, 1),
+            '.' => (Tok::Dot, 1),
+            '*' => (Tok::Star, 1),
+            '(' => (Tok::LParen, 1),
+            ')' => (Tok::RParen, 1),
+            ';' => (Tok::Semi, 1),
+            '=' => (Tok::Eq, 1),
+            '-' => (Tok::Minus, 1),
+            '<' => {
+                if two(&mut it, '=') {
+                    (Tok::Le, 2)
+                } else if two(&mut it, '>') {
+                    (Tok::Ne, 2)
+                } else {
+                    (Tok::Lt, 1)
+                }
+            }
+            '>' => {
+                if two(&mut it, '=') {
+                    (Tok::Ge, 2)
+                } else {
+                    (Tok::Gt, 1)
+                }
+            }
+            '!' => {
+                if two(&mut it, '=') {
+                    (Tok::Ne, 2)
+                } else {
+                    return Err(SqlError::new(
+                        "unexpected character `!` (did you mean `!=`?)",
+                        Span::new(at, at + 1),
+                    ));
+                }
+            }
+            other => {
+                return Err(SqlError::new(
+                    format!("unexpected character `{other}`"),
+                    Span::new(at, at + other.len_utf8()),
+                ));
+            }
+        };
+        out.push(Token {
+            tok,
+            span: Span::new(at, at + len),
+        });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+/// Lex a number starting at byte `at`. The leading digit is still in the
+/// iterator. Accepts `123` and `123.456`; a trailing bare `.` (as in
+/// `1.`) is an error so `t.c` style qualified refs never collide with
+/// float syntax.
+fn lex_number(
+    it: &mut std::iter::Peekable<std::str::CharIndices>,
+    at: usize,
+) -> Result<(Tok, Span), SqlError> {
+    let mut text = String::new();
+    let mut end = at;
+    while let Some(&(j, d)) = it.peek() {
+        if d.is_ascii_digit() {
+            text.push(d);
+            end = j + 1;
+            it.next();
+        } else {
+            break;
+        }
+    }
+    let mut is_float = false;
+    if let Some(&(dot_at, '.')) = it.peek() {
+        // Only consume the dot if a digit follows; `123.` alone is an
+        // error and `a.b` never reaches here (identifiers handle dots).
+        let mut clone = it.clone();
+        clone.next();
+        match clone.peek() {
+            Some(&(_, d)) if d.is_ascii_digit() => {
+                is_float = true;
+                text.push('.');
+                it.next();
+                while let Some(&(j, d)) = it.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        end = j + 1;
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                return Err(SqlError::new(
+                    "malformed number: digits required after `.`",
+                    Span::new(at, dot_at + 1),
+                ));
+            }
+        }
+    }
+    let span = Span::new(at, end);
+    if is_float {
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok((Tok::Float(v), span)),
+            _ => Err(SqlError::new(
+                format!("float literal `{text}` out of range"),
+                span,
+            )),
+        }
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Ok((Tok::Int(v), span)),
+            Err(_) => Err(SqlError::new(
+                format!("integer literal `{text}` overflows i64"),
+                span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        assert_eq!(
+            toks("SELECT a.b, 1 <= 2.5 '&x'"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Comma,
+                Tok::Int(1),
+                Tok::Le,
+                Tok::Float(2.5),
+                Tok::Str("&x".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let ts = lex("ab  <=").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 2));
+        assert_eq!(ts[1].span, Span::new(4, 6));
+        assert_eq!(ts[2].span, Span::new(6, 6));
+    }
+
+    #[test]
+    fn escaped_quote_and_unterminated() {
+        assert_eq!(toks("'it''s'")[0], Tok::Str("it's".into()));
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn numeric_edges() {
+        assert!(lex("9223372036854775808").is_err()); // i64::MAX + 1
+        assert!(lex("12.").is_err());
+        assert_eq!(toks("12.5")[0], Tok::Float(12.5));
+    }
+
+    #[test]
+    fn multibyte_input_is_an_error_not_a_panic() {
+        assert!(lex("SELECT \u{1F980} FROM t").is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! Lowering: resolve names against a schema, type literals, and build a
+//! validated [`QuerySpec`] through the existing [`QueryBuilder`] — the SQL
+//! front end produces *exactly* the structure hand-built queries do, so
+//! fingerprints, reuse-case classification and the cost model are
+//! oblivious to where a query came from.
+
+use std::collections::BTreeSet;
+
+use hashstash_plan::{AggExpr, Interval, QueryBuilder, QuerySpec};
+use hashstash_types::date::parse_date;
+use hashstash_types::{DataType, Value};
+
+use crate::error::SqlError;
+use crate::parser::{Ast, CmpOp, ColRef, Item, Lit, LitKind, Pred};
+
+/// Read-only schema oracle the lowering resolves names against.
+///
+/// Implemented for the engine's `Catalog` on the server side; tests use
+/// in-memory maps. Kept minimal on purpose so this crate depends only on
+/// the plan layer, not on storage.
+pub trait SchemaProvider {
+    /// Does a table with this name exist?
+    fn has_table(&self, table: &str) -> bool;
+    /// Type of `table.column`, or `None` if the column does not exist.
+    fn column_type(&self, table: &str, column: &str) -> Option<DataType>;
+}
+
+/// A fully resolved column: qualified name plus type.
+struct Resolved {
+    qualified: String,
+    dtype: DataType,
+}
+
+/// Lower a parsed [`Ast`] to a validated [`QuerySpec`] with the given
+/// query id.
+pub fn lower(ast: &Ast, id: u32, schema: &dyn SchemaProvider) -> Result<QuerySpec, SqlError> {
+    // -- tables ----------------------------------------------------------
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (t, span) in &ast.tables {
+        if !schema.has_table(t) {
+            return Err(SqlError::new(format!("unknown table `{t}`"), *span));
+        }
+        if !seen.insert(t.as_str()) {
+            return Err(SqlError::new(
+                format!(
+                    "table `{t}` appears twice in FROM (aliases and self-joins are not supported)"
+                ),
+                *span,
+            ));
+        }
+    }
+    let tables: Vec<&str> = ast.tables.iter().map(|(t, _)| t.as_str()).collect();
+
+    let resolve = |c: &ColRef| -> Result<Resolved, SqlError> { resolve_col(c, &tables, schema) };
+
+    let mut b = QueryBuilder::new(id);
+    for t in &tables {
+        b = b.table(t);
+    }
+
+    // -- predicates ------------------------------------------------------
+    for p in &ast.preds {
+        match p {
+            Pred::JoinEq { left, right, span } => {
+                let l = resolve(left)?;
+                let r = resolve(right)?;
+                let (lt, rt) = match (owner_table(&l), owner_table(&r)) {
+                    (Some(lt), Some(rt)) if lt != rt => (lt.to_string(), rt.to_string()),
+                    _ => {
+                        return Err(SqlError::new(
+                            "join predicate must relate columns of two different tables",
+                            *span,
+                        ));
+                    }
+                };
+                if l.dtype != r.dtype {
+                    return Err(SqlError::new(
+                        format!(
+                            "join key types differ: {} is {:?} but {} is {:?}",
+                            l.qualified, l.dtype, r.qualified, r.dtype
+                        ),
+                        *span,
+                    ));
+                }
+                b = b.join(&lt, &l.qualified, &rt, &r.qualified);
+            }
+            Pred::Cmp { col, op, lit } => {
+                let c = resolve(col)?;
+                let v = type_literal(lit, c.dtype, &c.qualified)?;
+                let iv = match op {
+                    CmpOp::Eq => Interval::eq(v),
+                    CmpOp::Lt => Interval::less_than(v),
+                    CmpOp::Le => Interval::at_most(v),
+                    CmpOp::Gt => Interval::greater_than(v),
+                    CmpOp::Ge => Interval::at_least(v),
+                };
+                b = b.filter(&c.qualified, iv);
+            }
+            Pred::Between { col, lo, hi } => {
+                let c = resolve(col)?;
+                let vlo = type_literal(lo, c.dtype, &c.qualified)?;
+                let vhi = type_literal(hi, c.dtype, &c.qualified)?;
+                b = b.filter(&c.qualified, Interval::closed(vlo, vhi));
+            }
+        }
+    }
+
+    // -- select list / group by -----------------------------------------
+    let mut group_cols = Vec::new();
+    for g in &ast.group_by {
+        let q = resolve(g)?.qualified;
+        b = b.group_by(&q);
+        group_cols.push(q);
+    }
+
+    match &ast.items {
+        // SELECT *: all columns, no aggregation. GROUP BY without an
+        // aggregate in the list has no meaning here.
+        None => {
+            if let Some(g) = ast.group_by.first() {
+                return Err(SqlError::new(
+                    "GROUP BY requires aggregates in the select list, not `*`",
+                    g.span,
+                ));
+            }
+        }
+        Some(items) => {
+            let has_agg = items.iter().any(|i| matches!(i, Item::Agg { .. }));
+            if has_agg {
+                for item in items {
+                    match item {
+                        Item::Agg { func, arg, span } => {
+                            let c = resolve(arg)?;
+                            if agg_needs_numeric(*func)
+                                && !matches!(c.dtype, DataType::Int | DataType::Float)
+                            {
+                                return Err(SqlError::new(
+                                    format!(
+                                        "{func:?} needs a numeric column, but {} is {:?}",
+                                        c.qualified, c.dtype
+                                    ),
+                                    *span,
+                                ));
+                            }
+                            b = b.agg(AggExpr::new(*func, c.qualified.as_str()));
+                        }
+                        Item::Column(col) => {
+                            let c = resolve(col)?;
+                            if !group_cols.contains(&c.qualified) {
+                                return Err(SqlError::new(
+                                    format!(
+                                        "column {} must appear in GROUP BY when the select \
+                                         list has aggregates",
+                                        c.qualified
+                                    ),
+                                    col.span,
+                                ));
+                            }
+                        }
+                    }
+                }
+            } else {
+                if let Some(g) = ast.group_by.first() {
+                    return Err(SqlError::new(
+                        "GROUP BY requires at least one aggregate in the select list",
+                        g.span,
+                    ));
+                }
+                let mut proj = Vec::new();
+                for item in items {
+                    if let Item::Column(col) = item {
+                        proj.push(resolve(col)?.qualified);
+                    }
+                }
+                let refs: Vec<&str> = proj.iter().map(String::as_str).collect();
+                b = b.project(&refs);
+            }
+        }
+    }
+
+    // Structural validation (join-graph connectivity etc.) lives in the
+    // plan layer; anchor its message on the whole statement.
+    b.build()
+        .map_err(|e| SqlError::new(format!("invalid query: {e}"), ast.span))
+}
+
+/// `table` part of a resolved qualified name.
+fn owner_table(r: &Resolved) -> Option<&str> {
+    r.qualified.split('.').next()
+}
+
+/// Resolve a (possibly unqualified) column against the FROM tables.
+fn resolve_col(
+    c: &ColRef,
+    tables: &[&str],
+    schema: &dyn SchemaProvider,
+) -> Result<Resolved, SqlError> {
+    if let Some(t) = &c.table {
+        if !tables.iter().any(|x| x == t) {
+            return Err(SqlError::new(
+                format!("table `{t}` is not in the FROM clause"),
+                c.span,
+            ));
+        }
+        let dtype = schema.column_type(t, &c.column).ok_or_else(|| {
+            SqlError::new(format!("table `{t}` has no column `{}`", c.column), c.span)
+        })?;
+        return Ok(Resolved {
+            qualified: format!("{t}.{}", c.column),
+            dtype,
+        });
+    }
+    // Unqualified: the column must exist in exactly one FROM table.
+    let mut hits = Vec::new();
+    for t in tables {
+        if let Some(dtype) = schema.column_type(t, &c.column) {
+            hits.push((*t, dtype));
+        }
+    }
+    match hits.as_slice() {
+        [] => Err(SqlError::new(
+            format!(
+                "unknown column `{}` (searched tables: {})",
+                c.column,
+                tables.join(", ")
+            ),
+            c.span,
+        )),
+        [(t, dtype)] => Ok(Resolved {
+            qualified: format!("{t}.{}", c.column),
+            dtype: *dtype,
+        }),
+        many => Err(SqlError::new(
+            format!(
+                "column `{}` is ambiguous: it exists in {}",
+                c.column,
+                many.iter()
+                    .map(|(t, _)| *t)
+                    .collect::<Vec<_>>()
+                    .join(" and ")
+            ),
+            c.span,
+        )),
+    }
+}
+
+/// SUM and AVG only make sense over numbers; COUNT/MIN/MAX take anything
+/// with a total order (which is every engine type).
+fn agg_needs_numeric(f: hashstash_plan::AggFunc) -> bool {
+    matches!(
+        f,
+        hashstash_plan::AggFunc::Sum | hashstash_plan::AggFunc::Avg
+    )
+}
+
+/// Coerce a literal to the column's type, or explain why it cannot be.
+fn type_literal(lit: &Lit, dtype: DataType, qualified: &str) -> Result<Value, SqlError> {
+    let err = |want: &str| {
+        SqlError::new(
+            format!("{qualified} is {dtype:?}; this literal is not ({want})"),
+            lit.span,
+        )
+    };
+    match (dtype, &lit.kind) {
+        (DataType::Int, LitKind::Int(v)) => Ok(Value::Int(*v)),
+        (DataType::Int, _) => Err(err("write an integer like 42")),
+        // Int literals promote to float so `price < 100` works.
+        (DataType::Float, LitKind::Int(v)) => Ok(Value::float(*v as f64)),
+        (DataType::Float, LitKind::Float(v)) => Ok(Value::float(*v)),
+        (DataType::Float, LitKind::Str(_)) => Err(err("write a number like 0.07")),
+        (DataType::Str, LitKind::Str(s)) => Ok(Value::Str(s.as_str().into())),
+        (DataType::Str, _) => Err(err("write a string like 'BUILDING'")),
+        (DataType::Date, LitKind::Str(s)) => match parse_date(s) {
+            Some(d) => Ok(Value::Date(d)),
+            None => Err(err("write a date like '1995-03-15'")),
+        },
+        (DataType::Date, _) => Err(err("write a date like '1995-03-15'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use std::collections::HashMap;
+
+    pub(crate) struct TestSchema(pub HashMap<&'static str, Vec<(&'static str, DataType)>>);
+
+    impl SchemaProvider for TestSchema {
+        fn has_table(&self, table: &str) -> bool {
+            self.0.contains_key(table)
+        }
+        fn column_type(&self, table: &str, column: &str) -> Option<DataType> {
+            self.0
+                .get(table)?
+                .iter()
+                .find(|(c, _)| *c == column)
+                .map(|(_, t)| *t)
+        }
+    }
+
+    fn schema() -> TestSchema {
+        let mut m = HashMap::new();
+        m.insert(
+            "customer",
+            vec![("c_custkey", DataType::Int), ("c_age", DataType::Int)],
+        );
+        m.insert(
+            "orders",
+            vec![
+                ("o_custkey", DataType::Int),
+                ("o_orderdate", DataType::Date),
+                ("o_comment", DataType::Str),
+            ],
+        );
+        m.insert(
+            "lineitem",
+            vec![
+                ("l_orderkey", DataType::Int),
+                ("l_quantity", DataType::Float),
+            ],
+        );
+        TestSchema(m)
+    }
+
+    fn lower_sql(sql: &str) -> Result<QuerySpec, SqlError> {
+        lower(&parse(sql)?, 7, &schema())
+    }
+
+    #[test]
+    fn matches_hand_built_query() {
+        let spec = lower_sql(
+            "SELECT c_age, SUM(l_quantity) FROM customer \
+             JOIN orders ON customer.c_custkey = orders.o_custkey \
+             JOIN lineitem ON orders.o_custkey = lineitem.l_orderkey \
+             WHERE o_orderdate >= '1995-01-01' GROUP BY c_age",
+        )
+        .unwrap();
+        let hand = QueryBuilder::new(7)
+            .join(
+                "customer",
+                "customer.c_custkey",
+                "orders",
+                "orders.o_custkey",
+            )
+            .join(
+                "orders",
+                "orders.o_custkey",
+                "lineitem",
+                "lineitem.l_orderkey",
+            )
+            .filter(
+                "orders.o_orderdate",
+                Interval::at_least(Value::Date(parse_date("1995-01-01").unwrap())),
+            )
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(
+                hashstash_plan::AggFunc::Sum,
+                "lineitem.l_quantity",
+            ))
+            .build()
+            .unwrap();
+        assert_eq!(spec, hand);
+    }
+
+    #[test]
+    fn int_promotes_to_float_and_between_is_closed() {
+        let spec = lower_sql("SELECT * FROM lineitem WHERE l_quantity BETWEEN 5 AND 10").unwrap();
+        let hand = QueryBuilder::new(7)
+            .table("lineitem")
+            .filter(
+                "lineitem.l_quantity",
+                Interval::closed(Value::float(5.0), Value::float(10.0)),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(spec, hand);
+    }
+
+    #[test]
+    fn analysis_errors_carry_spans() {
+        for (sql, needle) in [
+            ("SELECT * FROM nope", "unknown table"),
+            ("SELECT * FROM customer, customer", "appears twice"),
+            ("SELECT * FROM customer WHERE zzz = 1", "unknown column"),
+            (
+                "SELECT * FROM customer, orders WHERE customer.c_custkey = orders.o_custkey AND o_custkey = 'x'",
+                "write an integer",
+            ),
+            (
+                "SELECT * FROM customer WHERE o_orderdate > '1995-01-01'",
+                "unknown column",
+            ),
+            ("SELECT * FROM orders WHERE o_orderdate = 'soon'", "like '1995-03-15'"),
+            ("SELECT SUM(o_comment) FROM orders", "numeric column"),
+            ("SELECT c_age FROM customer GROUP BY c_age", "at least one aggregate"),
+            (
+                "SELECT c_custkey, SUM(c_age) FROM customer GROUP BY c_age",
+                "must appear in GROUP BY",
+            ),
+            (
+                "SELECT * FROM customer JOIN orders ON customer.c_custkey = customer.c_age",
+                "two different tables",
+            ),
+            (
+                "SELECT * FROM customer JOIN orders ON customer.c_custkey = orders.o_orderdate",
+                "types differ",
+            ),
+            ("SELECT * FROM customer, orders", "invalid query"),
+        ] {
+            let err = lower_sql(sql).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{sql}: message {:?} missing {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn ambiguous_column_is_rejected() {
+        let mut s = schema();
+        s.0.insert("extra", vec![("c_age", DataType::Int)]);
+        let err = lower(
+            &parse("SELECT * FROM customer JOIN extra ON customer.c_custkey = extra.c_age WHERE c_age = 1").unwrap(),
+            1,
+            &s,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("ambiguous"));
+    }
+}

@@ -1,0 +1,576 @@
+//! Recursive-descent parser for the SQL subset the engine executes.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT select_list
+//!              FROM table ( ',' table | JOIN table ON colref '=' colref )*
+//!              ( WHERE pred ( AND pred )* )?
+//!              ( GROUP BY colref ( ',' colref )* )?
+//!              ';'? EOF
+//! select_list := '*' | item ( ',' item )*
+//! item      := colref | func '(' colref ')'      func ∈ SUM COUNT MIN MAX AVG
+//! colref    := ident ( '.' ident )?
+//! pred      := colref cmp literal
+//!            | literal cmp colref
+//!            | colref BETWEEN literal AND literal
+//!            | colref '=' colref                  (equi-join edge)
+//! cmp       := '=' | '<' | '<=' | '>' | '>='
+//! literal   := '-'? INT | '-'? FLOAT | STRING
+//! ```
+//!
+//! This is exactly the shape [`hashstash_plan::QuerySpec`] can express:
+//! conjunctive range predicates, equi-joins, grouped aggregates and
+//! column projections. Everything else (disequality, OR, subqueries,
+//! aliases, ORDER BY, …) is rejected here with a span so the caller can
+//! show *where*, and lowering never has to guess.
+//!
+//! The parser never panics: token access is bounds-checked, recursion is
+//! replaced by iteration everywhere the input could control the depth,
+//! and all failures flow out as [`SqlError`].
+
+use hashstash_plan::AggFunc;
+
+use crate::error::{Span, SqlError};
+use crate::lexer::{lex, Tok, Token};
+
+/// A possibly-qualified column reference as written (`l_quantity` or
+/// `lineitem.l_quantity`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Qualifier, if written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+    /// Where the whole reference appeared.
+    pub span: Span,
+}
+
+/// A literal operand in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lit {
+    pub kind: LitKind,
+    pub span: Span,
+}
+
+/// The three literal shapes the grammar admits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LitKind {
+    Int(i64),
+    Float(f64),
+    /// Also how dates are written (`'1995-03-15'`); lowering decides
+    /// based on the column type.
+    Str(String),
+}
+
+/// Comparison operators on (column, literal) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with sides swapped: `lit op col` ≡ `col mirror(op) lit`.
+    pub fn mirror(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// One conjunct of the WHERE clause (or an ON clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `col op literal` (already mirrored if written literal-first).
+    Cmp { col: ColRef, op: CmpOp, lit: Lit },
+    /// `col BETWEEN lo AND hi` (inclusive both ends, per SQL).
+    Between { col: ColRef, lo: Lit, hi: Lit },
+    /// `col = col`: an equi-join edge.
+    JoinEq {
+        left: ColRef,
+        right: ColRef,
+        span: Span,
+    },
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Plain column (must be grouped if aggregates are present).
+    Column(ColRef),
+    /// `FUNC(col)` aggregate.
+    Agg {
+        func: AggFunc,
+        arg: ColRef,
+        span: Span,
+    },
+}
+
+/// The parsed statement, before name resolution and typing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ast {
+    /// `None` means `SELECT *`.
+    pub items: Option<Vec<Item>>,
+    /// FROM tables in written order, with spans.
+    pub tables: Vec<(String, Span)>,
+    /// WHERE / ON conjuncts in written order.
+    pub preds: Vec<Pred>,
+    /// GROUP BY columns in written order.
+    pub group_by: Vec<ColRef>,
+    /// Span of the whole statement (for errors with no better anchor).
+    pub span: Span,
+}
+
+/// Parse `src` into an [`Ast`].
+pub fn parse(src: &str) -> Result<Ast, SqlError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.query(src.len())
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Current token (the lexer guarantees a trailing Eof, but degrade
+    /// gracefully anyway — this module must not be able to panic).
+    fn peek(&self) -> &Token {
+        const EOF: &Token = &Token {
+            tok: Tok::Eof,
+            span: Span { start: 0, end: 0 },
+        };
+        self.tokens.get(self.pos).unwrap_or(EOF)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.pos = self.pos.saturating_add(1).min(self.tokens.len());
+        t
+    }
+
+    /// Is the current token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<Token, SqlError> {
+        if self.at_kw(kw) {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(SqlError::new(
+                format!("expected `{kw}`, found {}", t.tok.describe()),
+                t.span,
+            ))
+        }
+    }
+
+    fn require(&mut self, want: &Tok, what: &str) -> Result<Token, SqlError> {
+        if &self.peek().tok == want {
+            Ok(self.bump())
+        } else {
+            let t = self.peek();
+            Err(SqlError::new(
+                format!("expected {what}, found {}", t.tok.describe()),
+                t.span,
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok((s, t.span))
+            }
+            _ => Err(SqlError::new(
+                format!("expected {what}, found {}", t.tok.describe()),
+                t.span,
+            )),
+        }
+    }
+
+    /// Reserved words that cannot be a table or column name; without this
+    /// `SELECT * FROM t WHERE` would parse WHERE as a table name and the
+    /// error would point at the wrong place.
+    const KEYWORDS: &'static [&'static str] = &[
+        "select", "from", "where", "and", "group", "by", "join", "on", "between",
+    ];
+
+    fn name(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        let (s, span) = self.ident(what)?;
+        if Self::KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+            return Err(SqlError::new(
+                format!("expected {what}, found reserved word `{s}`"),
+                span,
+            ));
+        }
+        Ok((s, span))
+    }
+
+    fn colref(&mut self) -> Result<ColRef, SqlError> {
+        let (first, span1) = self.name("a column name")?;
+        if self.peek().tok == Tok::Dot {
+            self.bump();
+            let (col, span2) = self.name("a column name after `.`")?;
+            Ok(ColRef {
+                table: Some(first),
+                column: col,
+                span: span1.cover(span2),
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                column: first,
+                span: span1,
+            })
+        }
+    }
+
+    fn query(mut self, src_len: usize) -> Result<Ast, SqlError> {
+        let start = self.expect_kw("SELECT")?.span;
+        let items = self.select_list()?;
+        self.expect_kw("FROM")?;
+
+        let mut tables = Vec::new();
+        let mut preds = Vec::new();
+        let (t, s) = self.name("a table name")?;
+        tables.push((t, s));
+        loop {
+            if self.peek().tok == Tok::Comma {
+                self.bump();
+                let (t, s) = self.name("a table name")?;
+                tables.push((t, s));
+            } else if self.at_kw("JOIN") {
+                self.bump();
+                let (t, s) = self.name("a table name after JOIN")?;
+                tables.push((t, s));
+                self.expect_kw("ON")?;
+                let left = self.colref()?;
+                self.require(&Tok::Eq, "`=` in join condition")?;
+                let right = self.colref()?;
+                let span = left.span.cover(right.span);
+                preds.push(Pred::JoinEq { left, right, span });
+            } else {
+                break;
+            }
+        }
+
+        if self.eat_kw("WHERE") {
+            preds.push(self.pred()?);
+            while self.eat_kw("AND") {
+                preds.push(self.pred()?);
+            }
+        }
+
+        let mut group_by = Vec::new();
+        if self.at_kw("GROUP") {
+            self.bump();
+            self.expect_kw("BY")?;
+            group_by.push(self.colref()?);
+            while self.peek().tok == Tok::Comma {
+                self.bump();
+                group_by.push(self.colref()?);
+            }
+        }
+
+        if self.peek().tok == Tok::Semi {
+            self.bump();
+        }
+        let t = self.peek().clone();
+        if t.tok != Tok::Eof {
+            return Err(SqlError::new(
+                format!("unexpected {} after end of query", t.tok.describe()),
+                t.span,
+            ));
+        }
+        Ok(Ast {
+            items,
+            tables,
+            preds,
+            group_by,
+            span: start.cover(Span::new(src_len, src_len)),
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Option<Vec<Item>>, SqlError> {
+        if self.peek().tok == Tok::Star {
+            self.bump();
+            return Ok(None);
+        }
+        let mut items = vec![self.item()?];
+        while self.peek().tok == Tok::Comma {
+            self.bump();
+            items.push(self.item()?);
+        }
+        Ok(Some(items))
+    }
+
+    fn item(&mut self) -> Result<Item, SqlError> {
+        let (first, span1) = self.name("a column or aggregate")?;
+        if self.peek().tok == Tok::LParen {
+            let func = match first.to_ascii_lowercase().as_str() {
+                "sum" => AggFunc::Sum,
+                "count" => AggFunc::Count,
+                "min" => AggFunc::Min,
+                "max" => AggFunc::Max,
+                "avg" => AggFunc::Avg,
+                _ => {
+                    return Err(SqlError::new(
+                        format!(
+                            "unknown aggregate `{first}` (supported: SUM, COUNT, MIN, MAX, AVG)"
+                        ),
+                        span1,
+                    ));
+                }
+            };
+            self.bump();
+            if self.peek().tok == Tok::Star {
+                let star = self.bump();
+                return Err(SqlError::new(
+                    "COUNT(*) is not supported; count a concrete column instead, \
+                     e.g. COUNT(l_orderkey)",
+                    span1.cover(star.span),
+                ));
+            }
+            let arg = self.colref()?;
+            let close = self.require(&Tok::RParen, "`)` after aggregate argument")?;
+            Ok(Item::Agg {
+                func,
+                arg,
+                span: span1.cover(close.span),
+            })
+        } else if self.peek().tok == Tok::Dot {
+            self.bump();
+            let (col, span2) = self.name("a column name after `.`")?;
+            Ok(Item::Column(ColRef {
+                table: Some(first),
+                column: col,
+                span: span1.cover(span2),
+            }))
+        } else {
+            Ok(Item::Column(ColRef {
+                table: None,
+                column: first,
+                span: span1,
+            }))
+        }
+    }
+
+    fn literal(&mut self) -> Result<Lit, SqlError> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Minus => {
+                self.bump();
+                let n = self.peek().clone();
+                match n.tok {
+                    Tok::Int(v) => {
+                        self.bump();
+                        Ok(Lit {
+                            kind: LitKind::Int(v.wrapping_neg()),
+                            span: t.span.cover(n.span),
+                        })
+                    }
+                    Tok::Float(v) => {
+                        self.bump();
+                        Ok(Lit {
+                            kind: LitKind::Float(-v),
+                            span: t.span.cover(n.span),
+                        })
+                    }
+                    _ => Err(SqlError::new(
+                        format!("expected a number after `-`, found {}", n.tok.describe()),
+                        n.span,
+                    )),
+                }
+            }
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Lit {
+                    kind: LitKind::Int(v),
+                    span: t.span,
+                })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Lit {
+                    kind: LitKind::Float(v),
+                    span: t.span,
+                })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Lit {
+                    kind: LitKind::Str(s),
+                    span: t.span,
+                })
+            }
+            _ => Err(SqlError::new(
+                format!("expected a literal, found {}", t.tok.describe()),
+                t.span,
+            )),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, SqlError> {
+        let t = self.peek().clone();
+        let op = match t.tok {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            Tok::Ne => {
+                return Err(SqlError::new(
+                    "`<>` is not supported: predicates must describe a contiguous range \
+                     (the reuse cache subsumption logic works on intervals)",
+                    t.span,
+                ));
+            }
+            _ => {
+                return Err(SqlError::new(
+                    format!(
+                        "expected a comparison operator or BETWEEN, found {}",
+                        t.tok.describe()
+                    ),
+                    t.span,
+                ));
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn pred(&mut self) -> Result<Pred, SqlError> {
+        // literal-first form: `1995 <= o_year`.
+        if matches!(
+            self.peek().tok,
+            Tok::Int(_) | Tok::Float(_) | Tok::Str(_) | Tok::Minus
+        ) {
+            let lit = self.literal()?;
+            let op = self.cmp_op()?;
+            let col = self.colref()?;
+            return Ok(Pred::Cmp {
+                col,
+                op: op.mirror(),
+                lit,
+            });
+        }
+        let col = self.colref()?;
+        if self.at_kw("BETWEEN") {
+            self.bump();
+            let lo = self.literal()?;
+            self.expect_kw("AND")?;
+            let hi = self.literal()?;
+            return Ok(Pred::Between { col, lo, hi });
+        }
+        let op = self.cmp_op()?;
+        // Column on the right-hand side makes this a join edge; only `=`
+        // qualifies (range joins are outside the engine's plan space).
+        if matches!(self.peek().tok, Tok::Ident(_)) {
+            let right = self.colref()?;
+            if op != CmpOp::Eq {
+                let span = col.span.cover(right.span);
+                return Err(SqlError::new(
+                    "only equi-joins are supported between two columns",
+                    span,
+                ));
+            }
+            let span = col.span.cover(right.span);
+            return Ok(Pred::JoinEq {
+                left: col,
+                right,
+                span,
+            });
+        }
+        let lit = self.literal()?;
+        Ok(Pred::Cmp { col, op, lit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_join_agg_query() {
+        let ast = parse(
+            "SELECT customer.c_age, SUM(l_quantity) \
+             FROM customer JOIN orders ON customer.c_custkey = orders.o_custkey \
+             WHERE orders.o_orderdate >= '1995-01-01' \
+             GROUP BY customer.c_age;",
+        )
+        .unwrap();
+        assert_eq!(ast.tables.len(), 2);
+        assert_eq!(ast.preds.len(), 2); // ON edge + WHERE conjunct
+        assert_eq!(ast.group_by.len(), 1);
+        let items = ast.items.unwrap();
+        assert!(matches!(
+            items[1],
+            Item::Agg {
+                func: AggFunc::Sum,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn star_and_comma_joins() {
+        let ast = parse("select * from a, b where a.x = b.y and a.z < 5").unwrap();
+        assert!(ast.items.is_none());
+        assert_eq!(ast.tables.len(), 2);
+        assert!(matches!(ast.preds[0], Pred::JoinEq { .. }));
+        assert!(matches!(ast.preds[1], Pred::Cmp { op: CmpOp::Lt, .. }));
+    }
+
+    #[test]
+    fn between_and_mirrored_literal() {
+        let ast = parse("SELECT * FROM t WHERE t.a BETWEEN 1 AND 10 AND 3 <= t.b").unwrap();
+        assert!(matches!(ast.preds[0], Pred::Between { .. }));
+        match &ast.preds[1] {
+            Pred::Cmp { op, .. } => assert_eq!(*op, CmpOp::Ge),
+            other => panic!("expected Cmp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_with_spans() {
+        for (sql, needle) in [
+            ("SELECT", "expected"),
+            ("SELECT * FROM", "table name"),
+            ("SELECT * FROM t WHERE a <> 1", "not supported"),
+            ("SELECT COUNT(*) FROM t", "COUNT(*)"),
+            ("SELECT MEDIAN(x) FROM t", "unknown aggregate"),
+            ("SELECT * FROM t WHERE a < b", "equi-join"),
+            ("SELECT * FROM t extra", "after end of query"),
+            ("SELECT * FROM where", "reserved word"),
+        ] {
+            let err = parse(sql).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{sql}: message {:?} missing {needle:?}",
+                err.message
+            );
+            assert!(err.span.end <= sql.len() && err.span.start <= err.span.end);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Property battery for the SQL front end.
+//!
+//! Three claims, hammered with generated inputs:
+//!
+//! 1. **Round-trip**: a query assembled from grammar pieces parses and
+//!    lowers to *exactly* the `QuerySpec` the fluent builder produces for
+//!    the same structure — the SQL path is indistinguishable downstream.
+//! 2. **Never panics**: arbitrary byte soup (and nastier near-SQL token
+//!    soup) may be rejected, but must never crash the parser. The crate
+//!    is on the tidy no-panic list; this is the runtime check of the same
+//!    contract.
+//! 3. **Span sanity**: every error points inside the input.
+
+use proptest::prelude::*;
+
+use hashstash_plan::{AggExpr, AggFunc, Interval, QueryBuilder};
+use hashstash_sql::{parse, parse_query, SchemaProvider};
+use hashstash_types::{DataType, Value};
+
+/// The fixed test universe: three tables with distinct column names (so
+/// unqualified references resolve unambiguously).
+struct Universe;
+
+const COLUMNS: &[(&str, &str, DataType)] = &[
+    ("customer", "c_custkey", DataType::Int),
+    ("customer", "c_age", DataType::Int),
+    ("orders", "o_custkey", DataType::Int),
+    ("orders", "o_orderkey", DataType::Int),
+    ("orders", "o_orderdate", DataType::Date),
+    ("orders", "o_comment", DataType::Str),
+    ("lineitem", "l_orderkey", DataType::Int),
+    ("lineitem", "l_quantity", DataType::Float),
+];
+
+impl SchemaProvider for Universe {
+    fn has_table(&self, table: &str) -> bool {
+        COLUMNS.iter().any(|(t, _, _)| *t == table)
+    }
+    fn column_type(&self, table: &str, column: &str) -> Option<DataType> {
+        COLUMNS
+            .iter()
+            .find(|(t, c, _)| *t == table && *c == column)
+            .map(|(_, _, d)| *d)
+    }
+}
+
+/// One generated comparison predicate: SQL text plus the filter the
+/// builder applies for it. Only Int/Float/Date columns (strings only get
+/// equality, which the generator covers through Int columns already).
+#[derive(Clone, Debug)]
+struct GenPred {
+    sql: String,
+    attr: String,
+    interval: Interval,
+}
+
+fn int_pred(table: &'static str, col: &'static str) -> impl Strategy<Value = GenPred> {
+    (0usize..6, -999i64..999, any::<bool>()).prop_map(move |(op, a, flip)| {
+        let attr = format!("{table}.{col}");
+        let v = Value::Int(a);
+        let (sql, interval) = match op {
+            0 => (format!("{col} = {a}"), Interval::eq(v)),
+            1 => (format!("{col} < {a}"), Interval::less_than(v)),
+            2 => (format!("{col} <= {a}"), Interval::at_most(v)),
+            3 => (format!("{col} > {a}"), Interval::greater_than(v)),
+            4 => (format!("{col} >= {a}"), Interval::at_least(v)),
+            _ => {
+                let b = a + 10;
+                (
+                    format!("{col} BETWEEN {a} AND {b}"),
+                    Interval::closed(v, Value::Int(b)),
+                )
+            }
+        };
+        // Half the cases write the literal first; the parser mirrors the
+        // operator, the builder side never changes.
+        let sql = if flip && op < 5 {
+            let mirrored = match op {
+                0 => format!("{a} = {col}"),
+                1 => format!("{a} > {col}"),
+                2 => format!("{a} >= {col}"),
+                3 => format!("{a} < {col}"),
+                _ => format!("{a} <= {col}"),
+            };
+            mirrored
+        } else {
+            sql
+        };
+        GenPred {
+            sql,
+            attr,
+            interval,
+        }
+    })
+}
+
+fn date_pred() -> impl Strategy<Value = GenPred> {
+    (1i64..28, 1i64..12, any::<bool>()).prop_map(|(day, month, ge)| {
+        let s = format!("1995-{month:02}-{day:02}");
+        let d = hashstash_types::date::parse_date(&s).expect("generated date is valid");
+        let (op, interval) = if ge {
+            (">=", Interval::at_least(Value::Date(d)))
+        } else {
+            ("<", Interval::less_than(Value::Date(d)))
+        };
+        GenPred {
+            sql: format!("o_orderdate {op} '{s}'"),
+            attr: "orders.o_orderdate".to_string(),
+            interval,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Single-table queries: parsed SQL lowers to the builder's spec.
+    #[test]
+    fn roundtrip_single_table(pred in int_pred("customer", "c_age"), star in any::<bool>()) {
+        let sql = if star {
+            format!("SELECT * FROM customer WHERE {}", pred.sql)
+        } else {
+            format!("SELECT c_custkey, c_age FROM customer WHERE {}", pred.sql)
+        };
+        let parsed = parse_query(&sql, 9, &Universe).expect(&sql);
+
+        let mut b = QueryBuilder::new(9)
+            .table("customer")
+            .filter(&pred.attr, pred.interval.clone());
+        if !star {
+            b = b.project(&["customer.c_custkey", "customer.c_age"]);
+        }
+        prop_assert_eq!(parsed, b.build().unwrap());
+    }
+
+    // Join + aggregate queries, with 1–2 range predicates stacked on the
+    // same builder the workload generator uses.
+    #[test]
+    fn roundtrip_join_aggregate(
+        dpred in date_pred(),
+        ipred in int_pred("customer", "c_age"),
+        both in any::<bool>(),
+        func in prop_oneof![Just(AggFunc::Sum), Just(AggFunc::Count), Just(AggFunc::Avg)],
+    ) {
+        let fname = match func { AggFunc::Sum => "SUM", AggFunc::Count => "COUNT", _ => "AVG" };
+        let mut wheres = vec![dpred.sql.clone()];
+        if both {
+            wheres.push(ipred.sql.clone());
+        }
+        let sql = format!(
+            "SELECT c_age, {fname}(l_quantity) FROM customer \
+             JOIN orders ON customer.c_custkey = orders.o_custkey \
+             JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
+             WHERE {} GROUP BY c_age",
+            wheres.join(" AND ")
+        );
+        let parsed = parse_query(&sql, 3, &Universe).expect(&sql);
+
+        let mut b = QueryBuilder::new(3)
+            .join("customer", "customer.c_custkey", "orders", "orders.o_custkey")
+            .join("orders", "orders.o_orderkey", "lineitem", "lineitem.l_orderkey")
+            .filter(&dpred.attr, dpred.interval.clone());
+        if both {
+            b = b.filter(&ipred.attr, ipred.interval.clone());
+        }
+        let hand = b
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(func, "lineitem.l_quantity"))
+            .build()
+            .unwrap();
+        prop_assert_eq!(parsed, hand);
+    }
+
+    // Raw byte soup: decode lossily, parse, never panic. Errors must
+    // point inside the input.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_query(&src, 1, &Universe) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.span.start <= e.span.end);
+                prop_assert!(e.span.end <= src.len().max(1));
+                // Rendering the caret snippet must not panic either, even
+                // with multi-byte replacement chars in the line.
+                let _ = e.render(&src);
+            }
+        }
+    }
+
+    // Near-SQL token soup: random sequences of *valid* tokens reach much
+    // deeper into the parser than byte soup does.
+    #[test]
+    fn token_soup_never_panics(picks in proptest::collection::vec(0usize..18, 0..40)) {
+        const POOL: &[&str] = &[
+            "SELECT", "FROM", "WHERE", "AND", "GROUP", "BY", "JOIN", "ON",
+            "BETWEEN", "customer", "c_age", "o_orderdate", "*", ",", ".",
+            "( )", "<= 42", "'1995-01-01'",
+        ];
+        let src = picks
+            .iter()
+            .map(|&i| POOL.get(i).copied().unwrap_or("?"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        match parse_query(&src, 1, &Universe) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.span.start <= e.span.end && e.span.end <= src.len().max(1));
+                let _ = e.render(&src);
+            }
+        }
+    }
+}
+
+/// Deterministic spot checks of inputs that historically trip hand-written
+/// parsers: deep qualification, trailing operators, unterminated strings,
+/// lone keywords, huge numbers, NUL bytes.
+#[test]
+fn hostile_corpus_is_rejected_gracefully() {
+    for src in [
+        "",
+        ";",
+        ".",
+        "'",
+        "''",
+        "SELECT",
+        "SELECT *",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM customer WHERE c_age",
+        "SELECT * FROM customer WHERE c_age <",
+        "SELECT * FROM customer WHERE c_age BETWEEN 1",
+        "SELECT * FROM customer WHERE c_age BETWEEN 1 AND",
+        "SELECT a.b.c FROM t",
+        "SELECT * FROM customer WHERE c_age = 99999999999999999999",
+        "SELECT * FROM customer WHERE c_age = 'unterminated",
+        "SELECT \u{0} FROM t",
+        "SELECT * FROM customer GROUP BY",
+        "SELECT SUM( FROM t",
+        "SELECT SUM(c_age)) FROM customer",
+    ] {
+        match parse_query(src, 1, &Universe) {
+            Ok(q) => panic!("hostile input parsed: {src:?} -> {q:?}"),
+            Err(e) => {
+                assert!(e.span.start <= e.span.end && e.span.end <= src.len().max(1));
+                let _ = e.render(src);
+            }
+        }
+    }
+    // And `parse` alone (no schema) survives the same corpus.
+    for src in ["\u{1F980}\u{1F980}", "é é é", "--", "((((((((((("] {
+        let _ = parse(src);
+    }
+}

@@ -9,6 +9,7 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use hashstash::{Database, EngineStrategy};
 use hashstash_cache::recycle::ShapeKey;
@@ -277,6 +278,182 @@ fn persistence_bar_filters_cache_entries() {
         db.temp_stats().entries > 0,
         "temp-table entries rehydrated: {:?}",
         db.temp_stats()
+    );
+    drop(db);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: warm restart + TTL expiry. Rehydration re-publishes the
+/// snapshot through the normal admission path, which ticks the shared
+/// clock once per entry — so the earliest entries came out of recovery
+/// already "idle" by rehydration order. With a TTL configured, the first
+/// sweep after restart used to expire exactly the warm cache the restart
+/// had just paid to rebuild. Recovery now restamps every rehydrated entry
+/// and restarts the sweep throttle, so warm tables survive until they are
+/// *actually* idle for a TTL — and then expire normally.
+#[test]
+fn restart_with_ttl_keeps_warm_cache_until_actually_idle() {
+    const TTL: u64 = 4;
+    let gc = hashstash_cache::GcConfig {
+        ttl_ticks: Some(TTL),
+        ..hashstash_cache::GcConfig::default()
+    };
+    // Synthetic cache entries with pairwise-disjoint fingerprints: query
+    // execution reuses/widens aggressively (one entry per shape), so
+    // staging "more entries than TTL ticks" needs direct publishes.
+    let warm_fp = |i: i64| HtFingerprint {
+        kind: HtKind::JoinBuild,
+        tables: std::iter::once(Arc::<str>::from("customer")).collect(),
+        edges: vec![],
+        region: Region::from_box(hashstash_plan::PredBox::all().with(
+            "customer.c_custkey".to_string(),
+            Interval::closed(Value::Int(i * 100), Value::Int(i * 100 + 99)),
+        )),
+        key_attrs: vec![Arc::from("customer.c_custkey")],
+        payload_attrs: vec![Arc::from("customer.c_custkey")],
+        aggregates: vec![],
+        tagged: false,
+    };
+    let warm_ht = || {
+        let mut t = hashstash_hashtable::ExtendibleHashTable::new(16);
+        for i in 0..32u64 {
+            t.insert(
+                i,
+                hashstash_cache::TaggedRow::untagged(hashstash_types::Row::new(vec![Value::Int(
+                    i as i64,
+                )])),
+            );
+        }
+        hashstash_cache::StoredHt::Join(t)
+    };
+    let warm_schema = hashstash_types::Schema::new(vec![hashstash_types::Field::new(
+        "customer.c_custkey",
+        DataType::Int,
+    )]);
+
+    // A single-table aggregate with a varying filter: each execution
+    // (re)uses and widens one agg hash table, ticking the shared clock.
+    let ticker = |id: u32, cut: i64| {
+        QueryBuilder::new(id)
+            .table("customer")
+            .filter("customer.c_custkey", Interval::at_most(Value::Int(cut)))
+            .group_by("customer.c_age")
+            .agg(AggExpr::new(AggFunc::Count, "customer.c_custkey"))
+            .build()
+            .unwrap()
+    };
+
+    let dir = fresh_dir("ttl");
+    {
+        // Populate *without* a TTL (it would expire entries while we
+        // stage them); only the restarted engine runs with the TTL on.
+        let db = Database::builder(catalog()).data_dir(&dir).build();
+        let mut session = db.session();
+        // Publish clearly more than TTL entries so rehydration's clock
+        // ticks alone would push the earliest past the cutoff.
+        for (i, ship) in ["1996-06-01", "1996-03-01", "1996-01-01"]
+            .iter()
+            .enumerate()
+        {
+            session.execute(&q3(i as u32 + 1, ship)).unwrap();
+        }
+        for i in 0..8 {
+            db.cache()
+                .publish(warm_fp(i), warm_schema.clone(), warm_ht());
+        }
+        assert!(
+            db.cache_stats().entries as u64 > TTL,
+            "need more rehydrated entries than TTL ticks: {:?}",
+            db.cache_stats()
+        );
+        db.flush().unwrap();
+    }
+
+    let db = Database::builder(Catalog::new())
+        .data_dir(&dir)
+        .gc(gc)
+        .build();
+    let recovered = db.cache_stats().entries;
+    assert!(
+        recovered as u64 > TTL,
+        "cache rehydrated: {recovered} entries"
+    );
+
+    // First post-restart query: triggers enforcement (and with it the TTL
+    // sweep election). The warm cache must survive and be reused.
+    let mut session = db.session();
+    let r = session.execute(&q3(50, "1996-01-01")).unwrap();
+    assert!(
+        r.decisions.iter().any(|(_, c)| c.is_some()),
+        "warm table reused after restart with TTL configured: {:?}",
+        r.decisions
+    );
+    assert_eq!(
+        db.cache_stats().evictions,
+        0,
+        "first sweep after restart expired rehydrated entries"
+    );
+    assert!(db.cache_stats().entries >= recovered);
+
+    // TTL still works after restart: leave the warm entries untouched
+    // while fresh publishes age them past the TTL, then expect expiry.
+    for i in 0..3 * TTL as u32 {
+        session.execute(&ticker(100 + i, 1000 + i as i64)).unwrap();
+    }
+    assert!(
+        db.cache_stats().evictions > 0,
+        "idle entries never expired after restart: {:?}",
+        db.cache_stats()
+    );
+    drop(db);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: `Database::drop`'s best-effort final flush used to swallow
+/// the error silently — a failed final snapshot left stale on-disk state
+/// with no trace. The outcome is now recorded in the database's
+/// [`hashstash::FlushErrorSlot`] (shareable, surviving the drop) as well
+/// as logged; and a failing flush in `Drop` must not panic.
+#[test]
+fn drop_flush_failure_is_recorded_not_swallowed() {
+    let dir = fresh_dir("dropflush");
+    let db = Database::builder(catalog()).data_dir(&dir).build();
+    let mut session = db.session();
+    session.execute(&q3(1, "1996-06-01")).unwrap();
+
+    // Sabotage the data dir *after* build: replace the directory with a
+    // plain file, so every snapshot/WAL write fails with NotADirectory.
+    // (chmod-based traps don't work under root, which ignores modes.)
+    fs::remove_dir_all(&dir).unwrap();
+    fs::write(&dir, b"not a directory").unwrap();
+
+    // An explicit flush reports the failure both ways.
+    let err = db.flush();
+    assert!(err.is_err(), "flush into a file-at-dir-path succeeded?");
+    assert!(db.take_flush_error().is_some(), "flush error not recorded");
+    assert!(db.take_flush_error().is_none(), "take must drain the slot");
+
+    // The drop path: clone the slot, drop the engine. The final flush
+    // fails, must not panic, and must leave the error in the slot.
+    let slot = db.flush_error_slot();
+    drop(session);
+    drop(db);
+    let recorded = slot.take();
+    assert!(
+        recorded.is_some(),
+        "drop-time flush failure was swallowed (empty slot)"
+    );
+    assert!(slot.take().is_none());
+    fs::remove_file(&dir).ok();
+
+    // And on a healthy directory a successful flush clears the slot.
+    let dir = fresh_dir("dropflush-ok");
+    let db = Database::builder(catalog()).data_dir(&dir).build();
+    db.session().execute(&q3(2, "1996-06-01")).unwrap();
+    db.flush().unwrap();
+    assert!(
+        db.take_flush_error().is_none(),
+        "success must clear the slot"
     );
     drop(db);
     fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,265 @@
+//! Budget-floor semantics under the shared [`ReuseBudget`]: the per-kind
+//! anti-starvation floor's fallback pass, and the per-tenant floors the
+//! serving front end builds on.
+//!
+//! The fallback test pins an old bug: when *every* source was at its
+//! floor, the fallback victim search ranked all entries together and so
+//! kept taking whichever store the policy ranked first — under LRU that
+//! drained the older store to zero while the other sat untouched at its
+//! floor. The fallback now walks sources round-robin, so sustained
+//! pressure alternates kinds.
+
+use std::sync::Arc;
+
+use hashstash_cache::{
+    EvictionPolicy, GcConfig, HtManager, ReuseBudget, StoredHt, TaggedRow, TenantId, DEFAULT_SHARDS,
+};
+use hashstash_exec::TempTableCache;
+use hashstash_hashtable::ExtendibleHashTable;
+use hashstash_plan::{HtFingerprint, HtKind, Interval, PredBox, Region};
+use hashstash_types::{DataType, Field, Row, Schema, Value};
+
+fn fp(table: &str, lo: i64, hi: i64) -> HtFingerprint {
+    let t: Arc<str> = Arc::from(table);
+    let key: Arc<str> = Arc::from(format!("{table}.k"));
+    let attr: Arc<str> = Arc::from(format!("{table}.v"));
+    HtFingerprint {
+        kind: HtKind::JoinBuild,
+        tables: std::iter::once(t).collect(),
+        edges: vec![],
+        region: Region::from_box(PredBox::all().with(
+            attr.to_string(),
+            Interval::closed(Value::Int(lo), Value::Int(hi)),
+        )),
+        key_attrs: vec![key.clone()],
+        payload_attrs: vec![key],
+        aggregates: vec![],
+        tagged: false,
+    }
+}
+
+fn ht(n: u64) -> StoredHt {
+    let mut t = ExtendibleHashTable::new(16);
+    for i in 0..n {
+        t.insert(i, TaggedRow::untagged(Row::new(vec![Value::Int(i as i64)])));
+    }
+    StoredHt::Join(t)
+}
+
+fn rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| Row::new(vec![Value::Int(i as i64)]))
+        .collect()
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![Field::new("t.k", DataType::Int)])
+}
+
+fn shared_pair(gc: GcConfig) -> (Arc<ReuseBudget>, HtManager, TempTableCache) {
+    let budget = ReuseBudget::new(gc);
+    let htm = HtManager::with_budget(Arc::clone(&budget), DEFAULT_SHARDS);
+    let temps = TempTableCache::with_budget(Arc::clone(&budget), DEFAULT_SHARDS);
+    (budget, htm, temps)
+}
+
+/// Regression: both stores at their per-kind floor, budget still exceeded.
+/// The fallback pass must round-robin across the sources instead of
+/// draining the LRU-oldest store (the hash tables, published first) while
+/// the temp store never loses an entry.
+#[test]
+fn fallback_at_floor_alternates_between_stores() {
+    const EACH: usize = 10;
+    // Unbounded while we stage the working set, so publishes don't evict.
+    let (budget, htm, temps) = shared_pair(GcConfig {
+        budget_bytes: None,
+        policy: EvictionPolicy::Lru,
+        ..GcConfig::default()
+    });
+    for i in 0..EACH {
+        htm.publish(fp("h", i as i64, i as i64 + 1), schema(), ht(64));
+    }
+    for i in 0..EACH {
+        temps.publish(fp("t", i as i64, i as i64 + 1), schema(), rows(100));
+    }
+    let total = budget.bytes();
+    assert_eq!(htm.len() + temps.len(), 2 * EACH);
+
+    // Now tighten: keep roughly half, with a floor so high both kinds are
+    // "protected" — pass 1 finds nothing, every eviction is a fallback.
+    budget.set_gc_config(GcConfig {
+        budget_bytes: Some(total / 2),
+        policy: EvictionPolicy::Lru,
+        floor_bytes: usize::MAX / 4,
+        ..GcConfig::default()
+    });
+    let evicted = budget.enforce();
+    assert!(evicted > 0, "over-budget enforce evicted nothing");
+    assert!(budget.bytes() <= total / 2, "budget not enforced");
+
+    let ht_ev = htm.stats().evictions;
+    let tt_ev = temps.stats().evictions;
+    // The buggy fallback ranked everything together: LRU would take all
+    // hash tables (older) before the first temp table. Round-robin takes
+    // them alternately, so both stores lose entries and neither is wiped
+    // while the other is full.
+    assert!(ht_ev > 0, "no hash tables evicted by fallback");
+    assert!(
+        tt_ev > 0,
+        "no temp tables evicted by fallback (old first-store drain bug)"
+    );
+    assert!(
+        ht_ev.abs_diff(tt_ev) <= 1,
+        "fallback did not alternate: {ht_ev} ht vs {tt_ev} temp evictions"
+    );
+    assert!(
+        !htm.is_empty(),
+        "hash-table store fully drained at its floor"
+    );
+    assert!(!temps.is_empty(), "temp store fully drained at its floor");
+}
+
+/// A tenant whose footprint is at its floor is skipped by the victim
+/// search while another tenant still has evictable mass: the churning
+/// tenant pays for its own pressure.
+#[test]
+fn tenant_floor_protects_the_quiet_tenant() {
+    const QUIET: TenantId = TenantId(1);
+    const NOISY: TenantId = TenantId(2);
+
+    let (budget, htm, _temps) = shared_pair(GcConfig {
+        budget_bytes: None,
+        policy: EvictionPolicy::Lru,
+        ..GcConfig::default()
+    });
+    // The quiet tenant stages a small working set first (oldest under LRU,
+    // so *without* the floor it would be the first to go).
+    for i in 0..3 {
+        htm.publish_as(QUIET, fp("q", i, i + 1), schema(), ht(64));
+    }
+    let quiet_bytes = budget.tenant_bytes().get(&QUIET).copied().unwrap_or(0);
+    assert!(quiet_bytes > 0);
+    budget.set_tenant_floor(QUIET, quiet_bytes);
+    assert_eq!(budget.tenant_floor(QUIET), quiet_bytes);
+
+    for i in 0..12 {
+        htm.publish_as(NOISY, fp("n", i, i + 1), schema(), ht(64));
+    }
+    let total = budget.bytes();
+    // Budget forces roughly half the noisy set out, but leaves more than
+    // enough room for the quiet tenant's protected footprint.
+    budget.set_gc_config(GcConfig {
+        budget_bytes: Some(total - quiet_bytes),
+        policy: EvictionPolicy::Lru,
+        ..GcConfig::default()
+    });
+    let evicted = budget.enforce();
+    assert!(evicted > 0);
+
+    let quiet_after = budget.tenant_bytes().get(&QUIET).copied().unwrap_or(0);
+    assert_eq!(
+        quiet_after, quiet_bytes,
+        "quiet tenant lost bytes despite its floor"
+    );
+    assert_eq!(
+        htm.tenant_stats_for(QUIET).evictions,
+        0,
+        "quiet tenant's entries were evicted under LRU despite the floor"
+    );
+    assert!(
+        htm.tenant_stats_for(NOISY).evictions >= evicted as u64,
+        "evictions were not charged to the churning tenant"
+    );
+
+    // Clearing the floor re-exposes the quiet tenant to the victim search.
+    budget.set_tenant_floor(QUIET, 0);
+    assert_eq!(budget.tenant_floor(QUIET), 0);
+    budget.set_gc_config(GcConfig {
+        budget_bytes: Some(quiet_bytes.saturating_sub(1)),
+        policy: EvictionPolicy::Lru,
+        ..GcConfig::default()
+    });
+    budget.enforce();
+    assert!(
+        htm.tenant_stats_for(QUIET).evictions > 0,
+        "cleared floor still protects the tenant"
+    );
+}
+
+/// When every tenant is at its floor, the tenant-ignoring fallback still
+/// makes progress — floors are starvation protection, not a way to wedge
+/// the budget above its limit forever.
+#[test]
+fn all_tenants_at_floor_still_converges() {
+    const A: TenantId = TenantId(1);
+    const B: TenantId = TenantId(2);
+    let (budget, htm, _temps) = shared_pair(GcConfig {
+        budget_bytes: None,
+        ..GcConfig::default()
+    });
+    for i in 0..6 {
+        let t = if i % 2 == 0 { A } else { B };
+        htm.publish_as(t, fp("x", i, i + 1), schema(), ht(32));
+    }
+    // Floors cover everything both tenants hold.
+    budget.set_tenant_floor(A, usize::MAX / 4);
+    budget.set_tenant_floor(B, usize::MAX / 4);
+    let total = budget.bytes();
+    budget.set_gc_config(GcConfig {
+        budget_bytes: Some(total / 3),
+        ..GcConfig::default()
+    });
+    let evicted = budget.enforce();
+    assert!(
+        evicted > 0,
+        "fallback never fired with every tenant at floor"
+    );
+    assert!(
+        budget.bytes() <= total / 3,
+        "budget stuck above the limit: floors must not block enforcement"
+    );
+}
+
+/// Per-tenant statistics are an exact partition of the store totals for
+/// the additive counters, and publishes under `publish_as` are credited
+/// to their tenant.
+#[test]
+fn tenant_stats_partition_the_store_totals() {
+    const A: TenantId = TenantId(1);
+    const B: TenantId = TenantId(2);
+    let (_budget, htm, _temps) = shared_pair(GcConfig::default());
+
+    for i in 0..4 {
+        htm.publish_as(A, fp("a", i, i + 1), schema(), ht(16));
+    }
+    for i in 0..2 {
+        htm.publish_as(B, fp("b", i, i + 1), schema(), ht(16));
+    }
+    // A duplicate publish dedups onto the existing entry (same lineage).
+    htm.publish_as(B, fp("a", 0, 1), schema(), ht(16));
+
+    let global = htm.stats();
+    let per: Vec<_> = htm.tenant_stats();
+    let sum =
+        |f: fn(&hashstash_cache::CacheStats) -> u64| -> u64 { per.iter().map(|(_, s)| f(s)).sum() };
+    assert_eq!(sum(|s| s.publishes), global.publishes);
+    assert_eq!(sum(|s| s.publish_dedups), global.publish_dedups);
+    assert_eq!(sum(|s| s.evictions), global.evictions);
+    assert_eq!(
+        per.iter().map(|(_, s)| s.bytes).sum::<usize>(),
+        global.bytes
+    );
+    assert_eq!(
+        per.iter().map(|(_, s)| s.entries).sum::<usize>(),
+        global.entries
+    );
+
+    let a = htm.tenant_stats_for(A);
+    let b = htm.tenant_stats_for(B);
+    assert_eq!(a.publishes, 4);
+    assert_eq!(b.publishes, 2);
+    // The dedup was B's call, so it is credited to B; the entry stays A's.
+    assert_eq!(b.publish_dedups, 1);
+    assert_eq!(a.entries, 4);
+    assert_eq!(b.entries, 2);
+}

@@ -62,6 +62,10 @@ const NO_PANIC_CRATES: &[&str] = &[
     "crates/durability/src/",
     "crates/cache/src/",
     "crates/exec/src/",
+    // The SQL front end parses untrusted wire input; the server holds
+    // per-connection sessions that must outlive any one bad request.
+    "crates/sql/src/",
+    "crates/server/src/",
 ];
 
 /// The one file allowed to touch raw threads: the persistent worker pool
